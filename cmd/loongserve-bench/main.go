@@ -1,0 +1,83 @@
+// Command loongserve-bench regenerates the paper's tables and figures
+// against the simulated cluster. Each experiment prints one or more text
+// tables whose rows correspond to the plotted points of the figure.
+//
+// Usage:
+//
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|ablations|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loongserve/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, ablations, all")
+	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
+	flag.Parse()
+
+	scale := bench.FullScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+
+	run := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	out := os.Stdout
+	any := false
+
+	if run("fig2") {
+		bench.Fig2().Fprint(out)
+		any = true
+	}
+	if run("fig3") {
+		bench.Fig3().Fprint(out)
+		any = true
+	}
+	if run("fig10") {
+		for _, t := range bench.Fig10(scale) {
+			t.Fprint(out)
+		}
+		any = true
+	}
+	if run("fig11") {
+		bench.Fig11(scale).Fprint(out)
+		any = true
+	}
+	if run("fig12") {
+		bench.Fig12(scale).Fprint(out)
+		any = true
+	}
+	if run("fig13") {
+		a, b := bench.Fig13(scale)
+		a.Fprint(out)
+		b.Fprint(out)
+		any = true
+	}
+	if run("fig14") {
+		bench.Fig14().Fprint(out)
+		any = true
+	}
+	if run("fig15") {
+		bench.Fig15().Fprint(out)
+		any = true
+	}
+	if run("ablations") {
+		bench.AblationProactiveVsReactive().Fprint(out)
+		bench.AblationDPBatching(scale).Fprint(out)
+		bench.AblationPartitioning().Fprint(out)
+		bench.AblationControlPlane().Fprint(out)
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

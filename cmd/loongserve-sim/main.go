@@ -1,0 +1,119 @@
+// Command loongserve-sim runs one serving simulation and prints per-run
+// metrics: pick a system, a dataset, a request rate and a cluster shape.
+//
+// Example:
+//
+//	loongserve-sim -system loongserve -dataset mixed -rate 0.5 -n 200
+//	loongserve-sim -system vllm -dataset sharegpt -rate 100 -n 1000 -v
+//
+// Traces are replayable: -save-trace writes the generated trace as JSON
+// lines; -trace replays a previously saved file (ignoring -dataset, -rate,
+// -n and -seed), so different systems can be compared on identical input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"loongserve/internal/bench"
+	"loongserve/internal/core"
+	"loongserve/internal/metrics"
+	"loongserve/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "loongserve", "loongserve | vllm | splitfuse | distserve | statichybrid | replicated")
+	ds := flag.String("dataset", "mixed", "sharegpt | sharegpt-long | leval | lveval | mixed")
+	rate := flag.Float64("rate", 0.5, "Poisson arrival rate (req/s)")
+	n := flag.Int("n", 200, "number of requests")
+	nodes := flag.Int("nodes", 1, "8-GPU nodes")
+	seed := flag.Int64("seed", 42, "trace seed")
+	verbose := flag.Bool("v", false, "print per-request records")
+	tracePath := flag.String("trace", "", "replay a saved trace file instead of sampling")
+	saveTrace := flag.String("save-trace", "", "write the generated trace to this file")
+	flag.Parse()
+
+	dataset, err := pickDataset(*ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sys, err := pickSystem(*system, *nodes, dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var trace []workload.TimedRequest
+	if *tracePath != "" {
+		trace, err = workload.LoadTraceFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading trace: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		trace = workload.PoissonTrace(dataset, *rate, *n, *seed)
+	}
+	if *saveTrace != "" {
+		if err := workload.SaveTraceFile(*saveTrace, trace); err != nil {
+			fmt.Fprintf(os.Stderr, "saving trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	recs, err := bench.RunTrace(sys, trace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		for _, r := range recs {
+			fmt.Printf("req %4d in=%6d out=%5d arrival=%12v firstToken=%12v finish=%12v sloOK=%v\n",
+				r.ID, r.InputLen, r.OutputLen, r.Arrival, r.FirstToken, r.Finish, r.MeetsSLO())
+		}
+	}
+	s := metrics.Summarize(recs)
+	fmt.Printf("system=%s dataset=%s rate=%.3g req/s nodes=%d\n", sys.Name, dataset.Name(), *rate, *nodes)
+	fmt.Println(s.String())
+	fmt.Printf("goodput=%.3f req/s (SLO-met over the arrival window)\n", metrics.Goodput(recs))
+}
+
+func pickDataset(name string) (workload.Dataset, error) {
+	switch strings.ToLower(name) {
+	case "sharegpt":
+		return workload.ShareGPT(), nil
+	case "sharegpt-long":
+		return workload.ShareGPTLong(), nil
+	case "leval", "l-eval":
+		return workload.LEval(), nil
+	case "lveval", "lv-eval":
+		return workload.LVEval(), nil
+	case "mixed":
+		return workload.Mixed(), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", name)
+}
+
+func pickSystem(name string, nodes int, ds workload.Dataset) (bench.System, error) {
+	switch strings.ToLower(name) {
+	case "loongserve":
+		return bench.LoongServeSys(nodes, core.Options{}), nil
+	case "vllm":
+		return bench.VLLMSys(nodes), nil
+	case "splitfuse", "lightllm":
+		return bench.LightLLMSys(nodes, ds), nil
+	case "distserve":
+		if nodes != 1 {
+			return bench.System{}, fmt.Errorf("distserve supports one node")
+		}
+		return bench.DistServeSys(), nil
+	case "statichybrid":
+		return bench.StaticHybridSys(), nil
+	case "replicated":
+		return bench.ReplicatedSys(), nil
+	}
+	return bench.System{}, fmt.Errorf("unknown system %q", name)
+}

@@ -1,0 +1,99 @@
+// Command loongserve-trace runs one LoongServe simulation with the
+// execution tracer attached and prints the elastic timeline — the textual
+// analogue of the paper's Figure 6 request lifecycle: prefill at high DoP,
+// proactive scale-down, decoding, elastic scale-ups as memory and compute
+// demand grow, dissolution.
+//
+// Example:
+//
+//	loongserve-trace -dataset leval -rate 0.15 -n 20
+//	loongserve-trace -trace saved.jsonl -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/core"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/metrics"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+func main() {
+	ds := flag.String("dataset", "mixed", "sharegpt | sharegpt-long | leval | lveval | mixed")
+	rate := flag.Float64("rate", 0.3, "Poisson arrival rate (req/s)")
+	n := flag.Int("n", 30, "number of requests")
+	nodes := flag.Int("nodes", 1, "8-GPU nodes")
+	seed := flag.Int64("seed", 42, "trace seed")
+	tracePath := flag.String("trace", "", "replay a saved trace file instead of sampling")
+	summary := flag.Bool("summary", false, "print only per-kind event counts")
+	flag.Parse()
+
+	var dataset workload.Dataset
+	switch strings.ToLower(*ds) {
+	case "sharegpt":
+		dataset = workload.ShareGPT()
+	case "sharegpt-long":
+		dataset = workload.ShareGPTLong()
+	case "leval", "l-eval":
+		dataset = workload.LEval()
+	case "lveval", "lv-eval":
+		dataset = workload.LVEval()
+	case "mixed":
+		dataset = workload.Mixed()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	var trace []workload.TimedRequest
+	var err error
+	if *tracePath != "" {
+		trace, err = workload.LoadTraceFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading trace: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		trace = workload.PoissonTrace(dataset, *rate, *n, *seed)
+	}
+
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, *nodes, 8, 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng := core.New(2, core.Options{})
+	tr := eng.AttachTracer()
+	recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *summary {
+		counts := tr.Counts()
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("%-14s %d\n", k, counts[core.TraceKind(k)])
+		}
+	} else {
+		tr.Timeline(os.Stdout)
+	}
+
+	s := metrics.Summarize(recs)
+	fmt.Printf("\ncompleted %d requests; %s\n", len(recs), s.String())
+}

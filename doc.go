@@ -1,0 +1,26 @@
+// Package loongserve is a pure-Go reproduction of "LoongServe: Efficiently
+// Serving Long-Context Large Language Models with Elastic Sequence
+// Parallelism" (SOSP 2024).
+//
+// The repository contains three complementary layers:
+//
+//   - A functional layer (internal/seqparallel on internal/model and
+//     internal/attention) that executes the paper's elastic-sequence-
+//     parallelism mechanisms — striped-attention prefill, proactive
+//     scale-down, multi-master distributed decoding — with real transformer
+//     math at toy scale, verified against a serial reference.
+//   - A timing layer (internal/simevent, internal/cluster,
+//     internal/costmodel) that simulates the paper's 8xA800 testbed with a
+//     calibrated roofline cost model, on which the full LoongServe serving
+//     system (internal/core) and every baseline of the paper's evaluation
+//     (internal/baselines) run under identical conditions.
+//   - The §6 serving plumbing: the global-manager↔instance control
+//     protocol with compact serialization and ESP-metadata caching
+//     (internal/controlplane), and an OpenAI-style HTTP front end with a
+//     byte-level BPE tokenizer and iteration-level continuous batching
+//     over the functional runtime (internal/frontend, internal/token).
+//
+// bench_test.go regenerates every figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package loongserve

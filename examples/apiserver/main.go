@@ -1,0 +1,95 @@
+// Example apiserver starts the OpenAI-style front end in-process, issues a
+// buffered and a streaming completion against it, and prints both — the §6
+// serving path (tokenize, striped prefill across the ESP group,
+// multi-master decode, detokenize) end to end.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"loongserve/internal/frontend"
+	"loongserve/internal/token"
+)
+
+func main() {
+	tok := token.Default()
+	lm := frontend.NewLM(tok, frontend.LMOptions{Instances: 4, MaxContext: 256})
+	srv := httptest.NewServer(frontend.NewServer(lm, tok, "loongserve-tiny-lm").Handler())
+	defer srv.Close()
+	fmt.Printf("serving loongserve-tiny-lm at %s with ESP DoP=%d\n\n", srv.URL, lm.DoP())
+
+	// Buffered completion.
+	body, _ := json.Marshal(map[string]any{
+		"prompt":     "the prefill phase",
+		"max_tokens": 12,
+	})
+	resp, err := http.Post(srv.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cr struct {
+		Choices []struct {
+			Text         string `json:"text"`
+			FinishReason string `json:"finish_reason"`
+		} `json:"choices"`
+		Usage struct {
+			PromptTokens     int `json:"prompt_tokens"`
+			CompletionTokens int `json:"completion_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("buffered completion (%d prompt + %d completion tokens, finish=%s):\n  %q\n\n",
+		cr.Usage.PromptTokens, cr.Usage.CompletionTokens, cr.Choices[0].FinishReason, cr.Choices[0].Text)
+
+	// Streaming completion: one SSE chunk per decoded token.
+	body, _ = json.Marshal(map[string]any{
+		"prompt":     "elastic sequence",
+		"max_tokens": 8,
+		"stream":     true,
+	})
+	resp, err = http.Post(srv.URL+"/v1/completions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("streaming completion chunks:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		payload, ok := strings.CutPrefix(line, "data: ")
+		if !ok || payload == "" {
+			continue
+		}
+		if payload == "[DONE]" {
+			fmt.Println("  [DONE]")
+			break
+		}
+		var chunk struct {
+			Choices []struct {
+				Text         string `json:"text"`
+				FinishReason string `json:"finish_reason"`
+			} `json:"choices"`
+		}
+		if err := json.Unmarshal([]byte(payload), &chunk); err != nil {
+			log.Fatal(err)
+		}
+		if fr := chunk.Choices[0].FinishReason; fr != "" {
+			fmt.Printf("  finish: %s\n", fr)
+		} else {
+			fmt.Printf("  chunk: %q\n", chunk.Choices[0].Text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Example moe serves a mixture-of-experts model through the full ESP
+// lifecycle — striped prefill, proactive scale-down, multi-master decode —
+// and verifies the outputs against the serial reference. §8 of the paper
+// notes LoongServe "is compatible with MQA, GQA, and MoE"; this example
+// shows why: expert routing is token-local (it lives inside the FFN), so
+// none of the ESP mechanisms need to know the FFN is sparse.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"loongserve/internal/model"
+	"loongserve/internal/seqparallel"
+	"loongserve/internal/tensor"
+)
+
+func main() {
+	cfg := model.TinyMoE()
+	fmt.Printf("model %q: %d layers, %d experts, top-%d routing\n",
+		cfg.Name, cfg.Layers, cfg.NumExperts, cfg.TopK)
+	fmt.Printf("  params: %d (dense equivalent with the same active FLOPs: %d)\n",
+		cfg.NumParams(), func() int64 { d := cfg; d.NumExperts, d.TopK = 0, 0; return d.NumParams() }())
+	fmt.Printf("  FLOPs/token: %.0f — only top-%d of %d experts fire per token\n\n",
+		cfg.FLOPsPerToken(), cfg.TopK, cfg.NumExperts)
+
+	weights := model.NewWeights(cfg, 99)
+	const n, steps = 12, 5
+
+	// Serial ground truth.
+	ref := model.NewReference(weights)
+	rng := rand.New(rand.NewSource(41))
+	x := tensor.RandMatrix(rng, n, cfg.Hidden, 1)
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	wantPrefill := ref.Forward(x, pos)
+	var wantDecodes []*tensor.Matrix
+	last := wantPrefill.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		out := ref.Forward(last, []int{n + s})
+		wantDecodes = append(wantDecodes, out)
+		last = out
+	}
+
+	// Distributed ESP group of 3 with a proactive scale-down to 2.
+	instances := []*seqparallel.Instance{
+		seqparallel.NewInstance(0, weights),
+		seqparallel.NewInstance(1, weights),
+		seqparallel.NewInstance(2, weights),
+	}
+	g := seqparallel.NewGroup(cfg, instances)
+	plan := seqparallel.ScaleDownPlan([]int{7, 5, 0}) // nothing stays on instance 2
+	got, err := g.Prefill(1, x, pos, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("striped MoE prefill across DoP=3: max|Δ| vs reference = %.2e\n",
+		tensor.MaxAbsDiff(got, wantPrefill))
+	fmt.Printf("KV after proactive scale-down: %v (instance 2 released)\n", g.TokensHeld(1))
+
+	shrunk := seqparallel.NewGroup(cfg, instances[:2])
+	last = got.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		outs, err := shrunk.DecodeStep([]seqparallel.DecodeRequest{{
+			ID: 1, X: last, Pos: n + s, Master: s % 2,
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = outs[0]
+		fmt.Printf("multi-master MoE decode step %d (master=%d): max|Δ| = %.2e\n",
+			s+1, s%2, tensor.MaxAbsDiff(last, wantDecodes[s]))
+	}
+
+	// Expert utilization over the prompt: routing spreads load.
+	moe := weights.Layers[0].MoE
+	counts := make([]int, cfg.NumExperts)
+	normed := model.RMSNorm(x, weights.Layers[0].FFNNorm)
+	for r := 0; r < n; r++ {
+		sel, _ := moe.Route(normed.Row(r))
+		for _, e := range sel {
+			counts[e]++
+		}
+	}
+	fmt.Printf("\nlayer-0 expert assignments over the %d-token prompt: %v\n", n, counts)
+	fmt.Println("ESP mechanisms ran unchanged: expert routing is FFN-local (§8).")
+}

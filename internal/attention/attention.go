@@ -1,0 +1,177 @@
+// Package attention implements causal scaled-dot-product attention with
+// multi-head (MHA), grouped-query (GQA) and multi-query (MQA) head layouts,
+// in a form that decomposes over disjoint key-value subsets.
+//
+// The decomposition is the enabling primitive for both of LoongServe's
+// elastic-sequence-parallelism mechanisms:
+//
+//   - Striped-attention prefill (Fig 1): every instance holds a slice of the
+//     permuted sequence, circulates key-value tensors around a ring, and
+//     folds each incoming slice into per-query partial states.
+//   - Multi-master distributed decoding (Fig 8): master instances broadcast
+//     query tensors, every instance computes local partial attention over
+//     its resident KV tokens, and the master merges the partials.
+//
+// Masking is by absolute token position, not by matrix index: query at
+// position p may attend to keys at positions <= p regardless of where those
+// keys physically live. That is what makes the result invariant under the
+// striped permutation and under arbitrary token-granularity KV placement.
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"loongserve/internal/tensor"
+)
+
+// Config describes the head layout of one attention operator.
+type Config struct {
+	NumHeads   int // query heads
+	NumKVHeads int // key/value heads; == NumHeads for MHA, 1 for MQA
+	HeadDim    int
+}
+
+// Validate reports whether the layout is internally consistent.
+func (c Config) Validate() error {
+	if c.NumHeads <= 0 || c.NumKVHeads <= 0 || c.HeadDim <= 0 {
+		return fmt.Errorf("attention: non-positive config %+v", c)
+	}
+	if c.NumHeads%c.NumKVHeads != 0 {
+		return fmt.Errorf("attention: NumHeads %d not divisible by NumKVHeads %d", c.NumHeads, c.NumKVHeads)
+	}
+	return nil
+}
+
+// QDim returns the flattened query width (NumHeads * HeadDim).
+func (c Config) QDim() int { return c.NumHeads * c.HeadDim }
+
+// KVDim returns the flattened key/value width (NumKVHeads * HeadDim).
+func (c Config) KVDim() int { return c.NumKVHeads * c.HeadDim }
+
+// GroupSize returns the number of query heads sharing one KV head.
+func (c Config) GroupSize() int { return c.NumHeads / c.NumKVHeads }
+
+// Scale returns the softmax temperature 1/sqrt(HeadDim).
+func (c Config) Scale() float32 {
+	return float32(1.0 / math.Sqrt(float64(c.HeadDim)))
+}
+
+// Partial holds mergeable attention state for a batch of query rows: one
+// online-softmax accumulator per (query row, query head).
+type Partial struct {
+	Cfg    Config
+	NumQ   int
+	states []*tensor.OnlineSoftmax
+}
+
+// NewPartial returns an empty accumulator for numQ query rows.
+func NewPartial(cfg Config, numQ int) *Partial {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Partial{Cfg: cfg, NumQ: numQ}
+	p.states = make([]*tensor.OnlineSoftmax, numQ*cfg.NumHeads)
+	for i := range p.states {
+		p.states[i] = tensor.NewOnlineSoftmax(cfg.HeadDim)
+	}
+	return p
+}
+
+func (p *Partial) state(q, head int) *tensor.OnlineSoftmax {
+	return p.states[q*p.Cfg.NumHeads+head]
+}
+
+// Absorb folds local attention of queries against one KV slice into p.
+//
+//	q:     NumQ x QDim
+//	k, v:  numKV x KVDim
+//	qPos:  absolute position of each query row
+//	kPos:  absolute position of each key row
+//
+// Key j contributes to query i iff kPos[j] <= qPos[i] (causal mask by
+// absolute position).
+func (p *Partial) Absorb(q, k, v *tensor.Matrix, qPos, kPos []int) {
+	cfg := p.Cfg
+	if q.Rows != p.NumQ || q.Cols != cfg.QDim() {
+		panic(fmt.Sprintf("attention: q shape %dx%d, want %dx%d", q.Rows, q.Cols, p.NumQ, cfg.QDim()))
+	}
+	if k.Rows != v.Rows || k.Cols != cfg.KVDim() || v.Cols != cfg.KVDim() {
+		panic(fmt.Sprintf("attention: kv shape k=%dx%d v=%dx%d, want n x %d", k.Rows, k.Cols, v.Rows, v.Cols, cfg.KVDim()))
+	}
+	if len(qPos) != q.Rows || len(kPos) != k.Rows {
+		panic(fmt.Sprintf("attention: positions %d/%d, want %d/%d", len(qPos), len(kPos), q.Rows, k.Rows))
+	}
+	scale := cfg.Scale()
+	group := cfg.GroupSize()
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		for kj := 0; kj < k.Rows; kj++ {
+			if kPos[kj] > qPos[qi] {
+				continue
+			}
+			krow := k.Row(kj)
+			vrow := v.Row(kj)
+			for h := 0; h < cfg.NumHeads; h++ {
+				kvh := h / group
+				qh := qrow[h*cfg.HeadDim : (h+1)*cfg.HeadDim]
+				kh := krow[kvh*cfg.HeadDim : (kvh+1)*cfg.HeadDim]
+				vh := vrow[kvh*cfg.HeadDim : (kvh+1)*cfg.HeadDim]
+				score := tensor.Dot(qh, kh) * scale
+				p.state(qi, h).Update(score, vh)
+			}
+		}
+	}
+}
+
+// Merge folds another partial (computed over a disjoint KV subset for the
+// same query rows) into p.
+func (p *Partial) Merge(other *Partial) {
+	if other.NumQ != p.NumQ || other.Cfg != p.Cfg {
+		panic("attention: merging incompatible partials")
+	}
+	for i := range p.states {
+		p.states[i].Merge(other.states[i])
+	}
+}
+
+// Result materializes the attention output, NumQ x QDim.
+func (p *Partial) Result() *tensor.Matrix {
+	out := tensor.NewMatrix(p.NumQ, p.Cfg.QDim())
+	for qi := 0; qi < p.NumQ; qi++ {
+		row := out.Row(qi)
+		for h := 0; h < p.Cfg.NumHeads; h++ {
+			copy(row[h*p.Cfg.HeadDim:(h+1)*p.Cfg.HeadDim], p.state(qi, h).Result())
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the partial state.
+func (p *Partial) Clone() *Partial {
+	c := &Partial{Cfg: p.Cfg, NumQ: p.NumQ, states: make([]*tensor.OnlineSoftmax, len(p.states))}
+	for i, s := range p.states {
+		c.states[i] = s.Clone()
+	}
+	return c
+}
+
+// Causal computes full causal attention in one shot: queries and keys carry
+// absolute positions, and the result equals Absorb over the whole KV
+// followed by Result. This is the serial reference the distributed runtime
+// is validated against.
+func Causal(cfg Config, q, k, v *tensor.Matrix, qPos, kPos []int) *tensor.Matrix {
+	p := NewPartial(cfg, q.Rows)
+	p.Absorb(q, k, v, qPos, kPos)
+	return p.Result()
+}
+
+// SequentialPositions returns [0, 1, ..., n-1], the position vector of an
+// unpermuted contiguous sequence.
+func SequentialPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}

@@ -1,0 +1,288 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loongserve/internal/tensor"
+)
+
+var mha = Config{NumHeads: 4, NumKVHeads: 4, HeadDim: 8}
+var gqa = Config{NumHeads: 4, NumKVHeads: 2, HeadDim: 8}
+var mqa = Config{NumHeads: 4, NumKVHeads: 1, HeadDim: 8}
+
+func randQKV(rng *rand.Rand, cfg Config, n int) (q, k, v *tensor.Matrix) {
+	q = tensor.RandMatrix(rng, n, cfg.QDim(), 1)
+	k = tensor.RandMatrix(rng, n, cfg.KVDim(), 1)
+	v = tensor.RandMatrix(rng, n, cfg.KVDim(), 1)
+	return
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{mha, gqa, mqa} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+	bad := []Config{
+		{NumHeads: 0, NumKVHeads: 1, HeadDim: 8},
+		{NumHeads: 4, NumKVHeads: 3, HeadDim: 8},
+		{NumHeads: 4, NumKVHeads: 4, HeadDim: 0},
+		{NumHeads: 4, NumKVHeads: -1, HeadDim: 8},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%+v: expected error", cfg)
+		}
+	}
+}
+
+func TestConfigDims(t *testing.T) {
+	if gqa.QDim() != 32 || gqa.KVDim() != 16 || gqa.GroupSize() != 2 {
+		t.Fatalf("gqa dims wrong: %d %d %d", gqa.QDim(), gqa.KVDim(), gqa.GroupSize())
+	}
+	want := float32(1 / math.Sqrt(8))
+	if gqa.Scale() != want {
+		t.Fatalf("scale %v, want %v", gqa.Scale(), want)
+	}
+}
+
+// naive computes causal attention head by head, with explicit loops and
+// ordinary softmax — an independent oracle.
+func naive(cfg Config, q, k, v *tensor.Matrix, qPos, kPos []int) *tensor.Matrix {
+	out := tensor.NewMatrix(q.Rows, cfg.QDim())
+	group := cfg.GroupSize()
+	for qi := 0; qi < q.Rows; qi++ {
+		for h := 0; h < cfg.NumHeads; h++ {
+			kvh := h / group
+			scores := make([]float32, k.Rows)
+			for kj := 0; kj < k.Rows; kj++ {
+				if kPos[kj] > qPos[qi] {
+					scores[kj] = tensor.NegInf
+					continue
+				}
+				qh := q.Row(qi)[h*cfg.HeadDim : (h+1)*cfg.HeadDim]
+				kh := k.Row(kj)[kvh*cfg.HeadDim : (kvh+1)*cfg.HeadDim]
+				scores[kj] = tensor.Dot(qh, kh) * cfg.Scale()
+			}
+			tensor.SoftmaxInPlace(scores)
+			orow := out.Row(qi)[h*cfg.HeadDim : (h+1)*cfg.HeadDim]
+			for kj, w := range scores {
+				vh := v.Row(kj)[kvh*cfg.HeadDim : (kvh+1)*cfg.HeadDim]
+				for d := 0; d < cfg.HeadDim; d++ {
+					orow[d] += w * vh[d]
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestCausalMatchesNaiveOracle(t *testing.T) {
+	for _, cfg := range []Config{mha, gqa, mqa} {
+		rng := rand.New(rand.NewSource(11))
+		n := 13
+		q, k, v := randQKV(rng, cfg, n)
+		pos := SequentialPositions(n)
+		got := Causal(cfg, q, k, v, pos, pos)
+		want := naive(cfg, q, k, v, pos, pos)
+		if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("cfg %+v: diff %g", cfg, d)
+		}
+	}
+}
+
+func TestCausalFirstTokenAttendsOnlySelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 6
+	q, k, v := randQKV(rng, mha, n)
+	pos := SequentialPositions(n)
+	out := Causal(mha, q, k, v, pos, pos)
+	// Query 0 can only see key 0, so its output must equal v.Row(0) exactly
+	// (softmax over a single element is 1).
+	for h := 0; h < mha.NumHeads; h++ {
+		for d := 0; d < mha.HeadDim; d++ {
+			got := out.At(0, h*mha.HeadDim+d)
+			want := v.At(0, h*mha.HeadDim+d)
+			if math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("head %d dim %d: got %v want %v", h, d, got, want)
+			}
+		}
+	}
+}
+
+func TestCausalMaskRespectsPositionsNotIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 10
+	q, k, v := randQKV(rng, mha, n)
+	pos := SequentialPositions(n)
+	want := Causal(mha, q, k, v, pos, pos)
+
+	// Shuffle the key/value rows along with their positions; output for the
+	// same queries must not change.
+	perm := rng.Perm(n)
+	kShuf := k.GatherRows(perm)
+	vShuf := v.GatherRows(perm)
+	posShuf := make([]int, n)
+	for i, p := range perm {
+		posShuf[i] = pos[p]
+	}
+	got := Causal(mha, q, kShuf, vShuf, pos, posShuf)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("permutation changed attention output by %g", d)
+	}
+}
+
+func TestPartialAbsorbSplitEqualsWhole(t *testing.T) {
+	for _, cfg := range []Config{mha, gqa} {
+		rng := rand.New(rand.NewSource(14))
+		n := 16
+		q, k, v := randQKV(rng, cfg, n)
+		pos := SequentialPositions(n)
+
+		whole := Causal(cfg, q, k, v, pos, pos)
+
+		// Split KV into three unequal chunks, absorb separately into a single
+		// partial.
+		p := NewPartial(cfg, n)
+		bounds := []int{0, 5, 6, 16}
+		for c := 0; c+1 < len(bounds); c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			p.Absorb(q, k.SliceRows(lo, hi), v.SliceRows(lo, hi), pos, pos[lo:hi])
+		}
+		if d := tensor.MaxAbsDiff(p.Result(), whole); d > 1e-4 {
+			t.Fatalf("cfg %+v: split absorb diff %g", cfg, d)
+		}
+	}
+}
+
+func TestPartialMergeEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 12
+	q, k, v := randQKV(rng, gqa, n)
+	pos := SequentialPositions(n)
+	whole := Causal(gqa, q, k, v, pos, pos)
+
+	// Three separate partials over disjoint chunks, merged.
+	merged := NewPartial(gqa, n)
+	for c := 0; c < 3; c++ {
+		lo, hi := c*4, (c+1)*4
+		part := NewPartial(gqa, n)
+		part.Absorb(q, k.SliceRows(lo, hi), v.SliceRows(lo, hi), pos, pos[lo:hi])
+		merged.Merge(part)
+	}
+	if d := tensor.MaxAbsDiff(merged.Result(), whole); d > 1e-4 {
+		t.Fatalf("merged diff %g", d)
+	}
+}
+
+func TestPartialMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic merging incompatible partials")
+		}
+	}()
+	NewPartial(mha, 2).Merge(NewPartial(mha, 3))
+}
+
+func TestPartialCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	q, k, v := randQKV(rng, mha, 4)
+	pos := SequentialPositions(4)
+	p := NewPartial(mha, 4)
+	p.Absorb(q, k, v, pos, pos)
+	before := p.Result()
+	c := p.Clone()
+	c.Absorb(q, k, v, pos, pos) // mutate the clone
+	after := p.Result()
+	if d := tensor.MaxAbsDiff(before, after); d != 0 {
+		t.Fatalf("clone mutation leaked into original: %g", d)
+	}
+}
+
+func TestAbsorbShapePanics(t *testing.T) {
+	p := NewPartial(mha, 2)
+	q := tensor.NewMatrix(2, mha.QDim())
+	k := tensor.NewMatrix(3, mha.KVDim())
+	v := tensor.NewMatrix(2, mha.KVDim()) // mismatched with k
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kv row mismatch")
+		}
+	}()
+	p.Absorb(q, k, v, []int{0, 1}, []int{0, 1, 2})
+}
+
+func TestDecodeStyleSingleQuery(t *testing.T) {
+	// A decode step: one query at position n attending over n+1 keys.
+	rng := rand.New(rand.NewSource(17))
+	n := 9
+	_, k, v := randQKV(rng, mha, n+1)
+	q := tensor.RandMatrix(rng, 1, mha.QDim(), 1)
+	kPos := SequentialPositions(n + 1)
+	got := Causal(mha, q, k, v, []int{n}, kPos)
+	want := naive(mha, q, k, v, []int{n}, kPos)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("decode step diff %g", d)
+	}
+}
+
+// Property: for random configs and random disjoint partitions of the KV
+// set across k partials, merging equals the one-shot computation. This is
+// the exact invariant multi-master decoding relies on.
+func TestPropertyPartitionedAttentionEqualsWhole(t *testing.T) {
+	cfgs := []Config{mha, gqa, mqa}
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cfgs[int(nRaw)%len(cfgs)]
+		n := int(nRaw%12) + 2
+		parts := int(kRaw%4) + 1
+		q, k, v := randQKV(rng, cfg, n)
+		pos := SequentialPositions(n)
+		whole := Causal(cfg, q, k, v, pos, pos)
+
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(parts)
+		}
+		merged := NewPartial(cfg, n)
+		for pi := 0; pi < parts; pi++ {
+			var idx []int
+			for i, a := range assign {
+				if a == pi {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			kp := k.GatherRows(idx)
+			vp := v.GatherRows(idx)
+			posP := make([]int, len(idx))
+			for j, i := range idx {
+				posP[j] = pos[i]
+			}
+			part := NewPartial(cfg, n)
+			part.Absorb(q, kp, vp, pos, posP)
+			merged.Merge(part)
+		}
+		return tensor.MaxAbsDiff(merged.Result(), whole) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialPositions(t *testing.T) {
+	p := SequentialPositions(4)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("pos[%d] = %d", i, v)
+		}
+	}
+	if len(SequentialPositions(0)) != 0 {
+		t.Fatal("empty positions")
+	}
+}

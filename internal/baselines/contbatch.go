@@ -1,0 +1,381 @@
+// Package baselines implements the serving systems LoongServe is compared
+// against in §7: vLLM-style static tensor parallelism with continuous
+// batching, chunked prefill (SplitFuse, standing in for both DeepSpeed-MII
+// and LightLLM w/ SplitFuse), DistServe-style prefill/decode
+// disaggregation with reactive KV migration, and the two no-ESP ablations
+// of Fig 12 (static hybrid SPxTP and TP=2 replication).
+//
+// Every baseline runs on the same simulated cluster and ground-truth cost
+// model as LoongServe; only the scheduling policy differs.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/serving"
+)
+
+// ContBatch is a continuous-batching engine over one *fixed* parallel
+// group: the classic vLLM scheduler. Prefills are scheduled ahead of
+// decodes and never mixed into a decode iteration, so long prefills stall
+// decoding — the interference LoongServe's phase separation removes.
+//
+// With SP=1 and all GPUs in one instance it models vLLM (TP=8). With SP>1
+// it models the "LoongServe w/o ESP (TP=t, SP=s)" static-hybrid ablation:
+// sequence parallelism without elasticity.
+type ContBatch struct {
+	Label     string
+	Instances []kvcache.InstanceID // the fixed group
+	SP        int                  // == len(Instances)
+	TP        int
+	Masters   int  // decode masters (static)
+	Spread    bool // true: KV spread over the group; false: single-instance locality
+
+	// MaxBatch caps the decode batch (vLLM max_num_seqs).
+	MaxBatch int
+	// MaxPrefillTokens caps tokens batched into one prefill iteration
+	// beyond the first request.
+	MaxPrefillTokens int
+
+	env  *serving.Env
+	link cluster.Link
+
+	waiting   []*serving.Request
+	running   []*serving.Request
+	recompute map[kvcache.RequestID]int // prefill length after preemption
+	busy      bool
+
+	// Preemptions counts recompute evictions (instrumentation).
+	Preemptions int
+}
+
+// NewVLLM returns the vLLM baseline: one instance spanning all GPUs,
+// tensor parallelism only.
+func NewVLLM(tp int) *ContBatch {
+	return &ContBatch{
+		Label: fmt.Sprintf("vLLM (TP=%d)", tp),
+		SP:    1, TP: tp, Masters: 1, Spread: false,
+		MaxBatch: 256, MaxPrefillTokens: 16_384,
+	}
+}
+
+// NewStaticHybrid returns the "LoongServe w/o ESP (TP=t, SP=s)" ablation:
+// one fixed sequence-parallel group over the whole cluster, no elasticity.
+func NewStaticHybrid(sp, tp int) *ContBatch {
+	return &ContBatch{
+		Label: fmt.Sprintf("StaticHybrid (TP=%d, SP=%d)", tp, sp),
+		SP:    sp, TP: tp, Masters: sp, Spread: true,
+		MaxBatch: 256, MaxPrefillTokens: 16_384,
+	}
+}
+
+// Name implements serving.Engine.
+func (e *ContBatch) Name() string { return e.Label }
+
+// Init implements serving.Engine. When Instances is empty the engine claims
+// every instance in the cluster.
+func (e *ContBatch) Init(env *serving.Env) error {
+	e.env = env
+	e.recompute = make(map[kvcache.RequestID]int)
+	if len(e.Instances) == 0 {
+		for _, inst := range env.Cluster.Instances {
+			e.Instances = append(e.Instances, inst.ID)
+		}
+	}
+	if len(e.Instances) != e.SP {
+		return fmt.Errorf("%s: %d instances for SP=%d", e.Label, len(e.Instances), e.SP)
+	}
+	for _, id := range e.Instances {
+		inst := env.Cluster.Instance(id)
+		if inst == nil {
+			return fmt.Errorf("%s: unknown instance %d", e.Label, id)
+		}
+		if inst.TP != e.TP {
+			return fmt.Errorf("%s: instance %d has TP=%d, engine wants %d", e.Label, id, inst.TP, e.TP)
+		}
+	}
+	e.link = env.Cluster.GroupLink(e.Instances)
+	if e.MaxBatch == 0 {
+		e.MaxBatch = 256
+	}
+	if e.MaxPrefillTokens == 0 {
+		e.MaxPrefillTokens = 16_384
+	}
+	return nil
+}
+
+// capacity returns the pool capacity reachable under the engine's
+// placement discipline.
+func (e *ContBatch) capacity() int {
+	if e.Spread {
+		total := 0
+		for _, id := range e.Instances {
+			total += e.env.Pool.Pool(id).Capacity()
+		}
+		return total
+	}
+	// Locality: bounded by one instance.
+	return e.env.Pool.Pool(e.Instances[0]).Capacity()
+}
+
+// Arrive implements serving.Engine.
+func (e *ContBatch) Arrive(r *serving.Request) {
+	if r.Tokens()+1 > e.capacity() {
+		panic(&serving.ErrOOM{System: e.Label, Req: r.ID, Tokens: r.Tokens() + 1, Limit: e.capacity()})
+	}
+	e.waiting = append(e.waiting, r)
+	e.step()
+}
+
+// freeTokens returns allocatable tokens under the placement discipline.
+func (e *ContBatch) freeTokens() int {
+	if e.Spread {
+		return e.env.Pool.TotalFree(e.Instances)
+	}
+	return e.env.Pool.Pool(e.Instances[0]).Free()
+}
+
+// alloc reserves n tokens for r under the placement discipline.
+func (e *ContBatch) alloc(r *serving.Request, n int) error {
+	if e.Spread {
+		_, err := e.env.Pool.PlaceSpread(r.ID, n, e.Instances)
+		return err
+	}
+	return e.env.Pool.AllocAt(r.ID, e.Instances[0], n)
+}
+
+// step launches the next iteration if the group is idle: prefills first
+// (vLLM priority), then a decode iteration over everything running.
+func (e *ContBatch) step() {
+	if e.busy {
+		return
+	}
+	if batch, lens := e.admitPrefills(); len(batch) > 0 {
+		e.runPrefill(batch, lens)
+		return
+	}
+	if len(e.running) > 0 {
+		e.runDecode()
+	}
+}
+
+// admitPrefills pops FCFS waiting requests that fit in memory and under the
+// token budget, reserving their prompt KV.
+func (e *ContBatch) admitPrefills() (batch []*serving.Request, lens []int) {
+	total := 0
+	for len(e.waiting) > 0 && len(e.running)+len(batch) < e.MaxBatch {
+		r := e.waiting[0]
+		plen := r.InputLen
+		reserve := plen + 1 // prompt + the token the prefill generates
+		if rl, ok := e.recompute[r.ID]; ok {
+			// Recompute: rebuild the whole context; no fresh token.
+			plen, reserve = rl, rl
+		}
+		if len(batch) > 0 && total+plen > e.MaxPrefillTokens {
+			break
+		}
+		// Watermark (as in vLLM's block allocator): admission requires
+		// headroom beyond the prompt so the running batch can keep growing.
+		// Without it, a preempted request re-admits into a full pool and
+		// the preempt/recompute cycle livelocks at saturation.
+		watermark := e.capacity()/100 + len(e.running)
+		if reserve+watermark > e.freeTokens() {
+			break // FCFS head-of-line: wait for memory
+		}
+		if err := e.alloc(r, reserve); err != nil {
+			break
+		}
+		e.waiting = e.waiting[1:]
+		batch = append(batch, r)
+		lens = append(lens, plen)
+		total += plen
+	}
+	return batch, lens
+}
+
+// runPrefill executes one prefill iteration for batch.
+func (e *ContBatch) runPrefill(batch []*serving.Request, lens []int) {
+	e.busy = true
+	for _, r := range batch {
+		r.Phase = serving.Prefilling
+	}
+	d := e.env.CM.PrefillIterTime(lens, e.SP, e.TP, e.link)
+	e.env.Sim.After(d, func() {
+		now := e.env.Sim.Now()
+		for _, r := range batch {
+			if _, preempted := e.recompute[r.ID]; preempted {
+				delete(e.recompute, r.ID) // resume decoding where it left off
+			} else {
+				r.FirstToken = now
+				r.Generated = 1
+			}
+			r.Phase = serving.Decoding
+			e.running = append(e.running, r)
+		}
+		e.busy = false
+		e.finishAndContinue(batch)
+	})
+}
+
+// runDecode executes one decode iteration for every running request.
+func (e *ContBatch) runDecode() {
+	// Ensure one new KV slot per request, preempting the youngest requests
+	// (vLLM recompute preemption) until the batch fits.
+	for len(e.running) > 0 && e.freeTokens() < len(e.running) {
+		e.preemptYoungest()
+	}
+	if len(e.running) == 0 {
+		e.step()
+		return
+	}
+	batch := append([]*serving.Request(nil), e.running...)
+	bs := len(batch)
+	sumKV := 0
+	for _, r := range batch {
+		sumKV += r.KVNow()
+	}
+	e.busy = true
+	d := e.env.CM.DecodeIterTime(bs, sumKV, e.SP, e.TP, e.Masters, e.link)
+	e.env.Sim.After(d, func() {
+		for _, r := range batch {
+			r.Generated++
+			if err := e.alloc(r, 1); err != nil {
+				// Guaranteed by the pre-check; a failure means accounting
+				// corruption.
+				panic(fmt.Sprintf("%s: decode alloc failed: %v", e.Label, err))
+			}
+		}
+		e.busy = false
+		e.finishAndContinue(batch)
+	})
+}
+
+// preemptYoungest evicts the most recently admitted running request,
+// freeing its KV; it will re-prefill input+generated tokens (recompute).
+func (e *ContBatch) preemptYoungest() {
+	e.Preemptions++
+	victim := e.running[len(e.running)-1]
+	e.running = e.running[:len(e.running)-1]
+	e.env.Pool.ReleaseRequest(victim.ID)
+	e.recompute[victim.ID] = victim.KVNow()
+	victim.Phase = serving.Pending
+	e.waiting = append([]*serving.Request{victim}, e.waiting...)
+}
+
+// finishAndContinue retires completed requests and schedules the next
+// iteration.
+func (e *ContBatch) finishAndContinue(batch []*serving.Request) {
+	now := e.env.Sim.Now()
+	for _, r := range batch {
+		if r.Phase == serving.Decoding && r.Generated >= r.OutputLen {
+			r.Phase = serving.Finished
+			r.Finish = now
+			e.env.Pool.ReleaseRequest(r.ID)
+			e.removeRunning(r)
+			e.env.Complete(r)
+		}
+	}
+	e.step()
+}
+
+func (e *ContBatch) removeRunning(r *serving.Request) {
+	for i, x := range e.running {
+		if x == r {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// Replicated is the "(TP=t) x n" ablation: n independent ContBatch engines,
+// one per instance. Requests longer than one replica's pool are unservable
+// (the reason Fig 12 caps request length at 200K).
+//
+// Routing is round-robin by default — static replication has no global
+// view, which is precisely what the ablation isolates. SmartRouting
+// switches to least-outstanding-tokens dispatch; that variant amounts to
+// adding a token-aware global scheduler in front of the replicas and is
+// studied as a separate ablation (it recovers much of the gap on
+// short-skewed workloads but still cannot serve cross-replica long
+// requests).
+type Replicated struct {
+	TP           int
+	SmartRouting bool
+	replicas     []*ContBatch
+	load         []int // outstanding tokens per replica
+	next         int   // round-robin cursor
+	index        map[kvcache.RequestID]int
+}
+
+// NewReplicated builds the router; replica count is taken from the cluster
+// at Init.
+func NewReplicated(tp int) *Replicated {
+	return &Replicated{TP: tp, index: make(map[kvcache.RequestID]int)}
+}
+
+// Name implements serving.Engine.
+func (e *Replicated) Name() string {
+	return fmt.Sprintf("Replicated (TP=%d) x %d", e.TP, len(e.replicas))
+}
+
+// Init implements serving.Engine.
+func (e *Replicated) Init(env *serving.Env) error {
+	for _, inst := range env.Cluster.Instances {
+		r := &ContBatch{
+			Label: fmt.Sprintf("replica-%d", inst.ID),
+			SP:    1, TP: e.TP, Masters: 1, Spread: false,
+			Instances: []kvcache.InstanceID{inst.ID},
+			MaxBatch:  256, MaxPrefillTokens: 16_384,
+		}
+		// Replicas share the environment: same sim, same pool, same
+		// completion sink.
+		if err := r.Init(env); err != nil {
+			return err
+		}
+		e.replicas = append(e.replicas, r)
+		e.load = append(e.load, 0)
+	}
+	if len(e.replicas) == 0 {
+		return fmt.Errorf("replicated: empty cluster")
+	}
+	// Completion hook: decrement load. Wrap the env completion once.
+	inner := env.Complete
+	env.Complete = func(r *serving.Request) {
+		if idx, ok := e.index[r.ID]; ok {
+			e.load[idx] -= r.Tokens()
+			delete(e.index, r.ID)
+		}
+		inner(r)
+	}
+	return nil
+}
+
+// Arrive routes to the next replica (round-robin), or to the least-loaded
+// one when SmartRouting is set.
+func (e *Replicated) Arrive(r *serving.Request) {
+	best := e.next % len(e.replicas)
+	e.next++
+	if e.SmartRouting {
+		order := make([]int, len(e.replicas))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return e.load[order[a]] < e.load[order[b]] })
+		best = order[0]
+	}
+	e.load[best] += r.Tokens()
+	e.index[r.ID] = best
+	e.replicas[best].Arrive(r)
+}
+
+// sumKVNow returns the total resident KV of a decode batch.
+func sumKVNow(batch []*serving.Request) int {
+	s := 0
+	for _, r := range batch {
+		s += r.KVNow()
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package baselines
+
+import (
+	"fmt"
+
+	"loongserve/internal/kvcache"
+	"loongserve/internal/serving"
+)
+
+// Router dispatches arrivals across independent sub-engines by least
+// outstanding tokens — the per-server deployment used for multi-node
+// baselines in Fig 11 (one vLLM / LightLLM instance per server behind a
+// load balancer).
+type Router struct {
+	Label string
+	Subs  []serving.Engine
+	load  []int
+	index map[kvcache.RequestID]int
+}
+
+// NewRouter wraps sub-engines behind least-loaded routing.
+func NewRouter(label string, subs []serving.Engine) *Router {
+	return &Router{Label: label, Subs: subs, index: make(map[kvcache.RequestID]int)}
+}
+
+// Name implements serving.Engine.
+func (r *Router) Name() string { return r.Label }
+
+// Init implements serving.Engine: all sub-engines share the environment
+// (same simulator, same pool, same completion sink).
+func (r *Router) Init(env *serving.Env) error {
+	if len(r.Subs) == 0 {
+		return fmt.Errorf("%s: no sub-engines", r.Label)
+	}
+	for _, s := range r.Subs {
+		if err := s.Init(env); err != nil {
+			return err
+		}
+	}
+	r.load = make([]int, len(r.Subs))
+	inner := env.Complete
+	env.Complete = func(req *serving.Request) {
+		if idx, ok := r.index[req.ID]; ok {
+			r.load[idx] -= req.Tokens()
+			delete(r.index, req.ID)
+		}
+		inner(req)
+	}
+	return nil
+}
+
+// Arrive routes to the least-loaded sub-engine.
+func (r *Router) Arrive(req *serving.Request) {
+	best := 0
+	for i := 1; i < len(r.Subs); i++ {
+		if r.load[i] < r.load[best] {
+			best = i
+		}
+	}
+	r.load[best] += req.Tokens()
+	r.index[req.ID] = best
+	r.Subs[best].Arrive(req)
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/seqparallel"
+)
+
+func defaultCM() (*costmodel.CostModel, cluster.Link) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	return costmodel.New(m, hw), cluster.Link{Bandwidth: hw.NVLinkBandwidth, Latency: hw.NVLinkLatency}
+}
+
+func repeat(l, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = l
+	}
+	return out
+}
+
+// Fig2 reproduces "Scalability of requests with different lengths in the
+// different phases": normalized iteration time vs tensor-parallel degree,
+// prefill (BS=1, Len in {100, 1K, 10K, 100K}) and decode (BS=16, Len in
+// {10, 50, 100, 500}). Values are normalized to TP=2 per series, matching
+// the figure's normalized y-axis; the 100K/1K anchor ratio is reported.
+func Fig2() *Table {
+	cm, link := defaultCM()
+	t := &Table{
+		Title:  "Figure 2: scalability vs TP degree (normalized iteration time)",
+		Header: []string{"series", "TP=2", "TP=4", "TP=6", "TP=8"},
+	}
+	tps := []int{2, 4, 6, 8}
+	for _, l := range []int{100, 1_000, 10_000, 100_000} {
+		row := []string{fmt.Sprintf("prefill BS=1 Len=%d", l)}
+		base := cm.PrefillIterTime([]int{l}, 1, 2, link).Seconds()
+		for _, tp := range tps {
+			v := cm.PrefillIterTime([]int{l}, 1, tp, link).Seconds()
+			row = append(row, f3(v/base))
+		}
+		t.AddRow(row...)
+	}
+	for _, l := range []int{10, 50, 100, 500} {
+		row := []string{fmt.Sprintf("decode BS=16 Len=%d", l)}
+		base := cm.DecodeIterTime(16, 16*l, 1, 2, 1, link).Seconds()
+		for _, tp := range tps {
+			v := cm.DecodeIterTime(16, 16*l, 1, tp, 1, link).Seconds()
+			row = append(row, f3(v/base))
+		}
+		t.AddRow(row...)
+	}
+	ratio := float64(cm.PrefillIterTime([]int{100_000}, 1, 8, link)) /
+		float64(cm.PrefillIterTime([]int{1_000}, 1, 8, link))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("anchor: 100K-token prefill is %.2fx slower than 1K on 8 GPUs (paper: 105.97x)", ratio),
+		"shape: long prefills scale near-linearly; short prefills and decoding barely benefit from more GPUs")
+	return t
+}
+
+// Fig3 reproduces "Comparison between fixed sequence parallelism and tensor
+// parallelism": normalized iteration time for (SP,TP) in {(1,8),(2,4),
+// (4,2)} over the BS x Len grid of the figure, prefill and decode.
+func Fig3() *Table {
+	cm, link := defaultCM()
+	t := &Table{
+		Title:  "Figure 3: fixed SPxTP vs pure TP (normalized to SP=1,TP=8)",
+		Header: []string{"phase", "BS", "Len", "SP1-TP8", "SP2-TP4", "SP4-TP2"},
+	}
+	grid := []struct{ bs, l int }{
+		{512, 1_000}, {128, 5_000}, {64, 10_000}, {16, 50_000}, {4, 100_000}, {1, 500_000},
+	}
+	for _, g := range grid {
+		lens := repeat(g.l, g.bs)
+		base := cm.PrefillIterTime(lens, 1, 8, link).Seconds()
+		row := []string{"prefill", fmt.Sprint(g.bs), fmt.Sprint(g.l)}
+		for _, st := range []costmodel.Strategy{{SP: 1, TP: 8}, {SP: 2, TP: 4}, {SP: 4, TP: 2}} {
+			v := cm.PrefillIterTime(lens, st.SP, st.TP, link).Seconds()
+			row = append(row, f3(v/base))
+		}
+		t.AddRow(row...)
+	}
+	for _, g := range grid {
+		base := cm.DecodeIterTime(g.bs, g.bs*g.l, 1, 8, 1, link).Seconds()
+		row := []string{"decode", fmt.Sprint(g.bs), fmt.Sprint(g.l)}
+		for _, st := range []costmodel.Strategy{{SP: 1, TP: 8}, {SP: 2, TP: 4}, {SP: 4, TP: 2}} {
+			v := cm.DecodeIterTime(g.bs, g.bs*g.l, st.SP, st.TP, st.SP, link).Seconds()
+			row = append(row, f3(v/base))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"shape: SPxTP hybrids match or beat pure TP, especially on long sequences (ring traffic overlaps attention; all-reduce volume shrinks)")
+	return t
+}
+
+// Fig14 reproduces "Overhead of elastic scaling mechanisms": (a) prefill
+// with vs without proactive scale-down across the BS x Len grid; (b)
+// decoding with 1, 2 and 4 sequence-parallel masters.
+func Fig14() *Table {
+	cm, link := defaultCM()
+	t := &Table{
+		Title:  "Figure 14: elastic scaling overhead",
+		Header: []string{"phase", "BS", "Len", "baseline(s)", "variant(s)", "delta"},
+	}
+	grid := []struct{ bs, l int }{
+		{1024, 10}, {256, 100}, {64, 1_000}, {16, 10_000}, {4, 50_000}, {2, 100_000}, {1, 200_000},
+	}
+	// (a) scale-down overhead on a DoP=4, TP=2 prefill.
+	for _, g := range grid {
+		lens := repeat(g.l, g.bs)
+		base := cm.PrefillIterTime(lens, 4, 2, link)
+		with := base + cm.ScaleDownOverhead()
+		t.AddRow("prefill w/ scale-down", fmt.Sprint(g.bs), fmt.Sprint(g.l),
+			f4(base.Seconds()), f4(with.Seconds()),
+			pct(float64(with-base)/float64(base)))
+	}
+	// (b) multi-master decode on a 4-instance TP=2 group.
+	for _, g := range grid {
+		base := cm.DecodeIterTime(g.bs, g.bs*g.l, 4, 2, 1, link)
+		for _, masters := range []int{2, 4} {
+			v := cm.DecodeIterTime(g.bs, g.bs*g.l, 4, 2, masters, link)
+			t.AddRow(fmt.Sprintf("decode %d masters", masters), fmt.Sprint(g.bs), fmt.Sprint(g.l),
+				f4(base.Seconds()), f4(v.Seconds()),
+				pct(float64(v-base)/float64(base)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape: scale-down adds <2% at every point; multi-master decoding wins ~2x at large batch sizes and costs <10% at small ones")
+	return t
+}
+
+// Fig15 reproduces "Accuracy of LoongServe analytical model": SIB-fitted
+// Eq 7 predictions vs ground-truth iteration times for SP2TP4, SP4TP2 and
+// SP8TP1 across batch sizes 1-8 and inputs up to 512K tokens, evaluated at
+// points between the profiling grid's.
+func Fig15() *Table {
+	cm, link := defaultCM()
+	t := &Table{
+		Title:  "Figure 15: analytical model accuracy (predicted vs ground truth, seconds)",
+		Header: []string{"strategy", "BS", "Len", "predicted", "measured", "deviation"},
+	}
+	prof := &costmodel.Profiler{CM: cm, Link: link, Jitter: 0.01, Seed: 1}
+	sib := costmodel.NewSIB()
+	maxDev := 0.0
+	for _, st := range []costmodel.Strategy{{SP: 2, TP: 4}, {SP: 4, TP: 2}, {SP: 8, TP: 1}} {
+		prof.ProfilePrefill(sib, st, costmodel.DefaultPrefillGrid(512_000))
+		coeffs, err := sib.PrefillCoeffs(st)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("fit failed for %s: %v", st.Key(), err))
+			continue
+		}
+		for _, bs := range []int{1, 2, 4, 8} {
+			for _, l := range []int{3_000, 30_000, 80_000, 150_000, 400_000} {
+				if bs*l > 512_000 {
+					continue
+				}
+				lens := repeat(l, bs)
+				pred := coeffs.Predict(lens).Seconds()
+				real := cm.PrefillIterTime(lens, st.SP, st.TP, link).Seconds()
+				dev := (pred - real) / real
+				if d := abs(dev); d > maxDev {
+					maxDev = d
+				}
+				t.AddRow(st.Key(), fmt.Sprint(bs), fmt.Sprint(l), f4(pred), f4(real), pct(dev))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("max |deviation| = %.1f%% (paper: <10%%)", maxDev*100))
+	return t
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AblationProactiveVsReactive quantifies what proactive migration saves: for
+// each prompt length, the reactive baseline must move the whole KV cache
+// after prefill while the proactive mechanism rides the existing ring
+// traffic. Rows report the one-off migration cost and how many decode
+// iterations it is worth.
+func AblationProactiveVsReactive() *Table {
+	cm, link := defaultCM()
+	t := &Table{
+		Title:  "Ablation: proactive vs reactive KV migration at scale-down",
+		Header: []string{"prompt tokens", "reactive migration", "proactive overhead", "decode iters lost (reactive)"},
+	}
+	for _, l := range []int{10_000, 50_000, 100_000, 200_000, 500_000, 1_000_000} {
+		mig := cm.ReactiveMigrationTime(l, link)
+		pro := cm.ScaleDownOverhead()
+		dec := cm.DecodeIterTime(8, 8*l, 2, 2, 1, link)
+		t.AddRow(fmt.Sprint(l), fmtDur(mig), fmtDur(pro), f3(float64(mig)/float64(dec)))
+	}
+	t.Notes = append(t.Notes,
+		"§4.1: reactive migration of a long request costs seconds — many decode iterations — while proactive migration is bookkeeping only")
+	return t
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// AblationPartitioning compares the striped token permutation (§2.3,
+// Striped Attention) with contiguous ring-attention chunks: identical
+// outputs, different causal-work balance. The prefill finishes with the
+// slowest instance, so the imbalance factor is the layout's slowdown.
+func AblationPartitioning() *Table {
+	t := &Table{
+		Title:  "Ablation: striped vs contiguous sequence partitioning (causal work imbalance)",
+		Header: []string{"tokens", "DoP", "striped max/mean", "contiguous max/mean", "contiguous slowdown"},
+	}
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		for _, sp := range []int{2, 4, 8} {
+			striped := seqparallel.WorkImbalance(seqparallel.StripedAssign(n, sp))
+			contig := seqparallel.WorkImbalance(seqparallel.ContiguousAssign(n, sp))
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(sp), f4(striped), f4(contig), f3(contig/striped))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"striped permutation keeps every instance within ~1x of mean causal work; contiguous chunks slow the prefill by (2·DoP-1)/DoP",
+		"this is why §2.3 extends Striped Attention rather than Ring Attention to serving")
+	return t
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"loongserve/internal/baselines"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+// Engine constructors live here so bench.go stays declarative.
+
+func baselinesVLLM() serving.Engine { return baselines.NewVLLM(8) }
+
+func baselinesReplicatedVLLM() serving.Engine { return baselines.NewReplicated(8) }
+
+func baselinesDistServe() serving.Engine { return baselines.NewDistServe(4) }
+
+// DeepSpeedMIISys models DeepSpeed-MII's Dynamic SplitFuse: a fixed chunk
+// size on TP=8. The paper could only evaluate it on ShareGPT (it crashed
+// beyond 32K-token requests), and MaxLen mirrors that limitation: traces
+// containing longer requests report OOM.
+func DeepSpeedMIISys() System {
+	return System{
+		Name:  "DeepSpeed-MII",
+		Nodes: 1, GPUsPerNode: 8, TP: 8,
+		NewEngine: func() serving.Engine {
+			e := baselines.NewSplitFuse(8, 1024)
+			e.Label = "DeepSpeed-MII (Dynamic SplitFuse)"
+			e.MaxLen = 32_768
+			return e
+		},
+	}
+}
+
+// LightLLMSys models LightLLM w/ SplitFuse with the SARATHI ideal
+// P:D-ratio chunk computed from the dataset's mean lengths (§7.1), on one
+// or more nodes (multi-node deploys one engine per node behind a router,
+// as the paper does).
+func LightLLMSys(nodes int, ds workload.Dataset) System {
+	st := datasetStats(ds)
+	return System{
+		Name:  "LightLLM-SplitFuse",
+		Nodes: nodes, GPUsPerNode: 8, TP: 8,
+		NewEngine: func() serving.Engine {
+			mk := func(i int) *baselines.SplitFuse {
+				e := baselines.NewSplitFuse(8, 0)
+				e.SetChunkFromPD(st.MeanInput, st.MeanOutput)
+				e.InstanceIndex = i
+				return e
+			}
+			if nodes == 1 {
+				e := mk(-1)
+				return e
+			}
+			subs := make([]serving.Engine, nodes)
+			for i := range subs {
+				subs[i] = mk(i)
+			}
+			return baselines.NewRouter("LightLLM-SplitFuse x2", subs)
+		},
+	}
+}
+
+// StaticHybridSys is the "LoongServe w/o ESP (TP=2, SP=4)" ablation.
+func StaticHybridSys() System {
+	return System{
+		Name:  "w/o ESP (TP=2,SP=4)",
+		Nodes: 1, GPUsPerNode: 8, TP: 2,
+		NewEngine: func() serving.Engine { return baselines.NewStaticHybrid(4, 2) },
+	}
+}
+
+// ReplicatedSys is the "LoongServe w/o ESP (TP=2) x 4" ablation.
+func ReplicatedSys() System {
+	return System{
+		Name:  "w/o ESP (TP=2)x4",
+		Nodes: 1, GPUsPerNode: 8, TP: 2,
+		NewEngine: func() serving.Engine { return baselines.NewReplicated(2) },
+	}
+}
+
+// TP8Sys is the "LoongServe w/o ESP (TP=8)" ablation: identical policy to
+// vLLM under a different label.
+func TP8Sys() System {
+	s := VLLMSys(1)
+	s.Name = "w/o ESP (TP=8)"
+	return s
+}
+
+// datasetStats samples a dataset to estimate its mean lengths (for
+// P:D-ratio chunk selection), deterministically.
+func datasetStats(ds workload.Dataset) workload.Stats {
+	trace := workload.PoissonTrace(ds, 1, 2000, 99)
+	entries := make([]workload.Entry, len(trace))
+	for i, tr := range trace {
+		entries[i] = tr.Entry
+	}
+	return workload.Summarize(entries)
+}

@@ -1,0 +1,478 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"loongserve/internal/kvcache"
+)
+
+// Wire format. Every message is
+//
+//	uvarint(type) || payload
+//
+// Payload fields are varints (zig-zag for signed values), ordered as in the
+// struct definitions. Sequences of instance or request IDs are
+// delta-encoded: ring orderings and FCFS batches are near-sorted, so
+// consecutive deltas are small and fit in one varint byte. Retention plans
+// choose between raw and run-length encoding per message, whichever is
+// smaller: uniform striped plans alternate positions (raw wins), while
+// scale-down plans hold long per-instance runs (RLE wins, often by >10x).
+//
+// The codec never allocates intermediate reflection state (contrast
+// encoding/gob, which writes type descriptors per stream); this is the
+// "carefully designed RPC parameters" behaviour from §6.
+
+// retention plan encodings (first payload byte of the plan section).
+const (
+	planRaw uint8 = iota
+	planRLE
+)
+
+var (
+	errShort = fmt.Errorf("controlplane: truncated message")
+)
+
+// ErrUnknownType reports an unrecognized wire discriminator.
+type ErrUnknownType struct{ T uint64 }
+
+func (e *ErrUnknownType) Error() string {
+	return fmt.Sprintf("controlplane: unknown message type %d", e.T)
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func consumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return v, b[n:], nil
+}
+
+func consumeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return v, b[n:], nil
+}
+
+// appendDeltaIDs writes len(ids) then zig-zag deltas between consecutive
+// values.
+func appendDeltaIDs(b []byte, ids []kvcache.InstanceID) []byte {
+	b = appendUvarint(b, uint64(len(ids)))
+	prev := int64(0)
+	for _, id := range ids {
+		b = appendVarint(b, int64(id)-prev)
+		prev = int64(id)
+	}
+	return b
+}
+
+func consumeDeltaIDs(b []byte) ([]kvcache.InstanceID, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b))+1 { // each ID needs >=1 byte; +1 tolerates n==0
+		return nil, nil, errShort
+	}
+	ids := make([]kvcache.InstanceID, n)
+	prev := int64(0)
+	for i := range ids {
+		var d int64
+		d, b, err = consumeVarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev += d
+		ids[i] = kvcache.InstanceID(prev)
+	}
+	return ids, b, nil
+}
+
+// appendDeltaReqIDs is appendDeltaIDs for request IDs.
+func appendDeltaReqIDs(b []byte, ids []kvcache.RequestID) []byte {
+	b = appendUvarint(b, uint64(len(ids)))
+	prev := int64(0)
+	for _, id := range ids {
+		b = appendVarint(b, int64(id)-prev)
+		prev = int64(id)
+	}
+	return b
+}
+
+func consumeDeltaReqIDs(b []byte) ([]kvcache.RequestID, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b))+1 {
+		return nil, nil, errShort
+	}
+	ids := make([]kvcache.RequestID, n)
+	prev := int64(0)
+	for i := range ids {
+		var d int64
+		d, b, err = consumeVarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev += d
+		ids[i] = kvcache.RequestID(prev)
+	}
+	return ids, b, nil
+}
+
+func appendSpecs(b []byte, specs []RequestSpec) []byte {
+	b = appendUvarint(b, uint64(len(specs)))
+	prevID := int64(0)
+	for _, s := range specs {
+		b = appendVarint(b, int64(s.ID)-prevID)
+		prevID = int64(s.ID)
+		b = appendUvarint(b, uint64(s.Len))
+	}
+	return b
+}
+
+func consumeSpecs(b []byte) ([]RequestSpec, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b))/2+1 { // each spec needs >=2 bytes
+		return nil, nil, errShort
+	}
+	specs := make([]RequestSpec, n)
+	prevID := int64(0)
+	for i := range specs {
+		var d int64
+		d, b, err = consumeVarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prevID += d
+		specs[i].ID = kvcache.RequestID(prevID)
+		var l uint64
+		l, b, err = consumeUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if l > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("controlplane: request length %d overflows", l)
+		}
+		specs[i].Len = int(l)
+	}
+	return specs, b, nil
+}
+
+// appendPlan writes a []int32 position plan, choosing raw vs RLE.
+func appendPlan(b []byte, plan []int32) []byte {
+	b = appendUvarint(b, uint64(len(plan)))
+	if len(plan) == 0 {
+		return b
+	}
+	// Count runs to decide the encoding without building both.
+	runs := 1
+	for i := 1; i < len(plan); i++ {
+		if plan[i] != plan[i-1] {
+			runs++
+		}
+	}
+	// RLE spends ~2 varints per run; raw spends 1 per element.
+	if runs*2 < len(plan) {
+		b = append(b, planRLE)
+		b = appendUvarint(b, uint64(runs))
+		start := 0
+		for i := 1; i <= len(plan); i++ {
+			if i == len(plan) || plan[i] != plan[start] {
+				b = appendUvarint(b, uint64(plan[start]))
+				b = appendUvarint(b, uint64(i-start))
+				start = i
+			}
+		}
+		return b
+	}
+	b = append(b, planRaw)
+	for _, v := range plan {
+		b = appendUvarint(b, uint64(v))
+	}
+	return b
+}
+
+func consumePlan(b []byte) ([]int32, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	if n > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("controlplane: plan length %d overflows", n)
+	}
+	if len(b) == 0 {
+		return nil, nil, errShort
+	}
+	mode := b[0]
+	b = b[1:]
+	plan := make([]int32, 0, n)
+	switch mode {
+	case planRaw:
+		if n > uint64(len(b)) {
+			return nil, nil, errShort
+		}
+		for i := uint64(0); i < n; i++ {
+			var v uint64
+			v, b, err = consumeUvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("controlplane: plan value %d overflows", v)
+			}
+			plan = append(plan, int32(v))
+		}
+	case planRLE:
+		var runs uint64
+		runs, b, err = consumeUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if runs > uint64(len(b))/2+1 {
+			return nil, nil, errShort
+		}
+		for i := uint64(0); i < runs; i++ {
+			var v, l uint64
+			v, b, err = consumeUvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			l, b, err = consumeUvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v > math.MaxInt32 || l == 0 || uint64(len(plan))+l > n {
+				return nil, nil, fmt.Errorf("controlplane: malformed RLE run (val=%d len=%d have=%d want=%d)",
+					v, l, len(plan), n)
+			}
+			for j := uint64(0); j < l; j++ {
+				plan = append(plan, int32(v))
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("controlplane: unknown plan encoding %d", mode)
+	}
+	if uint64(len(plan)) != n {
+		return nil, nil, fmt.Errorf("controlplane: plan decoded %d of %d values", len(plan), n)
+	}
+	return plan, b, nil
+}
+
+func appendEpoched(b []byte, e Epoched) []byte {
+	b = appendUvarint(b, uint64(e.ID))
+	b = appendUvarint(b, uint64(e.Epoch))
+	return b
+}
+
+func consumeEpoched(b []byte) (Epoched, []byte, error) {
+	id, b, err := consumeUvarint(b)
+	if err != nil {
+		return Epoched{}, nil, err
+	}
+	ep, b, err := consumeUvarint(b)
+	if err != nil {
+		return Epoched{}, nil, err
+	}
+	if id > math.MaxUint32 || ep > math.MaxUint32 {
+		return Epoched{}, nil, fmt.Errorf("controlplane: group reference (%d,%d) overflows", id, ep)
+	}
+	return Epoched{ID: GroupID(id), Epoch: Epoch(ep)}, b, nil
+}
+
+// Encode serializes msg into the wire format, appending to dst (which may
+// be nil).
+func Encode(dst []byte, msg Message) ([]byte, error) {
+	b := appendUvarint(dst, uint64(msg.Type()))
+	switch m := msg.(type) {
+	case *GroupConfig:
+		b = appendEpoched(b, m.Group)
+		b = appendUvarint(b, m.Seq)
+		b = appendDeltaIDs(b, m.Instances)
+		b = appendUvarint(b, uint64(m.TP))
+	case *PrefillCommand:
+		b = appendEpoched(b, m.Group)
+		b = appendUvarint(b, m.Seq)
+		b = appendSpecs(b, m.Requests)
+		b = appendPlan(b, m.Retention)
+	case *DecodeCommand:
+		b = appendEpoched(b, m.Group)
+		b = appendUvarint(b, m.Seq)
+		b = appendSpecs(b, m.Requests)
+		b = appendPlan(b, m.Masters)
+	case *ScalePlan:
+		b = appendEpoched(b, m.Group)
+		b = appendUvarint(b, m.Seq)
+		b = append(b, uint8(m.Kind))
+		b = appendUvarint(b, uint64(m.NewEpoch))
+		b = appendDeltaIDs(b, m.Members)
+	case *ReleaseCommand:
+		b = appendEpoched(b, m.Group)
+		b = appendUvarint(b, m.Seq)
+		b = appendDeltaReqIDs(b, m.Requests)
+	case *Ack:
+		b = appendUvarint(b, m.Seq)
+		b = appendVarint(b, int64(m.Instance))
+	case *Nak:
+		b = appendUvarint(b, m.Seq)
+		b = appendVarint(b, int64(m.Instance))
+		b = append(b, uint8(m.Code))
+		b = appendEpoched(b, m.Group)
+	default:
+		return nil, fmt.Errorf("controlplane: cannot encode %T", msg)
+	}
+	return b, nil
+}
+
+// Decode parses one message from b. The whole slice must be consumed;
+// trailing bytes are a framing error.
+func Decode(b []byte) (Message, error) {
+	t, b, err := consumeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	var msg Message
+	switch MsgType(t) {
+	case MsgGroupConfig:
+		m := &GroupConfig{}
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Instances, b, err = consumeDeltaIDs(b); err != nil {
+			return nil, err
+		}
+		var tp uint64
+		if tp, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if tp > math.MaxInt32 {
+			return nil, fmt.Errorf("controlplane: TP %d overflows", tp)
+		}
+		m.TP = int(tp)
+		msg = m
+	case MsgPrefill:
+		m := &PrefillCommand{}
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Requests, b, err = consumeSpecs(b); err != nil {
+			return nil, err
+		}
+		if m.Retention, b, err = consumePlan(b); err != nil {
+			return nil, err
+		}
+		msg = m
+	case MsgDecode:
+		m := &DecodeCommand{}
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Requests, b, err = consumeSpecs(b); err != nil {
+			return nil, err
+		}
+		if m.Masters, b, err = consumePlan(b); err != nil {
+			return nil, err
+		}
+		msg = m
+	case MsgScale:
+		m := &ScalePlan{}
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			return nil, errShort
+		}
+		m.Kind = ScaleKind(b[0])
+		b = b[1:]
+		var ep uint64
+		if ep, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if ep > math.MaxUint32 {
+			return nil, fmt.Errorf("controlplane: epoch %d overflows", ep)
+		}
+		m.NewEpoch = Epoch(ep)
+		if m.Members, b, err = consumeDeltaIDs(b); err != nil {
+			return nil, err
+		}
+		msg = m
+	case MsgRelease:
+		m := &ReleaseCommand{}
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Requests, b, err = consumeDeltaReqIDs(b); err != nil {
+			return nil, err
+		}
+		msg = m
+	case MsgAck:
+		m := &Ack{}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		var id int64
+		if id, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		m.Instance = kvcache.InstanceID(id)
+		msg = m
+	case MsgNak:
+		m := &Nak{}
+		if m.Seq, b, err = consumeUvarint(b); err != nil {
+			return nil, err
+		}
+		var id int64
+		if id, b, err = consumeVarint(b); err != nil {
+			return nil, err
+		}
+		m.Instance = kvcache.InstanceID(id)
+		if len(b) == 0 {
+			return nil, errShort
+		}
+		m.Code = NakCode(b[0])
+		b = b[1:]
+		if m.Group, b, err = consumeEpoched(b); err != nil {
+			return nil, err
+		}
+		msg = m
+	default:
+		return nil, &ErrUnknownType{T: t}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("controlplane: %d trailing bytes after %v", len(b), msg.Type())
+	}
+	return msg, nil
+}

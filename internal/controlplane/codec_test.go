@@ -1,0 +1,448 @@
+package controlplane
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"loongserve/internal/kvcache"
+)
+
+func mustEncode(t *testing.T, msg Message) []byte {
+	t.Helper()
+	b, err := Encode(nil, msg)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", msg.Type(), err)
+	}
+	return b
+}
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b := mustEncode(t, msg)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", msg.Type(), err)
+	}
+	return got
+}
+
+func TestCodecRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&GroupConfig{
+			Group:     Epoched{ID: 7, Epoch: 3},
+			Seq:       42,
+			Instances: []kvcache.InstanceID{2, 0, 5, 1},
+			TP:        2,
+		},
+		&PrefillCommand{
+			Group:     Epoched{ID: 7, Epoch: 3},
+			Seq:       43,
+			Requests:  []RequestSpec{{ID: 100, Len: 4}, {ID: 101, Len: 3}},
+			Retention: []int32{0, 1, 0, 1, 1, 1, 0},
+		},
+		&PrefillCommand{ // empty plan = uniform striping
+			Group:    Epoched{ID: 1, Epoch: 1},
+			Seq:      44,
+			Requests: []RequestSpec{{ID: 9, Len: 1024}},
+		},
+		&DecodeCommand{
+			Group:    Epoched{ID: 7, Epoch: 4},
+			Seq:      45,
+			Requests: []RequestSpec{{ID: 100, Len: 11}, {ID: 101, Len: 7}, {ID: 300, Len: 9}},
+			Masters:  []int32{0, 1, 0},
+		},
+		&ScalePlan{
+			Group:    Epoched{ID: 7, Epoch: 4},
+			Seq:      46,
+			Kind:     ScaleUp,
+			NewEpoch: 5,
+			Members:  []kvcache.InstanceID{0, 1, 2, 3, 6},
+		},
+		&ScalePlan{
+			Group:    Epoched{ID: 7, Epoch: 5},
+			Seq:      47,
+			Kind:     ScaleDown,
+			NewEpoch: 6,
+			Members:  []kvcache.InstanceID{1},
+		},
+		&ReleaseCommand{
+			Group:    Epoched{ID: 7, Epoch: 6},
+			Seq:      48,
+			Requests: []kvcache.RequestID{100, 101, 300},
+		},
+		&Ack{Seq: 48, Instance: 3},
+		&Nak{Seq: 48, Instance: 3, Code: NakStaleEpoch, Group: Epoched{ID: 7, Epoch: 2}},
+	}
+	for _, want := range msgs {
+		got := roundTrip(t, want)
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", want.Type(), got, want)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares semantics, not
+// allocation details.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *PrefillCommand:
+		c := *v
+		if len(c.Retention) == 0 {
+			c.Retention = nil
+		}
+		if len(c.Requests) == 0 {
+			c.Requests = nil
+		}
+		return &c
+	case *DecodeCommand:
+		c := *v
+		if len(c.Masters) == 0 {
+			c.Masters = nil
+		}
+		if len(c.Requests) == 0 {
+			c.Requests = nil
+		}
+		return &c
+	case *ReleaseCommand:
+		c := *v
+		if len(c.Requests) == 0 {
+			c.Requests = nil
+		}
+		return &c
+	}
+	return m
+}
+
+func TestCodecEncodeAppends(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	b, err := Encode(prefix, &Ack{Seq: 1, Instance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xde || b[1] != 0xad {
+		t.Fatalf("Encode clobbered prefix: %x", b[:2])
+	}
+	if _, err := Decode(b[2:]); err != nil {
+		t.Fatalf("Decode after prefix: %v", err)
+	}
+}
+
+func TestCodecQuickGroupConfig(t *testing.T) {
+	f := func(id uint32, epoch uint32, seq uint64, rawIDs []int16, tp uint8) bool {
+		if len(rawIDs) == 0 || tp == 0 {
+			return true
+		}
+		seen := map[kvcache.InstanceID]bool{}
+		var ids []kvcache.InstanceID
+		for _, r := range rawIDs {
+			v := kvcache.InstanceID(r)
+			if v < 0 {
+				v = -v
+			}
+			if !seen[v] {
+				seen[v] = true
+				ids = append(ids, v)
+			}
+		}
+		msg := &GroupConfig{
+			Group:     Epoched{ID: GroupID(id), Epoch: Epoch(epoch)},
+			Seq:       seq,
+			Instances: ids,
+			TP:        int(tp),
+		}
+		b, err := Encode(nil, msg)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecQuickPrefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(6)
+		reqs := make([]RequestSpec, n)
+		total := 0
+		id := int64(rng.Intn(1000))
+		for i := range reqs {
+			id += int64(1 + rng.Intn(50))
+			reqs[i] = RequestSpec{ID: kvcache.RequestID(id), Len: 1 + rng.Intn(40)}
+			total += reqs[i].Len
+		}
+		var plan []int32
+		if rng.Intn(3) > 0 {
+			plan = make([]int32, total)
+			sp := 1 + rng.Intn(8)
+			for t := range plan {
+				switch rng.Intn(3) {
+				case 0:
+					plan[t] = int32(t % sp) // striped
+				case 1:
+					plan[t] = int32(sp - 1) // constant run
+				default:
+					plan[t] = int32(rng.Intn(sp))
+				}
+			}
+		}
+		msg := &PrefillCommand{
+			Group:     Epoched{ID: GroupID(rng.Uint32()), Epoch: Epoch(rng.Uint32())},
+			Seq:       rng.Uint64(),
+			Requests:  reqs,
+			Retention: plan,
+		}
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(normalize(got), normalize(Message(msg))) {
+			t.Fatalf("iter %d: got %+v want %+v", iter, got, msg)
+		}
+	}
+}
+
+func TestCodecTruncationNeverPanics(t *testing.T) {
+	full := mustEncode(t, &PrefillCommand{
+		Group:     Epoched{ID: 3, Epoch: 9},
+		Seq:       77,
+		Requests:  []RequestSpec{{ID: 5, Len: 6}, {ID: 8, Len: 2}},
+		Retention: []int32{0, 0, 0, 1, 1, 1, 2, 2},
+	})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d-byte prefix succeeded", cut, len(full))
+		}
+	}
+	// Trailing garbage must also fail.
+	if _, err := Decode(append(append([]byte(nil), full...), 0x01)); err == nil {
+		t.Error("Decode with trailing byte succeeded")
+	}
+}
+
+func TestCodecUnknownType(t *testing.T) {
+	if _, err := Decode([]byte{0x63}); err == nil {
+		t.Fatal("unknown type accepted")
+	} else if _, ok := err.(*ErrUnknownType); !ok {
+		t.Fatalf("want ErrUnknownType, got %T: %v", err, err)
+	}
+}
+
+func TestCodecMalformedRLE(t *testing.T) {
+	// Hand-build a prefill whose RLE run overruns the declared length.
+	b := []byte{byte(MsgPrefill)}
+	b = appendEpoched(b, Epoched{ID: 1, Epoch: 1})
+	b = appendUvarint(b, 1)                            // seq
+	b = appendSpecs(b, []RequestSpec{{ID: 1, Len: 4}}) // 4 tokens
+	b = appendUvarint(b, 4)                            // plan length 4
+	b = append(b, planRLE)
+	b = appendUvarint(b, 1) // one run
+	b = appendUvarint(b, 0) // value 0
+	b = appendUvarint(b, 9) // run length 9 > 4
+	if _, err := Decode(b); err == nil {
+		t.Fatal("overrunning RLE run accepted")
+	}
+	// Zero-length run.
+	b = b[:len(b)-1]
+	b = appendUvarint(b, 0)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("zero-length RLE run accepted")
+	}
+}
+
+func TestCodecRetentionRLEWins(t *testing.T) {
+	// A scale-down plan (contiguous runs, Fig 7) must encode far smaller
+	// than one varint per token.
+	const tokens = 100_000
+	plan := make([]int32, tokens)
+	for t := range plan {
+		if t >= tokens/2 {
+			plan[t] = 1
+		}
+	}
+	msg := &PrefillCommand{
+		Group:     Epoched{ID: 1, Epoch: 1},
+		Seq:       1,
+		Requests:  []RequestSpec{{ID: 1, Len: tokens}},
+		Retention: plan,
+	}
+	b := mustEncode(t, msg)
+	if len(b) > 64 {
+		t.Errorf("contiguous 100K-token plan encoded to %d bytes, want <=64 (RLE)", len(b))
+	}
+	got := roundTrip(t, msg).(*PrefillCommand)
+	if !reflect.DeepEqual(got.Retention, plan) {
+		t.Error("RLE plan did not round trip")
+	}
+}
+
+func TestCodecStripedPlanStaysRaw(t *testing.T) {
+	// A striped plan alternates every token; RLE would double the size,
+	// so the codec must pick raw — and still beat fixed 4-byte int32s.
+	const tokens = 4096
+	plan := make([]int32, tokens)
+	for t := range plan {
+		plan[t] = int32(t % 4)
+	}
+	msg := &PrefillCommand{
+		Group:     Epoched{ID: 1, Epoch: 1},
+		Seq:       1,
+		Requests:  []RequestSpec{{ID: 1, Len: tokens}},
+		Retention: plan,
+	}
+	b := mustEncode(t, msg)
+	if len(b) >= tokens*4 {
+		t.Errorf("striped plan encoded to %d bytes, want < %d (4 bytes/token)", len(b), tokens*4)
+	}
+	got := roundTrip(t, msg).(*PrefillCommand)
+	if !reflect.DeepEqual(got.Retention, plan) {
+		t.Error("raw plan did not round trip")
+	}
+}
+
+func TestCodecDeltaIDsCompact(t *testing.T) {
+	// 64 sequential instance IDs should cost ~1 byte each after the
+	// count, not a full varint of the absolute value.
+	ids := make([]kvcache.InstanceID, 64)
+	for i := range ids {
+		ids[i] = kvcache.InstanceID(1000 + i)
+	}
+	cfg := &GroupConfig{Group: Epoched{ID: 1, Epoch: 1}, Instances: ids, TP: 1}
+	b := mustEncode(t, cfg)
+	if len(b) > 64+2*8 {
+		t.Errorf("64 sequential IDs encoded to %d bytes", len(b))
+	}
+}
+
+func TestValidateGroupConfig(t *testing.T) {
+	base := func() *GroupConfig {
+		return &GroupConfig{
+			Group:     Epoched{ID: 1, Epoch: 1},
+			Instances: []kvcache.InstanceID{0, 1},
+			TP:        2,
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	c := base()
+	c.Instances = nil
+	if c.Validate() == nil {
+		t.Error("empty membership accepted")
+	}
+	c = base()
+	c.TP = 0
+	if c.Validate() == nil {
+		t.Error("TP=0 accepted")
+	}
+	c = base()
+	c.Instances = []kvcache.InstanceID{0, 1, 0}
+	if c.Validate() == nil {
+		t.Error("duplicate member accepted")
+	}
+}
+
+func TestValidatePrefill(t *testing.T) {
+	ok := &PrefillCommand{
+		Requests:  []RequestSpec{{ID: 1, Len: 3}},
+		Retention: []int32{0, 1, 1},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid prefill rejected: %v", err)
+	}
+	bad := &PrefillCommand{Requests: []RequestSpec{{ID: 1, Len: 3}}, Retention: []int32{0, 1}}
+	if bad.Validate(2) == nil {
+		t.Error("short retention plan accepted")
+	}
+	bad = &PrefillCommand{Requests: []RequestSpec{{ID: 1, Len: 3}}, Retention: []int32{0, 1, 2}}
+	if bad.Validate(2) == nil {
+		t.Error("out-of-group retention accepted")
+	}
+	bad = &PrefillCommand{Requests: []RequestSpec{{ID: 1, Len: 0}}}
+	if bad.Validate(2) == nil {
+		t.Error("zero-length request accepted")
+	}
+	bad = &PrefillCommand{}
+	if bad.Validate(2) == nil {
+		t.Error("empty prefill accepted")
+	}
+}
+
+func TestValidateDecode(t *testing.T) {
+	ok := &DecodeCommand{
+		Requests: []RequestSpec{{ID: 1, Len: 5}, {ID: 2, Len: 9}},
+		Masters:  []int32{0, 1},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid decode rejected: %v", err)
+	}
+	bad := &DecodeCommand{Requests: []RequestSpec{{ID: 1, Len: 5}}, Masters: []int32{0, 1}}
+	if bad.Validate(2) == nil {
+		t.Error("master/request length mismatch accepted")
+	}
+	bad = &DecodeCommand{Requests: []RequestSpec{{ID: 1, Len: 5}}, Masters: []int32{4}}
+	if bad.Validate(2) == nil {
+		t.Error("out-of-group master accepted")
+	}
+}
+
+func TestValidateScalePlan(t *testing.T) {
+	ok := &ScalePlan{
+		Group:    Epoched{ID: 1, Epoch: 3},
+		Kind:     ScaleDown,
+		NewEpoch: 4,
+		Members:  []kvcache.InstanceID{0},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := *ok
+	bad.NewEpoch = 3
+	if bad.Validate() == nil {
+		t.Error("non-advancing epoch accepted")
+	}
+	bad = *ok
+	bad.Members = nil
+	if bad.Validate() == nil {
+		t.Error("empty membership accepted")
+	}
+	bad = *ok
+	bad.Kind = ScaleKind(99)
+	if bad.Validate() == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, tc := range []struct {
+		v    fmt.Stringer
+		want string
+	}{
+		{MsgPrefill, "prefill"},
+		{MsgDecode, "decode"},
+		{MsgScale, "scale"},
+		{MsgGroupConfig, "group-config"},
+		{MsgRelease, "release"},
+		{MsgAck, "ack"},
+		{MsgNak, "nak"},
+		{NakUnknownGroup, "unknown-group"},
+		{NakStaleEpoch, "stale-epoch"},
+		{NakBadPayload, "bad-payload"},
+		{ScaleDown, "scale-down"},
+		{ScaleUp, "scale-up"},
+		{Epoched{ID: 4, Epoch: 9}, "g4@9"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if MsgType(200).String() == "" || NakCode(200).String() == "" || ScaleKind(200).String() == "" {
+		t.Error("unknown enum values must still print")
+	}
+}

@@ -1,0 +1,196 @@
+package controlplane
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a reliable, ordered, message-oriented duplex channel between the
+// global manager and one elastic instance (rank 0). The paper runs this
+// over Ray RPC; tests and single-process deployments use Pipe, while
+// multi-process deployments use the TCP framing below.
+type Conn interface {
+	// Send transmits one encoded message.
+	Send(msg Message) error
+	// Recv blocks for the next message. It returns io.EOF after Close.
+	Recv() (Message, error)
+	// Close releases the channel; pending Recvs unblock with io.EOF.
+	Close() error
+}
+
+// maxFrame bounds a single message on the TCP transport. Even a 1M-token
+// retention plan encodes in well under 8 MiB.
+const maxFrame = 16 << 20
+
+// --- in-process pipe -------------------------------------------------------
+
+type pipeConn struct {
+	out chan<- []byte
+	in  <-chan []byte
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	peer   *pipeConn
+}
+
+// Pipe returns a connected pair of in-process Conns. Messages are encoded
+// through the wire codec even in-process so tests exercise exactly the
+// bytes the TCP transport would carry.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &pipeConn{out: ab, in: ba, done: make(chan struct{})}
+	b := &pipeConn{out: ba, in: ab, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *pipeConn) Send(msg Message) error {
+	buf, err := Encode(nil, msg)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("controlplane: send on closed pipe")
+	}
+	select {
+	case c.out <- buf:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("controlplane: send on closed pipe")
+	case <-c.peer.done:
+		return fmt.Errorf("controlplane: peer closed")
+	}
+}
+
+func (c *pipeConn) Recv() (Message, error) {
+	select {
+	case buf := <-c.in:
+		return Decode(buf)
+	case <-c.done:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case buf := <-c.in:
+			return Decode(buf)
+		default:
+			return nil, io.EOF
+		}
+	case <-c.peer.done:
+		select {
+		case buf := <-c.in:
+			return Decode(buf)
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+// --- framed TCP ------------------------------------------------------------
+
+type netConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	buf []byte
+}
+
+// NewNetConn wraps a stream connection with uvarint length framing. It
+// works over any net.Conn (TCP, Unix sockets).
+func NewNetConn(c net.Conn) Conn {
+	return &netConn{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Dial connects to a listening instance endpoint.
+func Dial(network, addr string) (Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}
+
+func (c *netConn) Send(msg Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	// Reserve frame header space, encode in place, then patch the header.
+	body, err := Encode(c.buf[:0], msg)
+	if err != nil {
+		return err
+	}
+	c.buf = body // keep capacity for reuse
+	var hdr [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := c.c.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = c.c.Write(body)
+	return err
+}
+
+func (c *netConn) Recv() (Message, error) {
+	size, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrame {
+		return nil, fmt.Errorf("controlplane: frame of %d bytes exceeds limit %d", size, maxFrame)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+func (c *netConn) Close() error { return c.c.Close() }
+
+// Listener accepts instance connections for a serving deployment.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a control-plane listener.
+func Listen(network, addr string) (*Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,245 @@
+package controlplane
+
+import (
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"loongserve/internal/kvcache"
+)
+
+func testConnPair(t *testing.T, kind string) (Conn, Conn, func()) {
+	t.Helper()
+	switch kind {
+	case "pipe":
+		a, b := Pipe()
+		return a, b, func() { a.Close(); b.Close() }
+	case "tcp":
+		l, err := Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		type res struct {
+			c   Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := l.Accept()
+			ch <- res{c, err}
+		}()
+		a, err := Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		r := <-ch
+		if r.err != nil {
+			t.Fatalf("Accept: %v", r.err)
+		}
+		return a, r.c, func() { a.Close(); r.c.Close(); l.Close() }
+	}
+	t.Fatalf("unknown conn kind %q", kind)
+	return nil, nil, nil
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	for _, kind := range []string{"pipe", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+
+			want := &DecodeCommand{
+				Group:    Epoched{ID: 2, Epoch: 8},
+				Seq:      5,
+				Requests: []RequestSpec{{ID: 10, Len: 100}, {ID: 12, Len: 50}},
+				Masters:  []int32{1, 0},
+			}
+			if err := a.Send(want); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			if !reflect.DeepEqual(got, Message(want)) {
+				t.Errorf("got %+v, want %+v", got, want)
+			}
+
+			// And the reverse direction.
+			if err := b.Send(&Ack{Seq: 5, Instance: 1}); err != nil {
+				t.Fatalf("reply Send: %v", err)
+			}
+			reply, err := a.Recv()
+			if err != nil {
+				t.Fatalf("reply Recv: %v", err)
+			}
+			if ack, ok := reply.(*Ack); !ok || ack.Seq != 5 {
+				t.Errorf("reply = %+v, want Ack seq 5", reply)
+			}
+		})
+	}
+}
+
+func TestTransportOrderingUnderBurst(t *testing.T) {
+	for _, kind := range []string{"pipe", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+
+			const n = 200
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if err := a.Send(&Ack{Seq: uint64(i), Instance: 0}); err != nil {
+						t.Errorf("Send %d: %v", i, err)
+						return
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				msg, err := b.Recv()
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				ack := msg.(*Ack)
+				if ack.Seq != uint64(i) {
+					t.Fatalf("message %d arrived with seq %d: reordered", i, ack.Seq)
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestTransportLargeMessage(t *testing.T) {
+	// A 500K-token retention plan (the paper's longest LV-Eval requests)
+	// must cross the framed transport intact.
+	plan := make([]int32, 500_000)
+	for i := range plan {
+		plan[i] = int32(i % 8)
+	}
+	msg := &PrefillCommand{
+		Group:     Epoched{ID: 1, Epoch: 1},
+		Seq:       1,
+		Requests:  []RequestSpec{{ID: 1, Len: len(plan)}},
+		Retention: plan,
+	}
+	for _, kind := range []string{"pipe", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+			errc := make(chan error, 1)
+			go func() { errc <- a.Send(msg) }()
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			if err := <-errc; err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			pc := got.(*PrefillCommand)
+			if len(pc.Retention) != len(plan) {
+				t.Fatalf("retention came back with %d tokens, want %d", len(pc.Retention), len(plan))
+			}
+			for i := range plan {
+				if pc.Retention[i] != plan[i] {
+					t.Fatalf("retention[%d] = %d, want %d", i, pc.Retention[i], plan[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("Recv after peer close = %v, want io.EOF", err)
+	}
+	if err := a.Send(&Ack{}); err == nil {
+		t.Error("Send on closed pipe succeeded")
+	}
+}
+
+func TestPipeDrainsQueuedBeforeEOF(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send(&Ack{Seq: 9, Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatalf("queued message lost at close: %v", err)
+	}
+	if msg.(*Ack).Seq != 9 {
+		t.Errorf("got seq %d, want 9", msg.(*Ack).Seq)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("second Recv = %v, want io.EOF", err)
+	}
+}
+
+func TestNetConnCloseUnblocksRecv(t *testing.T) {
+	a, b, cleanup := testConnPair(t, "tcp")
+	defer cleanup()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv after close returned nil error")
+	}
+}
+
+func TestNetConnConcurrentSendsDoNotInterleave(t *testing.T) {
+	a, b, cleanup := testConnPair(t, "tcp")
+	defer cleanup()
+
+	const n = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				msg := &ReleaseCommand{
+					Group:    Epoched{ID: GroupID(g + 1), Epoch: 1},
+					Seq:      uint64(i),
+					Requests: []kvcache.RequestID{kvcache.RequestID(g*1000 + i)},
+				}
+				if err := a.Send(msg); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	got := 0
+	for got < 4*n {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv after %d messages: %v", got, err)
+		}
+		rc, ok := msg.(*ReleaseCommand)
+		if !ok {
+			t.Fatalf("frame corrupted: got %T", msg)
+		}
+		wantReq := kvcache.RequestID(int(rc.Group.ID-1)*1000) + kvcache.RequestID(rc.Seq)
+		if rc.Requests[0] != wantReq {
+			t.Fatalf("frame corrupted: group %d seq %d carries request %d",
+				rc.Group.ID, rc.Seq, rc.Requests[0])
+		}
+		got++
+	}
+	wg.Wait()
+}

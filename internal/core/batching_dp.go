@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+
+	"loongserve/internal/costmodel"
+)
+
+// This file holds the Eq 5 batching dynamic program in pure-data form, in
+// two interchangeable implementations:
+//
+//   - solveBatchDP: the straightforward O(n² m²) DP the paper says "is
+//     efficient enough in practice" (§5.3), with O(1) Eq 7 transitions via
+//     prefix sums;
+//   - solveBatchDPQI: the split-point-monotonicity variant the paper
+//     derives from the quadrangle inequality (Eq 6, citing Yao [57]). We
+//     exploit the monotonicity with divide-and-conquer per (k, DoP) layer,
+//     cutting the request-split search from O(n) per state to O(log n)
+//     amortized: O(n·m²·log n) total versus the naive O(n²·m²).
+//
+// Both must return identical optimal costs; TestBatchDPEquivalence checks
+// this on randomized instances and TestBatchDPAgainstBruteForce validates
+// the naive DP against exhaustive enumeration.
+
+// batchDPInput is the Eq 5 problem: partition requests (sorted by length
+// descending) into consecutive batches, assign each batch a consecutive
+// run of instances (sorted by free slots ascending), minimize summed input
+// latency, subject to each batch's KV reservation fitting its instance
+// run's free slots.
+type batchDPInput struct {
+	lens    []int              // prefill lengths, sorted descending
+	reserve []int              // KV reservation per request, same order
+	free    []int              // free KV slots per instance, sorted ascending
+	coeffs  []costmodel.Coeffs // indexed by DoP (1..m); valid where have[sp]
+	have    []bool
+}
+
+// batchSegment is one batch in an Eq 5 solution: requests [ReqLo, ReqHi)
+// on instances [InstLo, InstHi).
+type batchSegment struct {
+	ReqLo, ReqHi   int
+	InstLo, InstHi int
+}
+
+// prefixes precomputes the sums used by every transition: D (reservations),
+// V (free slots), SL (lengths), SS (squared lengths).
+func (in *batchDPInput) prefixes() (D, V []int, SL, SS []float64) {
+	n, m := len(in.lens), len(in.free)
+	D = make([]int, n+1)
+	for i, r := range in.reserve {
+		D[i+1] = D[i] + r
+	}
+	V = make([]int, m+1)
+	for k, f := range in.free {
+		V[k+1] = V[k] + f
+	}
+	SL = make([]float64, n+1)
+	SS = make([]float64, n+1)
+	for i, l := range in.lens {
+		SL[i+1] = SL[i] + float64(l)
+		SS[i+1] = SS[i] + float64(l)*float64(l)
+	}
+	return
+}
+
+// cost is the Eq 5 transition: summed input latency of requests [j:i) run
+// as one batch at DoP sp — each of the (i-j) requests waits the batch's Eq
+// 7 iteration time.
+func (in *batchDPInput) cost(SL, SS []float64, j, i, sp int) float64 {
+	c := in.coeffs[sp]
+	t := c.Alpha + c.Beta*(SL[i]-SL[j]) + c.Gamma*(SS[i]-SS[j])
+	if t < 0 {
+		t = 0
+	}
+	return t * float64(i-j)
+}
+
+// solveBatchDP is the naive Eq 5 DP. ok=false when no feasible partition
+// exists.
+func solveBatchDP(in *batchDPInput) ([]batchSegment, float64, bool) {
+	n, m := len(in.lens), len(in.free)
+	D, V, SL, SS := in.prefixes()
+
+	const inf = math.MaxFloat64
+	f := make([][]float64, n+1)
+	type split struct{ j, l int }
+	back := make([][]split, n+1)
+	for i := 0; i <= n; i++ {
+		f[i] = make([]float64, m+1)
+		back[i] = make([]split, m+1)
+		for k := 0; k <= m; k++ {
+			f[i][k] = inf
+		}
+	}
+	for k := 0; k <= m; k++ {
+		f[0][k] = 0
+	}
+	for i := 1; i <= n; i++ {
+		for k := 1; k <= m; k++ {
+			for j := 0; j < i; j++ {
+				for l := 0; l < k; l++ {
+					if f[j][l] == inf {
+						continue
+					}
+					if D[i]-D[j] > V[k]-V[l] {
+						continue
+					}
+					sp := k - l
+					if !in.have[sp] {
+						continue
+					}
+					if cand := f[j][l] + in.cost(SL, SS, j, i, sp); cand < f[i][k] {
+						f[i][k] = cand
+						back[i][k] = split{j, l}
+					}
+				}
+			}
+		}
+	}
+	bestK, bestV := -1, inf
+	for k := 1; k <= m; k++ {
+		if f[n][k] < bestV {
+			bestK, bestV = k, f[n][k]
+		}
+	}
+	if bestK < 0 {
+		return nil, 0, false
+	}
+	var segs []batchSegment
+	i, k := n, bestK
+	for i > 0 {
+		s := back[i][k]
+		segs = append(segs, batchSegment{ReqLo: s.j, ReqHi: i, InstLo: s.l, InstHi: k})
+		i, k = s.j, s.l
+	}
+	return segs, bestV, true
+}
+
+// solveBatchDPQI computes the same optimum via split-point monotonicity.
+// For each instance count k and each batch DoP sp (so the last batch uses
+// instances [k-sp, k)), the layer recurrence
+//
+//	h[i] = min over feasible j < i of f[j][k-sp] + cost(j, i, sp)
+//
+// has a Monge transition cost — cost(j,i,sp) is a sum of terms of the
+// form (A(i)-A(j))·(i-j) with A non-decreasing, plus a linear term — so
+// its argmin is non-decreasing in i (the Eq 6 property). Divide-and-conquer
+// exploits that directly: solving the midpoint pins the split range for
+// both halves. The memory constraint only shrinks the feasible j range to
+// a suffix [jmin(i), i) with jmin non-decreasing, which the recursion
+// window respects.
+func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
+	n, m := len(in.lens), len(in.free)
+	D, V, SL, SS := in.prefixes()
+
+	const inf = math.MaxFloat64
+	f := make([][]float64, m+1) // f[k][i], layer-major
+	type split struct{ j, l int }
+	back := make([][]split, m+1)
+	for k := 0; k <= m; k++ {
+		f[k] = make([]float64, n+1)
+		back[k] = make([]split, n+1)
+		for i := 1; i <= n; i++ {
+			f[k][i] = inf
+		}
+	}
+
+	// jminFor returns the smallest j with D[i]-D[j] <= cap; D is
+	// non-decreasing, so a two-pointer sweep over i is linear.
+	layerH := make([]float64, n+1)
+	layerArg := make([]int, n+1)
+
+	for k := 1; k <= m; k++ {
+		for sp := 1; sp <= k; sp++ {
+			if !in.have[sp] {
+				continue
+			}
+			l := k - sp
+			capKV := V[k] - V[l]
+			fprev := f[l]
+
+			// Feasibility suffix per i.
+			jmin := make([]int, n+1)
+			j := 0
+			for i := 1; i <= n; i++ {
+				if j > i {
+					j = i
+				}
+				for D[i]-D[j] > capKV {
+					j++
+				}
+				jmin[i] = j
+			}
+
+			for i := 0; i <= n; i++ {
+				layerH[i] = inf
+				layerArg[i] = -1
+			}
+			var solve func(lo, hi, optLo, optHi int)
+			solve = func(lo, hi, optLo, optHi int) {
+				if lo > hi {
+					return
+				}
+				mid := (lo + hi) / 2
+				jLo := optLo
+				if jmin[mid] > jLo {
+					jLo = jmin[mid]
+				}
+				jHi := optHi
+				if mid-1 < jHi {
+					jHi = mid - 1
+				}
+				best, bestJ := inf, -1
+				for j := jLo; j <= jHi; j++ {
+					if fprev[j] == inf {
+						continue
+					}
+					if cand := fprev[j] + in.cost(SL, SS, j, mid, sp); cand < best {
+						best, bestJ = cand, j
+					}
+				}
+				layerH[mid] = best
+				layerArg[mid] = bestJ
+				if bestJ < 0 {
+					// No feasible split at mid; the monotone window
+					// cannot be narrowed, so pass the bounds through.
+					solve(lo, mid-1, optLo, optHi)
+					solve(mid+1, hi, optLo, optHi)
+					return
+				}
+				solve(lo, mid-1, optLo, bestJ)
+				solve(mid+1, hi, bestJ, optHi)
+			}
+			solve(1, n, 0, n-1)
+
+			for i := 1; i <= n; i++ {
+				if layerArg[i] >= 0 && layerH[i] < f[k][i] {
+					f[k][i] = layerH[i]
+					back[k][i] = split{layerArg[i], l}
+				}
+			}
+		}
+	}
+
+	bestK, bestV := -1, inf
+	for k := 1; k <= m; k++ {
+		if f[k][n] < bestV {
+			bestK, bestV = k, f[k][n]
+		}
+	}
+	if bestK < 0 {
+		return nil, 0, false
+	}
+	var segs []batchSegment
+	i, k := n, bestK
+	for i > 0 {
+		s := back[k][i]
+		segs = append(segs, batchSegment{ReqLo: s.j, ReqHi: i, InstLo: s.l, InstHi: k})
+		i, k = s.j, s.l
+	}
+	return segs, bestV, true
+}
+
+// feasibleSegments verifies a solution's structural invariants: segments
+// tile [0,n) in reverse order, instance runs are disjoint, every batch fits
+// its memory, every DoP is available.
+func feasibleSegments(in *batchDPInput, segs []batchSegment) bool {
+	D, V, _, _ := in.prefixes()
+	wantHi := len(in.lens)
+	usedInst := make([]bool, len(in.free))
+	for _, s := range segs {
+		if s.ReqHi != wantHi || s.ReqLo >= s.ReqHi || s.ReqLo < 0 {
+			return false
+		}
+		wantHi = s.ReqLo
+		if s.InstLo < 0 || s.InstLo >= s.InstHi || s.InstHi > len(in.free) {
+			return false
+		}
+		sp := s.InstHi - s.InstLo
+		if sp >= len(in.have) || !in.have[sp] {
+			return false
+		}
+		for k := s.InstLo; k < s.InstHi; k++ {
+			if usedInst[k] {
+				return false
+			}
+			usedInst[k] = true
+		}
+		if D[s.ReqHi]-D[s.ReqLo] > V[s.InstHi]-V[s.InstLo] {
+			return false
+		}
+	}
+	return wantHi == 0
+}
+
+// segmentsCost recomputes a solution's objective.
+func segmentsCost(in *batchDPInput, segs []batchSegment) float64 {
+	_, _, SL, SS := in.prefixes()
+	total := 0.0
+	for _, s := range segs {
+		total += in.cost(SL, SS, s.ReqLo, s.ReqHi, s.InstHi-s.InstLo)
+	}
+	return total
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"loongserve/internal/costmodel"
+	"loongserve/internal/metrics"
+	"loongserve/internal/workload"
+)
+
+// randDPInput builds a random Eq 5 instance. tight controls how scarce
+// memory is: 0 = abundant, 1 = barely feasible, >1 often infeasible.
+func randDPInput(rng *rand.Rand, n, m int, tight float64) *batchDPInput {
+	in := &batchDPInput{
+		lens:    make([]int, n),
+		reserve: make([]int, n),
+		free:    make([]int, m),
+		coeffs:  make([]costmodel.Coeffs, m+1),
+		have:    make([]bool, m+1),
+	}
+	totalNeed := 0
+	for i := range in.lens {
+		in.lens[i] = 1 + rng.Intn(2000)
+		in.reserve[i] = in.lens[i] + rng.Intn(200)
+		totalNeed += in.reserve[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(in.lens)))
+	// Free slots scaled so total capacity ~ totalNeed / max(tight, eps).
+	scale := 2.0 - tight
+	if scale < 0.9 {
+		scale = 0.9
+	}
+	per := float64(totalNeed) * scale / float64(m)
+	for k := range in.free {
+		in.free[k] = int(per * (0.5 + rng.Float64()))
+	}
+	sort.Ints(in.free)
+	for sp := 1; sp <= m; sp++ {
+		// A random subset of DoPs is profiled; DoP 1 always is.
+		in.have[sp] = sp == 1 || rng.Float64() < 0.8
+		if in.have[sp] {
+			in.coeffs[sp] = costmodel.Coeffs{
+				Alpha: rng.Float64() * 0.01,
+				Beta:  rng.Float64() * 1e-5 / float64(sp),
+				Gamma: rng.Float64() * 1e-9 / float64(sp),
+			}
+		}
+	}
+	return in
+}
+
+// bruteForceBatch enumerates every partition of requests into consecutive
+// batches and every assignment of consecutive instance runs, returning the
+// optimal cost (exponential; for tiny n, m only).
+func bruteForceBatch(in *batchDPInput) (float64, bool) {
+	n, m := len(in.lens), len(in.free)
+	D, V, SL, SS := in.prefixes()
+	const inf = math.MaxFloat64
+
+	best := inf
+	// rec assigns requests [i:] using instances [k:].
+	var rec func(i, k int, acc float64)
+	rec = func(i, k int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := i + 1; j <= n; j++ { // batch = [i:j)
+			for l := k; l < m; l++ { // instances start at l (skipping is allowed)
+				for h := l + 1; h <= m; h++ { // instances [l:h)
+					sp := h - l
+					if !in.have[sp] {
+						continue
+					}
+					if D[j]-D[i] > V[h]-V[l] {
+						continue
+					}
+					rec(j, h, acc+in.cost(SL, SS, i, j, sp))
+				}
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best, best < inf
+}
+
+func TestBatchDPAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		in := randDPInput(rng, n, m, rng.Float64()*1.2)
+		wantCost, wantOK := bruteForceBatch(in)
+		segs, gotCost, gotOK := solveBatchDP(in)
+		if gotOK != wantOK {
+			t.Fatalf("iter %d: DP ok=%v, brute force ok=%v", iter, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		if !feasibleSegments(in, segs) {
+			t.Fatalf("iter %d: DP produced infeasible segments %+v", iter, segs)
+		}
+		if relDiff(gotCost, wantCost) > 1e-9 {
+			t.Fatalf("iter %d: DP cost %g, brute force %g", iter, gotCost, wantCost)
+		}
+		if relDiff(segmentsCost(in, segs), gotCost) > 1e-9 {
+			t.Fatalf("iter %d: reported cost %g != recomputed %g", iter, gotCost, segmentsCost(in, segs))
+		}
+	}
+}
+
+func TestBatchDPQIEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 400; iter++ {
+		n := 1 + rng.Intn(24)
+		m := 1 + rng.Intn(10)
+		tight := rng.Float64() * 1.3
+		in := randDPInput(rng, n, m, tight)
+
+		segsA, costA, okA := solveBatchDP(in)
+		segsB, costB, okB := solveBatchDPQI(in)
+		if okA != okB {
+			t.Fatalf("iter %d (n=%d m=%d tight=%.2f): naive ok=%v, QI ok=%v",
+				iter, n, m, tight, okA, okB)
+		}
+		if !okA {
+			continue
+		}
+		if !feasibleSegments(in, segsA) || !feasibleSegments(in, segsB) {
+			t.Fatalf("iter %d: infeasible solution (naive %v, QI %v)",
+				iter, feasibleSegments(in, segsA), feasibleSegments(in, segsB))
+		}
+		if relDiff(costA, costB) > 1e-9 {
+			t.Fatalf("iter %d (n=%d m=%d tight=%.2f): naive cost %g, QI cost %g",
+				iter, n, m, tight, costA, costB)
+		}
+		if relDiff(segmentsCost(in, segsB), costB) > 1e-9 {
+			t.Fatalf("iter %d: QI reported %g but its segments cost %g",
+				iter, costB, segmentsCost(in, segsB))
+		}
+	}
+}
+
+func TestBatchDPInfeasible(t *testing.T) {
+	in := &batchDPInput{
+		lens:    []int{100},
+		reserve: []int{1000},
+		free:    []int{10, 10},
+		coeffs:  make([]costmodel.Coeffs, 3),
+		have:    []bool{false, true, true},
+	}
+	if _, _, ok := solveBatchDP(in); ok {
+		t.Error("naive DP accepted an infeasible instance")
+	}
+	if _, _, ok := solveBatchDPQI(in); ok {
+		t.Error("QI DP accepted an infeasible instance")
+	}
+}
+
+func TestBatchDPNoDoPAvailable(t *testing.T) {
+	in := &batchDPInput{
+		lens:    []int{10},
+		reserve: []int{10},
+		free:    []int{100},
+		coeffs:  make([]costmodel.Coeffs, 2),
+		have:    []bool{false, false},
+	}
+	if _, _, ok := solveBatchDP(in); ok {
+		t.Error("naive DP solved with no profiled DoP")
+	}
+	if _, _, ok := solveBatchDPQI(in); ok {
+		t.Error("QI DP solved with no profiled DoP")
+	}
+}
+
+func TestBatchDPSingleRequestPicksBestDoP(t *testing.T) {
+	// With one request, the DP must choose the DoP minimizing Eq 7, not
+	// just the largest or smallest.
+	in := &batchDPInput{
+		lens:    []int{10_000},
+		reserve: []int{10_000},
+		free:    []int{20_000, 20_000, 20_000},
+		coeffs: []costmodel.Coeffs{
+			{},
+			{Alpha: 0.001, Beta: 1e-6, Gamma: 1e-10}, // sp=1
+			{Alpha: 0.002, Beta: 0.4e-6, Gamma: 4e-11}, // sp=2: cheaper here
+			{Alpha: 0.080, Beta: 0.3e-6, Gamma: 3e-11}, // sp=3: huge constant
+		},
+		have: []bool{false, true, true, true},
+	}
+	for name, solver := range map[string]func(*batchDPInput) ([]batchSegment, float64, bool){
+		"naive": solveBatchDP, "qi": solveBatchDPQI,
+	} {
+		segs, _, ok := solver(in)
+		if !ok || len(segs) != 1 {
+			t.Fatalf("%s: segs=%v ok=%v", name, segs, ok)
+		}
+		if sp := segs[0].InstHi - segs[0].InstLo; sp != 2 {
+			t.Errorf("%s: chose DoP %d, want 2", name, sp)
+		}
+	}
+}
+
+func TestBatchDPSplitsDissimilarLengths(t *testing.T) {
+	// One very long and many short requests with a strong quadratic term:
+	// batching them together charges the shorts the long's quadratic
+	// latency, so the optimum separates them (the §5.3 insight that
+	// "requests with similar lengths should be batched together").
+	lens := []int{100_000, 100, 100, 100, 100}
+	reserve := append([]int(nil), lens...)
+	in := &batchDPInput{
+		lens:    lens,
+		reserve: reserve,
+		free:    []int{60_000, 60_000, 60_000, 60_000},
+		coeffs:  make([]costmodel.Coeffs, 5),
+		have:    make([]bool, 5),
+	}
+	for sp := 1; sp <= 4; sp++ {
+		in.have[sp] = true
+		in.coeffs[sp] = costmodel.Coeffs{
+			Alpha: 0.001,
+			Beta:  1e-6 / float64(sp),
+			Gamma: 1e-9 / float64(sp),
+		}
+	}
+	segs, _, ok := solveBatchDP(in)
+	if !ok {
+		t.Fatal("no solution")
+	}
+	if len(segs) < 2 {
+		t.Errorf("DP batched a 100K request with 100-token requests: %+v", segs)
+	}
+	// The long request (index 0 after the descending sort) must sit in
+	// its own batch.
+	for _, s := range segs {
+		if s.ReqLo == 0 && s.ReqHi != 1 {
+			t.Errorf("long request shares a batch: %+v", s)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return d / den
+}
+
+// TestQIBatchingEndToEndEquivalence runs full serving simulations with the
+// naive and QI batchers and requires bit-identical request timelines: the
+// QI variant is an optimization, not a policy change.
+func TestQIBatchingEndToEndEquivalence(t *testing.T) {
+	for _, ds := range []struct {
+		name  string
+		trace []workload.TimedRequest
+	}{
+		{"sharegpt", workload.PoissonTrace(workload.ShareGPT(), 5.0, 60, 3)},
+		{"leval", workload.PoissonTrace(workload.LEval(), 0.1, 12, 4)},
+		{"mixed", workload.PoissonTrace(workload.Mixed(), 0.3, 30, 5)},
+	} {
+		t.Run(ds.name, func(t *testing.T) {
+			a, _ := runLS(t, Options{}, ds.trace)
+			b, _ := runLS(t, Options{UseQIBatching: true}, ds.trace)
+			if len(a) != len(b) {
+				t.Fatalf("naive completed %d, QI completed %d", len(a), len(b))
+			}
+			byID := make(map[int64]metrics.Record, len(a))
+			for _, r := range a {
+				byID[r.ID] = r
+			}
+			for _, r := range b {
+				ref, ok := byID[r.ID]
+				if !ok {
+					t.Fatalf("QI completed unknown request %d", r.ID)
+				}
+				if r.FirstToken != ref.FirstToken || r.Finish != ref.Finish {
+					t.Fatalf("request %d timelines differ: naive (%v, %v) vs QI (%v, %v)",
+						r.ID, ref.FirstToken, ref.Finish, r.FirstToken, r.Finish)
+				}
+			}
+		})
+	}
+}
+
+func benchDPSolver(b *testing.B, n, m int, solver func(*batchDPInput) ([]batchSegment, float64, bool)) {
+	rng := rand.New(rand.NewSource(99))
+	in := randDPInput(rng, n, m, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := solver(in); !ok {
+			b.Fatal("infeasible bench instance")
+		}
+	}
+}
+
+func BenchmarkBatchDPNaive64x16(b *testing.B) { benchDPSolver(b, 64, 16, solveBatchDP) }
+func BenchmarkBatchDPQI64x16(b *testing.B)    { benchDPSolver(b, 64, 16, solveBatchDPQI) }
+func BenchmarkBatchDPNaive16x8(b *testing.B)  { benchDPSolver(b, 16, 8, solveBatchDP) }
+func BenchmarkBatchDPQI16x8(b *testing.B)     { benchDPSolver(b, 16, 8, solveBatchDPQI) }

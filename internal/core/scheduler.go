@@ -1,0 +1,788 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"loongserve/internal/costmodel"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+)
+
+// maxDispatch bounds one dispatch round; the Eq 5 dynamic program is
+// O(n^2 m^2) and the tipping point usually stops far earlier.
+const maxDispatch = 64
+
+// scheduleOnePrefillRound runs steps 1-3 of the scheduling algorithm once:
+// dispatch a request set R_p from the pending queue, allocate elastic
+// instances E_p, plan batches with the Eq 5 dynamic program, and launch
+// them. When no idle capacity can host R_p, the Eq 1-2 path lets R_p
+// prefill on a decoding group's instances — consuming that group's unused
+// KV slots and joining its batch afterwards (§5.1: "unused key-value slots
+// of instances in its parallel group G_p,i can be used to add an
+// additional subset of new requests R'_p,i"). Returns whether any batch
+// launched.
+func (e *Engine) scheduleOnePrefillRound() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	launched := false
+	idle := e.idleInstances()
+	var memDelay time.Duration
+	if len(idle) > 0 && len(e.pending) > 0 {
+		// §5.2 memory reclamation: when even the head request cannot fit
+		// the idle pool, preempt decode instances' memory via migration.
+		head := e.pending[0]
+		if need := e.prefillLen(head) + (head.OutputLen - head.Generated) + 1; need > e.freeOn(idle) {
+			if d, freed := e.reclaimForMemory(need); freed {
+				memDelay = d
+				idle = e.idleInstances()
+			}
+		}
+	}
+	if len(idle) > 0 {
+		if rp := e.dispatch(e.freeOn(idle), len(idle)); len(rp) > 0 {
+			// Step 2 (Eq 3-4): grow E_p by evacuating decode instances
+			// while the predicted prefill speedup beats the migration.
+			insts, delay, wantMore := e.allocateInstances(rp, idle)
+			if wantMore {
+				// Defer to the next decode iteration boundary (milliseconds
+				// away) where the evacuation can actually happen.
+				e.requeue(rp)
+				return launched
+			}
+			if memDelay > delay {
+				delay = memDelay
+			}
+			plans, dropped := e.planBatches(rp, insts)
+			// Requests the batcher could not place return to the head of
+			// the pending queue in arrival order.
+			e.requeue(dropped)
+			for _, p := range plans {
+				e.launchPrefill(p.reqs, p.lens, p.insts, nil, delay)
+				launched = true
+			}
+		}
+	}
+	// The Eq 1-2 path runs in addition: R'_p beyond the idle capacity can
+	// prefill on a decoding group's instances and join its batch.
+	if len(e.pending) > 0 && !e.Opts.DisableBorrowing {
+		if e.piggybackRound(e.idleInstances()) {
+			launched = true
+		}
+	}
+	return launched
+}
+
+// piggybackRound is the Eq 1-2 path: prefill R'_p on a decoding group's
+// instances (plus any idle ones), pausing the group for one iteration; the
+// new requests join the group's batch when the prefill completes.
+func (e *Engine) piggybackRound(idle []kvcache.InstanceID) bool {
+	donor := e.pickDonor()
+	if donor == nil {
+		return false
+	}
+	memInsts := donor.instances
+	insts := donor.instances
+	if !e.Opts.DisableScaleUp && len(idle) > 0 {
+		// Idle instances may carry KV too; they join the decode group at
+		// completion (a scale-up). With scale-up disabled the group cannot
+		// grow, so only the donor's own memory counts.
+		memInsts = append(append([]kvcache.InstanceID(nil), donor.instances...), idle...)
+		insts = memInsts
+	}
+	rp := e.dispatch(e.freeOn(memInsts), len(insts))
+	if len(rp) == 0 {
+		return false
+	}
+	lens := make([]int, len(rp))
+	for i, r := range rp {
+		lens[i] = e.prefillLen(r)
+	}
+	if !e.borrowWorthIt(rp, donor, len(insts)) && !e.agedOutCheap(rp, lens, len(insts)) {
+		e.requeue(rp)
+		return false
+	}
+	donor.running = true // paused while its instances run the prefill
+	e.launchPrefill(rp, lens, insts, donor, 0)
+	return true
+}
+
+// agedOutCheap applies the starvation override only to prefills whose
+// predicted iteration is short: pausing a decoding batch for tens of
+// milliseconds to unblock aged requests is fine; pausing it for a
+// minute-scale long-context prefill is not — those wait for the Eq 3-4
+// allocation path to assemble proper instances.
+func (e *Engine) agedOutCheap(rp []*serving.Request, lens []int, sp int) bool {
+	if !e.agedOut(rp) {
+		return false
+	}
+	coeffs, ok := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	if !ok {
+		return false
+	}
+	return coeffs.Predict(lens) <= time.Second
+}
+
+// freeOn sums free KV slots over instances.
+func (e *Engine) freeOn(ids []kvcache.InstanceID) int {
+	total := 0
+	for _, id := range ids {
+		total += e.env.Pool.Pool(id).Free()
+	}
+	return total
+}
+
+// requeue returns dispatched-but-unplaced requests to the head of the
+// pending queue in arrival order.
+func (e *Engine) requeue(reqs []*serving.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].Arrival < reqs[b].Arrival })
+	e.pending = append(reqs, e.pending...)
+}
+
+// dispatch is step 1 (§5.1): scan the pending queue FCFS, admitting
+// requests while (a) their maximum future KV consumption fits the given
+// free-slot budget — avoiding future evictions — and (b) the predicted
+// batch iteration time stays under the profiled memory-bound tipping
+// point. Under backlog (the queue head has aged out) the tipping point
+// relaxes: with work piling up, larger batches amortize the per-iteration
+// overhead, and each piggyback pause on a decoding group then carries more
+// prefilled tokens.
+func (e *Engine) dispatch(avail, sp int) []*serving.Request {
+	if sp < 1 {
+		sp = 1
+	}
+	coeffs, haveCoeffs := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	tipping := e.sib.PrefillTippingPoint
+	if len(e.pending) > 0 && e.agedOut(e.pending[:1]) {
+		tipping *= 4
+	}
+
+	var rp []*serving.Request
+	var lens []int
+	for len(e.pending) > 0 && len(rp) < maxDispatch {
+		r := e.pending[0]
+		// Maximum future consumption: full context plus the entire output.
+		futureNeed := e.prefillLen(r) + (r.OutputLen - r.Generated) + 1
+		if futureNeed > avail {
+			break // strict FCFS: wait rather than starve the head
+		}
+		if len(rp) > 0 && haveCoeffs {
+			cand := append(append([]int(nil), lens...), e.prefillLen(r))
+			if coeffs.Predict(cand) > tipping {
+				break // compute-bound already; more requests only add delay
+			}
+		}
+		avail -= futureNeed
+		rp = append(rp, r)
+		lens = append(lens, e.prefillLen(r))
+		e.pending = e.pending[1:]
+	}
+	return rp
+}
+
+func (e *Engine) prefillCoeffs(st costmodel.Strategy) (costmodel.Coeffs, bool) {
+	c, err := e.sib.PrefillCoeffs(st)
+	return c, err == nil
+}
+
+// pickDonor returns the idle decoding group with the largest batch (and
+// some unused KV): joining the biggest batch amortizes the per-iteration
+// overhead over the most requests, which is what consolidates decode work
+// into few large groups and eventually triggers the compute-bound
+// scale-up.
+func (e *Engine) pickDonor() *group {
+	var donor *group
+	for _, g := range e.sortedGroups() {
+		if g.phase != phaseDecode || g.running || len(g.reqs) == 0 {
+			continue
+		}
+		if e.freeOn(g.instances) == 0 {
+			continue
+		}
+		if donor == nil || len(g.reqs) > len(donor.reqs) {
+			donor = g
+		}
+	}
+	return donor
+}
+
+// agedOut is the starvation guard on the Eq 1-2 gate: strict FCFS must not
+// let a pending prefill wait unboundedly just because decoding batches are
+// mature (zero Eq 2 gain). Once the head request has waited several decode
+// lifetimes' worth of slack, the prefill proceeds regardless.
+func (e *Engine) agedOut(rp []*serving.Request) bool {
+	const maxWait = 300 * simevent.Millisecond
+	now := e.env.Sim.Now()
+	for _, r := range rp {
+		if now-r.Arrival > simevent.Time(maxWait) {
+			return true
+		}
+	}
+	return false
+}
+
+// borrowWorthIt evaluates Eqs 1-2: the gain of running R'_p now (the
+// queueing it avoids, normalized per input token) against the cost of
+// stalling the donor's decode batch for one prefill iteration (normalized
+// per already-generated output token).
+func (e *Engine) borrowWorthIt(rp []*serving.Request, donor *group, sp int) bool {
+	coeffs, ok := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	if !ok {
+		return false
+	}
+	lens := make([]int, len(rp))
+	for i, r := range rp {
+		lens[i] = e.prefillLen(r)
+	}
+	tIter := coeffs.Predict(lens).Seconds()
+
+	// Eq 1: Cost = Σ_{r in B} T(R_p ∪ R', E_p ∪ G) / r.output_len.
+	cost := 0.0
+	minExec := math.Inf(1)
+	now := e.env.Sim.Now()
+	for _, dr := range donor.reqs {
+		gen := dr.Generated
+		if gen < 1 {
+			gen = 1
+		}
+		cost += tIter / float64(gen)
+		exec := (now - dr.FirstToken).Seconds()
+		if exec < minExec {
+			minExec = exec
+		}
+	}
+	// Eq 2: Gain = Σ_{r in R'} (AvgLat_d − min(B.exec_time))+ / r.input_len.
+	avgLat := 1.0
+	if e.decodeLatCount > 0 {
+		avgLat = e.decodeLatSum / float64(e.decodeLatCount)
+	}
+	wait := avgLat - minExec
+	if wait < 0 {
+		wait = 0
+	}
+	gain := 0.0
+	for _, r := range rp {
+		gain += wait / float64(e.prefillLen(r))
+	}
+	return gain > cost
+}
+
+// batchPlan is one planned prefill batch: requests and the instances that
+// will form its parallel group.
+type batchPlan struct {
+	reqs  []*serving.Request
+	lens  []int
+	insts []kvcache.InstanceID
+}
+
+// planBatches is step 3 (§5.3): the Eq 5 dynamic program. Requests are
+// sorted by length descending (similar lengths batch together), instances
+// by free slots ascending; f[i][k] is the minimum summed input latency of
+// the first i requests on the first k instances, with batches required to
+// fit the memory of their instance segment. Infeasible tails are dropped
+// (returned) and retried.
+func (e *Engine) planBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([]batchPlan, []*serving.Request) {
+	if e.Opts.DisableDPBatching {
+		return e.planGreedy(rp, insts)
+	}
+	var dropped []*serving.Request
+	for len(rp) > 0 {
+		plans, ok := e.dpBatches(rp, insts)
+		if ok {
+			return plans, dropped
+		}
+		// Drop the most recently arrived request and retry.
+		worst := 0
+		for i := range rp {
+			if rp[i].Arrival > rp[worst].Arrival {
+				worst = i
+			}
+		}
+		dropped = append(dropped, rp[worst])
+		rp = append(append([]*serving.Request(nil), rp[:worst]...), rp[worst+1:]...)
+	}
+	return nil, dropped
+}
+
+// dpBatches runs the DP over one candidate set; ok=false when no feasible
+// partition exists.
+func (e *Engine) dpBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([]batchPlan, bool) {
+	// Sort requests by prefill length descending.
+	sorted := append([]*serving.Request(nil), rp...)
+	sort.Slice(sorted, func(a, b int) bool {
+		la, lb := e.prefillLen(sorted[a]), e.prefillLen(sorted[b])
+		if la != lb {
+			return la > lb
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	// Sort instances by free slots ascending (paper §5.3).
+	order := append([]kvcache.InstanceID(nil), insts...)
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := e.env.Pool.Pool(order[a]).Free(), e.env.Pool.Pool(order[b]).Free()
+		if fa != fb {
+			return fa < fb
+		}
+		return order[a] < order[b]
+	})
+
+	n, m := len(sorted), len(order)
+	in := &batchDPInput{
+		lens:    make([]int, n),
+		reserve: make([]int, n),
+		free:    make([]int, m),
+		coeffs:  make([]costmodel.Coeffs, m+1),
+		have:    make([]bool, m+1),
+	}
+	for i, r := range sorted {
+		in.lens[i] = e.prefillLen(r)
+		in.reserve[i] = e.reserveLen(r)
+	}
+	for k, id := range order {
+		in.free[k] = e.env.Pool.Pool(id).Free()
+	}
+	for sp := 1; sp <= m; sp++ {
+		in.coeffs[sp], in.have[sp] = e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	}
+
+	solver := solveBatchDP
+	if e.Opts.UseQIBatching {
+		solver = solveBatchDPQI
+	}
+	segs, _, ok := solver(in)
+	if !ok {
+		return nil, false
+	}
+	plans := make([]batchPlan, 0, len(segs))
+	for _, s := range segs {
+		plans = append(plans, batchPlan{
+			reqs:  sorted[s.ReqLo:s.ReqHi],
+			lens:  in.lens[s.ReqLo:s.ReqHi],
+			insts: order[s.InstLo:s.InstHi],
+		})
+	}
+	return plans, true
+}
+
+// planGreedy is the ablation batcher: one batch over every instance, whole
+// R_p, dropping the newest requests until it fits.
+func (e *Engine) planGreedy(rp []*serving.Request, insts []kvcache.InstanceID) ([]batchPlan, []*serving.Request) {
+	var dropped []*serving.Request
+	free := 0
+	for _, id := range insts {
+		free += e.env.Pool.Pool(id).Free()
+	}
+	for len(rp) > 0 {
+		need := 0
+		for _, r := range rp {
+			need += e.reserveLen(r)
+		}
+		if need <= free {
+			lens := make([]int, len(rp))
+			for i, r := range rp {
+				lens[i] = e.prefillLen(r)
+			}
+			return []batchPlan{{reqs: rp, lens: lens, insts: insts}}, dropped
+		}
+		worst := 0
+		for i := range rp {
+			if rp[i].Arrival > rp[worst].Arrival {
+				worst = i
+			}
+		}
+		dropped = append(dropped, rp[worst])
+		rp = append(append([]*serving.Request(nil), rp[:worst]...), rp[worst+1:]...)
+	}
+	return nil, dropped
+}
+
+// considerMerges consolidates idle decoding groups when the SIB decode
+// model predicts a throughput gain: two small batches on separate instances
+// waste two per-iteration overheads where one merged batch pays one.
+// Merging is free under ESP — the merged group is the union of the
+// instance sets, every request keeps its master, and no KV moves (§4.2's
+// multi-master decoding works over any token placement). The union is
+// capped at half the cluster so the prefill phase always has instances to
+// win back.
+func (e *Engine) considerMerges() {
+	maxUnion := (len(e.env.Cluster.Instances) + 1) / 2
+	if maxUnion < 1 {
+		maxUnion = 1
+	}
+	for guard := 0; guard < 16; guard++ {
+		var idleGroups []*group
+		for _, g := range e.sortedGroups() {
+			if g.phase == phaseDecode && !g.running && len(g.reqs) > 0 {
+				idleGroups = append(idleGroups, g)
+			}
+		}
+		if len(idleGroups) < 2 {
+			return
+		}
+		var bestA, bestB *group
+		bestGain := 0.0
+		for i := 0; i < len(idleGroups); i++ {
+			for j := i + 1; j < len(idleGroups); j++ {
+				a, b := idleGroups[i], idleGroups[j]
+				union := len(a.instances) + len(unionExtra(a, b))
+				if union > maxUnion {
+					continue
+				}
+				if gain := e.mergeGain(a, b, union); gain > bestGain {
+					bestGain, bestA, bestB = gain, a, b
+				}
+			}
+		}
+		if bestA == nil {
+			return
+		}
+		e.merge(bestA, bestB)
+	}
+}
+
+func unionExtra(a, b *group) []kvcache.InstanceID {
+	return subtract(b.instances, a.instances)
+}
+
+// mergeGain predicts the token-throughput change of merging two decoding
+// groups, using the SIB decode model (never ground truth).
+func (e *Engine) mergeGain(a, b *group, unionSP int) float64 {
+	ta, ok1 := e.decodePredict(len(a.reqs), groupKV(a), len(a.instances))
+	tb, ok2 := e.decodePredict(len(b.reqs), groupKV(b), len(b.instances))
+	tm, ok3 := e.decodePredict(len(a.reqs)+len(b.reqs), groupKV(a)+groupKV(b), unionSP)
+	if !ok1 || !ok2 || !ok3 || ta <= 0 || tb <= 0 || tm <= 0 {
+		return 0
+	}
+	separate := float64(len(a.reqs))/ta + float64(len(b.reqs))/tb
+	merged := float64(len(a.reqs)+len(b.reqs)) / tm
+	return merged - separate
+}
+
+func groupKV(g *group) int {
+	s := 0
+	for _, r := range g.reqs {
+		s += r.KVNow()
+	}
+	return s
+}
+
+func (e *Engine) decodePredict(bs, sumKV, sp int) (float64, bool) {
+	c, err := e.sib.DecodeCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	if err != nil {
+		return 0, false
+	}
+	return c.Predict(bs, sumKV).Seconds(), true
+}
+
+// merge absorbs group b into group a.
+func (e *Engine) merge(a, b *group) {
+	for _, id := range unionExtra(a, b) {
+		a.instances = append(a.instances, id)
+	}
+	for _, id := range b.instances {
+		e.byInst[id] = a
+	}
+	a.reqs = append(a.reqs, b.reqs...)
+	for id, m := range b.master {
+		a.master[id] = m
+	}
+	delete(e.groups, b.id)
+}
+
+// launchDecode runs step 4's decode side and starts the group's next
+// iteration: compute-bound scale-up, memory-pressure scale-up (or
+// preemption as last resort), then one DecodeIterTime step.
+func (e *Engine) launchDecode(g *group) {
+	if g.running {
+		return
+	}
+	if len(g.reqs) == 0 {
+		e.dissolve(g)
+		e.wakeIfPending()
+		return
+	}
+	e.considerComputeScaleUp(g)
+	e.ensureDecodeCapacity(g)
+	if len(g.reqs) == 0 {
+		// ensureDecodeCapacity preempted the whole batch (every request
+		// moved back to pending). The group's instances just went idle;
+		// without a wakeup the preempted work would wait forever — there
+		// may be no other group left to generate a completion event.
+		e.dissolve(g)
+		e.wakeIfPending()
+		return
+	}
+
+	bs := len(g.reqs)
+	if bs > e.MaxDecodeBS {
+		e.MaxDecodeBS = bs
+	}
+	if len(e.groups) > e.MaxGroups {
+		e.MaxGroups = len(e.groups)
+	}
+	sumKV := 0
+	for _, r := range g.reqs {
+		sumKV += r.KVNow()
+	}
+	masters := e.masterCount(g)
+	link := e.env.Cluster.GroupLink(g.instances)
+	d := e.env.CM.DecodeIterTime(bs, sumKV, len(g.instances), e.TP, masters, link)
+	g.running = true
+	batch := append([]*serving.Request(nil), g.reqs...)
+	e.env.Sim.After(d, func() {
+		for _, r := range batch {
+			r.Generated++
+			if err := e.env.Pool.AllocAt(r.ID, g.master[r.ID], 1); err != nil {
+				panic(fmt.Sprintf("%s: decode alloc on instance %d failed: %v", e.Label, g.master[r.ID], err))
+			}
+		}
+		g.running = false
+		e.retireFinished(g)
+		e.shrinkDecode(g)
+		if len(g.reqs) == 0 {
+			e.dissolve(g)
+		}
+		e.schedule()
+	})
+}
+
+// masterCount returns the number of distinct master instances.
+func (e *Engine) masterCount(g *group) int {
+	seen := make(map[kvcache.InstanceID]bool)
+	for _, id := range g.master {
+		seen[id] = true
+	}
+	return len(seen)
+}
+
+// considerComputeScaleUp grows the group / master set when the decode batch
+// crosses the profiled compute-bound threshold (§5.4): FFN work dominates,
+// so spreading dense layers over more masters pays. The target is enough
+// masters that each one's share stays at or under the threshold.
+func (e *Engine) considerComputeScaleUp(g *group) {
+	threshold := e.sib.DecodeBSThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	desired := (len(g.reqs) + threshold - 1) / threshold
+	if desired <= e.masterCount(g) {
+		return
+	}
+	if e.masterCount(g) < len(g.instances) {
+		e.rebalanceMasters(g, desired)
+		return
+	}
+	if e.Opts.DisableScaleUp {
+		return
+	}
+	idle := e.idleInstances()
+	if len(idle) == 0 {
+		return
+	}
+	// Grow only when the SIB decode model predicts a real win — at some
+	// point the query-exchange overhead of a wider group eats the
+	// dense-layer gain.
+	kv := groupKV(g)
+	tNow, ok1 := e.decodePredict(len(g.reqs), kv, len(g.instances))
+	tGrown, ok2 := e.decodePredict(len(g.reqs), kv, len(g.instances)+1)
+	if !ok1 || !ok2 || tGrown > 0.97*tNow {
+		return
+	}
+	e.addInstance(g, idle[0])
+	e.rebalanceMasters(g, desired)
+}
+
+// desiredMasters returns the master count the compute threshold asks for,
+// clamped to the group size.
+func (e *Engine) desiredMasters(g *group) int {
+	threshold := e.sib.DecodeBSThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	d := (len(g.reqs) + threshold - 1) / threshold
+	if d < 1 {
+		d = 1
+	}
+	if d > len(g.instances) {
+		d = len(g.instances)
+	}
+	return d
+}
+
+// ensureDecodeCapacity guarantees every master instance can absorb its
+// requests' next tokens: rebalance mastership toward free instances, scale
+// up with an idle instance when the group is collectively short, preempt
+// the youngest request as a last resort.
+func (e *Engine) ensureDecodeCapacity(g *group) {
+	for guard := 0; guard < 64; guard++ {
+		assigned := make(map[kvcache.InstanceID]int)
+		for _, r := range g.reqs {
+			assigned[g.master[r.ID]]++
+		}
+		deficit := 0
+		for _, id := range g.instances {
+			if short := assigned[id] - e.env.Pool.Pool(id).Free(); short > 0 {
+				deficit += short
+			}
+		}
+		if deficit == 0 {
+			return
+		}
+		if e.rebalanceTowardFree(g, assigned) {
+			continue
+		}
+		if !e.Opts.DisableScaleUp {
+			if idle := e.idleInstances(); len(idle) > 0 {
+				e.addInstance(g, idle[0])
+				continue
+			}
+		}
+		e.preemptYoungest(g)
+		if len(g.reqs) == 0 {
+			return
+		}
+	}
+}
+
+// rebalanceTowardFree moves mastership of requests from over-committed
+// instances to group members with spare slots. Mastership moves are free:
+// only future tokens land on the new master (§4.2). Reports whether any
+// move happened.
+func (e *Engine) rebalanceTowardFree(g *group, assigned map[kvcache.InstanceID]int) bool {
+	spare := func(id kvcache.InstanceID) int { return e.env.Pool.Pool(id).Free() - assigned[id] }
+	moved := false
+	for _, r := range g.reqs {
+		m := g.master[r.ID]
+		if e.env.Pool.Pool(m).Free() >= assigned[m] {
+			continue
+		}
+		// Find the group instance with the most spare capacity.
+		var best kvcache.InstanceID = -1
+		bestSpare := 0
+		for _, id := range g.instances {
+			if s := spare(id); s > bestSpare {
+				best, bestSpare = id, s
+			}
+		}
+		if best < 0 {
+			return moved
+		}
+		assigned[m]--
+		assigned[best]++
+		g.master[r.ID] = best
+		moved = true
+	}
+	return moved
+}
+
+// rebalanceMasters spreads mastership evenly over n group instances —
+// concentrating it when the batch is small (so unused instances drain and
+// scale-down can reclaim them) and widening it when the batch is compute
+// bound. The n master instances are those with the most free KV slots,
+// since new tokens land on masters.
+func (e *Engine) rebalanceMasters(g *group, n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.instances) {
+		n = len(g.instances)
+	}
+	order := append([]kvcache.InstanceID(nil), g.instances...)
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := e.env.Pool.Pool(order[a]).Free(), e.env.Pool.Pool(order[b]).Free()
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
+	})
+	for i, r := range g.reqs {
+		g.master[r.ID] = order[i%n]
+	}
+}
+
+// addInstance performs an elastic scale-up: the instance joins the group
+// with its KV pool; no existing tokens move (§4.2).
+func (e *Engine) addInstance(g *group, id kvcache.InstanceID) {
+	g.instances = append(g.instances, id)
+	e.byInst[id] = g
+	e.ScaleUps = append(e.ScaleUps, e.env.Sim.Now())
+	e.tracer.record(e.env.Sim.Now(), TraceScaleUp, g, 0)
+}
+
+// wakeIfPending schedules an immediate re-run of the scheduler when
+// requests are waiting. It goes through the event queue rather than
+// recursing: launchDecode runs inside schedule(), and the freed instances
+// only become claimable once the current pass finishes.
+func (e *Engine) wakeIfPending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	e.env.Sim.After(0, e.schedule)
+}
+
+// preemptYoungest evicts the most recently arrived request of the group for
+// later recompute — the eviction the dispatcher's future-consumption check
+// is designed to make rare.
+func (e *Engine) preemptYoungest(g *group) {
+	if len(g.reqs) == 0 {
+		return
+	}
+	worst := 0
+	for i := range g.reqs {
+		if g.reqs[i].Arrival > g.reqs[worst].Arrival {
+			worst = i
+		}
+	}
+	victim := g.reqs[worst]
+	g.reqs = append(append([]*serving.Request(nil), g.reqs[:worst]...), g.reqs[worst+1:]...)
+	delete(g.master, victim.ID)
+	e.env.Pool.ReleaseRequest(victim.ID)
+	e.recompute[victim.ID] = victim.KVNow()
+	victim.Phase = serving.Pending
+	e.pending = append([]*serving.Request{victim}, e.pending...)
+	e.Preemptions++
+	e.tracer.record(e.env.Sim.Now(), TracePreempt, g, victim.KVNow())
+}
+
+// shrinkDecode releases group instances that neither master a request nor
+// hold any of the group's KV — the optional decode scale-down of §4,
+// freeing resources for the prefill phase.
+func (e *Engine) shrinkDecode(g *group) {
+	if len(g.instances) <= 1 {
+		return
+	}
+	inUse := make(map[kvcache.InstanceID]bool)
+	for _, r := range g.reqs {
+		inUse[g.master[r.ID]] = true
+		for id, n := range e.env.Pool.Placement(r.ID) {
+			if n > 0 {
+				inUse[id] = true
+			}
+		}
+	}
+	var keep []kvcache.InstanceID
+	for _, id := range g.instances {
+		if inUse[id] {
+			keep = append(keep, id)
+			continue
+		}
+		delete(e.byInst, id)
+	}
+	if len(keep) == 0 {
+		keep = g.instances[:1]
+		e.byInst[keep[0]] = g
+	}
+	if len(keep) < len(g.instances) {
+		g.instances = keep
+		e.tracer.record(e.env.Sim.Now(), TraceShrink, g, 0)
+		return
+	}
+	g.instances = keep
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"loongserve/internal/kvcache"
+	"loongserve/internal/simevent"
+)
+
+// TraceKind labels an elastic event in the engine's execution trace.
+type TraceKind string
+
+// Trace event kinds, covering every elastic action of §4 plus the
+// scheduling actions of §5.
+const (
+	TracePrefillStart TraceKind = "prefill-start"
+	TraceScaleDown    TraceKind = "scale-down" // proactive, at prefill completion
+	TraceScaleUp      TraceKind = "scale-up"   // instance joined a decoding group
+	TraceJoin         TraceKind = "join"       // batch merged into a decoding group
+	TraceShrink       TraceKind = "shrink"     // decode group released an instance
+	TraceEvacuate     TraceKind = "evacuate"   // Eq 3-4 migration freed an instance
+	TracePreempt      TraceKind = "preempt"    // decode eviction for recompute
+	TraceDissolve     TraceKind = "dissolve"   // group drained
+	TracePiggyback    TraceKind = "piggyback"  // Eq 1-2 prefill on a decode group
+)
+
+// TraceEvent is one entry of the execution trace: the group lifecycle data
+// behind the paper's Fig 6.
+type TraceEvent struct {
+	At        simevent.Time
+	Kind      TraceKind
+	Group     int
+	Instances []kvcache.InstanceID // group membership after the event
+	Batch     int                  // requests in the batch
+	Tokens    int                  // tokens involved (batch input sum, moved KV, ...)
+}
+
+// Tracer collects engine trace events when attached via Engine.AttachTracer.
+type Tracer struct {
+	Events []TraceEvent
+}
+
+// record appends an event; nil tracers are a no-op so the hot path stays
+// branch-cheap.
+func (tr *Tracer) record(at simevent.Time, kind TraceKind, g *group, tokens int) {
+	if tr == nil {
+		return
+	}
+	ev := TraceEvent{At: at, Kind: kind, Tokens: tokens}
+	if g != nil {
+		ev.Group = g.id
+		ev.Instances = append([]kvcache.InstanceID(nil), g.instances...)
+		if g.phase == phasePrefill {
+			ev.Batch = len(g.batch)
+		} else {
+			ev.Batch = len(g.reqs)
+		}
+	}
+	tr.Events = append(tr.Events, ev)
+}
+
+// AttachTracer starts recording elastic events; call before serving.Run.
+func (e *Engine) AttachTracer() *Tracer {
+	e.tracer = &Tracer{}
+	return e.tracer
+}
+
+// Timeline renders the trace as a per-event log grouped by time — a
+// textual analogue of Fig 6's request lifecycle: prefill at high DoP,
+// proactive scale-down, decode, scale-ups as memory or compute demand
+// grows, dissolution.
+func (tr *Tracer) Timeline(w io.Writer) {
+	events := append([]TraceEvent(nil), tr.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		insts := make([]string, len(ev.Instances))
+		for i, id := range ev.Instances {
+			insts[i] = fmt.Sprint(id)
+		}
+		fmt.Fprintf(w, "%12v  g%-3d %-14s dop=%d [%s] batch=%d tokens=%d\n",
+			time.Duration(ev.At).Round(time.Millisecond), ev.Group, ev.Kind,
+			len(ev.Instances), strings.Join(insts, " "), ev.Batch, ev.Tokens)
+	}
+}
+
+// Counts aggregates events by kind.
+func (tr *Tracer) Counts() map[TraceKind]int {
+	out := make(map[TraceKind]int)
+	for _, ev := range tr.Events {
+		out[ev.Kind]++
+	}
+	return out
+}

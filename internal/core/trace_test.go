@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, 1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2, Options{})
+	tr := eng.AttachTracer()
+	trace := []workload.TimedRequest{
+		{Entry: workload.Entry{InputLen: 60_000, OutputLen: 100}, Arrival: 0},
+		{Entry: workload.Entry{InputLen: 500, OutputLen: 200}, Arrival: 50 * time.Millisecond},
+		{Entry: workload.Entry{InputLen: 400, OutputLen: 150}, Arrival: 80 * time.Millisecond},
+	}
+	recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("completed %d", len(recs))
+	}
+	counts := tr.Counts()
+	if counts[TracePrefillStart]+counts[TracePiggyback] < 2 {
+		t.Fatalf("too few prefill events: %v", counts)
+	}
+	if counts[TraceDissolve] == 0 {
+		t.Fatalf("no dissolve events: %v", counts)
+	}
+	var sb strings.Builder
+	tr.Timeline(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "prefill-start") {
+		t.Fatalf("timeline missing prefill-start:\n%s", out)
+	}
+	// Events are time-ordered.
+	var last time.Duration = -1
+	for _, ev := range tr.Events {
+		if time.Duration(ev.At) < last {
+			// Events appended out of order is fine, but Timeline sorts; the
+			// raw slice should still be monotone because the sim is.
+			t.Fatalf("trace events not monotone at %v", ev.At)
+		}
+		last = time.Duration(ev.At)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.record(0, TraceScaleUp, nil, 0) // must not panic
+}

@@ -1,0 +1,196 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Strategy identifies one parallelism configuration profiled in the SIB.
+type Strategy struct {
+	SP int // sequence-parallel degree (number of elastic instances)
+	TP int // tensor-parallel degree inside each instance
+}
+
+// Key returns the stable map/JSON key, e.g. "sp2tp4".
+func (s Strategy) Key() string { return fmt.Sprintf("sp%dtp%d", s.SP, s.TP) }
+
+// GPUs returns the total GPU count of the strategy.
+func (s Strategy) GPUs() int { return s.SP * s.TP }
+
+// Coeffs are the paper's Eq 7 prefill-time coefficients:
+//
+//	T_p(R) = Alpha + Beta·Σ input_len + Gamma·Σ input_len²
+//
+// in seconds; Alpha captures constant overhead, Beta linear computation
+// (FFN, projections, all-reduce volume), Gamma quadratic attention.
+type Coeffs struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Gamma float64 `json:"gamma"`
+}
+
+// Predict evaluates the model for a batch with the given input lengths.
+func (c Coeffs) Predict(lens []int) time.Duration {
+	var sumLen, sumSq float64
+	for _, l := range lens {
+		sumLen += float64(l)
+		sumSq += float64(l) * float64(l)
+	}
+	s := c.Alpha + c.Beta*sumLen + c.Gamma*sumSq
+	if s < 0 {
+		s = 0
+	}
+	return durSec(s)
+}
+
+// DecodeCoeffs model one decoding iteration:
+//
+//	T_d(B) = Alpha + BetaBS·|B| + GammaKV·Σ kv_len
+//
+// the decode-phase analogue the global manager uses for scale-up planning.
+type DecodeCoeffs struct {
+	Alpha   float64 `json:"alpha"`
+	BetaBS  float64 `json:"beta_bs"`
+	GammaKV float64 `json:"gamma_kv"`
+}
+
+// Predict evaluates the decode model.
+func (c DecodeCoeffs) Predict(bs, sumKV int) time.Duration {
+	s := c.Alpha + c.BetaBS*float64(bs) + c.GammaKV*float64(sumKV)
+	if s < 0 {
+		s = 0
+	}
+	return durSec(s)
+}
+
+// PrefillSample is one profiled prefill measurement.
+type PrefillSample struct {
+	Lens     []int         `json:"lens"`
+	Measured time.Duration `json:"measured"`
+}
+
+// DecodeSample is one profiled decode measurement.
+type DecodeSample struct {
+	BS       int           `json:"bs"`
+	SumKV    int           `json:"sum_kv"`
+	Measured time.Duration `json:"measured"`
+}
+
+// solveLinear solves a·x = b for small dense systems by Gaussian
+// elimination with partial pivoting; a and b are mutated.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-30 {
+			return nil, fmt.Errorf("costmodel: singular system (column %d)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// fitThreeFeature runs least squares for y ≈ c0 + c1·f1 + c2·f2 over
+// samples expressed as feature pairs. Because iteration times span four
+// orders of magnitude (tens of milliseconds to seconds), the fit minimizes
+// *relative* error — each sample is weighted by 1/y — so short-batch
+// predictions stay accurate alongside 500K-token batches (Fig 15 shows
+// <10% deviation across the whole range).
+func fitThreeFeature(f1, f2, y []float64) (c0, c1, c2 float64, err error) {
+	n := len(y)
+	if n < 3 {
+		return 0, 0, 0, fmt.Errorf("costmodel: need >=3 samples to fit, have %d", n)
+	}
+	// Normal equations (WX)ᵀ(WX) c = (WX)ᵀ(Wy) with X rows (1, f1, f2) and
+	// W = diag(1/y). Features are scaled to unit magnitude first for
+	// conditioning (Σlen² reaches 1e12).
+	s1, s2 := 1.0, 1.0
+	for i := 0; i < n; i++ {
+		if math.Abs(f1[i]) > s1 {
+			s1 = math.Abs(f1[i])
+		}
+		if math.Abs(f2[i]) > s2 {
+			s2 = math.Abs(f2[i])
+		}
+	}
+	a := [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	b := []float64{0, 0, 0}
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if y[i] > 1e-12 {
+			w = 1 / y[i]
+		}
+		x := []float64{w, w * f1[i] / s1, w * f2[i] / s2}
+		for r := 0; r < 3; r++ {
+			for k := 0; k < 3; k++ {
+				a[r][k] += x[r] * x[k]
+			}
+			b[r] += x[r] * w * y[i]
+		}
+	}
+	c, err := solveLinear(a, b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return c[0], c[1] / s1, c[2] / s2, nil
+}
+
+// FitPrefill fits Eq 7 coefficients to profiled samples by least squares,
+// "trained by the least square method based on a few profiling results"
+// (§5.5).
+func FitPrefill(samples []PrefillSample) (Coeffs, error) {
+	f1 := make([]float64, len(samples))
+	f2 := make([]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		for _, l := range s.Lens {
+			f1[i] += float64(l)
+			f2[i] += float64(l) * float64(l)
+		}
+		y[i] = s.Measured.Seconds()
+	}
+	a, b, g, err := fitThreeFeature(f1, f2, y)
+	if err != nil {
+		return Coeffs{}, err
+	}
+	return Coeffs{Alpha: a, Beta: b, Gamma: g}, nil
+}
+
+// FitDecode fits the decode-iteration model to profiled samples.
+func FitDecode(samples []DecodeSample) (DecodeCoeffs, error) {
+	f1 := make([]float64, len(samples))
+	f2 := make([]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		f1[i] = float64(s.BS)
+		f2[i] = float64(s.SumKV)
+		y[i] = s.Measured.Seconds()
+	}
+	a, b, g, err := fitThreeFeature(f1, f2, y)
+	if err != nil {
+		return DecodeCoeffs{}, err
+	}
+	return DecodeCoeffs{Alpha: a, BetaBS: b, GammaKV: g}, nil
+}

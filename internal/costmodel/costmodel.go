@@ -1,0 +1,227 @@
+// Package costmodel computes simulated iteration times for LLM serving on
+// the cluster substrate: a roofline-style physical model (compute FLOPs vs
+// memory traffic vs interconnect traffic) calibrated against the anchor
+// measurements the paper reports, plus the paper's analytical model (Eq 7)
+// with SIB-backed least-squares fitting used by the LoongServe global
+// manager at scheduling time.
+//
+// Two distinct layers live here on purpose:
+//
+//   - The *ground truth* layer (PrefillIterTime, DecodeIterTime,
+//     ChunkIterTime) plays the role of the GPUs: every serving engine in the
+//     simulator advances time by these durations.
+//   - The *estimator* layer (Coeffs, SIB) plays the role of the paper's
+//     §5.5 analytical model: the LoongServe scheduler never reads ground
+//     truth directly; it fits T_p(R) = α + β·Σlen + γ·Σlen² from profiled
+//     samples and plans with the fit, exactly as the real system does.
+//     Fig 15 measures the gap between the two.
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/model"
+)
+
+// CostModel computes ground-truth iteration times for one model on one
+// hardware generation.
+type CostModel struct {
+	M  model.Config
+	HW cluster.Hardware
+}
+
+// New returns a cost model; it panics on an invalid model config since that
+// is a programming error, not an input error.
+func New(m model.Config, hw cluster.Hardware) *CostModel {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &CostModel{M: m, HW: hw}
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for p := 1; p < n; p <<= 1 {
+		l++
+	}
+	return l
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func durSec(s float64) time.Duration { return time.Duration(s * 1e9) }
+
+// weightReadSec returns the time for one instance's GPUs to stream the
+// weight replica from HBM once — the memory-bound floor of an iteration.
+func (c *CostModel) weightReadSec(tp int) float64 {
+	return float64(c.M.WeightBytes()) / (float64(tp) * c.HW.MemBandwidth)
+}
+
+// tpCommSec returns tensor-parallel all-reduce time for `tokens` activation
+// rows within one instance of tp GPUs over NVLink: two all-reduces per
+// layer, ring all-reduce volume 2(tp-1)/tp, plus per-collective latency.
+func (c *CostModel) tpCommSec(tokens float64, tp int) float64 {
+	if tp <= 1 {
+		return 0
+	}
+	bytes := 2 * float64(c.M.Layers) * tokens * float64(c.M.Hidden) * float64(c.M.BytesParam) *
+		2 * float64(tp-1) / float64(tp)
+	lat := 2 * float64(c.M.Layers) * float64(ceilLog2(tp)) * c.HW.NVLinkLatency.Seconds()
+	return bytes/c.HW.NVLinkBandwidth + lat
+}
+
+// PrefillIterTime returns the duration of one prefill iteration for a batch
+// of fresh requests with the given input lengths, executed by a parallel
+// group of sp instances (tensor parallelism tp inside each), connected by
+// link (the group's bottleneck channel, relevant when sp > 1).
+//
+// Shape properties this reproduces:
+//   - long inputs scale nearly linearly with total GPUs (Fig 2 top);
+//   - short inputs are dominated by the fixed overhead, so extra GPUs are
+//     wasted (Fig 2 top, BS=1 Len=100);
+//   - SPxTP combinations match or slightly beat pure TP on long inputs
+//     because ring traffic overlaps with attention compute while
+//     all-reduce traffic shrinks (Fig 3).
+func (c *CostModel) PrefillIterTime(lens []int, sp, tp int, link cluster.Link) time.Duration {
+	if len(lens) == 0 {
+		return 0
+	}
+	if sp < 1 || tp < 1 {
+		panic(fmt.Sprintf("costmodel: invalid parallelism sp=%d tp=%d", sp, tp))
+	}
+	g := float64(sp * tp)
+	var sumLen, sumSq float64
+	for _, l := range lens {
+		sumLen += float64(l)
+		sumSq += float64(l) * float64(l)
+	}
+
+	tLin := c.M.FLOPsPerToken() * sumLen / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
+	// Causal attention touches len^2/2 pairs; striped attention balances
+	// this evenly over instances.
+	tAttn := c.M.AttnFLOPsPerTokenPair() * sumSq / 2 / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	tWeights := c.weightReadSec(tp)
+
+	// Sequence-parallel ring: the whole KV volume circulates (sp-1)/sp
+	// through each instance, overlapped with attention compute; per-round
+	// synchronization latency is not hidden.
+	var tRing, ringLat float64
+	if sp > 1 {
+		ringBytes := sumLen * float64(c.M.KVBytesPerToken()) * float64(sp-1) / float64(sp)
+		tRing = ringBytes / link.Bandwidth
+		ringLat = float64(c.M.Layers) * float64(sp-1) * link.Latency.Seconds()
+	}
+	tTP := c.tpCommSec(sumLen/float64(sp), tp)
+
+	total := c.HW.PrefillOverhead.Seconds() +
+		maxf(tLin, tWeights) +
+		maxf(tAttn, tRing) +
+		tTP + ringLat
+	return durSec(total)
+}
+
+// DecodeIterTime returns the duration of one decoding iteration: bs
+// requests each generating one token, with sumKV total resident KV tokens
+// spread over the group, sp instances of tp GPUs, and `masters` master
+// instances running the dense (FFN/projection) layers (§4.2).
+//
+// Shape properties:
+//   - small batches are bound by the weight read of a single instance, so
+//     decoding scales poorly with more GPUs (Fig 2 bottom);
+//   - large batches become compute bound and split across masters, giving
+//     multi-master decoding its ~2x win at BS=1024 (Fig 14b);
+//   - with one master and a large batch, dense layers serialize on the
+//     master — the single-master limitation the paper calls out.
+func (c *CostModel) DecodeIterTime(bs, sumKV, sp, tp, masters int, link cluster.Link) time.Duration {
+	if bs <= 0 {
+		return 0
+	}
+	if sp < 1 || tp < 1 {
+		panic(fmt.Sprintf("costmodel: invalid parallelism sp=%d tp=%d", sp, tp))
+	}
+	if masters < 1 {
+		masters = 1
+	}
+	if masters > sp {
+		masters = sp
+	}
+	if masters > bs {
+		masters = bs
+	}
+	g := float64(sp * tp)
+
+	// Dense layers on master instances, batch split across masters.
+	tLin := c.M.FLOPsPerToken() * float64(bs) / (float64(masters*tp) * c.HW.PeakFLOPS * c.HW.MFUDecode)
+	tWeights := c.weightReadSec(tp)
+
+	// Attention: reading resident KV dominates; it is spread over the whole
+	// group's HBM.
+	tKVRead := float64(sumKV) * float64(c.M.KVBytesPerToken()) / (g * c.HW.MemBandwidth)
+	tAttnFLOPs := c.M.AttnFLOPsPerTokenPair() * float64(sumKV) / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	tAttn := maxf(tKVRead, tAttnFLOPs)
+
+	// Query/partial-result exchange between instances, overlapped with
+	// local attention; per-layer synchronization latency is not hidden.
+	var commLat, tCommExcess float64
+	if sp > 1 {
+		qBytes := 2 * float64(c.M.Layers) * float64(bs) * float64(c.M.Hidden) * float64(c.M.BytesParam) *
+			float64(sp-1) / float64(sp)
+		tComm := qBytes / link.Bandwidth
+		tCommExcess = maxf(0, tComm-tAttn)
+		commLat = 2 * float64(c.M.Layers) * link.Latency.Seconds()
+	}
+	tTP := c.tpCommSec(float64(bs)/float64(masters), tp)
+
+	total := c.HW.DecodeOverhead.Seconds() +
+		maxf(tLin, tWeights) +
+		tAttn + tCommExcess +
+		tTP + commLat
+	return durSec(total)
+}
+
+// ChunkIterTime returns the duration of one chunked-prefill (SplitFuse /
+// SARATHI / DeepSpeed-FastGen) iteration on a single instance of tp GPUs:
+// `chunk` new prompt tokens attending over ctx already-cached tokens, fused
+// with a decode batch of decodeBS requests holding decodeKV cached tokens.
+func (c *CostModel) ChunkIterTime(chunk, ctx, decodeBS, decodeKV, tp int) time.Duration {
+	g := float64(tp)
+	newTokens := float64(chunk + decodeBS)
+	tLin := c.M.FLOPsPerToken() * newTokens / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
+	tWeights := c.weightReadSec(tp)
+
+	// Chunk attention: each of the chunk tokens attends over ctx previous
+	// tokens plus the causal half of the chunk itself.
+	pairs := float64(chunk)*float64(ctx) + float64(chunk)*float64(chunk)/2
+	tAttn := c.M.AttnFLOPsPerTokenPair() * pairs / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	// Decode attention within the fused batch.
+	tKVRead := float64(decodeKV) * float64(c.M.KVBytesPerToken()) / (g * c.HW.MemBandwidth)
+
+	tTP := c.tpCommSec(newTokens, tp)
+	total := c.HW.ChunkOverhead.Seconds() + maxf(tLin, tWeights) + tAttn + tKVRead + tTP
+	return durSec(total)
+}
+
+// ScaleDownOverhead returns the extra time proactive scale-down adds to a
+// prefill iteration: pure bookkeeping (selecting which KV tokens to retain
+// while they stream past in the ring), no extra communication (§4.1). It is
+// bounded well under the paper's measured <2% (Fig 14a).
+func (c *CostModel) ScaleDownOverhead() time.Duration {
+	return 200 * time.Microsecond
+}
+
+// ReactiveMigrationTime returns the cost of the baseline reactive
+// scale-down: after prefill, move `tokens` KV tokens across instances over
+// the given link. Proactive migration avoids exactly this.
+func (c *CostModel) ReactiveMigrationTime(tokens int, link cluster.Link) time.Duration {
+	if tokens <= 0 {
+		return 0
+	}
+	return link.Transfer(int64(tokens) * c.M.KVBytesPerToken())
+}

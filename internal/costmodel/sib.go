@@ -1,0 +1,204 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"loongserve/internal/cluster"
+)
+
+// SIB is the Scaling Information Base (§3, §5.5): the store of profiling
+// results the global manager trains its analytical models from. The paper
+// keeps it in SQLite; stdlib-only, we keep it in memory with JSON
+// persistence — the lookup/fit API is the same.
+type SIB struct {
+	Prefill map[string][]PrefillSample `json:"prefill"`
+	Decode  map[string][]DecodeSample  `json:"decode"`
+
+	// PrefillTippingPoint is the profiled upper bound of the iteration time
+	// at which a prefill batch stops being memory bound (§5.1): the
+	// dispatcher stops growing R_p past it.
+	PrefillTippingPoint time.Duration `json:"prefill_tipping_point"`
+	// DecodeBSThreshold is the profiled batch size at which decoding turns
+	// compute bound (§5.4): the scale-up trigger.
+	DecodeBSThreshold int `json:"decode_bs_threshold"`
+
+	fittedPrefill map[string]Coeffs
+	fittedDecode  map[string]DecodeCoeffs
+}
+
+// NewSIB returns an empty scaling information base.
+func NewSIB() *SIB {
+	return &SIB{
+		Prefill:       make(map[string][]PrefillSample),
+		Decode:        make(map[string][]DecodeSample),
+		fittedPrefill: make(map[string]Coeffs),
+		fittedDecode:  make(map[string]DecodeCoeffs),
+	}
+}
+
+// AddPrefill records a prefill profile point and invalidates the fit.
+func (s *SIB) AddPrefill(st Strategy, sample PrefillSample) {
+	s.Prefill[st.Key()] = append(s.Prefill[st.Key()], sample)
+	delete(s.fittedPrefill, st.Key())
+}
+
+// AddDecode records a decode profile point and invalidates the fit.
+func (s *SIB) AddDecode(st Strategy, sample DecodeSample) {
+	s.Decode[st.Key()] = append(s.Decode[st.Key()], sample)
+	delete(s.fittedDecode, st.Key())
+}
+
+// PrefillCoeffs returns (fitting on demand and caching) the Eq 7
+// coefficients for one strategy.
+func (s *SIB) PrefillCoeffs(st Strategy) (Coeffs, error) {
+	if c, ok := s.fittedPrefill[st.Key()]; ok {
+		return c, nil
+	}
+	samples := s.Prefill[st.Key()]
+	c, err := FitPrefill(samples)
+	if err != nil {
+		return Coeffs{}, fmt.Errorf("strategy %s: %w", st.Key(), err)
+	}
+	if s.fittedPrefill == nil {
+		s.fittedPrefill = make(map[string]Coeffs)
+	}
+	s.fittedPrefill[st.Key()] = c
+	return c, nil
+}
+
+// DecodeCoeffs returns the decode model for one strategy.
+func (s *SIB) DecodeCoeffs(st Strategy) (DecodeCoeffs, error) {
+	if c, ok := s.fittedDecode[st.Key()]; ok {
+		return c, nil
+	}
+	c, err := FitDecode(s.Decode[st.Key()])
+	if err != nil {
+		return DecodeCoeffs{}, fmt.Errorf("strategy %s: %w", st.Key(), err)
+	}
+	if s.fittedDecode == nil {
+		s.fittedDecode = make(map[string]DecodeCoeffs)
+	}
+	s.fittedDecode[st.Key()] = c
+	return c, nil
+}
+
+// Strategies returns the profiled prefill strategies, sorted by key.
+func (s *SIB) Strategies() []string {
+	keys := make([]string, 0, len(s.Prefill))
+	for k := range s.Prefill {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Save writes the SIB as JSON.
+func (s *SIB) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a SIB from JSON.
+func Load(path string) (*SIB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSIB()
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Profiler generates SIB profiles by "running" batches on the ground-truth
+// cost model, with small deterministic measurement jitter so the fits face
+// realistic residuals (the real system profiles a noisy GPU).
+type Profiler struct {
+	CM     *CostModel
+	Link   cluster.Link
+	Jitter float64 // relative, e.g. 0.02 for ±2%
+	Seed   int64
+}
+
+// jittered perturbs d multiplicatively with deterministic noise.
+func (p *Profiler) jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if p.Jitter == 0 {
+		return d
+	}
+	f := 1 + (rng.Float64()*2-1)*p.Jitter
+	return time.Duration(float64(d) * f)
+}
+
+// DefaultPrefillGrid returns the profiling grid used to fit prefill models:
+// batch sizes and per-request lengths covering the paper's Fig 15 ranges.
+func DefaultPrefillGrid(maxLen int) [][]int {
+	var grid [][]int
+	lens := []int{128, 512, 1024, 4096, 10_000, 25_000, 50_000, 100_000, 200_000, 350_000, 512_000}
+	for _, bs := range []int{1, 2, 4, 8} {
+		for _, l := range lens {
+			if l*bs > maxLen {
+				continue
+			}
+			batch := make([]int, bs)
+			for i := range batch {
+				batch[i] = l
+			}
+			grid = append(grid, batch)
+		}
+	}
+	return grid
+}
+
+// ProfilePrefill runs the grid for one strategy and records samples.
+func (p *Profiler) ProfilePrefill(sib *SIB, st Strategy, grid [][]int) {
+	rng := rand.New(rand.NewSource(p.Seed + int64(st.SP)*1000 + int64(st.TP)))
+	for _, lens := range grid {
+		d := p.CM.PrefillIterTime(lens, st.SP, st.TP, p.Link)
+		sib.AddPrefill(st, PrefillSample{Lens: append([]int(nil), lens...), Measured: p.jittered(d, rng)})
+	}
+}
+
+// ProfileDecode runs a decode grid for one strategy.
+func (p *Profiler) ProfileDecode(sib *SIB, st Strategy, masters int) {
+	rng := rand.New(rand.NewSource(p.Seed + 7_000_000 + int64(st.SP)*1000 + int64(st.TP)))
+	for _, bs := range []int{1, 4, 16, 64, 256, 1024} {
+		for _, avgKV := range []int{128, 1024, 8192, 65_536} {
+			d := p.CM.DecodeIterTime(bs, bs*avgKV, st.SP, st.TP, masters, p.Link)
+			sib.AddDecode(st, DecodeSample{BS: bs, SumKV: bs * avgKV, Measured: p.jittered(d, rng)})
+		}
+	}
+}
+
+// CalibrateThresholds profiles the two scalar knobs the scheduler needs:
+// the prefill tipping point (iteration time where a batch of typical
+// lengths saturates compute) and the decode batch-size threshold (where
+// decoding turns compute bound, §5.4: "FFN layers first become the
+// computation bottleneck and their complexity is related to the batch
+// size").
+func (p *Profiler) CalibrateThresholds(sib *SIB, st Strategy) {
+	// Decode threshold: smallest batch size whose dense compute time
+	// exceeds the weight-read floor — the compute-bound crossing past
+	// which splitting dense layers over more masters genuinely pays.
+	// Triggering earlier would grab instances from the prefill phase for a
+	// few-percent decode gain.
+	perReq := p.CM.M.FLOPsPerToken() / (float64(st.TP) * p.CM.HW.PeakFLOPS * p.CM.HW.MFUDecode)
+	threshold := int(p.CM.weightReadSec(st.TP)/perReq) + 1
+	if threshold < 1 {
+		threshold = 1
+	}
+	sib.DecodeBSThreshold = threshold
+	// Tipping point: the iteration time past which a prefill batch is
+	// clearly compute bound — the fixed overhead and weight read are well
+	// amortized and adding requests only stretches the iteration (§5.1).
+	floor := p.CM.HW.PrefillOverhead.Seconds() + p.CM.weightReadSec(st.TP)
+	sib.PrefillTippingPoint = durSec(4 * floor)
+}

@@ -1,0 +1,268 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"loongserve/internal/token"
+)
+
+func newBatcher(t *testing.T, instances int) *Batcher {
+	t.Helper()
+	lm := NewLM(token.Default(), LMOptions{Instances: instances, MaxContext: 256})
+	b := NewBatcher(lm)
+	t.Cleanup(b.Close)
+	return b
+}
+
+func generate(t *testing.T, g Generator, prompt string, maxTokens int) ([]int, string) {
+	t.Helper()
+	tok := token.Default()
+	var ids []int
+	finish, err := g.Generate(context.Background(), tok.Encode(prompt), maxTokens, 0, 1, func(id int) error {
+		ids = append(ids, id)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ids, finish
+}
+
+func TestBatcherMatchesSerialLM(t *testing.T) {
+	// A single request through the batcher must reproduce the serial
+	// LM's greedy output token-for-token (same weights, same math).
+	serial := NewLM(token.Default(), LMOptions{Instances: 2, MaxContext: 256})
+	want, wantFinish := collect(t, serial, "the decoding phase", 10, 0, 1)
+
+	b := newBatcher(t, 2)
+	got, gotFinish := generate(t, b, "the decoding phase", 10)
+	if gotFinish != wantFinish {
+		t.Errorf("finish %q != serial %q", gotFinish, wantFinish)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d tokens != serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %d != serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatcherConcurrentRequestsMatchSerial(t *testing.T) {
+	const n = 6
+	prompts := make([]string, n)
+	for i := range prompts {
+		prompts[i] = fmt.Sprintf("request %d about the prefill phase", i)
+	}
+	// Serial references, one at a time.
+	serial := NewLM(token.Default(), LMOptions{Instances: 2, MaxContext: 256})
+	want := make([][]int, n)
+	for i, p := range prompts {
+		want[i], _ = collect(t, serial, p, 8, 0, 1)
+	}
+
+	b := newBatcher(t, 2)
+	got := make([][]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range prompts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tok := token.Default()
+			_, errs[i] = b.Generate(context.Background(), tok.Encode(prompts[i]), 8, 0, 1, func(id int) error {
+				got[i] = append(got[i], id)
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := range prompts {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("request %d: %d tokens, serial %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d token %d: %d != serial %d — batching changed results",
+					i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBatcherActuallyBatches(t *testing.T) {
+	b := newBatcher(t, 2)
+	const n = 5
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			tok := token.Default()
+			_, err := b.Generate(context.Background(), tok.Encode(fmt.Sprintf("p%d", i)), 12, 0, 1, func(int) error { return nil })
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	iters, maxBatch := b.Stats()
+	if maxBatch < 2 {
+		t.Errorf("max decode batch = %d; continuous batching never batched", maxBatch)
+	}
+	// Shared iterations: total iterations must be well under n
+	// generations x 12 tokens each run separately.
+	if iters >= n*12 {
+		t.Errorf("ran %d iterations for %d requests x 12 tokens: no sharing", iters, n)
+	}
+}
+
+func TestBatcherKVCleanup(t *testing.T) {
+	b := newBatcher(t, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			generate(t, b, fmt.Sprintf("cleanup %d", i), 5)
+		}(i)
+	}
+	wg.Wait()
+	for i, in := range b.lm.group.Instances {
+		if len(in.KV) != 0 {
+			t.Errorf("instance %d retains %d KV caches", i, len(in.KV))
+		}
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	b := newBatcher(t, 2)
+	if _, err := b.Generate(context.Background(), nil, -1, 0, 1, func(int) error { return nil }); err == nil {
+		t.Error("negative maxTokens accepted")
+	}
+	if _, err := b.Generate(context.Background(), []int{-2}, 1, 0, 1, func(int) error { return nil }); err == nil {
+		t.Error("bad prompt token accepted")
+	}
+	long := make([]int, 300)
+	_, err := b.Generate(context.Background(), long, 10, 0, 1, func(int) error { return nil })
+	var overflow *ErrContextOverflow
+	if !errors.As(err, &overflow) {
+		t.Errorf("err = %v, want ErrContextOverflow", err)
+	}
+}
+
+func TestBatcherEmitErrorAbortsOnlyThatRequest(t *testing.T) {
+	b := newBatcher(t, 2)
+	boom := fmt.Errorf("client gone")
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	var goodTokens int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, badErr = b.Generate(context.Background(), token.Default().Encode("doomed"), 10, 0, 1,
+			func(int) error { return boom })
+	}()
+	go func() {
+		defer wg.Done()
+		_, goodErr = b.Generate(context.Background(), token.Default().Encode("fine"), 10, 0, 1,
+			func(int) error { goodTokens++; return nil })
+	}()
+	wg.Wait()
+	if !errors.Is(badErr, boom) {
+		t.Errorf("doomed request err = %v", badErr)
+	}
+	if goodErr != nil {
+		t.Errorf("healthy request err = %v", goodErr)
+	}
+	if goodTokens == 0 {
+		t.Error("healthy request produced nothing")
+	}
+}
+
+func TestBatcherContextCancellation(t *testing.T) {
+	b := newBatcher(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	_, err := b.Generate(ctx, token.Default().Encode("cancel me"), 50, 0, 1, func(int) error {
+		emitted++
+		if emitted == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted > 3 {
+		t.Errorf("ran %d tokens past cancellation", emitted)
+	}
+}
+
+func TestBatcherClosedRejectsNewWork(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{Instances: 2, MaxContext: 256})
+	b := NewBatcher(lm)
+	b.Close()
+	// Close twice is fine.
+	b.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Generate(context.Background(), token.Default().Encode("x"), 4, 0, 1, func(int) error { return nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("closed batcher accepted work")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Generate blocked forever on a closed batcher")
+	}
+}
+
+func TestBatcherBehindHTTPServer(t *testing.T) {
+	tok := token.Default()
+	lm := NewLM(tok, LMOptions{Instances: 2, MaxContext: 128})
+	b := NewBatcher(lm)
+	t.Cleanup(b.Close)
+	s := NewServer(b, tok, "loongserve-tiny-lm")
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	status := make([]int, 6)
+	for i := range status {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/completions", CompletionRequest{
+				Prompt:    fmt.Sprintf("concurrent %d", i),
+				MaxTokens: intp(5),
+			})
+			status[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range status {
+		if st != http.StatusOK {
+			t.Errorf("request %d: status %d", i, st)
+		}
+	}
+	if _, maxBatch := b.Stats(); maxBatch < 2 {
+		t.Logf("max batch %d (timing-dependent; not asserted)", maxBatch)
+	}
+}

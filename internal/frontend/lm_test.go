@@ -1,0 +1,201 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"loongserve/internal/token"
+)
+
+func collect(t *testing.T, lm *LM, prompt string, maxTokens int, temperature float64, seed int64) ([]int, string) {
+	t.Helper()
+	var ids []int
+	finish, err := lm.Generate(context.Background(), lm.Tok.Encode(prompt), maxTokens, temperature, seed,
+		func(id int) error {
+			ids = append(ids, id)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ids, finish
+}
+
+func TestLMDeterministicGreedy(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{Instances: 2})
+	a, fa := collect(t, lm, "the prefill phase", 8, 0, 1)
+	b, fb := collect(t, lm, "the prefill phase", 8, 0, 99) // seed ignored at T=0
+	if fa != fb {
+		t.Errorf("finish reasons differ: %q vs %q", fa, fb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("greedy decoding diverged at token %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLMDoPInvariance(t *testing.T) {
+	// The same prompt must produce the same greedy completion whatever
+	// the ESP group size — elastic parallelism never changes results
+	// (the paper's "same accuracy as the original implementations", §6).
+	var ref []int
+	for _, dop := range []int{1, 2, 4} {
+		lm := NewLM(token.Default(), LMOptions{Instances: dop})
+		ids, _ := collect(t, lm, "elastic sequence parallelism", 10, 0, 1)
+		if ref == nil {
+			ref = ids
+			continue
+		}
+		if len(ids) != len(ref) {
+			t.Fatalf("DoP %d produced %d tokens, DoP 1 produced %d", dop, len(ids), len(ref))
+		}
+		for i := range ids {
+			if ids[i] != ref[i] {
+				t.Fatalf("DoP %d diverged from DoP 1 at token %d", dop, i)
+			}
+		}
+	}
+}
+
+func TestLMRespectsMaxTokens(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	for _, n := range []int{0, 1, 5} {
+		ids, finish := collect(t, lm, "hello", n, 0, 1)
+		if len(ids) > n {
+			t.Errorf("maxTokens %d produced %d tokens", n, len(ids))
+		}
+		if n == 0 && finish != "length" {
+			t.Errorf("maxTokens 0 finish = %q, want length", finish)
+		}
+	}
+}
+
+func TestLMEmptyPrompt(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	ids, finish := collect(t, lm, "", 4, 0, 1)
+	if len(ids) == 0 {
+		t.Error("empty prompt produced no tokens")
+	}
+	if finish != "length" && finish != "stop" {
+		t.Errorf("finish = %q", finish)
+	}
+}
+
+func TestLMContextOverflow(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{MaxContext: 32})
+	long := make([]int, 30)
+	_, err := lm.Generate(context.Background(), long, 10, 0, 1, func(int) error { return nil })
+	var overflow *ErrContextOverflow
+	if !errors.As(err, &overflow) {
+		t.Fatalf("err = %v, want ErrContextOverflow", err)
+	}
+	if overflow.Prompt != 30 || overflow.MaxTokens != 10 || overflow.Window != 32 {
+		t.Errorf("overflow detail = %+v", overflow)
+	}
+	// Exactly at the window is fine.
+	if _, err := lm.Generate(context.Background(), long[:22], 10, 0, 1, func(int) error { return nil }); err != nil {
+		t.Errorf("prompt+max == window rejected: %v", err)
+	}
+}
+
+func TestLMInvalidTokens(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	if _, err := lm.Generate(context.Background(), []int{-1}, 1, 0, 1, func(int) error { return nil }); err == nil {
+		t.Error("negative prompt token accepted")
+	}
+	if _, err := lm.Generate(context.Background(), []int{lm.Tok.TotalSize()}, 1, 0, 1, func(int) error { return nil }); err == nil {
+		t.Error("out-of-vocab prompt token accepted")
+	}
+	if _, err := lm.Generate(context.Background(), nil, -1, 0, 1, func(int) error { return nil }); err == nil {
+		t.Error("negative maxTokens accepted")
+	}
+}
+
+func TestLMEmitErrorAborts(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	boom := fmt.Errorf("client hung up")
+	calls := 0
+	_, err := lm.Generate(context.Background(), lm.Tok.Encode("hi"), 10, 0, 1, func(int) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+	if calls != 1 {
+		t.Errorf("generation continued after emit error: %d calls", calls)
+	}
+}
+
+func TestLMContextCancellation(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	_, err := lm.Generate(ctx, lm.Tok.Encode("hello world"), 50, 0, 1, func(int) error {
+		emitted++
+		if emitted == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted > 3 {
+		t.Errorf("generation ran %d tokens past cancellation", emitted)
+	}
+}
+
+func TestLMTemperatureSamplingSeeded(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{})
+	a, _ := collect(t, lm, "sampling test", 8, 0.8, 42)
+	b, _ := collect(t, lm, "sampling test", 8, 0.8, 42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// Different seeds should (overwhelmingly) differ somewhere across a
+	// few draws; retry a couple of seeds to avoid flakiness.
+	differs := false
+	for seed := int64(43); seed < 46 && !differs; seed++ {
+		c, _ := collect(t, lm, "sampling test", 8, 0.8, seed)
+		for i := range a {
+			if i < len(c) && c[i] != a[i] {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Error("three different seeds reproduced the seed-42 sample exactly")
+	}
+}
+
+func TestLMKVCleanupBetweenRequests(t *testing.T) {
+	lm := NewLM(token.Default(), LMOptions{Instances: 2})
+	for i := 0; i < 5; i++ {
+		collect(t, lm, "cleanup check", 4, 0, 1)
+	}
+	for i, in := range lm.group.Instances {
+		if n := len(in.KV); n != 0 {
+			t.Errorf("instance %d retains %d KV caches after all requests finished", i, n)
+		}
+	}
+}
+
+func TestSampleGreedyPicksArgmax(t *testing.T) {
+	logits := []float32{0.1, 2.5, -1, 2.4}
+	if got := sample(logits, 0, nil); got != 1 {
+		t.Errorf("sample(T=0) = %d, want 1", got)
+	}
+}

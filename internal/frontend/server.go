@@ -1,0 +1,291 @@
+package frontend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"loongserve/internal/token"
+)
+
+// CompletionRequest is the accepted subset of the OpenAI completions API.
+type CompletionRequest struct {
+	Model       string  `json:"model"`
+	Prompt      string  `json:"prompt"`
+	MaxTokens   *int    `json:"max_tokens,omitempty"`
+	Temperature float64 `json:"temperature,omitempty"`
+	Stream      bool    `json:"stream,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// Choice is one completion alternative (this server always returns one).
+type Choice struct {
+	Text         string `json:"text"`
+	Index        int    `json:"index"`
+	FinishReason string `json:"finish_reason,omitempty"`
+}
+
+// Usage reports token accounting for one request.
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// CompletionResponse is the buffered (non-stream) reply; stream chunks use
+// the same shape with partial Text and omitted Usage.
+type CompletionResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   *Usage   `json:"usage,omitempty"`
+}
+
+// APIError is the error envelope.
+type APIError struct {
+	Message string `json:"message"`
+	Type    string `json:"type"`
+	Code    string `json:"code,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// ModelInfo describes one entry of /v1/models.
+type ModelInfo struct {
+	ID      string `json:"id"`
+	Object  string `json:"object"`
+	Created int64  `json:"created"`
+	OwnedBy string `json:"owned_by"`
+}
+
+// Server is the HTTP front end. Construct with NewServer and mount via
+// Handler.
+type Server struct {
+	gen   Generator
+	tok   *token.Tokenizer
+	model string
+	// Now is the clock used for "created" stamps; overridable in tests.
+	Now func() time.Time
+	// DefaultMaxTokens applies when max_tokens is omitted (OpenAI
+	// defaults to 16).
+	DefaultMaxTokens int
+
+	nextID atomic.Int64
+}
+
+// NewServer wires a Generator and tokenizer behind the API.
+func NewServer(gen Generator, tok *token.Tokenizer, modelName string) *Server {
+	return &Server{
+		gen:              gen,
+		tok:              tok,
+		model:            modelName,
+		Now:              time.Now,
+		DefaultMaxTokens: 16,
+	}
+}
+
+// Handler returns the routable HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/completions", s.handleCompletions)
+	mux.HandleFunc("/v1/chat/completions", s.handleChat)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, typ, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: APIError{
+		Message: fmt.Sprintf(format, args...),
+		Type:    typ,
+		Code:    code,
+	}})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "method_not_allowed",
+			"%s not allowed on /v1/models", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"object": "list",
+		"data": []ModelInfo{{
+			ID:      s.model,
+			Object:  "model",
+			Created: s.Now().Unix(),
+			OwnedBy: "loongserve",
+		}},
+	})
+}
+
+func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "method_not_allowed",
+			"%s not allowed on /v1/completions", r.Method)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "read_error", "reading body: %v", err)
+		return
+	}
+	var req CompletionRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "invalid_json", "parsing request: %v", err)
+		return
+	}
+	if req.Model != "" && req.Model != s.model {
+		writeError(w, http.StatusNotFound, "invalid_request_error", "model_not_found",
+			"model %q not found (serving %q)", req.Model, s.model)
+		return
+	}
+	maxTokens := s.DefaultMaxTokens
+	if req.MaxTokens != nil {
+		maxTokens = *req.MaxTokens
+	}
+	if maxTokens < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "invalid_max_tokens",
+			"max_tokens must be non-negative, got %d", maxTokens)
+		return
+	}
+	if req.Temperature < 0 || req.Temperature > 2 {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "invalid_temperature",
+			"temperature must be in [0, 2], got %g", req.Temperature)
+		return
+	}
+	prompt := s.tok.Encode(req.Prompt)
+	if len(prompt)+maxTokens > s.gen.MaxContext() {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "context_length_exceeded",
+			"prompt of %d tokens + max_tokens %d exceeds the %d-token context window",
+			len(prompt), maxTokens, s.gen.MaxContext())
+		return
+	}
+
+	id := fmt.Sprintf("cmpl-%d", s.nextID.Add(1))
+	created := s.Now().Unix()
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.nextID.Load()
+	}
+
+	if req.Stream {
+		s.streamCompletion(w, r.Context(), id, created, prompt, maxTokens, req.Temperature, seed)
+		return
+	}
+
+	var sb strings.Builder
+	completion := 0
+	finish, err := s.gen.Generate(r.Context(), prompt, maxTokens, req.Temperature, seed, func(tid int) error {
+		text, err := s.tok.Decode([]int{tid})
+		if err != nil {
+			return err
+		}
+		sb.WriteString(text)
+		completion++
+		return nil
+	})
+	if err != nil {
+		var overflow *ErrContextOverflow
+		if errors.As(err, &overflow) {
+			writeError(w, http.StatusBadRequest, "invalid_request_error", "context_length_exceeded", "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "server_error", "generation_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompletionResponse{
+		ID:      id,
+		Object:  "text_completion",
+		Created: created,
+		Model:   s.model,
+		Choices: []Choice{{Text: sb.String(), Index: 0, FinishReason: finish}},
+		Usage: &Usage{
+			PromptTokens:     len(prompt),
+			CompletionTokens: completion,
+			TotalTokens:      len(prompt) + completion,
+		},
+	})
+}
+
+// streamCompletion writes Server-Sent Events: one chunk per token, a final
+// chunk carrying the finish reason, then "[DONE]".
+func (s *Server) streamCompletion(w http.ResponseWriter, ctx context.Context, id string, created int64, prompt []int, maxTokens int, temperature float64, seed int64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "server_error", "no_flush",
+			"response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeChunk := func(c CompletionResponse) error {
+		b, err := json.Marshal(c)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	}
+
+	finish, err := s.gen.Generate(ctx, prompt, maxTokens, temperature, seed, func(tid int) error {
+		text, err := s.tok.Decode([]int{tid})
+		if err != nil {
+			return err
+		}
+		return writeChunk(CompletionResponse{
+			ID:      id,
+			Object:  "text_completion",
+			Created: created,
+			Model:   s.model,
+			Choices: []Choice{{Text: text, Index: 0}},
+		})
+	})
+	if err != nil {
+		// Headers are gone; surface the failure as a terminal SSE event.
+		_ = writeChunk(CompletionResponse{
+			ID:      id,
+			Object:  "text_completion",
+			Created: created,
+			Model:   s.model,
+			Choices: []Choice{{Index: 0, FinishReason: "error"}},
+		})
+	} else {
+		_ = writeChunk(CompletionResponse{
+			ID:      id,
+			Object:  "text_completion",
+			Created: created,
+			Model:   s.model,
+			Choices: []Choice{{Index: 0, FinishReason: finish}},
+		})
+	}
+	_, _ = io.WriteString(w, "data: [DONE]\n\n")
+	flusher.Flush()
+}

@@ -1,0 +1,431 @@
+// Package kvcache provides key-value cache *accounting*: fixed-capacity
+// token-slot pools per elastic instance, per-request placement maps, and the
+// cluster-wide unified distributed pool view.
+//
+// LoongServe's central memory idea (§4) is that KV tensors are managed at
+// the granularity of a single token with no locality constraint: a
+// request's tokens may live on any subset of instances. Baseline systems
+// keep the whole-request locality constraint, which produces the
+// fragmentation of Fig 4 — six free slots spread over three instances
+// cannot serve a six-token request. Both disciplines are expressible here:
+// unified placement via DistributedPool.PlaceSpread, locality via
+// PlaceSingle.
+//
+// This package tracks only slot counts and placements; the actual tensor
+// payloads live in internal/model.KVCache (functional layer) or are purely
+// simulated (timing layer).
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RequestID identifies a serving request.
+type RequestID int64
+
+// InstanceID identifies an elastic instance.
+type InstanceID int
+
+// Pool is the token-slot pool of a single elastic instance.
+type Pool struct {
+	Instance InstanceID
+	capacity int
+	used     int
+	held     map[RequestID]int
+}
+
+// NewPool returns an empty pool with the given capacity in token slots.
+func NewPool(inst InstanceID, capacity int) *Pool {
+	if capacity < 0 {
+		panic(fmt.Sprintf("kvcache: negative capacity %d", capacity))
+	}
+	return &Pool{Instance: inst, capacity: capacity, held: make(map[RequestID]int)}
+}
+
+// Capacity returns the total slot count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Used returns the number of occupied slots.
+func (p *Pool) Used() int { return p.used }
+
+// Free returns the number of unoccupied slots.
+func (p *Pool) Free() int { return p.capacity - p.used }
+
+// Held returns the slots held by one request.
+func (p *Pool) Held(r RequestID) int { return p.held[r] }
+
+// Requests returns the IDs holding slots, in ascending order.
+func (p *Pool) Requests() []RequestID {
+	ids := make([]RequestID, 0, len(p.held))
+	for id := range p.held {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Alloc reserves n slots for request r. It fails without side effects when
+// fewer than n slots are free.
+func (p *Pool) Alloc(r RequestID, n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: instance %d: negative alloc %d", p.Instance, n)
+	}
+	if p.Free() < n {
+		return fmt.Errorf("kvcache: instance %d: alloc %d exceeds %d free", p.Instance, n, p.Free())
+	}
+	p.used += n
+	if n > 0 {
+		p.held[r] += n
+	}
+	return nil
+}
+
+// Release returns n of request r's slots to the pool.
+func (p *Pool) Release(r RequestID, n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: instance %d: negative release %d", p.Instance, n)
+	}
+	have := p.held[r]
+	if n > have {
+		return fmt.Errorf("kvcache: instance %d: release %d > held %d for request %d", p.Instance, n, have, r)
+	}
+	p.used -= n
+	if have == n {
+		delete(p.held, r)
+	} else {
+		p.held[r] = have - n
+	}
+	return nil
+}
+
+// ReleaseAll frees every slot held by request r and returns how many were
+// freed.
+func (p *Pool) ReleaseAll(r RequestID) int {
+	n := p.held[r]
+	p.used -= n
+	delete(p.held, r)
+	return n
+}
+
+// Placement records where a request's KV tokens live: token counts per
+// instance. The zero value is an empty placement.
+type Placement map[InstanceID]int
+
+// Total returns the token count across all instances.
+func (pl Placement) Total() int {
+	t := 0
+	for _, n := range pl {
+		t += n
+	}
+	return t
+}
+
+// Instances returns the instance IDs with a non-zero share, ascending.
+func (pl Placement) Instances() []InstanceID {
+	ids := make([]InstanceID, 0, len(pl))
+	for id, n := range pl {
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Clone returns a copy of the placement.
+func (pl Placement) Clone() Placement {
+	c := make(Placement, len(pl))
+	for id, n := range pl {
+		c[id] = n
+	}
+	return c
+}
+
+// Add merges another placement into pl.
+func (pl Placement) Add(other Placement) {
+	for id, n := range other {
+		pl[id] += n
+	}
+}
+
+// DistributedPool is the unified distributed KV cache pool: the pools of
+// every elastic instance plus the per-request placement index.
+type DistributedPool struct {
+	pools      map[InstanceID]*Pool
+	placements map[RequestID]Placement
+}
+
+// NewDistributedPool builds a pool set from per-instance capacities.
+func NewDistributedPool(capacities map[InstanceID]int) *DistributedPool {
+	d := &DistributedPool{
+		pools:      make(map[InstanceID]*Pool, len(capacities)),
+		placements: make(map[RequestID]Placement),
+	}
+	for id, c := range capacities {
+		d.pools[id] = NewPool(id, c)
+	}
+	return d
+}
+
+// Pool returns the pool of one instance (nil if unknown).
+func (d *DistributedPool) Pool(id InstanceID) *Pool { return d.pools[id] }
+
+// Instances returns all instance IDs, ascending.
+func (d *DistributedPool) Instances() []InstanceID {
+	ids := make([]InstanceID, 0, len(d.pools))
+	for id := range d.pools {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TotalFree returns free slots summed over a subset of instances (all when
+// subset is nil).
+func (d *DistributedPool) TotalFree(subset []InstanceID) int {
+	if subset == nil {
+		subset = d.Instances()
+	}
+	t := 0
+	for _, id := range subset {
+		t += d.pools[id].Free()
+	}
+	return t
+}
+
+// TotalCapacity returns capacity summed over all instances.
+func (d *DistributedPool) TotalCapacity() int {
+	t := 0
+	for _, p := range d.pools {
+		t += p.Capacity()
+	}
+	return t
+}
+
+// TotalUsed returns used slots summed over all instances.
+func (d *DistributedPool) TotalUsed() int {
+	t := 0
+	for _, p := range d.pools {
+		t += p.Used()
+	}
+	return t
+}
+
+// MaxFree returns the largest per-instance free count within subset (all
+// when nil) and the instance achieving it. Ties break toward the lower ID
+// for determinism.
+func (d *DistributedPool) MaxFree(subset []InstanceID) (InstanceID, int) {
+	if subset == nil {
+		subset = d.Instances()
+	}
+	best, bestFree := InstanceID(-1), -1
+	for _, id := range subset {
+		f := d.pools[id].Free()
+		if f > bestFree {
+			best, bestFree = id, f
+		}
+	}
+	return best, bestFree
+}
+
+// FitsUnified reports whether n tokens fit under the unified (token
+// granularity, no locality) discipline within subset: total free >= n.
+func (d *DistributedPool) FitsUnified(n int, subset []InstanceID) bool {
+	return d.TotalFree(subset) >= n
+}
+
+// FitsLocal reports whether n tokens fit under the whole-request locality
+// constraint within subset: some single instance has >= n free. This is the
+// discipline that produces Fig 4's fragmentation.
+func (d *DistributedPool) FitsLocal(n int, subset []InstanceID) bool {
+	_, f := d.MaxFree(subset)
+	return f >= n
+}
+
+// Fragmentation returns 1 - maxFree/totalFree over all instances: zero when
+// one instance holds all the free space (no fragmentation), approaching
+// 1-1/m when free space is spread evenly over m instances.
+func (d *DistributedPool) Fragmentation() float64 {
+	total := d.TotalFree(nil)
+	if total == 0 {
+		return 0
+	}
+	_, max := d.MaxFree(nil)
+	return 1 - float64(max)/float64(total)
+}
+
+// Placement returns (a copy of) the placement of request r.
+func (d *DistributedPool) Placement(r RequestID) Placement {
+	return d.placements[r].Clone()
+}
+
+// HeldBy returns the total tokens request r holds across the cluster.
+func (d *DistributedPool) HeldBy(r RequestID) int {
+	return d.placements[r].Total()
+}
+
+// AllocAt reserves n slots for r on a specific instance.
+func (d *DistributedPool) AllocAt(r RequestID, id InstanceID, n int) error {
+	p, ok := d.pools[id]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown instance %d", id)
+	}
+	if err := p.Alloc(r, n); err != nil {
+		return err
+	}
+	if n > 0 {
+		if d.placements[r] == nil {
+			d.placements[r] = make(Placement)
+		}
+		d.placements[r][id] += n
+	}
+	return nil
+}
+
+// PlaceSpread allocates n tokens for r across subset (all instances when
+// nil) with no locality constraint, most-free-first — LoongServe's unified
+// placement. On failure nothing is allocated.
+func (d *DistributedPool) PlaceSpread(r RequestID, n int, subset []InstanceID) (Placement, error) {
+	if subset == nil {
+		subset = d.Instances()
+	}
+	if !d.FitsUnified(n, subset) {
+		return nil, fmt.Errorf("kvcache: %d tokens exceed %d free across %d instances", n, d.TotalFree(subset), len(subset))
+	}
+	// Most-free first, ties by ID for determinism.
+	order := append([]InstanceID(nil), subset...)
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := d.pools[order[i]].Free(), d.pools[order[j]].Free()
+		if fi != fj {
+			return fi > fj
+		}
+		return order[i] < order[j]
+	})
+	got := make(Placement)
+	remaining := n
+	for _, id := range order {
+		if remaining == 0 {
+			break
+		}
+		take := d.pools[id].Free()
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 {
+			continue
+		}
+		if err := d.AllocAt(r, id, take); err != nil {
+			// Roll back; cannot happen given the checks above, but keep the
+			// pool consistent if it ever does.
+			for rid, cnt := range got {
+				_ = d.ReleaseAt(r, rid, cnt)
+			}
+			return nil, err
+		}
+		got[id] = take
+		remaining -= take
+	}
+	return got, nil
+}
+
+// PlaceSingle allocates n tokens for r on one instance (the fullest that
+// still fits, for best packing) — the locality discipline of the baselines.
+func (d *DistributedPool) PlaceSingle(r RequestID, n int, subset []InstanceID) (InstanceID, error) {
+	if subset == nil {
+		subset = d.Instances()
+	}
+	best, bestFree := InstanceID(-1), -1
+	for _, id := range subset {
+		f := d.pools[id].Free()
+		if f >= n && (bestFree == -1 || f < bestFree || (f == bestFree && id < best)) {
+			best, bestFree = id, f
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("kvcache: no single instance fits %d tokens (max free %d)", n, func() int { _, f := d.MaxFree(subset); return f }())
+	}
+	if err := d.AllocAt(r, best, n); err != nil {
+		return -1, err
+	}
+	return best, nil
+}
+
+// ReleaseAt frees n of r's slots on one instance.
+func (d *DistributedPool) ReleaseAt(r RequestID, id InstanceID, n int) error {
+	p, ok := d.pools[id]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown instance %d", id)
+	}
+	if err := p.Release(r, n); err != nil {
+		return err
+	}
+	pl := d.placements[r]
+	pl[id] -= n
+	if pl[id] == 0 {
+		delete(pl, id)
+	}
+	if len(pl) == 0 {
+		delete(d.placements, r)
+	}
+	return nil
+}
+
+// ReleaseRequest frees everything request r holds anywhere and returns the
+// total freed.
+func (d *DistributedPool) ReleaseRequest(r RequestID) int {
+	total := 0
+	for id := range d.placements[r] {
+		total += d.pools[id].ReleaseAll(r)
+	}
+	delete(d.placements, r)
+	return total
+}
+
+// Move transfers n of r's tokens from src to dst (dst must have room).
+// Returns an error and changes nothing on violation.
+func (d *DistributedPool) Move(r RequestID, src, dst InstanceID, n int) error {
+	if d.placements[r][src] < n {
+		return fmt.Errorf("kvcache: request %d holds %d on instance %d, cannot move %d", r, d.placements[r][src], src, n)
+	}
+	if d.pools[dst].Free() < n {
+		return fmt.Errorf("kvcache: instance %d has %d free, cannot receive %d", dst, d.pools[dst].Free(), n)
+	}
+	if err := d.ReleaseAt(r, src, n); err != nil {
+		return err
+	}
+	return d.AllocAt(r, dst, n)
+}
+
+// CheckInvariants verifies internal consistency: per-pool used == sum of
+// held, placements mirror pool holdings, and no pool exceeds capacity. It
+// is used by tests and property checks.
+func (d *DistributedPool) CheckInvariants() error {
+	for id, p := range d.pools {
+		sum := 0
+		for _, n := range p.held {
+			sum += n
+		}
+		if sum != p.used {
+			return fmt.Errorf("kvcache: instance %d used %d != held sum %d", id, p.used, sum)
+		}
+		if p.used > p.capacity || p.used < 0 {
+			return fmt.Errorf("kvcache: instance %d used %d out of [0, %d]", id, p.used, p.capacity)
+		}
+	}
+	for r, pl := range d.placements {
+		for id, n := range pl {
+			if d.pools[id].Held(r) != n {
+				return fmt.Errorf("kvcache: request %d placement says %d on instance %d, pool says %d", r, n, id, d.pools[id].Held(r))
+			}
+		}
+	}
+	for id, p := range d.pools {
+		for r, n := range p.held {
+			if d.placements[r][id] != n {
+				return fmt.Errorf("kvcache: pool %d holds %d for request %d, placement says %d", id, n, r, d.placements[r][id])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAllocRelease(t *testing.T) {
+	p := NewPool(0, 10)
+	if p.Capacity() != 10 || p.Free() != 10 || p.Used() != 0 {
+		t.Fatalf("fresh pool wrong: cap=%d free=%d used=%d", p.Capacity(), p.Free(), p.Used())
+	}
+	if err := p.Alloc(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free %d, want 0", p.Free())
+	}
+	if err := p.Alloc(3, 1); err == nil {
+		t.Fatal("overflow alloc succeeded")
+	}
+	if err := p.Release(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Held(1) != 2 || p.Free() != 2 {
+		t.Fatalf("after partial release: held=%d free=%d", p.Held(1), p.Free())
+	}
+	if err := p.Release(1, 3); err == nil {
+		t.Fatal("over-release succeeded")
+	}
+	if n := p.ReleaseAll(2); n != 6 {
+		t.Fatalf("ReleaseAll freed %d, want 6", n)
+	}
+	if p.Free() != 8 {
+		t.Fatalf("free %d, want 8", p.Free())
+	}
+}
+
+func TestPoolZeroAllocNoHold(t *testing.T) {
+	p := NewPool(0, 5)
+	if err := p.Alloc(7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Requests()) != 0 {
+		t.Fatal("zero alloc created a holder entry")
+	}
+}
+
+func TestPoolNegativeAllocRejected(t *testing.T) {
+	p := NewPool(0, 5)
+	if err := p.Alloc(1, -1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if err := p.Release(1, -1); err == nil {
+		t.Fatal("negative release accepted")
+	}
+}
+
+func TestPoolRequestsSorted(t *testing.T) {
+	p := NewPool(0, 10)
+	for _, id := range []RequestID{5, 1, 3} {
+		if err := p.Alloc(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := p.Requests()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("Requests() = %v", ids)
+	}
+}
+
+func TestPlacementBasics(t *testing.T) {
+	pl := Placement{1: 3, 2: 0, 5: 7}
+	if pl.Total() != 10 {
+		t.Fatalf("Total = %d", pl.Total())
+	}
+	ids := pl.Instances()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 5 {
+		t.Fatalf("Instances = %v", ids)
+	}
+	c := pl.Clone()
+	c[1] = 99
+	if pl[1] != 3 {
+		t.Fatal("Clone shares storage")
+	}
+	pl.Add(Placement{1: 1, 9: 2})
+	if pl[1] != 4 || pl[9] != 2 {
+		t.Fatalf("Add wrong: %v", pl)
+	}
+}
+
+func newTestPool() *DistributedPool {
+	return NewDistributedPool(map[InstanceID]int{0: 10, 1: 10, 2: 10})
+}
+
+// Fig 4 of the paper: six free slots spread across three instances (two
+// each) cannot serve a six-token request under the locality constraint, but
+// the unified distributed pool can.
+func TestFig4FragmentationExample(t *testing.T) {
+	d := NewDistributedPool(map[InstanceID]int{0: 2, 1: 2, 2: 2})
+	if !d.FitsUnified(6, nil) {
+		t.Fatal("unified pool should fit 6 tokens")
+	}
+	if d.FitsLocal(6, nil) {
+		t.Fatal("locality constraint should NOT fit 6 tokens")
+	}
+	pl, err := d.PlaceSpread(42, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Total() != 6 {
+		t.Fatalf("placed %d, want 6", pl.Total())
+	}
+	if _, err := d.PlaceSingle(43, 1, nil); err == nil {
+		t.Fatal("pool is full; PlaceSingle should fail")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceSpreadMostFreeFirst(t *testing.T) {
+	d := newTestPool()
+	// Pre-fill instance 0 so it has least free.
+	if err := d.AllocAt(1, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := d.PlaceSpread(2, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instances 1 and 2 (10 free each) should absorb 10 + 2 or similar; the
+	// least-free instance 0 should receive nothing.
+	if pl[0] != 0 {
+		t.Fatalf("least-free instance received %d tokens: %v", pl[0], pl)
+	}
+	if pl.Total() != 12 {
+		t.Fatalf("total placed %d", pl.Total())
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceSpreadRejectsWhenFull(t *testing.T) {
+	d := newTestPool()
+	if _, err := d.PlaceSpread(1, 31, nil); err == nil {
+		t.Fatal("over-capacity spread succeeded")
+	}
+	if d.TotalUsed() != 0 {
+		t.Fatal("failed placement leaked slots")
+	}
+}
+
+func TestPlaceSpreadSubset(t *testing.T) {
+	d := newTestPool()
+	pl, err := d.PlaceSpread(1, 15, []InstanceID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl[2] != 0 {
+		t.Fatal("placement escaped the subset")
+	}
+	if pl[0]+pl[1] != 15 {
+		t.Fatalf("subset placement total %d", pl[0]+pl[1])
+	}
+}
+
+func TestPlaceSingleTightestFit(t *testing.T) {
+	d := newTestPool()
+	if err := d.AllocAt(9, 1, 6); err != nil { // instance 1 has 4 free
+		t.Fatal(err)
+	}
+	id, err := d.PlaceSingle(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tightest fit: instance 1 (4 free) over instances 0/2 (10 free).
+	if id != 1 {
+		t.Fatalf("placed on %d, want 1", id)
+	}
+}
+
+func TestHeldByAndRelease(t *testing.T) {
+	d := newTestPool()
+	if _, err := d.PlaceSpread(7, 25, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.HeldBy(7) != 25 {
+		t.Fatalf("HeldBy = %d", d.HeldBy(7))
+	}
+	freed := d.ReleaseRequest(7)
+	if freed != 25 || d.TotalUsed() != 0 {
+		t.Fatalf("freed %d, used %d", freed, d.TotalUsed())
+	}
+	if d.HeldBy(7) != 0 {
+		t.Fatal("HeldBy nonzero after release")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAtPartial(t *testing.T) {
+	d := newTestPool()
+	if err := d.AllocAt(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReleaseAt(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.HeldBy(1) != 3 || d.Pool(0).Free() != 7 {
+		t.Fatalf("held %d free %d", d.HeldBy(1), d.Pool(0).Free())
+	}
+	if err := d.ReleaseAt(1, 0, 10); err == nil {
+		t.Fatal("over-release accepted")
+	}
+}
+
+func TestMoveTokens(t *testing.T) {
+	d := newTestPool()
+	if err := d.AllocAt(1, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Move(1, 0, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	pl := d.Placement(1)
+	if pl[0] != 2 || pl[2] != 4 {
+		t.Fatalf("placement after move: %v", pl)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Moving more than held fails cleanly.
+	if err := d.Move(1, 0, 2, 5); err == nil {
+		t.Fatal("over-move accepted")
+	}
+	// Moving into a full instance fails cleanly.
+	if err := d.AllocAt(2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Move(1, 0, 1, 1); err == nil {
+		t.Fatal("move into full instance accepted")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	d := NewDistributedPool(map[InstanceID]int{0: 10, 1: 10})
+	if d.Fragmentation() != 0.5 {
+		t.Fatalf("even split fragmentation = %v, want 0.5", d.Fragmentation())
+	}
+	if err := d.AllocAt(1, 1, 10); err != nil { // all free space now on 0
+		t.Fatal(err)
+	}
+	if d.Fragmentation() != 0 {
+		t.Fatalf("single-instance free fragmentation = %v, want 0", d.Fragmentation())
+	}
+	if err := d.AllocAt(2, 0, 10); err != nil { // completely full
+		t.Fatal(err)
+	}
+	if d.Fragmentation() != 0 {
+		t.Fatalf("full pool fragmentation = %v, want 0", d.Fragmentation())
+	}
+}
+
+func TestMaxFreeDeterministicTieBreak(t *testing.T) {
+	d := newTestPool()
+	id, f := d.MaxFree(nil)
+	if id != 0 || f != 10 {
+		t.Fatalf("MaxFree = (%d, %d), want (0, 10)", id, f)
+	}
+}
+
+func TestUnknownInstanceErrors(t *testing.T) {
+	d := newTestPool()
+	if err := d.AllocAt(1, 99, 1); err == nil {
+		t.Fatal("alloc on unknown instance accepted")
+	}
+	if err := d.ReleaseAt(1, 99, 1); err == nil {
+		t.Fatal("release on unknown instance accepted")
+	}
+}
+
+// Property: any random sequence of spread-placements, single-placements,
+// partial releases, moves, and full releases preserves pool invariants and
+// never leaks or double-frees slots.
+func TestPropertyPoolInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		caps := map[InstanceID]int{}
+		m := rng.Intn(5) + 1
+		for i := 0; i < m; i++ {
+			caps[InstanceID(i)] = rng.Intn(40)
+		}
+		d := NewDistributedPool(caps)
+		live := map[RequestID]bool{}
+		next := RequestID(1)
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(5) {
+			case 0: // spread place
+				n := rng.Intn(30)
+				if _, err := d.PlaceSpread(next, n, nil); err == nil {
+					if n > 0 {
+						live[next] = true
+					}
+					next++
+				}
+			case 1: // single place
+				n := rng.Intn(20)
+				if _, err := d.PlaceSingle(next, n, nil); err == nil {
+					if n > 0 {
+						live[next] = true
+					}
+					next++
+				}
+			case 2: // release a random live request
+				for r := range live {
+					d.ReleaseRequest(r)
+					delete(live, r)
+					break
+				}
+			case 3: // move some tokens of a live request
+				for r := range live {
+					pl := d.Placement(r)
+					for src, n := range pl {
+						dst := InstanceID(rng.Intn(m))
+						amt := rng.Intn(n + 1)
+						_ = d.Move(r, src, dst, amt) // may legitimately fail
+						break
+					}
+					break
+				}
+			case 4: // partial release
+				for r := range live {
+					pl := d.Placement(r)
+					for src, n := range pl {
+						if err := d.ReleaseAt(r, src, rng.Intn(n+1)); err != nil {
+							return false
+						}
+						break
+					}
+					if d.HeldBy(r) == 0 {
+						delete(live, r)
+					}
+					break
+				}
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("invariant violated at op %d: %v", op, err)
+				return false
+			}
+		}
+		// Releasing everything must return the pool to empty.
+		for r := range live {
+			d.ReleaseRequest(r)
+		}
+		return d.TotalUsed() == 0 && d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FitsUnified is exactly "total free >= n" and PlaceSpread
+// succeeds iff FitsUnified.
+func TestPropertySpreadMatchesFits(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		caps := map[InstanceID]int{}
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			caps[InstanceID(i)] = rng.Intn(25)
+		}
+		d := NewDistributedPool(caps)
+		n := int(nRaw % 100)
+		fits := d.FitsUnified(n, nil)
+		_, err := d.PlaceSpread(1, n, nil)
+		return fits == (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

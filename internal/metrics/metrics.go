@@ -1,0 +1,190 @@
+// Package metrics computes the paper's evaluation metrics (§7.1) from
+// per-request completion records: normalized per-token latency (end-to-end
+// latency / sequence length), normalized input latency (prefill time /
+// input length), normalized output latency (decode time / output length),
+// SLO attainment, and P90 goodput.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Record is the completion record of one request.
+type Record struct {
+	ID        int64
+	InputLen  int
+	OutputLen int
+	// Timeline (simulated time offsets from run start).
+	Arrival    time.Duration
+	FirstToken time.Duration // prefill completed / first output token
+	Finish     time.Duration // last output token
+	// SLOBudget is this request's latency budget: the paper sets it to 25x
+	// the request's unloaded inference latency.
+	SLOBudget time.Duration
+}
+
+// E2E returns the end-to-end latency.
+func (r Record) E2E() time.Duration { return r.Finish - r.Arrival }
+
+// InputLatency returns the prefill-phase latency (queueing included, as in
+// the paper's client-observed measurements).
+func (r Record) InputLatency() time.Duration { return r.FirstToken - r.Arrival }
+
+// OutputLatency returns the decode-phase latency.
+func (r Record) OutputLatency() time.Duration { return r.Finish - r.FirstToken }
+
+// PerTokenNorm returns E2E divided by total sequence length, in seconds per
+// token.
+func (r Record) PerTokenNorm() float64 {
+	n := r.InputLen + r.OutputLen
+	if n == 0 {
+		return 0
+	}
+	return r.E2E().Seconds() / float64(n)
+}
+
+// InputNorm returns prefill latency per input token.
+func (r Record) InputNorm() float64 {
+	if r.InputLen == 0 {
+		return 0
+	}
+	return r.InputLatency().Seconds() / float64(r.InputLen)
+}
+
+// OutputNorm returns decode latency per output token.
+func (r Record) OutputNorm() float64 {
+	if r.OutputLen == 0 {
+		return 0
+	}
+	return r.OutputLatency().Seconds() / float64(r.OutputLen)
+}
+
+// MeetsSLO reports whether the request finished within its budget.
+func (r Record) MeetsSLO() bool {
+	return r.SLOBudget <= 0 || r.E2E() <= r.SLOBudget
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	N            int
+	MeanPerToken float64 // s/token, normalized end-to-end
+	MeanInput    float64 // s/token, normalized prefill
+	MeanOutput   float64 // s/token, normalized decode
+	P50PerToken  float64
+	P90PerToken  float64
+	P99PerToken  float64
+
+	SLOAttainment float64 // fraction of requests within budget
+
+	Duration      time.Duration // makespan: first arrival to last finish
+	ThroughputReq float64       // finished requests / second
+	ThroughputTok float64       // total (input+output) tokens / second
+}
+
+// Summarize computes the run summary. Records need not be sorted.
+func Summarize(records []Record) Summary {
+	s := Summary{N: len(records)}
+	if len(records) == 0 {
+		return s
+	}
+	perTok := make([]float64, 0, len(records))
+	var firstArrival, lastFinish time.Duration
+	firstArrival = records[0].Arrival
+	met := 0
+	var totalTokens int64
+	for _, r := range records {
+		s.MeanPerToken += r.PerTokenNorm()
+		s.MeanInput += r.InputNorm()
+		s.MeanOutput += r.OutputNorm()
+		perTok = append(perTok, r.PerTokenNorm())
+		if r.Arrival < firstArrival {
+			firstArrival = r.Arrival
+		}
+		if r.Finish > lastFinish {
+			lastFinish = r.Finish
+		}
+		if r.MeetsSLO() {
+			met++
+		}
+		totalTokens += int64(r.InputLen) + int64(r.OutputLen)
+	}
+	n := float64(len(records))
+	s.MeanPerToken /= n
+	s.MeanInput /= n
+	s.MeanOutput /= n
+	sort.Float64s(perTok)
+	s.P50PerToken = percentile(perTok, 0.50)
+	s.P90PerToken = percentile(perTok, 0.90)
+	s.P99PerToken = percentile(perTok, 0.99)
+	s.SLOAttainment = float64(met) / n
+	s.Duration = lastFinish - firstArrival
+	if s.Duration > 0 {
+		s.ThroughputReq = n / s.Duration.Seconds()
+		s.ThroughputTok = float64(totalTokens) / s.Duration.Seconds()
+	}
+	return s
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Goodput returns the throughput of requests that met their SLO, in
+// requests/second — the paper's P90-goodput building block (Figs 12, 13a).
+// The denominator is the arrival window (first to last arrival), i.e. the
+// offered-load period: measuring over the full makespan would penalize a
+// system for the post-arrival drain of its last long request, which is a
+// finite-trace artifact rather than a serving-rate property.
+func Goodput(records []Record) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	met := 0
+	first, last := records[0].Arrival, records[0].Arrival
+	var fallback time.Duration
+	for _, r := range records {
+		if r.MeetsSLO() {
+			met++
+		}
+		if r.Arrival < first {
+			first = r.Arrival
+		}
+		if r.Arrival > last {
+			last = r.Arrival
+		}
+		if r.Finish > fallback {
+			fallback = r.Finish
+		}
+	}
+	window := last - first
+	if window <= 0 {
+		window = fallback - first // single-arrival trace: fall back to makespan
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(met) / window.Seconds()
+}
+
+// String renders a short human-readable summary line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d per-token=%.4fs/t input=%.4fs/t output=%.4fs/t slo=%.1f%% thr=%.3freq/s %.0ftok/s",
+		s.N, s.MeanPerToken, s.MeanInput, s.MeanOutput, s.SLOAttainment*100, s.ThroughputReq, s.ThroughputTok)
+}

@@ -1,0 +1,295 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func rec(in, out int, arr, first, fin time.Duration) Record {
+	return Record{InputLen: in, OutputLen: out, Arrival: arr, FirstToken: first, Finish: fin}
+}
+
+func TestRecordDerivedLatencies(t *testing.T) {
+	r := rec(100, 10, ms(0), ms(50), ms(150))
+	if r.E2E() != ms(150) {
+		t.Fatalf("E2E = %v", r.E2E())
+	}
+	if r.InputLatency() != ms(50) || r.OutputLatency() != ms(100) {
+		t.Fatalf("phase latencies %v %v", r.InputLatency(), r.OutputLatency())
+	}
+	if got := r.PerTokenNorm(); math.Abs(got-0.150/110) > 1e-12 {
+		t.Fatalf("per-token %v", got)
+	}
+	if got := r.InputNorm(); math.Abs(got-0.050/100) > 1e-12 {
+		t.Fatalf("input norm %v", got)
+	}
+	if got := r.OutputNorm(); math.Abs(got-0.100/10) > 1e-12 {
+		t.Fatalf("output norm %v", got)
+	}
+}
+
+func TestRecordZeroLengthsSafe(t *testing.T) {
+	r := rec(0, 0, 0, 0, ms(10))
+	if r.PerTokenNorm() != 0 || r.InputNorm() != 0 || r.OutputNorm() != 0 {
+		t.Fatal("zero-length request produced non-zero norms")
+	}
+}
+
+func TestMeetsSLO(t *testing.T) {
+	r := rec(1, 1, 0, ms(1), ms(10))
+	r.SLOBudget = ms(10)
+	if !r.MeetsSLO() {
+		t.Fatal("exactly-on-budget should meet SLO")
+	}
+	r.SLOBudget = ms(9)
+	if r.MeetsSLO() {
+		t.Fatal("over budget should fail SLO")
+	}
+	r.SLOBudget = 0
+	if !r.MeetsSLO() {
+		t.Fatal("zero budget means no SLO")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.MeanPerToken != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	records := []Record{
+		rec(100, 100, ms(0), ms(100), ms(200)), // 1ms/tok e2e
+		rec(100, 100, ms(0), ms(300), ms(600)), // 3ms/tok e2e
+	}
+	s := Summarize(records)
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.MeanPerToken-0.002) > 1e-9 {
+		t.Fatalf("mean per-token %v, want 0.002", s.MeanPerToken)
+	}
+	if s.Duration != ms(600) {
+		t.Fatalf("duration %v", s.Duration)
+	}
+	// Throughput: 2 requests, 400 tokens over 0.6s.
+	if math.Abs(s.ThroughputReq-2/0.6) > 1e-9 {
+		t.Fatalf("req throughput %v", s.ThroughputReq)
+	}
+	if math.Abs(s.ThroughputTok-400/0.6) > 1e-9 {
+		t.Fatalf("token throughput %v", s.ThroughputTok)
+	}
+}
+
+func TestSummarizeSLOAttainment(t *testing.T) {
+	mk := func(budget time.Duration) Record {
+		r := rec(10, 10, 0, ms(5), ms(100))
+		r.SLOBudget = budget
+		return r
+	}
+	s := Summarize([]Record{mk(ms(50)), mk(ms(100)), mk(ms(200)), mk(ms(400))})
+	if math.Abs(s.SLOAttainment-0.75) > 1e-9 {
+		t.Fatalf("attainment %v, want 0.75", s.SLOAttainment)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var records []Record
+	for i := 1; i <= 100; i++ {
+		// per-token latency = i milliseconds over 1 token... use 1 in, 0 out.
+		records = append(records, rec(1, 0, 0, ms(i), ms(i)))
+	}
+	s := Summarize(records)
+	if s.P50PerToken < 0.045 || s.P50PerToken > 0.055 {
+		t.Fatalf("p50 %v, want ≈0.05", s.P50PerToken)
+	}
+	if s.P90PerToken < 0.085 || s.P90PerToken > 0.095 {
+		t.Fatalf("p90 %v, want ≈0.09", s.P90PerToken)
+	}
+	if s.P99PerToken < 0.095 || s.P99PerToken > 0.1 {
+		t.Fatalf("p99 %v, want ≈0.099", s.P99PerToken)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if percentile([]float64{7}, 0.9) != 7 {
+		t.Fatal("single-element percentile")
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	mk := func(budget time.Duration) Record {
+		r := rec(10, 10, 0, ms(500), time.Second)
+		r.SLOBudget = budget
+		return r
+	}
+	records := []Record{mk(ms(2000)), mk(ms(2000)), mk(ms(100)), mk(ms(100))}
+	// 2 of 4 meet SLO over a 1s makespan -> 2 req/s goodput.
+	if g := Goodput(records); math.Abs(g-2.0) > 1e-9 {
+		t.Fatalf("goodput %v, want 2.0", g)
+	}
+	if Goodput(nil) != 0 {
+		t.Fatal("empty goodput")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]Record{rec(10, 10, 0, ms(10), ms(20))})
+	if str := s.String(); len(str) == 0 {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+		{0.1, 1.4}, // between 1 and 2
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("percentile(p=%.2f) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %g", got)
+	}
+	if got := percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("percentile(single) = %g", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := percentile(vals, p)
+			if v < prev-1e-12 {
+				t.Fatalf("iter %d: percentile not monotone at p=%.2f: %g < %g", iter, p, v, prev)
+			}
+			if v < vals[0]-1e-12 || v > vals[n-1]+1e-12 {
+				t.Fatalf("iter %d: percentile %g outside data range [%g, %g]", iter, v, vals[0], vals[n-1])
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSummarizeSingleRecord(t *testing.T) {
+	r := Record{
+		ID: 1, InputLen: 100, OutputLen: 10,
+		Arrival:    0,
+		FirstToken: 2 * time.Second,
+		Finish:     4 * time.Second,
+		SLOBudget:  10 * time.Second,
+	}
+	s := Summarize([]Record{r})
+	if s.N != 1 {
+		t.Fatalf("N = %d", s.N)
+	}
+	wantPerTok := 4.0 / 110
+	if math.Abs(s.MeanPerToken-wantPerTok) > 1e-12 {
+		t.Errorf("MeanPerToken = %g, want %g", s.MeanPerToken, wantPerTok)
+	}
+	if s.P50PerToken != s.P99PerToken {
+		t.Errorf("single-record percentiles differ: %g vs %g", s.P50PerToken, s.P99PerToken)
+	}
+	if s.SLOAttainment != 1 {
+		t.Errorf("SLOAttainment = %g", s.SLOAttainment)
+	}
+	if s.Duration != 4*time.Second {
+		t.Errorf("Duration = %v", s.Duration)
+	}
+	if math.Abs(s.ThroughputTok-110.0/4) > 1e-9 {
+		t.Errorf("ThroughputTok = %g", s.ThroughputTok)
+	}
+}
+
+func TestSLOSemantics(t *testing.T) {
+	r := Record{Arrival: 0, FirstToken: time.Second, Finish: 5 * time.Second, InputLen: 1, OutputLen: 1}
+	r.SLOBudget = 0 // no budget set: always met
+	if !r.MeetsSLO() {
+		t.Error("zero budget should always meet SLO")
+	}
+	r.SLOBudget = 5 * time.Second // exactly at budget: met
+	if !r.MeetsSLO() {
+		t.Error("E2E == budget should meet SLO")
+	}
+	r.SLOBudget = 5*time.Second - time.Nanosecond
+	if r.MeetsSLO() {
+		t.Error("E2E > budget should miss SLO")
+	}
+}
+
+func TestGoodputWindowSemantics(t *testing.T) {
+	mk := func(arrival, finish time.Duration, budget time.Duration) Record {
+		return Record{
+			InputLen: 1, OutputLen: 1,
+			Arrival: arrival, FirstToken: arrival + time.Millisecond,
+			Finish: finish, SLOBudget: budget,
+		}
+	}
+	// 4 requests arriving over 3 seconds, 2 meet SLO.
+	recs := []Record{
+		mk(0, time.Second, 10*time.Second),               // met
+		mk(time.Second, 20*time.Second, time.Second),     // missed
+		mk(2*time.Second, 3*time.Second, 10*time.Second), // met
+		mk(3*time.Second, 60*time.Second, time.Second),   // missed — drains long after arrivals stop
+	}
+	got := Goodput(recs)
+	want := 2.0 / 3.0 // met / arrival window, NOT makespan
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Goodput = %g, want %g (arrival-window denominator)", got, want)
+	}
+}
+
+func TestGoodputSingleArrivalFallsBackToMakespan(t *testing.T) {
+	recs := []Record{{
+		InputLen: 1, OutputLen: 1,
+		Arrival: 0, FirstToken: time.Millisecond,
+		Finish: 2 * time.Second, SLOBudget: time.Minute,
+	}}
+	if got := Goodput(recs); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Goodput = %g, want 0.5 (1 met over 2s makespan)", got)
+	}
+	if Goodput(nil) != 0 {
+		t.Error("Goodput(nil) != 0")
+	}
+}
+
+func TestNormalizationsGuardZeroLengths(t *testing.T) {
+	r := Record{InputLen: 0, OutputLen: 0, Arrival: 0, FirstToken: time.Second, Finish: 2 * time.Second}
+	if r.PerTokenNorm() != 0 || r.InputNorm() != 0 || r.OutputNorm() != 0 {
+		t.Errorf("zero-length normalizations: %g %g %g", r.PerTokenNorm(), r.InputNorm(), r.OutputNorm())
+	}
+}
+
+func TestSummaryStringContainsFields(t *testing.T) {
+	s := Summary{N: 3, MeanPerToken: 0.5, SLOAttainment: 0.9}
+	out := s.String()
+	for _, want := range []string{"n=3", "per-token=0.5000", "slo=90.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package model defines transformer model configurations and a serial
+// reference implementation of the forward pass (prefill and decode).
+//
+// Two distinct consumers use this package:
+//
+//   - The cost model and serving simulator read only shape-derived
+//     quantities from Config (parameter count, FLOPs per token, KV bytes per
+//     token). LWM1MText matches the LWM-1M-Text / Llama-2-7B architecture
+//     used throughout the paper's evaluation.
+//   - The functional elastic-sequence-parallelism runtime
+//     (internal/seqparallel) executes real layer math on tiny
+//     configurations with deterministic synthetic weights, validated
+//     against the serial Reference in this package.
+package model
+
+import (
+	"fmt"
+
+	"loongserve/internal/attention"
+)
+
+// Config describes a transformer architecture.
+type Config struct {
+	Name       string
+	Layers     int
+	Hidden     int // model (embedding) dimension
+	NumHeads   int // query heads
+	NumKVHeads int // key/value heads (GQA groups; == NumHeads for MHA)
+	HeadDim    int // per-head dimension; NumHeads*HeadDim == Hidden for Llama-family
+	FFNHidden  int // SwiGLU intermediate dimension
+	VocabSize  int // used only for parameter counting
+	MaxContext int // context window (tokens)
+	BytesParam int // bytes per parameter / activation element (2 for fp16/bf16)
+
+	// Mixture-of-experts FFN (§8: ESP "is compatible with ... MoE to
+	// reduce the memory footprint and computational complexity"). Zero
+	// NumExperts means a dense SwiGLU FFN; otherwise each layer holds
+	// NumExperts expert FFNs of width FFNHidden and routes every token to
+	// its TopK highest-scoring experts.
+	NumExperts int
+	TopK       int
+}
+
+// Attention returns the attention head layout of the model.
+func (c Config) Attention() attention.Config {
+	return attention.Config{NumHeads: c.NumHeads, NumKVHeads: c.NumKVHeads, HeadDim: c.HeadDim}
+}
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	if c.Layers <= 0 || c.Hidden <= 0 || c.FFNHidden <= 0 || c.BytesParam <= 0 {
+		return fmt.Errorf("model %q: non-positive dimension in %+v", c.Name, c)
+	}
+	if err := c.Attention().Validate(); err != nil {
+		return fmt.Errorf("model %q: %w", c.Name, err)
+	}
+	if c.NumHeads*c.HeadDim != c.Hidden {
+		return fmt.Errorf("model %q: NumHeads*HeadDim = %d != Hidden %d", c.Name, c.NumHeads*c.HeadDim, c.Hidden)
+	}
+	if c.NumExperts < 0 || (c.NumExperts > 0 && (c.TopK < 1 || c.TopK > c.NumExperts)) {
+		return fmt.Errorf("model %q: MoE wants 1 <= TopK (%d) <= NumExperts (%d)", c.Name, c.TopK, c.NumExperts)
+	}
+	return nil
+}
+
+// MoE reports whether the FFN is a mixture of experts.
+func (c Config) MoE() bool { return c.NumExperts > 0 }
+
+// QDim returns the flattened query projection width.
+func (c Config) QDim() int { return c.NumHeads * c.HeadDim }
+
+// KVDim returns the flattened key (or value) projection width.
+func (c Config) KVDim() int { return c.NumKVHeads * c.HeadDim }
+
+// NumParams returns the approximate parameter count: embeddings (input +
+// output head) plus per-layer attention and SwiGLU FFN weights. Norm vectors
+// are negligible and ignored.
+func (c Config) NumParams() int64 {
+	embed := int64(2) * int64(c.VocabSize) * int64(c.Hidden)
+	attn := int64(c.Hidden)*int64(c.QDim())*2 + // Wq, Wo
+		int64(c.Hidden)*int64(c.KVDim())*2 // Wk, Wv
+	ffn := int64(3) * int64(c.Hidden) * int64(c.FFNHidden) // W1, W2, W3
+	if c.MoE() {
+		// One router plus NumExperts expert FFNs per layer.
+		ffn = int64(c.Hidden)*int64(c.NumExperts) + int64(c.NumExperts)*ffn
+	}
+	return embed + int64(c.Layers)*(attn+ffn)
+}
+
+// WeightBytes returns the total model weight footprint in bytes.
+func (c Config) WeightBytes() int64 { return c.NumParams() * int64(c.BytesParam) }
+
+// KVBytesPerToken returns the key-value cache footprint of one token across
+// all layers: 2 tensors (K and V) x Layers x KVDim x BytesParam. For the
+// LWM-1M-Text (Llama-2-7B) architecture this is 512 KiB/token, so a 1M-token
+// request needs 488 GiB — the paper's §1 anchor.
+func (c Config) KVBytesPerToken() int64 {
+	return 2 * int64(c.Layers) * int64(c.KVDim()) * int64(c.BytesParam)
+}
+
+// FLOPsPerToken returns the dense (non-attention) forward FLOPs for one
+// token: roughly 2 FLOPs per weight parameter touched (multiply +
+// accumulate), excluding embeddings.
+func (c Config) FLOPsPerToken() float64 {
+	attn := float64(c.Hidden)*float64(c.QDim())*2 + float64(c.Hidden)*float64(c.KVDim())*2
+	ffn := 3 * float64(c.Hidden) * float64(c.FFNHidden)
+	if c.MoE() {
+		// Each token activates only TopK experts plus the router — the
+		// sparsity that makes MoE cheaper than an equal-parameter dense
+		// model.
+		ffn = float64(c.Hidden)*float64(c.NumExperts) + float64(c.TopK)*ffn
+	}
+	return 2 * float64(c.Layers) * (attn + ffn)
+}
+
+// AttnFLOPsPerTokenPair returns attention-score FLOPs for one
+// (query, key) interaction summed over all layers: QK^T and AV each cost
+// 2*Hidden multiply-accumulates per pair per layer.
+func (c Config) AttnFLOPsPerTokenPair() float64 {
+	return 4 * float64(c.Layers) * float64(c.Hidden)
+}
+
+// LWM1MText returns the LWM-1M-Text configuration: the Llama-2-7B
+// architecture with a 1M-token context window, the model used in every
+// experiment of the paper.
+func LWM1MText() Config {
+	return Config{
+		Name:       "LWM-1M-Text",
+		Layers:     32,
+		Hidden:     4096,
+		NumHeads:   32,
+		NumKVHeads: 32,
+		HeadDim:    128,
+		FFNHidden:  11008,
+		VocabSize:  32000,
+		MaxContext: 1 << 20,
+		BytesParam: 2,
+	}
+}
+
+// TinyGQA returns a small GQA model for functional tests: real math at toy
+// scale.
+func TinyGQA() Config {
+	return Config{
+		Name:       "tiny-gqa",
+		Layers:     2,
+		Hidden:     16,
+		NumHeads:   4,
+		NumKVHeads: 2,
+		HeadDim:    4,
+		FFNHidden:  24,
+		VocabSize:  64,
+		MaxContext: 1 << 12,
+		BytesParam: 2,
+	}
+}
+
+// TinyMQA returns a small multi-query-attention model (one KV head shared
+// by all query heads) for functional tests; MQA shrinks the KV cache by
+// NumHeads x, which the paper lists among the compatible memory
+// optimizations (§8).
+func TinyMQA() Config {
+	return Config{
+		Name:       "tiny-mqa",
+		Layers:     2,
+		Hidden:     16,
+		NumHeads:   4,
+		NumKVHeads: 1,
+		HeadDim:    4,
+		FFNHidden:  24,
+		VocabSize:  64,
+		MaxContext: 1 << 12,
+		BytesParam: 2,
+	}
+}
+
+// TinyMoE returns a small mixture-of-experts model: 4 experts, top-2
+// routing (§8 compatibility).
+func TinyMoE() Config {
+	return Config{
+		Name:       "tiny-moe",
+		Layers:     2,
+		Hidden:     16,
+		NumHeads:   4,
+		NumKVHeads: 2,
+		HeadDim:    4,
+		FFNHidden:  20,
+		VocabSize:  64,
+		MaxContext: 1 << 12,
+		BytesParam: 2,
+		NumExperts: 4,
+		TopK:       2,
+	}
+}
+
+// TinyMHA returns a small MHA model for functional tests.
+func TinyMHA() Config {
+	return Config{
+		Name:       "tiny-mha",
+		Layers:     3,
+		Hidden:     12,
+		NumHeads:   3,
+		NumKVHeads: 3,
+		HeadDim:    4,
+		FFNHidden:  20,
+		VocabSize:  64,
+		MaxContext: 1 << 12,
+		BytesParam: 2,
+	}
+}

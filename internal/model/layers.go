@@ -1,0 +1,226 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"loongserve/internal/attention"
+	"loongserve/internal/tensor"
+)
+
+// LayerWeights holds the weights of one transformer layer.
+type LayerWeights struct {
+	AttnNorm []float32      // RMSNorm gain before attention
+	Wq       *tensor.Matrix // Hidden x QDim
+	Wk       *tensor.Matrix // Hidden x KVDim
+	Wv       *tensor.Matrix // Hidden x KVDim
+	Wo       *tensor.Matrix // QDim x Hidden
+	FFNNorm  []float32      // RMSNorm gain before FFN
+	W1       *tensor.Matrix // Hidden x FFNHidden (gate)
+	W3       *tensor.Matrix // Hidden x FFNHidden (up)
+	W2       *tensor.Matrix // FFNHidden x Hidden (down)
+	// MoE replaces the dense W1/W3/W2 path when non-nil (Config.MoE).
+	MoE *MoELayer
+}
+
+// Weights holds all layers of a model instance.
+type Weights struct {
+	Cfg       Config
+	Layers    []*LayerWeights
+	FinalNorm []float32
+}
+
+// NewWeights generates deterministic synthetic weights from seed. The scale
+// is chosen so activations stay well-conditioned through several layers
+// (roughly unit variance in, unit variance out).
+func NewWeights(cfg Config, seed int64) *Weights {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Weights{Cfg: cfg}
+	scaleIn := float32(1.0 / math.Sqrt(float64(cfg.Hidden)))
+	scaleFFN := float32(1.0 / math.Sqrt(float64(cfg.FFNHidden)))
+	ones := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = 1 + (rng.Float32()-0.5)*0.1
+		}
+		return v
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		lw := &LayerWeights{
+			AttnNorm: ones(cfg.Hidden),
+			Wq:       tensor.RandMatrix(rng, cfg.Hidden, cfg.QDim(), scaleIn),
+			Wk:       tensor.RandMatrix(rng, cfg.Hidden, cfg.KVDim(), scaleIn),
+			Wv:       tensor.RandMatrix(rng, cfg.Hidden, cfg.KVDim(), scaleIn),
+			Wo:       tensor.RandMatrix(rng, cfg.QDim(), cfg.Hidden, scaleIn),
+			FFNNorm:  ones(cfg.Hidden),
+		}
+		if cfg.MoE() {
+			lw.MoE = newMoELayer(cfg, rng)
+		} else {
+			lw.W1 = tensor.RandMatrix(rng, cfg.Hidden, cfg.FFNHidden, scaleIn)
+			lw.W3 = tensor.RandMatrix(rng, cfg.Hidden, cfg.FFNHidden, scaleIn)
+			lw.W2 = tensor.RandMatrix(rng, cfg.FFNHidden, cfg.Hidden, scaleFFN)
+		}
+		w.Layers = append(w.Layers, lw)
+	}
+	w.FinalNorm = ones(cfg.Hidden)
+	return w
+}
+
+// RMSNorm applies root-mean-square layer normalization row-wise with gain.
+func RMSNorm(x *tensor.Matrix, gain []float32) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var ss float64
+		for _, v := range row {
+			ss += float64(v) * float64(v)
+		}
+		inv := float32(1 / math.Sqrt(ss/float64(len(row))+1e-6))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v * inv * gain[j]
+		}
+	}
+	return out
+}
+
+// silu is the sigmoid-weighted linear unit used by SwiGLU.
+func silu(x float32) float32 {
+	return x / (1 + float32(math.Exp(float64(-x))))
+}
+
+// ApplyRoPE applies rotary position embedding in place: rows of m are
+// (heads x headDim) flattened, rotated pairwise by angle pos/base^(2i/dim).
+// The same rotation is used for queries and keys, so dot products depend
+// only on relative position — which is why tokens can be permuted across
+// instances as long as their absolute positions travel with them.
+func ApplyRoPE(m *tensor.Matrix, headDim int, positions []int) {
+	if m.Rows != len(positions) {
+		panic("model: RoPE positions length mismatch")
+	}
+	const base = 10000.0
+	half := headDim / 2
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		pos := float64(positions[r])
+		for hStart := 0; hStart+headDim <= m.Cols; hStart += headDim {
+			for i := 0; i < half; i++ {
+				theta := pos / math.Pow(base, float64(2*i)/float64(headDim))
+				sin, cos := math.Sincos(theta)
+				a := row[hStart+2*i]
+				b := row[hStart+2*i+1]
+				row[hStart+2*i] = a*float32(cos) - b*float32(sin)
+				row[hStart+2*i+1] = a*float32(sin) + b*float32(cos)
+			}
+		}
+	}
+}
+
+// ProjectQKV computes the position-encoded query/key/value projections of
+// hidden states h (already containing the residual stream) for one layer:
+// pre-norm, linear projections, RoPE on q and k.
+func (lw *LayerWeights) ProjectQKV(h *tensor.Matrix, positions []int, cfg Config) (q, k, v *tensor.Matrix) {
+	a := RMSNorm(h, lw.AttnNorm)
+	q = tensor.MatMul(a, lw.Wq)
+	k = tensor.MatMul(a, lw.Wk)
+	v = tensor.MatMul(a, lw.Wv)
+	ApplyRoPE(q, cfg.HeadDim, positions)
+	ApplyRoPE(k, cfg.HeadDim, positions)
+	return q, k, v
+}
+
+// AttnOutput folds the attention result back into the residual stream:
+// h + attn @ Wo.
+func (lw *LayerWeights) AttnOutput(h, attnResult *tensor.Matrix) *tensor.Matrix {
+	return h.Clone().Add(tensor.MatMul(attnResult, lw.Wo))
+}
+
+// FFN applies the feed-forward block with residual: dense SwiGLU
+// h + (silu(norm(h)@W1) ⊙ (norm(h)@W3)) @ W2, or the routed-experts MoE
+// path when configured. Either way it is token-wise local, so the ESP
+// runtime calls it identically.
+func (lw *LayerWeights) FFN(h *tensor.Matrix) *tensor.Matrix {
+	if lw.MoE != nil {
+		return lw.MoE.Forward(h, lw.FFNNorm)
+	}
+	f := RMSNorm(h, lw.FFNNorm)
+	gate := tensor.MatMul(f, lw.W1)
+	up := tensor.MatMul(f, lw.W3)
+	for i := range gate.Data {
+		gate.Data[i] = silu(gate.Data[i]) * up.Data[i]
+	}
+	return h.Clone().Add(tensor.MatMul(gate, lw.W2))
+}
+
+// KVCache holds the per-layer key/value tensors of a contiguous run of
+// tokens together with their absolute positions, in the order they were
+// appended (which need not be position order).
+type KVCache struct {
+	Keys      []*tensor.Matrix // per layer: n x KVDim
+	Values    []*tensor.Matrix // per layer: n x KVDim
+	Positions []int
+}
+
+// NewKVCache returns an empty cache for a model with the given layer count
+// and KV width.
+func NewKVCache(layers, kvDim int) *KVCache {
+	c := &KVCache{}
+	for l := 0; l < layers; l++ {
+		c.Keys = append(c.Keys, tensor.NewMatrix(0, kvDim))
+		c.Values = append(c.Values, tensor.NewMatrix(0, kvDim))
+	}
+	return c
+}
+
+// Len returns the number of cached tokens.
+func (c *KVCache) Len() int { return len(c.Positions) }
+
+// AppendLayer appends k/v rows for layer l. Positions are appended once via
+// AppendPositions; callers must keep layers consistent.
+func (c *KVCache) AppendLayer(l int, k, v *tensor.Matrix) {
+	c.Keys[l].AppendRows(k)
+	c.Values[l].AppendRows(v)
+}
+
+// AppendPositions records the absolute positions of newly appended tokens.
+func (c *KVCache) AppendPositions(pos []int) {
+	c.Positions = append(c.Positions, pos...)
+}
+
+// Reference is the serial ground-truth model: single instance, full
+// sequence, ordinary causal attention. The distributed ESP runtime must
+// produce bit-comparable outputs (up to float32 accumulation order).
+type Reference struct {
+	W     *Weights
+	Cache *KVCache
+}
+
+// NewReference builds a reference model with an empty cache.
+func NewReference(w *Weights) *Reference {
+	return &Reference{W: w, Cache: NewKVCache(w.Cfg.Layers, w.Cfg.KVDim())}
+}
+
+// Forward processes hidden-state rows x at absolute positions pos,
+// appending their KV to the cache and returning the final hidden states.
+// It serves both phases: the prefill phase passes the whole input, a decode
+// step passes a single row per sequence.
+func (r *Reference) Forward(x *tensor.Matrix, pos []int) *tensor.Matrix {
+	cfg := r.W.Cfg
+	h := x.Clone()
+	kPos := make([]int, 0, len(r.Cache.Positions)+len(pos))
+	kPos = append(kPos, r.Cache.Positions...)
+	kPos = append(kPos, pos...)
+	for l, lw := range r.W.Layers {
+		q, k, v := lw.ProjectQKV(h, pos, cfg)
+		r.Cache.AppendLayer(l, k, v)
+		attnOut := attention.Causal(cfg.Attention(), q, r.Cache.Keys[l], r.Cache.Values[l], pos, kPos)
+		h = lw.AttnOutput(h, attnOut)
+		h = lw.FFN(h)
+	}
+	r.Cache.AppendPositions(pos)
+	return RMSNorm(h, r.W.FinalNorm)
+}

@@ -1,0 +1,252 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loongserve/internal/tensor"
+)
+
+func TestLWM1MTextValid(t *testing.T) {
+	cfg := LWM1MText()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxContext != 1<<20 {
+		t.Fatalf("context %d, want 1M", cfg.MaxContext)
+	}
+}
+
+func TestTinyConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{TinyGQA(), TinyMHA()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := LWM1MText()
+	bad.HeadDim = 64 // NumHeads*HeadDim != Hidden
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected head-dim mismatch error")
+	}
+	bad2 := LWM1MText()
+	bad2.Layers = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected non-positive layers error")
+	}
+	bad3 := LWM1MText()
+	bad3.NumKVHeads = 5 // 32 % 5 != 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("expected kv-head divisibility error")
+	}
+}
+
+// Paper anchor (§1): the KV cache of a single 1M-token request on the 7B
+// LWM model amounts to 488 GB.
+func TestPaperAnchorKVCache1MTokens(t *testing.T) {
+	cfg := LWM1MText()
+	perToken := cfg.KVBytesPerToken()
+	if perToken != 2*32*4096*2 {
+		t.Fatalf("KV bytes/token = %d, want 524288", perToken)
+	}
+	totalGiB := float64(perToken) * (1 << 20) / (1 << 30)
+	if math.Abs(totalGiB-488) > 25 {
+		t.Fatalf("1M-token KV cache = %.1f GiB, want ≈488", totalGiB)
+	}
+}
+
+// Paper anchor: the model is the Llama-2-7B architecture, so the parameter
+// count must be ≈7B and the fp16 weights ≈14 GB.
+func TestPaperAnchor7BParams(t *testing.T) {
+	cfg := LWM1MText()
+	p := cfg.NumParams()
+	if p < 6_400_000_000 || p > 7_200_000_000 {
+		t.Fatalf("params = %d, want ≈6.7B", p)
+	}
+	gb := float64(cfg.WeightBytes()) / 1e9
+	if gb < 12.5 || gb > 14.5 {
+		t.Fatalf("weights = %.1f GB, want ≈13.5", gb)
+	}
+}
+
+func TestFLOPsPerTokenMagnitude(t *testing.T) {
+	cfg := LWM1MText()
+	// Dense FLOPs/token should be ≈ 2 * params (minus embeddings).
+	f := cfg.FLOPsPerToken()
+	if f < 1.2e10 || f > 1.4e10 {
+		t.Fatalf("FLOPs/token = %g, want ≈1.3e10", f)
+	}
+	if cfg.AttnFLOPsPerTokenPair() != 4*32*4096 {
+		t.Fatalf("attn FLOPs/pair = %g", cfg.AttnFLOPsPerTokenPair())
+	}
+}
+
+func TestNewWeightsDeterministic(t *testing.T) {
+	cfg := TinyGQA()
+	a := NewWeights(cfg, 42)
+	b := NewWeights(cfg, 42)
+	if d := tensor.MaxAbsDiff(a.Layers[0].Wq, b.Layers[0].Wq); d != 0 {
+		t.Fatalf("same seed differs by %g", d)
+	}
+	c := NewWeights(cfg, 43)
+	if d := tensor.MaxAbsDiff(a.Layers[0].Wq, c.Layers[0].Wq); d == 0 {
+		t.Fatal("different seeds produced identical weights")
+	}
+	if len(a.Layers) != cfg.Layers {
+		t.Fatalf("layers %d, want %d", len(a.Layers), cfg.Layers)
+	}
+}
+
+func TestRMSNormUnitScale(t *testing.T) {
+	gain := []float32{1, 1, 1, 1}
+	x := tensor.FromRows([][]float32{{2, 2, 2, 2}})
+	out := RMSNorm(x, gain)
+	// RMS of (2,2,2,2) is 2, so normalized values should be ≈1.
+	for _, v := range out.Row(0) {
+		if math.Abs(float64(v)-1) > 1e-3 {
+			t.Fatalf("normalized value %v, want ≈1", v)
+		}
+	}
+}
+
+func TestRMSNormZeroRowStable(t *testing.T) {
+	out := RMSNorm(tensor.NewMatrix(1, 4), []float32{1, 1, 1, 1})
+	for _, v := range out.Row(0) {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("RMSNorm of zero row is not finite")
+		}
+	}
+}
+
+func TestApplyRoPEPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := tensor.RandMatrix(rng, 3, 8, 1)
+	before := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for _, v := range m.Row(i) {
+			before[i] += float64(v) * float64(v)
+		}
+	}
+	ApplyRoPE(m, 4, []int{0, 7, 123})
+	for i := 0; i < 3; i++ {
+		var after float64
+		for _, v := range m.Row(i) {
+			after += float64(v) * float64(v)
+		}
+		if math.Abs(after-before[i]) > 1e-3 {
+			t.Fatalf("row %d: rotation changed norm %v -> %v", i, before[i], after)
+		}
+	}
+}
+
+func TestApplyRoPEPositionZeroIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := tensor.RandMatrix(rng, 1, 8, 1)
+	orig := m.Clone()
+	ApplyRoPE(m, 4, []int{0})
+	if d := tensor.MaxAbsDiff(m, orig); d > 1e-6 {
+		t.Fatalf("RoPE at position 0 changed values by %g", d)
+	}
+}
+
+// RoPE relative-position property: dot(q_rot(p1), k_rot(p2)) depends only on
+// p2 - p1 (per head). Verified by shifting both positions.
+func TestRoPERelativePositionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	headDim := 8
+	q := tensor.RandMatrix(rng, 1, headDim, 1)
+	k := tensor.RandMatrix(rng, 1, headDim, 1)
+	dotAt := func(p1, p2 int) float32 {
+		qc, kc := q.Clone(), k.Clone()
+		ApplyRoPE(qc, headDim, []int{p1})
+		ApplyRoPE(kc, headDim, []int{p2})
+		return tensor.Dot(qc.Row(0), kc.Row(0))
+	}
+	a := dotAt(3, 10)
+	b := dotAt(100, 107)
+	if math.Abs(float64(a-b)) > 1e-3 {
+		t.Fatalf("relative position violated: %v vs %v", a, b)
+	}
+}
+
+func TestReferencePrefillThenDecodeEqualsOneShot(t *testing.T) {
+	// Processing [x0..x4] in one Forward must equal prefilling [x0..x2] and
+	// then decoding x3, x4 one at a time — the incremental-KV-cache
+	// invariant every serving system relies on.
+	for _, cfg := range []Config{TinyGQA(), TinyMHA()} {
+		w := NewWeights(cfg, 1)
+		rng := rand.New(rand.NewSource(2))
+		x := tensor.RandMatrix(rng, 5, cfg.Hidden, 1)
+		pos := []int{0, 1, 2, 3, 4}
+
+		oneShot := NewReference(w).Forward(x, pos)
+
+		inc := NewReference(w)
+		outPrefill := inc.Forward(x.SliceRows(0, 3), pos[:3])
+		out3 := inc.Forward(x.SliceRows(3, 4), pos[3:4])
+		out4 := inc.Forward(x.SliceRows(4, 5), pos[4:5])
+
+		if d := tensor.MaxAbsDiff(oneShot.SliceRows(0, 3), outPrefill); d > 1e-4 {
+			t.Fatalf("%s: prefill mismatch %g", cfg.Name, d)
+		}
+		if d := tensor.MaxAbsDiff(oneShot.SliceRows(3, 4), out3); d > 1e-4 {
+			t.Fatalf("%s: decode step 1 mismatch %g", cfg.Name, d)
+		}
+		if d := tensor.MaxAbsDiff(oneShot.SliceRows(4, 5), out4); d > 1e-4 {
+			t.Fatalf("%s: decode step 2 mismatch %g", cfg.Name, d)
+		}
+	}
+}
+
+func TestReferenceCacheGrows(t *testing.T) {
+	cfg := TinyGQA()
+	r := NewReference(NewWeights(cfg, 3))
+	rng := rand.New(rand.NewSource(4))
+	r.Forward(tensor.RandMatrix(rng, 4, cfg.Hidden, 1), []int{0, 1, 2, 3})
+	if r.Cache.Len() != 4 {
+		t.Fatalf("cache len %d, want 4", r.Cache.Len())
+	}
+	r.Forward(tensor.RandMatrix(rng, 1, cfg.Hidden, 1), []int{4})
+	if r.Cache.Len() != 5 {
+		t.Fatalf("cache len %d, want 5", r.Cache.Len())
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		if r.Cache.Keys[l].Rows != 5 || r.Cache.Values[l].Rows != 5 {
+			t.Fatalf("layer %d cache rows %d/%d, want 5", l, r.Cache.Keys[l].Rows, r.Cache.Values[l].Rows)
+		}
+	}
+}
+
+func TestReferenceOutputFinite(t *testing.T) {
+	cfg := TinyMHA()
+	r := NewReference(NewWeights(cfg, 9))
+	rng := rand.New(rand.NewSource(10))
+	out := r.Forward(tensor.RandMatrix(rng, 8, cfg.Hidden, 1), []int{0, 1, 2, 3, 4, 5, 6, 7})
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite activation")
+		}
+	}
+}
+
+// Property: KV bytes per token scales linearly with layers and KV heads.
+func TestPropertyKVBytesLinear(t *testing.T) {
+	f := func(layersRaw, headsRaw uint8) bool {
+		layers := int(layersRaw%31) + 1
+		kvHeads := int(headsRaw%7) + 1
+		cfg := Config{
+			Name: "p", Layers: layers, Hidden: kvHeads * 4 * 8,
+			NumHeads: kvHeads * 4, NumKVHeads: kvHeads, HeadDim: 8,
+			FFNHidden: 16, VocabSize: 16, MaxContext: 128, BytesParam: 2,
+		}
+		want := int64(2 * layers * kvHeads * 8 * 2)
+		return cfg.KVBytesPerToken() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

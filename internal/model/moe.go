@@ -1,0 +1,112 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"loongserve/internal/tensor"
+)
+
+// Expert is one feed-forward expert of a mixture-of-experts layer, with the
+// same SwiGLU shape as the dense FFN.
+type Expert struct {
+	W1 *tensor.Matrix // Hidden x FFNHidden (gate)
+	W3 *tensor.Matrix // Hidden x FFNHidden (up)
+	W2 *tensor.Matrix // FFNHidden x Hidden (down)
+}
+
+// MoELayer replaces the dense FFN with routed experts. Routing is
+// token-wise, which is why ESP composes with MoE for free: the FFN (and
+// therefore the router) only ever sees local tokens, so striped prefill and
+// multi-master decoding need no MoE-specific communication (§8).
+type MoELayer struct {
+	Router  *tensor.Matrix // Hidden x NumExperts
+	Experts []*Expert
+	TopK    int
+}
+
+// newMoELayer draws deterministic expert weights.
+func newMoELayer(cfg Config, rng *rand.Rand) *MoELayer {
+	scaleIn := float32(1.0 / math.Sqrt(float64(cfg.Hidden)))
+	scaleFFN := float32(1.0 / math.Sqrt(float64(cfg.FFNHidden)))
+	m := &MoELayer{
+		Router: tensor.RandMatrix(rng, cfg.Hidden, cfg.NumExperts, scaleIn),
+		TopK:   cfg.TopK,
+	}
+	for e := 0; e < cfg.NumExperts; e++ {
+		m.Experts = append(m.Experts, &Expert{
+			W1: tensor.RandMatrix(rng, cfg.Hidden, cfg.FFNHidden, scaleIn),
+			W3: tensor.RandMatrix(rng, cfg.Hidden, cfg.FFNHidden, scaleIn),
+			W2: tensor.RandMatrix(rng, cfg.FFNHidden, cfg.Hidden, scaleFFN),
+		})
+	}
+	return m
+}
+
+// Route returns the TopK expert indices and their softmax-renormalized
+// gate weights for one normed hidden row. Selection order is by descending
+// score with index tiebreak, so routing is deterministic.
+func (m *MoELayer) Route(normed []float32) ([]int, []float32) {
+	scores := make([]float32, len(m.Experts))
+	for e := range m.Experts {
+		var s float32
+		for j, v := range normed {
+			s += v * m.Router.At(j, e)
+		}
+		scores[e] = s
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	sel := idx[:m.TopK]
+	// Softmax over the selected scores only (the Mixtral convention).
+	maxS := scores[sel[0]]
+	weights := make([]float32, len(sel))
+	var sum float64
+	for i, e := range sel {
+		w := math.Exp(float64(scores[e] - maxS))
+		weights[i] = float32(w)
+		sum += w
+	}
+	for i := range weights {
+		weights[i] = float32(float64(weights[i]) / sum)
+	}
+	return sel, weights
+}
+
+// expertForward runs one expert's SwiGLU on a single normed row.
+func (ex *Expert) forward(normed []float32) []float32 {
+	in := tensor.FromRows([][]float32{normed})
+	gate := tensor.MatMul(in, ex.W1)
+	up := tensor.MatMul(in, ex.W3)
+	for i := range gate.Data {
+		gate.Data[i] = silu(gate.Data[i]) * up.Data[i]
+	}
+	return tensor.MatMul(gate, ex.W2).Row(0)
+}
+
+// Forward applies the routed-experts FFN with residual, row-wise.
+func (m *MoELayer) Forward(h *tensor.Matrix, norm []float32) *tensor.Matrix {
+	f := RMSNorm(h, norm)
+	out := h.Clone()
+	for r := 0; r < h.Rows; r++ {
+		sel, weights := m.Route(f.Row(r))
+		orow := out.Row(r)
+		for i, e := range sel {
+			ev := m.Experts[e].forward(f.Row(r))
+			w := weights[i]
+			for j, v := range ev {
+				orow[j] += w * v
+			}
+		}
+	}
+	return out
+}

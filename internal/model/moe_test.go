@@ -1,0 +1,199 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loongserve/internal/tensor"
+)
+
+func TestMoEConfigValidate(t *testing.T) {
+	cfg := TinyMoE()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("TinyMoE invalid: %v", err)
+	}
+	bad := cfg
+	bad.TopK = 0
+	if bad.Validate() == nil {
+		t.Error("TopK=0 with experts accepted")
+	}
+	bad = cfg
+	bad.TopK = cfg.NumExperts + 1
+	if bad.Validate() == nil {
+		t.Error("TopK > NumExperts accepted")
+	}
+	bad = cfg
+	bad.NumExperts = -1
+	if bad.Validate() == nil {
+		t.Error("negative NumExperts accepted")
+	}
+	dense := cfg
+	dense.NumExperts, dense.TopK = 0, 0
+	if err := dense.Validate(); err != nil {
+		t.Errorf("dense config rejected: %v", err)
+	}
+}
+
+func TestMoESingleExpertEqualsDense(t *testing.T) {
+	// A 1-expert top-1 MoE layer whose expert copies the dense weights
+	// must compute exactly the dense FFN (the router softmax over one
+	// expert is 1).
+	cfg := TinyGQA()
+	w := NewWeights(cfg, 3)
+	lw := w.Layers[0]
+	moe := &LayerWeights{
+		FFNNorm: lw.FFNNorm,
+		MoE: &MoELayer{
+			Router:  tensor.NewMatrix(cfg.Hidden, 1),
+			Experts: []*Expert{{W1: lw.W1, W3: lw.W3, W2: lw.W2}},
+			TopK:    1,
+		},
+	}
+	rng := rand.New(rand.NewSource(9))
+	h := tensor.RandMatrix(rng, 5, cfg.Hidden, 1)
+	dense := lw.FFN(h)
+	mixed := moe.FFN(h)
+	if d := tensor.MaxAbsDiff(dense, mixed); d > 1e-6 {
+		t.Fatalf("single-expert MoE differs from dense by %g", d)
+	}
+}
+
+func TestMoERouteTopKWeights(t *testing.T) {
+	cfg := TinyMoE()
+	w := NewWeights(cfg, 1)
+	moe := w.Layers[0].MoE
+	if moe == nil {
+		t.Fatal("TinyMoE weights missing MoE layer")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		row := make([]float32, cfg.Hidden)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		sel, weights := moe.Route(row)
+		if len(sel) != cfg.TopK || len(weights) != cfg.TopK {
+			t.Fatalf("Route returned %d experts, want %d", len(sel), cfg.TopK)
+		}
+		seen := map[int]bool{}
+		var sum float64
+		for k, e := range sel {
+			if e < 0 || e >= cfg.NumExperts || seen[e] {
+				t.Fatalf("Route selected invalid or duplicate expert %d", e)
+			}
+			seen[e] = true
+			if weights[k] <= 0 || weights[k] > 1 {
+				t.Fatalf("gate weight %g outside (0,1]", weights[k])
+			}
+			sum += float64(weights[k])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("gate weights sum to %g", sum)
+		}
+		// Weights must be sorted descending: top expert first.
+		for k := 1; k < len(weights); k++ {
+			if weights[k] > weights[k-1]+1e-7 {
+				t.Fatalf("gate weights not descending: %v", weights)
+			}
+		}
+	}
+}
+
+func TestMoERoutingUsesMultipleExperts(t *testing.T) {
+	cfg := TinyMoE()
+	w := NewWeights(cfg, 1)
+	moe := w.Layers[0].MoE
+	rng := rand.New(rand.NewSource(5))
+	used := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		row := make([]float32, cfg.Hidden)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		sel, _ := moe.Route(row)
+		for _, e := range sel {
+			used[e] = true
+		}
+	}
+	if len(used) < 3 {
+		t.Errorf("routing collapsed to %d experts over 200 random tokens", len(used))
+	}
+}
+
+func TestMoEForwardDeterministic(t *testing.T) {
+	cfg := TinyMoE()
+	w := NewWeights(cfg, 7)
+	ref1 := NewReference(w)
+	ref2 := NewReference(w)
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandMatrix(rng, 6, cfg.Hidden, 1)
+	pos := []int{0, 1, 2, 3, 4, 5}
+	a := ref1.Forward(x, pos)
+	b := ref2.Forward(x, pos)
+	if d := tensor.MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("MoE forward not deterministic: diff %g", d)
+	}
+}
+
+func TestMoEParamAndFLOPAccounting(t *testing.T) {
+	dense := TinyGQA()
+	moe := dense
+	moe.NumExperts, moe.TopK = 4, 2
+
+	if moe.NumParams() <= dense.NumParams() {
+		t.Errorf("4-expert MoE params %d <= dense %d", moe.NumParams(), dense.NumParams())
+	}
+	// More experts at fixed TopK: more params, same per-token compute
+	// (modulo the router term).
+	bigger := moe
+	bigger.NumExperts = 8
+	if bigger.NumParams() <= moe.NumParams() {
+		t.Error("8-expert MoE not larger than 4-expert")
+	}
+	extra := bigger.FLOPsPerToken() - moe.FLOPsPerToken()
+	routerDelta := 2 * float64(bigger.Layers) * float64(bigger.Hidden) * 4 // 4 extra router cols
+	if math.Abs(extra-routerDelta) > 1e-6*bigger.FLOPsPerToken() {
+		t.Errorf("FLOPs grew by %g with TopK fixed, want only the router delta %g", extra, routerDelta)
+	}
+	// Higher TopK: same params, more compute.
+	top4 := moe
+	top4.TopK = 4
+	if top4.NumParams() != moe.NumParams() {
+		t.Error("TopK change altered parameter count")
+	}
+	if top4.FLOPsPerToken() <= moe.FLOPsPerToken() {
+		t.Error("TopK=4 not more FLOPs than TopK=2")
+	}
+	// A TopK=k MoE computes less than a dense model with k·FFNHidden.
+	wide := dense
+	wide.FFNHidden = dense.FFNHidden * moe.NumExperts
+	if moe.FLOPsPerToken() >= wide.FLOPsPerToken() {
+		t.Errorf("top-2-of-4 MoE FLOPs %g >= 4x-wide dense %g — sparsity lost",
+			moe.FLOPsPerToken(), wide.FLOPsPerToken())
+	}
+}
+
+func TestMoEWeightsShape(t *testing.T) {
+	cfg := TinyMoE()
+	w := NewWeights(cfg, 1)
+	for l, lw := range w.Layers {
+		if lw.MoE == nil {
+			t.Fatalf("layer %d missing MoE", l)
+		}
+		if lw.W1 != nil || lw.W2 != nil || lw.W3 != nil {
+			t.Fatalf("layer %d has both dense and MoE FFN weights", l)
+		}
+		if len(lw.MoE.Experts) != cfg.NumExperts {
+			t.Fatalf("layer %d has %d experts", l, len(lw.MoE.Experts))
+		}
+		if lw.MoE.Router.Rows != cfg.Hidden || lw.MoE.Router.Cols != cfg.NumExperts {
+			t.Fatalf("layer %d router %dx%d", l, lw.MoE.Router.Rows, lw.MoE.Router.Cols)
+		}
+		for e, ex := range lw.MoE.Experts {
+			if ex.W1.Cols != cfg.FFNHidden || ex.W2.Rows != cfg.FFNHidden {
+				t.Fatalf("layer %d expert %d has wrong FFN width", l, e)
+			}
+		}
+	}
+}

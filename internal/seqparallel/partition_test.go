@@ -1,0 +1,260 @@
+package seqparallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loongserve/internal/model"
+	"loongserve/internal/tensor"
+)
+
+func TestContiguousAssign(t *testing.T) {
+	a := ContiguousAssign(7, 3)
+	want := [][]int{{0, 1}, {2, 3}, {4, 5, 6}}
+	for i := range want {
+		if len(a[i]) != len(want[i]) {
+			t.Fatalf("assign[%d] = %v, want %v", i, a[i], want[i])
+		}
+		for j := range want[i] {
+			if a[i][j] != want[i][j] {
+				t.Fatalf("assign[%d] = %v, want %v", i, a[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAssignCoversAllTokens(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    func(n, sp int) [][]int
+	}{{"striped", StripedAssign}, {"contiguous", ContiguousAssign}} {
+		for n := 0; n <= 40; n++ {
+			for sp := 1; sp <= 6; sp++ {
+				seen := make([]bool, n)
+				for _, idx := range fn.f(n, sp) {
+					for _, t2 := range idx {
+						if t2 < 0 || t2 >= n || seen[t2] {
+							t.Fatalf("%s(%d,%d): token %d duplicated or out of range", fn.name, n, sp, t2)
+						}
+						seen[t2] = true
+					}
+				}
+				for t2, ok := range seen {
+					if !ok {
+						t.Fatalf("%s(%d,%d): token %d unassigned", fn.name, n, sp, t2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContiguousPrefillMatchesReference: the partition layout must never
+// change results — it only changes which instance does which share of the
+// causal work.
+func TestContiguousPrefillMatchesReference(t *testing.T) {
+	for _, cfg := range []model.Config{model.TinyGQA(), model.TinyMHA()} {
+		for _, sp := range []int{1, 2, 3, 4} {
+			n := 11
+			want, _, x := referenceRun(cfg, 1, 2, n, 0)
+			g := newGroup(t, cfg, sp, 1)
+			g.Partition = ContiguousAssign
+			got, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := tensor.MaxAbsDiff(got, want); d > tol {
+				t.Fatalf("%s sp=%d: contiguous prefill diff %g", cfg.Name, sp, d)
+			}
+		}
+	}
+}
+
+// TestContiguousThenDecode: KV retained under a contiguous layout must
+// still serve multi-master decoding correctly.
+func TestContiguousThenDecode(t *testing.T) {
+	cfg := model.TinyGQA()
+	n, sp, steps := 9, 3, 4
+	_, wantDecodes, x := referenceRun(cfg, 1, 2, n, steps)
+	g := newGroup(t, cfg, sp, 1)
+	g.Partition = ContiguousAssign
+	out, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		outs, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n + s, Master: s % sp}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = outs[0]
+		if d := tensor.MaxAbsDiff(last, wantDecodes[s]); d > tol {
+			t.Fatalf("decode step %d diff %g", s, d)
+		}
+	}
+}
+
+func TestWorkImbalanceStripedBeatsContiguous(t *testing.T) {
+	// The striped permutation is the paper's §2.3 starting point exactly
+	// because the causal mask makes contiguous chunks unbalanced: the
+	// last chunk attends to (almost) everything, the first to (almost)
+	// nothing.
+	for _, n := range []int{1024, 4096, 65_536} {
+		for _, sp := range []int{2, 4, 8} {
+			striped := WorkImbalance(StripedAssign(n, sp))
+			contig := WorkImbalance(ContiguousAssign(n, sp))
+			if striped >= contig {
+				t.Errorf("n=%d sp=%d: striped imbalance %.4f >= contiguous %.4f", n, sp, striped, contig)
+			}
+			if striped > 1.01 {
+				t.Errorf("n=%d sp=%d: striped imbalance %.4f, want ~1", n, sp, striped)
+			}
+			// Contiguous worst (last) chunk does ≈ n²(2sp-1)/(2sp²) of
+			// the n²/(2sp) mean: ratio (2sp-1)/sp.
+			wantContig := (2*float64(sp) - 1) / float64(sp)
+			if math.Abs(contig-wantContig) > 0.05*wantContig {
+				t.Errorf("n=%d sp=%d: contiguous imbalance %.4f, want ≈%.4f", n, sp, contig, wantContig)
+			}
+		}
+	}
+}
+
+func TestCausalWorkTotalInvariant(t *testing.T) {
+	// Any layout performs the same total work: Σ(t+1) = n(n+1)/2.
+	n, sp := 333, 5
+	for _, assign := range [][][]int{StripedAssign(n, sp), ContiguousAssign(n, sp)} {
+		var total float64
+		for _, w := range CausalWork(assign) {
+			total += w
+		}
+		if want := float64(n) * float64(n+1) / 2; total != want {
+			t.Errorf("total work %v, want %v", total, want)
+		}
+	}
+}
+
+func TestWorkImbalanceEmpty(t *testing.T) {
+	if got := WorkImbalance(StripedAssign(0, 4)); got != 1 {
+		t.Errorf("imbalance of empty assignment = %v, want 1", got)
+	}
+}
+
+// --- §8 model-breadth equivalence: MQA and MoE through the full ESP path ---
+
+func TestMQAPrefillAndDecodeMatchReference(t *testing.T) {
+	cfg := model.TinyMQA()
+	n, steps := 10, 3
+	want, wantDecodes, x := referenceRun(cfg, 4, 5, n, steps)
+	for _, sp := range []int{1, 2, 4} {
+		g := newGroup(t, cfg, sp, 4)
+		got, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Fatalf("sp=%d: MQA prefill diff %g", sp, d)
+		}
+		last := got.SliceRows(n-1, n)
+		for s := 0; s < steps; s++ {
+			outs, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n + s, Master: s % sp}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = outs[0]
+			if d := tensor.MaxAbsDiff(last, wantDecodes[s]); d > tol {
+				t.Fatalf("sp=%d decode %d: MQA diff %g", sp, s, d)
+			}
+		}
+	}
+}
+
+func TestMoEPrefillAndDecodeMatchReference(t *testing.T) {
+	cfg := model.TinyMoE()
+	n, steps := 10, 3
+	want, wantDecodes, x := referenceRun(cfg, 6, 7, n, steps)
+	for _, sp := range []int{1, 2, 3} {
+		g := newGroup(t, cfg, sp, 6)
+		got, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Fatalf("sp=%d: MoE prefill diff %g", sp, d)
+		}
+		last := got.SliceRows(n-1, n)
+		for s := 0; s < steps; s++ {
+			outs, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n + s, Master: s % sp}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = outs[0]
+			if d := tensor.MaxAbsDiff(last, wantDecodes[s]); d > tol {
+				t.Fatalf("sp=%d decode %d: MoE diff %g", sp, s, d)
+			}
+		}
+	}
+}
+
+func TestMoEProactiveScaleDown(t *testing.T) {
+	// The §4.1 mechanism is FFN-agnostic: scale a MoE prefill down to one
+	// survivor and keep decoding against the reference.
+	cfg := model.TinyMoE()
+	n, steps := 8, 3
+	_, wantDecodes, x := referenceRun(cfg, 6, 7, n, steps)
+	g := newGroup(t, cfg, 3, 6)
+	plan := ScaleDownPlan([]int{n}) // everything on instance 0
+	out, err := g.Prefill(1, x, attnPositions(0, n), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := g.TokensHeld(1)
+	if held[0] != n || held[1] != 0 || held[2] != 0 {
+		t.Fatalf("held %v after scale-down plan", held)
+	}
+	shrunk := NewGroup(cfg, g.Instances[:1])
+	last := out.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		outs, err := shrunk.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n + s, Master: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = outs[0]
+		if d := tensor.MaxAbsDiff(last, wantDecodes[s]); d > tol {
+			t.Fatalf("decode %d after MoE scale-down: diff %g", s, d)
+		}
+	}
+}
+
+func TestPartitionMixWithRetentionPlans(t *testing.T) {
+	// Random retention plans under the contiguous layout: placement and
+	// outputs must both hold (the retention path indexes original token
+	// ids, not layout slots).
+	cfg := model.TinyMHA()
+	n, sp := 12, 3
+	rng := rand.New(rand.NewSource(8))
+	want, _, x := referenceRun(cfg, 2, 3, n, 0)
+	for iter := 0; iter < 10; iter++ {
+		plan := make(RetentionPlan, n)
+		for i := range plan {
+			plan[i] = rng.Intn(sp)
+		}
+		g := newGroup(t, cfg, sp, 2)
+		g.Partition = ContiguousAssign
+		got, err := g.Prefill(1, x, attnPositions(0, n), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Fatalf("iter %d: diff %g", iter, d)
+		}
+		counts := plan.Counts(sp)
+		for i, c := range counts {
+			if g.Instances[i].TokensHeld(1) != c {
+				t.Fatalf("iter %d: instance %d holds %d, plan says %d",
+					iter, i, g.Instances[i].TokensHeld(1), c)
+			}
+		}
+	}
+}

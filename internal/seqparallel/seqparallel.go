@@ -1,0 +1,444 @@
+// Package seqparallel implements the functional elastic-sequence-
+// parallelism (ESP) runtime: the actual dataflow of LoongServe's elastic
+// instances executing real transformer math, at toy model scale.
+//
+// It exists to prove the paper's central mechanisms correct, not to be
+// fast:
+//
+//   - Striped-attention prefill (Fig 1): the input sequence is permuted
+//     round-robin across instances; at every attention layer the key/value
+//     blocks circulate around the instance ring while each instance folds
+//     them into mergeable partial-attention states.
+//   - Proactive scale-down (Fig 7, §4.1): a retention plan assigns every
+//     token to the instance that must hold its KV *after* the prefill; the
+//     assignment is honored for free while blocks stream past during the
+//     ring rounds — zero extra communication, any token-level placement.
+//   - Single- and multi-master distributed decoding (Fig 8, §4.2): master
+//     instances run the dense layers for their requests and append new KV
+//     locally; queries are broadcast, every instance computes partial
+//     attention over its resident KV, and the partials merge on the
+//     master. Scale-up = adding an empty instance; no KV moves.
+//
+// Every mechanism is validated against model.Reference: identical outputs
+// up to float32 accumulation order.
+package seqparallel
+
+import (
+	"fmt"
+
+	"loongserve/internal/attention"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/model"
+	"loongserve/internal/tensor"
+)
+
+// RequestID aliases the cluster-wide request identifier.
+type RequestID = kvcache.RequestID
+
+// Instance is one functional elastic instance: a model weight replica plus
+// a per-request local KV store.
+type Instance struct {
+	ID kvcache.InstanceID
+	W  *model.Weights
+	KV map[RequestID]*model.KVCache
+}
+
+// NewInstance returns an instance with an empty KV store.
+func NewInstance(id kvcache.InstanceID, w *model.Weights) *Instance {
+	return &Instance{ID: id, W: w, KV: make(map[RequestID]*model.KVCache)}
+}
+
+// kvFor returns (creating if needed) the local KV cache of one request.
+func (in *Instance) kvFor(r RequestID) *model.KVCache {
+	c, ok := in.KV[r]
+	if !ok {
+		c = model.NewKVCache(in.W.Cfg.Layers, in.W.Cfg.KVDim())
+		in.KV[r] = c
+	}
+	return c
+}
+
+// TokensHeld returns how many KV tokens of request r live here.
+func (in *Instance) TokensHeld(r RequestID) int {
+	if c, ok := in.KV[r]; ok {
+		return c.Len()
+	}
+	return 0
+}
+
+// DropRequest removes all KV of request r from this instance.
+func (in *Instance) DropRequest(r RequestID) { delete(in.KV, r) }
+
+// Group is a parallel group of elastic instances executing one batch. The
+// group's size is the ESP degree of parallelism (DoP).
+type Group struct {
+	Cfg       model.Config
+	Instances []*Instance
+	// Partition distributes prefill token indices over instances. Nil
+	// means StripedAssign — the Striped Attention permutation the paper
+	// builds on. ContiguousAssign gives the ring-attention layout for the
+	// partitioning ablation: identical outputs, imbalanced causal work.
+	Partition func(n, sp int) [][]int
+}
+
+// NewGroup forms a parallel group over instances sharing one model config.
+func NewGroup(cfg model.Config, instances []*Instance) *Group {
+	if len(instances) == 0 {
+		panic("seqparallel: empty group")
+	}
+	for _, in := range instances {
+		if in.W.Cfg != cfg {
+			panic(fmt.Sprintf("seqparallel: instance %d runs %q, group runs %q", in.ID, in.W.Cfg.Name, cfg.Name))
+		}
+	}
+	return &Group{Cfg: cfg, Instances: instances}
+}
+
+// assign applies the group's partition strategy.
+func (g *Group) assign(n, sp int) [][]int {
+	if g.Partition != nil {
+		return g.Partition(n, sp)
+	}
+	return StripedAssign(n, sp)
+}
+
+// DoP returns the group's degree of parallelism.
+func (g *Group) DoP() int { return len(g.Instances) }
+
+// StripedAssign distributes n token indices round-robin over sp instances —
+// the striped permutation of Striped Attention, which balances causal
+// attention work across instances (early tokens are cheap, late tokens
+// expensive; striping mixes them).
+func StripedAssign(n, sp int) [][]int {
+	out := make([][]int, sp)
+	for t := 0; t < n; t++ {
+		out[t%sp] = append(out[t%sp], t)
+	}
+	return out
+}
+
+// ContiguousAssign distributes n token indices in consecutive chunks — the
+// Ring Attention layout Striped Attention improves on. Functionally
+// equivalent (attention is permutation-invariant given positions), but the
+// causal mask concentrates work on the instance holding the last chunk;
+// CausalWork quantifies the imbalance.
+func ContiguousAssign(n, sp int) [][]int {
+	out := make([][]int, sp)
+	for i := 0; i < sp; i++ {
+		lo, hi := i*n/sp, (i+1)*n/sp
+		for t := lo; t < hi; t++ {
+			out[i] = append(out[i], t)
+		}
+	}
+	return out
+}
+
+// CausalWork returns each instance's causal-attention work under an
+// assignment: instance i scores its queries against every key with
+// position <= the query's, summed over the full ring (all keys visit all
+// instances), so work[i] = Σ over its tokens t of (t+1). The prefill
+// finishes when the slowest instance does, so the max/mean ratio is the
+// slowdown a layout costs (§6's motivation for tuning the striped mask).
+func CausalWork(assign [][]int) []float64 {
+	work := make([]float64, len(assign))
+	for i, idx := range assign {
+		for _, t := range idx {
+			work[i] += float64(t + 1)
+		}
+	}
+	return work
+}
+
+// WorkImbalance returns max(work)/mean(work) for an assignment: 1.0 is
+// perfectly balanced; contiguous layouts approach (2·sp)/(sp+1).
+func WorkImbalance(assign [][]int) float64 {
+	work := CausalWork(assign)
+	var sum, max float64
+	for _, w := range work {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(work)))
+}
+
+// RetentionPlan maps each token index of a prefill to the index *within the
+// group* of the instance that must hold its KV afterwards. This is the
+// proactive-migration instruction of §4.1: because every block visits every
+// instance during the ring rounds, ANY token-level plan is realizable with
+// zero extra communication.
+type RetentionPlan []int
+
+// UniformPlan retains tokens where they are computed: token t stays on
+// instance t % sp (no scale-down).
+func UniformPlan(n, sp int) RetentionPlan {
+	p := make(RetentionPlan, n)
+	for t := range p {
+		p[t] = t % sp
+	}
+	return p
+}
+
+// ScaleDownPlan retains all tokens on the first `survivors` instances,
+// spread contiguously: the Fig 7 example (tokens 1-4 on instance 1, the
+// rest on instance 2) generalized. counts[i] tokens go to survivor i.
+func ScaleDownPlan(counts []int) RetentionPlan {
+	var p RetentionPlan
+	for inst, c := range counts {
+		for k := 0; k < c; k++ {
+			p = append(p, inst)
+		}
+	}
+	return p
+}
+
+// Validate checks the plan against a group size and token count.
+func (p RetentionPlan) Validate(n, sp int) error {
+	if len(p) != n {
+		return fmt.Errorf("seqparallel: plan covers %d tokens, batch has %d", len(p), n)
+	}
+	for t, inst := range p {
+		if inst < 0 || inst >= sp {
+			return fmt.Errorf("seqparallel: token %d assigned to instance index %d outside group of %d", t, inst, sp)
+		}
+	}
+	return nil
+}
+
+// Counts returns tokens retained per instance index.
+func (p RetentionPlan) Counts(sp int) []int {
+	c := make([]int, sp)
+	for _, inst := range p {
+		c[inst]++
+	}
+	return c
+}
+
+// Prefill executes the prefill phase of one request across the group using
+// striped sequence parallelism, returning the final hidden states in
+// original token order. x holds one row per input token; positions are the
+// tokens' absolute positions; plan decides where each token's KV lives
+// afterwards (pass UniformPlan for no scale-down).
+//
+// Communication performed (conceptually): (sp-1) ring rotations of the
+// local KV block per layer — nothing else. KV retention reuses those
+// rotations, which is precisely the zero-overhead proactive migration
+// claim validated by TestProactiveScaleDown*.
+func (g *Group) Prefill(r RequestID, x *tensor.Matrix, positions []int, plan RetentionPlan) (*tensor.Matrix, error) {
+	sp := g.DoP()
+	n := x.Rows
+	if len(positions) != n {
+		return nil, fmt.Errorf("seqparallel: %d positions for %d rows", len(positions), n)
+	}
+	if err := plan.Validate(n, sp); err != nil {
+		return nil, err
+	}
+	cfg := g.Cfg
+	assign := g.assign(n, sp)
+
+	// Per-instance local state.
+	localH := make([]*tensor.Matrix, sp)
+	localPos := make([][]int, sp)
+	localIdx := assign
+	for i := 0; i < sp; i++ {
+		localH[i] = x.GatherRows(assign[i])
+		pos := make([]int, len(assign[i]))
+		for j, t := range assign[i] {
+			pos[j] = positions[t]
+		}
+		localPos[i] = pos
+	}
+
+	attCfg := cfg.Attention()
+	for l := 0; l < cfg.Layers; l++ {
+		type block struct {
+			k, v *tensor.Matrix
+			pos  []int
+			idx  []int // original token indices
+		}
+		blocks := make([]block, sp)
+		qs := make([]*tensor.Matrix, sp)
+		partials := make([]*attention.Partial, sp)
+		for i := 0; i < sp; i++ {
+			lw := g.Instances[i].W.Layers[l]
+			q, k, v := lw.ProjectQKV(localH[i], localPos[i], cfg)
+			qs[i] = q
+			blocks[i] = block{k: k, v: v, pos: localPos[i], idx: localIdx[i]}
+			partials[i] = attention.NewPartial(attCfg, localH[i].Rows)
+		}
+		// Ring rounds: at round r, instance i sees the block originating at
+		// (i + r) % sp.
+		for round := 0; round < sp; round++ {
+			for i := 0; i < sp; i++ {
+				src := (i + round) % sp
+				b := blocks[src]
+				partials[i].Absorb(qs[i], b.k, b.v, localPos[i], b.pos)
+				// Proactive retention: store the rows this instance must
+				// keep while the block is resident.
+				g.retain(g.Instances[i], r, l, b.k, b.v, b.idx, plan, i)
+			}
+		}
+		for i := 0; i < sp; i++ {
+			lw := g.Instances[i].W.Layers[l]
+			h := lw.AttnOutput(localH[i], partials[i].Result())
+			localH[i] = lw.FFN(h)
+		}
+	}
+
+	// Record retained token positions once, in the exact order the layer
+	// loop appended K/V rows: blocks arrive at instance i in ring order
+	// (i, i+1, ..., i+sp-1 mod sp), striped token order within each block.
+	for i := 0; i < sp; i++ {
+		var pos []int
+		for round := 0; round < sp; round++ {
+			src := (i + round) % sp
+			for _, t := range assign[src] {
+				if plan[t] == i {
+					pos = append(pos, positions[t])
+				}
+			}
+		}
+		if len(pos) > 0 {
+			g.Instances[i].kvFor(r).AppendPositions(pos)
+		}
+	}
+
+	// Gather outputs back to original order and apply the final norm.
+	out := tensor.NewMatrix(n, cfg.Hidden)
+	for i := 0; i < sp; i++ {
+		normed := model.RMSNorm(localH[i], g.Instances[i].W.FinalNorm)
+		for j, t := range assign[i] {
+			copy(out.Row(t), normed.Row(j))
+		}
+	}
+	return out, nil
+}
+
+// retain stores the block rows assigned to instance index `me` by the plan.
+// Retention happens exactly once per (block, instance) pair because each
+// pair meets exactly once per layer during the ring rounds; Prefill appends
+// the matching positions in the same order after the layer loop.
+func (g *Group) retain(in *Instance, r RequestID, layer int, k, v *tensor.Matrix, idx []int, plan RetentionPlan, me int) {
+	var rows []int
+	for j, t := range idx {
+		if plan[t] == me {
+			rows = append(rows, j)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	cache := in.kvFor(r)
+	cache.AppendLayer(layer, k.GatherRows(rows), v.GatherRows(rows))
+}
+
+// DecodeRequest is one request's single-token decode input.
+type DecodeRequest struct {
+	ID     RequestID
+	X      *tensor.Matrix // 1 x Hidden: previous iteration's output hidden state
+	Pos    int            // absolute position of the token being generated
+	Master int            // index within the group of the master instance
+}
+
+// DecodeStep runs one multi-master distributed decoding iteration for a
+// batch of requests. Each request's master computes projections and dense
+// layers and stores the newly generated KV locally; attention reduces
+// partials from every instance holding that request's KV. Outputs are
+// returned in batch order.
+func (g *Group) DecodeStep(batch []DecodeRequest) ([]*tensor.Matrix, error) {
+	sp := g.DoP()
+	cfg := g.Cfg
+	attCfg := cfg.Attention()
+	for bi, req := range batch {
+		if req.Master < 0 || req.Master >= sp {
+			return nil, fmt.Errorf("seqparallel: request %d master %d outside group of %d", req.ID, req.Master, sp)
+		}
+		if req.X.Rows != 1 || req.X.Cols != cfg.Hidden {
+			return nil, fmt.Errorf("seqparallel: batch[%d] input %dx%d, want 1x%d", bi, req.X.Rows, req.X.Cols, cfg.Hidden)
+		}
+	}
+
+	h := make([]*tensor.Matrix, len(batch))
+	for i, req := range batch {
+		h[i] = req.X.Clone()
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for i, req := range batch {
+			master := g.Instances[req.Master]
+			lw := master.W.Layers[l]
+			q, k, v := lw.ProjectQKV(h[i], []int{req.Pos}, cfg)
+			// New KV lands on the master's local pool (§4.2).
+			master.kvFor(req.ID).AppendLayer(l, k, v)
+			// Queries broadcast; each instance computes local partial
+			// attention over its resident KV for this request; master
+			// merges.
+			merged := attention.NewPartial(attCfg, 1)
+			for _, in := range g.Instances {
+				cache, ok := in.KV[req.ID]
+				if !ok || cache.Keys[l].Rows == 0 {
+					continue
+				}
+				// The just-appended row has no position recorded yet; its
+				// position list is cache.Positions plus req.Pos for the
+				// master's copy.
+				pos := cache.Positions
+				if in == master {
+					pos = append(append([]int(nil), cache.Positions...), req.Pos)
+				}
+				part := attention.NewPartial(attCfg, 1)
+				part.Absorb(q, cache.Keys[l], cache.Values[l], []int{req.Pos}, pos)
+				merged.Merge(part)
+			}
+			lw2 := master.W.Layers[l]
+			hh := lw2.AttnOutput(h[i], merged.Result())
+			h[i] = lw2.FFN(hh)
+		}
+	}
+	out := make([]*tensor.Matrix, len(batch))
+	for i, req := range batch {
+		master := g.Instances[req.Master]
+		master.kvFor(req.ID).AppendPositions([]int{req.Pos})
+		out[i] = model.RMSNorm(h[i], master.W.FinalNorm)
+	}
+	return out, nil
+}
+
+// TokensHeld returns the per-instance KV token counts for one request
+// across the group.
+func (g *Group) TokensHeld(r RequestID) []int {
+	out := make([]int, g.DoP())
+	for i, in := range g.Instances {
+		out[i] = in.TokensHeld(r)
+	}
+	return out
+}
+
+// ReactiveMigrate moves request r's entire KV from instance `from` to
+// instance `to` (both indices within the group) — the baseline mechanism
+// whose cost proactive migration eliminates. Provided for the
+// disaggregation baseline and for equivalence tests.
+func (g *Group) ReactiveMigrate(r RequestID, from, to int) error {
+	sp := g.DoP()
+	if from < 0 || from >= sp || to < 0 || to >= sp {
+		return fmt.Errorf("seqparallel: migrate %d->%d outside group of %d", from, to, sp)
+	}
+	if from == to {
+		return nil
+	}
+	src := g.Instances[from]
+	cache, ok := src.KV[r]
+	if !ok {
+		return nil
+	}
+	dst := g.Instances[to].kvFor(r)
+	for l := range cache.Keys {
+		dst.AppendLayer(l, cache.Keys[l], cache.Values[l])
+	}
+	dst.AppendPositions(cache.Positions)
+	src.DropRequest(r)
+	return nil
+}

@@ -1,0 +1,466 @@
+package seqparallel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loongserve/internal/kvcache"
+	"loongserve/internal/model"
+	"loongserve/internal/tensor"
+)
+
+// tolerance for float32 accumulation-order differences between serial and
+// distributed execution.
+const tol = 2e-3
+
+func newGroup(t *testing.T, cfg model.Config, sp int, seed int64) *Group {
+	t.Helper()
+	w := model.NewWeights(cfg, seed)
+	instances := make([]*Instance, sp)
+	for i := range instances {
+		instances[i] = NewInstance(kvcache.InstanceID(i), w)
+	}
+	return NewGroup(cfg, instances)
+}
+
+// referenceOutputs runs the serial model over the full token stream:
+// prefill of n tokens, then `steps` decode steps feeding each output back
+// as the next input.
+func referenceRun(cfg model.Config, wSeed, xSeed int64, n, steps int) (prefill *tensor.Matrix, decodes []*tensor.Matrix, x *tensor.Matrix) {
+	w := model.NewWeights(cfg, wSeed)
+	ref := model.NewReference(w)
+	rng := rand.New(rand.NewSource(xSeed))
+	x = tensor.RandMatrix(rng, n, cfg.Hidden, 1)
+	prefill = ref.Forward(x, attnPositions(0, n))
+	last := prefill.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		out := ref.Forward(last, []int{n + s})
+		decodes = append(decodes, out)
+		last = out
+	}
+	return prefill, decodes, x
+}
+
+func attnPositions(start, n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = start + i
+	}
+	return pos
+}
+
+func TestStripedAssign(t *testing.T) {
+	a := StripedAssign(7, 3)
+	want := [][]int{{0, 3, 6}, {1, 4}, {2, 5}}
+	for i := range want {
+		if len(a[i]) != len(want[i]) {
+			t.Fatalf("assign[%d] = %v", i, a[i])
+		}
+		for j := range want[i] {
+			if a[i][j] != want[i][j] {
+				t.Fatalf("assign[%d] = %v, want %v", i, a[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRetentionPlanValidate(t *testing.T) {
+	if err := (RetentionPlan{0, 1, 0}).Validate(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RetentionPlan{0, 1}).Validate(3, 2); err == nil {
+		t.Fatal("short plan accepted")
+	}
+	if err := (RetentionPlan{0, 2, 0}).Validate(3, 2); err == nil {
+		t.Fatal("out-of-group plan accepted")
+	}
+}
+
+func TestScaleDownPlanAndCounts(t *testing.T) {
+	p := ScaleDownPlan([]int{4, 2})
+	if len(p) != 6 {
+		t.Fatalf("plan length %d", len(p))
+	}
+	c := p.Counts(3)
+	if c[0] != 4 || c[1] != 2 || c[2] != 0 {
+		t.Fatalf("counts %v", c)
+	}
+}
+
+// Core claim (Fig 1): striped sequence-parallel prefill computes exactly
+// what the serial model computes, for any DoP.
+func TestPrefillMatchesReferenceAllDoPs(t *testing.T) {
+	for _, cfg := range []model.Config{model.TinyGQA(), model.TinyMHA()} {
+		for _, sp := range []int{1, 2, 3, 4} {
+			n := 11
+			want, _, x := referenceRun(cfg, 1, 2, n, 0)
+			g := newGroup(t, cfg, sp, 1)
+			got, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := tensor.MaxAbsDiff(got, want); d > tol {
+				t.Fatalf("%s sp=%d: prefill diff %g", cfg.Name, sp, d)
+			}
+		}
+	}
+}
+
+// After a uniform-plan prefill, the KV tokens are striped across instances.
+func TestPrefillKVDistribution(t *testing.T) {
+	cfg := model.TinyGQA()
+	n, sp := 10, 3
+	g := newGroup(t, cfg, sp, 1)
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandMatrix(rng, n, cfg.Hidden, 1)
+	if _, err := g.Prefill(5, x, attnPositions(0, n), UniformPlan(n, sp)); err != nil {
+		t.Fatal(err)
+	}
+	held := g.TokensHeld(5)
+	if held[0] != 4 || held[1] != 3 || held[2] != 3 {
+		t.Fatalf("held %v, want [4 3 3]", held)
+	}
+}
+
+// §4.1 proactive scale-down: prefill on DoP=3 with a plan that retains all
+// KV on the first two instances; decoding on the shrunk group must equal
+// the serial reference with NO migration step in between.
+func TestProactiveScaleDownThenDecode(t *testing.T) {
+	cfg := model.TinyGQA()
+	n, sp, steps := 9, 3, 4
+	wantPrefill, wantDecodes, x := referenceRun(cfg, 1, 7, n, steps)
+
+	g := newGroup(t, cfg, sp, 1)
+	plan := ScaleDownPlan([]int{5, 4}) // everything on instances 0 and 1
+	gotPrefill, err := g.Prefill(9, x, attnPositions(0, n), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(gotPrefill, wantPrefill); d > tol {
+		t.Fatalf("prefill diff %g", d)
+	}
+	held := g.TokensHeld(9)
+	if held[0] != 5 || held[1] != 4 || held[2] != 0 {
+		t.Fatalf("retention plan not honored: %v", held)
+	}
+
+	// Scale down: form the surviving group (instances 0, 1) and decode.
+	shrunk := NewGroup(cfg, g.Instances[:2])
+	last := gotPrefill.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		out, err := shrunk.DecodeStep([]DecodeRequest{{ID: 9, X: last, Pos: n + s, Master: s % 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], wantDecodes[s]); d > tol {
+			t.Fatalf("decode step %d diff %g", s, d)
+		}
+		last = out[0]
+	}
+}
+
+// Arbitrary token-level retention plans (the "any token-level KV Cache
+// allocation plan" claim of §4.1) all produce correct results.
+func TestPrefillArbitraryRetentionPlan(t *testing.T) {
+	cfg := model.TinyMHA()
+	n, sp := 8, 4
+	want, _, x := referenceRun(cfg, 2, 9, n, 0)
+	g := newGroup(t, cfg, sp, 2)
+	plan := RetentionPlan{3, 3, 0, 2, 2, 2, 0, 3} // scattered, skips instance 1
+	got, err := g.Prefill(1, x, attnPositions(0, n), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d > tol {
+		t.Fatalf("prefill diff %g", d)
+	}
+	held := g.TokensHeld(1)
+	if held[0] != 2 || held[1] != 0 || held[2] != 3 || held[3] != 3 {
+		t.Fatalf("held %v", held)
+	}
+	// Decode across the full group still works (instance 1 holds nothing
+	// but participates).
+	last := got.SliceRows(n-1, n)
+	ref := model.NewReference(model.NewWeights(cfg, 2))
+	ref.Forward(x, attnPositions(0, n))
+	wantNext := ref.Forward(last, []int{n})
+	out, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n, Master: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(out[0], wantNext); d > tol {
+		t.Fatalf("decode diff %g", d)
+	}
+}
+
+// §4.2 single-master distributed decoding equals the reference.
+func TestSingleMasterDecode(t *testing.T) {
+	cfg := model.TinyGQA()
+	n, steps := 7, 5
+	_, wantDecodes, x := referenceRun(cfg, 1, 11, n, steps)
+	g := newGroup(t, cfg, 2, 1)
+	got, err := g.Prefill(2, x, attnPositions(0, n), UniformPlan(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := got.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		out, err := g.DecodeStep([]DecodeRequest{{ID: 2, X: last, Pos: n + s, Master: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], wantDecodes[s]); d > tol {
+			t.Fatalf("step %d diff %g", s, d)
+		}
+		last = out[0]
+	}
+	// All new KV landed on the master.
+	held := g.TokensHeld(2)
+	if held[0] != 4+steps || held[1] != 3 {
+		t.Fatalf("held after decode %v", held)
+	}
+}
+
+// §4.2 multi-master: two requests mastered by different instances decode
+// concurrently and match their references.
+func TestMultiMasterDecodeTwoRequests(t *testing.T) {
+	cfg := model.TinyMHA()
+	nA, nB, steps := 6, 9, 3
+	wantA, decA, xA := referenceRun(cfg, 3, 21, nA, steps)
+	wantB, decB, xB := referenceRun(cfg, 3, 22, nB, steps)
+
+	g := newGroup(t, cfg, 2, 3)
+	gotA, err := g.Prefill(100, xA, attnPositions(0, nA), UniformPlan(nA, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := g.Prefill(200, xB, attnPositions(0, nB), UniformPlan(nB, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(gotA, wantA); d > tol {
+		t.Fatalf("prefill A diff %g", d)
+	}
+	if d := tensor.MaxAbsDiff(gotB, wantB); d > tol {
+		t.Fatalf("prefill B diff %g", d)
+	}
+
+	lastA := gotA.SliceRows(nA-1, nA)
+	lastB := gotB.SliceRows(nB-1, nB)
+	for s := 0; s < steps; s++ {
+		out, err := g.DecodeStep([]DecodeRequest{
+			{ID: 100, X: lastA, Pos: nA + s, Master: 0},
+			{ID: 200, X: lastB, Pos: nB + s, Master: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], decA[s]); d > tol {
+			t.Fatalf("req A step %d diff %g", s, d)
+		}
+		if d := tensor.MaxAbsDiff(out[1], decB[s]); d > tol {
+			t.Fatalf("req B step %d diff %g", s, d)
+		}
+		lastA, lastB = out[0], out[1]
+	}
+}
+
+// Elastic scale-UP during decoding (§4.2): add a fresh instance mid-stream,
+// shift mastership to it, keep decoding — no migration, still correct.
+func TestElasticScaleUpMidDecode(t *testing.T) {
+	cfg := model.TinyGQA()
+	n, steps := 8, 6
+	_, wantDecodes, x := referenceRun(cfg, 5, 31, n, steps)
+
+	g := newGroup(t, cfg, 2, 5)
+	got, err := g.Prefill(7, x, attnPositions(0, n), UniformPlan(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := got.SliceRows(n-1, n)
+	for s := 0; s < 3; s++ {
+		out, err := g.DecodeStep([]DecodeRequest{{ID: 7, X: last, Pos: n + s, Master: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], wantDecodes[s]); d > tol {
+			t.Fatalf("pre-scale step %d diff %g", s, d)
+		}
+		last = out[0]
+	}
+	// Scale up: add an empty instance and master the request there.
+	fresh := NewInstance(kvcache.InstanceID(99), g.Instances[0].W)
+	grown := NewGroup(cfg, append(append([]*Instance(nil), g.Instances...), fresh))
+	for s := 3; s < steps; s++ {
+		out, err := grown.DecodeStep([]DecodeRequest{{ID: 7, X: last, Pos: n + s, Master: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], wantDecodes[s]); d > tol {
+			t.Fatalf("post-scale step %d diff %g", s, d)
+		}
+		last = out[0]
+	}
+	if fresh.TokensHeld(7) != steps-3 {
+		t.Fatalf("fresh instance holds %d tokens, want %d", fresh.TokensHeld(7), steps-3)
+	}
+}
+
+// Reactive migration produces the same results as proactive retention —
+// it is the *cost*, not the correctness, that differs.
+func TestReactiveMigrationEquivalence(t *testing.T) {
+	cfg := model.TinyMHA()
+	n, steps := 7, 3
+	_, wantDecodes, x := referenceRun(cfg, 6, 41, n, steps)
+
+	g := newGroup(t, cfg, 3, 6)
+	got, err := g.Prefill(4, x, attnPositions(0, n), UniformPlan(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactively migrate everything from instance 2 to instance 0, then
+	// decode on the shrunk group.
+	if err := g.ReactiveMigrate(4, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Instances[2].TokensHeld(4) != 0 {
+		t.Fatal("migration left tokens behind")
+	}
+	shrunk := NewGroup(cfg, g.Instances[:2])
+	last := got.SliceRows(n-1, n)
+	for s := 0; s < steps; s++ {
+		out, err := shrunk.DecodeStep([]DecodeRequest{{ID: 4, X: last, Pos: n + s, Master: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(out[0], wantDecodes[s]); d > tol {
+			t.Fatalf("step %d diff %g", s, d)
+		}
+		last = out[0]
+	}
+}
+
+func TestReactiveMigrateErrors(t *testing.T) {
+	g := newGroup(t, model.TinyGQA(), 2, 1)
+	if err := g.ReactiveMigrate(1, 0, 5); err == nil {
+		t.Fatal("out-of-range migrate accepted")
+	}
+	if err := g.ReactiveMigrate(1, 0, 0); err != nil {
+		t.Fatal("self-migrate should be a no-op")
+	}
+	if err := g.ReactiveMigrate(99, 0, 1); err != nil {
+		t.Fatal("migrating unknown request should be a no-op")
+	}
+}
+
+func TestPrefillValidation(t *testing.T) {
+	cfg := model.TinyGQA()
+	g := newGroup(t, cfg, 2, 1)
+	x := tensor.NewMatrix(4, cfg.Hidden)
+	if _, err := g.Prefill(1, x, []int{0, 1}, UniformPlan(4, 2)); err == nil {
+		t.Fatal("position length mismatch accepted")
+	}
+	if _, err := g.Prefill(1, x, attnPositions(0, 4), RetentionPlan{0, 0}); err == nil {
+		t.Fatal("short plan accepted")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	cfg := model.TinyGQA()
+	g := newGroup(t, cfg, 2, 1)
+	x := tensor.NewMatrix(1, cfg.Hidden)
+	if _, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: x, Pos: 0, Master: 9}}); err == nil {
+		t.Fatal("bad master accepted")
+	}
+	bad := tensor.NewMatrix(2, cfg.Hidden)
+	if _, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: bad, Pos: 0, Master: 0}}); err == nil {
+		t.Fatal("multi-row decode input accepted")
+	}
+}
+
+func TestNewGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty group accepted")
+		}
+	}()
+	NewGroup(model.TinyGQA(), nil)
+}
+
+// Property: for random sequence lengths, DoPs and random retention plans,
+// striped prefill equals the serial reference and the retention counts
+// match the plan.
+func TestPropertyPrefillEquivalenceRandomPlans(t *testing.T) {
+	cfg := model.TinyGQA()
+	f := func(seed int64, nRaw, spRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		sp := int(spRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		plan := make(RetentionPlan, n)
+		for i := range plan {
+			plan[i] = rng.Intn(sp)
+		}
+		want, _, x := referenceRun(cfg, 1, seed, n, 0)
+		g := newGroupQuick(cfg, sp)
+		got, err := g.Prefill(1, x, attnPositions(0, n), plan)
+		if err != nil {
+			return false
+		}
+		if tensor.MaxAbsDiff(got, want) > tol {
+			return false
+		}
+		held := g.TokensHeld(1)
+		counts := plan.Counts(sp)
+		for i := range held {
+			if held[i] != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newGroupQuick(cfg model.Config, sp int) *Group {
+	w := model.NewWeights(cfg, 1)
+	instances := make([]*Instance, sp)
+	for i := range instances {
+		instances[i] = NewInstance(kvcache.InstanceID(i), w)
+	}
+	return NewGroup(cfg, instances)
+}
+
+// Property: decode with a randomly chosen master each step equals the
+// serial reference — mastership is free to move at any iteration.
+func TestPropertyDecodeMasterIndependence(t *testing.T) {
+	cfg := model.TinyMHA()
+	f := func(seed int64, spRaw uint8) bool {
+		sp := int(spRaw%3) + 1
+		n, steps := 5, 3
+		_, wantDecodes, x := referenceRun(cfg, 1, seed, n, steps)
+		g := newGroupQuick(cfg, sp)
+		got, err := g.Prefill(1, x, attnPositions(0, n), UniformPlan(n, sp))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		last := got.SliceRows(n-1, n)
+		for s := 0; s < steps; s++ {
+			out, err := g.DecodeStep([]DecodeRequest{{ID: 1, X: last, Pos: n + s, Master: rng.Intn(sp)}})
+			if err != nil {
+				return false
+			}
+			if tensor.MaxAbsDiff(out[0], wantDecodes[s]) > tol {
+				return false
+			}
+			last = out[0]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package serving defines the pieces shared by every serving engine in the
+// simulator: the request lifecycle, the engine interface, and the driver
+// that replays a workload trace against an engine on the discrete-event
+// kernel.
+//
+// All engines — LoongServe (internal/core) and the baselines
+// (internal/baselines) — advance simulated time exclusively through
+// iteration durations computed by the ground-truth cost model, and account
+// KV memory through kvcache.DistributedPool. They differ only in policy,
+// which is exactly the comparison the paper's §7 makes.
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/metrics"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// Phase is a request's lifecycle phase.
+type Phase int
+
+// Request phases, in lifecycle order.
+const (
+	Pending Phase = iota
+	Prefilling
+	Decoding
+	Finished
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Pending:
+		return "pending"
+	case Prefilling:
+		return "prefilling"
+	case Decoding:
+		return "decoding"
+	case Finished:
+		return "finished"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Request is one serving request flowing through an engine.
+type Request struct {
+	ID        kvcache.RequestID
+	InputLen  int
+	OutputLen int
+	Arrival   simevent.Time
+	SLOBudget time.Duration
+
+	Phase      Phase
+	Generated  int // output tokens produced so far
+	FirstToken simevent.Time
+	Finish     simevent.Time
+}
+
+// Tokens returns the total sequence length at completion.
+func (r *Request) Tokens() int { return r.InputLen + r.OutputLen }
+
+// KVNow returns the KV tokens the request occupies right now.
+func (r *Request) KVNow() int { return r.InputLen + r.Generated }
+
+// Record converts a finished request into a metrics record.
+func (r *Request) Record() metrics.Record {
+	return metrics.Record{
+		ID:         int64(r.ID),
+		InputLen:   r.InputLen,
+		OutputLen:  r.OutputLen,
+		Arrival:    time.Duration(r.Arrival),
+		FirstToken: time.Duration(r.FirstToken),
+		Finish:     time.Duration(r.Finish),
+		SLOBudget:  r.SLOBudget,
+	}
+}
+
+// Env is the simulation environment handed to an engine.
+type Env struct {
+	Sim     *simevent.Sim
+	Cluster *cluster.Cluster
+	CM      *costmodel.CostModel
+	Pool    *kvcache.DistributedPool
+	// Complete must be called exactly once per finished request.
+	Complete func(*Request)
+}
+
+// Engine is a serving system policy.
+type Engine interface {
+	Name() string
+	// Init binds the engine to a fresh environment before any arrival.
+	Init(env *Env) error
+	// Arrive delivers a request at its arrival time.
+	Arrive(r *Request)
+}
+
+// ErrOOM is returned by Run when the engine declares the workload
+// unservable (a request can never fit), reproducing the paper's DistServe
+// OOM rows in Fig 10.
+type ErrOOM struct {
+	System string
+	Req    kvcache.RequestID
+	Tokens int
+	Limit  int
+}
+
+func (e *ErrOOM) Error() string {
+	return fmt.Sprintf("%s: request %d needs %d KV tokens, pool limit %d: out of memory",
+		e.System, e.Req, e.Tokens, e.Limit)
+}
+
+// RunConfig controls a driver run.
+type RunConfig struct {
+	SLOScale float64 // latency budget = SLOScale x unloaded latency; 25 in the paper
+	// MaxEvents bounds the simulation as a divergence backstop (0 = default).
+	MaxEvents uint64
+}
+
+// DefaultRunConfig returns the paper's settings.
+func DefaultRunConfig() RunConfig { return RunConfig{SLOScale: 25} }
+
+// IdealLatency returns the unloaded end-to-end latency of a request on the
+// reference configuration (all GPUs, pure tensor parallelism): the SLO
+// denominator. The decode term uses the request's mean resident KV length.
+func IdealLatency(cm *costmodel.CostModel, gpus int, in, out int) time.Duration {
+	link := cluster.Link{Bandwidth: cm.HW.NVLinkBandwidth, Latency: cm.HW.NVLinkLatency}
+	d := cm.PrefillIterTime([]int{in}, 1, gpus, link)
+	if out > 1 {
+		meanKV := in + out/2
+		d += time.Duration(out-1) * cm.DecodeIterTime(1, meanKV, 1, gpus, 1, link)
+	}
+	return d
+}
+
+// Run replays a trace against an engine and returns one metrics record per
+// completed request. Engines signal unservable workloads by panicking with
+// *ErrOOM, which Run converts to an error (the discrete-event kernel has no
+// error channel through event callbacks, and an OOM aborts the whole run,
+// matching the paper's missing DistServe curves).
+func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []workload.TimedRequest, cfg RunConfig) (recs []metrics.Record, err error) {
+	sim := simevent.New()
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+	sim.MaxEvents = cfg.MaxEvents
+
+	totalGPUs := 0
+	for _, inst := range c.Instances {
+		totalGPUs += inst.TP
+	}
+
+	env := &Env{
+		Sim:     sim,
+		Cluster: c,
+		CM:      cm,
+		Pool:    c.NewPool(),
+	}
+	env.Complete = func(r *Request) {
+		if r.Phase != Finished {
+			panic(fmt.Sprintf("serving: Complete(%d) in phase %v", r.ID, r.Phase))
+		}
+		recs = append(recs, r.Record())
+	}
+	if err := eng.Init(env); err != nil {
+		return nil, err
+	}
+
+	for i, tr := range trace {
+		r := &Request{
+			ID:        kvcache.RequestID(i + 1),
+			InputLen:  tr.InputLen,
+			OutputLen: tr.OutputLen,
+			Arrival:   simevent.Time(tr.Arrival),
+		}
+		if cfg.SLOScale > 0 {
+			r.SLOBudget = time.Duration(cfg.SLOScale * float64(IdealLatency(cm, totalGPUs, r.InputLen, r.OutputLen)))
+		}
+		sim.At(r.Arrival, func() { eng.Arrive(r) })
+	}
+
+	defer func() {
+		if p := recover(); p != nil {
+			if oom, ok := p.(*ErrOOM); ok {
+				err = oom
+				recs = nil
+				return
+			}
+			panic(p)
+		}
+	}()
+	sim.Run()
+	return recs, nil
+}

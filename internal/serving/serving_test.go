@@ -1,0 +1,209 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/workload"
+)
+
+// fifoEngine is a trivial single-slot engine used to exercise the driver:
+// it serves requests one at a time, charging one prefill iteration plus one
+// decode iteration per output token.
+type fifoEngine struct {
+	env   *Env
+	queue []*Request
+	busy  bool
+}
+
+func (f *fifoEngine) Name() string { return "fifo-test" }
+func (f *fifoEngine) Init(env *Env) error {
+	f.env = env
+	return nil
+}
+func (f *fifoEngine) Arrive(r *Request) {
+	f.queue = append(f.queue, r)
+	f.pump()
+}
+func (f *fifoEngine) pump() {
+	if f.busy || len(f.queue) == 0 {
+		return
+	}
+	r := f.queue[0]
+	f.queue = f.queue[1:]
+	f.busy = true
+	link := cluster.Link{Bandwidth: 1e12}
+	d := f.env.CM.PrefillIterTime([]int{r.InputLen}, 1, 8, link)
+	f.env.Sim.After(d, func() {
+		r.FirstToken = f.env.Sim.Now()
+		r.Generated = 1
+		r.Phase = Decoding
+		step := f.env.CM.DecodeIterTime(1, r.KVNow(), 1, 8, 1, link)
+		f.env.Sim.After(time.Duration(r.OutputLen-1)*step, func() {
+			r.Generated = r.OutputLen
+			r.Phase = Finished
+			r.Finish = f.env.Sim.Now()
+			f.env.Complete(r)
+			f.busy = false
+			f.pump()
+		})
+	})
+}
+
+func testSetup(t *testing.T) (*cluster.Cluster, *costmodel.CostModel) {
+	t.Helper()
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, 1, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, costmodel.New(m, hw)
+}
+
+func TestRunCompletesAllRequests(t *testing.T) {
+	c, cm := testSetup(t)
+	trace := workload.PoissonTrace(workload.ShareGPT(), 1.0, 20, 1)
+	recs, err := Run(&fifoEngine{}, c, cm, trace, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("completed %d of 20", len(recs))
+	}
+	for _, r := range recs {
+		if r.Finish <= r.Arrival {
+			t.Fatalf("request %d finished before arriving", r.ID)
+		}
+		if r.FirstToken < r.Arrival || r.Finish < r.FirstToken {
+			t.Fatalf("request %d: broken timeline %v %v %v", r.ID, r.Arrival, r.FirstToken, r.Finish)
+		}
+		if r.SLOBudget <= 0 {
+			t.Fatalf("request %d: SLO budget not set", r.ID)
+		}
+	}
+}
+
+func TestRunAssignsSequentialIDsAndArrivals(t *testing.T) {
+	c, cm := testSetup(t)
+	trace := workload.PoissonTrace(workload.ShareGPT(), 2.0, 5, 2)
+	recs, err := Run(&fifoEngine{}, c, cm, trace, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, r := range recs {
+		seen[r.ID] = true
+	}
+	for i := int64(1); i <= 5; i++ {
+		if !seen[i] {
+			t.Fatalf("missing request id %d", i)
+		}
+	}
+}
+
+func TestRunOOMPropagates(t *testing.T) {
+	c, cm := testSetup(t)
+	oom := &oomEngine{}
+	trace := workload.PoissonTrace(workload.ShareGPT(), 1.0, 3, 3)
+	recs, err := Run(oom, c, cm, trace, DefaultRunConfig())
+	if err == nil {
+		t.Fatal("OOM did not propagate")
+	}
+	if _, ok := err.(*ErrOOM); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if recs != nil {
+		t.Fatal("records returned despite OOM")
+	}
+}
+
+type oomEngine struct{ env *Env }
+
+func (o *oomEngine) Name() string { return "oom-test" }
+func (o *oomEngine) Init(env *Env) error {
+	o.env = env
+	return nil
+}
+func (o *oomEngine) Arrive(r *Request) {
+	panic(&ErrOOM{System: o.Name(), Req: r.ID, Tokens: r.Tokens(), Limit: 1})
+}
+
+func TestRunNonOOMPanicsPropagate(t *testing.T) {
+	c, cm := testSetup(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unexpected panic was swallowed")
+		}
+	}()
+	_, _ = Run(&panicEngine{}, c, cm, workload.PoissonTrace(workload.ShareGPT(), 1.0, 1, 4), DefaultRunConfig())
+}
+
+type panicEngine struct{}
+
+func (p *panicEngine) Name() string        { return "panic-test" }
+func (p *panicEngine) Init(env *Env) error { return nil }
+func (p *panicEngine) Arrive(r *Request)   { panic("boom") }
+
+func TestIdealLatencyScalesWithLengths(t *testing.T) {
+	_, cm := testSetup(t)
+	short := IdealLatency(cm, 8, 100, 10)
+	long := IdealLatency(cm, 8, 100_000, 10)
+	if long <= short {
+		t.Fatal("ideal latency not increasing in input length")
+	}
+	fewTok := IdealLatency(cm, 8, 1000, 2)
+	manyTok := IdealLatency(cm, 8, 1000, 500)
+	if manyTok <= fewTok {
+		t.Fatal("ideal latency not increasing in output length")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		Pending: "pending", Prefilling: "prefilling", Decoding: "decoding", Finished: "finished",
+	} {
+		if p.String() != want {
+			t.Fatalf("Phase(%d).String() = %q", int(p), p.String())
+		}
+	}
+	if Phase(42).String() == "" {
+		t.Fatal("unknown phase has empty string")
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := &Request{InputLen: 100, OutputLen: 10, Generated: 3}
+	if r.Tokens() != 110 || r.KVNow() != 103 {
+		t.Fatalf("Tokens=%d KVNow=%d", r.Tokens(), r.KVNow())
+	}
+	r.Phase = Finished
+	rec := r.Record()
+	if rec.InputLen != 100 || rec.OutputLen != 10 {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestCompleteWrongPhasePanics(t *testing.T) {
+	c, cm := testSetup(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Complete in wrong phase accepted")
+		}
+	}()
+	_, _ = Run(&badCompleteEngine{}, c, cm, workload.PoissonTrace(workload.ShareGPT(), 1.0, 1, 5), DefaultRunConfig())
+}
+
+type badCompleteEngine struct{ env *Env }
+
+func (b *badCompleteEngine) Name() string { return "bad-complete" }
+func (b *badCompleteEngine) Init(env *Env) error {
+	b.env = env
+	return nil
+}
+func (b *badCompleteEngine) Arrive(r *Request) {
+	b.env.Complete(r) // still Pending: must panic
+}

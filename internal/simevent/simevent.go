@@ -1,0 +1,216 @@
+// Package simevent provides a deterministic discrete-event simulation
+// kernel. Time is measured in integer nanoseconds; events scheduled for the
+// same instant fire in the order they were scheduled, which makes every
+// simulation bit-reproducible for a fixed input.
+//
+// The kernel is intentionally minimal: a clock, a priority queue of events,
+// and a run loop. Higher layers (cluster, serving engines) own all state and
+// register callbacks.
+package simevent
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulated timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a simulated time span in nanoseconds.
+type Duration = time.Duration
+
+// Common duration constructors, re-exported for call-site brevity.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Seconds converts a simulated timestamp to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the timestamp advanced by d, saturating on overflow.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if d > 0 && s < t {
+		return Time(1<<63 - 1)
+	}
+	return s
+}
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// FromSeconds converts floating-point seconds into a Duration.
+func FromSeconds(s float64) Duration {
+	return time.Duration(s * 1e9)
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the time the event is (was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. It is not safe for concurrent
+// use; all event callbacks run on the goroutine that calls Run.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+	// MaxEvents bounds the run loop as a safety net against runaway
+	// simulations; zero means no bound.
+	MaxEvents uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// now) panics: it indicates a logic error in the caller, and silently
+// clamping would mask causality bugs.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simevent: schedule at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("simevent: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (s *Sim) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simevent: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		e.cancel = true
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It returns false when the
+// queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties, Stop is called, or MaxEvents
+// is exceeded (in which case it panics, because exceeding the budget means
+// the simulation diverged).
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped {
+		if s.MaxEvents > 0 && s.fired >= s.MaxEvents {
+			panic(fmt.Sprintf("simevent: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now))
+		}
+		if !s.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued and advancing the clock to deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

@@ -1,0 +1,331 @@
+// Package tensor provides the minimal dense linear algebra used by the
+// functional transformer layer: float32 matrices, matrix multiplication,
+// row-wise softmax, and the numerically stable online-softmax accumulator
+// that underlies Flash-Attention-style partial attention merging.
+//
+// The package is deliberately small: the functional layer exists to verify
+// the *dataflow* of elastic sequence parallelism (token permutation, ring
+// key-value circulation, partial-attention reduction), not to be a fast
+// BLAS. Everything is row-major float32.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SliceRows returns a deep copy of rows [lo, hi).
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d) of %d rows", lo, hi, m.Rows))
+	}
+	c := NewMatrix(hi-lo, m.Cols)
+	copy(c.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return c
+}
+
+// GatherRows returns a new matrix whose row i is m's row idx[i].
+func (m *Matrix) GatherRows(idx []int) *Matrix {
+	c := NewMatrix(len(idx), m.Cols)
+	for i, j := range idx {
+		copy(c.Row(i), m.Row(j))
+	}
+	return c
+}
+
+// AppendRows appends all rows of other (same Cols) to m, returning m.
+func (m *Matrix) AppendRows(other *Matrix) *Matrix {
+	if other.Rows == 0 {
+		return m
+	}
+	if m.Cols == 0 && m.Rows == 0 {
+		m.Cols = other.Cols
+	}
+	if other.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AppendRows cols %d != %d", other.Cols, m.Cols))
+	}
+	m.Data = append(m.Data, other.Data...)
+	m.Rows += other.Rows
+	return m
+}
+
+// MatMul computes a @ b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT computes a @ bᵀ, i.e. out[i][j] = dot(a.Row(i), b.Row(j)).
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT %dx%d @ (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// Dot returns the dot product of equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot of lengths %d and %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scale multiplies every element in place and returns m.
+func (m *Matrix) Scale(f float32) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+	return m
+}
+
+// Add accumulates other into m element-wise and returns m.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: add %dx%d + %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+	return m
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Matrix) SoftmaxRows() *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		SoftmaxInPlace(m.Row(i))
+	}
+	return m
+}
+
+// SoftmaxInPlace applies a numerically stable softmax to v. Entries equal to
+// NegInf become exactly zero.
+func SoftmaxInPlace(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(float64(max), -1) {
+		// All entries masked; define softmax as all zeros.
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - max)))
+		v[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// NegInf is the mask value for disallowed attention positions.
+var NegInf = float32(math.Inf(-1))
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// two matrices of identical shape.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: diff %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RandMatrix returns a matrix with i.i.d. uniform entries in [-scale, scale],
+// drawn from rng. Used for deterministic synthetic weights and activations.
+func RandMatrix(rng *rand.Rand, rows, cols int, scale float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// OnlineSoftmax is the streaming softmax-weighted-sum accumulator used to
+// merge partial attention results (the core trick behind Flash-Attention,
+// Flash-Decoding and striped/ring attention). It maintains, for one query
+// row, the running maximum m, the running denominator l = Σ exp(score-m),
+// and the running weighted value sum acc = Σ exp(score-m)·v. Partial states
+// computed over disjoint key subsets merge associatively, which is exactly
+// what lets LoongServe instances compute local attention and reduce on a
+// master instance.
+type OnlineSoftmax struct {
+	Max   float32
+	Denom float32
+	Acc   []float32
+}
+
+// NewOnlineSoftmax returns an empty accumulator for value dimension dim.
+func NewOnlineSoftmax(dim int) *OnlineSoftmax {
+	return &OnlineSoftmax{Max: NegInf, Acc: make([]float32, dim)}
+}
+
+// Update folds one (score, value) pair into the accumulator.
+func (o *OnlineSoftmax) Update(score float32, value []float32) {
+	if len(value) != len(o.Acc) {
+		panic(fmt.Sprintf("tensor: online softmax value dim %d, want %d", len(value), len(o.Acc)))
+	}
+	if math.IsInf(float64(score), -1) {
+		return // masked position contributes nothing
+	}
+	if score <= o.Max {
+		w := float32(math.Exp(float64(score - o.Max)))
+		o.Denom += w
+		for i, v := range value {
+			o.Acc[i] += w * v
+		}
+		return
+	}
+	// New maximum: rescale the existing state.
+	scale := float32(math.Exp(float64(o.Max - score)))
+	if math.IsInf(float64(o.Max), -1) {
+		scale = 0
+	}
+	o.Denom = o.Denom*scale + 1
+	for i := range o.Acc {
+		o.Acc[i] = o.Acc[i]*scale + value[i]
+	}
+	o.Max = score
+}
+
+// Merge folds another partial accumulator (over a disjoint key set) into o.
+func (o *OnlineSoftmax) Merge(other *OnlineSoftmax) {
+	if len(other.Acc) != len(o.Acc) {
+		panic(fmt.Sprintf("tensor: online softmax merge dim %d, want %d", len(other.Acc), len(o.Acc)))
+	}
+	if math.IsInf(float64(other.Max), -1) || other.Denom == 0 {
+		return
+	}
+	if math.IsInf(float64(o.Max), -1) || o.Denom == 0 {
+		o.Max = other.Max
+		o.Denom = other.Denom
+		copy(o.Acc, other.Acc)
+		return
+	}
+	m := o.Max
+	if other.Max > m {
+		m = other.Max
+	}
+	ws := float32(math.Exp(float64(o.Max - m)))
+	wo := float32(math.Exp(float64(other.Max - m)))
+	o.Denom = o.Denom*ws + other.Denom*wo
+	for i := range o.Acc {
+		o.Acc[i] = o.Acc[i]*ws + other.Acc[i]*wo
+	}
+	o.Max = m
+}
+
+// Result returns the normalized weighted sum. With no unmasked updates it
+// returns the zero vector.
+func (o *OnlineSoftmax) Result() []float32 {
+	out := make([]float32, len(o.Acc))
+	if o.Denom == 0 {
+		return out
+	}
+	inv := 1 / o.Denom
+	for i, v := range o.Acc {
+		out[i] = v * inv
+	}
+	return out
+}
+
+// Clone returns a deep copy of the accumulator.
+func (o *OnlineSoftmax) Clone() *OnlineSoftmax {
+	c := &OnlineSoftmax{Max: o.Max, Denom: o.Denom, Acc: make([]float32, len(o.Acc))}
+	copy(c.Acc, o.Acc)
+	return c
+}

@@ -1,0 +1,425 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+}
+
+func TestNegativeDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("At wrong: %v", m.Data)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+	r := m.Row(2)
+	r[0] = 7
+	if m.At(2, 0) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on ragged rows")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float32{{1}, {2}, {3}, {4}})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Fatalf("SliceRows wrong: %+v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 2 {
+		t.Fatal("SliceRows shares storage")
+	}
+}
+
+func TestSliceRowsBoundsPanic(t *testing.T) {
+	m := NewMatrix(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range slice")
+		}
+	}()
+	m.SliceRows(0, 3)
+}
+
+func TestGatherRows(t *testing.T) {
+	m := FromRows([][]float32{{0}, {10}, {20}, {30}})
+	g := m.GatherRows([]int{3, 1, 1})
+	want := []float32{30, 10, 10}
+	for i, w := range want {
+		if g.At(i, 0) != w {
+			t.Fatalf("gather[%d] = %v, want %v", i, g.At(i, 0), w)
+		}
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	m := NewMatrix(0, 0)
+	m.AppendRows(FromRows([][]float32{{1, 2}}))
+	m.AppendRows(FromRows([][]float32{{3, 4}, {5, 6}}))
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("AppendRows wrong: %+v", m)
+	}
+}
+
+func TestAppendRowsMismatchPanics(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on col mismatch")
+		}
+	}()
+	m.AppendRows(FromRows([][]float32{{1, 2, 3}}))
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float32{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("matmul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandMatrix(rng, 4, 6, 1)
+	b := RandMatrix(rng, 5, 6, 1)
+	bt := NewMatrix(6, 5)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	got := MatMulT(a, b)
+	want := MatMul(a, bt)
+	if d := MaxAbsDiff(got, want); d > 1e-5 {
+		t.Fatalf("MatMulT diff %g", d)
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestScaleAndAdd(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}}).Scale(3)
+	if m.At(0, 1) != 6 {
+		t.Fatal("scale failed")
+	}
+	m.Add(FromRows([][]float32{{1, 1}}))
+	if m.At(0, 0) != 4 {
+		t.Fatal("add failed")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandMatrix(rng, 5, 9, 10)
+	m.SoftmaxRows()
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 {
+				t.Fatal("negative softmax entry")
+			}
+			sum += float64(v)
+		}
+		if !almostEqual(sum, 1, 1e-4) {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxStabilityLargeValues(t *testing.T) {
+	v := []float32{1000, 1001, 1002}
+	SoftmaxInPlace(v)
+	var sum float64
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatal("softmax overflowed")
+		}
+		sum += float64(x)
+	}
+	if !almostEqual(sum, 1, 1e-4) {
+		t.Fatalf("sum %v", sum)
+	}
+}
+
+func TestSoftmaxAllMaskedIsZero(t *testing.T) {
+	v := []float32{NegInf, NegInf}
+	SoftmaxInPlace(v)
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("masked softmax = %v, want zeros", v)
+	}
+}
+
+func TestSoftmaxMaskedEntriesZero(t *testing.T) {
+	v := []float32{0, NegInf, 0}
+	SoftmaxInPlace(v)
+	if v[1] != 0 {
+		t.Fatalf("masked entry %v", v[1])
+	}
+	if !almostEqual(float64(v[0]), 0.5, 1e-5) {
+		t.Fatalf("unmasked entry %v, want 0.5", v[0])
+	}
+}
+
+func TestSoftmaxEmptyNoop(t *testing.T) {
+	SoftmaxInPlace(nil) // must not panic
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1.5, 2}})
+	if d := MaxAbsDiff(a, b); !almostEqual(d, 0.5, 1e-6) {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestRandMatrixDeterministic(t *testing.T) {
+	a := RandMatrix(rand.New(rand.NewSource(7)), 3, 3, 1)
+	b := RandMatrix(rand.New(rand.NewSource(7)), 3, 3, 1)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed produced different matrices")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("entry %v out of scale", v)
+		}
+	}
+}
+
+// --- OnlineSoftmax ---
+
+// reference computes softmax-weighted sum directly.
+func referenceAttention(scores []float32, values [][]float32) []float32 {
+	s := append([]float32(nil), scores...)
+	SoftmaxInPlace(s)
+	dim := len(values[0])
+	out := make([]float32, dim)
+	for i, w := range s {
+		for j := 0; j < dim; j++ {
+			out[j] += w * values[i][j]
+		}
+	}
+	return out
+}
+
+func TestOnlineSoftmaxMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scores := make([]float32, 17)
+	values := make([][]float32, 17)
+	for i := range scores {
+		scores[i] = rng.Float32()*20 - 10
+		values[i] = []float32{rng.Float32(), rng.Float32(), rng.Float32()}
+	}
+	o := NewOnlineSoftmax(3)
+	for i := range scores {
+		o.Update(scores[i], values[i])
+	}
+	want := referenceAttention(scores, values)
+	got := o.Result()
+	for j := range want {
+		if !almostEqual(float64(got[j]), float64(want[j]), 1e-4) {
+			t.Fatalf("dim %d: got %v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestOnlineSoftmaxIgnoresMasked(t *testing.T) {
+	o := NewOnlineSoftmax(1)
+	o.Update(NegInf, []float32{100})
+	o.Update(0, []float32{5})
+	got := o.Result()
+	if !almostEqual(float64(got[0]), 5, 1e-5) {
+		t.Fatalf("got %v, want 5", got[0])
+	}
+}
+
+func TestOnlineSoftmaxEmptyResultZero(t *testing.T) {
+	o := NewOnlineSoftmax(2)
+	r := o.Result()
+	if r[0] != 0 || r[1] != 0 {
+		t.Fatalf("empty result %v", r)
+	}
+}
+
+func TestOnlineSoftmaxMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 24
+	scores := make([]float32, n)
+	values := make([][]float32, n)
+	for i := range scores {
+		scores[i] = rng.Float32()*30 - 15
+		values[i] = []float32{rng.Float32() * 4, rng.Float32() * 4}
+	}
+	// Sequential over all.
+	all := NewOnlineSoftmax(2)
+	for i := range scores {
+		all.Update(scores[i], values[i])
+	}
+	// Split into 3 partials merged together.
+	parts := []*OnlineSoftmax{NewOnlineSoftmax(2), NewOnlineSoftmax(2), NewOnlineSoftmax(2)}
+	for i := range scores {
+		parts[i%3].Update(scores[i], values[i])
+	}
+	merged := NewOnlineSoftmax(2)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	a, b := all.Result(), merged.Result()
+	for j := range a {
+		if !almostEqual(float64(a[j]), float64(b[j]), 1e-4) {
+			t.Fatalf("merge mismatch dim %d: %v vs %v", j, a[j], b[j])
+		}
+	}
+}
+
+func TestOnlineSoftmaxMergeEmptySides(t *testing.T) {
+	a := NewOnlineSoftmax(1)
+	a.Update(1, []float32{2})
+	empty := NewOnlineSoftmax(1)
+	// empty into full
+	full := a.Clone()
+	full.Merge(empty)
+	if !almostEqual(float64(full.Result()[0]), 2, 1e-6) {
+		t.Fatal("merging empty changed result")
+	}
+	// full into empty
+	e2 := NewOnlineSoftmax(1)
+	e2.Merge(a)
+	if !almostEqual(float64(e2.Result()[0]), 2, 1e-6) {
+		t.Fatal("merging into empty lost state")
+	}
+}
+
+// Property: merging any partition of updates equals sequential updates.
+func TestPropertyOnlineSoftmaxPartitionInvariance(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		k := int(kRaw%4) + 1
+		scores := make([]float32, n)
+		values := make([][]float32, n)
+		for i := range scores {
+			scores[i] = rng.Float32()*40 - 20
+			values[i] = []float32{rng.Float32(), rng.Float32()}
+		}
+		seq := NewOnlineSoftmax(2)
+		parts := make([]*OnlineSoftmax, k)
+		for i := range parts {
+			parts[i] = NewOnlineSoftmax(2)
+		}
+		for i := range scores {
+			seq.Update(scores[i], values[i])
+			parts[rng.Intn(k)].Update(scores[i], values[i])
+		}
+		merged := NewOnlineSoftmax(2)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		a, b := seq.Result(), merged.Result()
+		for j := range a {
+			if !almostEqual(float64(a[j]), float64(b[j]), 2e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is commutative within tolerance.
+func TestPropertyOnlineSoftmaxMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *OnlineSoftmax {
+			o := NewOnlineSoftmax(2)
+			for i := 0; i < rng.Intn(10)+1; i++ {
+				o.Update(rng.Float32()*20-10, []float32{rng.Float32(), rng.Float32()})
+			}
+			return o
+		}
+		x, y := mk(), mk()
+		xy := x.Clone()
+		xy.Merge(y)
+		yx := y.Clone()
+		yx.Merge(x)
+		a, b := xy.Result(), yx.Result()
+		for j := range a {
+			if !almostEqual(float64(a[j]), float64(b[j]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package token implements a deterministic byte-level BPE tokenizer — the
+// substrate behind the OpenAI-style front end (§6 of the paper uses
+// HuggingFace tokenizers; this is the stdlib-only equivalent).
+//
+// The tokenizer starts from the 256 single-byte tokens, so Decode(Encode(s))
+// == s for arbitrary input, and learns merge rules greedily from a training
+// corpus exactly like byte-level BPE: the most frequent adjacent token pair
+// becomes a new vocabulary entry until the target vocabulary size is
+// reached. Training is fully deterministic (frequency ties break on the
+// smaller pair), so every process builds the identical vocabulary from the
+// identical corpus.
+package token
+
+import (
+	"fmt"
+	"sync"
+)
+
+// byteTokens is the number of base tokens (one per byte value).
+const byteTokens = 256
+
+// Tokenizer encodes UTF-8 text (or arbitrary bytes) into token IDs and
+// back. The zero value is unusable; construct with Train or New.
+type Tokenizer struct {
+	vocab []string       // vocab[id] = the byte string the token expands to
+	rank  map[pair]int   // merge rules: pair -> merged token id
+	byStr map[string]int // reverse vocabulary
+}
+
+type pair struct{ a, b int }
+
+// Train learns a tokenizer from corpus with at most vocabSize entries
+// (including the 256 byte tokens, excluding specials). Training stops early
+// when no pair occurs at least twice.
+func Train(corpus string, vocabSize int) (*Tokenizer, error) {
+	if vocabSize < byteTokens {
+		return nil, fmt.Errorf("token: vocabSize %d < %d byte tokens", vocabSize, byteTokens)
+	}
+	t := &Tokenizer{
+		rank:  make(map[pair]int),
+		byStr: make(map[string]int, vocabSize),
+	}
+	t.vocab = make([]string, byteTokens, vocabSize)
+	for i := 0; i < byteTokens; i++ {
+		t.vocab[i] = string([]byte{byte(i)})
+		t.byStr[t.vocab[i]] = i
+	}
+
+	// Current tokenization of the corpus.
+	seq := make([]int, len(corpus))
+	for i := 0; i < len(corpus); i++ {
+		seq[i] = int(corpus[i])
+	}
+
+	for len(t.vocab) < vocabSize {
+		best, count := bestPair(seq)
+		if count < 2 {
+			break
+		}
+		id := len(t.vocab)
+		merged := t.vocab[best.a] + t.vocab[best.b]
+		if _, dup := t.byStr[merged]; dup {
+			// The same byte string emerged from a different merge path;
+			// skip it to keep the vocabulary injective.
+			seq = mergeAll(seq, best, id)
+			// Still record the rule so encoding can apply it, mapped to
+			// the existing token.
+			t.rank[best] = t.byStr[merged]
+			continue
+		}
+		t.vocab = append(t.vocab, merged)
+		t.byStr[merged] = id
+		t.rank[best] = id
+		seq = mergeAll(seq, best, id)
+	}
+	return t, nil
+}
+
+// bestPair finds the most frequent adjacent pair; ties break on the
+// smaller (a, b) so training is deterministic.
+func bestPair(seq []int) (pair, int) {
+	counts := make(map[pair]int)
+	for i := 0; i+1 < len(seq); i++ {
+		counts[pair{seq[i], seq[i+1]}]++
+	}
+	var best pair
+	bestN := 0
+	for p, n := range counts {
+		if n > bestN || (n == bestN && (p.a < best.a || (p.a == best.a && p.b < best.b))) {
+			best, bestN = p, n
+		}
+	}
+	return best, bestN
+}
+
+// mergeAll replaces every non-overlapping occurrence of p with id.
+func mergeAll(seq []int, p pair, id int) []int {
+	out := seq[:0]
+	for i := 0; i < len(seq); {
+		if i+1 < len(seq) && seq[i] == p.a && seq[i+1] == p.b {
+			out = append(out, id)
+			i += 2
+		} else {
+			out = append(out, seq[i])
+			i++
+		}
+	}
+	return out
+}
+
+// New rebuilds a tokenizer from a stored vocabulary (as produced by Vocab).
+// Entries 0..255 must be the byte tokens; later entries must each be the
+// concatenation of two earlier entries.
+func New(vocab []string) (*Tokenizer, error) {
+	if len(vocab) < byteTokens {
+		return nil, fmt.Errorf("token: vocabulary has %d entries, need at least %d", len(vocab), byteTokens)
+	}
+	t := &Tokenizer{
+		vocab: append([]string(nil), vocab...),
+		rank:  make(map[pair]int),
+		byStr: make(map[string]int, len(vocab)),
+	}
+	for i := 0; i < byteTokens; i++ {
+		if vocab[i] != string([]byte{byte(i)}) {
+			return nil, fmt.Errorf("token: vocab[%d] = %q, want the byte token", i, vocab[i])
+		}
+		t.byStr[vocab[i]] = i
+	}
+	for id := byteTokens; id < len(vocab); id++ {
+		s := vocab[id]
+		if _, dup := t.byStr[s]; dup {
+			return nil, fmt.Errorf("token: vocab[%d] = %q duplicates an earlier entry", id, s)
+		}
+		// Find a split into two earlier tokens (longest left match wins,
+		// mirroring training order).
+		found := false
+		for cut := len(s) - 1; cut >= 1; cut-- {
+			a, okA := t.byStr[s[:cut]]
+			b, okB := t.byStr[s[cut:]]
+			if okA && okB && a < id && b < id {
+				t.rank[pair{a, b}] = id
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("token: vocab[%d] = %q is not a merge of earlier entries", id, s)
+		}
+		t.byStr[s] = id
+	}
+	return t, nil
+}
+
+// Vocab returns a copy of the vocabulary, suitable for New.
+func (t *Tokenizer) Vocab() []string { return append([]string(nil), t.vocab...) }
+
+// VocabSize returns the number of regular tokens (excluding specials).
+func (t *Tokenizer) VocabSize() int { return len(t.vocab) }
+
+// BOS returns the beginning-of-sequence special token ID.
+func (t *Tokenizer) BOS() int { return len(t.vocab) }
+
+// EOS returns the end-of-sequence special token ID.
+func (t *Tokenizer) EOS() int { return len(t.vocab) + 1 }
+
+// TotalSize returns the logit dimension: vocabulary plus specials.
+func (t *Tokenizer) TotalSize() int { return len(t.vocab) + 2 }
+
+// Encode tokenizes s by byte-splitting and then applying merge rules in
+// rank order, exactly as BPE encodes.
+func (t *Tokenizer) Encode(s string) []int {
+	seq := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		seq[i] = int(s[i])
+	}
+	for len(seq) > 1 {
+		// Find the present pair with the lowest merge rank.
+		bestID := -1
+		var bestAt int
+		for i := 0; i+1 < len(seq); i++ {
+			if id, ok := t.rank[pair{seq[i], seq[i+1]}]; ok && (bestID == -1 || id < bestID) {
+				bestID, bestAt = id, i
+			}
+		}
+		if bestID == -1 {
+			break
+		}
+		p := pair{seq[bestAt], seq[bestAt+1]}
+		seq = mergeAll(seq, p, t.rank[p])
+	}
+	return seq
+}
+
+// Decode reverses Encode. Special tokens decode to nothing; unknown IDs
+// are an error.
+func (t *Tokenizer) Decode(ids []int) (string, error) {
+	var out []byte
+	for _, id := range ids {
+		switch {
+		case id >= 0 && id < len(t.vocab):
+			out = append(out, t.vocab[id]...)
+		case id == t.BOS() || id == t.EOS():
+			// specials carry no text
+		default:
+			return "", fmt.Errorf("token: id %d outside vocabulary of %d (+2 specials)", id, len(t.vocab))
+		}
+	}
+	return string(out), nil
+}
+
+// Token returns the byte string behind one token ID.
+func (t *Tokenizer) Token(id int) (string, error) {
+	switch {
+	case id >= 0 && id < len(t.vocab):
+		return t.vocab[id], nil
+	case id == t.BOS():
+		return "<bos>", nil
+	case id == t.EOS():
+		return "<eos>", nil
+	}
+	return "", fmt.Errorf("token: id %d outside vocabulary of %d (+2 specials)", id, len(t.vocab))
+}
+
+// Count returns the number of tokens Encode would produce without
+// materializing them — handy for context-window checks on long prompts.
+func (t *Tokenizer) Count(s string) int { return len(t.Encode(s)) }
+
+// defaultCorpus seeds Default(). It mixes prose, code and structured text
+// so the learned merges cover the shapes serving workloads contain.
+const defaultCorpus = `
+The context window of large language models is rapidly increasing, leading
+to a huge variance in resource usage between different requests as well as
+between different phases of the same request. Restricted by static
+parallelism strategies, existing serving systems cannot efficiently utilize
+the underlying resources to serve variable-length requests in different
+phases. Elastic sequence parallelism dynamically decides the degree of
+parallelism for requests in each iteration. During the prefill phase the
+system can use the entire cluster to quickly process the request; upon
+transiting to the relatively lightweight decoding phase it can decrease the
+degree of parallelism to reduce communication overhead and release
+unnecessary resources to accelerate the processing of other requests.
+func main() { fmt.Println("hello, world") }
+for i := 0; i < n; i++ { sum += data[i] }
+if err != nil { return nil, err }
+the quick brown fox jumps over the lazy dog
+The prefill phase processes all the input tokens in a single iteration to
+build the key-value cache and generates the first output token, while the
+decoding phase only needs to compute the key-value cache for the newly
+generated output token. As a result, the prefill phase is more compute
+intensive than the decoding phase. The scheduler considers dispatching,
+elastic instance allocation, batching, and elastic scaling plan generation
+in polynomial time. requests per second, tokens per second, latency,
+throughput, goodput, memory, bandwidth, attention, transformer, scheduler.
+0123456789 3.1415926535 2.7182818284
+`
+
+var (
+	defaultOnce sync.Once
+	defaultTok  *Tokenizer
+)
+
+// Default returns the shared tokenizer trained on the embedded corpus with
+// a 512-entry vocabulary. It is deterministic across processes.
+func Default() *Tokenizer {
+	defaultOnce.Do(func() {
+		t, err := Train(defaultCorpus, 512)
+		if err != nil {
+			panic(err) // unreachable: the corpus and size are constants
+		}
+		defaultTok = t
+	})
+	return defaultTok
+}

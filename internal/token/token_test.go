@@ -1,0 +1,237 @@
+package token
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripASCII(t *testing.T) {
+	tok := Default()
+	for _, s := range []string{
+		"",
+		"a",
+		"hello, world",
+		"the quick brown fox jumps over the lazy dog",
+		"func main() { fmt.Println(42) }",
+		"requests per second and tokens per second",
+		strings.Repeat("elastic sequence parallelism ", 50),
+	} {
+		got, err := tok.Decode(tok.Encode(s))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip of %q gave %q", s, got)
+		}
+	}
+}
+
+func TestRoundTripArbitraryBytes(t *testing.T) {
+	tok := Default()
+	f := func(b []byte) bool {
+		s := string(b)
+		got, err := tok.Decode(tok.Encode(s))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripUnicode(t *testing.T) {
+	tok := Default()
+	for _, s := range []string{"héllo wörld", "日本語のテキスト", "🚀 emoji", "mixed 中文 and English"} {
+		got, err := tok.Decode(tok.Encode(s))
+		if err != nil || got != s {
+			t.Errorf("round trip of %q gave %q, %v", s, got, err)
+		}
+	}
+}
+
+func TestTrainingCompresses(t *testing.T) {
+	tok := Default()
+	// Text resembling the training corpus should tokenize to well under
+	// one token per byte.
+	s := "the prefill phase processes all the input tokens and the decoding phase generates output tokens"
+	ids := tok.Encode(s)
+	if len(ids) >= len(s) {
+		t.Errorf("Encode produced %d tokens for %d bytes: no compression", len(ids), len(s))
+	}
+	if ratio := float64(len(ids)) / float64(len(s)); ratio > 0.6 {
+		t.Errorf("compression ratio %.2f tokens/byte, want <= 0.6 on in-domain text", ratio)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	a, err := Train(defaultCorpus, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(defaultCorpus, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, vb := a.Vocab(), b.Vocab()
+	if len(va) != len(vb) {
+		t.Fatalf("vocab sizes differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("vocab[%d] differs: %q vs %q", i, va[i], vb[i])
+		}
+	}
+}
+
+func TestTrainVocabBounds(t *testing.T) {
+	if _, err := Train("abc", 100); err == nil {
+		t.Error("vocabSize below 256 accepted")
+	}
+	tok, err := Train("aaaaaaaa", 258)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() > 258 {
+		t.Errorf("vocab grew to %d, cap was 258", tok.VocabSize())
+	}
+	// Degenerate corpus still round-trips arbitrary text via bytes.
+	s := "completely different text"
+	got, err := tok.Decode(tok.Encode(s))
+	if err != nil || got != s {
+		t.Errorf("byte fallback broken: %q, %v", got, err)
+	}
+}
+
+func TestTrainStopsWhenNoPairRepeats(t *testing.T) {
+	tok, err := Train("abcdefg", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 256 {
+		t.Errorf("learned %d merges from a corpus with no repeated pair", tok.VocabSize()-256)
+	}
+}
+
+func TestNewRebuildsFromVocab(t *testing.T) {
+	orig := Default()
+	rebuilt, err := New(orig.Vocab())
+	if err != nil {
+		t.Fatalf("New(Vocab()): %v", err)
+	}
+	for _, s := range []string{"hello world", "elastic sequence parallelism", "xyz123"} {
+		a, b := orig.Encode(s), rebuilt.Encode(s)
+		if len(a) != len(b) {
+			t.Fatalf("rebuilt tokenizer encodes %q to %d tokens, original %d", s, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rebuilt tokenizer diverges on %q at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadVocab(t *testing.T) {
+	if _, err := New([]string{"a", "b"}); err == nil {
+		t.Error("short vocab accepted")
+	}
+	v := Default().Vocab()
+	v[0] = "zz"
+	if _, err := New(v); err == nil {
+		t.Error("corrupted byte token accepted")
+	}
+	// Every byte string is a concatenation of byte tokens, so arbitrary
+	// appended entries parse; duplicates, however, must be rejected.
+	v = Default().Vocab()
+	v = append(v, v[300])
+	if _, err := New(v); err == nil {
+		t.Error("duplicate vocab entry accepted")
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	tok := Default()
+	if tok.BOS() == tok.EOS() {
+		t.Error("BOS == EOS")
+	}
+	if tok.TotalSize() != tok.VocabSize()+2 {
+		t.Errorf("TotalSize = %d, want VocabSize+2 = %d", tok.TotalSize(), tok.VocabSize()+2)
+	}
+	s, err := tok.Decode([]int{tok.BOS(), tok.Encode("hi")[0], tok.EOS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix("hi", s) && s == "" {
+		t.Errorf("Decode with specials = %q", s)
+	}
+	if _, err := tok.Decode([]int{tok.TotalSize()}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if _, err := tok.Decode([]int{-1}); err == nil {
+		t.Error("negative id accepted")
+	}
+	if name, err := tok.Token(tok.BOS()); err != nil || name != "<bos>" {
+		t.Errorf("Token(BOS) = %q, %v", name, err)
+	}
+	if name, err := tok.Token(tok.EOS()); err != nil || name != "<eos>" {
+		t.Errorf("Token(EOS) = %q, %v", name, err)
+	}
+	if _, err := tok.Token(-5); err == nil {
+		t.Error("Token(-5) accepted")
+	}
+}
+
+func TestCountMatchesEncode(t *testing.T) {
+	tok := Default()
+	rng := rand.New(rand.NewSource(1))
+	words := strings.Fields(defaultCorpus)
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(30)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		s := sb.String()
+		if got, want := tok.Count(s), len(tok.Encode(s)); got != want {
+			t.Fatalf("Count(%q) = %d, Encode gave %d", s, got, want)
+		}
+	}
+}
+
+func TestEncodeIDsInRange(t *testing.T) {
+	tok := Default()
+	f := func(b []byte) bool {
+		for _, id := range tok.Encode(string(b)) {
+			if id < 0 || id >= tok.VocabSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok := Default()
+	s := strings.Repeat("the prefill phase processes all the input tokens ", 20)
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(s)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	tok := Default()
+	ids := tok.Encode(strings.Repeat("the prefill phase processes all the input tokens ", 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tok.Decode(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Trace I/O: serving experiments must be replayable byte-for-byte. A trace
+// file is JSON-lines — one TimedRequest per line — so multi-gigabyte traces
+// stream without loading whole arrays, and diffs stay line-oriented.
+
+// traceRecord is the on-disk form of TimedRequest. Arrival is nanoseconds
+// from trace start.
+type traceRecord struct {
+	Input   int   `json:"input"`
+	Output  int   `json:"output"`
+	Arrival int64 `json:"arrival_ns"`
+}
+
+// WriteTrace streams a trace as JSON lines.
+func WriteTrace(w io.Writer, trace []TimedRequest) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, tr := range trace {
+		rec := traceRecord{
+			Input:   tr.InputLen,
+			Output:  tr.OutputLen,
+			Arrival: tr.Arrival.Nanoseconds(),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("workload: writing trace entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines trace, validating every entry and sorting
+// by arrival (the driver requires monotone arrivals).
+func ReadTrace(r io.Reader) ([]TimedRequest, error) {
+	var out []TimedRequest
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if rec.Input <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: input %d must be positive", line, rec.Input)
+		}
+		if rec.Output <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: output %d must be positive", line, rec.Output)
+		}
+		if rec.Arrival < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative arrival %d", line, rec.Arrival)
+		}
+		out = append(out, TimedRequest{
+			Entry:   Entry{InputLen: rec.Input, OutputLen: rec.Output},
+			Arrival: time.Duration(rec.Arrival),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out, nil
+}
+
+// SaveTraceFile writes a trace to path.
+func SaveTraceFile(path string, trace []TimedRequest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTraceFile reads a trace from path.
+func LoadTraceFile(path string) ([]TimedRequest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := PoissonTrace(Mixed(), 0.5, 50, 9)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("read %d entries, wrote %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	orig := PoissonTrace(ShareGPT(), 3, 25, 4)
+	if err := SaveTraceFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("read %d entries, wrote %d", len(got), len(orig))
+	}
+}
+
+func TestReadTraceSortsByArrival(t *testing.T) {
+	in := strings.Join([]string{
+		`{"input":10,"output":5,"arrival_ns":3000}`,
+		`{"input":20,"output":5,"arrival_ns":1000}`,
+		`{"input":30,"output":5,"arrival_ns":2000}`,
+	}, "\n")
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].InputLen != 20 || got[1].InputLen != 30 || got[2].InputLen != 10 {
+		t.Errorf("not sorted by arrival: %+v", got)
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"input":1,"output":1,"arrival_ns":0}` + "\n\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d entries, err %v", len(got), err)
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad json":         `{"input": }`,
+		"zero input":       `{"input":0,"output":5,"arrival_ns":0}`,
+		"negative output":  `{"input":5,"output":-1,"arrival_ns":0}`,
+		"negative arrival": `{"input":5,"output":5,"arrival_ns":-3}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+				t.Error("malformed trace accepted")
+			} else if !strings.Contains(err.Error(), "line 1") {
+				t.Errorf("error lacks line number: %v", err)
+			}
+		})
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %d entries, err %v", len(got), err)
+	}
+}
+
+func TestWriteTracePreservesNanosecondArrivals(t *testing.T) {
+	tr := []TimedRequest{{Entry: Entry{InputLen: 1, OutputLen: 1}, Arrival: 123456789 * time.Nanosecond}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Arrival != tr[0].Arrival {
+		t.Errorf("arrival %v != %v", got[0].Arrival, tr[0].Arrival)
+	}
+}
