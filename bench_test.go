@@ -231,6 +231,15 @@ func BenchmarkSIBFit(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetPolicies regenerates the fleet routing-policy comparison
+// (multi-replica gateway, multi-turn session workload).
+func BenchmarkFleetPolicies(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		emit(b, bench.FleetExperiment(sc))
+	}
+}
+
 // BenchmarkServingLoongServeMixed measures end-to-end simulation throughput
 // of the full LoongServe engine on a Mixed trace (requests simulated per
 // wall-clock second are the benchmark currency).

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|ablations|all [-quick]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|ablations|all [-quick]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, ablations, all")
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
 	flag.Parse()
 
@@ -66,6 +66,10 @@ func main() {
 	}
 	if run("fig15") {
 		bench.Fig15().Fprint(out)
+		any = true
+	}
+	if run("fleet") {
+		bench.FleetExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("ablations") {

@@ -1,0 +1,155 @@
+// Command loongserve-fleet simulates a multi-replica serving fleet: N
+// engine replicas (each an independently simulated 8-GPU node) behind a
+// gateway that routes a multi-turn chat-session workload through a
+// configurable policy, modeling per-replica prefix-KV caches whose hits
+// discount prefill. It prints one comparison row per policy: goodput,
+// mean TTFT, normalized input latency, prefix-cache token hit ratio and
+// SLO attainment, plus per-replica breakdowns with -v.
+//
+// Usage:
+//
+//	loongserve-fleet [flags]
+//
+// Examples:
+//
+//	loongserve-fleet                              # all four policies, 4 vLLM replicas
+//	loongserve-fleet -policy affinity -v          # one policy, per-replica stats
+//	loongserve-fleet -engine loongserve -replicas 2
+//	loongserve-fleet -sessions 200 -rate 6 -cache-tokens 200000 -no-admission
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loongserve/internal/bench"
+	"loongserve/internal/fleet"
+	"loongserve/internal/metrics"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+func main() {
+	var (
+		replicas = flag.Int("replicas", 4, "engine replicas behind the gateway (each one 8-GPU node)")
+		engine   = flag.String("engine", "vllm", "replica engine: vllm (TP=8 continuous batching) or loongserve (elastic TP=2 ESP core)")
+		policy   = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, or all (one comparison row each)")
+
+		sessions = flag.Int("sessions", 64, "number of chat sessions in the trace")
+		rate     = flag.Float64("rate", 2, "session arrival rate (sessions/s, Poisson)")
+		minTurns = flag.Int("min-turns", 3, "minimum turns per session")
+		maxTurns = flag.Int("max-turns", 8, "maximum turns per session")
+		groups   = flag.Int("groups", 4, "distinct shared system prompts")
+		system   = flag.Int("system", 1500, "median system-prompt tokens")
+		user     = flag.Int("user", 160, "median user-turn tokens")
+		reply    = flag.Int("reply", 220, "median reply tokens")
+		think    = flag.Float64("think", 4, "mean think time between turns (seconds)")
+
+		cacheTokens = flag.Int("cache-tokens", 0, "per-replica prefix-cache capacity in KV tokens (0 = full KV pool)")
+		noAdmission = flag.Bool("no-admission", false, "disable TinyLFU admission (plain LRU prefix cache)")
+		seed        = flag.Int64("seed", 42, "workload and policy seed (runs are deterministic per seed)")
+		verbose     = flag.Bool("v", false, "print per-replica request/hit/cache breakdowns")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"loongserve-fleet: multi-replica gateway simulation with cache-affinity routing.\n\n"+
+				"Routes a multi-turn session workload across N simulated engine replicas and\n"+
+				"compares routing policies on goodput, TTFT and prefix-cache hit ratio.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := workload.DefaultSessionConfig()
+	cfg.Sessions = *sessions
+	cfg.SessionRate = *rate
+	cfg.MinTurns, cfg.MaxTurns = *minTurns, *maxTurns
+	cfg.PromptGroups = *groups
+	cfg.SystemTokens, cfg.UserTokens, cfg.ReplyTokens = *system, *user, *reply
+	cfg.ThinkMean = *think
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *replicas <= 0 {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -replicas must be >= 1")
+		os.Exit(2)
+	}
+	spec, err := bench.FleetSpec(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	trace := workload.SessionTrace(cfg, *seed)
+	st := workload.SummarizeSessions(trace)
+
+	var policies []fleet.Policy
+	if *policy == "all" {
+		policies = fleet.AllPolicies(*seed)
+	} else {
+		p, err := fleet.ByName(*policy, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		policies = []fleet.Policy{p}
+	}
+
+	fmt.Printf("trace: %d requests over %d sessions (%d prompt groups), %.0f%% of input tokens prefix-reusable\n",
+		st.Requests, st.Sessions, *groups, 100*float64(st.PrefixTokens)/float64(st.InputTokens))
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Fleet of %d x %s: routing policy comparison at %.1f sessions/s", *replicas, *engine, *rate),
+		Header: []string{"policy", "goodput(req/s)", "TTFT(s)", "input(ms/t)", "hit-ratio", "hit-req", "SLO"},
+	}
+	perReplica := make(map[string][]fleet.ReplicaStats)
+	for _, p := range policies {
+		res, err := fleet.Run(spec, trace, fleet.Config{
+			Replicas:    *replicas,
+			Policy:      p,
+			CacheTokens: *cacheTokens,
+			NoAdmission: *noAdmission,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name(), err)
+			cell := "ERR"
+			if _, oom := err.(*serving.ErrOOM); oom {
+				cell = "OOM"
+			}
+			t.AddRow(p.Name(), cell, "-", "-", "-", "-", "-")
+			continue
+		}
+		s := metrics.Summarize(res.Records)
+		t.AddRow(p.Name(),
+			fmt.Sprintf("%.3f", metrics.Goodput(res.Records)),
+			fmt.Sprintf("%.3f", bench.MeanTTFT(res.Records)),
+			fmt.Sprintf("%.4f", s.MeanInput*1e3),
+			fmt.Sprintf("%.1f%%", 100*res.TokenHitRatio()),
+			fmt.Sprintf("%.1f%%", 100*res.HitRequestRatio()),
+			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment))
+		perReplica[p.Name()] = res.Replicas
+	}
+	t.Fprint(os.Stdout)
+
+	if *verbose {
+		for _, p := range policies {
+			stats, ok := perReplica[p.Name()]
+			if !ok {
+				continue
+			}
+			rt := &bench.Table{
+				Title:  fmt.Sprintf("%s: per-replica breakdown", p.Name()),
+				Header: []string{"replica", "requests", "hit-req", "hit-tokens", "cache-entries", "evicted", "rejected"},
+			}
+			for i, rs := range stats {
+				rt.AddRow(fmt.Sprint(i), fmt.Sprint(rs.Requests), fmt.Sprint(rs.HitRequests),
+					fmt.Sprint(rs.HitTokens), fmt.Sprint(rs.CacheEntries),
+					fmt.Sprint(rs.CacheEvicted), fmt.Sprint(rs.CacheRejected))
+			}
+			rt.Fprint(os.Stdout)
+		}
+	}
+}

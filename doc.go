@@ -19,6 +19,14 @@
 //     (internal/controlplane), and an OpenAI-style HTTP front end with a
 //     byte-level BPE tokenizer and iteration-level continuous batching
 //     over the functional runtime (internal/frontend, internal/token).
+//   - A fleet layer (internal/fleet) that scales past one elastic
+//     cluster: a gateway fronts N independently simulated engine
+//     replicas and routes arrivals through pluggable policies —
+//     round-robin, least-loaded, power-of-two-choices, and
+//     prefix-affinity routing over per-replica prefix-KV caches
+//     (token-capacity LRU with TinyLFU-style admission), exercised by
+//     multi-turn session workloads (workload.SessionTrace) and compared
+//     by cmd/loongserve-fleet and the bench fleet experiment.
 //
 // bench_test.go regenerates every figure of the paper's evaluation; see
 // DESIGN.md for the system inventory and EXPERIMENTS.md for measured

@@ -1,0 +1,3 @@
+module loongserve
+
+go 1.24

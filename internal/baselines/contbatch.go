@@ -52,6 +52,15 @@ type ContBatch struct {
 	Preemptions int
 }
 
+// Load implements serving.LoadReporter.
+func (e *ContBatch) Load() serving.LoadStats {
+	st := serving.LoadStats{Queued: len(e.waiting), Running: len(e.running)}
+	for _, r := range e.running {
+		st.KVTokens += r.KVNow()
+	}
+	return st
+}
+
 // NewVLLM returns the vLLM baseline: one instance spanning all GPUs,
 // tensor parallelism only.
 func NewVLLM(tp int) *ContBatch {
@@ -351,6 +360,18 @@ func (e *Replicated) Init(env *serving.Env) error {
 		inner(r)
 	}
 	return nil
+}
+
+// Load implements serving.LoadReporter by aggregating over replicas.
+func (e *Replicated) Load() serving.LoadStats {
+	var st serving.LoadStats
+	for _, rep := range e.replicas {
+		l := rep.Load()
+		st.Queued += l.Queued
+		st.Running += l.Running
+		st.KVTokens += l.KVTokens
+	}
+	return st
 }
 
 // Arrive routes to the next replica (round-robin), or to the least-loaded

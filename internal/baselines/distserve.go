@@ -52,6 +52,20 @@ func NewDistServe(tp int) *DistServe {
 // Name implements serving.Engine.
 func (e *DistServe) Name() string { return e.Label }
 
+// Load implements serving.LoadReporter. Requests awaiting migration to
+// the decode pool count as running: their KV is resident on the prefill
+// instance.
+func (e *DistServe) Load() serving.LoadStats {
+	st := serving.LoadStats{Queued: len(e.waiting), Running: len(e.awaitMigrate) + len(e.running)}
+	for _, r := range e.awaitMigrate {
+		st.KVTokens += r.KVNow()
+	}
+	for _, r := range e.running {
+		st.KVTokens += r.KVNow()
+	}
+	return st
+}
+
 // Init implements serving.Engine.
 func (e *DistServe) Init(env *serving.Env) error {
 	e.env = env

@@ -3,18 +3,27 @@ package baselines
 import (
 	"fmt"
 
+	"loongserve/internal/fleet"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/serving"
 )
 
-// Router dispatches arrivals across independent sub-engines by least
-// outstanding tokens — the per-server deployment used for multi-node
+// Router dispatches arrivals across sub-engines that share one simulated
+// cluster and KV pool — the per-server deployment used for multi-node
 // baselines in Fig 11 (one vLLM / LightLLM instance per server behind a
-// load balancer).
+// load balancer). Replica selection is delegated to a fleet routing
+// policy; the default reproduces the original ad-hoc behavior,
+// least-outstanding-tokens. For fleets of fully independent replicas
+// (separate clusters and pools) use the fleet package's gateway instead.
 type Router struct {
 	Label string
 	Subs  []serving.Engine
+	// Policy picks the sub-engine per arrival; nil = fleet.LeastLoaded.
+	Policy fleet.Policy
+
 	load  []int
+	reqs  []int // outstanding requests per sub (LoadReporter fallback)
+	views []fleet.ReplicaView
 	index map[kvcache.RequestID]int
 }
 
@@ -26,11 +35,32 @@ func NewRouter(label string, subs []serving.Engine) *Router {
 // Name implements serving.Engine.
 func (r *Router) Name() string { return r.Label }
 
+// routerView adapts one sub-engine to fleet.ReplicaView. Sub-engines share
+// a KV pool, so there is no per-sub prefix cache to report.
+type routerView struct {
+	r *Router
+	i int
+}
+
+func (v routerView) OutstandingTokens() int { return v.r.load[v.i] }
+
+func (v routerView) QueueDepth() int {
+	if lr, ok := v.r.Subs[v.i].(serving.LoadReporter); ok {
+		return lr.Load().Outstanding()
+	}
+	return v.r.reqs[v.i]
+}
+
+func (v routerView) CachedTokens(fleet.RequestInfo) int { return 0 }
+
 // Init implements serving.Engine: all sub-engines share the environment
 // (same simulator, same pool, same completion sink).
 func (r *Router) Init(env *serving.Env) error {
 	if len(r.Subs) == 0 {
 		return fmt.Errorf("%s: no sub-engines", r.Label)
+	}
+	if r.Policy == nil {
+		r.Policy = fleet.NewLeastLoaded()
 	}
 	for _, s := range r.Subs {
 		if err := s.Init(env); err != nil {
@@ -38,10 +68,16 @@ func (r *Router) Init(env *serving.Env) error {
 		}
 	}
 	r.load = make([]int, len(r.Subs))
+	r.reqs = make([]int, len(r.Subs))
+	r.views = make([]fleet.ReplicaView, len(r.Subs))
+	for i := range r.Subs {
+		r.views[i] = routerView{r: r, i: i}
+	}
 	inner := env.Complete
 	env.Complete = func(req *serving.Request) {
 		if idx, ok := r.index[req.ID]; ok {
 			r.load[idx] -= req.Tokens()
+			r.reqs[idx]--
 			delete(r.index, req.ID)
 		}
 		inner(req)
@@ -49,15 +85,15 @@ func (r *Router) Init(env *serving.Env) error {
 	return nil
 }
 
-// Arrive routes to the least-loaded sub-engine.
+// Arrive routes to the sub-engine the policy picks.
 func (r *Router) Arrive(req *serving.Request) {
-	best := 0
-	for i := 1; i < len(r.Subs); i++ {
-		if r.load[i] < r.load[best] {
-			best = i
-		}
+	info := fleet.RequestInfo{ID: req.ID, InputLen: req.InputLen}
+	best := r.Policy.Pick(info, r.views)
+	if best < 0 || best >= len(r.Subs) {
+		panic(fmt.Sprintf("%s: policy %s picked sub-engine %d of %d", r.Label, r.Policy.Name(), best, len(r.Subs)))
 	}
 	r.load[best] += req.Tokens()
+	r.reqs[best]++
 	r.index[req.ID] = best
 	r.Subs[best].Arrive(req)
 }

@@ -54,6 +54,19 @@ func NewSplitFuse(tp, chunk int) *SplitFuse {
 	}
 }
 
+// Load implements serving.LoadReporter. Prefilling requests count their
+// chunk progress as resident KV, decoding requests their full context.
+func (e *SplitFuse) Load() serving.LoadStats {
+	st := serving.LoadStats{Queued: len(e.waiting), Running: len(e.prefilling) + len(e.running)}
+	for _, r := range e.prefilling {
+		st.KVTokens += e.progress[r.ID]
+	}
+	for _, r := range e.running {
+		st.KVTokens += r.KVNow()
+	}
+	return st
+}
+
 // SetChunkFromPD sets the chunk size from a dataset's prefill:decode token
 // ratio, following SARATHI's ideal "P:D ratio" guidance: the chunk carries
 // roughly the prefill work that arrives per decode token, scaled to a

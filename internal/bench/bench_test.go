@@ -141,6 +141,48 @@ func TestP90GoodputMonotoneInput(t *testing.T) {
 	}
 }
 
+func TestFleetExperimentShape(t *testing.T) {
+	sc := QuickScale()
+	sc.FleetRates = sc.FleetRates[:2] // keep the unit test fast
+	tbl := FleetExperiment(sc)
+	wantRows := len(sc.FleetRates) * 4 // four policies per rate
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row %v does not match header %v", row, tbl.Header)
+		}
+		if row[2] == "OOM" {
+			t.Fatalf("fleet run OOMed on a chat workload: %v", row)
+		}
+	}
+	// PrefixAffinity must report a strictly higher hit ratio than
+	// RoundRobin at every rate (the tentpole claim, visible in the table).
+	byPolicy := func(rate, policy string) string {
+		for _, row := range tbl.Rows {
+			if row[0] == rate && row[1] == policy {
+				return row[5]
+			}
+		}
+		t.Fatalf("no row for %s/%s", rate, policy)
+		return ""
+	}
+	for _, rate := range sc.FleetRates {
+		rs := fmt.Sprint(rate)
+		var rr, aff float64
+		if _, err := fmt.Sscanf(byPolicy(rs, "RoundRobin"), "%f%%", &rr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(byPolicy(rs, "PrefixAffinity"), "%f%%", &aff); err != nil {
+			t.Fatal(err)
+		}
+		if aff <= rr {
+			t.Errorf("rate %s: PrefixAffinity hit ratio %.1f%% <= RoundRobin %.1f%%", rs, aff, rr)
+		}
+	}
+}
+
 func TestControlPlaneTableShape(t *testing.T) {
 	tbl := AblationControlPlane()
 	if len(tbl.Rows) != 6 {

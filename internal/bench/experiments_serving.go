@@ -26,7 +26,11 @@ type Scale struct {
 	Fig10Rates map[string][]float64 // per dataset
 	Fig12Rates map[string][]float64 // per zipf parameter label
 	Fig13Rates []float64            // ShareGPT ladder for the scale-up ablation
-	Seed       int64
+	// Fleet experiment: session arrival rates (sessions/s) and replica
+	// count for the routing-policy comparison.
+	FleetRates    []float64
+	FleetReplicas int
+	Seed          int64
 }
 
 // FullScale returns the configuration used to regenerate EXPERIMENTS.md.
@@ -45,8 +49,10 @@ func FullScale() Scale {
 			"1.20": {2, 3, 4, 5, 6, 8},
 			"1.40": {6, 8, 9, 11, 14},
 		},
-		Fig13Rates: []float64{5, 15, 30, 50, 80},
-		Seed:       42,
+		Fig13Rates:    []float64{5, 15, 30, 50, 80},
+		FleetRates:    []float64{1, 3, 6, 10},
+		FleetReplicas: 4,
+		Seed:          42,
 	}
 }
 
@@ -67,8 +73,10 @@ func QuickScale() Scale {
 			"1.20": {2, 4},
 			"1.40": {4, 9},
 		},
-		Fig13Rates: []float64{20, 60},
-		Seed:       42,
+		Fig13Rates:    []float64{20, 60},
+		FleetRates:    []float64{1, 3, 6},
+		FleetReplicas: 3,
+		Seed:          42,
 	}
 }
 

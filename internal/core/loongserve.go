@@ -204,6 +204,24 @@ func (e *Engine) CheckDrained() error {
 	return e.env.Pool.CheckInvariants()
 }
 
+// Load implements serving.LoadReporter: pending requests are queued,
+// requests inside any parallel group (prefill batch or decode set) are
+// running, and KVTokens counts their resident KV.
+func (e *Engine) Load() serving.LoadStats {
+	st := serving.LoadStats{Queued: len(e.pending)}
+	for _, g := range e.groups {
+		for _, r := range g.batch {
+			st.Running++
+			st.KVTokens += r.KVNow()
+		}
+		for _, r := range g.reqs {
+			st.Running++
+			st.KVTokens += r.KVNow()
+		}
+	}
+	return st
+}
+
 // Arrive implements serving.Engine.
 func (e *Engine) Arrive(r *serving.Request) {
 	if r.Tokens()+1 > e.env.Pool.TotalCapacity() {

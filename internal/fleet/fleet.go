@@ -1,0 +1,336 @@
+// Package fleet scales serving out: a gateway fronts N independently
+// simulated engine replicas — LoongServe cores or any baseline — and
+// routes arrivals through pluggable policies. Each replica owns a full
+// cluster, KV pool and engine; replicas share nothing but the
+// discrete-event clock, exactly the deployment shape of a production
+// fleet behind a load balancer.
+//
+// The gateway additionally models per-replica prefix-KV reuse: a
+// token-capacity LRU cache with TinyLFU-style admission (prefixcache.go)
+// remembers which conversation contexts and shared system prompts each
+// replica has served, and a cache hit discounts the prefill the replica
+// must simulate to just the unseen suffix. This creates the tension the
+// routing policies trade off: sticking a session to its warm replica
+// minimizes recomputation, spreading minimizes queueing — the same
+// cache-affinity-vs-load balance studied by the arodland/loadbalance
+// simulation, here measured in KV tokens on the paper's cost model.
+package fleet
+
+import (
+	"fmt"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/metrics"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// Spec describes how to build one replica. NewCluster and NewEngine are
+// called once per replica; every replica must get fresh instances (the
+// gateway gives each its own environment and KV pool).
+type Spec struct {
+	NewEngine  func() serving.Engine
+	NewCluster func() (*cluster.Cluster, error)
+}
+
+// Config controls a fleet run.
+type Config struct {
+	Replicas int
+	// Policy routes arrivals; nil defaults to LeastLoaded.
+	Policy Policy
+	// CacheTokens is each replica's prefix-cache capacity in KV tokens;
+	// 0 sizes it to the replica's KV pool capacity.
+	CacheTokens int
+	// NoAdmission disables the TinyLFU admission filter (plain LRU).
+	NoAdmission bool
+	// SLOScale is the latency budget multiplier (0 = the paper's 25).
+	SLOScale float64
+	// MaxEvents bounds the simulation as a divergence backstop.
+	MaxEvents uint64
+}
+
+// ReplicaStats is the per-replica accounting of one run.
+type ReplicaStats struct {
+	Requests      int
+	HitRequests   int   // requests served with a nonzero prefix-cache hit
+	HitTokens     int64 // prompt tokens served from cache
+	PrefixTokens  int64 // prompt tokens that were reusable in principle
+	InputTokens   int64 // full prompt tokens routed here
+	CacheEntries  int   // resident entries at end of run
+	CacheEvicted  int
+	CacheRejected int
+}
+
+// Result is the outcome of a fleet run.
+type Result struct {
+	Policy   string
+	Records  []metrics.Record
+	Replicas []ReplicaStats
+}
+
+// TokenHitRatio returns cache-served prompt tokens over reusable prompt
+// tokens — the prefix-cache effectiveness measure the routing policies
+// compete on. 0 when the trace has no reusable prefixes.
+func (r *Result) TokenHitRatio() float64 {
+	var hit, reusable int64
+	for _, rs := range r.Replicas {
+		hit += rs.HitTokens
+		reusable += rs.PrefixTokens
+	}
+	if reusable == 0 {
+		return 0
+	}
+	return float64(hit) / float64(reusable)
+}
+
+// HitRequestRatio returns the fraction of session requests that found any
+// warm prefix.
+func (r *Result) HitRequestRatio() float64 {
+	hit, total := 0, 0
+	for _, rs := range r.Replicas {
+		hit += rs.HitRequests
+		total += rs.Requests
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// ComputeSavedTokens returns the prefill tokens the fleet did not have to
+// recompute thanks to prefix reuse.
+func (r *Result) ComputeSavedTokens() int64 {
+	var hit int64
+	for _, rs := range r.Replicas {
+		hit += rs.HitTokens
+	}
+	return hit
+}
+
+// replica is one engine plus its private environment, cache and the
+// gateway's load accounting. It implements ReplicaView.
+type replica struct {
+	index  int
+	engine serving.Engine
+	env    *serving.Env
+	cache  *PrefixCache
+
+	outTokens int // routed prompt+output tokens not yet completed
+	outReqs   int
+	stats     ReplicaStats
+}
+
+// OutstandingTokens implements ReplicaView.
+func (rep *replica) OutstandingTokens() int { return rep.outTokens }
+
+// QueueDepth implements ReplicaView: engine-reported when available.
+func (rep *replica) QueueDepth() int {
+	if lr, ok := rep.engine.(serving.LoadReporter); ok {
+		return lr.Load().Outstanding()
+	}
+	return rep.outReqs
+}
+
+// CachedTokens implements ReplicaView: the usable hit, side-effect free.
+func (rep *replica) CachedTokens(req RequestInfo) int {
+	if req.SessionKey != 0 {
+		if c := rep.cache.Peek(req.SessionKey); c > 0 {
+			return min(req.PrefixLen, c)
+		}
+	}
+	if req.SharedKey != 0 {
+		if c := rep.cache.Peek(req.SharedKey); c > 0 {
+			return min(req.SharedLen, c)
+		}
+	}
+	return 0
+}
+
+// lookup is CachedTokens with the access recorded (recency, frequency,
+// hit counters) — called once, on the replica the policy picked.
+func (rep *replica) lookup(req RequestInfo) int {
+	if req.SessionKey != 0 {
+		if c := rep.cache.Lookup(req.SessionKey); c > 0 {
+			return min(req.PrefixLen, c)
+		}
+	}
+	if req.SharedKey != 0 {
+		if c := rep.cache.Lookup(req.SharedKey); c > 0 {
+			return min(req.SharedLen, c)
+		}
+	}
+	return 0
+}
+
+// inflight tracks one routed, unfinished request.
+type inflight struct {
+	rep       *replica
+	entry     workload.Entry
+	fullInput int
+	effInput  int
+	hit       int
+}
+
+// Run replays a trace against a fleet of cfg.Replicas engine replicas
+// routed by cfg.Policy, all advancing on one discrete-event clock.
+// Completion records report each request's full prompt length (so
+// normalized input latency reflects what the client submitted), while the
+// engines simulate only the cache-missed suffix of each prompt — the
+// prefill discount of prefix reuse. Deterministic in the trace and policy.
+func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err error) {
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive replica count %d", cfg.Replicas)
+	}
+	if spec.NewEngine == nil || spec.NewCluster == nil {
+		return nil, fmt.Errorf("fleet: Spec needs NewEngine and NewCluster")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = NewLeastLoaded()
+	}
+	if cfg.SLOScale == 0 {
+		cfg.SLOScale = serving.DefaultRunConfig().SLOScale
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+
+	sim := simevent.New()
+	sim.MaxEvents = cfg.MaxEvents
+	res = &Result{Policy: policy.Name()}
+
+	pending := make(map[kvcache.RequestID]*inflight)
+	replicas := make([]*replica, cfg.Replicas)
+	views := make([]ReplicaView, cfg.Replicas)
+	totalGPUs := 0
+	for i := range replicas {
+		c, cerr := spec.NewCluster()
+		if cerr != nil {
+			return nil, fmt.Errorf("fleet: replica %d cluster: %w", i, cerr)
+		}
+		cacheCap := cfg.CacheTokens
+		if cacheCap == 0 {
+			for _, inst := range c.Instances {
+				cacheCap += inst.KVCapacity
+			}
+		}
+		rep := &replica{
+			index:  i,
+			engine: spec.NewEngine(),
+			cache:  NewPrefixCache(cacheCap, !cfg.NoAdmission),
+		}
+		rep.env = &serving.Env{
+			Sim:     sim,
+			Cluster: c,
+			CM:      costmodel.New(c.Model, c.HW),
+			Pool:    c.NewPool(),
+		}
+		rep.env.Complete = func(r *serving.Request) {
+			fl := pending[r.ID]
+			if fl == nil || fl.rep != rep {
+				panic(fmt.Sprintf("fleet: replica %d completed unknown request %d", rep.index, r.ID))
+			}
+			delete(pending, r.ID)
+			rep.outTokens -= fl.effInput + r.OutputLen
+			rep.outReqs--
+			// The finished conversation context is now reusable KV on
+			// this replica; so is the shared system prompt it embeds.
+			if fl.entry.SessionID != 0 {
+				rep.cache.Put(SessionKey(fl.entry.SessionID), fl.fullInput+r.OutputLen)
+			}
+			if fl.entry.PromptGroup != 0 {
+				rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
+			}
+			rec := r.Record()
+			rec.InputLen = fl.fullInput
+			res.Records = append(res.Records, rec)
+		}
+		if ierr := rep.engine.Init(rep.env); ierr != nil {
+			return nil, fmt.Errorf("fleet: replica %d init: %w", i, ierr)
+		}
+		if i == 0 {
+			for _, inst := range c.Instances {
+				totalGPUs += inst.TP
+			}
+		}
+		replicas[i] = rep
+		views[i] = rep
+	}
+	cm0 := replicas[0].env.CM
+
+	route := func(r *serving.Request, e workload.Entry) {
+		info := RequestInfo{
+			ID:         r.ID,
+			InputLen:   r.InputLen,
+			SessionKey: SessionKey(e.SessionID),
+			SharedKey:  GroupKey(e.PromptGroup),
+			PrefixLen:  e.PrefixLen,
+			SharedLen:  e.SharedLen,
+		}
+		idx := policy.Pick(info, views)
+		if idx < 0 || idx >= len(replicas) {
+			panic(fmt.Sprintf("fleet: policy %s picked replica %d of %d", policy.Name(), idx, len(replicas)))
+		}
+		rep := replicas[idx]
+		hit := rep.lookup(info)
+		full := r.InputLen
+		if hit >= full {
+			hit = full - 1 // at least one token must be prefilled
+		}
+		r.InputLen = full - hit
+
+		fl := &inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
+		pending[r.ID] = fl
+		rep.outTokens += fl.effInput + r.OutputLen
+		rep.outReqs++
+		rep.stats.Requests++
+		rep.stats.InputTokens += int64(full)
+		rep.stats.PrefixTokens += int64(e.PrefixLen)
+		if hit > 0 {
+			rep.stats.HitRequests++
+			rep.stats.HitTokens += int64(hit)
+		}
+		rep.engine.Arrive(r)
+	}
+
+	for i, tr := range trace {
+		r := &serving.Request{
+			ID:        kvcache.RequestID(i + 1),
+			InputLen:  tr.InputLen,
+			OutputLen: tr.OutputLen,
+			Arrival:   simevent.Time(tr.Arrival),
+		}
+		if cfg.SLOScale > 0 {
+			r.SLOBudget = serving.SLOBudget(cm0, totalGPUs, tr.InputLen, tr.OutputLen, cfg.SLOScale)
+		}
+		entry := tr.Entry
+		sim.At(r.Arrival, func() { route(r, entry) })
+	}
+
+	defer func() {
+		if p := recover(); p != nil {
+			if oom, ok := p.(*serving.ErrOOM); ok {
+				err = oom
+				res = nil
+				return
+			}
+			panic(p)
+		}
+	}()
+	sim.Run()
+
+	if len(res.Records) != len(trace) {
+		return nil, fmt.Errorf("fleet: %d of %d requests completed (policy %s)", len(res.Records), len(trace), policy.Name())
+	}
+	res.Replicas = make([]ReplicaStats, len(replicas))
+	for i, rep := range replicas {
+		rep.stats.CacheEntries = rep.cache.Len()
+		rep.stats.CacheEvicted = rep.cache.Evicted
+		rep.stats.CacheRejected = rep.cache.Rejected
+		res.Replicas[i] = rep.stats
+	}
+	return res, nil
+}

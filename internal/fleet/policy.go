@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"loongserve/internal/kvcache"
+)
+
+// RequestInfo is what a routing policy may see about an arriving request:
+// identity, prompt length, and the prefix-reuse structure. Output length
+// is deliberately absent — a real router does not know it.
+type RequestInfo struct {
+	ID       kvcache.RequestID
+	InputLen int
+
+	SessionKey PrefixKey // 0 = stateless
+	SharedKey  PrefixKey // 0 = no shared system prompt
+	PrefixLen  int       // head tokens reusable under SessionKey
+	SharedLen  int       // head tokens reusable under SharedKey
+}
+
+// ReplicaView is a policy's read-only window onto one replica.
+type ReplicaView interface {
+	// OutstandingTokens is the gateway-accounted in-flight token load
+	// (prompt + budgeted output of every routed, unfinished request).
+	OutstandingTokens() int
+	// QueueDepth is the in-flight request count; engines implementing
+	// serving.LoadReporter report their internal queue, others fall back
+	// to gateway accounting.
+	QueueDepth() int
+	// CachedTokens is the prefix-cache hit the replica would serve for
+	// req right now (0 = cold).
+	CachedTokens(req RequestInfo) int
+}
+
+// Policy picks a replica for each arriving request. Implementations must
+// be deterministic given the same call sequence; any randomness comes from
+// an explicit seed.
+type Policy interface {
+	Name() string
+	Pick(req RequestInfo, replicas []ReplicaView) int
+}
+
+// RoundRobin cycles through replicas in order — the zero-information
+// baseline.
+type RoundRobin struct{ next int }
+
+// NewRoundRobin returns a round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "RoundRobin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(_ RequestInfo, replicas []ReplicaView) int {
+	i := p.next % len(replicas)
+	p.next++
+	return i
+}
+
+// LeastLoaded routes to the replica with the fewest outstanding tokens —
+// the generalization of the ad-hoc least-loaded router the multi-node
+// baselines used.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns a least-outstanding-tokens policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (p *LeastLoaded) Name() string { return "LeastLoaded" }
+
+// Pick implements Policy: lowest outstanding tokens, ties to the lowest
+// index (matching the historical baselines router exactly).
+func (p *LeastLoaded) Pick(_ RequestInfo, replicas []ReplicaView) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].OutstandingTokens() < replicas[best].OutstandingTokens() {
+			best = i
+		}
+	}
+	return best
+}
+
+// PowerOfTwoChoices samples two replicas with a seeded RNG and routes to
+// the less loaded — load balancing with O(1) state queries and
+// near-least-loaded tail behavior (the classic Mitzenmacher result).
+type PowerOfTwoChoices struct{ rng *rand.Rand }
+
+// NewPowerOfTwoChoices returns the policy; seed fixes the sampling stream.
+func NewPowerOfTwoChoices(seed int64) *PowerOfTwoChoices {
+	return &PowerOfTwoChoices{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *PowerOfTwoChoices) Name() string { return "PowerOfTwoChoices" }
+
+// Pick implements Policy.
+func (p *PowerOfTwoChoices) Pick(_ RequestInfo, replicas []ReplicaView) int {
+	n := len(replicas)
+	if n == 1 {
+		return 0
+	}
+	a := p.rng.Intn(n)
+	b := p.rng.Intn(n - 1)
+	if b >= a {
+		b++ // sample without replacement
+	}
+	if replicas[b].OutstandingTokens() < replicas[a].OutstandingTokens() {
+		return b
+	}
+	return a
+}
+
+// PrefixAffinity scores every replica by the work routing there would
+// cost: the prefill tokens the replica must actually compute (prompt minus
+// its prefix-cache hit) plus its current outstanding load, weighted by
+// LoadWeight. New sessions hash to a stable home replica so that the turns
+// and sibling sessions that follow find warm caches, but a sufficiently
+// loaded home loses to a cold, idle replica — the cache-affinity-vs-load
+// balance the arodland/loadbalance simulation studies.
+type PrefixAffinity struct {
+	// LoadWeight converts outstanding tokens into score units relative to
+	// prefill tokens. 1.0 treats a queued token and a cold prefill token
+	// as equally costly; higher values favor load balance over affinity.
+	LoadWeight float64
+}
+
+// NewPrefixAffinity returns the policy with LoadWeight 1.
+func NewPrefixAffinity() *PrefixAffinity { return &PrefixAffinity{LoadWeight: 1} }
+
+// Name implements Policy.
+func (p *PrefixAffinity) Name() string { return "PrefixAffinity" }
+
+// homeIndex hashes the request's stickiest available key to a replica.
+func (p *PrefixAffinity) homeIndex(req RequestInfo, n int) int {
+	key := req.SessionKey
+	if key == 0 {
+		key = req.SharedKey
+	}
+	if key == 0 {
+		return -1
+	}
+	return int(mix64(uint64(key)) % uint64(n))
+}
+
+// Pick implements Policy.
+func (p *PrefixAffinity) Pick(req RequestInfo, replicas []ReplicaView) int {
+	n := len(replicas)
+	home := p.homeIndex(req, n)
+	best, bestScore := -1, 0.0
+	for i, r := range replicas {
+		miss := req.InputLen - r.CachedTokens(req)
+		if miss < 0 {
+			miss = 0
+		}
+		score := float64(miss) + p.LoadWeight*float64(r.OutstandingTokens())
+		// The hashed home wins ties (cold caches, equal load), which is
+		// what plants a new session — and its whole prompt group — on a
+		// stable replica instead of wherever index order says.
+		if best == -1 || score < bestScore || (score == bestScore && i == home) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// ByName returns a fresh policy instance for a CLI-facing name.
+func ByName(name string, seed int64) (Policy, error) {
+	switch name {
+	case "roundrobin", "rr":
+		return NewRoundRobin(), nil
+	case "leastloaded", "ll":
+		return NewLeastLoaded(), nil
+	case "p2c", "poweroftwo":
+		return NewPowerOfTwoChoices(seed), nil
+	case "affinity", "prefix":
+		return NewPrefixAffinity(), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c or affinity)", name)
+}
+
+// AllPolicies returns one fresh instance of every policy, in presentation
+// order.
+func AllPolicies(seed int64) []Policy {
+	return []Policy{
+		NewRoundRobin(),
+		NewLeastLoaded(),
+		NewPowerOfTwoChoices(seed),
+		NewPrefixAffinity(),
+	}
+}

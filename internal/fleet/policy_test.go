@@ -1,0 +1,137 @@
+package fleet
+
+import "testing"
+
+// fakeReplica is a scriptable ReplicaView for policy unit tests.
+type fakeReplica struct {
+	tokens int
+	depth  int
+	cached int
+}
+
+func (f *fakeReplica) OutstandingTokens() int       { return f.tokens }
+func (f *fakeReplica) QueueDepth() int              { return f.depth }
+func (f *fakeReplica) CachedTokens(RequestInfo) int { return f.cached }
+
+func views(fs ...*fakeReplica) []ReplicaView {
+	out := make([]ReplicaView, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	vs := views(&fakeReplica{}, &fakeReplica{}, &fakeReplica{})
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.Pick(RequestInfo{}, vs); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinTieLowestIndex(t *testing.T) {
+	p := NewLeastLoaded()
+	if got := p.Pick(RequestInfo{}, views(&fakeReplica{tokens: 5}, &fakeReplica{tokens: 3}, &fakeReplica{tokens: 9})); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+	if got := p.Pick(RequestInfo{}, views(&fakeReplica{tokens: 3}, &fakeReplica{tokens: 3})); got != 0 {
+		t.Fatalf("tie pick = %d, want 0", got)
+	}
+}
+
+func TestPowerOfTwoChoices(t *testing.T) {
+	// Deterministic in seed.
+	a := NewPowerOfTwoChoices(11)
+	b := NewPowerOfTwoChoices(11)
+	vs := views(&fakeReplica{tokens: 4}, &fakeReplica{tokens: 1}, &fakeReplica{tokens: 7}, &fakeReplica{tokens: 2})
+	for i := 0; i < 50; i++ {
+		if got, want := a.Pick(RequestInfo{}, vs), b.Pick(RequestInfo{}, vs); got != want {
+			t.Fatalf("pick %d diverged: %d vs %d", i, got, want)
+		}
+	}
+	// Single replica short-circuits.
+	if got := a.Pick(RequestInfo{}, views(&fakeReplica{})); got != 0 {
+		t.Fatalf("single-replica pick = %d", got)
+	}
+	// The heaviest replica must never win a pairwise comparison it is in:
+	// over many picks with distinct loads, index 2 (load 7) shows up only
+	// if both samples land on it — never, since sampling is without
+	// replacement.
+	p := NewPowerOfTwoChoices(7)
+	for i := 0; i < 500; i++ {
+		if got := p.Pick(RequestInfo{}, vs); got == 2 {
+			t.Fatal("power-of-two picked the strictly heaviest of its pair")
+		}
+	}
+}
+
+func TestPrefixAffinityPrefersWarmReplica(t *testing.T) {
+	p := NewPrefixAffinity()
+	req := RequestInfo{InputLen: 4000, SessionKey: SessionKey(5), PrefixLen: 3500}
+	// Replica 2 holds the session's prefix; equal load elsewhere.
+	vs := views(&fakeReplica{tokens: 100}, &fakeReplica{tokens: 100}, &fakeReplica{tokens: 100, cached: 3500})
+	if got := p.Pick(req, vs); got != 2 {
+		t.Fatalf("pick = %d, want warm replica 2", got)
+	}
+}
+
+func TestPrefixAffinitySpillsWhenHomeOverloaded(t *testing.T) {
+	p := NewPrefixAffinity()
+	req := RequestInfo{InputLen: 4000, SessionKey: SessionKey(5), PrefixLen: 3500}
+	// The warm replica's queue exceeds what the cache hit saves: the
+	// policy must spill to the idle cold replica.
+	vs := views(&fakeReplica{tokens: 0}, &fakeReplica{tokens: 10_000, cached: 3500})
+	if got := p.Pick(req, vs); got != 0 {
+		t.Fatalf("pick = %d, want cold idle replica 0", got)
+	}
+}
+
+func TestPrefixAffinityHomeIsStable(t *testing.T) {
+	p := NewPrefixAffinity()
+	req := RequestInfo{InputLen: 1000, SessionKey: SessionKey(7), PrefixLen: 0}
+	vs := views(&fakeReplica{}, &fakeReplica{}, &fakeReplica{}, &fakeReplica{})
+	first := p.Pick(req, vs)
+	for i := 0; i < 10; i++ {
+		if got := p.Pick(req, vs); got != first {
+			t.Fatalf("cold home drifted: %d then %d", first, got)
+		}
+	}
+	// Different sessions spread over replicas rather than piling on one.
+	seen := map[int]bool{}
+	for s := int64(1); s <= 64; s++ {
+		seen[p.Pick(RequestInfo{InputLen: 1000, SessionKey: SessionKey(s)}, vs)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("64 cold sessions landed on only %d of 4 replicas", len(seen))
+	}
+	// Stateless requests with equal everything fall back to index 0.
+	if got := p.Pick(RequestInfo{InputLen: 1000}, vs); got != 0 {
+		t.Fatalf("stateless cold pick = %d", got)
+	}
+}
+
+func TestByNameAndAllPolicies(t *testing.T) {
+	for _, name := range []string{"roundrobin", "rr", "leastloaded", "ll", "p2c", "poweroftwo", "affinity", "prefix"} {
+		p, err := ByName(name, 1)
+		if err != nil || p == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	all := AllPolicies(1)
+	if len(all) != 4 {
+		t.Fatalf("AllPolicies returned %d policies", len(all))
+	}
+	names := map[string]bool{}
+	for _, p := range all {
+		names[p.Name()] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("policy names not distinct: %v", names)
+	}
+}

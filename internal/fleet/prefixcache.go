@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PrefixKey identifies a reusable KV prefix. Two key families exist:
+// per-session keys (the conversation so far) and per-prompt-group keys
+// (a system prompt shared by many sessions). Zero is the absent key.
+type PrefixKey uint64
+
+// SessionKey returns the cache key for a session's accumulated context.
+func SessionKey(sessionID int64) PrefixKey {
+	if sessionID == 0 {
+		return 0
+	}
+	return PrefixKey(mix64(0x5e55_0000_0000_0000 | uint64(sessionID)))
+}
+
+// GroupKey returns the cache key for a shared system prompt family.
+func GroupKey(group int) PrefixKey {
+	if group == 0 {
+		return 0
+	}
+	return PrefixKey(mix64(0x6702_0000_0000_0000 | uint64(group)))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash used
+// for cache keys, sketch rows and replica home selection. Deterministic by
+// construction — routing decisions must replay identically across runs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// freqSketch is a 4-row count-min sketch with 8-bit saturating counters
+// and periodic halving (the TinyLFU aging mechanism), sized to the
+// configured number of counters rounded up to a power of two. It estimates
+// how often a prefix key has been requested, which the admission policy
+// compares between an incoming entry and the eviction victim.
+type freqSketch struct {
+	rows  [4][]uint8
+	mask  uint64
+	incrs int
+	reset int
+}
+
+func newFreqSketch(counters int) *freqSketch {
+	if counters < 16 {
+		counters = 16
+	}
+	w := 1
+	for w < counters {
+		w <<= 1
+	}
+	s := &freqSketch{mask: uint64(w - 1), reset: 8 * w}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, w)
+	}
+	return s
+}
+
+func (s *freqSketch) index(key PrefixKey, row int) uint64 {
+	return mix64(uint64(key)+uint64(row)*0xa24b_1f2c_9d38_e57b) & s.mask
+}
+
+// touch records one access and ages the sketch when due.
+func (s *freqSketch) touch(key PrefixKey) {
+	for i := range s.rows {
+		idx := s.index(key, i)
+		if s.rows[i][idx] < 255 {
+			s.rows[i][idx]++
+		}
+	}
+	s.incrs++
+	if s.incrs >= s.reset {
+		s.age()
+	}
+}
+
+// estimate returns the minimum counter over the rows.
+func (s *freqSketch) estimate(key PrefixKey) int {
+	est := 255
+	for i := range s.rows {
+		if v := int(s.rows[i][s.index(key, i)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// age halves every counter so stale popularity decays.
+func (s *freqSketch) age() {
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] >>= 1
+		}
+	}
+	s.incrs = 0
+}
+
+// cacheEntry is one resident prefix.
+type cacheEntry struct {
+	key    PrefixKey
+	tokens int
+}
+
+// PrefixCache models one replica's prefix-KV store: a token-capacity LRU
+// whose eviction cost is the entry's KV size, with optional TinyLFU-style
+// admission — a new prefix only displaces resident ones when the frequency
+// sketch estimates it to be at least as popular as the victims it would
+// evict. Admission keeps one-shot requests from flushing hot shared
+// prompts, the same one-hit-wonder protection go-mcache's cache applies.
+//
+// The cache is an accounting model, not a byte store: entries carry only
+// their token counts. It is deterministic — no clocks, no randomness.
+type PrefixCache struct {
+	capacity  int
+	used      int
+	admission bool
+	entries   map[PrefixKey]*list.Element
+	lru       *list.List // front = most recent
+	sketch    *freqSketch
+
+	// Instrumentation.
+	Hits      int // lookups that found a resident prefix
+	Misses    int // lookups that found nothing
+	Evicted   int // entries displaced by capacity pressure
+	Rejected  int // insertions refused by the admission policy
+	HitTokens int64
+}
+
+// NewPrefixCache builds a cache holding up to capTokens KV tokens.
+// admission enables the TinyLFU admission filter; without it the cache is
+// a plain capacity-cost LRU.
+func NewPrefixCache(capTokens int, admission bool) *PrefixCache {
+	if capTokens <= 0 {
+		panic(fmt.Sprintf("fleet: non-positive cache capacity %d", capTokens))
+	}
+	return &PrefixCache{
+		capacity:  capTokens,
+		admission: admission,
+		entries:   make(map[PrefixKey]*list.Element),
+		lru:       list.New(),
+		sketch:    newFreqSketch(4096),
+	}
+}
+
+// Capacity returns the token capacity.
+func (c *PrefixCache) Capacity() int { return c.capacity }
+
+// Used returns the resident token count.
+func (c *PrefixCache) Used() int { return c.used }
+
+// Len returns the resident entry count.
+func (c *PrefixCache) Len() int { return len(c.entries) }
+
+// Peek returns the resident token count for key without touching recency,
+// frequency or hit statistics — the side-effect-free probe routing
+// policies use to score replicas they may not pick.
+func (c *PrefixCache) Peek(key PrefixKey) int {
+	if key == 0 {
+		return 0
+	}
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*cacheEntry).tokens
+	}
+	return 0
+}
+
+// Lookup returns the resident token count for key and records the access:
+// frequency is counted whether or not the key is resident (misses inform
+// future admission), recency and hit statistics only on a hit.
+func (c *PrefixCache) Lookup(key PrefixKey) int {
+	if key == 0 {
+		return 0
+	}
+	c.sketch.touch(key)
+	el, ok := c.entries[key]
+	if !ok {
+		c.Misses++
+		return 0
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	c.Hits++
+	c.HitTokens += int64(e.tokens)
+	return e.tokens
+}
+
+// Put inserts or updates key at the given token size. Updates always
+// succeed (the prefix is already resident and just grew — its KV was
+// produced by the request that extends it); insertions of new keys pass
+// the admission filter when eviction is required. Entries larger than the
+// whole cache are ignored.
+func (c *PrefixCache) Put(key PrefixKey, tokens int) {
+	if key == 0 || tokens <= 0 {
+		return
+	}
+	if tokens > c.capacity {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.used += tokens - e.tokens
+		e.tokens = tokens
+		c.lru.MoveToFront(el)
+		c.evictOver(nil)
+		return
+	}
+	if c.admission && c.used+tokens > c.capacity && !c.admit(key, tokens) {
+		c.Rejected++
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
+	c.entries[key] = el
+	c.used += tokens
+	c.evictOver(el)
+}
+
+// admit decides whether a new entry of the given size may displace the
+// cold tail: its estimated frequency must be at least that of every victim
+// the insertion would evict (TinyLFU admission, generalized to
+// variable-cost entries).
+func (c *PrefixCache) admit(key PrefixKey, tokens int) bool {
+	candidate := c.sketch.estimate(key)
+	need := c.used + tokens - c.capacity
+	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
+		victim := el.Value.(*cacheEntry)
+		if candidate < c.sketch.estimate(victim.key) {
+			return false
+		}
+		need -= victim.tokens
+	}
+	return true
+}
+
+// evictOver drops LRU-tail entries (never keep, the just-inserted element)
+// until the cache fits its capacity.
+func (c *PrefixCache) evictOver(keep *list.Element) {
+	for c.used > c.capacity {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		if el == keep {
+			el = el.Prev()
+			if el == nil {
+				return
+			}
+		}
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= e.tokens
+		c.Evicted++
+	}
+}

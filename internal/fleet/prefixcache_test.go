@@ -1,0 +1,130 @@
+package fleet
+
+import "testing"
+
+func TestPrefixCacheBasics(t *testing.T) {
+	c := NewPrefixCache(1000, false)
+	k1, k2 := SessionKey(1), SessionKey(2)
+	if got := c.Lookup(k1); got != 0 {
+		t.Fatalf("cold lookup = %d", got)
+	}
+	c.Put(k1, 400)
+	if got := c.Lookup(k1); got != 400 {
+		t.Fatalf("lookup = %d, want 400", got)
+	}
+	if got := c.Peek(k2); got != 0 {
+		t.Fatalf("peek absent = %d", got)
+	}
+	// Updates grow in place.
+	c.Put(k1, 700)
+	if got, used := c.Peek(k1), c.Used(); got != 700 || used != 700 {
+		t.Fatalf("after grow: tokens %d used %d", got, used)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits %d misses %d", c.Hits, c.Misses)
+	}
+	// Zero key is inert.
+	c.Put(0, 100)
+	if got := c.Lookup(0); got != 0 || c.Used() != 700 {
+		t.Fatalf("zero key leaked: %d used %d", got, c.Used())
+	}
+}
+
+func TestPrefixCacheLRUEviction(t *testing.T) {
+	c := NewPrefixCache(1000, false)
+	c.Put(SessionKey(1), 400)
+	c.Put(SessionKey(2), 400)
+	c.Lookup(SessionKey(1)) // 1 is now more recent than 2
+	c.Put(SessionKey(3), 400)
+	if c.Peek(SessionKey(2)) != 0 {
+		t.Fatal("LRU victim 2 survived")
+	}
+	if c.Peek(SessionKey(1)) == 0 || c.Peek(SessionKey(3)) == 0 {
+		t.Fatal("wrong entry evicted")
+	}
+	if c.Evicted != 1 {
+		t.Fatalf("Evicted = %d", c.Evicted)
+	}
+	if c.Used() != 800 || c.Len() != 2 {
+		t.Fatalf("used %d len %d", c.Used(), c.Len())
+	}
+}
+
+func TestPrefixCacheOversizeIgnored(t *testing.T) {
+	c := NewPrefixCache(100, false)
+	c.Put(SessionKey(1), 101)
+	if c.Len() != 0 {
+		t.Fatal("oversize entry admitted")
+	}
+}
+
+func TestPrefixCacheTinyLFUAdmission(t *testing.T) {
+	c := NewPrefixCache(1000, true)
+	hot := GroupKey(1)
+	// Make the resident entry demonstrably popular.
+	c.Put(hot, 800)
+	for i := 0; i < 10; i++ {
+		c.Lookup(hot)
+	}
+	// A never-seen one-hit wonder must not displace it.
+	c.Put(SessionKey(99), 900)
+	if c.Peek(hot) == 0 {
+		t.Fatal("hot shared prompt evicted by one-hit wonder")
+	}
+	if c.Peek(SessionKey(99)) != 0 {
+		t.Fatal("cold entry admitted over hot victim")
+	}
+	if c.Rejected != 1 {
+		t.Fatalf("Rejected = %d", c.Rejected)
+	}
+	// Once the newcomer is requested often enough, it wins admission.
+	for i := 0; i < 12; i++ {
+		c.Lookup(SessionKey(99))
+	}
+	c.Put(SessionKey(99), 900)
+	if c.Peek(SessionKey(99)) == 0 {
+		t.Fatal("now-popular entry still rejected")
+	}
+	if c.Peek(hot) != 0 {
+		t.Fatal("victim not displaced")
+	}
+
+	// Without admission the same one-hit wonder evicts immediately.
+	plain := NewPrefixCache(1000, false)
+	plain.Put(hot, 800)
+	for i := 0; i < 10; i++ {
+		plain.Lookup(hot)
+	}
+	plain.Put(SessionKey(99), 900)
+	if plain.Peek(SessionKey(99)) == 0 {
+		t.Fatal("plain LRU should admit unconditionally")
+	}
+}
+
+func TestPrefixCacheSketchAges(t *testing.T) {
+	s := newFreqSketch(16)
+	k := PrefixKey(42)
+	for i := 0; i < 5; i++ {
+		s.touch(k)
+	}
+	if s.estimate(k) < 5 {
+		t.Fatalf("estimate %d after 5 touches", s.estimate(k))
+	}
+	before := s.estimate(k)
+	s.age()
+	if got := s.estimate(k); got != before/2 {
+		t.Fatalf("aged estimate %d, want %d", got, before/2)
+	}
+}
+
+func TestKeysDistinctAndStable(t *testing.T) {
+	if SessionKey(0) != 0 || GroupKey(0) != 0 {
+		t.Fatal("absent keys must be zero")
+	}
+	if SessionKey(1) == GroupKey(1) {
+		t.Fatal("session and group key families collide")
+	}
+	if SessionKey(1) != SessionKey(1) || SessionKey(1) == SessionKey(2) {
+		t.Fatal("session keys not stable/distinct")
+	}
+}

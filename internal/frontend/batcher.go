@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"loongserve/internal/kvcache"
 	"loongserve/internal/seqparallel"
@@ -27,6 +29,13 @@ type Batcher struct {
 	joinCh chan *batchEntry
 	quit   chan struct{}
 	once   sync.Once
+
+	// pending counts Generate calls that have committed to joining (between
+	// their validation and the joinCh hand-off). The engine loop refuses to
+	// start an iteration while a committed joiner is in flight, so calls
+	// that arrive together share decode iterations instead of racing the
+	// loop's iteration boundary.
+	pending atomic.Int32
 
 	// MaxBatchObserved is instrumentation: the largest decode batch any
 	// iteration ran (tests assert batching actually happens).
@@ -106,11 +115,14 @@ func (b *Batcher) Generate(ctx context.Context, prompt []int, maxTokens int, tem
 		emit:        emit,
 		done:        make(chan struct{}),
 	}
+	b.pending.Add(1)
 	select {
 	case b.joinCh <- e:
 	case <-b.quit:
+		b.pending.Add(-1)
 		return "", fmt.Errorf("frontend: batcher closed")
 	case <-ctx.Done():
+		b.pending.Add(-1)
 		return "", ctx.Err()
 	}
 	select {
@@ -200,6 +212,7 @@ func (b *Batcher) loop() {
 		if len(active) == 0 {
 			select {
 			case e := <-b.joinCh:
+				b.pending.Add(-1)
 				if b.admit(e) {
 					active = append(active, e)
 				}
@@ -208,18 +221,33 @@ func (b *Batcher) loop() {
 			}
 			continue
 		}
-		drained := false
-		for !drained {
+		// Iteration boundary: admit every call that has already committed
+		// to joining (pending counts callers between their commit and the
+		// joinCh hand-off), and yield to the scheduler at least once so
+		// runnable callers that have not reached their commit yet get a
+		// scheduling round to do so. Without the yield a fast engine loop
+		// monopolizes its processor — generations finish inside one
+		// preemption quantum — and concurrent Generate calls trickle in
+		// one per generation instead of sharing decode iterations.
+		yielded := false
+		for {
 			select {
 			case e := <-b.joinCh:
+				b.pending.Add(-1)
 				if b.admit(e) {
 					active = append(active, e)
 				}
+				continue
 			case <-b.quit:
 				return
 			default:
-				drained = true
 			}
+			if b.pending.Load() > 0 || !yielded {
+				yielded = true
+				runtime.Gosched()
+				continue
+			}
+			break
 		}
 		if len(active) == 0 {
 			continue

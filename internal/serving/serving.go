@@ -99,6 +99,26 @@ type Engine interface {
 	Arrive(r *Request)
 }
 
+// LoadStats is a point-in-time snapshot of an engine's load, the
+// introspection surface fleet routing policies key off. Counts are in
+// requests; KVTokens is the resident KV footprint of admitted requests.
+type LoadStats struct {
+	Queued   int // arrived, not yet admitted into any batch
+	Running  int // admitted (prefilling or decoding)
+	KVTokens int // KV tokens held by admitted requests
+}
+
+// Outstanding returns the total in-flight request count.
+func (s LoadStats) Outstanding() int { return s.Queued + s.Running }
+
+// LoadReporter is implemented by engines that expose their internal queue
+// state. Engines that do not implement it are still routable — the fleet
+// gateway falls back to its own arrival/completion accounting — but
+// policies see admission-queue depth only through this interface.
+type LoadReporter interface {
+	Load() LoadStats
+}
+
 // ErrOOM is returned by Run when the engine declares the workload
 // unservable (a request can never fit), reproducing the paper's DistServe
 // OOM rows in Fig 10.
@@ -135,6 +155,13 @@ func IdealLatency(cm *costmodel.CostModel, gpus int, in, out int) time.Duration 
 		d += time.Duration(out-1) * cm.DecodeIterTime(1, meanKV, 1, gpus, 1, link)
 	}
 	return d
+}
+
+// SLOBudget returns a request's latency budget: scale times its unloaded
+// latency on the reference configuration. Shared by Run and the fleet
+// gateway so budgets agree across deployment shapes.
+func SLOBudget(cm *costmodel.CostModel, gpus, in, out int, scale float64) time.Duration {
+	return time.Duration(scale * float64(IdealLatency(cm, gpus, in, out)))
 }
 
 // Run replays a trace against an engine and returns one metrics record per
@@ -178,7 +205,7 @@ func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []worklo
 			Arrival:   simevent.Time(tr.Arrival),
 		}
 		if cfg.SLOScale > 0 {
-			r.SLOBudget = time.Duration(cfg.SLOScale * float64(IdealLatency(cm, totalGPUs, r.InputLen, r.OutputLen)))
+			r.SLOBudget = SLOBudget(cm, totalGPUs, r.InputLen, r.OutputLen, cfg.SLOScale)
 		}
 		sim.At(r.Arrival, func() { eng.Arrive(r) })
 	}

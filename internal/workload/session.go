@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SessionConfig parameterizes a multi-turn chat trace: a population of
+// conversations, each opening with a system prompt drawn from a small
+// family of shared prompts and growing by one (user turn, model reply)
+// pair per turn. Multi-turn traffic is what makes prefix-KV reuse matter
+// for fleet routing: every turn after the first re-submits the whole
+// conversation so far, and turn 0 re-submits a system prompt shared with
+// every other session of the same PromptGroup.
+type SessionConfig struct {
+	Sessions     int     // number of conversations in the trace
+	MinTurns     int     // turns per session drawn uniformly in [MinTurns, MaxTurns]
+	MaxTurns     int     //
+	PromptGroups int     // distinct shared system prompts (>= 1)
+	SystemTokens int     // median system-prompt length (tokens)
+	UserTokens   int     // median new-user-turn length (tokens)
+	ReplyTokens  int     // median model-reply length (tokens)
+	SessionRate  float64 // new-session Poisson arrival rate (sessions/s)
+	ThinkMean    float64 // mean think time between turns (seconds, exponential)
+}
+
+// DefaultSessionConfig returns a chat-scale configuration: ShareGPT-length
+// user turns and replies on top of a ~1.5K-token system prompt, sessions
+// of 3-8 turns.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		Sessions:     64,
+		MinTurns:     3,
+		MaxTurns:     8,
+		PromptGroups: 4,
+		SystemTokens: 1500,
+		UserTokens:   160,
+		ReplyTokens:  220,
+		SessionRate:  2,
+		ThinkMean:    4,
+	}
+}
+
+// Validate reports the first configuration error, so CLI front ends can
+// reject bad flag combinations cleanly instead of hitting SessionTrace's
+// panic.
+func (cfg SessionConfig) Validate() error {
+	switch {
+	case cfg.Sessions <= 0:
+		return fmt.Errorf("workload: SessionConfig.Sessions must be > 0, got %d", cfg.Sessions)
+	case cfg.MinTurns <= 0 || cfg.MaxTurns < cfg.MinTurns:
+		return fmt.Errorf("workload: bad turn range [%d, %d]", cfg.MinTurns, cfg.MaxTurns)
+	case cfg.PromptGroups <= 0:
+		return fmt.Errorf("workload: SessionConfig.PromptGroups must be > 0, got %d", cfg.PromptGroups)
+	case cfg.SessionRate <= 0:
+		return fmt.Errorf("workload: SessionConfig.SessionRate must be > 0, got %v", cfg.SessionRate)
+	case cfg.ThinkMean < 0:
+		return fmt.Errorf("workload: SessionConfig.ThinkMean must be >= 0, got %v", cfg.ThinkMean)
+	}
+	return nil
+}
+
+// SessionTrace generates a multi-turn conversation trace, deterministic in
+// seed. Sessions open as a Poisson process at SessionRate; within a
+// session, turn t+1 arrives an exponential think time after turn t (the
+// trace is open-loop: a turn's arrival does not wait for the previous
+// turn's completion, so an overloaded server sees the next turn before its
+// cache entry exists — exactly the miss a router must tolerate). Requests
+// from all sessions are merged and sorted by arrival.
+//
+// Each turn's Entry carries the session metadata documented on Entry:
+// InputLen is the full re-submitted context, PrefixLen the portion a
+// prefix cache can serve, SharedLen the system-prompt head shared across
+// the session's PromptGroup.
+func SessionTrace(cfg SessionConfig, seed int64) []TimedRequest {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	sysLens := make([]int, cfg.PromptGroups)
+	for g := range sysLens {
+		sysLens[g] = logNormalClamped(rng, float64(cfg.SystemTokens), 0.3, 64, 8*cfg.SystemTokens)
+	}
+
+	user := lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
+	reply := lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
+
+	var trace []TimedRequest
+	start := 0.0
+	for s := 0; s < cfg.Sessions; s++ {
+		start += rng.ExpFloat64() / cfg.SessionRate
+		group := rng.Intn(cfg.PromptGroups)
+		turns := cfg.MinTurns + rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
+		context := sysLens[group] // tokens accumulated before the new user turn
+		at := start
+		for t := 0; t < turns; t++ {
+			in := user.sample(rng)
+			out := reply.sample(rng)
+			trace = append(trace, TimedRequest{
+				Entry: Entry{
+					InputLen:    context + in,
+					OutputLen:   out,
+					SessionID:   int64(s + 1),
+					Turn:        t,
+					PromptGroup: group + 1,
+					SharedLen:   sysLens[group],
+					PrefixLen:   context,
+				},
+				Arrival: time.Duration(at * 1e9),
+			})
+			context += in + out
+			if cfg.ThinkMean > 0 {
+				at += rng.ExpFloat64() * cfg.ThinkMean
+			}
+		}
+	}
+	sort.SliceStable(trace, func(i, j int) bool { return trace[i].Arrival < trace[j].Arrival })
+	return trace
+}
+
+// SessionStats summarizes the reuse structure of a trace for tests and
+// reports: how many requests belong to sessions and how much of the total
+// input is prefix-reusable in the best case (an infinite, perfectly warm
+// cache).
+type SessionStats struct {
+	Requests        int
+	SessionRequests int   // requests with SessionID != 0
+	Sessions        int   // distinct sessions
+	InputTokens     int64 // total input tokens
+	PrefixTokens    int64 // total reusable-head tokens (upper bound on cache savings)
+}
+
+// SummarizeSessions computes SessionStats over a trace.
+func SummarizeSessions(trace []TimedRequest) SessionStats {
+	st := SessionStats{Requests: len(trace)}
+	seen := make(map[int64]bool)
+	for _, tr := range trace {
+		st.InputTokens += int64(tr.InputLen)
+		st.PrefixTokens += int64(tr.PrefixLen)
+		if tr.SessionID != 0 {
+			st.SessionRequests++
+			seen[tr.SessionID] = true
+		}
+	}
+	st.Sessions = len(seen)
+	return st
+}

@@ -23,10 +23,28 @@ import (
 	"time"
 )
 
-// Entry is one request's length pair.
+// Entry is one request's length pair, plus optional session metadata for
+// multi-turn traces (zero values describe the stateless single-shot
+// requests the paper's §7 traces consist of).
 type Entry struct {
 	InputLen  int
 	OutputLen int
+
+	// Session metadata for multi-turn conversations (see SessionTrace).
+	// The input of a session request decomposes head-first as
+	//
+	//	[ shared system prompt | conversation history | new user turn ]
+	//	  `-- SharedLen --'
+	//	  `-------------- PrefixLen --------------'
+	//
+	// so PrefixLen tokens are recomputable-free on a replica that still
+	// holds the session's previous-turn KV, and SharedLen tokens on any
+	// replica that has served the same PromptGroup.
+	SessionID   int64 // 1-based session identity; 0 = stateless request
+	Turn        int   // 0-based turn index within the session
+	PromptGroup int   // shared-system-prompt family; 0 = none
+	SharedLen   int   // head tokens shared by every session of PromptGroup
+	PrefixLen   int   // head tokens reusable from this session's previous turn
 }
 
 // Dataset samples request length pairs.

@@ -164,7 +164,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestSummarizeKnownValues(t *testing.T) {
-	st := Summarize([]Entry{{10, 2}, {30, 4}})
+	st := Summarize([]Entry{{InputLen: 10, OutputLen: 2}, {InputLen: 30, OutputLen: 4}})
 	if st.MinInput != 10 || st.MaxInput != 30 || st.MeanInput != 20 || st.MeanOutput != 3 || st.TotalTokens != 46 {
 		t.Fatalf("summary wrong: %+v", st)
 	}
