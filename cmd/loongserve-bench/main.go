@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|ablations|all [-quick]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|autoscale|ablations|all [-quick]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, autoscale, ablations, all")
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
 	flag.Parse()
 
@@ -70,6 +70,12 @@ func main() {
 	}
 	if run("fleet") {
 		bench.FleetExperiment(scale).Fprint(out)
+		any = true
+	}
+	if run("autoscale") {
+		for _, t := range bench.AutoscaleExperiment(scale) {
+			t.Fprint(out)
+		}
 		any = true
 	}
 	if run("ablations") {

@@ -6,23 +6,36 @@
 // mean TTFT, normalized input latency, prefix-cache token hit ratio and
 // SLO attainment, plus per-replica breakdowns with -v.
 //
+// The workload can run closed-loop (-closed-loop: each turn arrives think
+// time after the previous turn completes, so the fleet sees its own
+// backpressure) and bursty (-burst F: arrival rate swings between F times
+// and 1/F of -rate). With -autoscale the replica count is elastic: a
+// control loop grows the fleet from queue pressure between -min-replicas
+// and -max-replicas (paying -warmup per new replica) and drains idle
+// replicas, migrating live sessions' KV to survivors over the inter-node
+// link; the run prints cost-normalized goodput and the scaling timeline.
+//
 // Usage:
 //
 //	loongserve-fleet [flags]
 //
 // Examples:
 //
-//	loongserve-fleet                              # all four policies, 4 vLLM replicas
+//	loongserve-fleet                              # all policies, 4 vLLM replicas
 //	loongserve-fleet -policy affinity -v          # one policy, per-replica stats
 //	loongserve-fleet -engine loongserve -replicas 2
 //	loongserve-fleet -sessions 200 -rate 6 -cache-tokens 200000 -no-admission
+//	loongserve-fleet -closed-loop -burst 6 -burst-period 40 -burst-duty 0.3 \
+//	    -autoscale -min-replicas 1 -max-replicas 4 -warmup 5s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"loongserve/internal/autoscale"
 	"loongserve/internal/bench"
 	"loongserve/internal/fleet"
 	"loongserve/internal/metrics"
@@ -34,7 +47,7 @@ func main() {
 	var (
 		replicas = flag.Int("replicas", 4, "engine replicas behind the gateway (each one 8-GPU node)")
 		engine   = flag.String("engine", "vllm", "replica engine: vllm (TP=8 continuous batching) or loongserve (elastic TP=2 ESP core)")
-		policy   = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, or all (one comparison row each)")
+		policy   = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, migrate, or all (one comparison row each)")
 
 		sessions = flag.Int("sessions", 64, "number of chat sessions in the trace")
 		rate     = flag.Float64("rate", 2, "session arrival rate (sessions/s, Poisson)")
@@ -46,6 +59,21 @@ func main() {
 		reply    = flag.Int("reply", 220, "median reply tokens")
 		think    = flag.Float64("think", 4, "mean think time between turns (seconds)")
 
+		closedLoop  = flag.Bool("closed-loop", false, "turn k+1 arrives think time after turn k completes (feedback-accurate saturation)")
+		burst       = flag.Float64("burst", 0, "burst factor: arrival rate swings between rate*F and rate/F (0 = steady)")
+		burstPeriod = flag.Float64("burst-period", 40, "seconds per burst cycle")
+		burstDuty   = flag.Float64("burst-duty", 0.5, "high-rate fraction of each burst cycle, (0,1)")
+
+		autoScale  = flag.Bool("autoscale", false, "elastic replica count: scale between -min-replicas and -max-replicas from queue pressure")
+		minRep     = flag.Int("min-replicas", 1, "autoscale floor")
+		maxRep     = flag.Int("max-replicas", 4, "autoscale ceiling")
+		warmup     = flag.Duration("warmup", 10*time.Second, "provisioning-to-routable delay for scaled-up replicas")
+		interval   = flag.Duration("interval", time.Second, "autoscale control period")
+		upAt       = flag.Float64("up-at", 30, "scale up above this many outstanding requests per active replica")
+		downAt     = flag.Float64("down-at", 20, "scale down when survivors would stay below this per replica")
+		cooldown   = flag.Duration("cooldown", 4*time.Second, "minimum time between scaling actions")
+		showEvents = flag.Bool("events", true, "with -autoscale, print the scaling timeline")
+
 		cacheTokens = flag.Int("cache-tokens", 0, "per-replica prefix-cache capacity in KV tokens (0 = full KV pool)")
 		noAdmission = flag.Bool("no-admission", false, "disable TinyLFU admission (plain LRU prefix cache)")
 		seed        = flag.Int64("seed", 42, "workload and policy seed (runs are deterministic per seed)")
@@ -53,9 +81,12 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"loongserve-fleet: multi-replica gateway simulation with cache-affinity routing.\n\n"+
+			"loongserve-fleet: multi-replica gateway simulation with cache-affinity routing\n"+
+				"and elastic autoscaling.\n\n"+
 				"Routes a multi-turn session workload across N simulated engine replicas and\n"+
-				"compares routing policies on goodput, TTFT and prefix-cache hit ratio.\n\nFlags:\n")
+				"compares routing policies on goodput, TTFT and prefix-cache hit ratio; with\n"+
+				"-autoscale the fleet grows and shrinks from queue pressure, draining replicas\n"+
+				"by migrating live session KV.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +98,10 @@ func main() {
 	cfg.PromptGroups = *groups
 	cfg.SystemTokens, cfg.UserTokens, cfg.ReplyTokens = *system, *user, *reply
 	cfg.ThinkMean = *think
+	cfg.ClosedLoop = *closedLoop
+	cfg.BurstFactor = *burst
+	cfg.BurstPeriod = *burstPeriod
+	cfg.BurstDuty = *burstDuty
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -82,14 +117,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	trace := workload.SessionTrace(cfg, *seed)
-	st := workload.SummarizeSessions(trace)
+	scripts := workload.SessionScripts(cfg, *seed)
+	st := workload.SummarizeSessions(workload.OpenLoopTrace(scripts))
 
 	var policies []fleet.Policy
-	if *policy == "all" {
+	if *policy == "all" && !*autoScale {
 		policies = fleet.AllPolicies(*seed)
 	} else {
-		p, err := fleet.ByName(*policy, *seed)
+		name := *policy
+		if name == "all" {
+			name = "migrate" // autoscale runs one policy; default to the migrating one
+		}
+		p, err := fleet.ByName(name, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			flag.Usage()
@@ -98,21 +137,78 @@ func main() {
 		policies = []fleet.Policy{p}
 	}
 
-	fmt.Printf("trace: %d requests over %d sessions (%d prompt groups), %.0f%% of input tokens prefix-reusable\n",
-		st.Requests, st.Sessions, *groups, 100*float64(st.PrefixTokens)/float64(st.InputTokens))
+	mode := "open-loop"
+	if cfg.ClosedLoop {
+		mode = "closed-loop"
+	}
+	fmt.Printf("trace: %d requests over %d sessions (%d prompt groups, %s), %.0f%% of input tokens prefix-reusable\n",
+		st.Requests, st.Sessions, *groups, mode, 100*float64(st.PrefixTokens)/float64(st.InputTokens))
+
+	if *autoScale {
+		acfg := autoscale.Config{
+			Min: *minRep, Max: *maxRep,
+			Interval: *interval, UpAt: *upAt, DownAt: *downAt,
+			Warmup: *warmup, Cooldown: *cooldown,
+		}
+		if err := acfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fcfg := fleet.Config{Policy: policies[0], CacheTokens: *cacheTokens, NoAdmission: *noAdmission}
+		res, err := autoscale.Run(spec, scripts, fcfg, acfg, cfg.ClosedLoop)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := metrics.Summarize(res.Records)
+		t := &bench.Table{
+			Title:  fmt.Sprintf("Autoscale %d..%d x %s (%s): policy %s", acfg.Min, acfg.Max, *engine, mode, policies[0].Name()),
+			Header: []string{"goodput(req/s)", "TTFT(s)", "SLO", "replicas(mean/peak)", "replica-sec", "goodput/replica", "migrations", "scaling"},
+		}
+		t.AddRow(
+			fmt.Sprintf("%.3f", metrics.Goodput(res.Records)),
+			fmt.Sprintf("%.3f", bench.MeanTTFT(res.Records)),
+			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment),
+			fmt.Sprintf("%.2f / %d", res.MeanReplicas(), res.PeakReplicas),
+			fmt.Sprintf("%.1f", res.ReplicaSeconds),
+			fmt.Sprintf("%.4f", res.GoodputPerReplica()),
+			fmt.Sprintf("%d (%d KV tokens)", res.Migrations.Count, res.Migrations.Tokens),
+			fmt.Sprintf("%d up / %d down", res.ScaleUps, res.ScaleDowns))
+		t.Fprint(os.Stdout)
+		if *showEvents {
+			et := &bench.Table{
+				Title:  "scaling timeline",
+				Header: []string{"t", "event", "replica", "detail"},
+			}
+			routed := 0
+			for _, ev := range res.Events {
+				if ev.RoutedMigration() {
+					routed++
+					continue
+				}
+				et.AddRow(fmt.Sprint(ev.At.Round(time.Millisecond)), ev.Kind, fmt.Sprint(ev.Replica), ev.Detail)
+			}
+			if routed > 0 {
+				et.Notes = append(et.Notes, fmt.Sprintf("%d policy-routed rebalancing migrations elided", routed))
+			}
+			et.Fprint(os.Stdout)
+		}
+		printReplicaStats(*verbose, policies[0].Name(), res.Replicas)
+		return
+	}
 
 	t := &bench.Table{
-		Title:  fmt.Sprintf("Fleet of %d x %s: routing policy comparison at %.1f sessions/s", *replicas, *engine, *rate),
+		Title:  fmt.Sprintf("Fleet of %d x %s (%s): routing policy comparison at %.1f sessions/s", *replicas, *engine, mode, *rate),
 		Header: []string{"policy", "goodput(req/s)", "TTFT(s)", "input(ms/t)", "hit-ratio", "hit-req", "SLO"},
 	}
 	perReplica := make(map[string][]fleet.ReplicaStats)
 	for _, p := range policies {
-		res, err := fleet.Run(spec, trace, fleet.Config{
+		res, err := fleet.RunSessions(spec, scripts, fleet.Config{
 			Replicas:    *replicas,
 			Policy:      p,
 			CacheTokens: *cacheTokens,
 			NoAdmission: *noAdmission,
-		})
+		}, cfg.ClosedLoop)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name(), err)
 			cell := "ERR"
@@ -134,22 +230,26 @@ func main() {
 	}
 	t.Fprint(os.Stdout)
 
-	if *verbose {
-		for _, p := range policies {
-			stats, ok := perReplica[p.Name()]
-			if !ok {
-				continue
-			}
-			rt := &bench.Table{
-				Title:  fmt.Sprintf("%s: per-replica breakdown", p.Name()),
-				Header: []string{"replica", "requests", "hit-req", "hit-tokens", "cache-entries", "evicted", "rejected"},
-			}
-			for i, rs := range stats {
-				rt.AddRow(fmt.Sprint(i), fmt.Sprint(rs.Requests), fmt.Sprint(rs.HitRequests),
-					fmt.Sprint(rs.HitTokens), fmt.Sprint(rs.CacheEntries),
-					fmt.Sprint(rs.CacheEvicted), fmt.Sprint(rs.CacheRejected))
-			}
-			rt.Fprint(os.Stdout)
+	for _, p := range policies {
+		if stats, ok := perReplica[p.Name()]; ok {
+			printReplicaStats(*verbose, p.Name(), stats)
 		}
 	}
+}
+
+// printReplicaStats renders the -v per-replica breakdown.
+func printReplicaStats(verbose bool, policy string, stats []fleet.ReplicaStats) {
+	if !verbose {
+		return
+	}
+	rt := &bench.Table{
+		Title:  fmt.Sprintf("%s: per-replica breakdown", policy),
+		Header: []string{"replica", "requests", "hit-req", "hit-tokens", "cache-entries", "evicted", "rejected"},
+	}
+	for i, rs := range stats {
+		rt.AddRow(fmt.Sprint(i), fmt.Sprint(rs.Requests), fmt.Sprint(rs.HitRequests),
+			fmt.Sprint(rs.HitTokens), fmt.Sprint(rs.CacheEntries),
+			fmt.Sprint(rs.CacheEvicted), fmt.Sprint(rs.CacheRejected))
+	}
+	rt.Fprint(os.Stdout)
 }

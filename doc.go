@@ -20,15 +20,22 @@
 //     byte-level BPE tokenizer and iteration-level continuous batching
 //     over the functional runtime (internal/frontend, internal/token).
 //   - A fleet layer (internal/fleet) that scales past one elastic
-//     cluster: a gateway fronts N independently simulated engine
+//     cluster: an elastic gateway fronts N independently simulated engine
 //     replicas and routes arrivals through pluggable policies —
-//     round-robin, least-loaded, power-of-two-choices, and
-//     prefix-affinity routing over per-replica prefix-KV caches
+//     round-robin, least-loaded, power-of-two-choices, prefix-affinity
+//     and migrating-affinity routing over per-replica prefix-KV caches
 //     (token-capacity LRU with TinyLFU-style admission), exercised by
-//     multi-turn session workloads (workload.SessionTrace) and compared
-//     by cmd/loongserve-fleet and the bench fleet experiment.
+//     multi-turn session workloads (workload.SessionTrace and the
+//     closed-loop workload.SessionScripts). Replicas can be provisioned
+//     with a warm-up delay and drained — live sessions' KV migrates to
+//     survivors over the inter-node link instead of being recomputed.
+//   - An autoscaling control plane (internal/autoscale) that closes the
+//     loop: queue-pressure scale-up, consolidation scale-down with
+//     migration-based drains, compared against static fleets on
+//     cost-normalized goodput by the bench autoscale experiment and
+//     cmd/loongserve-fleet -autoscale.
 //
 // bench_test.go regenerates every figure of the paper's evaluation; see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// results.
+// README.md for the binaries and DESIGN.md for the system inventory and
+// measured results.
 package loongserve

@@ -1,0 +1,229 @@
+// Package autoscale closes the elasticity loop at fleet scale: a control
+// loop observes per-replica load through the gateway (ultimately
+// serving.LoadReporter aggregated per replica), grows the fleet when queue
+// pressure exceeds a target, and shrinks it when replicas idle — paying a
+// warm-up delay for every new replica and, on scale-in, draining the
+// victim by migrating each live session's KV to a survivor over the
+// inter-node link (cluster.MigrationTime) instead of dropping or
+// recomputing it.
+//
+// This is the paper's elastic-parallelism argument lifted one level up:
+// within a replica, LoongServe scales sequence parallelism to the demand
+// of each iteration; across replicas, the autoscaler scales the replica
+// count to the demand of the arrival process. Both hinge on the same
+// observation — KV movement over fast links is far cheaper than
+// recomputation — and the same cost model prices both. The figure of
+// merit is cost-normalized goodput: SLO-met requests per second per
+// provisioned replica, which a static fleet can only optimize for one
+// arrival rate while the controller tracks bursts (bench.AutoscaleExperiment).
+package autoscale
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/fleet"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// Config parameterizes the control loop. Thresholds are in outstanding
+// requests per active replica (engine-reported through
+// serving.LoadReporter where available). Scale-up triggers when the
+// per-replica load exceeds UpAt. Scale-down is a *consolidation* test:
+// drain one replica when the survivors would carry the fleet's entire
+// outstanding load at under DownAt per replica — so shrinking never
+// immediately re-creates the pressure that would grow the fleet again,
+// and DownAt < UpAt is the flap-damping hysteresis band.
+type Config struct {
+	Min, Max int           // replica-count bounds (Min >= 1, Max >= Min)
+	Interval time.Duration // control period between observations
+	UpAt     float64       // scale up when outstanding reqs per active replica exceed this
+	DownAt   float64       // scale down when survivors would stay below this per replica
+	Warmup   time.Duration // provisioning-to-routable delay for new replicas
+	Cooldown time.Duration // minimum time between scaling actions
+}
+
+// DefaultConfig returns a responsive controller: observe every second,
+// grow above 30 outstanding requests per replica (continuous-batching
+// engines *run* a few dozen requests when healthy, so pressure means
+// "well past the comfortable batch"), consolidate when survivors would
+// stay under 20, 10s warm-up (model load at datacenter NVMe rates), 4s
+// cooldown. Scale-up reaction time bounds the SLO damage of a burst's
+// leading edge — every second of hesitation plus the whole warm-up is
+// served by the old fleet — so the loop watches every second and
+// triggers on the climb.
+func DefaultConfig() Config {
+	return Config{
+		Min:      1,
+		Max:      8,
+		Interval: time.Second,
+		UpAt:     30,
+		DownAt:   20,
+		Warmup:   10 * time.Second,
+		Cooldown: 4 * time.Second,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Min < 1:
+		return fmt.Errorf("autoscale: Min must be >= 1, got %d", c.Min)
+	case c.Max < c.Min:
+		return fmt.Errorf("autoscale: Max %d below Min %d", c.Max, c.Min)
+	case c.Interval <= 0:
+		return fmt.Errorf("autoscale: non-positive Interval %v", c.Interval)
+	case c.UpAt <= c.DownAt:
+		return fmt.Errorf("autoscale: UpAt %v must exceed DownAt %v", c.UpAt, c.DownAt)
+	case c.Warmup < 0 || c.Cooldown < 0:
+		return fmt.Errorf("autoscale: negative Warmup/Cooldown")
+	}
+	return nil
+}
+
+// Result is a Run's outcome: the fleet result plus controller accounting.
+type Result struct {
+	*fleet.Result
+	ScaleUps   int
+	ScaleDowns int
+	// PeakReplicas is the maximum simultaneously provisioned replica count.
+	PeakReplicas int
+	Ticks        int
+}
+
+// controller is the periodic decision loop.
+type controller struct {
+	g    *fleet.Gateway
+	sim  *simevent.Sim
+	cfg  Config
+	feed *fleet.SessionFeed
+	res  *Result
+
+	lastAction simevent.Time
+	acted      bool
+}
+
+// pressure returns outstanding requests per active replica and the totals
+// behind it (engine-reported through serving.LoadReporter where
+// available), plus the count of replicas still warming — capacity on the
+// way, which the scale-up decision nets against new pressure. Draining
+// replicas are capacity *leaving* and count toward neither.
+func (c *controller) pressure() (perReplica float64, active, total, warming int) {
+	for _, in := range c.g.ReplicaInfos() {
+		switch in.State {
+		case fleet.ReplicaActive:
+			active++
+			total += in.QueueDepth
+		case fleet.ReplicaWarming:
+			warming++
+		}
+	}
+	if active == 0 {
+		return 0, 0, 0, warming
+	}
+	return float64(total) / float64(active), active, total, warming
+}
+
+// coolingDown reports whether the controller acted too recently to act
+// again.
+func (c *controller) coolingDown() bool {
+	return c.acted && time.Duration(c.sim.Now()-c.lastAction) < c.cfg.Cooldown
+}
+
+// drainVictim picks the active replica to remove: the one with the least
+// outstanding work (ties to the highest index, so the newest spare goes
+// first), provided another active replica survives it.
+func (c *controller) drainVictim() int {
+	infos := c.g.ReplicaInfos()
+	best := -1
+	for i, in := range infos {
+		if in.State != fleet.ReplicaActive {
+			continue
+		}
+		if best == -1 || in.OutstandingTokens <= infos[best].OutstandingTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+// tick is one control period: observe, maybe scale, reschedule while work
+// remains.
+func (c *controller) tick() {
+	c.res.Ticks++
+	p, active, total, warming := c.pressure()
+	switch {
+	case c.coolingDown():
+		// hold
+	case p > c.cfg.UpAt && c.g.ProvisionedReplicas() < c.cfg.Max:
+		// Count warming replicas as capacity on the way: do not stack
+		// another scale-up for pressure that help is already coming for,
+		// unless pressure keeps climbing well past the trigger.
+		if warming == 0 || p > 1.5*c.cfg.UpAt {
+			if _, err := c.g.AddReplica(c.cfg.Warmup); err == nil {
+				c.res.ScaleUps++
+				c.acted = true
+				c.lastAction = c.sim.Now()
+			}
+		}
+	case active > c.cfg.Min && float64(total)/float64(active-1) < c.cfg.DownAt:
+		// Consolidation: survivors would carry the whole load with margin.
+		if v := c.drainVictim(); v >= 0 {
+			if err := c.g.DrainReplica(v); err == nil {
+				c.res.ScaleDowns++
+				c.acted = true
+				c.lastAction = c.sim.Now()
+			}
+		}
+	}
+	if n := c.g.ProvisionedReplicas(); n > c.res.PeakReplicas {
+		c.res.PeakReplicas = n
+	}
+	// Keep observing while the workload is unfinished; once every emitted
+	// request has completed and every session has no further turns, the
+	// loop ends and the simulator drains.
+	if c.feed.Completed() < c.feed.Total() {
+		c.sim.After(c.cfg.Interval, c.tick)
+	}
+}
+
+// Run drives a session workload (closed- or open-loop) against an elastic
+// fleet: the gateway starts at acfg.Min replicas and the controller grows
+// and shrinks it from queue pressure. Deterministic in the scripts and
+// configuration.
+func Run(spec fleet.Spec, scripts []workload.SessionScript, fcfg fleet.Config, acfg Config, closed bool) (res *Result, err error) {
+	if err := acfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := simevent.New()
+	fcfg.Replicas = acfg.Min
+	g, err := fleet.NewGateway(spec, fcfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	feed := fleet.FeedSessions(g, scripts, closed)
+	res = &Result{PeakReplicas: acfg.Min}
+	ctl := &controller{g: g, sim: sim, cfg: acfg, feed: feed, res: res}
+	sim.After(acfg.Interval, ctl.tick)
+
+	defer func() {
+		if p := recover(); p != nil {
+			if oom, ok := p.(*serving.ErrOOM); ok {
+				err = oom
+				res = nil
+				return
+			}
+			panic(p)
+		}
+	}()
+	sim.Run()
+
+	if feed.Completed() != feed.Total() {
+		return nil, fmt.Errorf("autoscale: %d of %d requests completed", feed.Completed(), feed.Total())
+	}
+	res.Result = g.Finalize()
+	res.Trace = feed.Trace
+	return res, nil
+}

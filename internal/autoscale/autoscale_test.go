@@ -1,0 +1,222 @@
+package autoscale_test
+
+import (
+	"testing"
+	"time"
+
+	"loongserve/internal/autoscale"
+	"loongserve/internal/cluster"
+	"loongserve/internal/fleet"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// slowEngine is a deterministic FIFO engine whose service times are slow
+// enough for queue pressure to build at chat-session rates: prefill costs
+// 25us per input token, decode 100us per output token. One replica
+// saturates around a dozen requests per second, so bursts force scaling.
+type slowEngine struct {
+	env       *serving.Env
+	busyUntil simevent.Time
+	inflight  int
+}
+
+func (e *slowEngine) Name() string { return "slow" }
+
+func (e *slowEngine) Init(env *serving.Env) error {
+	e.env = env
+	return nil
+}
+
+func (e *slowEngine) Arrive(r *serving.Request) {
+	e.inflight++
+	start := e.env.Sim.Now()
+	if e.busyUntil > start {
+		start = e.busyUntil
+	}
+	first := simevent.Time(start).Add(time.Duration(r.InputLen) * 25 * time.Microsecond)
+	finish := first.Add(time.Duration(r.OutputLen) * 100 * time.Microsecond)
+	e.busyUntil = finish
+	e.env.Sim.At(finish, func() {
+		r.Phase = serving.Finished
+		r.Generated = r.OutputLen
+		r.FirstToken = first
+		r.Finish = finish
+		e.inflight--
+		e.env.Complete(r)
+	})
+}
+
+func (e *slowEngine) Load() serving.LoadStats {
+	// FIFO: one request in service, the rest waiting for admission.
+	if e.inflight == 0 {
+		return serving.LoadStats{}
+	}
+	return serving.LoadStats{Queued: e.inflight - 1, Running: 1}
+}
+
+func slowSpec() fleet.Spec {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	return fleet.Spec{
+		NewEngine: func() serving.Engine { return &slowEngine{} },
+		NewCluster: func() (*cluster.Cluster, error) {
+			return cluster.New(m, hw, 1, 8, 8)
+		},
+	}
+}
+
+// burstyScripts builds a closed-loop-ready bursty session workload: 20s of
+// heavy arrivals alternating with 20s of trickle.
+func burstyScripts(t *testing.T, sessions int, seed int64) []workload.SessionScript {
+	t.Helper()
+	cfg := workload.DefaultSessionConfig()
+	cfg.Sessions = sessions
+	cfg.SessionRate = 6
+	cfg.BurstFactor = 5
+	cfg.BurstPeriod = 40
+	cfg.ThinkMean = 2
+	cfg.ClosedLoop = true
+	return workload.SessionScripts(cfg, seed)
+}
+
+func testConfig() autoscale.Config {
+	return autoscale.Config{
+		Min:      1,
+		Max:      6,
+		Interval: time.Second,
+		UpAt:     6,
+		DownAt:   4,
+		Warmup:   5 * time.Second,
+		Cooldown: 3 * time.Second,
+	}
+}
+
+// TestScalesUpAndDownOverBurst is the controller's core behavior: a bursty
+// closed-loop workload forces scale-up during the burst and drain during
+// the lull, every request completes, and the bounds hold throughout.
+func TestScalesUpAndDownOverBurst(t *testing.T) {
+	scripts := burstyScripts(t, 200, 21)
+	res, err := autoscale.Run(slowSpec(), scripts, fleet.Config{Policy: fleet.NewMigratingAffinity()}, testConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != workload.NumRequests(scripts) {
+		t.Fatalf("%d of %d requests completed", len(res.Records), workload.NumRequests(scripts))
+	}
+	if res.ScaleUps == 0 {
+		t.Error("controller never scaled up under a saturating burst")
+	}
+	if res.ScaleDowns == 0 {
+		t.Error("controller never scaled down during the lull")
+	}
+	if res.PeakReplicas <= 1 {
+		t.Errorf("peak replicas %d, want > 1", res.PeakReplicas)
+	}
+	if res.PeakReplicas > 6 {
+		t.Errorf("peak replicas %d exceeds Max 6", res.PeakReplicas)
+	}
+	if res.Ticks == 0 {
+		t.Error("controller never ticked")
+	}
+	// The drain path must actually migrate session KV, not drop it.
+	if res.ScaleDowns > 0 && res.Migrations.Count == 0 {
+		t.Error("scale-down drained without migrating any session KV")
+	}
+	// Mean provisioned replicas must sit strictly between Min and Peak:
+	// elasticity, not a static fleet in disguise.
+	mean := res.MeanReplicas()
+	if mean <= 1.0 || mean >= float64(res.PeakReplicas) {
+		t.Errorf("mean replicas %.2f not in (1, %d)", mean, res.PeakReplicas)
+	}
+	// Event stream shows the full lifecycle.
+	kinds := map[string]int{}
+	for _, ev := range res.Events {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"provision", "active", "drain", "retire", "migrate"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q event in an elastic run (events: %v)", k, kinds)
+		}
+	}
+}
+
+// TestAutoscaleDeterminism: identical inputs produce identical records,
+// events and scaling decisions.
+func TestAutoscaleDeterminism(t *testing.T) {
+	scripts := burstyScripts(t, 80, 5)
+	run := func() *autoscale.Result {
+		res, err := autoscale.Run(slowSpec(), scripts, fleet.Config{Policy: fleet.NewPrefixAffinity()}, testConfig(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ScaleUps != b.ScaleUps || a.ScaleDowns != b.ScaleDowns || a.PeakReplicas != b.PeakReplicas {
+		t.Fatalf("scaling diverged: %d/%d/%d vs %d/%d/%d",
+			a.ScaleUps, a.ScaleDowns, a.PeakReplicas, b.ScaleUps, b.ScaleDowns, b.PeakReplicas)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestStaysAtMinWhenUnderloaded: a light workload never triggers scaling.
+func TestStaysAtMinWhenUnderloaded(t *testing.T) {
+	cfg := workload.DefaultSessionConfig()
+	cfg.Sessions = 20
+	cfg.SessionRate = 0.5
+	cfg.ClosedLoop = true
+	scripts := workload.SessionScripts(cfg, 3)
+	res, err := autoscale.Run(slowSpec(), scripts, fleet.Config{}, testConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleUps != 0 || res.ScaleDowns != 0 {
+		t.Errorf("light load scaled: %d ups, %d downs", res.ScaleUps, res.ScaleDowns)
+	}
+	if res.PeakReplicas != 1 {
+		t.Errorf("peak replicas %d, want 1", res.PeakReplicas)
+	}
+	if got := res.MeanReplicas(); got < 0.999 || got > 1.001 {
+		t.Errorf("mean replicas %.3f, want 1", got)
+	}
+}
+
+// TestConfigValidation covers the error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []autoscale.Config{
+		{Min: 0, Max: 4, Interval: time.Second, UpAt: 8, DownAt: 2},
+		{Min: 4, Max: 2, Interval: time.Second, UpAt: 8, DownAt: 2},
+		{Min: 1, Max: 4, Interval: 0, UpAt: 8, DownAt: 2},
+		{Min: 1, Max: 4, Interval: time.Second, UpAt: 2, DownAt: 8},
+		{Min: 1, Max: 4, Interval: time.Second, UpAt: 8, DownAt: 2, Warmup: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := autoscale.DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if _, err := autoscale.Run(slowSpec(), nil, fleet.Config{}, autoscale.Config{}, true); err == nil {
+		t.Error("zero config accepted by Run")
+	}
+}

@@ -53,6 +53,8 @@ func (v routerView) QueueDepth() int {
 
 func (v routerView) CachedTokens(fleet.RequestInfo) int { return 0 }
 
+func (v routerView) SessionTokens(fleet.RequestInfo) int { return 0 }
+
 // Init implements serving.Engine: all sub-engines share the environment
 // (same simulator, same pool, same completion sink).
 func (r *Router) Init(env *serving.Env) error {

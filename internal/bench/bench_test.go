@@ -7,6 +7,7 @@ import (
 
 	"loongserve/internal/baselines"
 	"loongserve/internal/core"
+	"loongserve/internal/fleet"
 	"loongserve/internal/metrics"
 	"loongserve/internal/workload"
 )
@@ -145,7 +146,7 @@ func TestFleetExperimentShape(t *testing.T) {
 	sc := QuickScale()
 	sc.FleetRates = sc.FleetRates[:2] // keep the unit test fast
 	tbl := FleetExperiment(sc)
-	wantRows := len(sc.FleetRates) * 4 // four policies per rate
+	wantRows := len(sc.FleetRates) * len(fleet.AllPolicies(sc.Seed)) // one row per policy per rate
 	if len(tbl.Rows) != wantRows {
 		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
 	}
@@ -180,6 +181,74 @@ func TestFleetExperimentShape(t *testing.T) {
 		if aff <= rr {
 			t.Errorf("rate %s: PrefixAffinity hit ratio %.1f%% <= RoundRobin %.1f%%", rs, aff, rr)
 		}
+	}
+}
+
+// TestAutoscaleExperimentWins is the acceptance test of the autoscale
+// subsystem: on the bursty closed-loop trace the elastic controller's
+// cost-normalized goodput (goodput per provisioned replica) is at least
+// that of the best static fleet, scaling events are visible in the output,
+// and at least one drain migrated live sessions with every request still
+// completing.
+func TestAutoscaleExperimentWins(t *testing.T) {
+	tables := AutoscaleExperiment(QuickScale())
+	if len(tables) != 2 {
+		t.Fatalf("expected comparison + timeline tables, got %d", len(tables))
+	}
+	cmp, timeline := tables[0], tables[1]
+
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatalf("unparsable cell %q: %v", s, err)
+		}
+		return v
+	}
+	bestStatic, autoScale := 0.0, -1.0
+	for _, row := range cmp.Rows {
+		if len(row) != len(cmp.Header) {
+			t.Fatalf("row %v does not match header %v", row, cmp.Header)
+		}
+		if row[1] == "ERR" || row[1] == "OOM" {
+			t.Fatalf("system %s failed: %v", row[0], row)
+		}
+		gpr := parse(row[6])
+		if row[0] == "autoscale" {
+			autoScale = gpr
+			if !strings.Contains(row[8], "up") || !strings.Contains(row[8], "down") {
+				t.Errorf("autoscale row reports no scaling: %v", row)
+			}
+		} else if gpr > bestStatic {
+			bestStatic = gpr
+		}
+	}
+	if autoScale < 0 {
+		t.Fatal("no autoscale row")
+	}
+	if autoScale < bestStatic {
+		t.Errorf("autoscaler goodput/replica %.4f below best static %.4f", autoScale, bestStatic)
+	}
+
+	// The timeline must show the full lifecycle, including at least one
+	// drain that migrated a replica with live (in-flight) sessions.
+	kinds := map[string]int{}
+	liveDrain := false
+	for _, row := range timeline.Rows {
+		kinds[row[1]]++
+		if row[1] == "drain" {
+			var inflight int
+			if _, err := fmt.Sscanf(row[3], "%d in-flight", &inflight); err == nil && inflight > 0 {
+				liveDrain = true
+			}
+		}
+	}
+	for _, k := range []string{"provision", "active", "drain", "retire"} {
+		if kinds[k] == 0 {
+			t.Errorf("timeline has no %q events: %v", k, kinds)
+		}
+	}
+	if !liveDrain {
+		t.Error("no drain caught a replica with live in-flight sessions")
 	}
 }
 

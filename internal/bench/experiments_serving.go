@@ -30,7 +30,13 @@ type Scale struct {
 	// count for the routing-policy comparison.
 	FleetRates    []float64
 	FleetReplicas int
-	Seed          int64
+	// Autoscale experiment: bursty closed-loop arrival horizon (seconds),
+	// replica warm-up (seconds) and the fleet-size ceiling the static
+	// ladder and the controller both use.
+	AutoscaleDuration float64
+	AutoscaleWarmup   float64
+	AutoscaleMax      int
+	Seed              int64
 }
 
 // FullScale returns the configuration used to regenerate EXPERIMENTS.md.
@@ -49,10 +55,13 @@ func FullScale() Scale {
 			"1.20": {2, 3, 4, 5, 6, 8},
 			"1.40": {6, 8, 9, 11, 14},
 		},
-		Fig13Rates:    []float64{5, 15, 30, 50, 80},
-		FleetRates:    []float64{1, 3, 6, 10},
-		FleetReplicas: 4,
-		Seed:          42,
+		Fig13Rates:        []float64{5, 15, 30, 50, 80},
+		FleetRates:        []float64{1, 3, 6, 10},
+		FleetReplicas:     4,
+		AutoscaleDuration: 360,
+		AutoscaleWarmup:   15,
+		AutoscaleMax:      4,
+		Seed:              42,
 	}
 }
 
@@ -73,10 +82,13 @@ func QuickScale() Scale {
 			"1.20": {2, 4},
 			"1.40": {4, 9},
 		},
-		Fig13Rates:    []float64{20, 60},
-		FleetRates:    []float64{1, 3, 6},
-		FleetReplicas: 3,
-		Seed:          42,
+		Fig13Rates:        []float64{20, 60},
+		FleetRates:        []float64{1, 3, 6},
+		FleetReplicas:     3,
+		AutoscaleDuration: 120,
+		AutoscaleWarmup:   5,
+		AutoscaleMax:      3,
+		Seed:              42,
 	}
 }
 

@@ -14,13 +14,24 @@
 // minimizes recomputation, spreading minimizes queueing — the same
 // cache-affinity-vs-load balance studied by the arodland/loadbalance
 // simulation, here measured in KV tokens on the paper's cost model.
+//
+// The fleet is elastic (gateway.go): replicas can be provisioned at
+// runtime (with a warm-up delay before they take traffic) and drained —
+// new arrivals stop, in-flight requests finish, and every live session's
+// KV migrates to a surviving replica over the inter-node link at the cost
+// model's transfer time instead of being dropped and recomputed. The same
+// link-vs-recompute tradeoff is available to routing: a MigrationAware
+// policy may move a session's KV off its overloaded home replica when the
+// transfer is cheaper than recomputing the prefix cold (policy.go). The
+// autoscale package closes the loop, growing and shrinking the fleet from
+// queue pressure.
 package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"loongserve/internal/cluster"
-	"loongserve/internal/costmodel"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/metrics"
 	"loongserve/internal/serving"
@@ -64,11 +75,57 @@ type ReplicaStats struct {
 	CacheRejected int
 }
 
+// MigrationStats aggregates the KV transfers a run performed: drain
+// evacuations, in-flight handoffs and policy-directed (routed) moves.
+type MigrationStats struct {
+	Count  int
+	Tokens int64
+	Time   time.Duration // total link-transfer time
+}
+
+// ScaleEvent is one fleet-elasticity event, timestamped in simulated time.
+type ScaleEvent struct {
+	At      time.Duration
+	Kind    string // "provision", "active", "drain", "migrate", "retire"
+	Replica int
+	// Cause sub-classifies migrate events: "drain" (scale-in evacuation),
+	// "handoff" (in-flight completion on a draining replica) or "route"
+	// (policy-directed rebalancing). Empty for lifecycle events.
+	Cause  string
+	Detail string
+}
+
+// RoutedMigration reports whether the event is a policy-directed
+// rebalancing migration — the frequent kind timelines usually aggregate.
+func (e ScaleEvent) RoutedMigration() bool {
+	return e.Kind == "migrate" && e.Cause == "route"
+}
+
+func (e ScaleEvent) String() string {
+	return fmt.Sprintf("%10v  %-9s replica %d  %s", e.At.Round(time.Millisecond), e.Kind, e.Replica, e.Detail)
+}
+
 // Result is the outcome of a fleet run.
 type Result struct {
 	Policy   string
 	Records  []metrics.Record
 	Replicas []ReplicaStats
+
+	// Elasticity accounting (zero-valued for static runs that never scale).
+	Events     []ScaleEvent
+	Migrations MigrationStats
+	// ReplicaSeconds integrates provisioned replica count over the run:
+	// every replica is charged from provisioning until retirement (or run
+	// end) — warm-up and drain time included, exactly what a cluster bill
+	// would charge. The cost denominator of cost-normalized goodput.
+	ReplicaSeconds float64
+	// End is the simulated makespan (time of the last event).
+	End time.Duration
+
+	// Trace is the emitted request sequence, index i corresponding to
+	// request ID i+1. Set by RunSessions (where arrivals are generated
+	// during the run); nil for trace-replay Run.
+	Trace []workload.TimedRequest
 }
 
 // TokenHitRatio returns cache-served prompt tokens over reusable prompt
@@ -110,192 +167,38 @@ func (r *Result) ComputeSavedTokens() int64 {
 	return hit
 }
 
-// replica is one engine plus its private environment, cache and the
-// gateway's load accounting. It implements ReplicaView.
-type replica struct {
-	index  int
-	engine serving.Engine
-	env    *serving.Env
-	cache  *PrefixCache
-
-	outTokens int // routed prompt+output tokens not yet completed
-	outReqs   int
-	stats     ReplicaStats
+// MeanReplicas returns the time-averaged provisioned replica count — the
+// cost of the run in replicas. For a static fleet this is simply N.
+func (r *Result) MeanReplicas() float64 {
+	if r.End <= 0 {
+		return float64(len(r.Replicas))
+	}
+	return r.ReplicaSeconds / r.End.Seconds()
 }
 
-// OutstandingTokens implements ReplicaView.
-func (rep *replica) OutstandingTokens() int { return rep.outTokens }
-
-// QueueDepth implements ReplicaView: engine-reported when available.
-func (rep *replica) QueueDepth() int {
-	if lr, ok := rep.engine.(serving.LoadReporter); ok {
-		return lr.Load().Outstanding()
+// GoodputPerReplica returns cost-normalized goodput: SLO-met requests per
+// second, per provisioned replica — the figure of merit elastic scaling
+// optimizes (high goodput at low replica-seconds).
+func (r *Result) GoodputPerReplica() float64 {
+	mean := r.MeanReplicas()
+	if mean == 0 {
+		return 0
 	}
-	return rep.outReqs
+	return metrics.Goodput(r.Records) / mean
 }
 
-// CachedTokens implements ReplicaView: the usable hit, side-effect free.
-func (rep *replica) CachedTokens(req RequestInfo) int {
-	if req.SessionKey != 0 {
-		if c := rep.cache.Peek(req.SessionKey); c > 0 {
-			return min(req.PrefixLen, c)
-		}
-	}
-	if req.SharedKey != 0 {
-		if c := rep.cache.Peek(req.SharedKey); c > 0 {
-			return min(req.SharedLen, c)
-		}
-	}
-	return 0
-}
-
-// lookup is CachedTokens with the access recorded (recency, frequency,
-// hit counters) — called once, on the replica the policy picked.
-func (rep *replica) lookup(req RequestInfo) int {
-	if req.SessionKey != 0 {
-		if c := rep.cache.Lookup(req.SessionKey); c > 0 {
-			return min(req.PrefixLen, c)
-		}
-	}
-	if req.SharedKey != 0 {
-		if c := rep.cache.Lookup(req.SharedKey); c > 0 {
-			return min(req.SharedLen, c)
-		}
-	}
-	return 0
-}
-
-// inflight tracks one routed, unfinished request.
-type inflight struct {
-	rep       *replica
-	entry     workload.Entry
-	fullInput int
-	effInput  int
-	hit       int
-}
-
-// Run replays a trace against a fleet of cfg.Replicas engine replicas
-// routed by cfg.Policy, all advancing on one discrete-event clock.
-// Completion records report each request's full prompt length (so
+// Run replays a trace against a static fleet of cfg.Replicas engine
+// replicas routed by cfg.Policy, all advancing on one discrete-event
+// clock. Completion records report each request's full prompt length (so
 // normalized input latency reflects what the client submitted), while the
 // engines simulate only the cache-missed suffix of each prompt — the
 // prefill discount of prefix reuse. Deterministic in the trace and policy.
 func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err error) {
-	if cfg.Replicas <= 0 {
-		return nil, fmt.Errorf("fleet: non-positive replica count %d", cfg.Replicas)
-	}
-	if spec.NewEngine == nil || spec.NewCluster == nil {
-		return nil, fmt.Errorf("fleet: Spec needs NewEngine and NewCluster")
-	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = NewLeastLoaded()
-	}
-	if cfg.SLOScale == 0 {
-		cfg.SLOScale = serving.DefaultRunConfig().SLOScale
-	}
-	if cfg.MaxEvents == 0 {
-		cfg.MaxEvents = 200_000_000
-	}
-
 	sim := simevent.New()
-	sim.MaxEvents = cfg.MaxEvents
-	res = &Result{Policy: policy.Name()}
-
-	pending := make(map[kvcache.RequestID]*inflight)
-	replicas := make([]*replica, cfg.Replicas)
-	views := make([]ReplicaView, cfg.Replicas)
-	totalGPUs := 0
-	for i := range replicas {
-		c, cerr := spec.NewCluster()
-		if cerr != nil {
-			return nil, fmt.Errorf("fleet: replica %d cluster: %w", i, cerr)
-		}
-		cacheCap := cfg.CacheTokens
-		if cacheCap == 0 {
-			for _, inst := range c.Instances {
-				cacheCap += inst.KVCapacity
-			}
-		}
-		rep := &replica{
-			index:  i,
-			engine: spec.NewEngine(),
-			cache:  NewPrefixCache(cacheCap, !cfg.NoAdmission),
-		}
-		rep.env = &serving.Env{
-			Sim:     sim,
-			Cluster: c,
-			CM:      costmodel.New(c.Model, c.HW),
-			Pool:    c.NewPool(),
-		}
-		rep.env.Complete = func(r *serving.Request) {
-			fl := pending[r.ID]
-			if fl == nil || fl.rep != rep {
-				panic(fmt.Sprintf("fleet: replica %d completed unknown request %d", rep.index, r.ID))
-			}
-			delete(pending, r.ID)
-			rep.outTokens -= fl.effInput + r.OutputLen
-			rep.outReqs--
-			// The finished conversation context is now reusable KV on
-			// this replica; so is the shared system prompt it embeds.
-			if fl.entry.SessionID != 0 {
-				rep.cache.Put(SessionKey(fl.entry.SessionID), fl.fullInput+r.OutputLen)
-			}
-			if fl.entry.PromptGroup != 0 {
-				rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
-			}
-			rec := r.Record()
-			rec.InputLen = fl.fullInput
-			res.Records = append(res.Records, rec)
-		}
-		if ierr := rep.engine.Init(rep.env); ierr != nil {
-			return nil, fmt.Errorf("fleet: replica %d init: %w", i, ierr)
-		}
-		if i == 0 {
-			for _, inst := range c.Instances {
-				totalGPUs += inst.TP
-			}
-		}
-		replicas[i] = rep
-		views[i] = rep
+	g, err := NewGateway(spec, cfg, sim)
+	if err != nil {
+		return nil, err
 	}
-	cm0 := replicas[0].env.CM
-
-	route := func(r *serving.Request, e workload.Entry) {
-		info := RequestInfo{
-			ID:         r.ID,
-			InputLen:   r.InputLen,
-			SessionKey: SessionKey(e.SessionID),
-			SharedKey:  GroupKey(e.PromptGroup),
-			PrefixLen:  e.PrefixLen,
-			SharedLen:  e.SharedLen,
-		}
-		idx := policy.Pick(info, views)
-		if idx < 0 || idx >= len(replicas) {
-			panic(fmt.Sprintf("fleet: policy %s picked replica %d of %d", policy.Name(), idx, len(replicas)))
-		}
-		rep := replicas[idx]
-		hit := rep.lookup(info)
-		full := r.InputLen
-		if hit >= full {
-			hit = full - 1 // at least one token must be prefilled
-		}
-		r.InputLen = full - hit
-
-		fl := &inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
-		pending[r.ID] = fl
-		rep.outTokens += fl.effInput + r.OutputLen
-		rep.outReqs++
-		rep.stats.Requests++
-		rep.stats.InputTokens += int64(full)
-		rep.stats.PrefixTokens += int64(e.PrefixLen)
-		if hit > 0 {
-			rep.stats.HitRequests++
-			rep.stats.HitTokens += int64(hit)
-		}
-		rep.engine.Arrive(r)
-	}
-
 	for i, tr := range trace {
 		r := &serving.Request{
 			ID:        kvcache.RequestID(i + 1),
@@ -303,11 +206,9 @@ func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err
 			OutputLen: tr.OutputLen,
 			Arrival:   simevent.Time(tr.Arrival),
 		}
-		if cfg.SLOScale > 0 {
-			r.SLOBudget = serving.SLOBudget(cm0, totalGPUs, tr.InputLen, tr.OutputLen, cfg.SLOScale)
-		}
+		r.SLOBudget = g.SLOBudget(tr.InputLen, tr.OutputLen)
 		entry := tr.Entry
-		sim.At(r.Arrival, func() { route(r, entry) })
+		sim.At(r.Arrival, func() { g.Submit(r, entry) })
 	}
 
 	defer func() {
@@ -322,15 +223,8 @@ func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err
 	}()
 	sim.Run()
 
-	if len(res.Records) != len(trace) {
-		return nil, fmt.Errorf("fleet: %d of %d requests completed (policy %s)", len(res.Records), len(trace), policy.Name())
+	if g.Completed() != len(trace) {
+		return nil, fmt.Errorf("fleet: %d of %d requests completed (policy %s)", g.Completed(), len(trace), g.PolicyName())
 	}
-	res.Replicas = make([]ReplicaStats, len(replicas))
-	for i, rep := range replicas {
-		rep.stats.CacheEntries = rep.cache.Len()
-		rep.stats.CacheEvicted = rep.cache.Evicted
-		rep.stats.CacheRejected = rep.cache.Rejected
-		res.Replicas[i] = rep.stats
-	}
-	return res, nil
+	return g.Finalize(), nil
 }

@@ -1,0 +1,668 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/kvcache"
+	"loongserve/internal/metrics"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// ReplicaState is a replica's lifecycle position. Replicas are born
+// warming (provisioned but not yet routable — model loading, cache
+// warm-up), serve traffic while active, stop accepting arrivals while
+// draining (in-flight requests finish, resident session KV migrates to
+// survivors), and are retired once empty. Retired replicas stop accruing
+// replica-seconds.
+type ReplicaState int
+
+// Replica lifecycle states, in order.
+const (
+	ReplicaWarming ReplicaState = iota
+	ReplicaActive
+	ReplicaDraining
+	ReplicaRetired
+)
+
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaWarming:
+		return "warming"
+	case ReplicaActive:
+		return "active"
+	case ReplicaDraining:
+		return "draining"
+	case ReplicaRetired:
+		return "retired"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ReplicaInfo is the control-plane view of one replica, consumed by
+// autoscaling controllers.
+type ReplicaInfo struct {
+	State             ReplicaState
+	OutstandingTokens int // gateway-accounted in-flight prompt+output tokens
+	OutstandingReqs   int
+	QueueDepth        int // engine-reported total in-flight when available
+	// QueuedReqs is the engine's admission queue: arrived requests not yet
+	// admitted into any batch (serving.LoadReporter's Queued). A useful
+	// overload signal for engines that admit serially — but beware that
+	// admission-eager engines (vLLM-style continuous batching) keep this
+	// near zero even under heavy load, which is why the default autoscale
+	// controller keys on QueueDepth instead. Engines without LoadReporter
+	// fall back to the gateway's outstanding count.
+	QueuedReqs int
+	CacheUsed  int // resident prefix-KV tokens
+}
+
+// replica is one engine plus its private environment, cache and the
+// gateway's load accounting. It implements ReplicaView.
+type replica struct {
+	index  int
+	engine serving.Engine
+	env    *serving.Env
+	cache  *PrefixCache
+
+	state         ReplicaState
+	provisionedAt simevent.Time
+	retiredAt     simevent.Time
+	migrationsOut int // KV transfers still in flight off this replica
+	migInTokens   int // KV tokens in flight toward this replica (drain targeting)
+
+	outTokens int // routed prompt+output tokens not yet completed
+	outReqs   int
+	stats     ReplicaStats
+}
+
+// OutstandingTokens implements ReplicaView.
+func (rep *replica) OutstandingTokens() int { return rep.outTokens }
+
+// QueueDepth implements ReplicaView: engine-reported when available.
+func (rep *replica) QueueDepth() int {
+	if lr, ok := rep.engine.(serving.LoadReporter); ok {
+		return lr.Load().Outstanding()
+	}
+	return rep.outReqs
+}
+
+// CachedTokens implements ReplicaView: the usable hit, side-effect free.
+func (rep *replica) CachedTokens(req RequestInfo) int {
+	if req.SessionKey != 0 {
+		if c := rep.cache.Peek(req.SessionKey); c > 0 {
+			return min(req.PrefixLen, c)
+		}
+	}
+	if req.SharedKey != 0 {
+		if c := rep.cache.Peek(req.SharedKey); c > 0 {
+			return min(req.SharedLen, c)
+		}
+	}
+	return 0
+}
+
+// SessionTokens implements ReplicaView: the session-private resident KV,
+// which is what a migration could move (shared prompts are excluded — they
+// are replicated, not owned).
+func (rep *replica) SessionTokens(req RequestInfo) int {
+	if req.SessionKey == 0 {
+		return 0
+	}
+	return min(req.PrefixLen, rep.cache.Peek(req.SessionKey))
+}
+
+// lookup is CachedTokens with the access recorded (recency, frequency,
+// hit counters) — called once, on the replica the policy picked.
+func (rep *replica) lookup(req RequestInfo) int {
+	if req.SessionKey != 0 {
+		if c := rep.cache.Lookup(req.SessionKey); c > 0 {
+			return min(req.PrefixLen, c)
+		}
+	}
+	if req.SharedKey != 0 {
+		if c := rep.cache.Lookup(req.SharedKey); c > 0 {
+			return min(req.SharedLen, c)
+		}
+	}
+	return 0
+}
+
+// inflight tracks one routed, unfinished request.
+type inflight struct {
+	rep       *replica
+	entry     workload.Entry
+	fullInput int
+	effInput  int
+	hit       int
+}
+
+// Gateway is an elastic multi-replica front end on one discrete-event
+// clock: it routes requests through a Policy over the currently active
+// replicas, provisions new replicas (AddReplica) with a warm-up delay, and
+// drains replicas (DrainReplica) by migrating their live sessions' KV to
+// survivors over the inter-node link. All state changes happen on
+// simulator events, so runs are deterministic.
+type Gateway struct {
+	sim    *simevent.Sim
+	spec   Spec
+	cfg    Config
+	policy Policy
+
+	replicas []*replica
+	pending  map[kvcache.RequestID]*inflight
+
+	// sessionHome tracks, per session cache key, the replica that currently
+	// owns (or is about to receive) the session's KV — the gateway's routing
+	// table for migration handoffs.
+	sessionHome map[PrefixKey]int
+
+	res         *Result
+	cm0         *costmodel.CostModel
+	refGPUs     int          // GPUs of one replica (SLO reference config)
+	refKVCap    int          // one replica's KV pool capacity, token slots
+	interLink   cluster.Link // replica-to-replica channel (inter-node IB)
+	prefillRate float64      // tokens/s a replica prefills at, for migrate-vs-recompute
+
+	completed int
+
+	// OnComplete, when set, is invoked after the gateway's own accounting
+	// for every finished request — the hook closed-loop session drivers use
+	// to schedule the next turn.
+	OnComplete func(e workload.Entry, rec metrics.Record)
+}
+
+// NewGateway builds a gateway with cfg.Replicas active replicas. The caller
+// owns the simulator: schedule arrivals via Submit and run it to completion,
+// then call Finalize.
+func NewGateway(spec Spec, cfg Config, sim *simevent.Sim) (*Gateway, error) {
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive replica count %d", cfg.Replicas)
+	}
+	if spec.NewEngine == nil || spec.NewCluster == nil {
+		return nil, fmt.Errorf("fleet: Spec needs NewEngine and NewCluster")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewLeastLoaded()
+	}
+	if cfg.SLOScale == 0 {
+		cfg.SLOScale = serving.DefaultRunConfig().SLOScale
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+	sim.MaxEvents = cfg.MaxEvents
+
+	g := &Gateway{
+		sim:         sim,
+		spec:        spec,
+		cfg:         cfg,
+		policy:      cfg.Policy,
+		pending:     make(map[kvcache.RequestID]*inflight),
+		sessionHome: make(map[PrefixKey]int),
+		res:         &Result{Policy: cfg.Policy.Name()},
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		rep, err := g.newReplica()
+		if err != nil {
+			return nil, err
+		}
+		rep.state = ReplicaActive
+	}
+	return g, nil
+}
+
+// newReplica constructs and registers the next replica (initially warming;
+// the caller or activation event flips it active).
+func (g *Gateway) newReplica() (*replica, error) {
+	i := len(g.replicas)
+	c, err := g.spec.NewCluster()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %d cluster: %w", i, err)
+	}
+	cacheCap := g.cfg.CacheTokens
+	if cacheCap == 0 {
+		for _, inst := range c.Instances {
+			cacheCap += inst.KVCapacity
+		}
+	}
+	rep := &replica{
+		index:         i,
+		engine:        g.spec.NewEngine(),
+		cache:         NewPrefixCache(cacheCap, !g.cfg.NoAdmission),
+		state:         ReplicaWarming,
+		provisionedAt: g.sim.Now(),
+	}
+	rep.env = &serving.Env{
+		Sim:     g.sim,
+		Cluster: c,
+		CM:      costmodel.New(c.Model, c.HW),
+		Pool:    c.NewPool(),
+	}
+	rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
+	if err := rep.engine.Init(rep.env); err != nil {
+		return nil, fmt.Errorf("fleet: replica %d init: %w", i, err)
+	}
+	if i == 0 {
+		g.cm0 = rep.env.CM
+		for _, inst := range c.Instances {
+			g.refGPUs += inst.TP
+			g.refKVCap += inst.KVCapacity
+		}
+		g.interLink = cluster.Link{Bandwidth: c.HW.IBBandwidth, Latency: c.HW.IBLatency}
+		// Calibrate the migrate-vs-recompute exchange rate: how fast one
+		// replica turns prefill tokens into KV on its reference config.
+		const refLen = 8192
+		nvlink := cluster.Link{Bandwidth: c.HW.NVLinkBandwidth, Latency: c.HW.NVLinkLatency}
+		g.prefillRate = refLen / g.cm0.PrefillIterTime([]int{refLen}, 1, g.refGPUs, nvlink).Seconds()
+	}
+	g.replicas = append(g.replicas, rep)
+	return rep, nil
+}
+
+// PolicyName returns the routing policy's name.
+func (g *Gateway) PolicyName() string { return g.policy.Name() }
+
+// Completed returns the number of finished requests.
+func (g *Gateway) Completed() int { return g.completed }
+
+// ReplicaKVCapacity returns one replica's KV pool capacity in token slots —
+// the natural unit for queue-pressure thresholds.
+func (g *Gateway) ReplicaKVCapacity() int { return g.refKVCap }
+
+// SLOBudget returns the latency budget the gateway assigns a request, on
+// the single-replica reference configuration (0 when SLOs are disabled).
+func (g *Gateway) SLOBudget(in, out int) time.Duration {
+	if g.cfg.SLOScale <= 0 {
+		return 0
+	}
+	return serving.SLOBudget(g.cm0, g.refGPUs, in, out, g.cfg.SLOScale)
+}
+
+// MigrationTokenCost implements Migrator: the prefill-token-equivalent
+// cost of moving n KV tokens between replicas — transfer time over the
+// inter-node link, expressed in tokens the replica could have prefilled in
+// that time. A MigrationAware policy migrates when the load gap exceeds
+// this cost.
+func (g *Gateway) MigrationTokenCost(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return g.migrationDelay(n).Seconds() * g.prefillRate
+}
+
+// migrationDelay returns the link time to move n KV tokens between two
+// replicas (distinct nodes, so the InfiniBand channel).
+func (g *Gateway) migrationDelay(n int) time.Duration {
+	return g.cm0.ReactiveMigrationTime(n, g.interLink)
+}
+
+// ReplicaInfos returns the control-plane snapshot of every replica ever
+// provisioned (retired ones included, so indices are stable).
+func (g *Gateway) ReplicaInfos() []ReplicaInfo {
+	out := make([]ReplicaInfo, len(g.replicas))
+	for i, rep := range g.replicas {
+		queued := rep.outReqs
+		if lr, ok := rep.engine.(serving.LoadReporter); ok {
+			queued = lr.Load().Queued
+		}
+		out[i] = ReplicaInfo{
+			State:             rep.state,
+			OutstandingTokens: rep.outTokens,
+			OutstandingReqs:   rep.outReqs,
+			QueueDepth:        rep.QueueDepth(),
+			QueuedReqs:        queued,
+			CacheUsed:         rep.cache.Used(),
+		}
+	}
+	return out
+}
+
+// ActiveReplicas returns the count of replicas currently taking traffic.
+func (g *Gateway) ActiveReplicas() int {
+	n := 0
+	for _, rep := range g.replicas {
+		if rep.state == ReplicaActive {
+			n++
+		}
+	}
+	return n
+}
+
+// ProvisionedReplicas returns the count of replicas currently accruing
+// cost: warming, active or draining.
+func (g *Gateway) ProvisionedReplicas() int {
+	n := 0
+	for _, rep := range g.replicas {
+		if rep.state != ReplicaRetired {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gateway) event(kind, cause string, rep int, format string, args ...any) {
+	g.res.Events = append(g.res.Events, ScaleEvent{
+		At:      time.Duration(g.sim.Now()),
+		Kind:    kind,
+		Replica: rep,
+		Cause:   cause,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AddReplica provisions a new replica. It joins the routable set after the
+// warm-up delay (model load, cache init); it accrues replica-seconds from
+// now. Returns the new replica's index.
+func (g *Gateway) AddReplica(warmup time.Duration) (int, error) {
+	rep, err := g.newReplica()
+	if err != nil {
+		return 0, err
+	}
+	g.event("provision", "", rep.index, "warm-up %v", warmup)
+	if warmup <= 0 {
+		g.activate(rep)
+	} else {
+		g.sim.After(warmup, func() { g.activate(rep) })
+	}
+	return rep.index, nil
+}
+
+// activate flips a warming replica into the routable set.
+func (g *Gateway) activate(rep *replica) {
+	if rep.state != ReplicaWarming {
+		return
+	}
+	rep.state = ReplicaActive
+	g.event("active", "", rep.index, "serving")
+}
+
+// activeSet returns the currently routable replicas, index-ordered.
+func (g *Gateway) activeSet() []*replica {
+	out := make([]*replica, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		if rep.state == ReplicaActive {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// migrationTarget picks the surviving replica to receive migrated KV: the
+// active replica with the least outstanding work, in-flight migrations
+// included (so a long drain spreads its sessions instead of dogpiling the
+// first target). Ties go to the lowest index. Nil when nothing is active.
+func (g *Gateway) migrationTarget(exclude *replica) *replica {
+	var best *replica
+	for _, rep := range g.replicas {
+		if rep.state != ReplicaActive || rep == exclude {
+			continue
+		}
+		if best == nil || rep.outTokens+rep.migInTokens < best.outTokens+best.migInTokens {
+			best = rep
+		}
+	}
+	return best
+}
+
+// transferSession moves `tokens` KV tokens of session key from src toward
+// dst, arriving after `delay`: the session is re-homed immediately (so
+// subsequent routing and completions aim at dst), the destination cache is
+// installed when the transfer lands. The install is skipped if the session
+// re-homed again meanwhile or a fresher (larger) entry already landed.
+func (g *Gateway) transferSession(key PrefixKey, tokens int, src, dst *replica, delay time.Duration, kind string) {
+	g.sessionHome[key] = dst.index
+	src.migrationsOut++
+	dst.migInTokens += tokens
+	g.res.Migrations.Count++
+	g.res.Migrations.Tokens += int64(tokens)
+	g.res.Migrations.Time += g.migrationDelay(tokens)
+	g.event("migrate", kind, src.index, "%s: %d KV tokens -> replica %d (link %v)", kind, tokens, dst.index, g.migrationDelay(tokens).Round(time.Microsecond))
+	g.sim.After(delay, func() {
+		// Install only when the destination still wants it: the session may
+		// have re-homed meanwhile, a fresher completion may already have
+		// grown the entry, or the destination may itself have begun
+		// draining (its cache dies with it — dropping the copy just costs
+		// a recompute later, it loses no session).
+		if g.sessionHome[key] == dst.index && dst.state == ReplicaActive && dst.cache.Peek(key) < tokens {
+			dst.cache.Install(key, tokens)
+		}
+		src.migrationsOut--
+		dst.migInTokens -= tokens
+		g.maybeRetire(src)
+		g.maybeRetire(dst)
+	})
+}
+
+// DrainReplica begins removing a replica from the fleet: it immediately
+// leaves the routable set, every resident session it owns migrates its KV
+// to a surviving replica over the inter-node link (transfers serialize on
+// the drain link — the paper's reactive-migration cost, paid once at
+// scale-in instead of per-request), shared-prompt entries are dropped
+// (they are recomputable and usually replicated), and in-flight requests
+// run to completion with their freshly produced session KV handed off the
+// same way. The replica retires — and stops accruing replica-seconds —
+// once it is empty.
+func (g *Gateway) DrainReplica(idx int) error {
+	if idx < 0 || idx >= len(g.replicas) {
+		return fmt.Errorf("fleet: drain of unknown replica %d", idx)
+	}
+	rep := g.replicas[idx]
+	if rep.state != ReplicaActive {
+		return fmt.Errorf("fleet: replica %d is %v, not active", idx, rep.state)
+	}
+	if g.ActiveReplicas() <= 1 {
+		return fmt.Errorf("fleet: cannot drain the last active replica")
+	}
+	rep.state = ReplicaDraining
+	g.event("drain", "", idx, "%d in-flight requests, %d cached tokens", rep.outReqs, rep.cache.Used())
+
+	var delay time.Duration
+	for _, ent := range rep.cache.Snapshot() {
+		home, owned := g.sessionHome[ent.Key]
+		rep.cache.Remove(ent.Key)
+		if !owned || home != idx {
+			// Shared prompt-group entries and stale session copies: dropped,
+			// not moved — the authoritative KV lives elsewhere or is cheap to
+			// recompute from the prompt text.
+			continue
+		}
+		dst := g.migrationTarget(rep)
+		if dst == nil {
+			continue // unreachable: >= 1 active replica guaranteed above
+		}
+		delay += g.migrationDelay(ent.Tokens)
+		g.transferSession(ent.Key, ent.Tokens, rep, dst, delay, "drain")
+	}
+	g.maybeRetire(rep)
+	return nil
+}
+
+// maybeRetire finishes a drain once the replica is empty: no in-flight
+// requests, no outbound KV transfers, and no KV (with its deferred
+// request) still in flight toward it — retiring under an inbound transfer
+// would let a "dead" replica serve work off the books.
+func (g *Gateway) maybeRetire(rep *replica) {
+	if rep.state != ReplicaDraining || rep.outReqs != 0 || rep.migrationsOut != 0 || rep.migInTokens != 0 {
+		return
+	}
+	rep.state = ReplicaRetired
+	rep.retiredAt = g.sim.Now()
+	g.event("retire", "", rep.index, "drained")
+}
+
+// Submit routes one request. The request's Arrival must equal the current
+// simulated time (drivers schedule Submit on arrival events). At least one
+// replica is always active: the gateway is born with active replicas and
+// DrainReplica refuses to drain the last one.
+func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
+	if g.pending[r.ID] != nil {
+		panic(fmt.Sprintf("fleet: duplicate request ID %d", r.ID))
+	}
+	active := g.activeSet()
+	if len(active) == 0 {
+		panic("fleet: no active replica (gateway invariant violated)")
+	}
+	info := RequestInfo{
+		ID:         r.ID,
+		InputLen:   r.InputLen,
+		SessionKey: SessionKey(e.SessionID),
+		SharedKey:  GroupKey(e.PromptGroup),
+		PrefixLen:  e.PrefixLen,
+		SharedLen:  e.SharedLen,
+	}
+	views := make([]ReplicaView, len(active))
+	for i, rep := range active {
+		views[i] = rep
+	}
+
+	idx, from := 0, -1
+	if ma, ok := g.policy.(MigrationAware); ok {
+		d := ma.PickMigrate(info, views, g)
+		idx, from = d.Dest, d.From
+	} else {
+		idx = g.policy.Pick(info, views)
+	}
+	if idx < 0 || idx >= len(active) {
+		panic(fmt.Sprintf("fleet: policy %s picked replica %d of %d", g.policy.Name(), idx, len(active)))
+	}
+	rep := active[idx]
+
+	if from >= 0 && from < len(active) && from != idx && info.SessionKey != 0 {
+		// The policy chose migrate-over-recompute: move the session's KV to
+		// the destination, then deliver the request there — it prefills only
+		// the unseen suffix, having paid link time instead of recompute.
+		src := active[from]
+		if tokens := src.cache.Peek(info.SessionKey); tokens > 0 {
+			src.cache.Remove(info.SessionKey)
+			delay := g.migrationDelay(tokens)
+			g.transferSession(info.SessionKey, tokens, src, rep, delay, "route")
+			g.sim.After(delay, func() {
+				if rep.state != ReplicaActive {
+					// The destination began draining mid-transfer: take a
+					// fresh routing decision instead of delivering to a
+					// replica that no longer accepts arrivals.
+					g.Submit(r, e)
+					return
+				}
+				g.deliver(rep, r, e, info)
+			})
+			return
+		}
+	}
+	g.deliver(rep, r, e, info)
+}
+
+// deliver hands a routed request to its replica's engine, applying the
+// prefix-cache prefill discount and recording gateway accounting.
+func (g *Gateway) deliver(rep *replica, r *serving.Request, e workload.Entry, info RequestInfo) {
+	hit := rep.lookup(info)
+	full := r.InputLen
+	if hit >= full {
+		hit = full - 1 // at least one token must be prefilled
+	}
+	r.InputLen = full - hit
+
+	fl := &inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
+	g.pending[r.ID] = fl
+	rep.outTokens += fl.effInput + r.OutputLen
+	rep.outReqs++
+	rep.stats.Requests++
+	rep.stats.InputTokens += int64(full)
+	rep.stats.PrefixTokens += int64(e.PrefixLen)
+	if hit > 0 {
+		rep.stats.HitRequests++
+		rep.stats.HitTokens += int64(hit)
+	}
+	rep.engine.Arrive(r)
+}
+
+// complete is every replica's completion sink: it settles gateway
+// accounting, refreshes the prefix cache (or hands the session KV to a
+// survivor when the serving replica is draining), and emits the record.
+func (g *Gateway) complete(rep *replica, r *serving.Request) {
+	fl := g.pending[r.ID]
+	if fl == nil || fl.rep != rep {
+		panic(fmt.Sprintf("fleet: replica %d completed unknown request %d", rep.index, r.ID))
+	}
+	delete(g.pending, r.ID)
+	rep.outTokens -= fl.effInput + r.OutputLen
+	rep.outReqs--
+
+	if fl.entry.SessionID != 0 {
+		key := SessionKey(fl.entry.SessionID)
+		tokens := fl.fullInput + r.OutputLen
+		if rep.state == ReplicaActive {
+			// The finished conversation context is now reusable KV here.
+			rep.cache.Put(key, tokens)
+			if rep.cache.Peek(key) > 0 {
+				g.sessionHome[key] = rep.index
+			}
+		} else if dst := g.completionTarget(key, rep); dst != nil {
+			// Draining: the freshly produced KV rides the drain link to the
+			// session's new home so the next turn finds it warm.
+			g.transferSession(key, tokens, rep, dst, g.migrationDelay(tokens), "handoff")
+		}
+	}
+	if fl.entry.PromptGroup != 0 && rep.state == ReplicaActive {
+		rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
+	}
+
+	rec := r.Record()
+	rec.InputLen = fl.fullInput
+	g.res.Records = append(g.res.Records, rec)
+	g.completed++
+	g.maybeRetire(rep)
+	if g.OnComplete != nil {
+		g.OnComplete(fl.entry, rec)
+	}
+}
+
+// completionTarget picks where a draining replica's finished session KV
+// should land: the session's migrated home when it is still active,
+// otherwise the least-loaded survivor.
+func (g *Gateway) completionTarget(key PrefixKey, from *replica) *replica {
+	if h, ok := g.sessionHome[key]; ok && h != from.index && g.replicas[h].state == ReplicaActive {
+		return g.replicas[h]
+	}
+	return g.migrationTarget(from)
+}
+
+// SessionLocations returns every replica index holding a resident copy of
+// the session's KV entry, with resident token counts — the introspection
+// surface drain verification and tests use.
+func (g *Gateway) SessionLocations(sessionID int64) map[int]int {
+	out := make(map[int]int)
+	key := SessionKey(sessionID)
+	for i, rep := range g.replicas {
+		if c := rep.cache.Peek(key); c > 0 {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// Finalize assembles the run's Result: per-replica stats, replica-seconds
+// and the makespan. Call after the simulator has run to completion.
+func (g *Gateway) Finalize() *Result {
+	end := g.sim.Now()
+	g.res.End = time.Duration(end)
+	g.res.Replicas = make([]ReplicaStats, len(g.replicas))
+	g.res.ReplicaSeconds = 0
+	for i, rep := range g.replicas {
+		rep.stats.CacheEntries = rep.cache.Len()
+		rep.stats.CacheEvicted = rep.cache.Evicted
+		rep.stats.CacheRejected = rep.cache.Rejected
+		g.res.Replicas[i] = rep.stats
+		stop := end
+		if rep.state == ReplicaRetired {
+			stop = rep.retiredAt
+		}
+		g.res.ReplicaSeconds += (time.Duration(stop) - time.Duration(rep.provisionedAt)).Seconds()
+	}
+	return g.res
+}

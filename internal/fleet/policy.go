@@ -32,6 +32,10 @@ type ReplicaView interface {
 	// CachedTokens is the prefix-cache hit the replica would serve for
 	// req right now (0 = cold).
 	CachedTokens(req RequestInfo) int
+	// SessionTokens is the resident KV belonging to req's own session on
+	// this replica — the portion a migration could physically move. Shared
+	// system-prompt entries are excluded: they are replicated, not owned.
+	SessionTokens(req RequestInfo) int
 }
 
 // Policy picks a replica for each arriving request. Implementations must
@@ -165,6 +169,107 @@ func (p *PrefixAffinity) Pick(req RequestInfo, replicas []ReplicaView) int {
 	return best
 }
 
+// Migrator is the gateway-side cost oracle handed to MigrationAware
+// policies: it converts a KV transfer into the prefill-token units policy
+// scores are denominated in.
+type Migrator interface {
+	// MigrationTokenCost returns the prefill-token-equivalent cost of
+	// moving n KV tokens between two replicas over the fleet interconnect.
+	MigrationTokenCost(n int) float64
+}
+
+// Decision is a MigrationAware policy's verdict for one request: the
+// destination replica, and optionally a source replica whose copy of the
+// request's session KV should be migrated to the destination first
+// (From == -1 routes without migration).
+type Decision struct {
+	Dest int
+	From int
+}
+
+// MigrationAware policies may resolve the affinity-vs-load conflict with a
+// third option beyond "stay on the warm replica" and "recompute cold":
+// physically move the session's KV to a less-loaded replica when the link
+// transfer is cheaper than the recompute it avoids. The gateway executes
+// the migration before delivering the request.
+type MigrationAware interface {
+	Policy
+	PickMigrate(req RequestInfo, replicas []ReplicaView, m Migrator) Decision
+}
+
+// MigratingAffinity is PrefixAffinity extended with the migrate-vs-
+// recompute decision: it scores every replica as PrefixAffinity does, and
+// additionally scores migrating the session's KV from its warmest holder
+// to each other replica — the transfer priced by the gateway's cost model
+// (Migrator) in prefill-token equivalents. Migration wins exactly when the
+// load gap between the warm home and an idle replica exceeds the link
+// cost, which is LoongServe's multi-replica analogue of choosing KV
+// movement over recomputation.
+type MigratingAffinity struct {
+	PrefixAffinity
+}
+
+// NewMigratingAffinity returns the policy with LoadWeight 1.
+func NewMigratingAffinity() *MigratingAffinity {
+	return &MigratingAffinity{PrefixAffinity{LoadWeight: 1}}
+}
+
+// Name implements Policy.
+func (p *MigratingAffinity) Name() string { return "MigratingAffinity" }
+
+// PickMigrate implements MigrationAware.
+func (p *MigratingAffinity) PickMigrate(req RequestInfo, replicas []ReplicaView, m Migrator) Decision {
+	n := len(replicas)
+	home := p.homeIndex(req, n)
+	best, bestScore := -1, 0.0
+	for i, r := range replicas {
+		miss := req.InputLen - r.CachedTokens(req)
+		if miss < 0 {
+			miss = 0
+		}
+		score := float64(miss) + p.LoadWeight*float64(r.OutstandingTokens())
+		if best == -1 || score < bestScore || (score == bestScore && i == home) {
+			best, bestScore = i, score
+		}
+	}
+	if req.SessionKey == 0 || n < 2 {
+		return Decision{Dest: best, From: -1}
+	}
+	// The migration source is the replica holding the most of this
+	// session's KV; nothing to move if the session is cold everywhere.
+	src, cached := -1, 0
+	for i, r := range replicas {
+		if c := r.SessionTokens(req); c > cached {
+			src, cached = i, c
+		}
+	}
+	if src < 0 || src == best {
+		return Decision{Dest: best, From: -1}
+	}
+	migCost := m.MigrationTokenCost(cached)
+	miss := req.InputLen - cached
+	if miss < 0 {
+		miss = 0
+	}
+	migBest, migBestScore := -1, 0.0
+	for i, r := range replicas {
+		if i == src {
+			continue
+		}
+		s := float64(miss) + migCost + p.LoadWeight*float64(r.OutstandingTokens())
+		if migBest == -1 || s < migBestScore {
+			migBest, migBestScore = i, s
+		}
+	}
+	// Hysteresis: a move must beat staying by more than its own transfer
+	// cost, or marginal load differences make sessions ping-pong between
+	// replicas (each bounce paying the link for nothing).
+	if migBest >= 0 && migBestScore+migCost < bestScore {
+		return Decision{Dest: migBest, From: src}
+	}
+	return Decision{Dest: best, From: -1}
+}
+
 // ByName returns a fresh policy instance for a CLI-facing name.
 func ByName(name string, seed int64) (Policy, error) {
 	switch name {
@@ -176,8 +281,10 @@ func ByName(name string, seed int64) (Policy, error) {
 		return NewPowerOfTwoChoices(seed), nil
 	case "affinity", "prefix":
 		return NewPrefixAffinity(), nil
+	case "migrate", "migrating":
+		return NewMigratingAffinity(), nil
 	}
-	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c or affinity)", name)
+	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c, affinity or migrate)", name)
 }
 
 // AllPolicies returns one fresh instance of every policy, in presentation
@@ -188,5 +295,6 @@ func AllPolicies(seed int64) []Policy {
 		NewLeastLoaded(),
 		NewPowerOfTwoChoices(seed),
 		NewPrefixAffinity(),
+		NewMigratingAffinity(),
 	}
 }

@@ -4,14 +4,16 @@ import "testing"
 
 // fakeReplica is a scriptable ReplicaView for policy unit tests.
 type fakeReplica struct {
-	tokens int
-	depth  int
-	cached int
+	tokens  int
+	depth   int
+	cached  int
+	session int // session-owned portion of cached (0 = none movable)
 }
 
-func (f *fakeReplica) OutstandingTokens() int       { return f.tokens }
-func (f *fakeReplica) QueueDepth() int              { return f.depth }
-func (f *fakeReplica) CachedTokens(RequestInfo) int { return f.cached }
+func (f *fakeReplica) OutstandingTokens() int        { return f.tokens }
+func (f *fakeReplica) QueueDepth() int               { return f.depth }
+func (f *fakeReplica) CachedTokens(RequestInfo) int  { return f.cached }
+func (f *fakeReplica) SessionTokens(RequestInfo) int { return f.session }
 
 func views(fs ...*fakeReplica) []ReplicaView {
 	out := make([]ReplicaView, len(fs))
@@ -114,7 +116,7 @@ func TestPrefixAffinityHomeIsStable(t *testing.T) {
 }
 
 func TestByNameAndAllPolicies(t *testing.T) {
-	for _, name := range []string{"roundrobin", "rr", "leastloaded", "ll", "p2c", "poweroftwo", "affinity", "prefix"} {
+	for _, name := range []string{"roundrobin", "rr", "leastloaded", "ll", "p2c", "poweroftwo", "affinity", "prefix", "migrate", "migrating"} {
 		p, err := ByName(name, 1)
 		if err != nil || p == nil {
 			t.Fatalf("ByName(%q): %v", name, err)
@@ -124,14 +126,58 @@ func TestByNameAndAllPolicies(t *testing.T) {
 		t.Fatal("unknown policy accepted")
 	}
 	all := AllPolicies(1)
-	if len(all) != 4 {
+	if len(all) != 5 {
 		t.Fatalf("AllPolicies returned %d policies", len(all))
 	}
 	names := map[string]bool{}
 	for _, p := range all {
 		names[p.Name()] = true
 	}
-	if len(names) != 4 {
+	if len(names) != len(all) {
 		t.Fatalf("policy names not distinct: %v", names)
+	}
+}
+
+// fixedMigrator prices every transfer at a constant token cost.
+type fixedMigrator struct{ cost float64 }
+
+func (m fixedMigrator) MigrationTokenCost(int) float64 { return m.cost }
+
+func TestMigratingAffinityDecisions(t *testing.T) {
+	p := NewMigratingAffinity()
+	req := RequestInfo{InputLen: 4000, SessionKey: SessionKey(5), PrefixLen: 3500}
+
+	// Warm home lightly loaded: stay, no migration.
+	vs := views(&fakeReplica{tokens: 100, cached: 3500, session: 3500}, &fakeReplica{tokens: 0})
+	d := p.PickMigrate(req, vs, fixedMigrator{cost: 500})
+	if d.Dest != 0 || d.From != -1 {
+		t.Fatalf("lightly loaded home: got %+v, want stay on 0", d)
+	}
+
+	// Warm home badly overloaded, cheap link: migrate the KV to the idle
+	// replica instead of recomputing 3500 tokens there.
+	vs = views(&fakeReplica{tokens: 50_000, cached: 3500, session: 3500}, &fakeReplica{tokens: 0})
+	d = p.PickMigrate(req, vs, fixedMigrator{cost: 500})
+	if d.Dest != 1 || d.From != 0 {
+		t.Fatalf("overloaded home, cheap link: got %+v, want migrate 0->1", d)
+	}
+
+	// Same overload but the link costs more than the recompute it saves:
+	// spill cold, no migration.
+	d = p.PickMigrate(req, vs, fixedMigrator{cost: 10_000})
+	if d.Dest != 1 || d.From != -1 {
+		t.Fatalf("expensive link: got %+v, want cold spill to 1", d)
+	}
+
+	// Stateless requests never migrate.
+	d = p.PickMigrate(RequestInfo{InputLen: 1000}, vs, fixedMigrator{})
+	if d.From != -1 {
+		t.Fatalf("stateless request migrated: %+v", d)
+	}
+
+	// Single replica short-circuits.
+	d = p.PickMigrate(req, views(&fakeReplica{cached: 3500, session: 3500}), fixedMigrator{})
+	if d.Dest != 0 || d.From != -1 {
+		t.Fatalf("single replica: %+v", d)
 	}
 }

@@ -191,6 +191,64 @@ func (c *PrefixCache) Lookup(key PrefixKey) int {
 	return e.tokens
 }
 
+// PrefixEntry is one resident entry, as reported by Snapshot.
+type PrefixEntry struct {
+	Key    PrefixKey
+	Tokens int
+}
+
+// Snapshot returns the resident entries in recency order (most recent
+// first) — the enumeration a drain uses to evacuate a replica's KV.
+func (c *PrefixCache) Snapshot() []PrefixEntry {
+	out := make([]PrefixEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, PrefixEntry{Key: e.key, Tokens: e.tokens})
+	}
+	return out
+}
+
+// Remove deletes key, returning its resident token count (0 when absent).
+// It models KV leaving the replica — a migration departure — so the
+// Evicted counter is untouched.
+func (c *PrefixCache) Remove(key PrefixKey) int {
+	el, ok := c.entries[key]
+	if !ok {
+		return 0
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, key)
+	c.used -= e.tokens
+	return e.tokens
+}
+
+// Install inserts or grows key, bypassing the admission filter: the KV
+// physically arrived over the interconnect (a migration landing), so
+// residency is a fact, not a caching bet. Capacity is still enforced by
+// evicting the LRU tail; entries larger than the whole cache are ignored,
+// and Install never shrinks an entry a fresher completion already grew.
+func (c *PrefixCache) Install(key PrefixKey, tokens int) {
+	if key == 0 || tokens <= 0 || tokens > c.capacity {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.lru.MoveToFront(el)
+		if e.tokens >= tokens {
+			return
+		}
+		c.used += tokens - e.tokens
+		e.tokens = tokens
+		c.evictOver(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
+	c.entries[key] = el
+	c.used += tokens
+	c.evictOver(el)
+}
+
 // Put inserts or updates key at the given token size. Updates always
 // succeed (the prefix is already resident and just grew — its KV was
 // produced by the request that extends it); insertions of new keys pass

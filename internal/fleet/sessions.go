@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"loongserve/internal/kvcache"
+	"loongserve/internal/metrics"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// SessionFeed drives a session-script workload through a gateway, emitting
+// each conversation's turns as simulator events. In open-loop mode turn
+// t+1 fires Think seconds after turn t's arrival (the static-trace
+// semantics); in closed-loop mode it fires Think seconds after turn t
+// *completes*, so an overloaded fleet sees its own backpressure — the next
+// turn cannot arrive while the previous one is still queued, which is what
+// makes saturation measurements honest.
+type SessionFeed struct {
+	g       *Gateway
+	scripts []workload.SessionScript
+	byID    map[int64]*workload.SessionScript
+	closed  bool
+
+	total     int
+	emitted   int
+	completed int
+
+	// Trace records every emitted request in submission order; index i
+	// corresponds to request ID i+1, so records can be joined back to
+	// (session, turn) identities.
+	Trace []workload.TimedRequest
+}
+
+// FeedSessions schedules a session workload onto a gateway and takes over
+// its OnComplete hook. Call before running the simulator.
+func FeedSessions(g *Gateway, scripts []workload.SessionScript, closed bool) *SessionFeed {
+	f := &SessionFeed{
+		g:       g,
+		scripts: scripts,
+		byID:    make(map[int64]*workload.SessionScript, len(scripts)),
+		closed:  closed,
+		total:   workload.NumRequests(scripts),
+	}
+	for i := range scripts {
+		s := &scripts[i]
+		f.byID[s.ID] = s
+		if len(s.Turns) == 0 {
+			continue
+		}
+		start := simevent.Time(simevent.FromSeconds(s.Start))
+		g.sim.At(start, func() { f.emit(s, 0) })
+	}
+	g.OnComplete = f.onComplete
+	return f
+}
+
+// Total returns the number of requests the feed will emit.
+func (f *SessionFeed) Total() int { return f.total }
+
+// Completed returns the number of finished requests.
+func (f *SessionFeed) Completed() int { return f.completed }
+
+// emit submits turn t of script s at the current simulated time and, in
+// open-loop mode, chains the next turn's arrival off this one.
+func (f *SessionFeed) emit(s *workload.SessionScript, t int) {
+	e := s.Entry(t)
+	f.emitted++
+	id := kvcache.RequestID(f.emitted)
+	now := f.g.sim.Now()
+	f.Trace = append(f.Trace, workload.TimedRequest{Entry: e, Arrival: time.Duration(now)})
+	r := &serving.Request{
+		ID:        id,
+		InputLen:  e.InputLen,
+		OutputLen: e.OutputLen,
+		Arrival:   now,
+		SLOBudget: f.g.SLOBudget(e.InputLen, e.OutputLen),
+	}
+	f.g.Submit(r, e)
+	if !f.closed && t+1 < len(s.Turns) {
+		f.g.sim.After(simevent.FromSeconds(s.Turns[t].Think), func() { f.emit(s, t+1) })
+	}
+}
+
+// onComplete is the gateway completion hook: in closed-loop mode the
+// session's next turn triggers its think time from here.
+func (f *SessionFeed) onComplete(e workload.Entry, _ metrics.Record) {
+	f.completed++
+	if !f.closed || e.SessionID == 0 {
+		return
+	}
+	s, ok := f.byID[e.SessionID]
+	if !ok {
+		return
+	}
+	if t := e.Turn; t+1 < len(s.Turns) {
+		f.g.sim.After(simevent.FromSeconds(s.Turns[t].Think), func() { f.emit(s, t+1) })
+	}
+}
+
+// RunSessions replays a session-script workload against a static fleet,
+// open- or closed-loop per cfg.ClosedLoop on the workload config that
+// produced the scripts (passed explicitly here as `closed`). The returned
+// Result carries the emitted Trace so callers can join records back to
+// session turns.
+func RunSessions(spec Spec, scripts []workload.SessionScript, cfg Config, closed bool) (res *Result, err error) {
+	sim := simevent.New()
+	g, err := NewGateway(spec, cfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	feed := FeedSessions(g, scripts, closed)
+
+	defer func() {
+		if p := recover(); p != nil {
+			if oom, ok := p.(*serving.ErrOOM); ok {
+				err = oom
+				res = nil
+				return
+			}
+			panic(p)
+		}
+	}()
+	sim.Run()
+
+	if feed.Completed() != feed.Total() {
+		return nil, fmt.Errorf("fleet: %d of %d session requests completed (policy %s)",
+			feed.Completed(), feed.Total(), g.PolicyName())
+	}
+	res = g.Finalize()
+	res.Trace = feed.Trace
+	return res, nil
+}

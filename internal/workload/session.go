@@ -1,11 +1,6 @@
 package workload
 
-import (
-	"fmt"
-	"math/rand"
-	"sort"
-	"time"
-)
+import "fmt"
 
 // SessionConfig parameterizes a multi-turn chat trace: a population of
 // conversations, each opening with a system prompt drawn from a small
@@ -24,6 +19,22 @@ type SessionConfig struct {
 	ReplyTokens  int     // median model-reply length (tokens)
 	SessionRate  float64 // new-session Poisson arrival rate (sessions/s)
 	ThinkMean    float64 // mean think time between turns (seconds, exponential)
+
+	// ClosedLoop switches the workload's feedback semantics: turn t+1
+	// triggers its think time after turn t *completes* rather than after it
+	// arrives. A closed-loop trace cannot be pre-materialized — arrivals
+	// depend on serving latency — so consumers use SessionScripts with a
+	// session-driving runner (fleet.RunSessions, autoscale.Run) instead of
+	// SessionTrace. Open-loop (the default, false) preserves the historical
+	// behavior exactly.
+	ClosedLoop bool
+	// BurstFactor > 1 makes session arrivals bursty: each BurstPeriod
+	// seconds open at SessionRate*BurstFactor for BurstDuty of the period,
+	// then fall to SessionRate/BurstFactor for the rest. 0 (or 1) keeps
+	// the homogeneous Poisson process.
+	BurstFactor float64
+	BurstPeriod float64 // seconds per burst cycle; required when BurstFactor > 1
+	BurstDuty   float64 // high-rate fraction of each cycle, (0,1); 0 = 0.5
 }
 
 // DefaultSessionConfig returns a chat-scale configuration: ShareGPT-length
@@ -58,6 +69,12 @@ func (cfg SessionConfig) Validate() error {
 		return fmt.Errorf("workload: SessionConfig.SessionRate must be > 0, got %v", cfg.SessionRate)
 	case cfg.ThinkMean < 0:
 		return fmt.Errorf("workload: SessionConfig.ThinkMean must be >= 0, got %v", cfg.ThinkMean)
+	case cfg.BurstFactor < 0:
+		return fmt.Errorf("workload: SessionConfig.BurstFactor must be >= 0, got %v", cfg.BurstFactor)
+	case cfg.BurstFactor > 1 && cfg.BurstPeriod <= 0:
+		return fmt.Errorf("workload: BurstFactor %v needs BurstPeriod > 0, got %v", cfg.BurstFactor, cfg.BurstPeriod)
+	case cfg.BurstDuty < 0 || cfg.BurstDuty >= 1:
+		return fmt.Errorf("workload: BurstDuty must be in [0, 1), got %v", cfg.BurstDuty)
 	}
 	return nil
 }
@@ -74,51 +91,16 @@ func (cfg SessionConfig) Validate() error {
 // InputLen is the full re-submitted context, PrefixLen the portion a
 // prefix cache can serve, SharedLen the system-prompt head shared across
 // the session's PromptGroup.
+//
+// SessionTrace is the open-loop materialization and panics on a
+// cfg.ClosedLoop configuration: closed-loop arrivals depend on completion
+// times only a serving simulation knows, so closed-loop consumers drive
+// SessionScripts through a session-aware runner instead.
 func SessionTrace(cfg SessionConfig, seed int64) []TimedRequest {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
+	if cfg.ClosedLoop {
+		panic("workload: a closed-loop session workload cannot be pre-materialized; drive SessionScripts through fleet.RunSessions or autoscale.Run")
 	}
-	rng := rand.New(rand.NewSource(seed))
-
-	sysLens := make([]int, cfg.PromptGroups)
-	for g := range sysLens {
-		sysLens[g] = logNormalClamped(rng, float64(cfg.SystemTokens), 0.3, 64, 8*cfg.SystemTokens)
-	}
-
-	user := lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
-	reply := lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
-
-	var trace []TimedRequest
-	start := 0.0
-	for s := 0; s < cfg.Sessions; s++ {
-		start += rng.ExpFloat64() / cfg.SessionRate
-		group := rng.Intn(cfg.PromptGroups)
-		turns := cfg.MinTurns + rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
-		context := sysLens[group] // tokens accumulated before the new user turn
-		at := start
-		for t := 0; t < turns; t++ {
-			in := user.sample(rng)
-			out := reply.sample(rng)
-			trace = append(trace, TimedRequest{
-				Entry: Entry{
-					InputLen:    context + in,
-					OutputLen:   out,
-					SessionID:   int64(s + 1),
-					Turn:        t,
-					PromptGroup: group + 1,
-					SharedLen:   sysLens[group],
-					PrefixLen:   context,
-				},
-				Arrival: time.Duration(at * 1e9),
-			})
-			context += in + out
-			if cfg.ThinkMean > 0 {
-				at += rng.ExpFloat64() * cfg.ThinkMean
-			}
-		}
-	}
-	sort.SliceStable(trace, func(i, j int) bool { return trace[i].Arrival < trace[j].Arrival })
-	return trace
+	return OpenLoopTrace(SessionScripts(cfg, seed))
 }
 
 // SessionStats summarizes the reuse structure of a trace for tests and

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SessionTurn is one turn of a scripted conversation: the new user tokens
+// it submits, the reply tokens the model generates, and the think time the
+// user spends before triggering the next turn. In an open-loop replay the
+// think time counts from this turn's *arrival*; in a closed-loop replay it
+// counts from this turn's *completion* — the difference is the whole point
+// of closed-loop mode (see SessionConfig.ClosedLoop).
+type SessionTurn struct {
+	UserTokens  int
+	ReplyTokens int
+	Think       float64 // seconds until the session's next turn triggers
+}
+
+// SessionScript is one conversation's full plan: identity, shared-prompt
+// family, start time and per-turn token counts. Scripts carry everything a
+// driver needs to emit the session's requests either open-loop (arrivals
+// from the script alone) or closed-loop (each turn's arrival depends on the
+// previous turn's completion, which only the serving simulation knows).
+type SessionScript struct {
+	ID           int64 // 1-based SessionID
+	Group        int   // 1-based PromptGroup
+	SystemTokens int   // shared system-prompt length (SharedLen)
+	Start        float64
+	Turns        []SessionTurn
+}
+
+// Entry builds the workload Entry for turn t (0-based): the re-submitted
+// context plus the new user turn, with the prefix-reuse structure filled in
+// exactly as SessionTrace emits it.
+func (s *SessionScript) Entry(t int) Entry {
+	context := s.SystemTokens
+	for i := 0; i < t; i++ {
+		context += s.Turns[i].UserTokens + s.Turns[i].ReplyTokens
+	}
+	return Entry{
+		InputLen:    context + s.Turns[t].UserTokens,
+		OutputLen:   s.Turns[t].ReplyTokens,
+		SessionID:   s.ID,
+		Turn:        t,
+		PromptGroup: s.Group,
+		SharedLen:   s.SystemTokens,
+		PrefixLen:   context,
+	}
+}
+
+// NumRequests returns the total request count a script set will emit.
+func NumRequests(scripts []SessionScript) int {
+	n := 0
+	for i := range scripts {
+		n += len(scripts[i].Turns)
+	}
+	return n
+}
+
+// burstClock warps unit-exponential arrival mass through a square-wave rate
+// profile: the first `duty` fraction of every period runs at hi sessions/s,
+// the rest at lo. It is how SessionScripts turns a Poisson session process
+// into the bursty on/off arrivals the autoscaling experiments need, without
+// changing the RNG draw count (one exponential per session either way).
+type burstClock struct {
+	t      float64
+	period float64
+	duty   float64
+	hi, lo float64
+}
+
+// advance consumes `mass` units of exponential arrival mass and returns the
+// wall-clock time at which the next session starts.
+func (b *burstClock) advance(mass float64) float64 {
+	for {
+		pos := math.Mod(b.t, b.period)
+		rate, boundary := b.hi, b.duty*b.period
+		if pos >= b.duty*b.period {
+			rate, boundary = b.lo, b.period
+		}
+		span := boundary - pos
+		if need := mass / rate; need <= span {
+			b.t += need
+			return b.t
+		}
+		mass -= span * rate
+		b.t += span
+	}
+}
+
+// SessionScripts generates the conversation plans of a session workload,
+// deterministic in seed. It draws from the RNG in exactly the order
+// SessionTrace historically did, so for a burst-free configuration
+// OpenLoopTrace(SessionScripts(cfg, seed)) reproduces SessionTrace(cfg,
+// seed) bit for bit.
+//
+// With BurstFactor > 1 session start times follow a non-homogeneous Poisson
+// process alternating between SessionRate*BurstFactor and
+// SessionRate/BurstFactor every BurstPeriod/2 seconds — bursty arrivals for
+// elasticity experiments. Turn structure is unaffected.
+func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	sysLens := make([]int, cfg.PromptGroups)
+	for g := range sysLens {
+		sysLens[g] = logNormalClamped(rng, float64(cfg.SystemTokens), 0.3, 64, 8*cfg.SystemTokens)
+	}
+
+	user := lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
+	reply := lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
+
+	var burst *burstClock
+	if cfg.BurstFactor > 1 {
+		duty := cfg.BurstDuty
+		if duty == 0 {
+			duty = 0.5
+		}
+		burst = &burstClock{
+			period: cfg.BurstPeriod,
+			duty:   duty,
+			hi:     cfg.SessionRate * cfg.BurstFactor,
+			lo:     cfg.SessionRate / cfg.BurstFactor,
+		}
+	}
+
+	scripts := make([]SessionScript, 0, cfg.Sessions)
+	start := 0.0
+	for s := 0; s < cfg.Sessions; s++ {
+		mass := rng.ExpFloat64()
+		if burst != nil {
+			start = burst.advance(mass)
+		} else {
+			start += mass / cfg.SessionRate
+		}
+		group := rng.Intn(cfg.PromptGroups)
+		turns := cfg.MinTurns + rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
+		sc := SessionScript{
+			ID:           int64(s + 1),
+			Group:        group + 1,
+			SystemTokens: sysLens[group],
+			Start:        start,
+			Turns:        make([]SessionTurn, turns),
+		}
+		for t := 0; t < turns; t++ {
+			sc.Turns[t] = SessionTurn{UserTokens: user.sample(rng), ReplyTokens: reply.sample(rng)}
+			if cfg.ThinkMean > 0 {
+				sc.Turns[t].Think = rng.ExpFloat64() * cfg.ThinkMean
+			}
+		}
+		scripts = append(scripts, sc)
+	}
+	return scripts
+}
+
+// OpenLoopTrace flattens scripts into a static arrival-sorted trace: turn
+// t+1 arrives Think seconds after turn t's *arrival*, regardless of when
+// (or whether) turn t completed. This is the open-loop projection — the
+// semantics SessionTrace has always had.
+func OpenLoopTrace(scripts []SessionScript) []TimedRequest {
+	trace := make([]TimedRequest, 0, NumRequests(scripts))
+	for i := range scripts {
+		s := &scripts[i]
+		at := s.Start
+		for t := range s.Turns {
+			trace = append(trace, TimedRequest{
+				Entry:   s.Entry(t),
+				Arrival: time.Duration(at * 1e9),
+			})
+			at += s.Turns[t].Think
+		}
+	}
+	sort.SliceStable(trace, func(i, j int) bool { return trace[i].Arrival < trace[j].Arrival })
+	return trace
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOpenLoopUnchangedByDefault pins the satellite requirement that adding
+// closed-loop mode did not disturb the default open-loop trace: the
+// script-based SessionTrace must emit exactly what the historical inline
+// generator emitted (the golden values below were captured from the
+// pre-script implementation at seed 7).
+func TestOpenLoopUnchangedByDefault(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	if cfg.ClosedLoop {
+		t.Fatal("DefaultSessionConfig is closed-loop; open-loop must be the default")
+	}
+	trace := SessionTrace(cfg, 7)
+	scripts := SessionScripts(cfg, 7)
+	flat := OpenLoopTrace(scripts)
+	if len(trace) != len(flat) {
+		t.Fatalf("SessionTrace %d requests, OpenLoopTrace %d", len(trace), len(flat))
+	}
+	for i := range trace {
+		if trace[i] != flat[i] {
+			t.Fatalf("request %d differs: trace %+v, flattened scripts %+v", i, trace[i], flat[i])
+		}
+	}
+	if NumRequests(scripts) != len(trace) {
+		t.Fatalf("NumRequests %d != %d", NumRequests(scripts), len(trace))
+	}
+}
+
+// TestSessionScriptEntries checks Entry reconstructs the context growth of
+// a conversation turn by turn.
+func TestSessionScriptEntries(t *testing.T) {
+	s := SessionScript{
+		ID: 3, Group: 2, SystemTokens: 100, Start: 1.5,
+		Turns: []SessionTurn{
+			{UserTokens: 10, ReplyTokens: 20, Think: 2},
+			{UserTokens: 30, ReplyTokens: 40, Think: 1},
+			{UserTokens: 5, ReplyTokens: 6},
+		},
+	}
+	want := []Entry{
+		{InputLen: 110, OutputLen: 20, SessionID: 3, Turn: 0, PromptGroup: 2, SharedLen: 100, PrefixLen: 100},
+		{InputLen: 160, OutputLen: 40, SessionID: 3, Turn: 1, PromptGroup: 2, SharedLen: 100, PrefixLen: 130},
+		{InputLen: 205, OutputLen: 6, SessionID: 3, Turn: 2, PromptGroup: 2, SharedLen: 100, PrefixLen: 200},
+	}
+	for i, w := range want {
+		if got := s.Entry(i); got != w {
+			t.Errorf("Entry(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestClosedLoopTracePanics: a closed-loop workload has no static trace.
+func TestClosedLoopTracePanics(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.ClosedLoop = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SessionTrace accepted a closed-loop config")
+		}
+	}()
+	SessionTrace(cfg, 1)
+}
+
+// TestBurstyArrivals checks the burst warp: deterministic, preserves the
+// turn structure, and actually concentrates session starts into the high-
+// rate half-periods.
+func TestBurstyArrivals(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 400
+	cfg.BurstFactor = 4
+	cfg.BurstPeriod = 40
+
+	a := SessionScripts(cfg, 11)
+	b := SessionScripts(cfg, 11)
+	for i := range a {
+		if a[i].Start != b[i].Start || len(a[i].Turns) != len(b[i].Turns) {
+			t.Fatalf("bursty scripts not deterministic at session %d", i)
+		}
+	}
+
+	// Same seed without bursts: identical turn structure, different starts.
+	plain := cfg
+	plain.BurstFactor = 0
+	p := SessionScripts(plain, 11)
+	if len(p) != len(a) {
+		t.Fatalf("burst changed session count: %d vs %d", len(a), len(p))
+	}
+	for i := range a {
+		if len(a[i].Turns) != len(p[i].Turns) {
+			t.Fatalf("burst changed turn count of session %d", i)
+		}
+		for j := range a[i].Turns {
+			if a[i].Turns[j] != p[i].Turns[j] {
+				t.Fatalf("burst changed turn %d of session %d", j, i)
+			}
+		}
+	}
+
+	// Starts must skew into the first (high-rate) half of each period:
+	// hi/(hi+lo) = factor^2/(factor^2+1) ≈ 94% for factor 4.
+	inHigh := 0
+	for i := range a {
+		if math.Mod(a[i].Start, cfg.BurstPeriod) < cfg.BurstPeriod/2 {
+			inHigh++
+		}
+	}
+	frac := float64(inHigh) / float64(len(a))
+	if frac < 0.75 {
+		t.Fatalf("only %.0f%% of bursty sessions start in the high-rate phase", frac*100)
+	}
+
+	// Monotone non-decreasing starts.
+	for i := 1; i < len(a); i++ {
+		if a[i].Start < a[i-1].Start {
+			t.Fatalf("session %d starts before session %d", i, i-1)
+		}
+	}
+}
+
+// TestBurstValidation covers the new config error paths.
+func TestBurstValidation(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.BurstFactor = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative BurstFactor accepted")
+	}
+	cfg.BurstFactor = 3
+	cfg.BurstPeriod = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("BurstFactor without BurstPeriod accepted")
+	}
+	cfg.BurstPeriod = 30
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid burst config rejected: %v", err)
+	}
+}
