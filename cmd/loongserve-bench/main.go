@@ -1,13 +1,21 @@
 // Command loongserve-bench regenerates the paper's tables and figures
 // against the simulated cluster. Each experiment prints one or more text
 // tables whose rows correspond to the plotted points of the figure.
+// Independent experiment arms (rate x policy x fleet-size points) run
+// across goroutines with deterministic result ordering; -serial forces
+// single-threaded execution (tables are byte-identical either way).
 //
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|autoscale|ablations|all [-quick]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|autoscale|ablations|perf|all [-quick] [-serial]
+//
+// -exp perf measures the simulator's hot paths against the recorded
+// pre-optimization baseline and writes the perf trajectory to -benchjson
+// (BENCH_SIM.json by default). It is not part of -exp all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,13 +25,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, autoscale, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, autoscale, ablations, perf, all")
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
+	serial := flag.Bool("serial", false, "run experiment arms single-threaded (results are byte-identical to parallel)")
+	benchJSON := flag.String("benchjson", "BENCH_SIM.json", "output path for -exp perf (empty = stdout table only)")
 	flag.Parse()
 
 	scale := bench.FullScale()
 	if *quick {
 		scale = bench.QuickScale()
+	}
+	if *serial {
+		scale.Workers = 1
 	}
 
 	run := func(name string) bool {
@@ -83,6 +96,24 @@ func main() {
 		bench.AblationDPBatching(scale).Fprint(out)
 		bench.AblationPartitioning().Fprint(out)
 		bench.AblationControlPlane().Fprint(out)
+		any = true
+	}
+	if strings.EqualFold(*exp, "perf") {
+		rep := bench.RunPerf(scale)
+		rep.Table().Fprint(out)
+		if *benchJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshal perf report: %v\n", err)
+				os.Exit(1)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *benchJSON, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "\nwrote %s\n", *benchJSON)
+		}
 		any = true
 	}
 	if !any {

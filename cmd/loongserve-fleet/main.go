@@ -202,13 +202,17 @@ func main() {
 		Header: []string{"policy", "goodput(req/s)", "TTFT(s)", "input(ms/t)", "hit-ratio", "hit-req", "SLO"},
 	}
 	perReplica := make(map[string][]fleet.ReplicaStats)
+	var simEvents uint64
+	var simWall time.Duration
 	for _, p := range policies {
+		t0 := time.Now()
 		res, err := fleet.RunSessions(spec, scripts, fleet.Config{
 			Replicas:    *replicas,
 			Policy:      p,
 			CacheTokens: *cacheTokens,
 			NoAdmission: *noAdmission,
 		}, cfg.ClosedLoop)
+		simWall += time.Since(t0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name(), err)
 			cell := "ERR"
@@ -227,8 +231,13 @@ func main() {
 			fmt.Sprintf("%.1f%%", 100*res.HitRequestRatio()),
 			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment))
 		perReplica[p.Name()] = res.Replicas
+		simEvents += res.SimEvents
 	}
 	t.Fprint(os.Stdout)
+	if simEvents > 0 && simWall > 0 {
+		fmt.Printf("simulator: %d events in %v (%.2fM events/s)\n",
+			simEvents, simWall.Round(time.Millisecond), float64(simEvents)/simWall.Seconds()/1e6)
+	}
 
 	for _, p := range policies {
 		if stats, ok := perReplica[p.Name()]; ok {

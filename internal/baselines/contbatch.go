@@ -16,6 +16,7 @@ import (
 	"loongserve/internal/cluster"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
 )
 
 // ContBatch is a continuous-batching engine over one *fixed* parallel
@@ -47,6 +48,17 @@ type ContBatch struct {
 	running   []*serving.Request
 	recompute map[kvcache.RequestID]int // prefill length after preemption
 	busy      bool
+
+	// Iteration plumbing: one owned simulator event per phase with a
+	// callback bound at Init, plus reusable batch scratch. At most one
+	// iteration is ever in flight (busy), and the in-flight batch is
+	// immutable until its completion callback runs, so the scratch slices
+	// are safe to reuse — the steady-state decode loop allocates nothing.
+	decodeEv     *simevent.Event
+	prefillEv    *simevent.Event
+	decodeBatch  []*serving.Request
+	prefillBatch []*serving.Request
+	prefillLens  []int
 
 	// Preemptions counts recompute evictions (instrumentation).
 	Preemptions int
@@ -113,6 +125,8 @@ func (e *ContBatch) Init(env *serving.Env) error {
 	if e.MaxPrefillTokens == 0 {
 		e.MaxPrefillTokens = 16_384
 	}
+	e.decodeEv = env.Sim.NewEvent(e.decodeDone)
+	e.prefillEv = env.Sim.NewEvent(e.prefillDone)
 	return nil
 }
 
@@ -162,8 +176,8 @@ func (e *ContBatch) step() {
 	if e.busy {
 		return
 	}
-	if batch, lens := e.admitPrefills(); len(batch) > 0 {
-		e.runPrefill(batch, lens)
+	if e.admitPrefills() {
+		e.runPrefill()
 		return
 	}
 	if len(e.running) > 0 {
@@ -172,8 +186,10 @@ func (e *ContBatch) step() {
 }
 
 // admitPrefills pops FCFS waiting requests that fit in memory and under the
-// token budget, reserving their prompt KV.
-func (e *ContBatch) admitPrefills() (batch []*serving.Request, lens []int) {
+// token budget into the prefill scratch batch, reserving their prompt KV.
+// Reports whether anything was admitted.
+func (e *ContBatch) admitPrefills() bool {
+	batch, lens := e.prefillBatch[:0], e.prefillLens[:0]
 	total := 0
 	for len(e.waiting) > 0 && len(e.running)+len(batch) < e.MaxBatch {
 		r := e.waiting[0]
@@ -202,31 +218,35 @@ func (e *ContBatch) admitPrefills() (batch []*serving.Request, lens []int) {
 		lens = append(lens, plen)
 		total += plen
 	}
-	return batch, lens
+	e.prefillBatch, e.prefillLens = batch, lens
+	return len(batch) > 0
 }
 
-// runPrefill executes one prefill iteration for batch.
-func (e *ContBatch) runPrefill(batch []*serving.Request, lens []int) {
+// runPrefill executes one prefill iteration for the admitted scratch batch.
+func (e *ContBatch) runPrefill() {
 	e.busy = true
-	for _, r := range batch {
+	for _, r := range e.prefillBatch {
 		r.Phase = serving.Prefilling
 	}
-	d := e.env.CM.PrefillIterTime(lens, e.SP, e.TP, e.link)
-	e.env.Sim.After(d, func() {
-		now := e.env.Sim.Now()
-		for _, r := range batch {
-			if _, preempted := e.recompute[r.ID]; preempted {
-				delete(e.recompute, r.ID) // resume decoding where it left off
-			} else {
-				r.FirstToken = now
-				r.Generated = 1
-			}
-			r.Phase = serving.Decoding
-			e.running = append(e.running, r)
+	d := e.env.CM.PrefillIterTime(e.prefillLens, e.SP, e.TP, e.link)
+	e.env.Sim.ScheduleAfter(e.prefillEv, d)
+}
+
+// prefillDone completes the in-flight prefill iteration.
+func (e *ContBatch) prefillDone() {
+	now := e.env.Sim.Now()
+	for _, r := range e.prefillBatch {
+		if _, preempted := e.recompute[r.ID]; preempted {
+			delete(e.recompute, r.ID) // resume decoding where it left off
+		} else {
+			r.FirstToken = now
+			r.Generated = 1
 		}
-		e.busy = false
-		e.finishAndContinue(batch)
-	})
+		r.Phase = serving.Decoding
+		e.running = append(e.running, r)
+	}
+	e.busy = false
+	e.finishAndContinue(e.prefillBatch)
 }
 
 // runDecode executes one decode iteration for every running request.
@@ -240,7 +260,8 @@ func (e *ContBatch) runDecode() {
 		e.step()
 		return
 	}
-	batch := append([]*serving.Request(nil), e.running...)
+	batch := append(e.decodeBatch[:0], e.running...)
+	e.decodeBatch = batch
 	bs := len(batch)
 	sumKV := 0
 	for _, r := range batch {
@@ -248,18 +269,21 @@ func (e *ContBatch) runDecode() {
 	}
 	e.busy = true
 	d := e.env.CM.DecodeIterTime(bs, sumKV, e.SP, e.TP, e.Masters, e.link)
-	e.env.Sim.After(d, func() {
-		for _, r := range batch {
-			r.Generated++
-			if err := e.alloc(r, 1); err != nil {
-				// Guaranteed by the pre-check; a failure means accounting
-				// corruption.
-				panic(fmt.Sprintf("%s: decode alloc failed: %v", e.Label, err))
-			}
+	e.env.Sim.ScheduleAfter(e.decodeEv, d)
+}
+
+// decodeDone completes the in-flight decode iteration.
+func (e *ContBatch) decodeDone() {
+	for _, r := range e.decodeBatch {
+		r.Generated++
+		if err := e.alloc(r, 1); err != nil {
+			// Guaranteed by the pre-check; a failure means accounting
+			// corruption.
+			panic(fmt.Sprintf("%s: decode alloc failed: %v", e.Label, err))
 		}
-		e.busy = false
-		e.finishAndContinue(batch)
-	})
+	}
+	e.busy = false
+	e.finishAndContinue(e.decodeBatch)
 }
 
 // preemptYoungest evicts the most recently admitted running request,

@@ -179,7 +179,7 @@ func (e *DistServe) tryMigrate() {
 		d := e.env.CM.ReactiveMigrationTime(need, e.migrateLink)
 		e.env.Sim.After(d, func() {
 			// Release the prefill-side copy.
-			held := e.env.Pool.Placement(r.ID)[e.prefillInst]
+			held := e.env.Pool.HeldOn(r.ID, e.prefillInst)
 			if held > 0 {
 				if err := e.env.Pool.ReleaseAt(r.ID, e.prefillInst, held); err != nil {
 					panic(fmt.Sprintf("%s: migration release failed: %v", e.Label, err))

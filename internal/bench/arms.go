@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment arms — one (rate, policy, fleet size, system) point of a
+// table — are independent simulations: each builds its own Sim, cluster,
+// engines and cost model, shares only immutable inputs (traces, scripts,
+// Spec constructors), and writes only its own result slot. runArms executes
+// them across worker goroutines with the result order fixed by arm index,
+// so a table renders byte-identically at any worker count; the serial path
+// (workers <= 1) runs inline for exact single-threaded reproduction.
+
+// Workers resolves the scale's experiment-arm concurrency: the explicit
+// setting, or one worker per available CPU.
+func (sc Scale) workers() int {
+	if sc.Workers > 0 {
+		return sc.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runArms runs arm indices [0, n) through run, at most `workers`
+// concurrently. run must confine its writes to per-index state.
+func runArms(n, workers int, run func(arm int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

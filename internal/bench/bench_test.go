@@ -252,6 +252,56 @@ func TestAutoscaleExperimentWins(t *testing.T) {
 	}
 }
 
+// renderTable gives the byte-exact text a table prints.
+func renderTable(tb *Table) string {
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	return sb.String()
+}
+
+// TestFleetExperimentParallelDeterminism is the parallel-arms acceptance
+// test: the same seeded experiment must produce byte-identical tables
+// whether its arms run single-threaded or across goroutines.
+func TestFleetExperimentParallelDeterminism(t *testing.T) {
+	sc := QuickScale()
+	sc.FleetRates = sc.FleetRates[:2] // keep the unit test fast
+
+	serial := sc
+	serial.Workers = 1
+	parallel := sc
+	parallel.Workers = 4
+
+	a := renderTable(FleetExperiment(serial))
+	b := renderTable(FleetExperiment(parallel))
+	if a != b {
+		t.Fatalf("serial and parallel fleet tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestAutoscaleExperimentParallelDeterminism runs the static-ladder +
+// controller arms both ways; the closed-loop drivers share the (immutable)
+// session scripts, so any hidden mutation would show up here (and under
+// -race in CI).
+func TestAutoscaleExperimentParallelDeterminism(t *testing.T) {
+	sc := QuickScale()
+
+	serial := sc
+	serial.Workers = 1
+	parallel := sc
+	parallel.Workers = 4
+
+	var a, b strings.Builder
+	for _, tb := range AutoscaleExperiment(serial) {
+		tb.Fprint(&a)
+	}
+	for _, tb := range AutoscaleExperiment(parallel) {
+		tb.Fprint(&b)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serial and parallel autoscale tables differ")
+	}
+}
+
 func TestControlPlaneTableShape(t *testing.T) {
 	tbl := AblationControlPlane()
 	if len(tbl.Rows) != 6 {

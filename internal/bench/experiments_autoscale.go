@@ -99,8 +99,26 @@ func AutoscaleExperiment(sc Scale) []*Table {
 	// an interactive 5x budget, where burst queueing actually costs SLOs.
 	const sloScale = 5
 
+	// The static-fleet ladder and the autoscaled run are independent arms:
+	// scripts are immutable (each driver keeps its own cursor state), every
+	// arm builds its own gateway and replicas. Arm i < AutoscaleMax is
+	// static-(i+1); the last arm is the controller.
+	staticRes := make([]*fleet.Result, sc.AutoscaleMax)
+	staticErr := make([]error, sc.AutoscaleMax)
+	var ares *autoscale.Result
+	var aerr error
+	runArms(sc.AutoscaleMax+1, sc.workers(), func(arm int) {
+		if arm < sc.AutoscaleMax {
+			n := arm + 1
+			staticRes[arm], staticErr[arm] = fleet.RunSessions(spec, scripts,
+				fleet.Config{Replicas: n, Policy: policy(), SLOScale: sloScale}, true)
+			return
+		}
+		ares, aerr = autoscale.Run(spec, scripts, fleet.Config{Policy: policy(), SLOScale: sloScale}, acfg, true)
+	})
+
 	for n := 1; n <= sc.AutoscaleMax; n++ {
-		res, err := fleet.RunSessions(spec, scripts, fleet.Config{Replicas: n, Policy: policy(), SLOScale: sloScale}, true)
+		res, err := staticRes[n-1], staticErr[n-1]
 		if err != nil {
 			t.AddRow(fmt.Sprintf("static-%d", n), "ERR", "-", "-", "-", "-", "-", "-", err.Error())
 			continue
@@ -108,9 +126,8 @@ func AutoscaleExperiment(sc Scale) []*Table {
 		autoscaleRow(t, fmt.Sprintf("static-%d", n), res, "-")
 	}
 
-	ares, err := autoscale.Run(spec, scripts, fleet.Config{Policy: policy(), SLOScale: sloScale}, acfg, true)
 	var events *Table
-	if err != nil {
+	if err := aerr; err != nil {
 		t.AddRow("autoscale", "ERR", "-", "-", "-", "-", "-", "-", err.Error())
 	} else {
 		autoscaleRow(t, "autoscale", ares.Result,

@@ -81,27 +81,36 @@ func FleetExperiment(sc Scale) *Table {
 	if err != nil {
 		panic(err) // unreachable: the engine name is a constant
 	}
-	for _, rate := range sc.FleetRates {
-		trace := FleetSessionTrace(rate, sc)
-		for _, policy := range fleet.AllPolicies(sc.Seed) {
-			res, err := fleet.Run(spec, trace, fleet.Config{
-				Replicas: sc.FleetReplicas,
-				Policy:   policy,
-			})
-			if err != nil {
-				cell := "ERR"
-				if _, oom := err.(*serving.ErrOOM); oom {
-					cell = "OOM"
-				}
-				t.AddRow(fmt.Sprint(rate), policy.Name(), cell, "-", "-", "-", "-")
-				continue
-			}
-			s := metrics.Summarize(res.Records)
-			t.AddRow(fmt.Sprint(rate), policy.Name(),
-				f3(metrics.Goodput(res.Records)), f3(MeanTTFT(res.Records)),
-				f4(s.MeanInput*1e3), pct(res.TokenHitRatio()), pct(s.SLOAttainment))
-		}
+	// Arms are (rate, policy) points. Traces are built once per rate and
+	// shared read-only; each arm constructs its own (stateful) policy and
+	// fleet, and fills its own row.
+	traces := make([][]workload.TimedRequest, len(sc.FleetRates))
+	for i, rate := range sc.FleetRates {
+		traces[i] = FleetSessionTrace(rate, sc)
 	}
+	numPolicies := len(fleet.AllPolicies(sc.Seed))
+	rows := make([][]string, len(sc.FleetRates)*numPolicies)
+	runArms(len(rows), sc.workers(), func(arm int) {
+		rate := sc.FleetRates[arm/numPolicies]
+		policy := fleet.AllPolicies(sc.Seed)[arm%numPolicies]
+		res, err := fleet.Run(spec, traces[arm/numPolicies], fleet.Config{
+			Replicas: sc.FleetReplicas,
+			Policy:   policy,
+		})
+		if err != nil {
+			cell := "ERR"
+			if _, oom := err.(*serving.ErrOOM); oom {
+				cell = "OOM"
+			}
+			rows[arm] = []string{fmt.Sprint(rate), policy.Name(), cell, "-", "-", "-", "-"}
+			return
+		}
+		s := metrics.Summarize(res.Records)
+		rows[arm] = []string{fmt.Sprint(rate), policy.Name(),
+			f3(metrics.Goodput(res.Records)), f3(MeanTTFT(res.Records)),
+			f4(s.MeanInput * 1e3), pct(res.TokenHitRatio()), pct(s.SLOAttainment)}
+	})
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"expected shape: PrefixAffinity leads the hit-ratio column and converts it into the lowest TTFT; RoundRobin recomputes conversation history every turn",
 		"goodput counts requests finishing within the paper's 25x SLO over the arrival window")

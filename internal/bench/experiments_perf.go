@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/core"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/fleet"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+// This file is the simulator's perf trajectory: RunPerf measures a fixed
+// set of hot-path experiments (wall time, heap allocations, simulated
+// events) and reports them against the recorded pre-optimization baseline,
+// so regressions show up as a ratio in BENCH_SIM.json rather than as a
+// vague "the benchmarks feel slower". Regenerate with:
+//
+//	go run ./cmd/loongserve-bench -exp perf
+//
+// which rewrites BENCH_SIM.json at the repository root.
+
+// PerfSide is one measurement of one experiment.
+type PerfSide struct {
+	WallMS       float64 `json:"wall_ms"`
+	Allocs       uint64  `json:"allocs"`
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// PerfEntry pairs an experiment's current measurement with its recorded
+// baseline (absent for experiments the baseline tree could not run, e.g.
+// parallel arms).
+type PerfEntry struct {
+	Name     string    `json:"name"`
+	Baseline *PerfSide `json:"baseline,omitempty"`
+	Current  PerfSide  `json:"current"`
+	// Speedup is baseline wall / current wall; AllocsRatio is current
+	// allocs / baseline allocs (lower is better for both columns' inputs).
+	Speedup     float64 `json:"speedup,omitempty"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+// PerfReport is the BENCH_SIM.json schema.
+type PerfReport struct {
+	Schema         string      `json:"schema"`
+	BaselineCommit string      `json:"baseline_commit"`
+	Note           string      `json:"note"`
+	GoMaxProcs     int         `json:"gomaxprocs"`
+	Experiments    []PerfEntry `json:"experiments"`
+}
+
+// perfBaseline holds the pre-optimization measurements, taken at commit
+// 8152630 (the tree before the simulation hot-path overhaul) with the same
+// measurePerf harness (best of 3, single-threaded). Baseline event counts
+// are not recorded: the optimized tree replays the identical simulations
+// (verified byte-identical experiment tables), so events/sec comparisons
+// use the current event counts on both sides.
+var perfBaseline = map[string]PerfSide{
+	"fleet_experiment_quick":   {WallMS: 92.157, Allocs: 728858},
+	"serving_loongserve_mixed": {WallMS: 32.414, Allocs: 324425},
+	"qi_batching_naive":        {WallMS: 17.667, Allocs: 183337},
+	"qi_batching_qi":           {WallMS: 18.918, Allocs: 183553},
+}
+
+// measurePerf runs f reps times and returns the best wall time with the
+// allocation count of that run (GC'd before each rep so the numbers are
+// heap-noise-free). events is whatever f's last run reported via the
+// returned setter.
+func measurePerf(reps int, f func() uint64) PerfSide {
+	best := PerfSide{WallMS: 1 << 50}
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		events := f()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		ms := float64(wall.Nanoseconds()) / 1e6
+		if ms < best.WallMS {
+			best = PerfSide{WallMS: ms, Allocs: m1.Mallocs - m0.Mallocs, Events: events}
+		}
+	}
+	if best.Events > 0 && best.WallMS > 0 {
+		best.EventsPerSec = float64(best.Events) / (best.WallMS / 1e3)
+	}
+	return best
+}
+
+// RunPerf measures the perf-trajectory experiment set. The fleet arm is
+// always QuickScale (the recorded acceptance metric); workers follows sc.
+func RunPerf(sc Scale) *PerfReport {
+	rep := &PerfReport{
+		Schema:         "loongserve-bench-sim/v1",
+		BaselineCommit: "8152630",
+		Note:           "baseline measured pre-optimization with this harness (best of 3); optimized tree replays byte-identical simulations, so baseline events/sec uses current event counts",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, side PerfSide) {
+		e := PerfEntry{Name: name, Current: side}
+		if b, ok := perfBaseline[name]; ok {
+			b := b
+			if side.Events > 0 && b.WallMS > 0 {
+				b.Events = side.Events
+				b.EventsPerSec = float64(b.Events) / (b.WallMS / 1e3)
+			}
+			e.Baseline = &b
+			if side.WallMS > 0 {
+				e.Speedup = b.WallMS / side.WallMS
+			}
+			if b.Allocs > 0 {
+				e.AllocsRatio = float64(side.Allocs) / float64(b.Allocs)
+			}
+		}
+		rep.Experiments = append(rep.Experiments, e)
+	}
+
+	// The routing-policy comparison at quick scale, serial: the recorded
+	// before/after acceptance metric.
+	quick := QuickScale()
+	quick.Workers = 1
+	add("fleet_experiment_quick", measurePerf(3, func() uint64 {
+		FleetExperiment(quick)
+		return 0
+	}))
+
+	// The same experiment with parallel arms (one goroutine per CPU): the
+	// scalability the serial baseline cannot express. On a single-CPU host
+	// this matches the serial arm.
+	par := QuickScale()
+	par.Workers = sc.workers()
+	add(fmt.Sprintf("fleet_experiment_quick_parallel_x%d", par.Workers), measurePerf(3, func() uint64 {
+		FleetExperiment(par)
+		return 0
+	}))
+
+	// One representative fleet run with its event count, for events/sec.
+	spec, err := FleetSpec("vllm")
+	if err != nil {
+		panic(err) // unreachable: the engine name is a constant
+	}
+	trace := FleetSessionTrace(6, QuickScale())
+	add("fleet_run_rate6_migrating", measurePerf(3, func() uint64 {
+		res, err := fleet.Run(spec, trace, fleet.Config{Replicas: QuickScale().FleetReplicas, Policy: fleet.NewMigratingAffinity()})
+		if err != nil {
+			panic(err)
+		}
+		return res.SimEvents
+	}))
+
+	// Full LoongServe engine on a Mixed trace — the end-to-end simulation
+	// throughput benchmark (BenchmarkServingLoongServeMixed).
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	mixed := workload.PoissonTrace(workload.Mixed(), 0.5, 100, 42)
+	add("serving_loongserve_mixed", measurePerf(3, func() uint64 {
+		c, err := cluster.New(m, hw, 1, 8, 2)
+		if err != nil {
+			panic(err)
+		}
+		recs, stats, err := serving.RunWithStats(core.New(2, core.Options{}), c, costmodel.New(m, hw), mixed, serving.DefaultRunConfig())
+		if err != nil || len(recs) != 100 {
+			panic(fmt.Sprintf("serving run failed: %v (%d records)", err, len(recs)))
+		}
+		return stats.Events
+	}))
+
+	// The Eq 5 solver ablation pair (BenchmarkAblationQIBatching).
+	qiTrace := workload.PoissonTrace(workload.Mixed(), 0.5, 60, 42)
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"qi_batching_naive", core.Options{}},
+		{"qi_batching_qi", core.Options{UseQIBatching: true}},
+	} {
+		v := v
+		add(v.name, measurePerf(3, func() uint64 {
+			c, err := cluster.New(m, hw, 1, 8, 2)
+			if err != nil {
+				panic(err)
+			}
+			recs, stats, err := serving.RunWithStats(core.New(2, v.opts), c, costmodel.New(m, hw), qiTrace, serving.DefaultRunConfig())
+			if err != nil || len(recs) != 60 {
+				panic(fmt.Sprintf("qi run failed: %v (%d records)", err, len(recs)))
+			}
+			return stats.Events
+		}))
+	}
+	return rep
+}
+
+// Table renders the report for the CLI.
+func (r *PerfReport) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Simulator perf trajectory vs baseline %s (gomaxprocs=%d)", r.BaselineCommit, r.GoMaxProcs),
+		Header: []string{"experiment", "base(ms)", "now(ms)", "speedup", "base allocs", "now allocs", "events/s"},
+	}
+	for _, e := range r.Experiments {
+		baseMS, baseAllocs, speedup := "-", "-", "-"
+		if e.Baseline != nil {
+			baseMS = fmt.Sprintf("%.1f", e.Baseline.WallMS)
+			baseAllocs = fmt.Sprint(e.Baseline.Allocs)
+			speedup = fmt.Sprintf("%.2fx", e.Speedup)
+		}
+		eps := "-"
+		if e.Current.EventsPerSec > 0 {
+			eps = fmt.Sprintf("%.2fM", e.Current.EventsPerSec/1e6)
+		}
+		t.AddRow(e.Name, baseMS, fmt.Sprintf("%.1f", e.Current.WallMS), speedup,
+			baseAllocs, fmt.Sprint(e.Current.Allocs), eps)
+	}
+	t.Notes = append(t.Notes,
+		"wall times are best-of-3 on this host; allocs are exact heap allocation counts of the best run",
+		"regenerates BENCH_SIM.json: go run ./cmd/loongserve-bench -exp perf")
+	return t
+}

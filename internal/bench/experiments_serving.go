@@ -37,6 +37,11 @@ type Scale struct {
 	AutoscaleWarmup   float64
 	AutoscaleMax      int
 	Seed              int64
+	// Workers bounds how many independent experiment arms run concurrently
+	// (each arm owns a full simulator); 0 means one per available CPU, 1
+	// forces serial execution. Results are ordered by arm index either way,
+	// so tables are byte-identical at any setting.
+	Workers int
 }
 
 // FullScale returns the configuration used to regenerate EXPERIMENTS.md.
@@ -132,6 +137,8 @@ func fig10Systems(ds string) []System {
 
 // Fig10 reproduces the end-to-end comparison: normalized per-token, input
 // and output latency for every system over every dataset's rate ladder.
+// Each (rate, system) point is an independent simulation and runs as its
+// own arm; traces are shared read-only per rate.
 func Fig10(sc Scale) []*Table {
 	var tables []*Table
 	for _, ds := range []string{"ShareGPT", "L-Eval", "LV-Eval", "Mixed"} {
@@ -139,19 +146,26 @@ func Fig10(sc Scale) []*Table {
 			Title:  fmt.Sprintf("Figure 10 (%s): normalized latency vs request rate", ds),
 			Header: []string{"rate(req/s)", "system", "per-token(s/t)", "input(s/t)", "output(s/t)", "SLO"},
 		}
-		for _, rate := range sc.Fig10Rates[ds] {
-			trace := sc.traceFor(dataset(ds), rate)
-			for _, sys := range fig10Systems(ds) {
-				recs, err := RunTrace(sys, trace)
-				if err != nil {
-					t.AddRow(fmt.Sprint(rate), sys.Name, "OOM", "OOM", "OOM", "-")
-					continue
-				}
-				s := metrics.Summarize(recs)
-				t.AddRow(fmt.Sprint(rate), sys.Name,
-					f4(s.MeanPerToken), f4(s.MeanInput), f4(s.MeanOutput), pct(s.SLOAttainment))
-			}
+		rates := sc.Fig10Rates[ds]
+		systems := fig10Systems(ds)
+		traces := make([][]workload.TimedRequest, len(rates))
+		for i, rate := range rates {
+			traces[i] = sc.traceFor(dataset(ds), rate)
 		}
+		rows := make([][]string, len(rates)*len(systems))
+		runArms(len(rows), sc.workers(), func(arm int) {
+			rate := rates[arm/len(systems)]
+			sys := systems[arm%len(systems)]
+			recs, err := RunTrace(sys, traces[arm/len(systems)])
+			if err != nil {
+				rows[arm] = []string{fmt.Sprint(rate), sys.Name, "OOM", "OOM", "OOM", "-"}
+				return
+			}
+			s := metrics.Summarize(recs)
+			rows[arm] = []string{fmt.Sprint(rate), sys.Name,
+				f4(s.MeanPerToken), f4(s.MeanInput), f4(s.MeanOutput), pct(s.SLOAttainment)}
+		})
+		t.Rows = rows
 		t.Notes = append(t.Notes,
 			"paper shapes: LoongServe keeps output latency low at every rate; DistServe OOMs on LV-Eval/Mixed; chunked prefill suffers on high P:D datasets")
 		tables = append(tables, t)
@@ -329,23 +343,30 @@ func AblationDPBatching(sc Scale) *Table {
 		Title:  "Ablation: Eq 5 DP batching vs greedy single batch (Mixed)",
 		Header: []string{"rate(req/s)", "variant", "input(s/t)", "per-token(s/t)", "SLO"},
 	}
-	for _, rate := range sc.Fig10Rates["Mixed"] {
-		trace := sc.traceFor(workload.Mixed(), rate)
-		for _, v := range []struct {
-			name string
-			opts core.Options
-		}{
-			{"DP batching", core.Options{}},
-			{"greedy", core.Options{DisableDPBatching: true}},
-		} {
-			recs, err := RunTrace(LoongServeSys(1, v.opts), trace)
-			if err != nil {
-				t.AddRow(fmt.Sprint(rate), v.name, "ERR", "ERR", "-")
-				continue
-			}
-			s := metrics.Summarize(recs)
-			t.AddRow(fmt.Sprint(rate), v.name, f4(s.MeanInput), f4(s.MeanPerToken), pct(s.SLOAttainment))
-		}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"DP batching", core.Options{}},
+		{"greedy", core.Options{DisableDPBatching: true}},
 	}
+	rates := sc.Fig10Rates["Mixed"]
+	traces := make([][]workload.TimedRequest, len(rates))
+	for i, rate := range rates {
+		traces[i] = sc.traceFor(workload.Mixed(), rate)
+	}
+	rows := make([][]string, len(rates)*len(variants))
+	runArms(len(rows), sc.workers(), func(arm int) {
+		rate := rates[arm/len(variants)]
+		v := variants[arm%len(variants)]
+		recs, err := RunTrace(LoongServeSys(1, v.opts), traces[arm/len(variants)])
+		if err != nil {
+			rows[arm] = []string{fmt.Sprint(rate), v.name, "ERR", "ERR", "-"}
+			return
+		}
+		s := metrics.Summarize(recs)
+		rows[arm] = []string{fmt.Sprint(rate), v.name, f4(s.MeanInput), f4(s.MeanPerToken), pct(s.SLOAttainment)}
+	})
+	t.Rows = rows
 	return t
 }

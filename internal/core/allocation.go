@@ -3,7 +3,6 @@ package core
 import (
 	"time"
 
-	"loongserve/internal/costmodel"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/serving"
 )
@@ -35,8 +34,8 @@ func (e *Engine) allocateInstances(rp []*serving.Request, idle []kvcache.Instanc
 		invLen += 1 / float64(lens[i])
 	}
 	for len(insts) < m {
-		cur, ok1 := e.prefillCoeffs(costmodel.Strategy{SP: len(insts), TP: e.TP})
-		nxt, ok2 := e.prefillCoeffs(costmodel.Strategy{SP: len(insts) + 1, TP: e.TP})
+		cur, ok1 := e.prefillCoeffsSP(len(insts))
+		nxt, ok2 := e.prefillCoeffsSP(len(insts) + 1)
 		if !ok1 || !ok2 {
 			break
 		}
@@ -144,7 +143,7 @@ func (e *Engine) cheapestEvacuation() (kvcache.InstanceID, int, time.Duration, b
 func (e *Engine) residentTokens(g *group, id kvcache.InstanceID) int {
 	total := 0
 	for _, r := range g.reqs {
-		total += e.env.Pool.Placement(r.ID)[id]
+		total += e.env.Pool.HeldOn(r.ID, id)
 	}
 	return total
 }
@@ -212,7 +211,7 @@ func (e *Engine) evacuate(id kvcache.InstanceID) (time.Duration, bool) {
 	// Move each request's slice of id into the target group's instances,
 	// most-free first — token granularity, no locality constraint.
 	for _, r := range g.reqs {
-		n := e.env.Pool.Placement(r.ID)[id]
+		n := e.env.Pool.HeldOn(r.ID, id)
 		for n > 0 {
 			dst := e.mostFreeExcept(target.instances, id)
 			if dst < 0 {
@@ -250,7 +249,7 @@ func (e *Engine) evacuate(id kvcache.InstanceID) (time.Duration, bool) {
 				target.master[r.ID] = recv
 			}
 		}
-		delete(e.groups, g.id)
+		e.removeGroup(g)
 	}
 	delete(e.byInst, id)
 	e.Migrations++

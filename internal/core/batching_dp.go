@@ -33,6 +33,47 @@ type batchDPInput struct {
 	free    []int              // free KV slots per instance, sorted ascending
 	coeffs  []costmodel.Coeffs // indexed by DoP (1..m); valid where have[sp]
 	have    []bool
+
+	// Reusable solver scratch (flat matrices, grown on demand): the DP runs
+	// on every prefill round, and per-call matrix allocation dominated its
+	// cost. Zero value works; buffers persist across solves.
+	fBuf     []float64 // f[(m+1)*(n+1)] (naive: f[i][k]; QI: f[k][i])
+	backBuf  []dpSplit // back pointers, same layout
+	prefD    []int     // prefix sums of reserve
+	prefV    []int     // prefix sums of free
+	prefSL   []float64 // prefix sums of lens
+	prefSS   []float64 // prefix sums of lens²
+	layerH   []float64 // QI per-layer minima
+	layerArg []int     // QI per-layer argmins
+	jmin     []int     // QI feasibility suffix
+}
+
+// dpSplit is one DP back-pointer: previous request index j and instance
+// index l.
+type dpSplit struct{ j, l int }
+
+// growF returns a length-n []float64 view over a reusable buffer.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// growI returns a length-n []int view over a reusable buffer.
+func growI(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// growS returns a length-n []dpSplit view over a reusable buffer.
+func growS(buf *[]dpSplit, n int) []dpSplit {
+	if cap(*buf) < n {
+		*buf = make([]dpSplit, n)
+	}
+	return (*buf)[:n]
 }
 
 // batchSegment is one batch in an Eq 5 solution: requests [ReqLo, ReqHi)
@@ -43,19 +84,23 @@ type batchSegment struct {
 }
 
 // prefixes precomputes the sums used by every transition: D (reservations),
-// V (free slots), SL (lengths), SS (squared lengths).
+// V (free slots), SL (lengths), SS (squared lengths). The arrays live in
+// the input's reusable scratch.
 func (in *batchDPInput) prefixes() (D, V []int, SL, SS []float64) {
 	n, m := len(in.lens), len(in.free)
-	D = make([]int, n+1)
+	D = growI(&in.prefD, n+1)
+	D[0] = 0
 	for i, r := range in.reserve {
 		D[i+1] = D[i] + r
 	}
-	V = make([]int, m+1)
+	V = growI(&in.prefV, m+1)
+	V[0] = 0
 	for k, f := range in.free {
 		V[k+1] = V[k] + f
 	}
-	SL = make([]float64, n+1)
-	SS = make([]float64, n+1)
+	SL = growF(&in.prefSL, n+1)
+	SS = growF(&in.prefSS, n+1)
+	SL[0], SS[0] = 0, 0
 	for i, l := range in.lens {
 		SL[i+1] = SL[i] + float64(l)
 		SS[i+1] = SS[i] + float64(l)*float64(l)
@@ -76,30 +121,27 @@ func (in *batchDPInput) cost(SL, SS []float64, j, i, sp int) float64 {
 }
 
 // solveBatchDP is the naive Eq 5 DP. ok=false when no feasible partition
-// exists.
+// exists. The f/back matrices are flat views over the input's reusable
+// scratch, indexed f[i*(m+1)+k].
 func solveBatchDP(in *batchDPInput) ([]batchSegment, float64, bool) {
 	n, m := len(in.lens), len(in.free)
 	D, V, SL, SS := in.prefixes()
 
 	const inf = math.MaxFloat64
-	f := make([][]float64, n+1)
-	type split struct{ j, l int }
-	back := make([][]split, n+1)
-	for i := 0; i <= n; i++ {
-		f[i] = make([]float64, m+1)
-		back[i] = make([]split, m+1)
-		for k := 0; k <= m; k++ {
-			f[i][k] = inf
-		}
+	w := m + 1
+	f := growF(&in.fBuf, (n+1)*w)
+	back := growS(&in.backBuf, (n+1)*w)
+	for i := range f {
+		f[i] = inf
 	}
 	for k := 0; k <= m; k++ {
-		f[0][k] = 0
+		f[k] = 0 // row i=0
 	}
 	for i := 1; i <= n; i++ {
 		for k := 1; k <= m; k++ {
 			for j := 0; j < i; j++ {
 				for l := 0; l < k; l++ {
-					if f[j][l] == inf {
+					if f[j*w+l] == inf {
 						continue
 					}
 					if D[i]-D[j] > V[k]-V[l] {
@@ -109,9 +151,9 @@ func solveBatchDP(in *batchDPInput) ([]batchSegment, float64, bool) {
 					if !in.have[sp] {
 						continue
 					}
-					if cand := f[j][l] + in.cost(SL, SS, j, i, sp); cand < f[i][k] {
-						f[i][k] = cand
-						back[i][k] = split{j, l}
+					if cand := f[j*w+l] + in.cost(SL, SS, j, i, sp); cand < f[i*w+k] {
+						f[i*w+k] = cand
+						back[i*w+k] = dpSplit{j, l}
 					}
 				}
 			}
@@ -119,8 +161,8 @@ func solveBatchDP(in *batchDPInput) ([]batchSegment, float64, bool) {
 	}
 	bestK, bestV := -1, inf
 	for k := 1; k <= m; k++ {
-		if f[n][k] < bestV {
-			bestK, bestV = k, f[n][k]
+		if f[n*w+k] < bestV {
+			bestK, bestV = k, f[n*w+k]
 		}
 	}
 	if bestK < 0 {
@@ -129,7 +171,7 @@ func solveBatchDP(in *batchDPInput) ([]batchSegment, float64, bool) {
 	var segs []batchSegment
 	i, k := n, bestK
 	for i > 0 {
-		s := back[i][k]
+		s := back[i*w+k]
 		segs = append(segs, batchSegment{ReqLo: s.j, ReqHi: i, InstLo: s.l, InstHi: k})
 		i, k = s.j, s.l
 	}
@@ -154,21 +196,21 @@ func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
 	D, V, SL, SS := in.prefixes()
 
 	const inf = math.MaxFloat64
-	f := make([][]float64, m+1) // f[k][i], layer-major
-	type split struct{ j, l int }
-	back := make([][]split, m+1)
+	w := n + 1
+	f := growF(&in.fBuf, (m+1)*w) // f[k*(n+1)+i], layer-major
+	back := growS(&in.backBuf, (m+1)*w)
 	for k := 0; k <= m; k++ {
-		f[k] = make([]float64, n+1)
-		back[k] = make([]split, n+1)
+		f[k*w] = 0
 		for i := 1; i <= n; i++ {
-			f[k][i] = inf
+			f[k*w+i] = inf
 		}
 	}
 
-	// jminFor returns the smallest j with D[i]-D[j] <= cap; D is
-	// non-decreasing, so a two-pointer sweep over i is linear.
-	layerH := make([]float64, n+1)
-	layerArg := make([]int, n+1)
+	// jmin[i] is the smallest j with D[i]-D[j] <= cap; D is non-decreasing,
+	// so a two-pointer sweep over i is linear.
+	layerH := growF(&in.layerH, n+1)
+	layerArg := growI(&in.layerArg, n+1)
+	jmin := growI(&in.jmin, n+1)
 
 	for k := 1; k <= m; k++ {
 		for sp := 1; sp <= k; sp++ {
@@ -177,10 +219,9 @@ func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
 			}
 			l := k - sp
 			capKV := V[k] - V[l]
-			fprev := f[l]
+			fprev := f[l*w : l*w+w]
 
 			// Feasibility suffix per i.
-			jmin := make([]int, n+1)
 			j := 0
 			for i := 1; i <= n; i++ {
 				if j > i {
@@ -234,9 +275,9 @@ func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
 			solve(1, n, 0, n-1)
 
 			for i := 1; i <= n; i++ {
-				if layerArg[i] >= 0 && layerH[i] < f[k][i] {
-					f[k][i] = layerH[i]
-					back[k][i] = split{layerArg[i], l}
+				if layerArg[i] >= 0 && layerH[i] < f[k*w+i] {
+					f[k*w+i] = layerH[i]
+					back[k*w+i] = dpSplit{layerArg[i], l}
 				}
 			}
 		}
@@ -244,8 +285,8 @@ func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
 
 	bestK, bestV := -1, inf
 	for k := 1; k <= m; k++ {
-		if f[k][n] < bestV {
-			bestK, bestV = k, f[k][n]
+		if f[k*w+n] < bestV {
+			bestK, bestV = k, f[k*w+n]
 		}
 	}
 	if bestK < 0 {
@@ -254,7 +295,7 @@ func solveBatchDPQI(in *batchDPInput) ([]batchSegment, float64, bool) {
 	var segs []batchSegment
 	i, k := n, bestK
 	for i > 0 {
-		s := back[k][i]
+		s := back[k*w+i]
 		segs = append(segs, batchSegment{ReqLo: s.j, ReqHi: i, InstLo: s.l, InstHi: k})
 		i, k = s.j, s.l
 	}

@@ -76,6 +76,27 @@ type Engine struct {
 	byInst    map[kvcache.InstanceID]*group
 	nextGID   int
 
+	// groupList mirrors groups in ascending-id order, maintained
+	// incrementally on create/retire so the scheduler never re-sorts.
+	groupList []*group
+
+	// Per-SP fitted model tables, built once at Init from the SIB: the
+	// scheduler consults coefficients on every dispatch decision and in the
+	// inner loop of the Eq 5 DP, so the map-and-fit lookup is hoisted to an
+	// index. Index sp ∈ [1, cluster size]; TP is the engine's.
+	spPrefill   []costmodel.Coeffs
+	spPrefillOK []bool
+	spDecode    []costmodel.DecodeCoeffs
+	spDecodeOK  []bool
+
+	// Hot-path scratch, reused across scheduling rounds.
+	schedScratch []*group             // snapshot for mutation-safe iteration
+	idleScratch  []kvcache.InstanceID // idleInstances result buffer
+	mcScratch    []kvcache.InstanceID // masterCount distinct-set buffer
+	lensScratch  []int                // non-retained length vectors
+	dp           dpScratch            // Eq 5 DP inputs and matrices
+	scheduleFn   func()               // bound e.schedule, for After(0, ...)
+
 	tracer *Tracer // optional execution trace (Fig 6 lifecycle)
 
 	// Running averages for the Eq 2 gain estimate.
@@ -116,6 +137,14 @@ type group struct {
 	// Decode state.
 	reqs   []*serving.Request
 	master map[kvcache.RequestID]kvcache.InstanceID
+
+	// Decode-iteration plumbing: iter snapshots the batch for the in-flight
+	// iteration (g.reqs may grow mid-flight when a finished prefill joins
+	// the group — joined requests must not receive this iteration's token),
+	// and decodeEv is the group's reusable completion event, so steady-state
+	// decoding schedules without allocating.
+	iter     []*serving.Request
+	decodeEv *simevent.Event
 
 	// Borrowed instances (Eq 1-2): returned to their decoding group after
 	// this prefill iteration.
@@ -171,6 +200,24 @@ func (e *Engine) Init(env *serving.Env) error {
 		prof.ProfileDecode(e.sib, st, sp)
 	}
 	prof.CalibrateThresholds(e.sib, costmodel.Strategy{SP: 1, TP: e.TP})
+
+	// Fit every strategy now and build the per-SP tables the scheduler
+	// indexes at decision time (the SIB itself caches fits, but the map
+	// lookup is too slow for the DP inner loop).
+	e.spPrefill = make([]costmodel.Coeffs, n+1)
+	e.spPrefillOK = make([]bool, n+1)
+	e.spDecode = make([]costmodel.DecodeCoeffs, n+1)
+	e.spDecodeOK = make([]bool, n+1)
+	for sp := 1; sp <= n; sp++ {
+		st := costmodel.Strategy{SP: sp, TP: e.TP}
+		if c, err := e.sib.PrefillCoeffs(st); err == nil {
+			e.spPrefill[sp], e.spPrefillOK[sp] = c, true
+		}
+		if c, err := e.sib.DecodeCoeffs(st); err == nil {
+			e.spDecode[sp], e.spDecodeOK[sp] = c, true
+		}
+	}
+	e.scheduleFn = e.schedule
 	return nil
 }
 
@@ -231,9 +278,11 @@ func (e *Engine) Arrive(r *serving.Request) {
 	e.schedule()
 }
 
-// idleInstances returns instances in no group, most-free first.
+// idleInstances returns instances in no group, most-free first, in a
+// scratch buffer valid until the next call. Callers that retain an instance
+// set (group membership) copy what they keep.
 func (e *Engine) idleInstances() []kvcache.InstanceID {
-	var ids []kvcache.InstanceID
+	ids := e.idleScratch[:0]
 	for _, inst := range e.env.Cluster.Instances {
 		if e.byInst[inst.ID] == nil {
 			ids = append(ids, inst.ID)
@@ -246,6 +295,7 @@ func (e *Engine) idleInstances() []kvcache.InstanceID {
 		}
 		return ids[a] < ids[b]
 	})
+	e.idleScratch = ids
 	return ids
 }
 
@@ -289,27 +339,45 @@ func (e *Engine) schedule() {
 	}
 	// Step 4 happens inside completion handlers (scale-down) and here for
 	// decoding groups (merging and scale-up), then idle decoding groups
-	// launch their next iteration.
+	// launch their next iteration. launchDecode can dissolve a group, which
+	// mutates the live list, so this loop walks a scratch snapshot.
 	e.considerMerges()
-	for _, g := range e.sortedGroups() {
+	snap := append(e.schedScratch[:0], e.groupList...)
+	e.schedScratch = snap
+	for _, g := range snap {
 		if g.phase == phaseDecode && !g.running {
 			e.launchDecode(g)
 		}
 	}
 }
 
-// sortedGroups returns groups in id order for determinism.
+// sortedGroups returns the live id-ordered group list, maintained
+// incrementally by addGroup/removeGroup (ids are assigned monotonically, so
+// creation appends in order and retirement is a single ordered removal —
+// no call site re-sorts). The returned slice is the engine's own: callers
+// may read it freely, including nested reads, but must not create or
+// retire groups while ranging over it; loops that do (schedule's decode
+// launcher) range over a snapshot instead.
 func (e *Engine) sortedGroups() []*group {
-	ids := make([]int, 0, len(e.groups))
-	for id := range e.groups {
-		ids = append(ids, id)
+	return e.groupList
+}
+
+// addGroup registers a newly created group.
+func (e *Engine) addGroup(g *group) {
+	e.groups[g.id] = g
+	e.groupList = append(e.groupList, g)
+}
+
+// removeGroup retires a group from the index and the ordered list.
+func (e *Engine) removeGroup(g *group) {
+	delete(e.groups, g.id)
+	list := e.groupList
+	i := sort.Search(len(list), func(k int) bool { return list[k].id >= g.id })
+	if i < len(list) && list[i] == g {
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = nil
+		e.groupList = list[:len(list)-1]
 	}
-	sort.Ints(ids)
-	out := make([]*group, len(ids))
-	for i, id := range ids {
-		out[i] = e.groups[id]
-	}
-	return out
 }
 
 // launchPrefill starts one prefill iteration for a planned batch. delay is
@@ -331,7 +399,7 @@ func (e *Engine) launchPrefill(reqs []*serving.Request, lens []int, insts []kvca
 		}(),
 	}
 	e.nextGID++
-	e.groups[g.id] = g
+	e.addGroup(g)
 	for _, id := range insts {
 		if borrowed == nil || !instIn(borrowed.instances, id) {
 			e.byInst[id] = g
@@ -514,7 +582,7 @@ func (e *Engine) joinGroup(g *group, target *group) {
 		target.reqs = append(target.reqs, r)
 		target.master[r.ID] = g.retain[i%len(g.retain)]
 	}
-	delete(e.groups, g.id)
+	e.removeGroup(g)
 	e.tracer.record(e.env.Sim.Now(), TraceJoin, target, 0)
 }
 
@@ -528,9 +596,11 @@ func (e *Engine) finishRequest(r *serving.Request) {
 	e.env.Complete(r)
 }
 
-// retireFinished completes requests that have generated their full output.
+// retireFinished completes requests that have generated their full output,
+// filtering g.reqs in place (the in-flight snapshot g.iter has its own
+// backing, so compaction here cannot corrupt an iteration).
 func (e *Engine) retireFinished(g *group) {
-	var live []*serving.Request
+	live := g.reqs[:0]
 	for _, r := range g.reqs {
 		if r.Generated >= r.OutputLen {
 			delete(g.master, r.ID)
@@ -538,6 +608,9 @@ func (e *Engine) retireFinished(g *group) {
 			continue
 		}
 		live = append(live, r)
+	}
+	for i := len(live); i < len(g.reqs); i++ {
+		g.reqs[i] = nil
 	}
 	g.reqs = live
 }
@@ -550,7 +623,7 @@ func (e *Engine) dissolve(g *group) {
 			delete(e.byInst, id)
 		}
 	}
-	delete(e.groups, g.id)
+	e.removeGroup(g)
 }
 
 func instIn(ids []kvcache.InstanceID, id kvcache.InstanceID) bool {

@@ -102,7 +102,7 @@ func (e *Engine) piggybackRound(idle []kvcache.InstanceID) bool {
 	for i, r := range rp {
 		lens[i] = e.prefillLen(r)
 	}
-	if !e.borrowWorthIt(rp, donor, len(insts)) && !e.agedOutCheap(rp, lens, len(insts)) {
+	if !e.borrowWorthIt(rp, lens, donor, len(insts)) && !e.agedOutCheap(rp, lens, len(insts)) {
 		e.requeue(rp)
 		return false
 	}
@@ -120,7 +120,7 @@ func (e *Engine) agedOutCheap(rp []*serving.Request, lens []int, sp int) bool {
 	if !e.agedOut(rp) {
 		return false
 	}
-	coeffs, ok := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	coeffs, ok := e.prefillCoeffsSP(sp)
 	if !ok {
 		return false
 	}
@@ -158,14 +158,17 @@ func (e *Engine) dispatch(avail, sp int) []*serving.Request {
 	if sp < 1 {
 		sp = 1
 	}
-	coeffs, haveCoeffs := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	coeffs, haveCoeffs := e.prefillCoeffsSP(sp)
 	tipping := e.sib.PrefillTippingPoint
 	if len(e.pending) > 0 && e.agedOut(e.pending[:1]) {
 		tipping *= 4
 	}
 
+	// The tipping check keeps running Σlen/Σlen² instead of rebuilding the
+	// candidate length vector per admission (the sums accumulate in the
+	// same order the vector would, so predictions are bit-identical).
 	var rp []*serving.Request
-	var lens []int
+	var sumLen, sumSq float64
 	for len(e.pending) > 0 && len(rp) < maxDispatch {
 		r := e.pending[0]
 		// Maximum future consumption: full context plus the entire output.
@@ -173,23 +176,28 @@ func (e *Engine) dispatch(avail, sp int) []*serving.Request {
 		if futureNeed > avail {
 			break // strict FCFS: wait rather than starve the head
 		}
+		l := float64(e.prefillLen(r))
 		if len(rp) > 0 && haveCoeffs {
-			cand := append(append([]int(nil), lens...), e.prefillLen(r))
-			if coeffs.Predict(cand) > tipping {
+			if coeffs.PredictSums(sumLen+l, sumSq+l*l) > tipping {
 				break // compute-bound already; more requests only add delay
 			}
 		}
 		avail -= futureNeed
 		rp = append(rp, r)
-		lens = append(lens, e.prefillLen(r))
+		sumLen += l
+		sumSq += l * l
 		e.pending = e.pending[1:]
 	}
 	return rp
 }
 
-func (e *Engine) prefillCoeffs(st costmodel.Strategy) (costmodel.Coeffs, bool) {
-	c, err := e.sib.PrefillCoeffs(st)
-	return c, err == nil
+// prefillCoeffsSP returns the fitted Eq 7 coefficients for DoP sp at the
+// engine's TP, from the table built at Init.
+func (e *Engine) prefillCoeffsSP(sp int) (costmodel.Coeffs, bool) {
+	if sp < 1 || sp >= len(e.spPrefill) {
+		return costmodel.Coeffs{}, false
+	}
+	return e.spPrefill[sp], e.spPrefillOK[sp]
 }
 
 // pickDonor returns the idle decoding group with the largest batch (and
@@ -231,15 +239,12 @@ func (e *Engine) agedOut(rp []*serving.Request) bool {
 // borrowWorthIt evaluates Eqs 1-2: the gain of running R'_p now (the
 // queueing it avoids, normalized per input token) against the cost of
 // stalling the donor's decode batch for one prefill iteration (normalized
-// per already-generated output token).
-func (e *Engine) borrowWorthIt(rp []*serving.Request, donor *group, sp int) bool {
-	coeffs, ok := e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+// per already-generated output token). lens is rp's prefill-length vector,
+// already built by the caller.
+func (e *Engine) borrowWorthIt(rp []*serving.Request, lens []int, donor *group, sp int) bool {
+	coeffs, ok := e.prefillCoeffsSP(sp)
 	if !ok {
 		return false
-	}
-	lens := make([]int, len(rp))
-	for i, r := range rp {
-		lens[i] = e.prefillLen(r)
 	}
 	tIter := coeffs.Predict(lens).Seconds()
 
@@ -306,16 +311,27 @@ func (e *Engine) planBatches(rp []*serving.Request, insts []kvcache.InstanceID) 
 			}
 		}
 		dropped = append(dropped, rp[worst])
-		rp = append(append([]*serving.Request(nil), rp[:worst]...), rp[worst+1:]...)
+		rp = append(rp[:worst], rp[worst+1:]...)
 	}
 	return nil, dropped
+}
+
+// dpScratch holds the reusable Eq 5 problem buffers: the sorted views, the
+// DP input (with its solver matrices) and nothing that outlives a call —
+// returned plans copy the segments they keep, because groups retain their
+// request and instance slices across iterations.
+type dpScratch struct {
+	sorted []*serving.Request
+	order  []kvcache.InstanceID
+	in     batchDPInput
 }
 
 // dpBatches runs the DP over one candidate set; ok=false when no feasible
 // partition exists.
 func (e *Engine) dpBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([]batchPlan, bool) {
 	// Sort requests by prefill length descending.
-	sorted := append([]*serving.Request(nil), rp...)
+	sorted := append(e.dp.sorted[:0], rp...)
+	e.dp.sorted = sorted
 	sort.Slice(sorted, func(a, b int) bool {
 		la, lb := e.prefillLen(sorted[a]), e.prefillLen(sorted[b])
 		if la != lb {
@@ -324,7 +340,8 @@ func (e *Engine) dpBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([
 		return sorted[a].ID < sorted[b].ID
 	})
 	// Sort instances by free slots ascending (paper §5.3).
-	order := append([]kvcache.InstanceID(nil), insts...)
+	order := append(e.dp.order[:0], insts...)
+	e.dp.order = order
 	sort.Slice(order, func(a, b int) bool {
 		fa, fb := e.env.Pool.Pool(order[a]).Free(), e.env.Pool.Pool(order[b]).Free()
 		if fa != fb {
@@ -333,23 +350,24 @@ func (e *Engine) dpBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([
 		return order[a] < order[b]
 	})
 
-	n, m := len(sorted), len(order)
-	in := &batchDPInput{
-		lens:    make([]int, n),
-		reserve: make([]int, n),
-		free:    make([]int, m),
-		coeffs:  make([]costmodel.Coeffs, m+1),
-		have:    make([]bool, m+1),
+	m := len(order)
+	in := &e.dp.in
+	in.lens = in.lens[:0]
+	in.reserve = in.reserve[:0]
+	in.free = in.free[:0]
+	for _, r := range sorted {
+		in.lens = append(in.lens, e.prefillLen(r))
+		in.reserve = append(in.reserve, e.reserveLen(r))
 	}
-	for i, r := range sorted {
-		in.lens[i] = e.prefillLen(r)
-		in.reserve[i] = e.reserveLen(r)
+	for _, id := range order {
+		in.free = append(in.free, e.env.Pool.Pool(id).Free())
 	}
-	for k, id := range order {
-		in.free[k] = e.env.Pool.Pool(id).Free()
-	}
-	for sp := 1; sp <= m; sp++ {
-		in.coeffs[sp], in.have[sp] = e.prefillCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
+	// The per-SP coefficient table is the engine's, built once at Init; the
+	// solver only indexes sp in [1, m].
+	in.coeffs = e.spPrefill
+	in.have = e.spPrefillOK
+	if m+1 > len(in.coeffs) {
+		return nil, false // unreachable: insts is a subset of the cluster
 	}
 
 	solver := solveBatchDP
@@ -363,9 +381,9 @@ func (e *Engine) dpBatches(rp []*serving.Request, insts []kvcache.InstanceID) ([
 	plans := make([]batchPlan, 0, len(segs))
 	for _, s := range segs {
 		plans = append(plans, batchPlan{
-			reqs:  sorted[s.ReqLo:s.ReqHi],
-			lens:  in.lens[s.ReqLo:s.ReqHi],
-			insts: order[s.InstLo:s.InstHi],
+			reqs:  append([]*serving.Request(nil), sorted[s.ReqLo:s.ReqHi]...),
+			lens:  append([]int(nil), in.lens[s.ReqLo:s.ReqHi]...),
+			insts: append([]kvcache.InstanceID(nil), order[s.InstLo:s.InstHi]...),
 		})
 	}
 	return plans, true
@@ -398,7 +416,7 @@ func (e *Engine) planGreedy(rp []*serving.Request, insts []kvcache.InstanceID) (
 			}
 		}
 		dropped = append(dropped, rp[worst])
-		rp = append(append([]*serving.Request(nil), rp[:worst]...), rp[worst+1:]...)
+		rp = append(rp[:worst], rp[worst+1:]...)
 	}
 	return nil, dropped
 }
@@ -474,11 +492,10 @@ func groupKV(g *group) int {
 }
 
 func (e *Engine) decodePredict(bs, sumKV, sp int) (float64, bool) {
-	c, err := e.sib.DecodeCoeffs(costmodel.Strategy{SP: sp, TP: e.TP})
-	if err != nil {
+	if sp < 1 || sp >= len(e.spDecode) || !e.spDecodeOK[sp] {
 		return 0, false
 	}
-	return c.Predict(bs, sumKV).Seconds(), true
+	return e.spDecode[sp].Predict(bs, sumKV).Seconds(), true
 }
 
 // merge absorbs group b into group a.
@@ -493,7 +510,7 @@ func (e *Engine) merge(a, b *group) {
 	for id, m := range b.master {
 		a.master[id] = m
 	}
-	delete(e.groups, b.id)
+	e.removeGroup(b)
 }
 
 // launchDecode runs step 4's decode side and starts the group's next
@@ -535,30 +552,50 @@ func (e *Engine) launchDecode(g *group) {
 	link := e.env.Cluster.GroupLink(g.instances)
 	d := e.env.CM.DecodeIterTime(bs, sumKV, len(g.instances), e.TP, masters, link)
 	g.running = true
-	batch := append([]*serving.Request(nil), g.reqs...)
-	e.env.Sim.After(d, func() {
-		for _, r := range batch {
-			r.Generated++
-			if err := e.env.Pool.AllocAt(r.ID, g.master[r.ID], 1); err != nil {
-				panic(fmt.Sprintf("%s: decode alloc on instance %d failed: %v", e.Label, g.master[r.ID], err))
-			}
+	// Snapshot the batch (a join can grow g.reqs mid-flight; joined requests
+	// sit out this iteration) and arm the group's reusable event.
+	g.iter = append(g.iter[:0], g.reqs...)
+	if g.decodeEv == nil {
+		g.decodeEv = e.env.Sim.NewEvent(func() { e.decodeIterDone(g) })
+	}
+	e.env.Sim.ScheduleAfter(g.decodeEv, d)
+}
+
+// decodeIterDone completes a decoding group's in-flight iteration: every
+// batched request gains one token on its master, finished requests retire,
+// and the scheduler runs.
+func (e *Engine) decodeIterDone(g *group) {
+	for _, r := range g.iter {
+		r.Generated++
+		if err := e.env.Pool.AllocAt(r.ID, g.master[r.ID], 1); err != nil {
+			panic(fmt.Sprintf("%s: decode alloc on instance %d failed: %v", e.Label, g.master[r.ID], err))
 		}
-		g.running = false
-		e.retireFinished(g)
-		e.shrinkDecode(g)
-		if len(g.reqs) == 0 {
-			e.dissolve(g)
-		}
-		e.schedule()
-	})
+	}
+	g.running = false
+	e.retireFinished(g)
+	e.shrinkDecode(g)
+	if len(g.reqs) == 0 {
+		e.dissolve(g)
+	}
+	e.schedule()
 }
 
 // masterCount returns the number of distinct master instances.
 func (e *Engine) masterCount(g *group) int {
-	seen := make(map[kvcache.InstanceID]bool)
+	seen := e.mcScratch[:0]
 	for _, id := range g.master {
-		seen[id] = true
+		dup := false
+		for _, s := range seen {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, id)
+		}
 	}
+	e.mcScratch = seen
 	return len(seen)
 }
 
@@ -724,7 +761,7 @@ func (e *Engine) wakeIfPending() {
 	if len(e.pending) == 0 {
 		return
 	}
-	e.env.Sim.After(0, e.schedule)
+	e.env.Sim.After(0, e.scheduleFn)
 }
 
 // preemptYoungest evicts the most recently arrived request of the group for
@@ -741,7 +778,7 @@ func (e *Engine) preemptYoungest(g *group) {
 		}
 	}
 	victim := g.reqs[worst]
-	g.reqs = append(append([]*serving.Request(nil), g.reqs[:worst]...), g.reqs[worst+1:]...)
+	g.reqs = append(g.reqs[:worst], g.reqs[worst+1:]...)
 	delete(g.master, victim.ID)
 	e.env.Pool.ReleaseRequest(victim.ID)
 	e.recompute[victim.ID] = victim.KVNow()
@@ -761,11 +798,11 @@ func (e *Engine) shrinkDecode(g *group) {
 	inUse := make(map[kvcache.InstanceID]bool)
 	for _, r := range g.reqs {
 		inUse[g.master[r.ID]] = true
-		for id, n := range e.env.Pool.Placement(r.ID) {
+		e.env.Pool.EachPlacement(r.ID, func(id kvcache.InstanceID, n int) {
 			if n > 0 {
 				inUse[id] = true
 			}
-		}
+		})
 	}
 	var keep []kvcache.InstanceID
 	for _, id := range g.instances {

@@ -216,7 +216,7 @@ func TestEvacuateShrinksGroup(t *testing.T) {
 		reqs:      []*serving.Request{r},
 		master:    map[kvcache.RequestID]kvcache.InstanceID{r.ID: 1},
 	}
-	e.groups[g.id] = g
+	e.addGroup(g)
 	e.byInst[0] = g
 	e.byInst[1] = g
 
@@ -255,7 +255,7 @@ func TestEvacuateSingleInstanceGroupMerges(t *testing.T) {
 			reqs:      []*serving.Request{r},
 			master:    map[kvcache.RequestID]kvcache.InstanceID{r.ID: inst},
 		}
-		e.groups[gid] = g
+		e.addGroup(g)
 		e.byInst[inst] = g
 		return g
 	}
@@ -288,7 +288,7 @@ func TestEvacuateRefusesRunningGroup(t *testing.T) {
 		reqs:      []*serving.Request{r},
 		master:    map[kvcache.RequestID]kvcache.InstanceID{r.ID: 0},
 	}
-	e.groups[1] = g
+	e.addGroup(g)
 	e.byInst[0] = g
 	if _, ok := e.evacuate(0); ok {
 		t.Fatal("evacuated a running group")

@@ -37,6 +37,14 @@ func (c Coeffs) Predict(lens []int) time.Duration {
 		sumLen += float64(l)
 		sumSq += float64(l) * float64(l)
 	}
+	return c.PredictSums(sumLen, sumSq)
+}
+
+// PredictSums evaluates the model from precomputed Σlen and Σlen² — the
+// O(1) form schedulers use with running sums, instead of rebuilding a
+// length slice per candidate batch. Eq 7 depends on the batch only through
+// these two sums, so memoizing Predict would cost more than evaluating it.
+func (c Coeffs) PredictSums(sumLen, sumSq float64) time.Duration {
 	s := c.Alpha + c.Beta*sumLen + c.Gamma*sumSq
 	if s < 0 {
 		s = 0

@@ -27,9 +27,39 @@ import (
 
 // CostModel computes ground-truth iteration times for one model on one
 // hardware generation.
+//
+// The derived model constants (FLOPs per token, weight bytes, KV bytes) are
+// precomputed once: iteration-time methods sit on every engine's hot path,
+// where re-deriving them per call is measurable. A CostModel is not safe
+// for concurrent use by multiple goroutines; parallel experiment arms each
+// build their own.
 type CostModel struct {
 	M  model.Config
 	HW cluster.Hardware
+
+	// Derived constants, filled by derive(). ok guards lazy initialization
+	// for zero-value construction; New initializes eagerly.
+	derived struct {
+		ok             bool
+		flopsPerTok    float64 // dense FLOPs per token
+		attnPerPair    float64 // attention FLOPs per (q, k) pair
+		kvBytesPerTok  float64
+		weightBytes    float64
+		tpVolumeFactor float64 // 2·Layers·Hidden·BytesParam
+		layers         float64
+		nvLatSec       float64
+		prefillOvhSec  float64
+		decodeOvhSec   float64
+		chunkOvhSec    float64
+
+		// Single-entry memo of the tp-dependent all-reduce constants; tp is
+		// fixed per engine, so this hits on every call after the first. The
+		// factored forms are chosen to round identically to the original
+		// expression (exact integer factors combine without extra rounding).
+		tpMemoTP  int
+		tpMemoMul float64 // 2·(tp-1), exact
+		tpMemoLat float64 // 2·Layers·ceilLog2(tp)·NVLinkLatency
+	}
 }
 
 // New returns a cost model; it panics on an invalid model config since that
@@ -38,7 +68,33 @@ func New(m model.Config, hw cluster.Hardware) *CostModel {
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
-	return &CostModel{M: m, HW: hw}
+	c := &CostModel{M: m, HW: hw}
+	c.derive()
+	return c
+}
+
+// derive precomputes the per-call constants of the iteration-time formulas.
+func (c *CostModel) derive() {
+	d := &c.derived
+	d.flopsPerTok = c.M.FLOPsPerToken()
+	d.attnPerPair = c.M.AttnFLOPsPerTokenPair()
+	d.kvBytesPerTok = float64(c.M.KVBytesPerToken())
+	d.weightBytes = float64(c.M.WeightBytes())
+	d.tpVolumeFactor = 2 * float64(c.M.Layers) * float64(c.M.Hidden) * float64(c.M.BytesParam)
+	d.layers = float64(c.M.Layers)
+	d.nvLatSec = c.HW.NVLinkLatency.Seconds()
+	d.prefillOvhSec = c.HW.PrefillOverhead.Seconds()
+	d.decodeOvhSec = c.HW.DecodeOverhead.Seconds()
+	d.chunkOvhSec = c.HW.ChunkOverhead.Seconds()
+	d.ok = true
+}
+
+// ensure covers CostModels built as composite literals (tests); New-built
+// models take the single predicted branch.
+func (c *CostModel) ensure() {
+	if !c.derived.ok {
+		c.derive()
+	}
 }
 
 func ceilLog2(n int) int {
@@ -61,7 +117,8 @@ func durSec(s float64) time.Duration { return time.Duration(s * 1e9) }
 // weightReadSec returns the time for one instance's GPUs to stream the
 // weight replica from HBM once — the memory-bound floor of an iteration.
 func (c *CostModel) weightReadSec(tp int) float64 {
-	return float64(c.M.WeightBytes()) / (float64(tp) * c.HW.MemBandwidth)
+	c.ensure()
+	return c.derived.weightBytes / (float64(tp) * c.HW.MemBandwidth)
 }
 
 // tpCommSec returns tensor-parallel all-reduce time for `tokens` activation
@@ -71,10 +128,14 @@ func (c *CostModel) tpCommSec(tokens float64, tp int) float64 {
 	if tp <= 1 {
 		return 0
 	}
-	bytes := 2 * float64(c.M.Layers) * tokens * float64(c.M.Hidden) * float64(c.M.BytesParam) *
-		2 * float64(tp-1) / float64(tp)
-	lat := 2 * float64(c.M.Layers) * float64(ceilLog2(tp)) * c.HW.NVLinkLatency.Seconds()
-	return bytes/c.HW.NVLinkBandwidth + lat
+	d := &c.derived
+	if tp != d.tpMemoTP {
+		d.tpMemoTP = tp
+		d.tpMemoMul = 2 * float64(tp-1)
+		d.tpMemoLat = 2 * d.layers * float64(ceilLog2(tp)) * d.nvLatSec
+	}
+	bytes := d.tpVolumeFactor * tokens * d.tpMemoMul / float64(tp)
+	return bytes/c.HW.NVLinkBandwidth + d.tpMemoLat
 }
 
 // PrefillIterTime returns the duration of one prefill iteration for a batch
@@ -96,6 +157,8 @@ func (c *CostModel) PrefillIterTime(lens []int, sp, tp int, link cluster.Link) t
 	if sp < 1 || tp < 1 {
 		panic(fmt.Sprintf("costmodel: invalid parallelism sp=%d tp=%d", sp, tp))
 	}
+	c.ensure()
+	d := &c.derived
 	g := float64(sp * tp)
 	var sumLen, sumSq float64
 	for _, l := range lens {
@@ -103,10 +166,10 @@ func (c *CostModel) PrefillIterTime(lens []int, sp, tp int, link cluster.Link) t
 		sumSq += float64(l) * float64(l)
 	}
 
-	tLin := c.M.FLOPsPerToken() * sumLen / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
+	tLin := d.flopsPerTok * sumLen / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
 	// Causal attention touches len^2/2 pairs; striped attention balances
 	// this evenly over instances.
-	tAttn := c.M.AttnFLOPsPerTokenPair() * sumSq / 2 / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	tAttn := d.attnPerPair * sumSq / 2 / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
 	tWeights := c.weightReadSec(tp)
 
 	// Sequence-parallel ring: the whole KV volume circulates (sp-1)/sp
@@ -114,13 +177,13 @@ func (c *CostModel) PrefillIterTime(lens []int, sp, tp int, link cluster.Link) t
 	// synchronization latency is not hidden.
 	var tRing, ringLat float64
 	if sp > 1 {
-		ringBytes := sumLen * float64(c.M.KVBytesPerToken()) * float64(sp-1) / float64(sp)
+		ringBytes := sumLen * d.kvBytesPerTok * float64(sp-1) / float64(sp)
 		tRing = ringBytes / link.Bandwidth
-		ringLat = float64(c.M.Layers) * float64(sp-1) * link.Latency.Seconds()
+		ringLat = d.layers * float64(sp-1) * link.Latency.Seconds()
 	}
 	tTP := c.tpCommSec(sumLen/float64(sp), tp)
 
-	total := c.HW.PrefillOverhead.Seconds() +
+	total := d.prefillOvhSec +
 		maxf(tLin, tWeights) +
 		maxf(tAttn, tRing) +
 		tTP + ringLat
@@ -155,31 +218,32 @@ func (c *CostModel) DecodeIterTime(bs, sumKV, sp, tp, masters int, link cluster.
 	if masters > bs {
 		masters = bs
 	}
+	c.ensure()
+	d := &c.derived
 	g := float64(sp * tp)
 
 	// Dense layers on master instances, batch split across masters.
-	tLin := c.M.FLOPsPerToken() * float64(bs) / (float64(masters*tp) * c.HW.PeakFLOPS * c.HW.MFUDecode)
+	tLin := d.flopsPerTok * float64(bs) / (float64(masters*tp) * c.HW.PeakFLOPS * c.HW.MFUDecode)
 	tWeights := c.weightReadSec(tp)
 
 	// Attention: reading resident KV dominates; it is spread over the whole
 	// group's HBM.
-	tKVRead := float64(sumKV) * float64(c.M.KVBytesPerToken()) / (g * c.HW.MemBandwidth)
-	tAttnFLOPs := c.M.AttnFLOPsPerTokenPair() * float64(sumKV) / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	tKVRead := float64(sumKV) * d.kvBytesPerTok / (g * c.HW.MemBandwidth)
+	tAttnFLOPs := d.attnPerPair * float64(sumKV) / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
 	tAttn := maxf(tKVRead, tAttnFLOPs)
 
 	// Query/partial-result exchange between instances, overlapped with
 	// local attention; per-layer synchronization latency is not hidden.
 	var commLat, tCommExcess float64
 	if sp > 1 {
-		qBytes := 2 * float64(c.M.Layers) * float64(bs) * float64(c.M.Hidden) * float64(c.M.BytesParam) *
-			float64(sp-1) / float64(sp)
+		qBytes := d.tpVolumeFactor * float64(bs) * float64(sp-1) / float64(sp)
 		tComm := qBytes / link.Bandwidth
 		tCommExcess = maxf(0, tComm-tAttn)
-		commLat = 2 * float64(c.M.Layers) * link.Latency.Seconds()
+		commLat = 2 * d.layers * link.Latency.Seconds()
 	}
 	tTP := c.tpCommSec(float64(bs)/float64(masters), tp)
 
-	total := c.HW.DecodeOverhead.Seconds() +
+	total := d.decodeOvhSec +
 		maxf(tLin, tWeights) +
 		tAttn + tCommExcess +
 		tTP + commLat
@@ -191,20 +255,22 @@ func (c *CostModel) DecodeIterTime(bs, sumKV, sp, tp, masters int, link cluster.
 // `chunk` new prompt tokens attending over ctx already-cached tokens, fused
 // with a decode batch of decodeBS requests holding decodeKV cached tokens.
 func (c *CostModel) ChunkIterTime(chunk, ctx, decodeBS, decodeKV, tp int) time.Duration {
+	c.ensure()
+	d := &c.derived
 	g := float64(tp)
 	newTokens := float64(chunk + decodeBS)
-	tLin := c.M.FLOPsPerToken() * newTokens / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
+	tLin := d.flopsPerTok * newTokens / (g * c.HW.PeakFLOPS * c.HW.MFUPrefill)
 	tWeights := c.weightReadSec(tp)
 
 	// Chunk attention: each of the chunk tokens attends over ctx previous
 	// tokens plus the causal half of the chunk itself.
 	pairs := float64(chunk)*float64(ctx) + float64(chunk)*float64(chunk)/2
-	tAttn := c.M.AttnFLOPsPerTokenPair() * pairs / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
+	tAttn := d.attnPerPair * pairs / (g * c.HW.PeakFLOPS * c.HW.MFUAttention)
 	// Decode attention within the fused batch.
-	tKVRead := float64(decodeKV) * float64(c.M.KVBytesPerToken()) / (g * c.HW.MemBandwidth)
+	tKVRead := float64(decodeKV) * d.kvBytesPerTok / (g * c.HW.MemBandwidth)
 
 	tTP := c.tpCommSec(newTokens, tp)
-	total := c.HW.ChunkOverhead.Seconds() + maxf(tLin, tWeights) + tAttn + tKVRead + tTP
+	total := d.chunkOvhSec + maxf(tLin, tWeights) + tAttn + tKVRead + tTP
 	return durSec(total)
 }
 

@@ -27,8 +27,11 @@ type SIB struct {
 	// compute bound (§5.4): the scale-up trigger.
 	DecodeBSThreshold int `json:"decode_bs_threshold"`
 
-	fittedPrefill map[string]Coeffs
-	fittedDecode  map[string]DecodeCoeffs
+	// Fit caches are keyed by the Strategy value itself, not its string
+	// key: a cache hit must not allocate (PrefillCoeffs sits on the
+	// scheduler's per-decision path, and Strategy.Key() formats a string).
+	fittedPrefill map[Strategy]Coeffs
+	fittedDecode  map[Strategy]DecodeCoeffs
 }
 
 // NewSIB returns an empty scaling information base.
@@ -36,27 +39,27 @@ func NewSIB() *SIB {
 	return &SIB{
 		Prefill:       make(map[string][]PrefillSample),
 		Decode:        make(map[string][]DecodeSample),
-		fittedPrefill: make(map[string]Coeffs),
-		fittedDecode:  make(map[string]DecodeCoeffs),
+		fittedPrefill: make(map[Strategy]Coeffs),
+		fittedDecode:  make(map[Strategy]DecodeCoeffs),
 	}
 }
 
 // AddPrefill records a prefill profile point and invalidates the fit.
 func (s *SIB) AddPrefill(st Strategy, sample PrefillSample) {
 	s.Prefill[st.Key()] = append(s.Prefill[st.Key()], sample)
-	delete(s.fittedPrefill, st.Key())
+	delete(s.fittedPrefill, st)
 }
 
 // AddDecode records a decode profile point and invalidates the fit.
 func (s *SIB) AddDecode(st Strategy, sample DecodeSample) {
 	s.Decode[st.Key()] = append(s.Decode[st.Key()], sample)
-	delete(s.fittedDecode, st.Key())
+	delete(s.fittedDecode, st)
 }
 
 // PrefillCoeffs returns (fitting on demand and caching) the Eq 7
-// coefficients for one strategy.
+// coefficients for one strategy. The cache-hit path is allocation-free.
 func (s *SIB) PrefillCoeffs(st Strategy) (Coeffs, error) {
-	if c, ok := s.fittedPrefill[st.Key()]; ok {
+	if c, ok := s.fittedPrefill[st]; ok {
 		return c, nil
 	}
 	samples := s.Prefill[st.Key()]
@@ -65,15 +68,16 @@ func (s *SIB) PrefillCoeffs(st Strategy) (Coeffs, error) {
 		return Coeffs{}, fmt.Errorf("strategy %s: %w", st.Key(), err)
 	}
 	if s.fittedPrefill == nil {
-		s.fittedPrefill = make(map[string]Coeffs)
+		s.fittedPrefill = make(map[Strategy]Coeffs)
 	}
-	s.fittedPrefill[st.Key()] = c
+	s.fittedPrefill[st] = c
 	return c, nil
 }
 
-// DecodeCoeffs returns the decode model for one strategy.
+// DecodeCoeffs returns the decode model for one strategy. The cache-hit
+// path is allocation-free.
 func (s *SIB) DecodeCoeffs(st Strategy) (DecodeCoeffs, error) {
-	if c, ok := s.fittedDecode[st.Key()]; ok {
+	if c, ok := s.fittedDecode[st]; ok {
 		return c, nil
 	}
 	c, err := FitDecode(s.Decode[st.Key()])
@@ -81,9 +85,9 @@ func (s *SIB) DecodeCoeffs(st Strategy) (DecodeCoeffs, error) {
 		return DecodeCoeffs{}, fmt.Errorf("strategy %s: %w", st.Key(), err)
 	}
 	if s.fittedDecode == nil {
-		s.fittedDecode = make(map[string]DecodeCoeffs)
+		s.fittedDecode = make(map[Strategy]DecodeCoeffs)
 	}
-	s.fittedDecode[st.Key()] = c
+	s.fittedDecode[st] = c
 	return c, nil
 }
 

@@ -114,6 +114,9 @@ type Result struct {
 	// Elasticity accounting (zero-valued for static runs that never scale).
 	Events     []ScaleEvent
 	Migrations MigrationStats
+	// SimEvents is the number of discrete events the run's simulator fired
+	// — the wall-clock-free work measure behind events/sec in BENCH_SIM.
+	SimEvents uint64
 	// ReplicaSeconds integrates provisioned replica count over the run:
 	// every replica is charged from provisioning until retirement (or run
 	// end) — warm-up and drain time included, exactly what a cluster bill
@@ -208,7 +211,7 @@ func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err
 		}
 		r.SLOBudget = g.SLOBudget(tr.InputLen, tr.OutputLen)
 		entry := tr.Entry
-		sim.At(r.Arrival, func() { g.Submit(r, entry) })
+		sim.Stage(r.Arrival, func() { g.Submit(r, entry) })
 	}
 
 	defer func() {

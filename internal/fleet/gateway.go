@@ -170,6 +170,15 @@ type Gateway struct {
 
 	completed int
 
+	// Hot-path scratch and memoization. activeScratch/viewScratch are
+	// rebuilt by every Submit (and only used synchronously within it);
+	// flFree recycles inflight records; sloCache memoizes the per-(in, out)
+	// SLO budget, which repeats across session turns of similar shape.
+	activeScratch []*replica
+	viewScratch   []ReplicaView
+	flFree        []*inflight
+	sloCache      map[[2]int]time.Duration
+
 	// OnComplete, when set, is invoked after the gateway's own accounting
 	// for every finished request — the hook closed-loop session drivers use
 	// to schedule the next turn.
@@ -205,6 +214,7 @@ func NewGateway(spec Spec, cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		pending:     make(map[kvcache.RequestID]*inflight),
 		sessionHome: make(map[PrefixKey]int),
 		res:         &Result{Policy: cfg.Policy.Name()},
+		sloCache:    make(map[[2]int]time.Duration),
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		rep, err := g.newReplica()
@@ -276,11 +286,19 @@ func (g *Gateway) ReplicaKVCapacity() int { return g.refKVCap }
 
 // SLOBudget returns the latency budget the gateway assigns a request, on
 // the single-replica reference configuration (0 when SLOs are disabled).
+// Budgets depend only on (in, out), which repeat heavily across session
+// turns, so the unloaded-latency evaluation is memoized.
 func (g *Gateway) SLOBudget(in, out int) time.Duration {
 	if g.cfg.SLOScale <= 0 {
 		return 0
 	}
-	return serving.SLOBudget(g.cm0, g.refGPUs, in, out, g.cfg.SLOScale)
+	key := [2]int{in, out}
+	if d, ok := g.sloCache[key]; ok {
+		return d
+	}
+	d := serving.SLOBudget(g.cm0, g.refGPUs, in, out, g.cfg.SLOScale)
+	g.sloCache[key] = d
+	return d
 }
 
 // MigrationTokenCost implements Migrator: the prefill-token-equivalent
@@ -381,14 +399,16 @@ func (g *Gateway) activate(rep *replica) {
 	g.event("active", "", rep.index, "serving")
 }
 
-// activeSet returns the currently routable replicas, index-ordered.
+// activeSet returns the currently routable replicas, index-ordered, in a
+// scratch slice valid until the next Submit or lifecycle change.
 func (g *Gateway) activeSet() []*replica {
-	out := make([]*replica, 0, len(g.replicas))
+	out := g.activeScratch[:0]
 	for _, rep := range g.replicas {
 		if rep.state == ReplicaActive {
 			out = append(out, rep)
 		}
 	}
+	g.activeScratch = out
 	return out
 }
 
@@ -515,10 +535,11 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 		PrefixLen:  e.PrefixLen,
 		SharedLen:  e.SharedLen,
 	}
-	views := make([]ReplicaView, len(active))
-	for i, rep := range active {
-		views[i] = rep
+	views := g.viewScratch[:0]
+	for _, rep := range active {
+		views = append(views, rep)
 	}
+	g.viewScratch = views
 
 	idx, from := 0, -1
 	if ma, ok := g.policy.(MigrationAware); ok {
@@ -567,7 +588,15 @@ func (g *Gateway) deliver(rep *replica, r *serving.Request, e workload.Entry, in
 	}
 	r.InputLen = full - hit
 
-	fl := &inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
+	var fl *inflight
+	if k := len(g.flFree); k > 0 {
+		fl = g.flFree[k-1]
+		g.flFree[k-1] = nil
+		g.flFree = g.flFree[:k-1]
+	} else {
+		fl = &inflight{}
+	}
+	*fl = inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
 	g.pending[r.ID] = fl
 	rep.outTokens += fl.effInput + r.OutputLen
 	rep.outReqs++
@@ -592,6 +621,8 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 	delete(g.pending, r.ID)
 	rep.outTokens -= fl.effInput + r.OutputLen
 	rep.outReqs--
+	// fl stays live through the rest of this function, then recycles.
+	defer func() { g.flFree = append(g.flFree, fl) }()
 
 	if fl.entry.SessionID != 0 {
 		key := SessionKey(fl.entry.SessionID)
@@ -651,6 +682,7 @@ func (g *Gateway) SessionLocations(sessionID int64) map[int]int {
 func (g *Gateway) Finalize() *Result {
 	end := g.sim.Now()
 	g.res.End = time.Duration(end)
+	g.res.SimEvents = g.sim.Fired()
 	g.res.Replicas = make([]ReplicaStats, len(g.replicas))
 	g.res.ReplicaSeconds = 0
 	for i, rep := range g.replicas {

@@ -51,7 +51,7 @@ func FeedSessions(g *Gateway, scripts []workload.SessionScript, closed bool) *Se
 			continue
 		}
 		start := simevent.Time(simevent.FromSeconds(s.Start))
-		g.sim.At(start, func() { f.emit(s, 0) })
+		g.sim.Stage(start, func() { f.emit(s, 0) })
 	}
 	g.OnComplete = f.onComplete
 	return f

@@ -149,23 +149,72 @@ func (pl Placement) Add(other Placement) {
 	}
 }
 
+// instShare is one (instance, token count) component of a request's
+// placement. Requests touch few instances, so placements are stored as
+// small slices: updating one is a scan and an in-place increment instead
+// of an inner map assignment — the difference is measurable because every
+// decode iteration allocates one slot per running request.
+type instShare struct {
+	id InstanceID
+	n  int
+}
+
+// reqPlacement is the mutable placement record of one request. Retired
+// records are recycled through the pool's free list.
+type reqPlacement struct {
+	shares []instShare
+}
+
+func (pl *reqPlacement) idx(id InstanceID) int {
+	for i := range pl.shares {
+		if pl.shares[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (pl *reqPlacement) total() int {
+	t := 0
+	for i := range pl.shares {
+		t += pl.shares[i].n
+	}
+	return t
+}
+
 // DistributedPool is the unified distributed KV cache pool: the pools of
 // every elastic instance plus the per-request placement index.
 type DistributedPool struct {
 	pools      map[InstanceID]*Pool
-	placements map[RequestID]Placement
+	placements map[RequestID]*reqPlacement
+	plFree     []*reqPlacement // recycled placement records
 }
 
 // NewDistributedPool builds a pool set from per-instance capacities.
 func NewDistributedPool(capacities map[InstanceID]int) *DistributedPool {
 	d := &DistributedPool{
 		pools:      make(map[InstanceID]*Pool, len(capacities)),
-		placements: make(map[RequestID]Placement),
+		placements: make(map[RequestID]*reqPlacement),
 	}
 	for id, c := range capacities {
 		d.pools[id] = NewPool(id, c)
 	}
 	return d
+}
+
+func (d *DistributedPool) newPlacement() *reqPlacement {
+	if k := len(d.plFree); k > 0 {
+		pl := d.plFree[k-1]
+		d.plFree[k-1] = nil
+		d.plFree = d.plFree[:k-1]
+		return pl
+	}
+	return &reqPlacement{}
+}
+
+func (d *DistributedPool) recyclePlacement(pl *reqPlacement) {
+	pl.shares = pl.shares[:0]
+	d.plFree = append(d.plFree, pl)
 }
 
 // Pool returns the pool of one instance (nil if unknown).
@@ -257,12 +306,51 @@ func (d *DistributedPool) Fragmentation() float64 {
 
 // Placement returns (a copy of) the placement of request r.
 func (d *DistributedPool) Placement(r RequestID) Placement {
-	return d.placements[r].Clone()
+	pl := d.placements[r]
+	out := make(Placement, 2)
+	if pl != nil {
+		for _, s := range pl.shares {
+			out[s.id] = s.n
+		}
+	}
+	return out
+}
+
+// HeldOn returns the tokens request r holds on one instance, without
+// materializing the placement map.
+func (d *DistributedPool) HeldOn(r RequestID, id InstanceID) int {
+	pl := d.placements[r]
+	if pl == nil {
+		return 0
+	}
+	if i := pl.idx(id); i >= 0 {
+		return pl.shares[i].n
+	}
+	return 0
+}
+
+// EachPlacement calls f for every (instance, tokens) share of request r,
+// without materializing the placement map. Share order is deterministic
+// for a given operation history but otherwise unspecified (partial
+// releases compact the share list); callers must not mutate the pool
+// during iteration.
+func (d *DistributedPool) EachPlacement(r RequestID, f func(InstanceID, int)) {
+	pl := d.placements[r]
+	if pl == nil {
+		return
+	}
+	for _, s := range pl.shares {
+		f(s.id, s.n)
+	}
 }
 
 // HeldBy returns the total tokens request r holds across the cluster.
 func (d *DistributedPool) HeldBy(r RequestID) int {
-	return d.placements[r].Total()
+	pl := d.placements[r]
+	if pl == nil {
+		return 0
+	}
+	return pl.total()
 }
 
 // AllocAt reserves n slots for r on a specific instance.
@@ -275,10 +363,16 @@ func (d *DistributedPool) AllocAt(r RequestID, id InstanceID, n int) error {
 		return err
 	}
 	if n > 0 {
-		if d.placements[r] == nil {
-			d.placements[r] = make(Placement)
+		pl := d.placements[r]
+		if pl == nil {
+			pl = d.newPlacement()
+			d.placements[r] = pl
 		}
-		d.placements[r][id] += n
+		if i := pl.idx(id); i >= 0 {
+			pl.shares[i].n += n
+		} else {
+			pl.shares = append(pl.shares, instShare{id, n})
+		}
 	}
 	return nil
 }
@@ -361,12 +455,20 @@ func (d *DistributedPool) ReleaseAt(r RequestID, id InstanceID, n int) error {
 		return err
 	}
 	pl := d.placements[r]
-	pl[id] -= n
-	if pl[id] == 0 {
-		delete(pl, id)
+	if pl == nil {
+		return nil // n == 0 on an unknown request
 	}
-	if len(pl) == 0 {
+	if i := pl.idx(id); i >= 0 {
+		pl.shares[i].n -= n
+		if pl.shares[i].n == 0 {
+			last := len(pl.shares) - 1
+			pl.shares[i] = pl.shares[last]
+			pl.shares = pl.shares[:last]
+		}
+	}
+	if len(pl.shares) == 0 {
 		delete(d.placements, r)
+		d.recyclePlacement(pl)
 	}
 	return nil
 }
@@ -374,19 +476,24 @@ func (d *DistributedPool) ReleaseAt(r RequestID, id InstanceID, n int) error {
 // ReleaseRequest frees everything request r holds anywhere and returns the
 // total freed.
 func (d *DistributedPool) ReleaseRequest(r RequestID) int {
+	pl := d.placements[r]
+	if pl == nil {
+		return 0
+	}
 	total := 0
-	for id := range d.placements[r] {
-		total += d.pools[id].ReleaseAll(r)
+	for _, s := range pl.shares {
+		total += d.pools[s.id].ReleaseAll(r)
 	}
 	delete(d.placements, r)
+	d.recyclePlacement(pl)
 	return total
 }
 
 // Move transfers n of r's tokens from src to dst (dst must have room).
 // Returns an error and changes nothing on violation.
 func (d *DistributedPool) Move(r RequestID, src, dst InstanceID, n int) error {
-	if d.placements[r][src] < n {
-		return fmt.Errorf("kvcache: request %d holds %d on instance %d, cannot move %d", r, d.placements[r][src], src, n)
+	if d.HeldOn(r, src) < n {
+		return fmt.Errorf("kvcache: request %d holds %d on instance %d, cannot move %d", r, d.HeldOn(r, src), src, n)
 	}
 	if d.pools[dst].Free() < n {
 		return fmt.Errorf("kvcache: instance %d has %d free, cannot receive %d", dst, d.pools[dst].Free(), n)
@@ -414,16 +521,16 @@ func (d *DistributedPool) CheckInvariants() error {
 		}
 	}
 	for r, pl := range d.placements {
-		for id, n := range pl {
-			if d.pools[id].Held(r) != n {
-				return fmt.Errorf("kvcache: request %d placement says %d on instance %d, pool says %d", r, n, id, d.pools[id].Held(r))
+		for _, s := range pl.shares {
+			if d.pools[s.id].Held(r) != s.n {
+				return fmt.Errorf("kvcache: request %d placement says %d on instance %d, pool says %d", r, s.n, s.id, d.pools[s.id].Held(r))
 			}
 		}
 	}
 	for id, p := range d.pools {
 		for r, n := range p.held {
-			if d.placements[r][id] != n {
-				return fmt.Errorf("kvcache: pool %d holds %d for request %d, placement says %d", id, n, r, d.placements[r][id])
+			if d.HeldOn(r, id) != n {
+				return fmt.Errorf("kvcache: pool %d holds %d for request %d, placement says %d", id, n, r, d.HeldOn(r, id))
 			}
 		}
 	}

@@ -388,3 +388,22 @@ func TestPropertySpreadMatchesFits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The decode hot path allocates one slot per running request per iteration;
+// with slice-backed placements the steady state must not allocate.
+func TestAllocAtSteadyStateAllocs(t *testing.T) {
+	d := NewDistributedPool(map[InstanceID]int{0: 1 << 20})
+	if err := d.AllocAt(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := d.AllocAt(1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("AllocAt(+1) steady state allocates %.1f objects per call, want 0", avg)
+	}
+	if got := d.HeldOn(1, 0); got != 301 {
+		t.Fatalf("HeldOn = %d, want 301", got)
+	}
+}

@@ -164,12 +164,24 @@ func SLOBudget(cm *costmodel.CostModel, gpus, in, out int, scale float64) time.D
 	return time.Duration(scale * float64(IdealLatency(cm, gpus, in, out)))
 }
 
+// RunStats reports simulator-level statistics of one Run — the events/sec
+// currency the perf trajectory (BENCH_SIM.json) tracks.
+type RunStats struct {
+	Events uint64 // discrete events fired by the simulation
+}
+
 // Run replays a trace against an engine and returns one metrics record per
 // completed request. Engines signal unservable workloads by panicking with
 // *ErrOOM, which Run converts to an error (the discrete-event kernel has no
 // error channel through event callbacks, and an OOM aborts the whole run,
 // matching the paper's missing DistServe curves).
-func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []workload.TimedRequest, cfg RunConfig) (recs []metrics.Record, err error) {
+func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []workload.TimedRequest, cfg RunConfig) ([]metrics.Record, error) {
+	recs, _, err := RunWithStats(eng, c, cm, trace, cfg)
+	return recs, err
+}
+
+// RunWithStats is Run, additionally reporting simulator statistics.
+func RunWithStats(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []workload.TimedRequest, cfg RunConfig) (recs []metrics.Record, stats RunStats, err error) {
 	sim := simevent.New()
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
@@ -194,7 +206,7 @@ func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []worklo
 		recs = append(recs, r.Record())
 	}
 	if err := eng.Init(env); err != nil {
-		return nil, err
+		return nil, RunStats{}, err
 	}
 
 	for i, tr := range trace {
@@ -207,10 +219,13 @@ func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []worklo
 		if cfg.SLOScale > 0 {
 			r.SLOBudget = SLOBudget(cm, totalGPUs, r.InputLen, r.OutputLen, cfg.SLOScale)
 		}
-		sim.At(r.Arrival, func() { eng.Arrive(r) })
+		// Arrivals ride the staged timeline: the whole trace stays out of
+		// the heap, so engine-event scheduling costs O(log active).
+		sim.Stage(r.Arrival, func() { eng.Arrive(r) })
 	}
 
 	defer func() {
+		stats.Events = sim.Fired()
 		if p := recover(); p != nil {
 			if oom, ok := p.(*ErrOOM); ok {
 				err = oom
@@ -221,5 +236,5 @@ func Run(eng Engine, c *cluster.Cluster, cm *costmodel.CostModel, trace []worklo
 		}
 	}()
 	sim.Run()
-	return recs, nil
+	return recs, stats, nil
 }

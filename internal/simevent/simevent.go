@@ -6,11 +6,19 @@
 // The kernel is intentionally minimal: a clock, a priority queue of events,
 // and a run loop. Higher layers (cluster, serving engines) own all state and
 // register callbacks.
+//
+// The kernel is built for hot loops. The queue is a hand-rolled 4-ary heap
+// (no container/heap interface dispatch), fired events return to a free
+// list, and callers that schedule in a tight cycle can hold a caller-owned
+// reusable event (NewEvent + ScheduleAfter) so a steady-state simulation
+// runs without allocating. The queue invariant is simple: every queued
+// event is live. Cancel removes from the heap immediately — there are no
+// tombstones, and Step never skips dead entries.
 package simevent
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -50,12 +58,20 @@ func FromSeconds(s float64) Duration {
 }
 
 // Event is a scheduled callback.
+//
+// Handles returned by At/After belong to the kernel: they may be used with
+// Cancel while the event is pending, but once the event fires the kernel
+// recycles the object through its free list, so a fired handle must be
+// dropped (cancelling it is a no-op only until the object is reused).
+// Cancelled events are never recycled, so a cancelled handle stays valid
+// indefinitely. Caller-owned events from NewEvent are never recycled.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 when popped or cancelled
+	index  int // heap position, -1 when not queued
 	cancel bool
+	owned  bool // caller-owned reusable event: never enters the free list
 }
 
 // Cancelled reports whether the event was cancelled before firing.
@@ -64,33 +80,12 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // At returns the time the event is (was) scheduled for.
 func (e *Event) At() Time { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// stagedEvent is one entry of the bulk-loaded timeline: an arrival-style
+// event that never needs cancellation and therefore never touches the heap.
+type stagedEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
 }
 
 // Sim is a discrete-event simulator instance. It is not safe for concurrent
@@ -98,9 +93,21 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*Event // 4-ary min-heap on (at, seq)
+	free    []*Event // recycled events
 	fired   uint64
 	stopped bool
+
+	// The staged timeline: drivers preload whole workload traces here
+	// (Stage), keeping thousands of future arrivals out of the heap so
+	// dynamic-event push/pop costs O(log active) instead of O(log trace).
+	// Entries fire in exactly the order they would have from the heap:
+	// seqs come from the same counter and the merge in Step compares the
+	// same (at, seq) key.
+	stage      []stagedEvent
+	stageIdx   int
+	stageDirty bool
+
 	// MaxEvents bounds the run loop as a safety net against runaway
 	// simulations; zero means no bound.
 	MaxEvents uint64
@@ -117,9 +124,127 @@ func (s *Sim) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been popped).
-func (s *Sim) Pending() int { return len(s.queue) }
+// Pending returns the number of events queued (heap and staged timeline).
+// Cancelled events leave the queue immediately, so every pending event will
+// fire.
+func (s *Sim) Pending() int { return len(s.queue) + len(s.stage) - s.stageIdx }
+
+// less orders the heap: earliest time first, scheduling order breaking
+// ties. (at, seq) pairs are unique, so the order is total and the firing
+// sequence is independent of heap layout.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property from position i toward the root.
+func (s *Sim) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(e, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = e
+	e.index = i
+}
+
+// siftDown restores the heap property from position i toward the leaves.
+func (s *Sim) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !less(q[min], e) {
+			break
+		}
+		q[i] = q[min]
+		q[i].index = i
+		i = min
+	}
+	q[i] = e
+	e.index = i
+}
+
+// push enqueues a fully initialized event.
+func (s *Sim) push(e *Event) {
+	e.index = len(s.queue)
+	s.queue = append(s.queue, e)
+	s.siftUp(e.index)
+}
+
+// pop removes and returns the earliest event.
+func (s *Sim) pop() *Event {
+	q := s.queue
+	e := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].index = 0
+	q[last] = nil
+	s.queue = q[:last]
+	if last > 1 {
+		s.siftDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes the event at heap position i.
+func (s *Sim) remove(i int) {
+	q := s.queue
+	last := len(q) - 1
+	e := q[i]
+	if i != last {
+		q[i] = q[last]
+		q[i].index = i
+	}
+	q[last] = nil
+	s.queue = q[:last]
+	if i < last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+	e.index = -1
+}
+
+// alloc takes an event from the free list, or makes one.
+func (s *Sim) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{index: -1}
+}
+
+// recycle returns a fired kernel-owned event to the free list.
+func (s *Sim) recycle(e *Event) {
+	e.fn = nil
+	e.cancel = false
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // now) panics: it indicates a logic error in the caller, and silently
@@ -131,9 +256,14 @@ func (s *Sim) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("simevent: nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.cancel = false
+	e.owned = false
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
 }
 
@@ -145,35 +275,138 @@ func (s *Sim) After(d Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
+// Stage schedules fn to run at absolute time t on the staged timeline:
+// semantically identical to At — same seq counter, same (at, seq) firing
+// order against every other event — but without a heap entry or a Cancel
+// handle. Drivers use it to preload whole traces: a million arrivals cost
+// one sorted array instead of a million-deep heap.
+func (s *Sim) Stage(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simevent: schedule at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("simevent: nil event function")
+	}
+	if n := len(s.stage); n > s.stageIdx && t < s.stage[n-1].at {
+		s.stageDirty = true // out-of-order staging: sort before consuming
+	}
+	s.stage = append(s.stage, stagedEvent{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// stageHead returns the next staged entry, sorting the unconsumed suffix
+// first if staging happened out of time order. (at, seq) keys are unique,
+// so the sorted order is the exact global firing order.
+func (s *Sim) stageHead() *stagedEvent {
+	if s.stageIdx >= len(s.stage) {
+		return nil
+	}
+	if s.stageDirty {
+		rest := s.stage[s.stageIdx:]
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].at != rest[j].at {
+				return rest[i].at < rest[j].at
+			}
+			return rest[i].seq < rest[j].seq
+		})
+		s.stageDirty = false
+	}
+	return &s.stage[s.stageIdx]
+}
+
+// NewEvent returns an unscheduled caller-owned event bound to fn. Owned
+// events are armed with ScheduleAt/ScheduleAfter, may be re-armed after
+// every firing (typically from fn itself), and never enter the kernel's
+// free list — a scheduler that drives its iteration loop through one owned
+// event per batch runs allocation-free in steady state.
+func (s *Sim) NewEvent(fn func()) *Event {
+	if fn == nil {
+		panic("simevent: nil event function")
+	}
+	return &Event{fn: fn, index: -1, owned: true}
+}
+
+// ScheduleAt arms an event (from NewEvent) to fire at absolute time t. The
+// event must not already be queued; re-arming happens after it fires or is
+// cancelled.
+func (s *Sim) ScheduleAt(e *Event, t Time) {
+	if e == nil || e.fn == nil {
+		panic("simevent: ScheduleAt on nil or unbound event")
+	}
+	if e.index >= 0 {
+		panic(fmt.Sprintf("simevent: event already scheduled for %v", e.at))
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simevent: schedule at %v before now %v", t, s.now))
+	}
+	e.at = t
+	e.seq = s.seq
+	e.cancel = false
+	s.seq++
+	s.push(e)
+}
+
+// ScheduleAfter arms an event to fire d after the current time.
+func (s *Sim) ScheduleAfter(e *Event, d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simevent: negative delay %v", d))
+	}
+	s.ScheduleAt(e, s.now.Add(d))
+}
+
+// Cancel prevents a pending event from firing, removing it from the queue
+// immediately. Cancelling nil, an already-cancelled event, or an event
+// that already fired is a no-op — but see Event: a kernel-owned handle
+// (from At/After) is only trustworthy for Cancel until its event fires.
 func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.cancel || e.index < 0 {
+	if e == nil {
+		return
+	}
+	if e.cancel || e.index < 0 {
 		e.cancel = true
 		return
 	}
 	e.cancel = true
-	heap.Remove(&s.queue, e.index)
-	e.index = -1
+	s.remove(e.index)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
-// Step executes the single earliest pending event. It returns false when the
-// queue is empty.
+// Step executes the single earliest pending event — merging the heap and
+// the staged timeline on their shared (at, seq) key. It returns false when
+// both are empty.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.at
+	st := s.stageHead()
+	if st != nil && (len(s.queue) == 0 || st.at < s.queue[0].at ||
+		(st.at == s.queue[0].at && st.seq < s.queue[0].seq)) {
+		s.stageIdx++
+		s.now = st.at
 		s.fired++
-		e.fn()
+		fn := st.fn
+		st.fn = nil // release the closure as soon as it has fired
+		if s.stageIdx == len(s.stage) {
+			s.stage = s.stage[:0]
+			s.stageIdx = 0
+		}
+		fn()
 		return true
 	}
-	return false
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := s.pop()
+	s.now = e.at
+	s.fired++
+	fn := e.fn
+	if !e.owned {
+		// Recycle before firing: a callback chain that schedules its
+		// successor reuses this very object, so the whole chain costs one
+		// allocation total.
+		s.recycle(e)
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue empties, Stop is called, or MaxEvents
@@ -196,16 +429,15 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 {
-			break
+		hasNext := false
+		var next Time
+		if st := s.stageHead(); st != nil {
+			next, hasNext = st.at, true
 		}
-		// Peek.
-		next := s.queue[0]
-		if next.cancel {
-			heap.Pop(&s.queue)
-			continue
+		if len(s.queue) > 0 && (!hasNext || s.queue[0].at < next) {
+			next, hasNext = s.queue[0].at, true
 		}
-		if next.at > deadline {
+		if !hasNext || next > deadline {
 			break
 		}
 		s.Step()

@@ -257,6 +257,153 @@ func TestTimeAddSaturates(t *testing.T) {
 	}
 }
 
+func TestCancelNilIsNoop(t *testing.T) {
+	s := New()
+	s.Cancel(nil) // must not panic
+	s.At(1, func() {})
+	s.Cancel(nil)
+	s.Run()
+	if s.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", s.Fired())
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New()
+	e := s.At(10, func() {})
+	s.At(20, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Cancel(e)
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d after Cancel, want 1 (no tombstones)", s.Pending())
+	}
+	s.Cancel(e) // double cancel: no-op
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d after double Cancel, want 1", s.Pending())
+	}
+}
+
+func TestOwnedEventRearms(t *testing.T) {
+	s := New()
+	count := 0
+	var e *Event
+	e = s.NewEvent(func() {
+		count++
+		if count < 5 {
+			s.ScheduleAfter(e, 3)
+		}
+	})
+	s.ScheduleAt(e, 1)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("owned event fired %d times, want 5", count)
+	}
+	if s.Now() != 13 {
+		t.Fatalf("Now() = %v, want 13", s.Now())
+	}
+}
+
+func TestOwnedEventDoubleArmPanics(t *testing.T) {
+	s := New()
+	e := s.NewEvent(func() {})
+	s.ScheduleAt(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double arm did not panic")
+		}
+	}()
+	s.ScheduleAt(e, 2)
+}
+
+func TestOwnedEventCancelAndRearm(t *testing.T) {
+	s := New()
+	fired := 0
+	e := s.NewEvent(func() { fired++ })
+	s.ScheduleAt(e, 1)
+	s.Cancel(e)
+	s.Run()
+	if fired != 0 {
+		t.Fatal("cancelled owned event fired")
+	}
+	s.ScheduleAt(e, 2) // re-arm after cancel
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("re-armed owned event fired %d times, want 1", fired)
+	}
+}
+
+// The self-rescheduling chain is the hot pattern of every engine's
+// iteration loop; with the free list (kernel events) or an owned event it
+// must run allocation-free in steady state.
+func TestSteadyStateAllocs(t *testing.T) {
+	s := New()
+	var tick func()
+	tick = func() { s.After(1, tick) }
+	s.After(1, tick)
+	s.Step() // prime the free list
+	if avg := testing.AllocsPerRun(200, func() { s.Step() }); avg != 0 {
+		t.Fatalf("After/Step chain allocates %.1f objects per event, want 0", avg)
+	}
+
+	s2 := New()
+	var e *Event
+	e = s2.NewEvent(func() { s2.ScheduleAfter(e, 1) })
+	s2.ScheduleAfter(e, 1)
+	s2.Step()
+	if avg := testing.AllocsPerRun(200, func() { s2.Step() }); avg != 0 {
+		t.Fatalf("owned event loop allocates %.1f objects per event, want 0", avg)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the survivors firing,
+// in order — exercising mid-heap removal.
+func TestPropertyCancelRandom(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		count := int(n%64) + 2
+		var fired []int
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = s.At(Time(rng.Intn(50)), func() { fired = append(fired, i) })
+		}
+		keep := map[int]bool{}
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				s.Cancel(events[i])
+			} else {
+				keep[i] = true
+			}
+		}
+		if s.Pending() != len(keep) {
+			return false
+		}
+		s.Run()
+		if len(fired) != len(keep) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fired, func(a, b int) bool {
+			ea, eb := events[fired[a]], events[fired[b]]
+			if ea.At() != eb.At() {
+				return ea.At() < eb.At()
+			}
+			return fired[a] < fired[b]
+		})
+		for _, i := range fired {
+			if !keep[i] {
+				return false
+			}
+		}
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: for any set of random (time, id) pairs, events fire sorted by
 // time with scheduling order breaking ties.
 func TestPropertyOrderingRandom(t *testing.T) {
