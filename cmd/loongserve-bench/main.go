@@ -1,9 +1,13 @@
 // Command loongserve-bench regenerates the paper's tables and figures
 // against the simulated cluster. Each experiment prints one or more text
 // tables whose rows correspond to the plotted points of the figure.
-// Independent experiment arms (rate x policy x fleet-size points) run
-// across goroutines with deterministic result ordering; -serial forces
+// Independent experiment arms (rate x cache x policy x fleet-size points)
+// run across goroutines with deterministic result ordering; -serial forces
 // single-threaded execution (tables are byte-identical either way).
+//
+// -exp fleet prints the routing-policy comparison under both prefix-cache
+// implementations (whole-key LRU and token-block radix) plus the
+// whole-key-vs-radix head-to-head on a branching-session workload.
 //
 // Usage:
 //
@@ -83,6 +87,7 @@ func main() {
 	}
 	if run("fleet") {
 		bench.FleetExperiment(scale).Fprint(out)
+		bench.FleetCacheExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("autoscale") {

@@ -2,9 +2,16 @@
 // engine replicas (each an independently simulated 8-GPU node) behind a
 // gateway that routes a multi-turn chat-session workload through a
 // configurable policy, modeling per-replica prefix-KV caches whose hits
-// discount prefill. It prints one comparison row per policy: goodput,
-// mean TTFT, normalized input latency, prefix-cache token hit ratio and
-// SLO attainment, plus per-replica breakdowns with -v.
+// discount prefill. The cache is a token-block radix tree by default
+// (-cache radix: any shared token prefix — system prompts, branched
+// conversation trunks — is shared block-for-block, and eviction drops leaf
+// blocks priced by the cost model's recompute time); -cache wholekey
+// selects the legacy per-session LRU for comparison. -branch N groups
+// sessions into families of N sharing a conversation trunk, the workload
+// shape where the radix cache structurally wins. It prints one comparison
+// row per policy: goodput, mean TTFT, normalized input latency,
+// prefix-cache token hit ratio and SLO attainment, plus per-replica
+// breakdowns with -v.
 //
 // The workload can run closed-loop (-closed-loop: each turn arrives think
 // time after the previous turn completes, so the fleet sees its own
@@ -25,6 +32,8 @@
 //	loongserve-fleet -policy affinity -v          # one policy, per-replica stats
 //	loongserve-fleet -engine loongserve -replicas 2
 //	loongserve-fleet -sessions 200 -rate 6 -cache-tokens 200000 -no-admission
+//	loongserve-fleet -cache wholekey              # legacy per-session LRU cache
+//	loongserve-fleet -branch 4 -branch-turns 3    # branching-session workload
 //	loongserve-fleet -closed-loop -burst 6 -burst-period 40 -burst-duty 0.3 \
 //	    -autoscale -min-replicas 1 -max-replicas 4 -warmup 5s
 package main
@@ -74,8 +83,11 @@ func main() {
 		cooldown   = flag.Duration("cooldown", 4*time.Second, "minimum time between scaling actions")
 		showEvents = flag.Bool("events", true, "with -autoscale, print the scaling timeline")
 
+		cacheKind   = flag.String("cache", "radix", "prefix-cache implementation: radix (token-block tree, cost-priced eviction) or wholekey (legacy per-session LRU)")
 		cacheTokens = flag.Int("cache-tokens", 0, "per-replica prefix-cache capacity in KV tokens (0 = full KV pool)")
 		noAdmission = flag.Bool("no-admission", false, "disable TinyLFU admission (plain LRU prefix cache)")
+		branch      = flag.Int("branch", 0, "branching sessions: family size sharing a conversation trunk (0 = independent sessions)")
+		branchTurns = flag.Int("branch-turns", 2, "trunk turns shared within a branching family")
 		seed        = flag.Int64("seed", 42, "workload and policy seed (runs are deterministic per seed)")
 		verbose     = flag.Bool("v", false, "print per-replica request/hit/cache breakdowns")
 	)
@@ -102,6 +114,15 @@ func main() {
 	cfg.BurstFactor = *burst
 	cfg.BurstPeriod = *burstPeriod
 	cfg.BurstDuty = *burstDuty
+	cfg.BranchFactor = *branch
+	cfg.BranchTurns = *branchTurns
+	if *branch == 0 {
+		cfg.BranchTurns = 0
+	}
+	if *cacheKind != fleet.CacheRadix && *cacheKind != fleet.CacheWholeKey {
+		fmt.Fprintf(os.Stderr, "loongserve-fleet: -cache must be %q or %q\n", fleet.CacheRadix, fleet.CacheWholeKey)
+		os.Exit(2)
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -141,8 +162,12 @@ func main() {
 	if cfg.ClosedLoop {
 		mode = "closed-loop"
 	}
-	fmt.Printf("trace: %d requests over %d sessions (%d prompt groups, %s), %.0f%% of input tokens prefix-reusable\n",
-		st.Requests, st.Sessions, *groups, mode, 100*float64(st.PrefixTokens)/float64(st.InputTokens))
+	branching := ""
+	if *branch > 1 {
+		branching = fmt.Sprintf(", families of %d sharing %d turns", *branch, cfg.BranchTurns)
+	}
+	fmt.Printf("trace: %d requests over %d sessions (%d prompt groups, %s%s), %.0f%% of input tokens prefix-reusable, %s cache\n",
+		st.Requests, st.Sessions, *groups, mode, branching, 100*float64(st.PrefixTokens)/float64(st.InputTokens), *cacheKind)
 
 	if *autoScale {
 		acfg := autoscale.Config{
@@ -154,7 +179,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fcfg := fleet.Config{Policy: policies[0], CacheTokens: *cacheTokens, NoAdmission: *noAdmission}
+		fcfg := fleet.Config{Policy: policies[0], Cache: *cacheKind, CacheTokens: *cacheTokens, NoAdmission: *noAdmission}
 		res, err := autoscale.Run(spec, scripts, fcfg, acfg, cfg.ClosedLoop)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -209,6 +234,7 @@ func main() {
 		res, err := fleet.RunSessions(spec, scripts, fleet.Config{
 			Replicas:    *replicas,
 			Policy:      p,
+			Cache:       *cacheKind,
 			CacheTokens: *cacheTokens,
 			NoAdmission: *noAdmission,
 		}, cfg.ClosedLoop)

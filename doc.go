@@ -23,10 +23,13 @@
 //     cluster: an elastic gateway fronts N independently simulated engine
 //     replicas and routes arrivals through pluggable policies —
 //     round-robin, least-loaded, power-of-two-choices, prefix-affinity
-//     and migrating-affinity routing over per-replica prefix-KV caches
-//     (token-capacity LRU with TinyLFU-style admission), exercised by
-//     multi-turn session workloads (workload.SessionTrace and the
-//     closed-loop workload.SessionScripts). Replicas can be provisioned
+//     and migrating-affinity routing over per-replica prefix-KV caches: a
+//     token-block radix cache sharing any common prompt prefix, with
+//     eviction priced by the cost model's recompute time and TinyLFU
+//     admission (or the legacy whole-key LRU, kept for comparison),
+//     exercised by multi-turn session workloads (workload.SessionTrace,
+//     the closed-loop workload.SessionScripts, and branching session
+//     families sharing a conversation trunk). Replicas can be provisioned
 //     with a warm-up delay and drained — live sessions' KV migrates to
 //     survivors over the inter-node link instead of being recomputed.
 //   - An autoscaling control plane (internal/autoscale) that closes the

@@ -5,10 +5,16 @@
 // discrete-event clock, exactly the deployment shape of a production
 // fleet behind a load balancer.
 //
-// The gateway additionally models per-replica prefix-KV reuse: a
-// token-capacity LRU cache with TinyLFU-style admission (prefixcache.go)
-// remembers which conversation contexts and shared system prompts each
-// replica has served, and a cache hit discounts the prefill the replica
+// The gateway additionally models per-replica prefix-KV reuse, with two
+// selectable implementations (Config.Cache). The default-for-CLIs radix
+// cache (radixcache.go) indexes KV at token-block granularity over
+// content-addressed block-hash chains: any shared token prefix — a system
+// prompt, a branched conversation trunk, a session's own history — is
+// shared block-for-block, and eviction drops leaf blocks priced by the
+// cost model's recompute time (GDSF) with TinyLFU admission. The legacy
+// whole-key cache (prefixcache.go), a token-capacity LRU keyed by whole
+// session/prompt-group identities, stays reachable for honest
+// comparisons. Either way, a cache hit discounts the prefill the replica
 // must simulate to just the unseen suffix. This creates the tension the
 // routing policies trade off: sticking a session to its warm replica
 // minimizes recomputation, spreading minimizes queueing — the same
@@ -47,11 +53,26 @@ type Spec struct {
 	NewCluster func() (*cluster.Cluster, error)
 }
 
+// Prefix-cache implementations selectable via Config.Cache.
+const (
+	// CacheWholeKey is the legacy per-session/per-group LRU: one entry per
+	// whole cache key, no sharing between distinct keys.
+	CacheWholeKey = "wholekey"
+	// CacheRadix is the token-block radix cache: block-hash chains share
+	// any common token prefix, eviction drops leaf blocks priced by the
+	// cost model's recompute time (see RadixCache).
+	CacheRadix = "radix"
+)
+
 // Config controls a fleet run.
 type Config struct {
 	Replicas int
 	// Policy routes arrivals; nil defaults to LeastLoaded.
 	Policy Policy
+	// Cache selects the prefix-cache implementation: CacheWholeKey (the
+	// default, "") or CacheRadix. The whole-key cache stays reachable so
+	// radix-vs-wholekey comparisons run the exact legacy behavior.
+	Cache string
 	// CacheTokens is each replica's prefix-cache capacity in KV tokens;
 	// 0 sizes it to the replica's KV pool capacity.
 	CacheTokens int

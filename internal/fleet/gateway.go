@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"loongserve/internal/cluster"
@@ -62,12 +63,14 @@ type ReplicaInfo struct {
 }
 
 // replica is one engine plus its private environment, cache and the
-// gateway's load accounting. It implements ReplicaView.
+// gateway's load accounting. It implements ReplicaView. Exactly one of
+// cache (whole-key mode) and radix (radix mode) is non-nil.
 type replica struct {
 	index  int
 	engine serving.Engine
 	env    *serving.Env
 	cache  *PrefixCache
+	radix  *RadixCache
 
 	state         ReplicaState
 	provisionedAt simevent.Time
@@ -92,7 +95,13 @@ func (rep *replica) QueueDepth() int {
 }
 
 // CachedTokens implements ReplicaView: the usable hit, side-effect free.
+// In radix mode the chain match is inherently bounded by what previous
+// completions inserted, so no PrefixLen clamp is needed; shared system
+// prompts and branched trunks are covered structurally by the chain.
 func (rep *replica) CachedTokens(req RequestInfo) int {
+	if rep.radix != nil {
+		return min(req.InputLen, rep.radix.MatchTokens(req.Blocks))
+	}
 	if req.SessionKey != 0 {
 		if c := rep.cache.Peek(req.SessionKey); c > 0 {
 			return min(req.PrefixLen, c)
@@ -108,10 +117,17 @@ func (rep *replica) CachedTokens(req RequestInfo) int {
 
 // SessionTokens implements ReplicaView: the session-private resident KV,
 // which is what a migration could move (shared prompts are excluded — they
-// are replicated, not owned).
+// are replicated, not owned). The radix analogue subtracts the blocks
+// fully covered by the shared system prompt from the matched path; blocks
+// shared with a branch sibling count as owned by both, a deliberate
+// approximation (either branch moving them re-installs them for both).
 func (rep *replica) SessionTokens(req RequestInfo) int {
 	if req.SessionKey == 0 {
 		return 0
+	}
+	if rep.radix != nil {
+		shared := req.SharedLen / rep.radix.BlockTokens() * rep.radix.BlockTokens()
+		return max(0, rep.radix.MatchTokens(req.Blocks)-shared)
 	}
 	return min(req.PrefixLen, rep.cache.Peek(req.SessionKey))
 }
@@ -119,6 +135,9 @@ func (rep *replica) SessionTokens(req RequestInfo) int {
 // lookup is CachedTokens with the access recorded (recency, frequency,
 // hit counters) — called once, on the replica the policy picked.
 func (rep *replica) lookup(req RequestInfo) int {
+	if rep.radix != nil {
+		return min(req.InputLen, rep.radix.Lookup(req.Blocks))
+	}
 	if req.SessionKey != 0 {
 		if c := rep.cache.Lookup(req.SessionKey); c > 0 {
 			return min(req.PrefixLen, c)
@@ -130,6 +149,36 @@ func (rep *replica) lookup(req RequestInfo) int {
 		}
 	}
 	return 0
+}
+
+// cacheUsed/cacheLen/cacheEvicted/cacheRejected dispatch the accounting
+// reads over whichever cache implementation the replica runs.
+func (rep *replica) cacheUsed() int {
+	if rep.radix != nil {
+		return rep.radix.Used()
+	}
+	return rep.cache.Used()
+}
+
+func (rep *replica) cacheLen() int {
+	if rep.radix != nil {
+		return rep.radix.Len()
+	}
+	return rep.cache.Len()
+}
+
+func (rep *replica) cacheEvicted() int {
+	if rep.radix != nil {
+		return rep.radix.Evicted
+	}
+	return rep.cache.Evicted
+}
+
+func (rep *replica) cacheRejected() int {
+	if rep.radix != nil {
+		return rep.radix.Rejected
+	}
+	return rep.cache.Rejected
 }
 
 // inflight tracks one routed, unfinished request.
@@ -160,6 +209,11 @@ type Gateway struct {
 	// owns (or is about to receive) the session's KV — the gateway's routing
 	// table for migration handoffs.
 	sessionHome map[PrefixKey]int
+
+	// sessionChain tracks, per session cache key, the longest block-hash
+	// chain any completion of the session has produced — the tree path a
+	// radix-mode migration or drain moves. Unused in whole-key mode.
+	sessionChain map[PrefixKey][]uint64
 
 	res         *Result
 	cm0         *costmodel.CostModel
@@ -204,17 +258,23 @@ func NewGateway(spec Spec, cfg Config, sim *simevent.Sim) (*Gateway, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
 	}
+	switch cfg.Cache {
+	case "", CacheWholeKey, CacheRadix:
+	default:
+		return nil, fmt.Errorf("fleet: unknown cache %q (want %q or %q)", cfg.Cache, CacheWholeKey, CacheRadix)
+	}
 	sim.MaxEvents = cfg.MaxEvents
 
 	g := &Gateway{
-		sim:         sim,
-		spec:        spec,
-		cfg:         cfg,
-		policy:      cfg.Policy,
-		pending:     make(map[kvcache.RequestID]*inflight),
-		sessionHome: make(map[PrefixKey]int),
-		res:         &Result{Policy: cfg.Policy.Name()},
-		sloCache:    make(map[[2]int]time.Duration),
+		sim:          sim,
+		spec:         spec,
+		cfg:          cfg,
+		policy:       cfg.Policy,
+		pending:      make(map[kvcache.RequestID]*inflight),
+		sessionHome:  make(map[PrefixKey]int),
+		sessionChain: make(map[PrefixKey][]uint64),
+		res:          &Result{Policy: cfg.Policy.Name()},
+		sloCache:     make(map[[2]int]time.Duration),
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		rep, err := g.newReplica()
@@ -243,7 +303,6 @@ func (g *Gateway) newReplica() (*replica, error) {
 	rep := &replica{
 		index:         i,
 		engine:        g.spec.NewEngine(),
-		cache:         NewPrefixCache(cacheCap, !g.cfg.NoAdmission),
 		state:         ReplicaWarming,
 		provisionedAt: g.sim.Now(),
 	}
@@ -252,6 +311,28 @@ func (g *Gateway) newReplica() (*replica, error) {
 		Cluster: c,
 		CM:      costmodel.New(c.Model, c.HW),
 		Pool:    c.NewPool(),
+	}
+	if g.cfg.Cache == CacheRadix {
+		// Eviction is priced by the replica's own cost model: a block at
+		// context offset `start` costs the marginal prefill time of its
+		// tokens on the replica's reference configuration — deep blocks are
+		// dearer per KV token freed than shallow ones.
+		cm := rep.env.CM
+		gpus := 0
+		for _, inst := range c.Instances {
+			gpus += inst.TP
+		}
+		nvlink := cluster.Link{Bandwidth: c.HW.NVLinkBandwidth, Latency: c.HW.NVLinkLatency}
+		cost := func(start, tokens int) float64 {
+			full := cm.PrefillIterTime([]int{start + tokens}, 1, gpus, nvlink)
+			if start == 0 {
+				return full.Seconds()
+			}
+			return (full - cm.PrefillIterTime([]int{start}, 1, gpus, nvlink)).Seconds()
+		}
+		rep.radix = NewRadixCache(cacheCap, workload.BlockTokens, !g.cfg.NoAdmission, cost)
+	} else {
+		rep.cache = NewPrefixCache(cacheCap, !g.cfg.NoAdmission)
 	}
 	rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
 	if err := rep.engine.Init(rep.env); err != nil {
@@ -334,7 +415,7 @@ func (g *Gateway) ReplicaInfos() []ReplicaInfo {
 			OutstandingReqs:   rep.outReqs,
 			QueueDepth:        rep.QueueDepth(),
 			QueuedReqs:        queued,
-			CacheUsed:         rep.cache.Used(),
+			CacheUsed:         rep.cacheUsed(),
 		}
 	}
 	return out
@@ -432,9 +513,13 @@ func (g *Gateway) migrationTarget(exclude *replica) *replica {
 // transferSession moves `tokens` KV tokens of session key from src toward
 // dst, arriving after `delay`: the session is re-homed immediately (so
 // subsequent routing and completions aim at dst), the destination cache is
-// installed when the transfer lands. The install is skipped if the session
-// re-homed again meanwhile or a fresher (larger) entry already landed.
-func (g *Gateway) transferSession(key PrefixKey, tokens int, src, dst *replica, delay time.Duration, kind string) {
+// installed when the transfer lands. In radix mode `chain` is the tree
+// path being moved (nil in whole-key mode) and the install replays it as a
+// subtree: shared ancestor blocks the destination already holds are
+// deduplicated structurally, missing ones are installed alongside the
+// session-private tail. The install is skipped if the session re-homed
+// again meanwhile or a fresher (larger) entry already landed.
+func (g *Gateway) transferSession(key PrefixKey, chain []uint64, tokens int, src, dst *replica, delay time.Duration, kind string) {
 	g.sessionHome[key] = dst.index
 	src.migrationsOut++
 	dst.migInTokens += tokens
@@ -448,8 +533,14 @@ func (g *Gateway) transferSession(key PrefixKey, tokens int, src, dst *replica, 
 		// grown the entry, or the destination may itself have begun
 		// draining (its cache dies with it — dropping the copy just costs
 		// a recompute later, it loses no session).
-		if g.sessionHome[key] == dst.index && dst.state == ReplicaActive && dst.cache.Peek(key) < tokens {
-			dst.cache.Install(key, tokens)
+		if g.sessionHome[key] == dst.index && dst.state == ReplicaActive {
+			if dst.radix != nil {
+				if dst.radix.MatchTokens(chain) < tokens {
+					dst.radix.Install(chain, tokens)
+				}
+			} else if dst.cache.Peek(key) < tokens {
+				dst.cache.Install(key, tokens)
+			}
 		}
 		src.migrationsOut--
 		dst.migInTokens -= tokens
@@ -479,24 +570,56 @@ func (g *Gateway) DrainReplica(idx int) error {
 		return fmt.Errorf("fleet: cannot drain the last active replica")
 	}
 	rep.state = ReplicaDraining
-	g.event("drain", "", idx, "%d in-flight requests, %d cached tokens", rep.outReqs, rep.cache.Used())
+	g.event("drain", "", idx, "%d in-flight requests, %d cached tokens", rep.outReqs, rep.cacheUsed())
 
 	var delay time.Duration
-	for _, ent := range rep.cache.Snapshot() {
-		home, owned := g.sessionHome[ent.Key]
-		rep.cache.Remove(ent.Key)
-		if !owned || home != idx {
-			// Shared prompt-group entries and stale session copies: dropped,
-			// not moved — the authoritative KV lives elsewhere or is cheap to
-			// recompute from the prompt text.
-			continue
+	if rep.radix != nil {
+		// Radix drain: every session homed here moves its resident tree
+		// path — the session-private tail is physically removed, shared
+		// ancestors ride along and are deduplicated at the destination.
+		// sessionHome is iterated in sorted key order so transfer order
+		// (and the serialized link delays) replays identically.
+		keys := make([]PrefixKey, 0, len(g.sessionHome))
+		for key, home := range g.sessionHome {
+			if home == idx {
+				keys = append(keys, key)
+			}
 		}
-		dst := g.migrationTarget(rep)
-		if dst == nil {
-			continue // unreachable: >= 1 active replica guaranteed above
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			chain := g.sessionChain[key]
+			tokens := rep.radix.MatchTokens(chain)
+			if tokens == 0 {
+				continue
+			}
+			rep.radix.RemoveExclusive(chain)
+			dst := g.migrationTarget(rep)
+			if dst == nil {
+				continue // unreachable: >= 1 active replica guaranteed above
+			}
+			delay += g.migrationDelay(tokens)
+			g.transferSession(key, chain, tokens, rep, dst, delay, "drain")
 		}
-		delay += g.migrationDelay(ent.Tokens)
-		g.transferSession(ent.Key, ent.Tokens, rep, dst, delay, "drain")
+		// Whatever remains — shared prompts, stale short copies — dies with
+		// the replica; it is recomputable or replicated elsewhere.
+		rep.radix.Clear()
+	} else {
+		for _, ent := range rep.cache.Snapshot() {
+			home, owned := g.sessionHome[ent.Key]
+			rep.cache.Remove(ent.Key)
+			if !owned || home != idx {
+				// Shared prompt-group entries and stale session copies: dropped,
+				// not moved — the authoritative KV lives elsewhere or is cheap to
+				// recompute from the prompt text.
+				continue
+			}
+			dst := g.migrationTarget(rep)
+			if dst == nil {
+				continue // unreachable: >= 1 active replica guaranteed above
+			}
+			delay += g.migrationDelay(ent.Tokens)
+			g.transferSession(ent.Key, nil, ent.Tokens, rep, dst, delay, "drain")
+		}
 	}
 	g.maybeRetire(rep)
 	return nil
@@ -534,6 +657,7 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 		SharedKey:  GroupKey(e.PromptGroup),
 		PrefixLen:  e.PrefixLen,
 		SharedLen:  e.SharedLen,
+		Blocks:     e.InputBlocks(),
 	}
 	views := g.viewScratch[:0]
 	for _, rep := range active {
@@ -558,10 +682,19 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 		// the destination, then deliver the request there — it prefills only
 		// the unseen suffix, having paid link time instead of recompute.
 		src := active[from]
-		if tokens := src.cache.Peek(info.SessionKey); tokens > 0 {
+		var tokens int
+		var chain []uint64
+		if src.radix != nil {
+			chain = g.sessionChain[info.SessionKey]
+			if tokens = src.radix.MatchTokens(chain); tokens > 0 {
+				src.radix.RemoveExclusive(chain)
+			}
+		} else if tokens = src.cache.Peek(info.SessionKey); tokens > 0 {
 			src.cache.Remove(info.SessionKey)
+		}
+		if tokens > 0 {
 			delay := g.migrationDelay(tokens)
-			g.transferSession(info.SessionKey, tokens, src, rep, delay, "route")
+			g.transferSession(info.SessionKey, chain, tokens, src, rep, delay, "route")
 			g.sim.After(delay, func() {
 				if rep.state != ReplicaActive {
 					// The destination began draining mid-transfer: take a
@@ -626,20 +759,42 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 
 	if fl.entry.SessionID != 0 {
 		key := SessionKey(fl.entry.SessionID)
-		tokens := fl.fullInput + r.OutputLen
-		if rep.state == ReplicaActive {
-			// The finished conversation context is now reusable KV here.
-			rep.cache.Put(key, tokens)
-			if rep.cache.Peek(key) > 0 {
-				g.sessionHome[key] = rep.index
+		if rep.radix != nil {
+			chain := fl.entry.Blocks
+			if len(chain) > len(g.sessionChain[key]) {
+				// Longest-chain-wins mirrors Put's never-shrink rule: a
+				// stale out-of-order completion must not truncate the path
+				// a later turn already established.
+				g.sessionChain[key] = chain
 			}
-		} else if dst := g.completionTarget(key, rep); dst != nil {
-			// Draining: the freshly produced KV rides the drain link to the
-			// session's new home so the next turn finds it warm.
-			g.transferSession(key, tokens, rep, dst, g.migrationDelay(tokens), "handoff")
+			tokens := len(chain) * workload.BlockTokens
+			if rep.state == ReplicaActive {
+				rep.radix.Put(chain)
+				if rep.radix.MatchTokens(chain) > 0 {
+					g.sessionHome[key] = rep.index
+				}
+			} else if dst := g.completionTarget(key, rep); dst != nil && tokens > 0 {
+				g.transferSession(key, chain, tokens, rep, dst, g.migrationDelay(tokens), "handoff")
+			}
+		} else {
+			tokens := fl.fullInput + r.OutputLen
+			if rep.state == ReplicaActive {
+				// The finished conversation context is now reusable KV here.
+				rep.cache.Put(key, tokens)
+				if rep.cache.Peek(key) > 0 {
+					g.sessionHome[key] = rep.index
+				}
+			} else if dst := g.completionTarget(key, rep); dst != nil {
+				// Draining: the freshly produced KV rides the drain link to the
+				// session's new home so the next turn finds it warm.
+				g.transferSession(key, nil, tokens, rep, dst, g.migrationDelay(tokens), "handoff")
+			}
 		}
 	}
-	if fl.entry.PromptGroup != 0 && rep.state == ReplicaActive {
+	if fl.entry.PromptGroup != 0 && rep.state == ReplicaActive && rep.radix == nil {
+		// Whole-key mode replicates the shared prompt as its own entry; in
+		// radix mode the system-prompt blocks are the head of every
+		// session chain and were inserted by the session Put above.
 		rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
 	}
 
@@ -665,12 +820,19 @@ func (g *Gateway) completionTarget(key PrefixKey, from *replica) *replica {
 
 // SessionLocations returns every replica index holding a resident copy of
 // the session's KV entry, with resident token counts — the introspection
-// surface drain verification and tests use.
+// surface drain verification and tests use. In radix mode a "copy" is the
+// resident prefix of the session's longest known chain (shared head blocks
+// included, matching what a whole-key entry would hold).
 func (g *Gateway) SessionLocations(sessionID int64) map[int]int {
 	out := make(map[int]int)
 	key := SessionKey(sessionID)
+	chain := g.sessionChain[key]
 	for i, rep := range g.replicas {
-		if c := rep.cache.Peek(key); c > 0 {
+		if rep.radix != nil {
+			if c := rep.radix.MatchTokens(chain); c > 0 {
+				out[i] = c
+			}
+		} else if c := rep.cache.Peek(key); c > 0 {
 			out[i] = c
 		}
 	}
@@ -686,9 +848,9 @@ func (g *Gateway) Finalize() *Result {
 	g.res.Replicas = make([]ReplicaStats, len(g.replicas))
 	g.res.ReplicaSeconds = 0
 	for i, rep := range g.replicas {
-		rep.stats.CacheEntries = rep.cache.Len()
-		rep.stats.CacheEvicted = rep.cache.Evicted
-		rep.stats.CacheRejected = rep.cache.Rejected
+		rep.stats.CacheEntries = rep.cacheLen()
+		rep.stats.CacheEvicted = rep.cacheEvicted()
+		rep.stats.CacheRejected = rep.cacheRejected()
 		g.res.Replicas[i] = rep.stats
 		stop := end
 		if rep.state == ReplicaRetired {

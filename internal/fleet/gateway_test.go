@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -177,19 +178,27 @@ func TestOpenLoopFeedMatchesStaticTrace(t *testing.T) {
 	// tolerance: the feed accumulates think times event by event, the
 	// static trace in one float sum, so the two round differently at
 	// nanosecond scale. Entries are unique per (session, turn).
-	want := make(map[workload.Entry]time.Duration, len(static))
+	type turnKey struct {
+		sid  int64
+		turn int
+	}
+	want := make(map[turnKey]workload.TimedRequest, len(static))
 	for _, tr := range static {
-		want[tr.Entry] = tr.Arrival
+		want[turnKey{tr.SessionID, tr.Turn}] = tr
 	}
 	for _, tr := range res.Trace {
-		at, ok := want[tr.Entry]
+		k := turnKey{tr.SessionID, tr.Turn}
+		w, ok := want[k]
 		if !ok {
 			t.Fatalf("feed emitted %+v not present in static trace", tr.Entry)
 		}
-		if d := tr.Arrival - at; d < -2*time.Microsecond || d > 2*time.Microsecond {
-			t.Fatalf("turn %+v arrived at %v, static trace says %v", tr.Entry, tr.Arrival, at)
+		if !reflect.DeepEqual(tr.Entry, w.Entry) {
+			t.Fatalf("feed emitted %+v, static trace has %+v", tr.Entry, w.Entry)
 		}
-		delete(want, tr.Entry)
+		if d := tr.Arrival - w.Arrival; d < -2*time.Microsecond || d > 2*time.Microsecond {
+			t.Fatalf("turn %+v arrived at %v, static trace says %v", tr.Entry, tr.Arrival, w.Arrival)
+		}
+		delete(want, k)
 	}
 }
 

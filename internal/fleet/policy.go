@@ -18,6 +18,12 @@ type RequestInfo struct {
 	SharedKey  PrefixKey // 0 = no shared system prompt
 	PrefixLen  int       // head tokens reusable under SessionKey
 	SharedLen  int       // head tokens reusable under SharedKey
+
+	// Blocks is the input-covering block-hash chain (workload.Entry's
+	// chain cut at the input boundary) — the lookup key of radix-mode
+	// prefix caches. nil for stateless requests and whole-key-mode runs
+	// may ignore it.
+	Blocks []uint64
 }
 
 // ReplicaView is a policy's read-only window onto one replica.

@@ -10,12 +10,22 @@ import (
 // (a system prompt shared by many sessions). Zero is the absent key.
 type PrefixKey uint64
 
+// Family tags separating the two key spaces. They are XOR-mixed with the
+// already-hashed id rather than OR-ed onto the raw id: OR-ing a tag into
+// the high bits silently clobbers it for ids >= 2^48 (and for every
+// negative id, whose two's-complement form fills the high bits), at which
+// point SessionKey(a) and GroupKey(b) can collide for distinct identities.
+const (
+	sessionKeyTag = 0x5e55_0000_0000_0000
+	groupKeyTag   = 0x6702_0000_0000_0000
+)
+
 // SessionKey returns the cache key for a session's accumulated context.
 func SessionKey(sessionID int64) PrefixKey {
 	if sessionID == 0 {
 		return 0
 	}
-	return PrefixKey(mix64(0x5e55_0000_0000_0000 | uint64(sessionID)))
+	return PrefixKey(mix64(sessionKeyTag ^ mix64(uint64(sessionID))))
 }
 
 // GroupKey returns the cache key for a shared system prompt family.
@@ -23,7 +33,7 @@ func GroupKey(group int) PrefixKey {
 	if group == 0 {
 		return 0
 	}
-	return PrefixKey(mix64(0x6702_0000_0000_0000 | uint64(group)))
+	return PrefixKey(mix64(groupKeyTag ^ mix64(uint64(group))))
 }
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed hash used
@@ -251,22 +261,32 @@ func (c *PrefixCache) Install(key PrefixKey, tokens int) {
 
 // Put inserts or updates key at the given token size. Updates always
 // succeed (the prefix is already resident and just grew — its KV was
-// produced by the request that extends it); insertions of new keys pass
-// the admission filter when eviction is required. Entries larger than the
-// whole cache are ignored.
+// produced by the request that extends it) but never shrink: completions
+// can land out of order under open-loop arrivals, and a stale smaller
+// completion must not discard KV a later turn already produced. A resident
+// entry is always touched for recency — including when the session has
+// outgrown the whole cache, in which case its stored size is capped at
+// capacity instead of leaving the hot entry stale at the LRU tail.
+// Insertions of new keys pass the admission filter when eviction is
+// required; new entries larger than the whole cache are ignored.
 func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 	if key == 0 || tokens <= 0 {
 		return
 	}
-	if tokens > c.capacity {
-		return
-	}
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		c.used += tokens - e.tokens
-		e.tokens = tokens
 		c.lru.MoveToFront(el)
-		c.evictOver(nil)
+		if tokens > c.capacity {
+			tokens = c.capacity
+		}
+		if tokens > e.tokens {
+			c.used += tokens - e.tokens
+			e.tokens = tokens
+			c.evictOver(el)
+		}
+		return
+	}
+	if tokens > c.capacity {
 		return
 	}
 	if c.admission && c.used+tokens > c.capacity && !c.admit(key, tokens) {

@@ -128,3 +128,99 @@ func TestKeysDistinctAndStable(t *testing.T) {
 		t.Fatal("session keys not stable/distinct")
 	}
 }
+
+// TestKeyFamiliesNoCollisionOnWideIDs is the regression test for the
+// OR-ed family tag: ids with bits in the tag range (>= 2^48, or any
+// negative id, whose sign extension fills the high bits) used to clobber
+// the tag, letting the two families collide. The id pairs below collide
+// exactly under the historical `tag | uint64(id)` scheme — each id carries
+// the *other* family's tag, so OR-ing produced the same word on both sides.
+func TestKeyFamiliesNoCollisionOnWideIDs(t *testing.T) {
+	pairs := []struct {
+		session int64
+		group   int
+	}{
+		{session: int64(groupKeyTag | 7), group: int(sessionKeyTag | 7)},
+		{session: -1, group: -1}, // all-ones: OR with any tag is a no-op
+		{session: -42, group: -42},
+	}
+	for _, p := range pairs {
+		if SessionKey(p.session) == GroupKey(p.group) {
+			t.Fatalf("SessionKey(%#x) == GroupKey(%#x)", p.session, p.group)
+		}
+	}
+	// Wide ids must stay distinct within a family too: under the OR scheme
+	// SessionKey(tag|x) and SessionKey(x) were the same key.
+	if SessionKey(int64(sessionKeyTag|9)) == SessionKey(9) {
+		t.Fatal("session ids differing only in tag-range bits collide")
+	}
+	if GroupKey(int(groupKeyTag|9)) == GroupKey(9) {
+		t.Fatal("group ids differing only in tag-range bits collide")
+	}
+}
+
+// TestPutNeverShrinks is the out-of-order-completion regression test: turn
+// k's completion can land after turn k+1 already grew the entry (open-loop
+// arrivals do not wait for completions), and the stale smaller Put must not
+// discard KV the later turn produced. Install already guarded this; Put
+// did not.
+func TestPutNeverShrinks(t *testing.T) {
+	c := NewPrefixCache(10_000, false)
+	k := SessionKey(1)
+	c.Put(k, 400)  // turn 0 completes
+	c.Put(k, 1000) // turn 1 completes, entry grows
+	c.Put(k, 700)  // turn 0's *retry sibling* — a stale, smaller completion
+	if got := c.Peek(k); got != 1000 {
+		t.Fatalf("stale completion shrank entry to %d, want 1000", got)
+	}
+	if c.Used() != 1000 {
+		t.Fatalf("used %d out of sync, want 1000", c.Used())
+	}
+	// The stale Put still refreshes recency: k survives pressure from a
+	// newer insertion over an entry touched even earlier.
+	c.Put(SessionKey(2), 8000)
+	c.Put(k, 500) // stale size, fresh touch
+	c.Put(SessionKey(3), 9000)
+	if c.Peek(k) != 1000 {
+		t.Fatal("recency-refreshed entry evicted before the older one")
+	}
+}
+
+// TestPutOversizeTouchesRecency is the outgrown-hot-session regression
+// test: a resident session whose context exceeds the whole cache used to
+// return early — neither resized nor moved to front — so the most recently
+// used entry silently became the LRU victim. The fix touches recency and
+// caps the stored size at capacity.
+func TestPutOversizeTouchesRecency(t *testing.T) {
+	c := NewPrefixCache(1000, false)
+	hot, cold := SessionKey(1), SessionKey(2)
+	c.Put(hot, 600)
+	c.Put(cold, 300)
+	// The hot session outgrows the cache. It must become MRU with its
+	// stored size capped, evicting the colder entry to fit.
+	c.Put(hot, 1200)
+	if got := c.Peek(hot); got != 1000 {
+		t.Fatalf("outgrown entry stored %d tokens, want capacity 1000", got)
+	}
+	if c.Peek(cold) != 0 {
+		t.Fatal("colder entry survived the capped growth")
+	}
+	if c.Used() != 1000 {
+		t.Fatalf("used %d, want 1000", c.Used())
+	}
+	// The capped entry is live: the next turn's lookup hits it.
+	if got := c.Lookup(hot); got != 1000 {
+		t.Fatalf("lookup after capped growth = %d, want 1000", got)
+	}
+	// Under the old early return the entry stayed at its pre-growth size
+	// and LRU position, so this interleaving evicted the hot session; now
+	// the hot entry owns the cache and the newcomer is the one that must
+	// fight for admission.
+	c.Put(SessionKey(3), 100)
+	if c.Peek(SessionKey(3)) == 0 {
+		t.Fatal("plain LRU should admit the newcomer")
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatalf("used %d exceeds capacity", c.Used())
+	}
+}

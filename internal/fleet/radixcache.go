@@ -1,0 +1,394 @@
+package fleet
+
+import "fmt"
+
+// RadixCache models one replica's prefix-KV store at token-block
+// granularity: a radix (prefix) tree whose nodes are BlockTokens-sized KV
+// blocks addressed by chained content hashes (workload.Entry.Blocks). Each
+// hash folds in its predecessor, so a single hash identifies its entire
+// prefix — the tree needs no per-node key comparison, just a hash -> node
+// map plus parent links and child counts.
+//
+// Where the whole-key PrefixCache shares KV only between requests carrying
+// the same session or prompt-group key, the radix cache shares any common
+// token prefix: two sessions with the same system prompt share its blocks,
+// a branched conversation shares the trunk's blocks, and a session's own
+// turns extend one path block by block.
+//
+// Eviction drops leaf blocks only (an interior block's KV is useless
+// without its prefix — equivalently, a resident block's whole prefix is
+// always resident) and is priced by the cost model rather than raw token
+// counts: each block's eviction priority is
+//
+//	priority = clock + frequency * recomputeSeconds(depth) / BlockTokens
+//
+// — the GDSF (Greedy-Dual-Size-Frequency) rule with the cost model's
+// marginal prefill time as the cost term. Deep blocks are expensive to
+// recompute (attention grows with context), so at equal frequency the
+// cache sheds shallow one-off tails before the deep tails of long hot
+// sessions; the rising clock ages stale entries out regardless. Admission
+// reuses the TinyLFU frequency sketch at block granularity: when inserting
+// a block requires eviction, the block must be at least as popular as the
+// victim it displaces.
+//
+// Like PrefixCache, this is an accounting model, not a byte store, and it
+// is fully deterministic: no clocks, no randomness, priority ties broken
+// by block hash.
+type RadixCache struct {
+	capacity    int
+	used        int
+	blockTokens int
+	admission   bool
+
+	nodes  map[uint64]*radixNode
+	leaves leafHeap
+	sketch *freqSketch
+	clock  float64
+
+	// blockCost returns the seconds needed to recompute `tokens` prefill
+	// tokens starting at context offset `start` — the cost model's marginal
+	// prefill time. nil prices every block equally (pure frequency+age).
+	blockCost func(start, tokens int) float64
+	costMemo  map[int]float64 // depth -> seconds
+
+	// Instrumentation, mirroring PrefixCache.
+	Hits      int // lookups that matched at least one block
+	Misses    int // lookups that matched nothing
+	Evicted   int // blocks dropped by capacity pressure
+	Rejected  int // block insertions refused by the admission policy
+	HitTokens int64
+}
+
+// radixNode is one resident KV block.
+type radixNode struct {
+	hash    uint64
+	parent  *radixNode // nil for depth-0 blocks
+	kids    int        // resident children; 0 = leaf, eligible for eviction
+	depth   int        // block index: the block covers tokens [depth*B, (depth+1)*B)
+	prio    float64    // GDSF priority, refreshed on access
+	heapIdx int        // position in the leaf heap; -1 when interior
+}
+
+// NewRadixCache builds a radix cache holding up to capTokens KV tokens in
+// blockTokens-sized blocks. admission enables TinyLFU admission; blockCost
+// (optional) prices eviction in recompute-seconds via the cost model.
+func NewRadixCache(capTokens, blockTokens int, admission bool, blockCost func(start, tokens int) float64) *RadixCache {
+	if capTokens <= 0 {
+		panic(fmt.Sprintf("fleet: non-positive cache capacity %d", capTokens))
+	}
+	if blockTokens <= 0 {
+		panic(fmt.Sprintf("fleet: non-positive block size %d", blockTokens))
+	}
+	return &RadixCache{
+		capacity:    capTokens,
+		blockTokens: blockTokens,
+		admission:   admission,
+		nodes:       make(map[uint64]*radixNode),
+		sketch:      newFreqSketch(4096),
+		blockCost:   blockCost,
+		costMemo:    make(map[int]float64),
+	}
+}
+
+// Capacity returns the token capacity.
+func (c *RadixCache) Capacity() int { return c.capacity }
+
+// Used returns the resident token count.
+func (c *RadixCache) Used() int { return c.used }
+
+// Len returns the resident block count.
+func (c *RadixCache) Len() int { return len(c.nodes) }
+
+// BlockTokens returns the block granularity.
+func (c *RadixCache) BlockTokens() int { return c.blockTokens }
+
+// matchLen returns how many leading blocks of chain are resident. A map
+// hit implies the whole prefix is resident: hashes are chained, and blocks
+// are only ever inserted under a resident parent and evicted leaf-first.
+func (c *RadixCache) matchLen(chain []uint64) int {
+	n := 0
+	for n < len(chain) {
+		if _, ok := c.nodes[chain[n]]; !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// MatchTokens returns the longest resident prefix of chain, in tokens,
+// without touching recency, frequency or hit statistics — the
+// side-effect-free probe routing policies use.
+func (c *RadixCache) MatchTokens(chain []uint64) int {
+	return c.matchLen(chain) * c.blockTokens
+}
+
+// Lookup returns the longest resident prefix of chain in tokens and
+// records the access: every queried block's frequency is counted (misses
+// inform future admission), matched blocks are re-prioritized, and hit
+// statistics update.
+func (c *RadixCache) Lookup(chain []uint64) int {
+	if len(chain) == 0 {
+		return 0
+	}
+	for _, h := range chain {
+		c.sketch.touch(PrefixKey(h))
+	}
+	n := c.matchLen(chain)
+	for _, h := range chain[:n] {
+		c.refresh(c.nodes[h])
+	}
+	if n == 0 {
+		c.Misses++
+		return 0
+	}
+	c.Hits++
+	tokens := n * c.blockTokens
+	c.HitTokens += int64(tokens)
+	return tokens
+}
+
+// depthCost returns the recompute-seconds of the block at the given depth,
+// memoized (1 when no cost model is attached: pure frequency+age GDSF).
+func (c *RadixCache) depthCost(depth int) float64 {
+	if c.blockCost == nil {
+		return 1
+	}
+	if v, ok := c.costMemo[depth]; ok {
+		return v
+	}
+	v := c.blockCost(depth*c.blockTokens, c.blockTokens)
+	c.costMemo[depth] = v
+	return v
+}
+
+// refresh recomputes a node's GDSF priority from the current clock and
+// sketch frequency, restoring heap order if the node is a leaf.
+func (c *RadixCache) refresh(n *radixNode) {
+	n.prio = c.clock + float64(c.sketch.estimate(PrefixKey(n.hash)))*c.depthCost(n.depth)/float64(c.blockTokens)
+	if n.heapIdx >= 0 {
+		c.leaves.fix(n)
+	}
+}
+
+// victim returns the lowest-priority evictable leaf, skipping `pin` (the
+// insertion path's current tip, which must not evict itself). nil when
+// nothing is evictable.
+func (c *RadixCache) victim(pin *radixNode) *radixNode {
+	if len(c.leaves) == 0 {
+		return nil
+	}
+	v := c.leaves[0]
+	if v != pin {
+		return v
+	}
+	// The pinned tip is the heap minimum: peek under it.
+	c.leaves.remove(v)
+	var next *radixNode
+	if len(c.leaves) > 0 {
+		next = c.leaves[0]
+	}
+	c.leaves.push(v)
+	return next
+}
+
+// evict drops a leaf block, promoting its parent to leaf when this was the
+// parent's last child. The GDSF clock advances to the victim's priority,
+// so future insertions and refreshes outrank blocks that have not been
+// touched since — this is what ages stale blocks out.
+func (c *RadixCache) evict(v *radixNode) {
+	if v.prio > c.clock {
+		c.clock = v.prio
+	}
+	c.leaves.remove(v)
+	delete(c.nodes, v.hash)
+	c.used -= c.blockTokens
+	c.Evicted++
+	if p := v.parent; p != nil {
+		p.kids--
+		if p.kids == 0 {
+			c.leaves.push(p)
+		}
+	}
+}
+
+// insert adds one block under parent (nil for depth 0), assuming capacity
+// has been made available.
+func (c *RadixCache) insert(hash uint64, parent *radixNode, depth int) *radixNode {
+	n := &radixNode{hash: hash, parent: parent, depth: depth, heapIdx: -1}
+	c.nodes[hash] = n
+	c.used += c.blockTokens
+	if parent != nil {
+		if parent.kids == 0 {
+			c.leaves.remove(parent)
+		}
+		parent.kids++
+	}
+	c.refresh(n) // sets prio
+	c.leaves.push(n)
+	return n
+}
+
+// extend walks chain, refreshing the resident prefix and inserting the
+// missing suffix block by block. admit applies the TinyLFU filter to each
+// block whose insertion requires eviction; Install passes admit=false
+// (migrated KV physically arrived — residency is a fact, not a bet).
+// maxBlocks bounds how much of the chain is inserted (-1 = all). Insertion
+// stops early when a block is rejected or nothing evictable remains:
+// deeper blocks are useless without their prefix.
+func (c *RadixCache) extend(chain []uint64, admit bool, maxBlocks int) {
+	if maxBlocks < 0 || maxBlocks > len(chain) {
+		maxBlocks = len(chain)
+	}
+	n := c.matchLen(chain)
+	var tip *radixNode
+	if n > 0 {
+		tip = c.nodes[chain[n-1]]
+		for _, h := range chain[:n] {
+			c.refresh(c.nodes[h])
+		}
+	}
+	for i := n; i < maxBlocks; i++ {
+		for c.used+c.blockTokens > c.capacity {
+			v := c.victim(tip)
+			if v == nil {
+				return // the path itself fills the cache
+			}
+			if admit && c.admission && c.sketch.estimate(PrefixKey(chain[i])) < c.sketch.estimate(PrefixKey(v.hash)) {
+				c.Rejected++
+				return
+			}
+			c.evict(v)
+		}
+		tip = c.insert(chain[i], tip, i)
+	}
+}
+
+// Put inserts (or extends to) the chain after a completion produced its
+// KV, subject to the admission filter under capacity pressure.
+func (c *RadixCache) Put(chain []uint64) {
+	c.extend(chain, true, -1)
+}
+
+// Install inserts up to limitTokens of the chain, bypassing admission: the
+// KV arrived over the interconnect (a migration landing). Capacity is
+// still enforced against resident victims.
+func (c *RadixCache) Install(chain []uint64, limitTokens int) {
+	c.extend(chain, false, limitTokens/c.blockTokens)
+}
+
+// RemoveExclusive deletes the deepest blocks of chain's resident prefix
+// that no other path shares — the session-private tail a migration
+// physically moves — and returns the tokens freed. Shared interior blocks
+// (system prompts, branch trunks) stay: they are replicated, not owned.
+// Like PrefixCache.Remove, this models KV leaving the replica, so the
+// Evicted counter is untouched.
+func (c *RadixCache) RemoveExclusive(chain []uint64) int {
+	n := c.matchLen(chain)
+	freed := 0
+	for i := n - 1; i >= 0; i-- {
+		v := c.nodes[chain[i]]
+		if v.kids > 0 {
+			break
+		}
+		c.leaves.remove(v)
+		delete(c.nodes, v.hash)
+		c.used -= c.blockTokens
+		freed += c.blockTokens
+		if p := v.parent; p != nil {
+			p.kids--
+			if p.kids == 0 {
+				c.leaves.push(p)
+			}
+		}
+	}
+	return freed
+}
+
+// Clear drops every resident block (a draining replica's KV dies with it).
+func (c *RadixCache) Clear() {
+	c.nodes = make(map[uint64]*radixNode)
+	c.leaves = c.leaves[:0]
+	c.used = 0
+}
+
+// leafHeap is a hand-rolled indexed binary min-heap over leaf blocks,
+// ordered by (priority, hash) — the hash tie-break keeps eviction order
+// deterministic.
+type leafHeap []*radixNode
+
+func leafLess(a, b *radixNode) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.hash < b.hash
+}
+
+func (h *leafHeap) push(n *radixNode) {
+	*h = append(*h, n)
+	n.heapIdx = len(*h) - 1
+	h.up(n.heapIdx)
+}
+
+func (h *leafHeap) remove(n *radixNode) {
+	i := n.heapIdx
+	if i < 0 {
+		return
+	}
+	s := *h
+	last := len(s) - 1
+	if i != last {
+		s[i] = s[last]
+		s[i].heapIdx = i
+	}
+	*h = s[:last]
+	n.heapIdx = -1
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+// fix restores heap order after n's priority changed in place.
+func (h *leafHeap) fix(n *radixNode) {
+	if !h.up(n.heapIdx) {
+		h.down(n.heapIdx)
+	}
+}
+
+func (h *leafHeap) up(i int) bool {
+	s := *h
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if !leafLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		s[i].heapIdx, s[p].heapIdx = i, p
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+func (h *leafHeap) down(i int) {
+	s := *h
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(s) && leafLess(s[r], s[l]) {
+			m = r
+		}
+		if !leafLess(s[m], s[i]) {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		s[i].heapIdx, s[m].heapIdx = i, m
+		i = m
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+// BlockTokens is the granularity of prefix-KV block hashing: conversation
+// token streams are cut into BlockTokens-sized blocks and each block gets a
+// chained content hash (Entry.Blocks). Radix prefix caches index KV at this
+// granularity, so two requests share cached KV in whole-block units. The
+// value trades reuse resolution (smaller blocks waste fewer tokens at the
+// divergence boundary) against chain length (hashes per request).
+const BlockTokens = 256
+
+// chainSeed is the initial value of every block-hash chain, so that a
+// chain's first hash already differs from the raw fingerprint of its
+// content.
+const chainSeed = 0xb10c_ca11_ab1e_5eed
+
+// Segment kinds folded into block fingerprints. Each segment of a
+// conversation stream — the system prompt, one turn's user message, one
+// turn's model reply — is identified by (kind, owner, index); identical
+// identities mean identical token content, which is what makes the hashes
+// content-addressed without shipping token text.
+const (
+	segSystem = 1 + iota // owner = prompt group
+	segUser              // owner = session ID, index = turn
+	segReply             // owner = session ID, index = turn
+)
+
+// mix64 is the splitmix64 finalizer (the same hash the fleet layer uses for
+// cache keys): cheap, well distributed, deterministic.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// segID condenses a segment identity into one 64-bit content id.
+func segID(kind int, owner int64, index int) uint64 {
+	return mix64(mix64(mix64(uint64(kind))^uint64(owner)) ^ uint64(index))
+}
+
+// chainBuilder accumulates a token stream segment by segment and emits the
+// block-hash chain. Each block's fingerprint folds, in order, every
+// (segment id, span) pair overlapping the block — so streams that differ in
+// any segment identity or length diverge at the first block containing the
+// difference — and each emitted hash folds the previous hash, so one hash
+// identifies its whole prefix.
+type chainBuilder struct {
+	out  []uint64
+	prev uint64
+	fp   uint64
+	fill int
+}
+
+func newChainBuilder(totalTokens int) *chainBuilder {
+	return &chainBuilder{
+		out:  make([]uint64, 0, totalTokens/BlockTokens),
+		prev: chainSeed,
+	}
+}
+
+// add appends n tokens of the segment with content id to the stream.
+func (b *chainBuilder) add(id uint64, n int) {
+	for n > 0 {
+		span := BlockTokens - b.fill
+		if span > n {
+			span = n
+		}
+		b.fp = mix64(b.fp ^ mix64(id^mix64(uint64(span))))
+		b.fill += span
+		n -= span
+		if b.fill == BlockTokens {
+			b.prev = mix64(b.prev ^ b.fp)
+			b.out = append(b.out, b.prev)
+			b.fp, b.fill = 0, 0
+		}
+	}
+}
+
+// chain returns the completed block-hash chain; a trailing partial block is
+// dropped (its KV is not reusable at block granularity).
+func (b *chainBuilder) chain() []uint64 {
+	if len(b.out) == 0 {
+		return nil
+	}
+	return b.out
+}
+
+// blockChain hashes the conversation stream of script s through turn t,
+// inclusive of turn t's reply: system prompt, inherited base turns (owned
+// by the parent session in branching workloads), then the script's own
+// turns 0..t. The stream length is exactly Entry(t).InputLen + OutputLen.
+func (s *SessionScript) blockChain(t int) []uint64 {
+	total := s.SystemTokens
+	for i := range s.BaseTurns {
+		total += s.BaseTurns[i].UserTokens + s.BaseTurns[i].ReplyTokens
+	}
+	for i := 0; i <= t; i++ {
+		total += s.Turns[i].UserTokens + s.Turns[i].ReplyTokens
+	}
+	if total < BlockTokens {
+		return nil
+	}
+	b := newChainBuilder(total)
+	b.add(segID(segSystem, int64(s.Group), 0), s.SystemTokens)
+	owner := s.ParentID
+	if owner == 0 {
+		owner = s.ID
+	}
+	for i := range s.BaseTurns {
+		b.add(segID(segUser, owner, i), s.BaseTurns[i].UserTokens)
+		b.add(segID(segReply, owner, i), s.BaseTurns[i].ReplyTokens)
+	}
+	for i := 0; i <= t; i++ {
+		idx := len(s.BaseTurns) + i
+		b.add(segID(segUser, s.ID, idx), s.Turns[i].UserTokens)
+		b.add(segID(segReply, s.ID, idx), s.Turns[i].ReplyTokens)
+	}
+	return b.chain()
+}
+
+// InputBlocks returns the leading portion of e.Blocks fully covered by the
+// request's input — the chain a prefix lookup may match (the remaining
+// hashes cover the reply, which exists only after the request completes).
+func (e Entry) InputBlocks() []uint64 {
+	n := e.InputLen / BlockTokens
+	if n > len(e.Blocks) {
+		n = len(e.Blocks)
+	}
+	return e.Blocks[:n]
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sharedPrefixBlocks counts the leading hashes two chains agree on.
+func sharedPrefixBlocks(a, b []uint64) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// TestBlockChainCoversInputPlusOutput: every emitted entry's chain has
+// exactly (InputLen+OutputLen)/BlockTokens hashes, and InputBlocks cuts it
+// at the input boundary.
+func TestBlockChainCoversInputPlusOutput(t *testing.T) {
+	for _, tr := range SessionTrace(DefaultSessionConfig(), 3) {
+		want := (tr.InputLen + tr.OutputLen) / BlockTokens
+		if len(tr.Blocks) != want {
+			t.Fatalf("session %d turn %d: %d blocks, want %d (input %d output %d)",
+				tr.SessionID, tr.Turn, len(tr.Blocks), want, tr.InputLen, tr.OutputLen)
+		}
+		in := tr.InputBlocks()
+		if len(in) != tr.InputLen/BlockTokens {
+			t.Fatalf("InputBlocks %d, want %d", len(in), tr.InputLen/BlockTokens)
+		}
+	}
+}
+
+// TestBlockChainDeterministicAndDistinct: identical generations produce
+// identical chains; all hashes within one chain are distinct (they identify
+// distinct prefixes).
+func TestBlockChainDeterministicAndDistinct(t *testing.T) {
+	a := SessionTrace(DefaultSessionConfig(), 11)
+	b := SessionTrace(DefaultSessionConfig(), 11)
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Blocks, b[i].Blocks) {
+			t.Fatalf("request %d chains differ across identical generations", i)
+		}
+		seen := make(map[uint64]bool)
+		for _, h := range a[i].Blocks {
+			if seen[h] {
+				t.Fatalf("request %d repeats block hash %x", i, h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+// TestBlockChainTurnsExtend: within a session, turn t+1's chain extends
+// turn t's — later turns only append blocks, the radix-tree growth pattern.
+func TestBlockChainTurnsExtend(t *testing.T) {
+	for _, s := range SessionScripts(DefaultSessionConfig(), 5) {
+		prev := []uint64(nil)
+		for turn := range s.Turns {
+			chain := s.Entry(turn).Blocks
+			if len(chain) < len(prev) {
+				t.Fatalf("session %d turn %d chain shrank: %d -> %d blocks", s.ID, turn, len(prev), len(chain))
+			}
+			if got := sharedPrefixBlocks(prev, chain); got != len(prev) {
+				t.Fatalf("session %d turn %d rewrote block %d of its own history", s.ID, turn, got)
+			}
+			prev = chain
+		}
+	}
+}
+
+// TestBlockChainSharesSystemPrompt: sessions of the same prompt group share
+// exactly the blocks fully covered by the system prompt and diverge at the
+// first block containing session-private tokens; sessions of different
+// groups share nothing.
+func TestBlockChainSharesSystemPrompt(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 32
+	scripts := SessionScripts(cfg, 9)
+	byGroup := make(map[int][]*SessionScript)
+	for i := range scripts {
+		byGroup[scripts[i].Group] = append(byGroup[scripts[i].Group], &scripts[i])
+	}
+	checked := 0
+	for _, fam := range byGroup {
+		for i := 1; i < len(fam); i++ {
+			a, b := fam[0].Entry(0), fam[i].Entry(0)
+			if want := fam[0].SystemTokens / BlockTokens; sharedPrefixBlocks(a.Blocks, b.Blocks) != want {
+				t.Fatalf("group %d sessions share %d blocks, want %d (system %d tokens)",
+					fam[0].Group, sharedPrefixBlocks(a.Blocks, b.Blocks), want, fam[0].SystemTokens)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no same-group session pair in the draw")
+	}
+	var cross [2]*SessionScript
+	for _, fam := range byGroup {
+		if cross[0] == nil {
+			cross[0] = fam[0]
+		} else if cross[1] == nil {
+			cross[1] = fam[0]
+		}
+	}
+	if n := sharedPrefixBlocks(cross[0].Entry(0).Blocks, cross[1].Entry(0).Blocks); n != 0 {
+		t.Fatalf("different prompt groups share %d leading blocks", n)
+	}
+}
+
+// TestBranchingSharesTrunkPrefix is the branching-workload contract: a
+// branch's first request re-submits the trunk's shared turns as context
+// (PrefixLen includes them), and its block chain is identical to the
+// trunk's through every block fully covered by the shared prefix.
+func TestBranchingSharesTrunkPrefix(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 24
+	cfg.BranchFactor = 4
+	cfg.BranchTurns = 2
+	scripts := SessionScripts(cfg, 7)
+
+	branches := 0
+	for i := range scripts {
+		br := &scripts[i]
+		if br.ParentID == 0 {
+			continue
+		}
+		branches++
+		trunk := &scripts[br.ParentID-1]
+		if trunk.ID != br.ParentID {
+			t.Fatalf("branch %d parent %d resolves to script %d", br.ID, br.ParentID, trunk.ID)
+		}
+		if br.Group != trunk.Group || br.SystemTokens != trunk.SystemTokens {
+			t.Fatalf("branch %d does not inherit trunk %d's prompt group", br.ID, trunk.ID)
+		}
+		if len(br.BaseTurns) != cfg.BranchTurns {
+			t.Fatalf("branch %d inherits %d turns, want %d", br.ID, len(br.BaseTurns), cfg.BranchTurns)
+		}
+		sharedTokens := trunk.SystemTokens
+		for _, bt := range br.BaseTurns {
+			sharedTokens += bt.UserTokens + bt.ReplyTokens
+		}
+		e := br.Entry(0)
+		if e.PrefixLen != sharedTokens {
+			t.Fatalf("branch %d turn 0 PrefixLen %d, want inherited context %d", br.ID, e.PrefixLen, sharedTokens)
+		}
+		// The trunk's entry covering the shared turns carries the same
+		// leading blocks.
+		te := trunk.Entry(cfg.BranchTurns - 1)
+		if want := sharedTokens / BlockTokens; sharedPrefixBlocks(e.Blocks, te.Blocks) < want {
+			t.Fatalf("branch %d shares %d blocks with trunk, want >= %d",
+				br.ID, sharedPrefixBlocks(e.Blocks, te.Blocks), want)
+		}
+		// Divergence: the chains must not agree past the first block that
+		// contains branch-private tokens.
+		if max := sharedTokens/BlockTokens + 1; sharedPrefixBlocks(e.Blocks, te.Blocks) > max {
+			t.Fatalf("branch %d shares %d blocks with trunk beyond the shared prefix (max %d)",
+				br.ID, sharedPrefixBlocks(e.Blocks, te.Blocks), max)
+		}
+	}
+	if branches != cfg.Sessions-cfg.Sessions/cfg.BranchFactor {
+		t.Fatalf("%d branches, want %d", branches, cfg.Sessions-cfg.Sessions/cfg.BranchFactor)
+	}
+
+	// Branching must not disturb the RNG draw sequence: the same seed
+	// without branching yields the same starts and turn draws.
+	plain := cfg
+	plain.BranchFactor, plain.BranchTurns = 0, 0
+	p := SessionScripts(plain, 7)
+	for i := range p {
+		if p[i].Start != scripts[i].Start || !reflect.DeepEqual(p[i].Turns, scripts[i].Turns) {
+			t.Fatalf("branching changed the draws of session %d", i)
+		}
+	}
+}
+
+// TestBranchValidation covers the new config error paths.
+func TestBranchValidation(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.BranchFactor = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative BranchFactor accepted")
+	}
+	cfg.BranchFactor = 3
+	cfg.BranchTurns = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("BranchFactor without BranchTurns accepted")
+	}
+	cfg.BranchTurns = 2
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid branching config rejected: %v", err)
+	}
+}

@@ -35,6 +35,20 @@ type SessionConfig struct {
 	BurstFactor float64
 	BurstPeriod float64 // seconds per burst cycle; required when BurstFactor > 1
 	BurstDuty   float64 // high-rate fraction of each cycle, (0,1); 0 = 0.5
+
+	// BranchFactor >= 2 groups sessions into families sharing a
+	// conversation prefix: consecutive runs of BranchFactor sessions form
+	// one family whose first member is the trunk; the others are branches
+	// that fork off the trunk after its first BranchTurns turns (clamped to
+	// the trunk's length), inheriting the trunk's prompt group, system
+	// prompt and those turns as context. Branches submit only their own
+	// divergent turns. This is the workload shape where block-level (radix)
+	// prefix caching beats whole-session keying: the shared trunk prefix is
+	// reusable across the family, but no branch's session key ever matches
+	// another's. 0 (or 1) keeps independent sessions, with the RNG draw
+	// sequence — and therefore every existing trace — unchanged.
+	BranchFactor int
+	BranchTurns  int // trunk turns shared by a family; required when BranchFactor >= 2
 }
 
 // DefaultSessionConfig returns a chat-scale configuration: ShareGPT-length
@@ -75,6 +89,10 @@ func (cfg SessionConfig) Validate() error {
 		return fmt.Errorf("workload: BurstFactor %v needs BurstPeriod > 0, got %v", cfg.BurstFactor, cfg.BurstPeriod)
 	case cfg.BurstDuty < 0 || cfg.BurstDuty >= 1:
 		return fmt.Errorf("workload: BurstDuty must be in [0, 1), got %v", cfg.BurstDuty)
+	case cfg.BranchFactor < 0:
+		return fmt.Errorf("workload: SessionConfig.BranchFactor must be >= 0, got %d", cfg.BranchFactor)
+	case cfg.BranchFactor >= 2 && cfg.BranchTurns < 1:
+		return fmt.Errorf("workload: BranchFactor %d needs BranchTurns >= 1, got %d", cfg.BranchFactor, cfg.BranchTurns)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -12,7 +13,7 @@ func TestSessionTraceDeterministic(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
@@ -20,7 +21,7 @@ func TestSessionTraceDeterministic(t *testing.T) {
 	same := len(a) == len(c)
 	if same {
 		for i := range a {
-			if a[i] != c[i] {
+			if !reflect.DeepEqual(a[i], c[i]) {
 				same = false
 				break
 			}

@@ -30,17 +30,39 @@ type SessionScript struct {
 	SystemTokens int   // shared system-prompt length (SharedLen)
 	Start        float64
 	Turns        []SessionTurn
+
+	// Branching lineage (zero-valued for independent sessions): the session
+	// forked off session ParentID and inherits BaseTurns — conversation
+	// turns whose content belongs to the parent — as context preceding its
+	// own Turns. The branch never re-submits the inherited turns; its first
+	// request already carries them as re-submitted context, so their KV is
+	// reusable from any replica that served the parent (a radix cache
+	// shares them block-for-block; whole-session keying cannot).
+	ParentID  int64
+	BaseTurns []SessionTurn
+
+	// chain is the precomputed block-hash chain of the whole conversation
+	// (through the last turn's reply). Every turn's chain is a prefix of
+	// it — hashes are chained and the turn-t stream is a prefix of the
+	// full stream — so Entry slices instead of re-hashing (hand-built
+	// scripts without it fall back to hashing per call). Filled by
+	// SessionScripts; read-only afterwards, so scripts stay safe to share
+	// across parallel experiment arms.
+	chain []uint64
 }
 
-// Entry builds the workload Entry for turn t (0-based): the re-submitted
-// context plus the new user turn, with the prefix-reuse structure filled in
-// exactly as SessionTrace emits it.
+// Entry builds the workload Entry for turn t (0-based over the script's own
+// Turns): the re-submitted context plus the new user turn, with the
+// prefix-reuse structure filled in exactly as SessionTrace emits it.
 func (s *SessionScript) Entry(t int) Entry {
 	context := s.SystemTokens
+	for i := range s.BaseTurns {
+		context += s.BaseTurns[i].UserTokens + s.BaseTurns[i].ReplyTokens
+	}
 	for i := 0; i < t; i++ {
 		context += s.Turns[i].UserTokens + s.Turns[i].ReplyTokens
 	}
-	return Entry{
+	e := Entry{
 		InputLen:    context + s.Turns[t].UserTokens,
 		OutputLen:   s.Turns[t].ReplyTokens,
 		SessionID:   s.ID,
@@ -49,6 +71,17 @@ func (s *SessionScript) Entry(t int) Entry {
 		SharedLen:   s.SystemTokens,
 		PrefixLen:   context,
 	}
+	if n := (e.InputLen + e.OutputLen) / BlockTokens; n > 0 {
+		if s.chain != nil {
+			if n > len(s.chain) {
+				n = len(s.chain)
+			}
+			e.Blocks = s.chain[:n:n]
+		} else {
+			e.Blocks = s.blockChain(t)
+		}
+	}
+	return e
 }
 
 // NumRequests returns the total request count a script set will emit.
@@ -155,7 +188,41 @@ func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
 		}
 		scripts = append(scripts, sc)
 	}
+	if cfg.BranchFactor >= 2 {
+		branchScripts(scripts, cfg.BranchFactor, cfg.BranchTurns)
+	}
+	// Hash each conversation once (after branching rewires lineage): every
+	// turn's chain is a prefix of the full chain, so Entry can slice it.
+	for i := range scripts {
+		s := &scripts[i]
+		s.chain = s.blockChain(len(s.Turns) - 1)
+	}
 	return scripts
+}
+
+// branchScripts rewires independently drawn scripts into branching
+// families: consecutive runs of `factor` scripts share the first script as
+// trunk, and every other member becomes a branch forking after the trunk's
+// first `turns` turns (clamped to the trunk's length). The branch keeps its
+// own drawn start time, think times and divergent turns — only its lineage,
+// prompt group and system prompt are rewritten — so the transformation is a
+// pure post-pass over the unchanged RNG draw sequence.
+func branchScripts(scripts []SessionScript, factor, turns int) {
+	for i := range scripts {
+		trunk := &scripts[i-i%factor]
+		if trunk == &scripts[i] {
+			continue
+		}
+		shared := turns
+		if shared > len(trunk.Turns) {
+			shared = len(trunk.Turns)
+		}
+		br := &scripts[i]
+		br.ParentID = trunk.ID
+		br.BaseTurns = trunk.Turns[:shared:shared]
+		br.Group = trunk.Group
+		br.SystemTokens = trunk.SystemTokens
+	}
 }
 
 // OpenLoopTrace flattens scripts into a static arrival-sorted trace: turn

@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("read %d entries, wrote %d", len(got), len(orig))
 	}
 	for i := range orig {
-		if got[i] != orig[i] {
+		if !reflect.DeepEqual(got[i], orig[i]) {
 			t.Fatalf("entry %d: %+v != %+v", i, got[i], orig[i])
 		}
 	}

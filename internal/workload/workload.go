@@ -45,6 +45,20 @@ type Entry struct {
 	PromptGroup int   // shared-system-prompt family; 0 = none
 	SharedLen   int   // head tokens shared by every session of PromptGroup
 	PrefixLen   int   // head tokens reusable from this session's previous turn
+
+	// Blocks is the content-addressed block-hash chain of the request's
+	// token stream at BlockTokens granularity, covering InputLen+OutputLen
+	// tokens (the conversation state after the reply; the trailing partial
+	// block is dropped). Hash k covers tokens [k*BlockTokens,
+	// (k+1)*BlockTokens) and folds in hash k-1, so a single hash identifies
+	// its entire prefix — the key property radix prefix-KV caches index on.
+	// Two sessions sharing content (a system prompt, a branched
+	// conversation prefix) emit identical leading hashes and diverge at the
+	// first block containing distinct tokens. nil for stateless requests.
+	//
+	// Note: Blocks makes Entry non-comparable; compare entries with
+	// reflect.DeepEqual or field-by-field.
+	Blocks []uint64
 }
 
 // Dataset samples request length pairs.

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -89,7 +90,7 @@ func TestSampleDeterministic(t *testing.T) {
 	a := sampleN(Mixed(), 100, 7)
 	b := sampleN(Mixed(), 100, 7)
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatal("same seed produced different samples")
 		}
 	}
@@ -150,7 +151,7 @@ func TestPoissonTraceDeterministic(t *testing.T) {
 	a := PoissonTrace(LEval(), 0.5, 50, 21)
 	b := PoissonTrace(LEval(), 0.5, 50, 21)
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatal("trace not deterministic")
 		}
 	}
