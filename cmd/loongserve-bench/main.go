@@ -88,6 +88,7 @@ func main() {
 	if run("fleet") {
 		bench.FleetExperiment(scale).Fprint(out)
 		bench.FleetCacheExperiment(scale).Fprint(out)
+		bench.FleetHeteroExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("autoscale") {

@@ -22,6 +22,15 @@
 // replicas, migrating live sessions' KV to survivors over the inter-node
 // link; the run prints cost-normalized goodput and the scaling timeline.
 //
+// The fleet can be heterogeneous: -mix composes it from named replica
+// kinds (loong: 8-GPU elastic ESP node; contbatch: single-GPU continuous
+// batching), each with a capability sheet — context envelope, prefill
+// rate, provisioning cost — derived from its own cluster and cost model.
+// -policy capability routes by those sheets (long prompts to long-context
+// kinds, short to cheap ones), and with -autoscale, -autoscale-kinds lets
+// the controller pick *which kind* to add per scale-up (marginal goodput
+// per cost unit against the queue's length mix).
+//
 // Usage:
 //
 //	loongserve-fleet [flags]
@@ -36,12 +45,16 @@
 //	loongserve-fleet -branch 4 -branch-turns 3    # branching-session workload
 //	loongserve-fleet -closed-loop -burst 6 -burst-period 40 -burst-duty 0.3 \
 //	    -autoscale -min-replicas 1 -max-replicas 4 -warmup 5s
+//	loongserve-fleet -mix loong:1,contbatch:8 -policy capability -closed-loop
+//	loongserve-fleet -closed-loop -burst 3 -burst-period 30 -burst-duty 0.3 \
+//	    -autoscale -autoscale-kinds contbatch,loong -max-replicas 16 -up-at 8 -down-at 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"loongserve/internal/autoscale"
@@ -54,9 +67,11 @@ import (
 
 func main() {
 	var (
-		replicas = flag.Int("replicas", 4, "engine replicas behind the gateway (each one 8-GPU node)")
-		engine   = flag.String("engine", "vllm", "replica engine: vllm (TP=8 continuous batching) or loongserve (elastic TP=2 ESP core)")
-		policy   = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, migrate, or all (one comparison row each)")
+		replicas       = flag.Int("replicas", 4, "engine replicas behind the gateway (each one 8-GPU node)")
+		engine         = flag.String("engine", "vllm", "replica engine: vllm (TP=8 continuous batching) or loongserve (elastic TP=2 ESP core)")
+		policy         = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, migrate, capability, or all (one comparison row each)")
+		mix            = flag.String("mix", "", "heterogeneous composition, e.g. loong:2,contbatch:8 (overrides -replicas/-engine; kinds: "+strings.Join(bench.FleetKindNames(), ", ")+")")
+		autoscaleKinds = flag.String("autoscale-kinds", "", "with -autoscale: comma-separated candidate kinds for kind-picking scale-ups, first is the base kind (e.g. contbatch,loong)")
 
 		sessions = flag.Int("sessions", 64, "number of chat sessions in the trace")
 		rate     = flag.Float64("rate", 2, "session arrival rate (sessions/s, Poisson)")
@@ -138,16 +153,56 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Heterogeneous composition: -mix builds the fleet from named replica
+	// kinds instead of -replicas clones of -engine. ParseMix's errors name
+	// the known kinds, mirroring the -cache validation.
+	var mixGroups []fleet.ReplicaGroup
+	if *mix != "" {
+		if *autoScale {
+			fmt.Fprintln(os.Stderr, "loongserve-fleet: -mix is a static composition; with -autoscale use -autoscale-kinds (the controller owns the composition)")
+			os.Exit(2)
+		}
+		mixGroups, err = fleet.ParseMix(*mix, bench.FleetKinds())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	var scaleKinds []*fleet.ReplicaKind
+	if *autoscaleKinds != "" {
+		if !*autoScale {
+			fmt.Fprintln(os.Stderr, "loongserve-fleet: -autoscale-kinds requires -autoscale")
+			os.Exit(2)
+		}
+		for _, name := range strings.Split(*autoscaleKinds, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			k, err := bench.FleetKind(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			scaleKinds = append(scaleKinds, k)
+		}
+		if len(scaleKinds) == 0 {
+			fmt.Fprintf(os.Stderr, "loongserve-fleet: -autoscale-kinds names no kinds (known kinds: %s)\n", strings.Join(bench.FleetKindNames(), ", "))
+			os.Exit(2)
+		}
+	}
 	scripts := workload.SessionScripts(cfg, *seed)
 	st := workload.SummarizeSessions(workload.OpenLoopTrace(scripts))
 
 	var policies []fleet.Policy
 	if *policy == "all" && !*autoScale {
-		policies = fleet.AllPolicies(*seed)
+		policies = append(fleet.AllPolicies(*seed), fleet.NewCapabilityAffinity())
 	} else {
 		name := *policy
 		if name == "all" {
 			name = "migrate" // autoscale runs one policy; default to the migrating one
+			if len(scaleKinds) > 0 {
+				name = "capability" // kind-picking wants capability-aware routing
+			}
 		}
 		p, err := fleet.ByName(name, *seed)
 		if err != nil {
@@ -180,25 +235,41 @@ func main() {
 			os.Exit(2)
 		}
 		fcfg := fleet.Config{Policy: policies[0], Cache: *cacheKind, CacheTokens: *cacheTokens, NoAdmission: *noAdmission}
-		res, err := autoscale.Run(spec, scripts, fcfg, acfg, cfg.ClosedLoop)
+		var res *autoscale.Result
+		what := *engine
+		if len(scaleKinds) > 0 {
+			acfg.Kinds = scaleKinds
+			names := make([]string, len(scaleKinds))
+			for i, k := range scaleKinds {
+				names[i] = k.Name
+			}
+			what = "kinds " + strings.Join(names, ",")
+			res, err = autoscale.RunKinds(scripts, fcfg, acfg, cfg.ClosedLoop)
+		} else {
+			res, err = autoscale.Run(spec, scripts, fcfg, acfg, cfg.ClosedLoop)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		s := metrics.Summarize(res.Records)
+		scaling := fmt.Sprintf("%d up / %d down", res.ScaleUps, res.ScaleDowns)
+		if len(res.ScaleUpsByKind) > 0 {
+			scaling = fmt.Sprintf("%d up (%s) / %d down", res.ScaleUps, bench.FormatKindUps(res.ScaleUpsByKind), res.ScaleDowns)
+		}
 		t := &bench.Table{
-			Title:  fmt.Sprintf("Autoscale %d..%d x %s (%s): policy %s", acfg.Min, acfg.Max, *engine, mode, policies[0].Name()),
-			Header: []string{"goodput(req/s)", "TTFT(s)", "SLO", "replicas(mean/peak)", "replica-sec", "goodput/replica", "migrations", "scaling"},
+			Title:  fmt.Sprintf("Autoscale %d..%d x %s (%s): policy %s", acfg.Min, acfg.Max, what, mode, policies[0].Name()),
+			Header: []string{"goodput(req/s)", "TTFT(s)", "SLO", "replicas(mean/peak)", "cost-unit-sec", "goodput/cost-unit", "migrations", "scaling"},
 		}
 		t.AddRow(
 			fmt.Sprintf("%.3f", metrics.Goodput(res.Records)),
 			fmt.Sprintf("%.3f", bench.MeanTTFT(res.Records)),
 			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment),
 			fmt.Sprintf("%.2f / %d", res.MeanReplicas(), res.PeakReplicas),
-			fmt.Sprintf("%.1f", res.ReplicaSeconds),
-			fmt.Sprintf("%.4f", res.GoodputPerReplica()),
+			fmt.Sprintf("%.1f", res.CostUnitSeconds),
+			fmt.Sprintf("%.4f", res.GoodputPerCostUnit()),
 			fmt.Sprintf("%d (%d KV tokens)", res.Migrations.Count, res.Migrations.Tokens),
-			fmt.Sprintf("%d up / %d down", res.ScaleUps, res.ScaleDowns))
+			scaling)
 		t.Fprint(os.Stdout)
 		if *showEvents {
 			et := &bench.Table{
@@ -222,22 +293,36 @@ func main() {
 		return
 	}
 
+	what := fmt.Sprintf("%d x %s", *replicas, *engine)
+	header := []string{"policy", "goodput(req/s)", "TTFT(s)", "input(ms/t)", "hit-ratio", "hit-req", "SLO"}
+	if mixGroups != nil {
+		what = *mix
+		header = append(header, "goodput/cost-unit")
+	}
 	t := &bench.Table{
-		Title:  fmt.Sprintf("Fleet of %d x %s (%s): routing policy comparison at %.1f sessions/s", *replicas, *engine, mode, *rate),
-		Header: []string{"policy", "goodput(req/s)", "TTFT(s)", "input(ms/t)", "hit-ratio", "hit-req", "SLO"},
+		Title:  fmt.Sprintf("Fleet of %s (%s): routing policy comparison at %.1f sessions/s", what, mode, *rate),
+		Header: header,
 	}
 	perReplica := make(map[string][]fleet.ReplicaStats)
 	var simEvents uint64
 	var simWall time.Duration
 	for _, p := range policies {
-		t0 := time.Now()
-		res, err := fleet.RunSessions(spec, scripts, fleet.Config{
-			Replicas:    *replicas,
+		runCfg := fleet.Config{
 			Policy:      p,
 			Cache:       *cacheKind,
 			CacheTokens: *cacheTokens,
 			NoAdmission: *noAdmission,
-		}, cfg.ClosedLoop)
+		}
+		t0 := time.Now()
+		var res *fleet.Result
+		var err error
+		if mixGroups != nil {
+			runCfg.Groups = mixGroups
+			res, err = fleet.RunSessionsGroups(scripts, runCfg, cfg.ClosedLoop)
+		} else {
+			runCfg.Replicas = *replicas
+			res, err = fleet.RunSessions(spec, scripts, runCfg, cfg.ClosedLoop)
+		}
 		simWall += time.Since(t0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name(), err)
@@ -245,17 +330,25 @@ func main() {
 			if _, oom := err.(*serving.ErrOOM); oom {
 				cell = "OOM"
 			}
-			t.AddRow(p.Name(), cell, "-", "-", "-", "-", "-")
+			row := []string{p.Name(), cell, "-", "-", "-", "-", "-"}
+			for len(row) < len(header) {
+				row = append(row, "-")
+			}
+			t.AddRow(row...)
 			continue
 		}
 		s := metrics.Summarize(res.Records)
-		t.AddRow(p.Name(),
+		row := []string{p.Name(),
 			fmt.Sprintf("%.3f", metrics.Goodput(res.Records)),
 			fmt.Sprintf("%.3f", bench.MeanTTFT(res.Records)),
 			fmt.Sprintf("%.4f", s.MeanInput*1e3),
 			fmt.Sprintf("%.1f%%", 100*res.TokenHitRatio()),
 			fmt.Sprintf("%.1f%%", 100*res.HitRequestRatio()),
-			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment))
+			fmt.Sprintf("%.1f%%", 100*s.SLOAttainment)}
+		if mixGroups != nil {
+			row = append(row, fmt.Sprintf("%.4f", res.GoodputPerCostUnit()))
+		}
+		t.AddRow(row...)
 		perReplica[p.Name()] = res.Replicas
 		simEvents += res.SimEvents
 	}
@@ -279,10 +372,10 @@ func printReplicaStats(verbose bool, policy string, stats []fleet.ReplicaStats) 
 	}
 	rt := &bench.Table{
 		Title:  fmt.Sprintf("%s: per-replica breakdown", policy),
-		Header: []string{"replica", "requests", "hit-req", "hit-tokens", "cache-entries", "evicted", "rejected"},
+		Header: []string{"replica", "kind", "requests", "hit-req", "hit-tokens", "cache-entries", "evicted", "rejected"},
 	}
 	for i, rs := range stats {
-		rt.AddRow(fmt.Sprint(i), fmt.Sprint(rs.Requests), fmt.Sprint(rs.HitRequests),
+		rt.AddRow(fmt.Sprint(i), rs.Kind, fmt.Sprint(rs.Requests), fmt.Sprint(rs.HitRequests),
 			fmt.Sprint(rs.HitTokens), fmt.Sprint(rs.CacheEntries),
 			fmt.Sprint(rs.CacheEvicted), fmt.Sprint(rs.CacheRejected))
 	}

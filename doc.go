@@ -20,23 +20,30 @@
 //     byte-level BPE tokenizer and iteration-level continuous batching
 //     over the functional runtime (internal/frontend, internal/token).
 //   - A fleet layer (internal/fleet) that scales past one elastic
-//     cluster: an elastic gateway fronts N independently simulated engine
-//     replicas and routes arrivals through pluggable policies —
-//     round-robin, least-loaded, power-of-two-choices, prefix-affinity
-//     and migrating-affinity routing over per-replica prefix-KV caches: a
-//     token-block radix cache sharing any common prompt prefix, with
-//     eviction priced by the cost model's recompute time and TinyLFU
-//     admission (or the legacy whole-key LRU, kept for comparison),
-//     exercised by multi-turn session workloads (workload.SessionTrace,
-//     the closed-loop workload.SessionScripts, and branching session
-//     families sharing a conversation trunk). Replicas can be provisioned
-//     with a warm-up delay and drained — live sessions' KV migrates to
-//     survivors over the inter-node link instead of being recomputed.
+//     cluster: an elastic gateway fronts a heterogeneous composition of
+//     typed replicas (fleet.ReplicaKind — each kind's context envelope,
+//     prefill rate and provisioning cost derived from its own cluster,
+//     engine and cost model) and routes arrivals through pluggable
+//     policies — round-robin, least-loaded, power-of-two-choices,
+//     prefix-affinity, migrating-affinity and capability-affinity routing
+//     (long prompts to long-context kinds, short to cheap ones) over
+//     per-replica prefix-KV caches: a token-block radix cache sharing any
+//     common prompt prefix, with eviction priced by the cost model's
+//     recompute time and TinyLFU admission (or the legacy whole-key LRU,
+//     kept for comparison), exercised by multi-turn session workloads
+//     (workload.SessionTrace, the closed-loop workload.SessionScripts,
+//     branching session families sharing a conversation trunk, and
+//     long-document mixes pasting private contexts). Replicas can be
+//     provisioned with a warm-up delay and drained — live sessions' KV
+//     migrates to survivors over the inter-node link instead of being
+//     recomputed.
 //   - An autoscaling control plane (internal/autoscale) that closes the
 //     loop: queue-pressure scale-up, consolidation scale-down with
-//     migration-based drains, compared against static fleets on
-//     cost-normalized goodput by the bench autoscale experiment and
-//     cmd/loongserve-fleet -autoscale.
+//     migration-based drains, and — given candidate kinds — a kind-picking
+//     scale-up that prices each kind's marginal goodput per cost unit
+//     against the queue's length mix, compared against static fleets on
+//     cost-normalized goodput by the bench autoscale and hetero
+//     experiments and cmd/loongserve-fleet -autoscale.
 //
 // bench_test.go regenerates every figure of the paper's evaluation; see
 // README.md for the binaries and DESIGN.md for the system inventory and

@@ -43,6 +43,21 @@ type Config struct {
 	DownAt   float64       // scale down when survivors would stay below this per replica
 	Warmup   time.Duration // provisioning-to-routable delay for new replicas
 	Cooldown time.Duration // minimum time between scaling actions
+
+	// Kinds are the candidate replica kinds a scale-up may provision (used
+	// by RunKinds; the fleet starts as Min replicas of Kinds[0], which
+	// should therefore be a kind that can serve every request). On each
+	// scale-up the controller picks the kind with the best marginal
+	// goodput per cost unit against the current queue's length mix: for
+	// each candidate, the requests it could comfortably serve divided by
+	// the cost-model-predicted prefill seconds they would take on it,
+	// per provisioning cost unit. A long-heavy queue disqualifies small
+	// kinds (their servable share collapses); a short-heavy queue favors
+	// them (near-equal speed at a fraction of the cost). Scale-down
+	// prefers draining the kind the current mix least needs. Empty Kinds
+	// (the spec-based Run) keeps the homogeneous controller bit-identical
+	// to its historical behavior.
+	Kinds []*fleet.ReplicaKind
 }
 
 // DefaultConfig returns a responsive controller: observe every second,
@@ -80,6 +95,16 @@ func (c Config) Validate() error {
 	case c.Warmup < 0 || c.Cooldown < 0:
 		return fmt.Errorf("autoscale: negative Warmup/Cooldown")
 	}
+	seen := make(map[string]bool, len(c.Kinds))
+	for i, k := range c.Kinds {
+		if k == nil {
+			return fmt.Errorf("autoscale: Kinds[%d] is nil", i)
+		}
+		if seen[k.Name] {
+			return fmt.Errorf("autoscale: duplicate kind %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
 	return nil
 }
 
@@ -88,6 +113,9 @@ type Result struct {
 	*fleet.Result
 	ScaleUps   int
 	ScaleDowns int
+	// ScaleUpsByKind breaks ScaleUps down per replica kind (kind-picking
+	// runs only; nil for homogeneous Run).
+	ScaleUpsByKind map[string]int
 	// PeakReplicas is the maximum simultaneously provisioned replica count.
 	PeakReplicas int
 	Ticks        int
@@ -101,8 +129,77 @@ type controller struct {
 	feed *fleet.SessionFeed
 	res  *Result
 
+	// kinds are the scale-up candidates (cfg.Kinds); empty for the
+	// homogeneous controller, whose decisions then reduce bit-identically
+	// to the historical single-kind behavior.
+	kinds []*fleet.ReplicaKind
+
 	lastAction simevent.Time
 	acted      bool
+}
+
+// holeBoost weighs a capability hole — a queued request no provisioned
+// replica can comfortably hold — against routine queue share. Serving a
+// hole is pure marginal goodput (the request otherwise never meets its
+// SLO, however many routine replicas arrive), so it outvotes a whole
+// batch of requests any kind could absorb.
+const holeBoost = 25
+
+// kindScore prices one replica of kind k against a queue length mix:
+// requests the kind could comfortably serve, per predicted prefill second
+// they would cost on it, per provisioning cost unit — marginal goodput per
+// cost unit. comfort is the fleet's current envelope (the largest
+// comfortable prompt across provisioned replicas); queued requests beyond
+// it are capability holes and count holeBoost-fold for kinds that close
+// them. A kind that cannot hold the queue's long requests loses its
+// numerator; a small kind that can serve everything wins on the cheap
+// denominator.
+func kindScore(k *fleet.ReplicaKind, lens []int, comfort float64) float64 {
+	weight, secs := 0.0, 0.0
+	for _, n := range lens {
+		if float64(n) > fleet.DefaultCapabilityHeadroom*float64(k.MaxContext) {
+			continue
+		}
+		if float64(n) > comfort {
+			weight += holeBoost
+		} else {
+			weight++
+		}
+		secs += k.PrefillSeconds(n)
+	}
+	if weight == 0 || secs <= 0 {
+		return 0
+	}
+	return weight / (secs * k.CostUnits)
+}
+
+// fleetComfort returns the largest prompt any provisioned (active or
+// warming — capacity already paid for) replica comfortably holds.
+func (c *controller) fleetComfort() float64 {
+	comfort := 0.0
+	for _, in := range c.g.ReplicaInfos() {
+		if in.State != fleet.ReplicaActive && in.State != fleet.ReplicaWarming {
+			continue
+		}
+		if e := fleet.DefaultCapabilityHeadroom * float64(in.MaxContext); e > comfort {
+			comfort = e
+		}
+	}
+	return comfort
+}
+
+// pickKind chooses the scale-up kind: the best marginal score, ties to the
+// earliest candidate (so the base kind wins when the queue is empty and
+// every score is zero).
+func (c *controller) pickKind(lens []int) *fleet.ReplicaKind {
+	comfort := c.fleetComfort()
+	best, bestScore := c.kinds[0], kindScore(c.kinds[0], lens, comfort)
+	for _, k := range c.kinds[1:] {
+		if s := kindScore(k, lens, comfort); s > bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return best
 }
 
 // pressure returns outstanding requests per active replica and the totals
@@ -134,19 +231,82 @@ func (c *controller) coolingDown() bool {
 
 // drainVictim picks the active replica to remove: the one with the least
 // outstanding work (ties to the highest index, so the newest spare goes
-// first), provided another active replica survives it.
+// first). With candidate kinds, each active replica is first scored by how
+// much the current queue mix would *miss* it — its kind's marginal score
+// against the fleet's envelope with the replica itself excluded, so the
+// last long-context replica shows the capability holes its removal would
+// open — and the least-missed replica drains first: a spare loong once the
+// long tail has passed, a cheap replica once the mix turns long. The
+// loong-shaped hole means it comes back on the next long burst
+// (pickKind's holeBoost), closing the kind loop in both directions.
+// Single-kind fleets reduce to the historical rule exactly.
 func (c *controller) drainVictim() int {
 	infos := c.g.ReplicaInfos()
+	var need []float64
+	if len(c.kinds) > 1 {
+		byName := make(map[string]*fleet.ReplicaKind, len(c.kinds))
+		for _, k := range c.kinds {
+			byName[k.Name] = k
+		}
+		lens := c.g.OutstandingInputLens()
+		need = make([]float64, len(infos))
+		for i, in := range infos {
+			if in.State != fleet.ReplicaActive {
+				continue
+			}
+			comfort := 0.0
+			for j, jn := range infos {
+				if j == i || (jn.State != fleet.ReplicaActive && jn.State != fleet.ReplicaWarming) {
+					continue
+				}
+				if e := fleet.DefaultCapabilityHeadroom * float64(jn.MaxContext); e > comfort {
+					comfort = e
+				}
+			}
+			if k := byName[in.Kind]; k != nil {
+				need[i] = kindScore(k, lens, comfort)
+			}
+		}
+	}
 	best := -1
 	for i, in := range infos {
 		if in.State != fleet.ReplicaActive {
 			continue
 		}
-		if best == -1 || in.OutstandingTokens <= infos[best].OutstandingTokens {
+		if best == -1 {
+			best = i
+			continue
+		}
+		if need != nil && need[i] != need[best] {
+			if need[i] < need[best] {
+				best = i
+			}
+			continue
+		}
+		if in.OutstandingTokens <= infos[best].OutstandingTokens {
 			best = i
 		}
 	}
 	return best
+}
+
+// scaleUp provisions one replica: the marginal-goodput-per-cost-unit kind
+// against the current queue mix when candidates are configured, the
+// fleet's default kind otherwise.
+func (c *controller) scaleUp() bool {
+	if len(c.kinds) == 0 {
+		_, err := c.g.AddReplica(c.cfg.Warmup)
+		return err == nil
+	}
+	k := c.pickKind(c.g.OutstandingInputLens())
+	if _, err := c.g.AddReplicaKind(k, c.cfg.Warmup); err != nil {
+		return false
+	}
+	if c.res.ScaleUpsByKind == nil {
+		c.res.ScaleUpsByKind = make(map[string]int)
+	}
+	c.res.ScaleUpsByKind[k.Name]++
+	return true
 }
 
 // tick is one control period: observe, maybe scale, reschedule while work
@@ -162,7 +322,7 @@ func (c *controller) tick() {
 		// another scale-up for pressure that help is already coming for,
 		// unless pressure keeps climbing well past the trigger.
 		if warming == 0 || p > 1.5*c.cfg.UpAt {
-			if _, err := c.g.AddReplica(c.cfg.Warmup); err == nil {
+			if c.scaleUp() {
 				c.res.ScaleUps++
 				c.acted = true
 				c.lastAction = c.sim.Now()
@@ -190,10 +350,11 @@ func (c *controller) tick() {
 }
 
 // Run drives a session workload (closed- or open-loop) against an elastic
-// fleet: the gateway starts at acfg.Min replicas and the controller grows
-// and shrinks it from queue pressure. Deterministic in the scripts and
+// homogeneous fleet: the gateway starts at acfg.Min replicas of spec and
+// the controller grows and shrinks it from queue pressure (acfg.Kinds is
+// ignored — kind-picking needs RunKinds). Deterministic in the scripts and
 // configuration.
-func Run(spec fleet.Spec, scripts []workload.SessionScript, fcfg fleet.Config, acfg Config, closed bool) (res *Result, err error) {
+func Run(spec fleet.Spec, scripts []workload.SessionScript, fcfg fleet.Config, acfg Config, closed bool) (*Result, error) {
 	if err := acfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -203,9 +364,47 @@ func Run(spec fleet.Spec, scripts []workload.SessionScript, fcfg fleet.Config, a
 	if err != nil {
 		return nil, err
 	}
+	return run(g, sim, scripts, acfg, nil, closed)
+}
+
+// RunKinds drives a session workload against an elastic *heterogeneous*
+// fleet: the gateway starts at acfg.Min replicas of acfg.Kinds[0] (which
+// must be able to serve every request — it is the only capacity until the
+// first scale-up lands) and every scale-up picks the candidate kind with
+// the best marginal goodput per cost unit against the current queue's
+// length mix. fcfg.Groups and fcfg.Replicas must be unset; the composition
+// is the controller's to decide. Deterministic in the scripts and
+// configuration.
+func RunKinds(scripts []workload.SessionScript, fcfg fleet.Config, acfg Config, closed bool) (*Result, error) {
+	if err := acfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(acfg.Kinds) == 0 {
+		return nil, fmt.Errorf("autoscale: RunKinds needs at least one candidate kind")
+	}
+	if fcfg.Groups != nil || fcfg.Replicas != 0 {
+		return nil, fmt.Errorf("autoscale: RunKinds owns the composition; leave fcfg.Groups and fcfg.Replicas unset")
+	}
+	for _, k := range acfg.Kinds {
+		if err := k.Resolve(); err != nil {
+			return nil, err
+		}
+	}
+	sim := simevent.New()
+	fcfg.Groups = []fleet.ReplicaGroup{{Kind: acfg.Kinds[0], Count: acfg.Min}}
+	g, err := fleet.NewGatewayGroups(fcfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	return run(g, sim, scripts, acfg, acfg.Kinds, closed)
+}
+
+// run is the shared driver: feed the workload, run the control loop on the
+// simulator, and finalize.
+func run(g *fleet.Gateway, sim *simevent.Sim, scripts []workload.SessionScript, acfg Config, kinds []*fleet.ReplicaKind, closed bool) (res *Result, err error) {
 	feed := fleet.FeedSessions(g, scripts, closed)
 	res = &Result{PeakReplicas: acfg.Min}
-	ctl := &controller{g: g, sim: sim, cfg: acfg, feed: feed, res: res}
+	ctl := &controller{g: g, sim: sim, cfg: acfg, feed: feed, res: res, kinds: kinds}
 	sim.After(acfg.Interval, ctl.tick)
 
 	defer func() {

@@ -220,3 +220,145 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("zero config accepted by Run")
 	}
 }
+
+// kindSpec builds a slow-engine kind on a cluster of the given GPU count:
+// capability (KV envelope, cost units) derives from the cluster shape, so
+// a 4-GPU kind is long-context-capable relative to the 1-GPU kind.
+func kindSpec(gpus int) fleet.Spec {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	return fleet.Spec{
+		NewEngine: func() serving.Engine { return &slowEngine{} },
+		NewCluster: func() (*cluster.Cluster, error) {
+			return cluster.New(m, hw, 1, gpus, gpus)
+		},
+	}
+}
+
+// mixedScripts is burstyScripts with a long-document share whose biggest
+// documents exceed the small kind's comfortable envelope.
+func mixedScripts(t *testing.T, sessions int, seed int64) []workload.SessionScript {
+	t.Helper()
+	cfg := workload.DefaultSessionConfig()
+	cfg.Sessions = sessions
+	cfg.SessionRate = 6
+	cfg.BurstFactor = 5
+	cfg.BurstPeriod = 40
+	cfg.ThinkMean = 2
+	cfg.ClosedLoop = true
+	cfg.LongFrac = 0.2
+	cfg.LongDocTokens = 60_000
+	cfg.LongDocMax = 90_000
+	return workload.SessionScripts(cfg, seed)
+}
+
+// runKinds drives one kind-picking autoscale run with a small/big kind
+// pair (small is the base) and returns it with the kinds.
+func runKinds(t *testing.T, sessions int, seed int64) (*autoscale.Result, *fleet.ReplicaKind, *fleet.ReplicaKind) {
+	t.Helper()
+	small := fleet.NewKind("small", kindSpec(1))
+	big := fleet.NewKind("big", kindSpec(4))
+	acfg := testConfig()
+	acfg.Kinds = []*fleet.ReplicaKind{small, big}
+	res, err := autoscale.RunKinds(mixedScripts(t, sessions, seed),
+		fleet.Config{Policy: fleet.NewCapabilityAffinity(), SLOKind: big, SLOScale: 5}, acfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, small, big
+}
+
+// TestRunKindsPicksBothKinds: under a bursty chat+long-document mix with a
+// small base kind, the controller must scale up with cheap replicas for
+// chat pressure and add the long-context kind when the queue holds
+// documents past the fleet's envelope (capability holes).
+func TestRunKindsPicksBothKinds(t *testing.T) {
+	res, small, big := runKinds(t, 60, 11)
+	if res.ScaleUps == 0 {
+		t.Fatal("no scale-ups under a bursty workload")
+	}
+	total := 0
+	for kind, n := range res.ScaleUpsByKind {
+		if kind != small.Name && kind != big.Name {
+			t.Fatalf("scale-up of unknown kind %q", kind)
+		}
+		total += n
+	}
+	if total != res.ScaleUps {
+		t.Fatalf("ScaleUpsByKind sums to %d, ScaleUps %d", total, res.ScaleUps)
+	}
+	if res.ScaleUpsByKind[big.Name] == 0 {
+		t.Fatalf("long-context kind never picked despite over-envelope documents: %v", res.ScaleUpsByKind)
+	}
+	if res.ScaleUpsByKind[small.Name] == 0 {
+		t.Fatalf("cheap kind never picked despite chat bursts: %v", res.ScaleUpsByKind)
+	}
+	// Kind identity must flow into the scale events.
+	kindsSeen := map[string]bool{}
+	for _, ev := range res.Events {
+		if ev.Kind == "provision" {
+			kindsSeen[ev.ReplicaKind] = true
+		}
+	}
+	if !kindsSeen[small.Name] || !kindsSeen[big.Name] {
+		t.Fatalf("provision events name kinds %v, want both", kindsSeen)
+	}
+}
+
+// TestRunKindsDeterminism: the kind-picking controller — including its
+// drain decisions — is bit-reproducible per seed.
+func TestRunKindsDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		a, _, _ := runKinds(t, 48, seed)
+		b, _, _ := runKinds(t, 48, seed)
+		if len(a.Records) != len(b.Records) {
+			t.Fatalf("seed %d: record counts differ", seed)
+		}
+		for i := range a.Records {
+			if a.Records[i] != b.Records[i] {
+				t.Fatalf("seed %d: record %d differs", seed, i)
+			}
+		}
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("seed %d: event counts differ: %d vs %d", seed, len(a.Events), len(b.Events))
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("seed %d: event %d differs:\n%+v\n%+v", seed, i, a.Events[i], b.Events[i])
+			}
+		}
+		if a.ScaleUps != b.ScaleUps || a.ScaleDowns != b.ScaleDowns || a.PeakReplicas != b.PeakReplicas {
+			t.Fatalf("seed %d: controller accounting differs", seed)
+		}
+		for kind, n := range a.ScaleUpsByKind {
+			if b.ScaleUpsByKind[kind] != n {
+				t.Fatalf("seed %d: ScaleUpsByKind differ: %v vs %v", seed, a.ScaleUpsByKind, b.ScaleUpsByKind)
+			}
+		}
+		if a.CostUnitSeconds != b.CostUnitSeconds {
+			t.Fatalf("seed %d: cost-unit seconds differ", seed)
+		}
+	}
+}
+
+// TestRunKindsValidation covers the kind-picking entry point's errors.
+func TestRunKindsValidation(t *testing.T) {
+	scripts := burstyScripts(t, 4, 1)
+	if _, err := autoscale.RunKinds(scripts, fleet.Config{}, testConfig(), true); err == nil {
+		t.Error("empty Kinds accepted")
+	}
+	acfg := testConfig()
+	acfg.Kinds = []*fleet.ReplicaKind{fleet.NewKind("a", kindSpec(1)), fleet.NewKind("a", kindSpec(4))}
+	if _, err := autoscale.RunKinds(scripts, fleet.Config{}, acfg, true); err == nil {
+		t.Error("duplicate kind names accepted")
+	}
+	acfg = testConfig()
+	acfg.Kinds = []*fleet.ReplicaKind{fleet.NewKind("a", kindSpec(1))}
+	if _, err := autoscale.RunKinds(scripts, fleet.Config{Replicas: 2}, acfg, true); err == nil {
+		t.Error("fcfg.Replicas accepted alongside kinds")
+	}
+	acfg.Kinds = []*fleet.ReplicaKind{nil}
+	if _, err := autoscale.RunKinds(scripts, fleet.Config{}, acfg, true); err == nil {
+		t.Error("nil kind accepted")
+	}
+}

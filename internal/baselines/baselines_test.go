@@ -8,6 +8,7 @@ import (
 	"loongserve/internal/metrics"
 	"loongserve/internal/model"
 	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
 	"loongserve/internal/workload"
 )
 
@@ -309,5 +310,99 @@ func TestSplitFuseInitValidation(t *testing.T) {
 	err := NewSplitFuse(2, 512).Init(&serving.Env{Cluster: c, Pool: c.NewPool()})
 	if err == nil {
 		t.Fatal("multi-instance cluster accepted by SplitFuse")
+	}
+}
+
+// TestContBatchAdmitsWatermarkBandHead is the head-of-line livelock
+// regression: a request within one admission watermark of pool capacity
+// (fits the pool outright, so Arrive accepts it) arriving at an EMPTY
+// engine must be admitted and served. Before the fix, admission demanded
+// watermark headroom even with nothing running, so the request waited
+// forever on completions that could never come and the run ended
+// incomplete.
+func TestContBatchAdmitsWatermarkBandHead(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	capTokens, err := cluster.KVCapacityTokens(m, hw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the pool, inside the old watermark band (capacity/100).
+	in := capTokens - capTokens/200 - 8
+	trace := []workload.TimedRequest{{Entry: workload.Entry{InputLen: in, OutputLen: 4}}}
+	c, err := cluster.New(m, hw, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := serving.Run(NewVLLM(1), c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, recs, 1)
+}
+
+// TestContBatchWatermarkStillGuardsRunningBatch: the livelock fix must not
+// disable the watermark when a batch IS running — a second near-capacity
+// request queues behind the first instead of over-admitting.
+func TestContBatchWatermarkStillGuardsRunningBatch(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	capTokens, err := cluster.KVCapacityTokens(m, hw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := capTokens/2 - 16
+	trace := []workload.TimedRequest{
+		{Entry: workload.Entry{InputLen: half, OutputLen: 64}},
+		{Entry: workload.Entry{InputLen: half, OutputLen: 64}},
+	}
+	c, err := cluster.New(m, hw, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := serving.Run(NewVLLM(1), c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, recs, 2)
+}
+
+// TestEngineCapabilities: the capability envelopes engines report match
+// their placement disciplines — one instance under locality, the whole
+// group under spread.
+func TestEngineCapabilities(t *testing.T) {
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, 1, 8, 2) // four TP=2 instances
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEnv := func() *serving.Env {
+		return &serving.Env{Sim: simevent.New(), Cluster: c, CM: costmodel.New(m, hw), Pool: c.NewPool()}
+	}
+	perInstance := c.Instances[0].KVCapacity
+	total := 0
+	for _, inst := range c.Instances {
+		total += inst.KVCapacity
+	}
+
+	c1, err := cluster.New(m, hw, 1, 2, 2) // one TP=2 instance
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewVLLM(2)
+	if err := local.Init(&serving.Env{Sim: simevent.New(), Cluster: c1, CM: costmodel.New(m, hw), Pool: c1.NewPool()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := local.Capability().MaxSeqTokens; got != perInstance {
+		t.Fatalf("locality engine envelope %d, want one instance %d", got, perInstance)
+	}
+
+	spread := NewStaticHybrid(4, 2)
+	if err := spread.Init(newEnv()); err != nil {
+		t.Fatal(err)
+	}
+	if got := spread.Capability().MaxSeqTokens; got != total {
+		t.Fatalf("spread engine envelope %d, want whole group %d", got, total)
 	}
 }

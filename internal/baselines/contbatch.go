@@ -64,6 +64,13 @@ type ContBatch struct {
 	Preemptions int
 }
 
+// Capability implements serving.CapabilityReporter (valid after Init): the
+// largest sequence the placement discipline can hold — the whole group when
+// KV spreads, one instance under locality.
+func (e *ContBatch) Capability() serving.Capability {
+	return serving.Capability{MaxSeqTokens: e.capacity()}
+}
+
 // Load implements serving.LoadReporter.
 func (e *ContBatch) Load() serving.LoadStats {
 	st := serving.LoadStats{Queued: len(e.waiting), Running: len(e.running)}
@@ -205,8 +212,16 @@ func (e *ContBatch) admitPrefills() bool {
 		// Watermark (as in vLLM's block allocator): admission requires
 		// headroom beyond the prompt so the running batch can keep growing.
 		// Without it, a preempted request re-admits into a full pool and
-		// the preempt/recompute cycle livelocks at saturation.
+		// the preempt/recompute cycle livelocks at saturation. With the
+		// engine otherwise empty the watermark must not apply: there is no
+		// running batch to protect, and a head-of-line request within one
+		// watermark of pool capacity would otherwise wait forever on
+		// completions that can never come (Arrive already guarantees the
+		// request fits the pool outright).
 		watermark := e.capacity()/100 + len(e.running)
+		if len(e.running) == 0 && len(batch) == 0 {
+			watermark = 0
+		}
 		if reserve+watermark > e.freeTokens() {
 			break // FCFS head-of-line: wait for memory
 		}

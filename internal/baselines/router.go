@@ -55,6 +55,14 @@ func (v routerView) CachedTokens(fleet.RequestInfo) int { return 0 }
 
 func (v routerView) SessionTokens(fleet.RequestInfo) int { return 0 }
 
+// Capability reports identical sub-engine replicas: the in-process router
+// fronts clones, so capability-aware scores see a uniform fleet. The
+// sheet's speed and cost are nominal (equal across sub-engines), which is
+// all a relative score needs.
+func (v routerView) Capability() fleet.ReplicaCapability {
+	return fleet.ReplicaCapability{Kind: "sub-engine", GPUs: 1, CostUnits: 1, KVCapacity: 1 << 30, MaxContext: 1 << 30, PrefillRate: 1}
+}
+
 // Init implements serving.Engine: all sub-engines share the environment
 // (same simulator, same pool, same completion sink).
 func (r *Router) Init(env *serving.Env) error {

@@ -36,7 +36,14 @@ type Scale struct {
 	AutoscaleDuration float64
 	AutoscaleWarmup   float64
 	AutoscaleMax      int
-	Seed              int64
+	// Heterogeneous-fleet experiment: arrival horizon (seconds), session
+	// rate (sessions/s) and the long-context replica count of the
+	// homogeneous-LoongServe arm, from which the equal-cost compositions
+	// derive (see HeteroCompositions).
+	HeteroDuration float64
+	HeteroRate     float64
+	HeteroLoong    int
+	Seed           int64
 	// Workers bounds how many independent experiment arms run concurrently
 	// (each arm owns a full simulator); 0 means one per available CPU, 1
 	// forces serial execution. Results are ordered by arm index either way,
@@ -66,6 +73,9 @@ func FullScale() Scale {
 		AutoscaleDuration: 360,
 		AutoscaleWarmup:   15,
 		AutoscaleMax:      4,
+		HeteroDuration:    240,
+		HeteroRate:        2.8,
+		HeteroLoong:       3,
 		Seed:              42,
 	}
 }
@@ -93,6 +103,9 @@ func QuickScale() Scale {
 		AutoscaleDuration: 120,
 		AutoscaleWarmup:   5,
 		AutoscaleMax:      3,
+		HeteroDuration:    90,
+		HeteroRate:        2.8,
+		HeteroLoong:       2,
 		Seed:              42,
 	}
 }

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"loongserve/internal/fleet"
+	"loongserve/internal/workload"
+)
+
+// TestFleetQuickGolden is the backward-compat anchor of the composition
+// refactor: the two pre-existing -exp fleet tables, rendered serially at
+// quick scale, must stay byte-identical to the output of the
+// pre-refactor tree (testdata/fleet_quick.golden, captured before
+// ReplicaKind/Groups existed). The homogeneous Spec+Replicas path is a
+// shim over the heterogeneous composition API, and this test is what
+// "bit-identical" means.
+func TestFleetQuickGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fleet_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := QuickScale()
+	sc.Workers = 1
+	var buf bytes.Buffer
+	FleetExperiment(sc).Fprint(&buf)
+	FleetCacheExperiment(sc).Fprint(&buf)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("quick -exp fleet output diverged from the pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFleetKinds covers the kind registry and derived capability sheets.
+func TestFleetKinds(t *testing.T) {
+	if _, err := FleetKind("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	kinds := FleetKinds()
+	if len(kinds) != len(FleetKindNames()) {
+		t.Fatalf("FleetKinds returned %d kinds, names list %d", len(kinds), len(FleetKindNames()))
+	}
+	for _, k := range kinds {
+		if err := k.Resolve(); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+	}
+	loong, cheap := kinds[0], kinds[1]
+	// The sheets are derived, not typed: the 8-GPU ESP node must report 8x
+	// the cost and a strictly larger context envelope (its engine shards
+	// one sequence across instances; the single-GPU engine is bounded by
+	// one pool).
+	if loong.GPUs != 8 || cheap.GPUs != 1 {
+		t.Fatalf("GPUs: loong %d, contbatch %d", loong.GPUs, cheap.GPUs)
+	}
+	if loong.CostUnits != 8 || cheap.CostUnits != 1 {
+		t.Fatalf("cost units: loong %v, contbatch %v", loong.CostUnits, cheap.CostUnits)
+	}
+	if loong.MaxContext <= 4*cheap.MaxContext {
+		t.Fatalf("loong MaxContext %d not well above contbatch %d", loong.MaxContext, cheap.MaxContext)
+	}
+	if loong.MaxContext != loong.KVCapacity {
+		t.Fatalf("loong (ESP, KV sharding) MaxContext %d != pool %d", loong.MaxContext, loong.KVCapacity)
+	}
+	if cheap.PrefillRate >= loong.PrefillRate {
+		t.Fatalf("prefill rates: contbatch %v >= loong %v", cheap.PrefillRate, loong.PrefillRate)
+	}
+	if loong.PrefillSeconds(100_000) >= cheap.PrefillSeconds(100_000) {
+		t.Fatal("100K prefill not faster on the 8-GPU kind")
+	}
+}
+
+// TestFleetHeteroMixedWins is the acceptance property: on the quick-scale
+// mixed-length workload, the mixed composition beats every same-cost
+// homogeneous fleet on goodput per provisioned cost unit, deterministically.
+func TestFleetHeteroMixedWins(t *testing.T) {
+	sc := QuickScale()
+	sc.Workers = 1
+	wcfg := FleetHeteroWorkload(sc)
+	scripts := workload.SessionScripts(wcfg, sc.Seed)
+
+	loong, _ := FleetKind("loong")
+	cheap, _ := FleetKind("contbatch")
+	comps := HeteroCompositions(sc, loong, cheap)
+	gcu := make(map[string]float64, len(comps))
+	var costUnits float64
+	for _, c := range comps {
+		res, err := fleet.RunSessionsGroups(scripts, fleet.Config{
+			Groups:   c.Groups,
+			SLOKind:  loong,
+			Policy:   fleet.NewCapabilityAffinity(),
+			SLOScale: heteroSLOScale,
+		}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		gcu[c.Name] = res.GoodputPerCostUnit()
+		if costUnits == 0 {
+			costUnits = res.MeanCostUnits()
+		} else if d := res.MeanCostUnits() - costUnits; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("%s provisions %.6f cost units, want %.6f (arms must be same-cost)", c.Name, res.MeanCostUnits(), costUnits)
+		}
+		t.Logf("%-26s goodput/cost-unit %.4f", c.Name, gcu[c.Name])
+	}
+	mixed := comps[len(comps)-1].Name
+	for _, c := range comps[:len(comps)-1] {
+		if gcu[mixed] <= gcu[c.Name] {
+			t.Fatalf("mixed fleet %.4f goodput/cost-unit does not beat homogeneous %s at %.4f", gcu[mixed], c.Name, gcu[c.Name])
+		}
+	}
+}
+
+// TestFleetHeteroExperimentShape runs the full quick experiment (including
+// the capability-blind ablation and the kind-picking autoscaler arms) and
+// checks every row rendered with real numbers.
+func TestFleetHeteroExperimentShape(t *testing.T) {
+	sc := QuickScale()
+	sc.Workers = 1
+	tab := FleetHeteroExperiment(sc)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(tab.Header))
+		}
+		if row[3] == "ERR" || row[3] == "OOM" {
+			t.Fatalf("arm %s/%s failed: %v", row[0], row[1], row[len(row)-1])
+		}
+	}
+	// The autoscaler must have scaled, and must report its kind decisions.
+	scaling := tab.Rows[4][len(tab.Rows[4])-1]
+	if scaling == "-" || scaling == "" {
+		t.Fatalf("autoscale row reports no scaling activity: %q", scaling)
+	}
+}
+
+// TestFleetHeteroExperimentParallelDeterminism mirrors the other
+// experiments' serial-vs-parallel byte-identity property for the hetero
+// table.
+func TestFleetHeteroExperimentParallelDeterminism(t *testing.T) {
+	serial := QuickScale()
+	serial.Workers = 1
+	par := QuickScale()
+	par.Workers = 4
+
+	var a, b bytes.Buffer
+	FleetHeteroExperiment(serial).Fprint(&a)
+	FleetHeteroExperiment(par).Fprint(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("hetero table differs between serial and parallel arms\n--- serial ---\n%s\n--- parallel ---\n%s", a.String(), b.String())
+	}
+}

@@ -251,6 +251,14 @@ func (e *Engine) CheckDrained() error {
 	return e.env.Pool.CheckInvariants()
 }
 
+// Capability implements serving.CapabilityReporter (valid after Init):
+// elastic sequence parallelism shards one sequence's KV across instances,
+// so the envelope is the whole distributed pool — the long-context headroom
+// that distinguishes a LoongServe replica in a heterogeneous fleet.
+func (e *Engine) Capability() serving.Capability {
+	return serving.Capability{MaxSeqTokens: e.env.Pool.TotalCapacity()}
+}
+
 // Load implements serving.LoadReporter: pending requests are queued,
 // requests inside any parallel group (prefill batch or decode set) are
 // running, and KVTokens counts their resident KV.

@@ -47,7 +47,10 @@ import (
 
 // Spec describes how to build one replica. NewCluster and NewEngine are
 // called once per replica; every replica must get fresh instances (the
-// gateway gives each its own environment and KV pool).
+// gateway gives each its own environment and KV pool). A Spec is the
+// anonymous building block; a named Spec with a derived capability sheet
+// is a ReplicaKind (kind.go), and a fleet mixes kinds through
+// Config.Groups.
 type Spec struct {
 	NewEngine  func() serving.Engine
 	NewCluster func() (*cluster.Cluster, error)
@@ -65,8 +68,31 @@ const (
 )
 
 // Config controls a fleet run.
+//
+// The fleet's composition comes from Groups — a list of (ReplicaKind,
+// Count) slices, heterogeneous at will. The legacy homogeneous form
+// (Replicas clones of one Spec passed to NewGateway/Run) is kept as a
+// thin shim over a single-kind composition and behaves bit-identically to
+// the pre-composition gateway.
 type Config struct {
+	// Groups is the fleet composition for the heterogeneous entry points
+	// (NewGatewayGroups, RunGroups, RunSessionsGroups). Must be empty for
+	// the legacy Spec-based entry points, which synthesize it.
+	Groups []ReplicaGroup
+
+	// Replicas is the legacy homogeneous replica count, consumed with the
+	// Spec argument of NewGateway/Run/RunSessions.
+	//
+	// Deprecated: new callers should express the fleet as Groups; Replicas
+	// remains supported as a single-kind composition.
 	Replicas int
+
+	// SLOKind, when set, pins every request's latency budget to this
+	// kind's reference configuration instead of the first group's — so
+	// arms of a heterogeneous comparison (whose first kinds differ) still
+	// judge requests against one shared SLO.
+	SLOKind *ReplicaKind
+
 	// Policy routes arrivals; nil defaults to LeastLoaded.
 	Policy Policy
 	// Cache selects the prefix-cache implementation: CacheWholeKey (the
@@ -78,6 +104,14 @@ type Config struct {
 	CacheTokens int
 	// NoAdmission disables the TinyLFU admission filter (plain LRU).
 	NoAdmission bool
+	// StreamMetrics folds completion records into a metrics.Accumulator
+	// (constant memory) instead of retaining every Record: Result.Records
+	// stays nil, Result.Acc carries the streamed summary, and session
+	// drivers skip Result.Trace for the same reason (nothing remains to
+	// join it to). For million-request traces the record slice is the
+	// next memory ceiling after the staged timeline removed the event
+	// heap's.
+	StreamMetrics bool
 	// SLOScale is the latency budget multiplier (0 = the paper's 25).
 	SLOScale float64
 	// MaxEvents bounds the simulation as a divergence backstop.
@@ -86,6 +120,7 @@ type Config struct {
 
 // ReplicaStats is the per-replica accounting of one run.
 type ReplicaStats struct {
+	Kind          string // replica kind name ("default" for Spec-built fleets)
 	Requests      int
 	HitRequests   int   // requests served with a nonzero prefix-cache hit
 	HitTokens     int64 // prompt tokens served from cache
@@ -109,6 +144,8 @@ type ScaleEvent struct {
 	At      time.Duration
 	Kind    string // "provision", "active", "drain", "migrate", "retire"
 	Replica int
+	// ReplicaKind names the kind of the replica the event concerns.
+	ReplicaKind string
 	// Cause sub-classifies migrate events: "drain" (scale-in evacuation),
 	// "handoff" (in-flight completion on a draining replica) or "route"
 	// (policy-directed rebalancing). Empty for lifecycle events.
@@ -128,8 +165,12 @@ func (e ScaleEvent) String() string {
 
 // Result is the outcome of a fleet run.
 type Result struct {
-	Policy   string
+	Policy string
+	// Records holds every completion record; nil when the run streamed
+	// metrics (Config.StreamMetrics), in which case Acc carries the
+	// equivalent online summary.
 	Records  []metrics.Record
+	Acc      *metrics.Accumulator
 	Replicas []ReplicaStats
 
 	// Elasticity accounting (zero-valued for static runs that never scale).
@@ -143,12 +184,20 @@ type Result struct {
 	// end) — warm-up and drain time included, exactly what a cluster bill
 	// would charge. The cost denominator of cost-normalized goodput.
 	ReplicaSeconds float64
+	// CostUnitSeconds integrates provisioned *cost units* (GPU-seconds by
+	// derivation — see ReplicaKind.CostUnits) over the run. For a
+	// homogeneous fleet this is ReplicaSeconds times the kind's cost; for
+	// a heterogeneous fleet it is the honest denominator ReplicaSeconds no
+	// longer is, because replicas of different kinds cost different
+	// amounts to keep alive.
+	CostUnitSeconds float64
 	// End is the simulated makespan (time of the last event).
 	End time.Duration
 
 	// Trace is the emitted request sequence, index i corresponding to
 	// request ID i+1. Set by RunSessions (where arrivals are generated
-	// during the run); nil for trace-replay Run.
+	// during the run); nil for trace-replay Run and for streaming runs
+	// (Config.StreamMetrics), which retain neither records nor trace.
 	Trace []workload.TimedRequest
 }
 
@@ -200,15 +249,56 @@ func (r *Result) MeanReplicas() float64 {
 	return r.ReplicaSeconds / r.End.Seconds()
 }
 
+// MeanCostUnits returns the time-averaged provisioned cost units — the
+// heterogeneous analogue of MeanReplicas.
+func (r *Result) MeanCostUnits() float64 {
+	if r.End <= 0 {
+		return 0
+	}
+	return r.CostUnitSeconds / r.End.Seconds()
+}
+
+// Goodput returns the run's SLO-met requests per second over the arrival
+// window, from retained records or the streamed accumulator.
+func (r *Result) Goodput() float64 {
+	if r.Acc != nil {
+		return r.Acc.Goodput()
+	}
+	return metrics.Goodput(r.Records)
+}
+
+// Summary returns the run's metric summary, from retained records or the
+// streamed accumulator (see metrics.Accumulator for quantile accuracy).
+func (r *Result) Summary() metrics.Summary {
+	if r.Acc != nil {
+		return r.Acc.Summary()
+	}
+	return metrics.Summarize(r.Records)
+}
+
 // GoodputPerReplica returns cost-normalized goodput: SLO-met requests per
-// second, per provisioned replica — the figure of merit elastic scaling
-// optimizes (high goodput at low replica-seconds).
+// second, per provisioned replica. Honest only for homogeneous fleets —
+// every replica is charged the same regardless of its kind; heterogeneous
+// comparisons should use GoodputPerCostUnit.
 func (r *Result) GoodputPerReplica() float64 {
 	mean := r.MeanReplicas()
 	if mean == 0 {
 		return 0
 	}
-	return metrics.Goodput(r.Records) / mean
+	return r.Goodput() / mean
+}
+
+// GoodputPerCostUnit returns goodput per provisioned cost unit (GPU by
+// derivation): the re-normalization that makes homogeneous and
+// heterogeneous fleets — and fleets of different node sizes — comparable
+// on one axis. A 2-GPU replica held for a second costs a quarter of an
+// 8-GPU replica held for a second, exactly as a cluster bill would say.
+func (r *Result) GoodputPerCostUnit() float64 {
+	mean := r.MeanCostUnits()
+	if mean == 0 {
+		return 0
+	}
+	return r.Goodput() / mean
 }
 
 // Run replays a trace against a static fleet of cfg.Replicas engine
@@ -217,12 +307,32 @@ func (r *Result) GoodputPerReplica() float64 {
 // normalized input latency reflects what the client submitted), while the
 // engines simulate only the cache-missed suffix of each prompt — the
 // prefill discount of prefix reuse. Deterministic in the trace and policy.
-func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (res *Result, err error) {
+//
+// Run is the homogeneous shim over RunGroups: cfg.Replicas clones of spec
+// as a single anonymous kind, bit-identical to the pre-composition fleet.
+func Run(spec Spec, trace []workload.TimedRequest, cfg Config) (*Result, error) {
 	sim := simevent.New()
 	g, err := NewGateway(spec, cfg, sim)
 	if err != nil {
 		return nil, err
 	}
+	return runTrace(g, sim, trace)
+}
+
+// RunGroups replays a trace against a static heterogeneous fleet built
+// from cfg.Groups — the composition-first spelling of Run.
+func RunGroups(trace []workload.TimedRequest, cfg Config) (*Result, error) {
+	sim := simevent.New()
+	g, err := NewGatewayGroups(cfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	return runTrace(g, sim, trace)
+}
+
+// runTrace stages a static trace's arrivals, runs the simulator to
+// completion and finalizes, converting engine OOM panics to errors.
+func runTrace(g *Gateway, sim *simevent.Sim, trace []workload.TimedRequest) (res *Result, err error) {
 	for i, tr := range trace {
 		r := &serving.Request{
 			ID:        kvcache.RequestID(i + 1),

@@ -47,7 +47,13 @@ func (s ReplicaState) String() string {
 // ReplicaInfo is the control-plane view of one replica, consumed by
 // autoscaling controllers.
 type ReplicaInfo struct {
-	State             ReplicaState
+	State ReplicaState
+	// Kind names the replica's kind; CostUnits and MaxContext mirror the
+	// kind's capability sheet, so kind-aware controllers can weigh
+	// drain victims without a kind lookup.
+	Kind              string
+	CostUnits         float64
+	MaxContext        int
 	OutstandingTokens int // gateway-accounted in-flight prompt+output tokens
 	OutstandingReqs   int
 	QueueDepth        int // engine-reported total in-flight when available
@@ -67,6 +73,7 @@ type ReplicaInfo struct {
 // cache (whole-key mode) and radix (radix mode) is non-nil.
 type replica struct {
 	index  int
+	kind   *ReplicaKind
 	engine serving.Engine
 	env    *serving.Env
 	cache  *PrefixCache
@@ -85,6 +92,9 @@ type replica struct {
 
 // OutstandingTokens implements ReplicaView.
 func (rep *replica) OutstandingTokens() int { return rep.outTokens }
+
+// Capability implements ReplicaView: the replica kind's derived sheet.
+func (rep *replica) Capability() ReplicaCapability { return rep.kind.Capability() }
 
 // QueueDepth implements ReplicaView: engine-reported when available.
 func (rep *replica) QueueDepth() int {
@@ -198,9 +208,14 @@ type inflight struct {
 // simulator events, so runs are deterministic.
 type Gateway struct {
 	sim    *simevent.Sim
-	spec   Spec
 	cfg    Config
 	policy Policy
+
+	// defaultKind is the kind AddReplica provisions (the first group's);
+	// kinds tracks every distinct kind that has built a replica, so event
+	// details mention kinds exactly when the fleet is heterogeneous.
+	defaultKind *ReplicaKind
+	kinds       map[*ReplicaKind]bool
 
 	replicas []*replica
 	pending  map[kvcache.RequestID]*inflight
@@ -215,12 +230,16 @@ type Gateway struct {
 	// radix-mode migration or drain moves. Unused in whole-key mode.
 	sessionChain map[PrefixKey][]uint64
 
-	res         *Result
+	res *Result
+	// Reference configuration: the first group's kind prices migrations
+	// and (unless Config.SLOKind overrides) SLO budgets, exactly as
+	// replica 0 always has for homogeneous fleets.
 	cm0         *costmodel.CostModel
-	refGPUs     int          // GPUs of one replica (SLO reference config)
-	refKVCap    int          // one replica's KV pool capacity, token slots
+	refGPUs     int          // reference kind's GPUs (SLO reference config)
+	refKVCap    int          // reference kind's KV pool capacity, token slots
+	sloKind     *ReplicaKind // budget reference (Config.SLOKind or first group's kind)
 	interLink   cluster.Link // replica-to-replica channel (inter-node IB)
-	prefillRate float64      // tokens/s a replica prefills at, for migrate-vs-recompute
+	prefillRate float64      // tokens/s the reference kind prefills at, for migrate-vs-recompute
 
 	completed int
 
@@ -239,15 +258,48 @@ type Gateway struct {
 	OnComplete func(e workload.Entry, rec metrics.Record)
 }
 
-// NewGateway builds a gateway with cfg.Replicas active replicas. The caller
-// owns the simulator: schedule arrivals via Submit and run it to completion,
-// then call Finalize.
+// NewGateway builds a gateway with cfg.Replicas active replicas cloned
+// from spec — the homogeneous shim over NewGatewayGroups, bit-identical to
+// the pre-composition gateway.
 func NewGateway(spec Spec, cfg Config, sim *simevent.Sim) (*Gateway, error) {
+	if cfg.Groups != nil {
+		return nil, fmt.Errorf("fleet: NewGateway takes a Spec, not Config.Groups (use NewGatewayGroups)")
+	}
 	if cfg.Replicas <= 0 {
 		return nil, fmt.Errorf("fleet: non-positive replica count %d", cfg.Replicas)
 	}
 	if spec.NewEngine == nil || spec.NewCluster == nil {
 		return nil, fmt.Errorf("fleet: Spec needs NewEngine and NewCluster")
+	}
+	cfg.Groups = []ReplicaGroup{{Kind: NewKind("default", spec), Count: cfg.Replicas}}
+	return NewGatewayGroups(cfg, sim)
+}
+
+// NewGatewayGroups builds a gateway from the fleet composition cfg.Groups:
+// for each group, Count active replicas of Kind, in group order. The
+// caller owns the simulator: schedule arrivals via Submit and run it to
+// completion, then call Finalize. The first group's kind is the reference
+// configuration for migration pricing and (unless cfg.SLOKind overrides)
+// SLO budgets.
+func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("fleet: empty fleet composition")
+	}
+	total := 0
+	for i, gr := range cfg.Groups {
+		if gr.Kind == nil {
+			return nil, fmt.Errorf("fleet: group %d has no kind", i)
+		}
+		if gr.Kind.Name == "" {
+			return nil, fmt.Errorf("fleet: group %d kind has no name", i)
+		}
+		if gr.Count < 0 {
+			return nil, fmt.Errorf("fleet: group %d (%s) has negative count %d", i, gr.Kind.Name, gr.Count)
+		}
+		total += gr.Count
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("fleet: composition provisions no replicas")
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = NewLeastLoaded()
@@ -267,30 +319,63 @@ func NewGateway(spec Spec, cfg Config, sim *simevent.Sim) (*Gateway, error) {
 
 	g := &Gateway{
 		sim:          sim,
-		spec:         spec,
 		cfg:          cfg,
 		policy:       cfg.Policy,
+		defaultKind:  cfg.Groups[0].Kind,
+		kinds:        make(map[*ReplicaKind]bool),
 		pending:      make(map[kvcache.RequestID]*inflight),
 		sessionHome:  make(map[PrefixKey]int),
 		sessionChain: make(map[PrefixKey][]uint64),
 		res:          &Result{Policy: cfg.Policy.Name()},
 		sloCache:     make(map[[2]int]time.Duration),
 	}
-	for i := 0; i < cfg.Replicas; i++ {
-		rep, err := g.newReplica()
-		if err != nil {
+	if cfg.StreamMetrics {
+		g.res.Acc = &metrics.Accumulator{}
+	}
+	for _, gr := range cfg.Groups {
+		for i := 0; i < gr.Count; i++ {
+			rep, err := g.newReplica(gr.Kind)
+			if err != nil {
+				return nil, err
+			}
+			rep.state = ReplicaActive
+		}
+	}
+	// The reference kind may have provisioned no replica yet (a zero-count
+	// first group under autoscaling); resolve it — and the SLO override —
+	// by probe so pricing is available before the first scale-up.
+	if err := g.defaultKind.Resolve(); err != nil {
+		return nil, err
+	}
+	g.sloKind = g.defaultKind
+	if cfg.SLOKind != nil {
+		if err := cfg.SLOKind.Resolve(); err != nil {
 			return nil, err
 		}
-		rep.state = ReplicaActive
+		g.sloKind = cfg.SLOKind
 	}
+	ref := g.defaultKind
+	g.cm0 = ref.cm
+	g.refGPUs = ref.GPUs
+	g.refKVCap = ref.KVCapacity
+	g.interLink = ref.ibLink
+	g.prefillRate = ref.PrefillRate
 	return g, nil
 }
 
-// newReplica constructs and registers the next replica (initially warming;
-// the caller or activation event flips it active).
-func (g *Gateway) newReplica() (*replica, error) {
+// hetero reports whether more than one distinct kind has built replicas —
+// the switch that adds kind names to lifecycle event details.
+func (g *Gateway) hetero() bool { return len(g.kinds) > 1 }
+
+// newReplica constructs and registers the next replica of the given kind
+// (initially warming; the caller or activation event flips it active). The
+// first replica of a kind also resolves the kind's capability sheet.
+func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 	i := len(g.replicas)
-	c, err := g.spec.NewCluster()
+	if kind.Spec.NewEngine == nil || kind.Spec.NewCluster == nil {
+		return nil, fmt.Errorf("fleet: kind %q needs NewEngine and NewCluster", kind.Name)
+	}
+	c, err := kind.Spec.NewCluster()
 	if err != nil {
 		return nil, fmt.Errorf("fleet: replica %d cluster: %w", i, err)
 	}
@@ -302,10 +387,12 @@ func (g *Gateway) newReplica() (*replica, error) {
 	}
 	rep := &replica{
 		index:         i,
-		engine:        g.spec.NewEngine(),
+		kind:          kind,
+		engine:        kind.Spec.NewEngine(),
 		state:         ReplicaWarming,
 		provisionedAt: g.sim.Now(),
 	}
+	rep.stats.Kind = kind.Name
 	rep.env = &serving.Env{
 		Sim:     g.sim,
 		Cluster: c,
@@ -338,19 +425,8 @@ func (g *Gateway) newReplica() (*replica, error) {
 	if err := rep.engine.Init(rep.env); err != nil {
 		return nil, fmt.Errorf("fleet: replica %d init: %w", i, err)
 	}
-	if i == 0 {
-		g.cm0 = rep.env.CM
-		for _, inst := range c.Instances {
-			g.refGPUs += inst.TP
-			g.refKVCap += inst.KVCapacity
-		}
-		g.interLink = cluster.Link{Bandwidth: c.HW.IBBandwidth, Latency: c.HW.IBLatency}
-		// Calibrate the migrate-vs-recompute exchange rate: how fast one
-		// replica turns prefill tokens into KV on its reference config.
-		const refLen = 8192
-		nvlink := cluster.Link{Bandwidth: c.HW.NVLinkBandwidth, Latency: c.HW.NVLinkLatency}
-		g.prefillRate = refLen / g.cm0.PrefillIterTime([]int{refLen}, 1, g.refGPUs, nvlink).Seconds()
-	}
+	kind.resolveFrom(c, rep.env.CM, rep.engine)
+	g.kinds[kind] = true
 	g.replicas = append(g.replicas, rep)
 	return rep, nil
 }
@@ -377,7 +453,7 @@ func (g *Gateway) SLOBudget(in, out int) time.Duration {
 	if d, ok := g.sloCache[key]; ok {
 		return d
 	}
-	d := serving.SLOBudget(g.cm0, g.refGPUs, in, out, g.cfg.SLOScale)
+	d := g.sloKind.SLOBudget(in, out, g.cfg.SLOScale)
 	g.sloCache[key] = d
 	return d
 }
@@ -392,6 +468,17 @@ func (g *Gateway) MigrationTokenCost(n int) float64 {
 		return 0
 	}
 	return g.migrationDelay(n).Seconds() * g.prefillRate
+}
+
+// MigrationSeconds implements Migrator: the link time to move n KV tokens
+// between replicas, in seconds — the denomination capability-aware
+// policies score in (their replica speeds differ, so a token-equivalent on
+// the reference kind would be ambiguous).
+func (g *Gateway) MigrationSeconds(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return g.migrationDelay(n).Seconds()
 }
 
 // migrationDelay returns the link time to move n KV tokens between two
@@ -411,6 +498,9 @@ func (g *Gateway) ReplicaInfos() []ReplicaInfo {
 		}
 		out[i] = ReplicaInfo{
 			State:             rep.state,
+			Kind:              rep.kind.Name,
+			CostUnits:         rep.kind.CostUnits,
+			MaxContext:        rep.kind.MaxContext,
 			OutstandingTokens: rep.outTokens,
 			OutstandingReqs:   rep.outReqs,
 			QueueDepth:        rep.QueueDepth(),
@@ -446,23 +536,39 @@ func (g *Gateway) ProvisionedReplicas() int {
 
 func (g *Gateway) event(kind, cause string, rep int, format string, args ...any) {
 	g.res.Events = append(g.res.Events, ScaleEvent{
-		At:      time.Duration(g.sim.Now()),
-		Kind:    kind,
-		Replica: rep,
-		Cause:   cause,
-		Detail:  fmt.Sprintf(format, args...),
+		At:          time.Duration(g.sim.Now()),
+		Kind:        kind,
+		Replica:     rep,
+		ReplicaKind: g.replicas[rep].kind.Name,
+		Cause:       cause,
+		Detail:      fmt.Sprintf(format, args...),
 	})
 }
 
-// AddReplica provisions a new replica. It joins the routable set after the
-// warm-up delay (model load, cache init); it accrues replica-seconds from
-// now. Returns the new replica's index.
+// AddReplica provisions a new replica of the fleet's default kind (the
+// first group's). It joins the routable set after the warm-up delay (model
+// load, cache init); it accrues replica-seconds from now. Returns the new
+// replica's index.
 func (g *Gateway) AddReplica(warmup time.Duration) (int, error) {
-	rep, err := g.newReplica()
+	return g.AddReplicaKind(g.defaultKind, warmup)
+}
+
+// AddReplicaKind provisions a new replica of the given kind — the
+// scale-up primitive of kind-picking autoscalers. The kind need not be
+// part of the initial composition.
+func (g *Gateway) AddReplicaKind(kind *ReplicaKind, warmup time.Duration) (int, error) {
+	if kind == nil {
+		return 0, fmt.Errorf("fleet: AddReplicaKind with nil kind")
+	}
+	rep, err := g.newReplica(kind)
 	if err != nil {
 		return 0, err
 	}
-	g.event("provision", "", rep.index, "warm-up %v", warmup)
+	if g.hetero() {
+		g.event("provision", "", rep.index, "kind %s, warm-up %v", kind.Name, warmup)
+	} else {
+		g.event("provision", "", rep.index, "warm-up %v", warmup)
+	}
 	if warmup <= 0 {
 		g.activate(rep)
 	} else {
@@ -800,7 +906,11 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 
 	rec := r.Record()
 	rec.InputLen = fl.fullInput
-	g.res.Records = append(g.res.Records, rec)
+	if g.res.Acc != nil {
+		g.res.Acc.Add(rec)
+	} else {
+		g.res.Records = append(g.res.Records, rec)
+	}
 	g.completed++
 	g.maybeRetire(rep)
 	if g.OnComplete != nil {
@@ -856,7 +966,22 @@ func (g *Gateway) Finalize() *Result {
 		if rep.state == ReplicaRetired {
 			stop = rep.retiredAt
 		}
-		g.res.ReplicaSeconds += (time.Duration(stop) - time.Duration(rep.provisionedAt)).Seconds()
+		secs := (time.Duration(stop) - time.Duration(rep.provisionedAt)).Seconds()
+		g.res.ReplicaSeconds += secs
+		g.res.CostUnitSeconds += secs * rep.kind.CostUnits
 	}
 	return g.res
+}
+
+// OutstandingInputLens returns the full prompt lengths of every routed,
+// unfinished request, ascending — the queue's length mix a kind-picking
+// autoscaler prices candidate kinds against. Sorted so the snapshot is
+// deterministic (pending is a map).
+func (g *Gateway) OutstandingInputLens() []int {
+	lens := make([]int, 0, len(g.pending))
+	for _, fl := range g.pending {
+		lens = append(lens, fl.fullInput)
+	}
+	sort.Ints(lens)
+	return lens
 }

@@ -26,6 +26,25 @@ type RequestInfo struct {
 	Blocks []uint64
 }
 
+// ReplicaCapability is the static capability sheet of one replica, derived
+// from its kind's cluster, engine and cost model (see ReplicaKind) — what
+// distinguishes replicas in a heterogeneous fleet beyond their load.
+type ReplicaCapability struct {
+	Kind string // kind name
+	GPUs int
+	// CostUnits is the relative cost of keeping the replica alive per
+	// second (GPU-seconds by derivation).
+	CostUnits float64
+	// KVCapacity is the replica's total KV pool in token slots.
+	KVCapacity int
+	// MaxContext is the largest single sequence the replica's engine can
+	// hold — its long-context envelope.
+	MaxContext int
+	// PrefillRate is tokens/second at the reference 8K prefill, the
+	// speed term of capability-aware scores.
+	PrefillRate float64
+}
+
 // ReplicaView is a policy's read-only window onto one replica.
 type ReplicaView interface {
 	// OutstandingTokens is the gateway-accounted in-flight token load
@@ -42,6 +61,10 @@ type ReplicaView interface {
 	// this replica — the portion a migration could physically move. Shared
 	// system-prompt entries are excluded: they are replicated, not owned.
 	SessionTokens(req RequestInfo) int
+	// Capability is the replica's static capability sheet. Homogeneous
+	// fleets return the same sheet for every replica, which makes every
+	// capability-aware score degenerate to its load-and-affinity terms.
+	Capability() ReplicaCapability
 }
 
 // Policy picks a replica for each arriving request. Implementations must
@@ -182,6 +205,10 @@ type Migrator interface {
 	// MigrationTokenCost returns the prefill-token-equivalent cost of
 	// moving n KV tokens between two replicas over the fleet interconnect.
 	MigrationTokenCost(n int) float64
+	// MigrationSeconds returns the same transfer priced in link seconds —
+	// the denomination capability-aware policies use, since replicas of
+	// different kinds turn seconds into tokens at different rates.
+	MigrationSeconds(n int) float64
 }
 
 // Decision is a MigrationAware policy's verdict for one request: the
@@ -276,6 +303,190 @@ func (p *MigratingAffinity) PickMigrate(req RequestInfo, replicas []ReplicaView,
 	return Decision{Dest: best, From: -1}
 }
 
+// DefaultCapabilityHeadroom is the fraction of a replica's MaxContext a
+// request's prompt may comfortably occupy before CapabilityAffinity stops
+// routing there: a session needs room to grow across turns and to coexist
+// with other residents, so a prompt at, say, 80% of a small replica's
+// whole pool belongs on a longer-context kind even though it would
+// technically fit.
+const DefaultCapabilityHeadroom = 0.5
+
+// CapabilityAffinity is heterogeneity-aware routing: every replica is
+// scored by the *cost* of serving the request there — predicted service
+// seconds (the prefill miss plus queued work, at the replica kind's
+// cost-model prefill rate) weighted by the kind's provisioning cost. Long
+// prompts flow to long-context kinds because small kinds are ineligible
+// (the prompt would not comfortably fit their KV envelope) or slow; short
+// prompts flow to cheap kinds because a short request takes nearly the
+// same time anywhere and the cheap replica's seconds cost less; prefix
+// affinity and load balance fall out of the same score (a warm cache
+// shrinks the miss, a deep queue grows the wait), with the hashed session
+// home breaking cold ties exactly as PrefixAffinity does. It composes the
+// MigratingAffinity decision: session KV migrates to a capability-eligible
+// replica when the link seconds beat the recompute they avoid.
+//
+// On a homogeneous fleet every replica shares one capability sheet, so the
+// score reduces to (miss + LoadWeight*outstanding) times a constant —
+// PrefixAffinity's ordering exactly.
+type CapabilityAffinity struct {
+	// LoadWeight converts outstanding tokens into score units relative to
+	// prefill tokens, as in PrefixAffinity.
+	LoadWeight float64
+	// Headroom is the comfortable fraction of MaxContext
+	// (DefaultCapabilityHeadroom when 0).
+	Headroom float64
+}
+
+// NewCapabilityAffinity returns the policy with LoadWeight 1 and the
+// default headroom.
+func NewCapabilityAffinity() *CapabilityAffinity {
+	return &CapabilityAffinity{LoadWeight: 1, Headroom: DefaultCapabilityHeadroom}
+}
+
+// Name implements Policy.
+func (p *CapabilityAffinity) Name() string { return "CapabilityAffinity" }
+
+// headroom returns the effective comfort fraction.
+func (p *CapabilityAffinity) headroom() float64 {
+	if p.Headroom > 0 {
+		return p.Headroom
+	}
+	return DefaultCapabilityHeadroom
+}
+
+// eligible reports whether the request's prompt comfortably fits the
+// replica's context envelope.
+func (p *CapabilityAffinity) eligible(req RequestInfo, c ReplicaCapability) bool {
+	return float64(req.InputLen) <= p.headroom()*float64(c.MaxContext)
+}
+
+// score prices serving the request on r: cost-weighted seconds of the
+// prefill miss plus queued work, plus extraSeconds (a pending migration's
+// link time).
+func (p *CapabilityAffinity) score(miss int, r ReplicaView, extraSeconds float64) float64 {
+	c := r.Capability()
+	rate := c.PrefillRate
+	if rate <= 0 {
+		rate = 1
+	}
+	t := (float64(miss)+p.LoadWeight*float64(r.OutstandingTokens()))/rate + extraSeconds
+	return t * c.CostUnits
+}
+
+// homeIndex hashes the request's stickiest key to a replica, as
+// PrefixAffinity does.
+func (p *CapabilityAffinity) homeIndex(req RequestInfo, n int) int {
+	key := req.SessionKey
+	if key == 0 {
+		key = req.SharedKey
+	}
+	if key == 0 {
+		return -1
+	}
+	return int(mix64(uint64(key)) % uint64(n))
+}
+
+// pick scores the eligible replicas (all of them when none is eligible —
+// then the most capable wins outright) and returns the winner plus its
+// score.
+func (p *CapabilityAffinity) pick(req RequestInfo, replicas []ReplicaView) (int, float64) {
+	n := len(replicas)
+	anyEligible := false
+	for _, r := range replicas {
+		if p.eligible(req, r.Capability()) {
+			anyEligible = true
+			break
+		}
+	}
+	if !anyEligible {
+		// Nothing fits comfortably: fall back to the largest context
+		// envelope — the replica class that fails least badly — and
+		// balance by score within it, so a homogeneous fleet of small
+		// replicas spreads its oversize tail instead of dogpiling one.
+		best, bestScore := 0, p.score(missTokens(req, replicas[0]), replicas[0], 0)
+		for i := 1; i < n; i++ {
+			bm, im := replicas[best].Capability().MaxContext, replicas[i].Capability().MaxContext
+			if im < bm {
+				continue
+			}
+			score := p.score(missTokens(req, replicas[i]), replicas[i], 0)
+			if im > bm || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best, bestScore
+	}
+	home := p.homeIndex(req, n)
+	best, bestScore := -1, 0.0
+	for i, r := range replicas {
+		if !p.eligible(req, r.Capability()) {
+			continue
+		}
+		score := p.score(missTokens(req, r), r, 0)
+		if best == -1 || score < bestScore || (score == bestScore && i == home) {
+			best, bestScore = i, score
+		}
+	}
+	return best, bestScore
+}
+
+// missTokens is the prefill the replica would actually compute.
+func missTokens(req RequestInfo, r ReplicaView) int {
+	miss := req.InputLen - r.CachedTokens(req)
+	if miss < 0 {
+		return 0
+	}
+	return miss
+}
+
+// Pick implements Policy.
+func (p *CapabilityAffinity) Pick(req RequestInfo, replicas []ReplicaView) int {
+	best, _ := p.pick(req, replicas)
+	return best
+}
+
+// PickMigrate implements MigrationAware: as MigratingAffinity, but scores
+// in cost-weighted seconds and only migrates onto capability-eligible
+// replicas.
+func (p *CapabilityAffinity) PickMigrate(req RequestInfo, replicas []ReplicaView, m Migrator) Decision {
+	best, bestScore := p.pick(req, replicas)
+	n := len(replicas)
+	if req.SessionKey == 0 || n < 2 {
+		return Decision{Dest: best, From: -1}
+	}
+	src, cached := -1, 0
+	for i, r := range replicas {
+		if c := r.SessionTokens(req); c > cached {
+			src, cached = i, c
+		}
+	}
+	if src < 0 || src == best {
+		return Decision{Dest: best, From: -1}
+	}
+	migSec := m.MigrationSeconds(cached)
+	miss := req.InputLen - cached
+	if miss < 0 {
+		miss = 0
+	}
+	migBest, migBestScore, migBestSec := -1, 0.0, 0.0
+	for i, r := range replicas {
+		if i == src || !p.eligible(req, r.Capability()) {
+			continue
+		}
+		s := p.score(miss, r, migSec)
+		if migBest == -1 || s < migBestScore {
+			migBest, migBestScore = i, s
+			migBestSec = migSec * r.Capability().CostUnits
+		}
+	}
+	// Hysteresis, as MigratingAffinity: the move must beat staying by more
+	// than its own (cost-weighted) transfer time, or sessions ping-pong.
+	if migBest >= 0 && migBestScore+migBestSec < bestScore {
+		return Decision{Dest: migBest, From: src}
+	}
+	return Decision{Dest: best, From: -1}
+}
+
 // ByName returns a fresh policy instance for a CLI-facing name.
 func ByName(name string, seed int64) (Policy, error) {
 	switch name {
@@ -289,12 +500,17 @@ func ByName(name string, seed int64) (Policy, error) {
 		return NewPrefixAffinity(), nil
 	case "migrate", "migrating":
 		return NewMigratingAffinity(), nil
+	case "capability", "cap":
+		return NewCapabilityAffinity(), nil
 	}
-	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c, affinity or migrate)", name)
+	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c, affinity, migrate or capability)", name)
 }
 
-// AllPolicies returns one fresh instance of every policy, in presentation
-// order.
+// AllPolicies returns one fresh instance of every load/affinity policy, in
+// presentation order. CapabilityAffinity is deliberately not included: on
+// the homogeneous fleets this set is compared on it reduces to
+// PrefixAffinity's ordering, so the historical comparison tables keep
+// their exact rows; heterogeneous comparisons add it explicitly.
 func AllPolicies(seed int64) []Policy {
 	return []Policy{
 		NewRoundRobin(),

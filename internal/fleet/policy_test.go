@@ -2,18 +2,28 @@ package fleet
 
 import "testing"
 
-// fakeReplica is a scriptable ReplicaView for policy unit tests.
+// fakeReplica is a scriptable ReplicaView for policy unit tests. The zero
+// value reports a generous uniform capability so capability-blind tests
+// behave as on a homogeneous fleet.
 type fakeReplica struct {
 	tokens  int
 	depth   int
 	cached  int
 	session int // session-owned portion of cached (0 = none movable)
+	cap     ReplicaCapability
 }
 
 func (f *fakeReplica) OutstandingTokens() int        { return f.tokens }
 func (f *fakeReplica) QueueDepth() int               { return f.depth }
 func (f *fakeReplica) CachedTokens(RequestInfo) int  { return f.cached }
 func (f *fakeReplica) SessionTokens(RequestInfo) int { return f.session }
+
+func (f *fakeReplica) Capability() ReplicaCapability {
+	if f.cap.MaxContext == 0 {
+		return ReplicaCapability{Kind: "fake", GPUs: 8, CostUnits: 8, KVCapacity: 1 << 20, MaxContext: 1 << 20, PrefillRate: 50_000}
+	}
+	return f.cap
+}
 
 func views(fs ...*fakeReplica) []ReplicaView {
 	out := make([]ReplicaView, len(fs))
@@ -138,10 +148,12 @@ func TestByNameAndAllPolicies(t *testing.T) {
 	}
 }
 
-// fixedMigrator prices every transfer at a constant token cost.
+// fixedMigrator prices every transfer at a constant token cost (and the
+// equivalent seconds at a 10K-token/s reference rate).
 type fixedMigrator struct{ cost float64 }
 
 func (m fixedMigrator) MigrationTokenCost(int) float64 { return m.cost }
+func (m fixedMigrator) MigrationSeconds(int) float64   { return m.cost / 10_000 }
 
 func TestMigratingAffinityDecisions(t *testing.T) {
 	p := NewMigratingAffinity()
@@ -179,5 +191,125 @@ func TestMigratingAffinityDecisions(t *testing.T) {
 	d = p.PickMigrate(req, views(&fakeReplica{cached: 3500, session: 3500}), fixedMigrator{})
 	if d.Dest != 0 || d.From != -1 {
 		t.Fatalf("single replica: %+v", d)
+	}
+}
+
+// heteroViews builds one "big" (long-context, expensive, fast) and two
+// "small" (cheap, slow, bounded-context) fake replicas.
+func heteroViews(bigLoad, smallLoad1, smallLoad2 int) []ReplicaView {
+	big := ReplicaCapability{Kind: "big", GPUs: 8, CostUnits: 8, KVCapacity: 900_000, MaxContext: 900_000, PrefillRate: 40_000}
+	small := ReplicaCapability{Kind: "small", GPUs: 1, CostUnits: 1, KVCapacity: 100_000, MaxContext: 100_000, PrefillRate: 9_000}
+	return views(
+		&fakeReplica{tokens: bigLoad, cap: big},
+		&fakeReplica{tokens: smallLoad1, cap: small},
+		&fakeReplica{tokens: smallLoad2, cap: small},
+	)
+}
+
+func TestCapabilityAffinityRoutesLongToBig(t *testing.T) {
+	p := NewCapabilityAffinity()
+	// 80K prompt: beyond half the small kind's envelope, only the big
+	// replica is eligible — even when it is the more loaded one.
+	req := RequestInfo{InputLen: 80_000}
+	if got := p.Pick(req, heteroViews(50_000, 0, 0)); got != 0 {
+		t.Fatalf("long prompt routed to replica %d, want big 0", got)
+	}
+}
+
+func TestCapabilityAffinityRoutesShortToCheap(t *testing.T) {
+	p := NewCapabilityAffinity()
+	// A chat prompt fits everywhere; idle everywhere: the cheap replica's
+	// cost-weighted seconds win (2K/9K*1 << 2K/40K*8).
+	req := RequestInfo{InputLen: 2_000}
+	if got := p.Pick(req, heteroViews(0, 0, 0)); got == 0 {
+		t.Fatal("idle fleet: chat prompt routed to the expensive replica")
+	}
+}
+
+func TestCapabilityAffinitySpillsUnderLoad(t *testing.T) {
+	p := NewCapabilityAffinity()
+	// Both small replicas deeply queued: the big replica's expensive
+	// seconds become the cheaper option.
+	req := RequestInfo{InputLen: 2_000}
+	if got := p.Pick(req, heteroViews(0, 500_000, 500_000)); got != 0 {
+		t.Fatalf("overloaded cheap fleet: pick = %d, want big 0", got)
+	}
+}
+
+func TestCapabilityAffinityFallbackMostCapable(t *testing.T) {
+	p := NewCapabilityAffinity()
+	// Nothing is comfortable (the prompt exceeds every envelope's
+	// headroom): the largest envelope wins, load-balancing ties.
+	small := ReplicaCapability{Kind: "small", GPUs: 1, CostUnits: 1, KVCapacity: 100_000, MaxContext: 100_000, PrefillRate: 9_000}
+	vs := views(
+		&fakeReplica{tokens: 90_000, cap: small},
+		&fakeReplica{tokens: 10, cap: small},
+		&fakeReplica{tokens: 50_000, cap: small},
+	)
+	if got := p.Pick(RequestInfo{InputLen: 95_000}, vs); got != 1 {
+		t.Fatalf("fallback pick = %d, want least-loaded 1", got)
+	}
+}
+
+func TestCapabilityAffinityHomogeneousMatchesPrefixAffinity(t *testing.T) {
+	// On uniform capabilities the capability score is a monotone function
+	// of PrefixAffinity's, so the two policies must agree pick for pick.
+	ca, pa := NewCapabilityAffinity(), NewPrefixAffinity()
+	for s := int64(1); s <= 32; s++ {
+		req := RequestInfo{InputLen: 1000 + int(s)*100, SessionKey: SessionKey(s), PrefixLen: 500}
+		vs := views(
+			&fakeReplica{tokens: int(s) * 37 % 900},
+			&fakeReplica{tokens: int(s) * 53 % 900, cached: 500, session: 500},
+			&fakeReplica{tokens: int(s) * 71 % 900},
+		)
+		if got, want := ca.Pick(req, vs), pa.Pick(req, vs); got != want {
+			t.Fatalf("session %d: capability picked %d, prefix-affinity %d", s, got, want)
+		}
+	}
+}
+
+func TestCapabilityAffinityMigration(t *testing.T) {
+	p := NewCapabilityAffinity()
+	req := RequestInfo{InputLen: 4_000, SessionKey: SessionKey(5), PrefixLen: 3_500}
+	big := ReplicaCapability{Kind: "big", GPUs: 8, CostUnits: 8, KVCapacity: 900_000, MaxContext: 900_000, PrefillRate: 40_000}
+	small := ReplicaCapability{Kind: "small", GPUs: 1, CostUnits: 1, KVCapacity: 100_000, MaxContext: 100_000, PrefillRate: 9_000}
+
+	// Warm on an overloaded small replica, idle small sibling, cheap link:
+	// migrate the session sideways instead of recomputing cold.
+	vs := views(
+		&fakeReplica{tokens: 0, cap: big},
+		&fakeReplica{tokens: 80_000, cached: 3_500, session: 3_500, cap: small},
+		&fakeReplica{tokens: 0, cap: small},
+	)
+	d := p.PickMigrate(req, vs, fixedMigrator{cost: 200})
+	if d.From != 1 || d.Dest == 1 {
+		t.Fatalf("overloaded warm small: got %+v, want migration off 1", d)
+	}
+
+	// Same situation, ruinously expensive link: spill cold, no migration.
+	d = p.PickMigrate(req, vs, fixedMigrator{cost: 500_000})
+	if d.From != -1 {
+		t.Fatalf("expensive link: got %+v, want no migration", d)
+	}
+
+	// A long session never migrates onto an ineligible small replica.
+	long := RequestInfo{InputLen: 80_000, SessionKey: SessionKey(9), PrefixLen: 70_000}
+	vs = views(
+		&fakeReplica{tokens: 600_000, cached: 70_000, session: 70_000, cap: big},
+		&fakeReplica{tokens: 0, cap: small},
+		&fakeReplica{tokens: 0, cap: small},
+	)
+	d = p.PickMigrate(long, vs, fixedMigrator{cost: 100})
+	if d.Dest != 0 || d.From != -1 {
+		t.Fatalf("long session: got %+v, want stay on big 0", d)
+	}
+}
+
+func TestByNameCapability(t *testing.T) {
+	for _, name := range []string{"capability", "cap"} {
+		p, err := ByName(name, 1)
+		if err != nil || p.Name() != "CapabilityAffinity" {
+			t.Fatalf("ByName(%q) = %v, %v", name, p, err)
+		}
 	}
 }

@@ -70,7 +70,13 @@ func (f *SessionFeed) emit(s *workload.SessionScript, t int) {
 	f.emitted++
 	id := kvcache.RequestID(f.emitted)
 	now := f.g.sim.Now()
-	f.Trace = append(f.Trace, workload.TimedRequest{Entry: e, Arrival: time.Duration(now)})
+	if !f.g.cfg.StreamMetrics {
+		// Streaming runs drop the trace too: retaining one TimedRequest
+		// (with its block-hash chain) per emitted request would rebuild
+		// the O(requests) footprint the flag exists to remove, and with
+		// Records gone there is nothing to join the trace back to.
+		f.Trace = append(f.Trace, workload.TimedRequest{Entry: e, Arrival: time.Duration(now)})
+	}
 	r := &serving.Request{
 		ID:        id,
 		InputLen:  e.InputLen,
@@ -105,12 +111,30 @@ func (f *SessionFeed) onComplete(e workload.Entry, _ metrics.Record) {
 // produced the scripts (passed explicitly here as `closed`). The returned
 // Result carries the emitted Trace so callers can join records back to
 // session turns.
-func RunSessions(spec Spec, scripts []workload.SessionScript, cfg Config, closed bool) (res *Result, err error) {
+func RunSessions(spec Spec, scripts []workload.SessionScript, cfg Config, closed bool) (*Result, error) {
 	sim := simevent.New()
 	g, err := NewGateway(spec, cfg, sim)
 	if err != nil {
 		return nil, err
 	}
+	return runSessions(g, sim, scripts, closed)
+}
+
+// RunSessionsGroups replays a session-script workload against a static
+// heterogeneous fleet built from cfg.Groups — the composition-first
+// spelling of RunSessions.
+func RunSessionsGroups(scripts []workload.SessionScript, cfg Config, closed bool) (*Result, error) {
+	sim := simevent.New()
+	g, err := NewGatewayGroups(cfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	return runSessions(g, sim, scripts, closed)
+}
+
+// runSessions feeds the scripts, runs the simulator to completion and
+// finalizes, converting engine OOM panics to errors.
+func runSessions(g *Gateway, sim *simevent.Sim, scripts []workload.SessionScript, closed bool) (res *Result, err error) {
 	feed := FeedSessions(g, scripts, closed)
 
 	defer func() {

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Accumulator folds completion records into the run summary online, so a
+// driver can stream millions of records through constant memory instead of
+// retaining every Record for a final Summarize pass. Counts, sums, SLO
+// attainment, the arrival window and token totals fold exactly; per-token
+// latency quantiles come from a log-bucketed sketch (below smallRunLimit
+// records they are exact — the values are simply kept).
+//
+// Goodput() is exact at any size: it needs only the SLO-met count and the
+// arrival window, both folded precisely.
+type Accumulator struct {
+	n                    int
+	sumPerTok            float64
+	sumInput             float64
+	sumOutput            float64
+	met                  int
+	totalTokens          int64
+	firstArrival         time.Duration
+	lastArrival          time.Duration
+	lastFinish           time.Duration
+	minPerTok, maxPerTok float64
+	buckets              []uint32  // log-spaced histogram of per-token norms
+	exact                []float64 // kept while n <= smallRunLimit, then dropped
+}
+
+// smallRunLimit is the record count up to which quantiles stay exact: the
+// raw per-token values are retained and sorted on demand. Past it the
+// Accumulator switches to the sketch and memory stays constant.
+const smallRunLimit = 1024
+
+// Sketch geometry: per-token normalized latencies live in a few decades
+// around 1e-4..1e1 s/token; the bucket range covers far beyond both ends
+// and out-of-range values clamp to the edge buckets. 64 buckets per decade
+// bounds the relative quantile error at 10^(1/64)-1 ≈ 3.7%.
+const (
+	sketchLoExp     = -7 // 1e-7 s/token
+	sketchHiExp     = 3  // 1e3 s/token
+	sketchPerDecade = 64
+	sketchBuckets   = (sketchHiExp - sketchLoExp) * sketchPerDecade
+)
+
+// sketchIndex maps a per-token value to its bucket.
+func sketchIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Floor((math.Log10(v) - sketchLoExp) * sketchPerDecade))
+	if i < 0 {
+		i = 0
+	}
+	if i >= sketchBuckets {
+		i = sketchBuckets - 1
+	}
+	return i
+}
+
+// sketchValue returns the geometric midpoint of bucket i.
+func sketchValue(i int) float64 {
+	exp := sketchLoExp + (float64(i)+0.5)/sketchPerDecade
+	return math.Pow(10, exp)
+}
+
+// Add folds one completion record.
+func (a *Accumulator) Add(r Record) {
+	pt := r.PerTokenNorm()
+	if a.n == 0 {
+		a.firstArrival, a.lastArrival, a.lastFinish = r.Arrival, r.Arrival, r.Finish
+		a.minPerTok, a.maxPerTok = pt, pt
+	}
+	a.n++
+	a.sumPerTok += pt
+	a.sumInput += r.InputNorm()
+	a.sumOutput += r.OutputNorm()
+	if r.MeetsSLO() {
+		a.met++
+	}
+	a.totalTokens += int64(r.InputLen) + int64(r.OutputLen)
+	if r.Arrival < a.firstArrival {
+		a.firstArrival = r.Arrival
+	}
+	if r.Arrival > a.lastArrival {
+		a.lastArrival = r.Arrival
+	}
+	if r.Finish > a.lastFinish {
+		a.lastFinish = r.Finish
+	}
+	if pt < a.minPerTok {
+		a.minPerTok = pt
+	}
+	if pt > a.maxPerTok {
+		a.maxPerTok = pt
+	}
+	if a.buckets == nil {
+		a.buckets = make([]uint32, sketchBuckets)
+	}
+	a.buckets[sketchIndex(pt)]++
+	if a.n <= smallRunLimit {
+		a.exact = append(a.exact, pt)
+	} else {
+		a.exact = nil
+	}
+}
+
+// N returns the folded record count.
+func (a *Accumulator) N() int { return a.n }
+
+// quantile estimates the p-quantile of the folded per-token values: exact
+// order-statistic interpolation while the raw values are still held, the
+// sketch bucket's midpoint (clamped to the observed range) beyond.
+func (a *Accumulator) quantile(p float64) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	if a.exact != nil {
+		vals := append([]float64(nil), a.exact...)
+		sort.Float64s(vals)
+		return percentile(vals, p)
+	}
+	rank := p * float64(a.n-1)
+	cum := 0.0
+	for i, c := range a.buckets {
+		cum += float64(c)
+		if cum > rank {
+			v := sketchValue(i)
+			if v < a.minPerTok {
+				v = a.minPerTok
+			}
+			if v > a.maxPerTok {
+				v = a.maxPerTok
+			}
+			return v
+		}
+	}
+	return a.maxPerTok
+}
+
+// Summary assembles the aggregate view, field-compatible with Summarize
+// over the same records: everything except the three quantiles is exact,
+// and the quantiles are exact for runs of at most smallRunLimit records.
+func (a *Accumulator) Summary() Summary {
+	s := Summary{N: a.n}
+	if a.n == 0 {
+		return s
+	}
+	n := float64(a.n)
+	s.MeanPerToken = a.sumPerTok / n
+	s.MeanInput = a.sumInput / n
+	s.MeanOutput = a.sumOutput / n
+	s.P50PerToken = a.quantile(0.50)
+	s.P90PerToken = a.quantile(0.90)
+	s.P99PerToken = a.quantile(0.99)
+	s.SLOAttainment = float64(a.met) / n
+	s.Duration = a.lastFinish - a.firstArrival
+	if s.Duration > 0 {
+		s.ThroughputReq = n / s.Duration.Seconds()
+		s.ThroughputTok = float64(a.totalTokens) / s.Duration.Seconds()
+	}
+	return s
+}
+
+// Goodput returns SLO-met requests per second over the arrival window,
+// exactly as Goodput computes it from retained records.
+func (a *Accumulator) Goodput() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	window := a.lastArrival - a.firstArrival
+	if window <= 0 {
+		window = a.lastFinish - a.firstArrival
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(a.met) / window.Seconds()
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomRecords draws a synthetic completion-record stream with realistic
+// spread: per-token norms span several decades, some requests miss SLO.
+func randomRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	at := time.Duration(0)
+	for i := range recs {
+		in := 16 + rng.Intn(100_000)
+		out := 1 + rng.Intn(2_000)
+		at += time.Duration(rng.ExpFloat64() * float64(200*time.Millisecond))
+		service := time.Duration((0.5 + rng.Float64()*40) * float64(time.Second))
+		first := at + service/4
+		budget := time.Duration(0)
+		if rng.Intn(4) > 0 {
+			budget = time.Duration(float64(service) * (0.5 + rng.Float64()*2))
+		}
+		recs[i] = Record{
+			ID: int64(i + 1), InputLen: in, OutputLen: out,
+			Arrival: at, FirstToken: first, Finish: at + service,
+			SLOBudget: budget,
+		}
+	}
+	return recs
+}
+
+// foldAll streams records through a fresh Accumulator.
+func foldAll(recs []Record) *Accumulator {
+	var acc Accumulator
+	for _, r := range recs {
+		acc.Add(r)
+	}
+	return &acc
+}
+
+// TestAccumulatorMatchesSummarizeExactly covers the equivalence contract
+// on the exact fields, at sizes below and above the exact-quantile limit.
+func TestAccumulatorMatchesSummarizeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, smallRunLimit, smallRunLimit + 1, 5000} {
+		recs := randomRecords(n, int64(n)+7)
+		want := Summarize(recs)
+		got := foldAll(recs).Summary()
+
+		if got.N != want.N ||
+			got.MeanPerToken != want.MeanPerToken ||
+			got.MeanInput != want.MeanInput ||
+			got.MeanOutput != want.MeanOutput ||
+			got.SLOAttainment != want.SLOAttainment ||
+			got.Duration != want.Duration ||
+			got.ThroughputReq != want.ThroughputReq ||
+			got.ThroughputTok != want.ThroughputTok {
+			t.Fatalf("n=%d: exact fields differ\nacc  %+v\nfull %+v", n, got, want)
+		}
+	}
+}
+
+// TestAccumulatorQuantiles: exact below the retention limit, within the
+// sketch's relative error beyond it.
+func TestAccumulatorQuantiles(t *testing.T) {
+	small := randomRecords(smallRunLimit, 3)
+	ws, gs := Summarize(small), foldAll(small).Summary()
+	if gs.P50PerToken != ws.P50PerToken || gs.P90PerToken != ws.P90PerToken || gs.P99PerToken != ws.P99PerToken {
+		t.Fatalf("small-run quantiles not exact: acc %v/%v/%v, full %v/%v/%v",
+			gs.P50PerToken, gs.P90PerToken, gs.P99PerToken, ws.P50PerToken, ws.P90PerToken, ws.P99PerToken)
+	}
+
+	big := randomRecords(20_000, 11)
+	wb, gb := Summarize(big), foldAll(big).Summary()
+	for _, q := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"P50", gb.P50PerToken, wb.P50PerToken},
+		{"P90", gb.P90PerToken, wb.P90PerToken},
+		{"P99", gb.P99PerToken, wb.P99PerToken},
+	} {
+		if q.want <= 0 {
+			t.Fatalf("%s: degenerate exact quantile %v", q.name, q.want)
+		}
+		if rel := math.Abs(q.got-q.want) / q.want; rel > 0.08 {
+			t.Fatalf("%s: sketch %v vs exact %v (relative error %.3f > 0.08)", q.name, q.got, q.want, rel)
+		}
+	}
+}
+
+// TestAccumulatorGoodputExact: goodput needs no sketch and must agree to
+// the bit at any size.
+func TestAccumulatorGoodputExact(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 5000} {
+		recs := randomRecords(n, int64(n)+23)
+		if got, want := foldAll(recs).Goodput(), Goodput(recs); got != want {
+			t.Fatalf("n=%d: accumulator goodput %v, exact %v", n, got, want)
+		}
+	}
+}
+
+// TestAccumulatorOrderInvariance: folding in any order gives the same
+// summary — exactly for the counting fields (sketch counts, SLO, window),
+// and up to float-summation reassociation for the means.
+func TestAccumulatorOrderInvariance(t *testing.T) {
+	recs := randomRecords(3000, 5)
+	fwd := foldAll(recs).Summary()
+	rev := make([]Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	got := foldAll(rev).Summary()
+	if got.N != fwd.N || got.SLOAttainment != fwd.SLOAttainment || got.Duration != fwd.Duration ||
+		got.P50PerToken != fwd.P50PerToken || got.P90PerToken != fwd.P90PerToken || got.P99PerToken != fwd.P99PerToken {
+		t.Fatalf("count-based fields depend on fold order:\nfwd %+v\nrev %+v", fwd, got)
+	}
+	near := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	if !near(got.MeanPerToken, fwd.MeanPerToken) || !near(got.MeanInput, fwd.MeanInput) || !near(got.MeanOutput, fwd.MeanOutput) {
+		t.Fatalf("means drift beyond reassociation error:\nfwd %+v\nrev %+v", fwd, got)
+	}
+}
+
+// TestSketchIndexBounds: extreme values clamp instead of panicking.
+func TestSketchIndexBounds(t *testing.T) {
+	for _, v := range []float64{0, -1, 1e-30, 1e30, math.Inf(1)} {
+		if i := sketchIndex(v); i < 0 || i >= sketchBuckets {
+			t.Fatalf("sketchIndex(%v) = %d out of range", v, i)
+		}
+	}
+	var acc Accumulator
+	acc.Add(Record{InputLen: 1, OutputLen: 0, Finish: time.Second})
+	if s := acc.Summary(); s.N != 1 {
+		t.Fatalf("N = %d", s.N)
+	}
+}

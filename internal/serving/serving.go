@@ -119,6 +119,29 @@ type LoadReporter interface {
 	Load() LoadStats
 }
 
+// Capability is an engine's static serving envelope — what it *could*
+// serve, as opposed to LoadStats' what it is serving right now. It is the
+// per-replica half of heterogeneous-fleet routing: policies compare an
+// arriving request against each replica's envelope before weighing load.
+type Capability struct {
+	// MaxSeqTokens is the largest single sequence (input + output KV) the
+	// engine can ever hold under its placement discipline; a longer request
+	// is structurally unservable (ErrOOM). Engines that shard one
+	// sequence's KV across instances (elastic sequence parallelism) report
+	// their whole pool; single-instance-locality engines report one
+	// instance's capacity.
+	MaxSeqTokens int
+}
+
+// CapabilityReporter is implemented by engines that can describe their
+// serving envelope. Valid only after Init (the envelope depends on the
+// bound cluster). Engines without it get a conservative default from the
+// fleet layer: the largest single KV pool instance, i.e. no cross-instance
+// sequence sharding.
+type CapabilityReporter interface {
+	Capability() Capability
+}
+
 // ErrOOM is returned by Run when the engine declares the workload
 // unservable (a request can never fit), reproducing the paper's DistServe
 // OOM rows in Fig 10.

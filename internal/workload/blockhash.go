@@ -22,6 +22,7 @@ const (
 	segSystem = 1 + iota // owner = prompt group
 	segUser              // owner = session ID, index = turn
 	segReply             // owner = session ID, index = turn
+	segDoc               // owner = session ID (branch: trunk ID) of the pasted document
 )
 
 // mix64 is the splitmix64 finalizer (the same hash the fleet layer uses for
@@ -86,11 +87,12 @@ func (b *chainBuilder) chain() []uint64 {
 }
 
 // blockChain hashes the conversation stream of script s through turn t,
-// inclusive of turn t's reply: system prompt, inherited base turns (owned
-// by the parent session in branching workloads), then the script's own
-// turns 0..t. The stream length is exactly Entry(t).InputLen + OutputLen.
+// inclusive of turn t's reply: system prompt, the session's pasted document
+// (owned by the parent session in branching workloads, like base turns),
+// inherited base turns, then the script's own turns 0..t. The stream length
+// is exactly Entry(t).InputLen + OutputLen.
 func (s *SessionScript) blockChain(t int) []uint64 {
-	total := s.SystemTokens
+	total := s.SystemTokens + s.DocTokens
 	for i := range s.BaseTurns {
 		total += s.BaseTurns[i].UserTokens + s.BaseTurns[i].ReplyTokens
 	}
@@ -106,6 +108,7 @@ func (s *SessionScript) blockChain(t int) []uint64 {
 	if owner == 0 {
 		owner = s.ID
 	}
+	b.add(segID(segDoc, owner, 0), s.DocTokens)
 	for i := range s.BaseTurns {
 		b.add(segID(segUser, owner, i), s.BaseTurns[i].UserTokens)
 		b.add(segID(segReply, owner, i), s.BaseTurns[i].ReplyTokens)

@@ -36,6 +36,19 @@ type SessionConfig struct {
 	BurstPeriod float64 // seconds per burst cycle; required when BurstFactor > 1
 	BurstDuty   float64 // high-rate fraction of each cycle, (0,1); 0 = 0.5
 
+	// LongFrac > 0 makes that fraction of sessions long-document
+	// conversations: the session pastes a private document (median
+	// LongDocTokens, log-normal) between its system prompt and its first
+	// user turn, and every subsequent turn re-submits it — the L-Eval-shaped
+	// long-prompt/short-answer traffic that gives heterogeneous fleets their
+	// length mix. The document is session-private context: it counts toward
+	// PrefixLen (a warm replica skips it) but not SharedLen. 0 keeps the
+	// pure chat workload with the RNG draw sequence — and therefore every
+	// existing trace — unchanged.
+	LongFrac      float64
+	LongDocTokens int // median pasted-document tokens; required when LongFrac > 0
+	LongDocMax    int // document length clamp; 0 = 4x the median
+
 	// BranchFactor >= 2 groups sessions into families sharing a
 	// conversation prefix: consecutive runs of BranchFactor sessions form
 	// one family whose first member is the trunk; the others are branches
@@ -89,6 +102,12 @@ func (cfg SessionConfig) Validate() error {
 		return fmt.Errorf("workload: BurstFactor %v needs BurstPeriod > 0, got %v", cfg.BurstFactor, cfg.BurstPeriod)
 	case cfg.BurstDuty < 0 || cfg.BurstDuty >= 1:
 		return fmt.Errorf("workload: BurstDuty must be in [0, 1), got %v", cfg.BurstDuty)
+	case cfg.LongFrac < 0 || cfg.LongFrac > 1:
+		return fmt.Errorf("workload: LongFrac must be in [0, 1], got %v", cfg.LongFrac)
+	case cfg.LongFrac > 0 && cfg.LongDocTokens <= 0:
+		return fmt.Errorf("workload: LongFrac %v needs LongDocTokens > 0, got %d", cfg.LongFrac, cfg.LongDocTokens)
+	case cfg.LongDocMax < 0:
+		return fmt.Errorf("workload: LongDocMax must be >= 0, got %d", cfg.LongDocMax)
 	case cfg.BranchFactor < 0:
 		return fmt.Errorf("workload: SessionConfig.BranchFactor must be >= 0, got %d", cfg.BranchFactor)
 	case cfg.BranchFactor >= 2 && cfg.BranchTurns < 1:

@@ -28,8 +28,14 @@ type SessionScript struct {
 	ID           int64 // 1-based SessionID
 	Group        int   // 1-based PromptGroup
 	SystemTokens int   // shared system-prompt length (SharedLen)
-	Start        float64
-	Turns        []SessionTurn
+	// DocTokens is a private pasted document between the system prompt and
+	// the first turn (0 for pure chat sessions): session-owned context that
+	// every turn re-submits, reusable from the session's previous turn
+	// (PrefixLen) but shared with no other session — the long-document
+	// workload shape of SessionConfig.LongFrac.
+	DocTokens int
+	Start     float64
+	Turns     []SessionTurn
 
 	// Branching lineage (zero-valued for independent sessions): the session
 	// forked off session ParentID and inherits BaseTurns — conversation
@@ -55,7 +61,7 @@ type SessionScript struct {
 // Turns): the re-submitted context plus the new user turn, with the
 // prefix-reuse structure filled in exactly as SessionTrace emits it.
 func (s *SessionScript) Entry(t int) Entry {
-	context := s.SystemTokens
+	context := s.SystemTokens + s.DocTokens
 	for i := range s.BaseTurns {
 		context += s.BaseTurns[i].UserTokens + s.BaseTurns[i].ReplyTokens
 	}
@@ -147,6 +153,11 @@ func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
 
 	user := lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
 	reply := lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
+	docMax := cfg.LongDocMax
+	if docMax == 0 {
+		docMax = 4 * cfg.LongDocTokens
+	}
+	doc := lengthDist{median: float64(cfg.LongDocTokens), sigma: 0.6, lo: BlockTokens, hi: docMax}
 
 	var burst *burstClock
 	if cfg.BurstFactor > 1 {
@@ -179,6 +190,11 @@ func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
 			SystemTokens: sysLens[group],
 			Start:        start,
 			Turns:        make([]SessionTurn, turns),
+		}
+		// Long-document draws happen only when the feature is enabled, so a
+		// LongFrac == 0 configuration consumes the RNG exactly as before.
+		if cfg.LongFrac > 0 && rng.Float64() < cfg.LongFrac {
+			sc.DocTokens = doc.sample(rng)
 		}
 		for t := 0; t < turns; t++ {
 			sc.Turns[t] = SessionTurn{UserTokens: user.sample(rng), ReplyTokens: reply.sample(rng)}
@@ -222,6 +238,9 @@ func branchScripts(scripts []SessionScript, factor, turns int) {
 		br.BaseTurns = trunk.Turns[:shared:shared]
 		br.Group = trunk.Group
 		br.SystemTokens = trunk.SystemTokens
+		// The trunk's pasted document precedes the shared turns, so a branch
+		// inherits it (hashed under the trunk's identity — see blockChain).
+		br.DocTokens = trunk.DocTokens
 	}
 }
 

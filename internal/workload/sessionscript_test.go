@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"reflect"
 	"testing"
@@ -140,5 +142,137 @@ func TestBurstValidation(t *testing.T) {
 	cfg.BurstPeriod = 30
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("valid burst config rejected: %v", err)
+	}
+}
+
+// TestLongDocSessions covers the long-document mix: the drawn share, the
+// Entry decomposition (the document counts toward the session-private
+// prefix but not the shared head), and the hash chain.
+func TestLongDocSessions(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 200
+	cfg.LongFrac = 0.3
+	cfg.LongDocTokens = 20_000
+	cfg.LongDocMax = 50_000
+	scripts := SessionScripts(cfg, 7)
+
+	long := 0
+	for i := range scripts {
+		s := &scripts[i]
+		if s.DocTokens == 0 {
+			continue
+		}
+		long++
+		if s.DocTokens < BlockTokens || s.DocTokens > cfg.LongDocMax {
+			t.Fatalf("session %d: doc %d outside [%d, %d]", s.ID, s.DocTokens, BlockTokens, cfg.LongDocMax)
+		}
+		e := s.Entry(0)
+		if e.SharedLen != s.SystemTokens {
+			t.Fatalf("session %d: SharedLen %d includes the private document", s.ID, e.SharedLen)
+		}
+		if e.PrefixLen != s.SystemTokens+s.DocTokens {
+			t.Fatalf("session %d: turn-0 PrefixLen %d, want system %d + doc %d", s.ID, e.PrefixLen, s.SystemTokens, s.DocTokens)
+		}
+		if e.InputLen != s.SystemTokens+s.DocTokens+s.Turns[0].UserTokens {
+			t.Fatalf("session %d: turn-0 InputLen %d", s.ID, e.InputLen)
+		}
+		if want := (e.InputLen + e.OutputLen) / BlockTokens; len(e.Blocks) != want {
+			t.Fatalf("session %d: %d chain blocks, want %d", s.ID, len(e.Blocks), want)
+		}
+	}
+	// The drawn share concentrates near LongFrac.
+	if frac := float64(long) / float64(len(scripts)); frac < 0.18 || frac > 0.45 {
+		t.Fatalf("long-document share %.2f far from configured 0.30", frac)
+	}
+}
+
+// TestLongDocDefaultClamp: LongDocMax 0 falls back to 4x the median.
+func TestLongDocDefaultClamp(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 300
+	cfg.LongFrac = 1
+	cfg.LongDocTokens = 1_000
+	scripts := SessionScripts(cfg, 3)
+	for i := range scripts {
+		if d := scripts[i].DocTokens; d < BlockTokens || d > 4_000 {
+			t.Fatalf("session %d: doc %d outside default clamp", scripts[i].ID, d)
+		}
+	}
+}
+
+// TestLongDocDisabledPathGolden guards the "RNG-stable when off"
+// invariant for real: the fingerprint literal below was computed on the
+// tree *before* the long-document feature existed (same config, same
+// seed, same fields). If the LongFrac==0 path ever consumes an extra RNG
+// draw — say the doc-length sample moves outside its enable guard —
+// every historical trace silently changes and this hash catches it.
+func TestLongDocDisabledPathGolden(t *testing.T) {
+	const preLongDocFingerprint = uint64(0x68e21f34e3045c8d)
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 50
+	h := fnv.New64a()
+	for _, tr := range SessionTrace(cfg, 42) {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d\n", tr.Arrival, tr.InputLen, tr.OutputLen, tr.SessionID, tr.Turn, tr.PrefixLen, tr.SharedLen)
+	}
+	if got := h.Sum64(); got != preLongDocFingerprint {
+		t.Fatalf("disabled-path trace fingerprint %#x != pre-feature golden %#x: the LongFrac==0 draw sequence changed", got, preLongDocFingerprint)
+	}
+}
+
+// TestLongDocFirstSessionDrawPosition pins where a session's doc draws
+// sit in the RNG stream: after its start/group/turn-count draws. The
+// first session's pre-doc fields therefore match the LongFrac=0 stream
+// exactly (later sessions shift — their draws follow session 0's doc
+// samples).
+func TestLongDocFirstSessionDrawPosition(t *testing.T) {
+	base := DefaultSessionConfig()
+	base.Sessions = 50
+	with := base
+	with.LongFrac = 1
+	with.LongDocTokens = 10_000
+	a, b := SessionScripts(base, 42), SessionScripts(with, 42)
+	if b[0].DocTokens == 0 {
+		t.Fatal("LongFrac 1 drew no document for session 0")
+	}
+	if a[0].Start != b[0].Start || a[0].Group != b[0].Group ||
+		a[0].SystemTokens != b[0].SystemTokens || len(a[0].Turns) != len(b[0].Turns) {
+		t.Fatalf("session 0 pre-doc draws shifted:\nwithout %+v\nwith    %+v", a[0], b[0])
+	}
+}
+
+// TestLongDocBranchInheritance: a branch inherits its trunk's document,
+// and their chains share the document blocks (the trunk hashes it under
+// its own identity for both).
+func TestLongDocBranchInheritance(t *testing.T) {
+	cfg := DefaultSessionConfig()
+	cfg.Sessions = 8
+	cfg.LongFrac = 1
+	cfg.LongDocTokens = 10_000
+	cfg.BranchFactor = 4
+	cfg.BranchTurns = 2
+	scripts := SessionScripts(cfg, 5)
+
+	trunk := &scripts[0]
+	for i := 1; i < 4; i++ {
+		br := &scripts[i]
+		if br.ParentID != trunk.ID {
+			t.Fatalf("script %d not branched off trunk", i)
+		}
+		if br.DocTokens != trunk.DocTokens {
+			t.Fatalf("branch doc %d != trunk doc %d", br.DocTokens, trunk.DocTokens)
+		}
+		// Shared blocks: system + doc + inherited turns are identical
+		// hashes, so the branch's first-turn chain must share the trunk's
+		// prefix through the document.
+		te, be := trunk.Entry(0), br.Entry(0)
+		shared := (trunk.SystemTokens + trunk.DocTokens) / BlockTokens
+		if len(te.Blocks) < shared || len(be.Blocks) < shared {
+			t.Fatalf("chains shorter than the shared head (%d blocks)", shared)
+		}
+		for k := 0; k < shared; k++ {
+			if te.Blocks[k] != be.Blocks[k] {
+				t.Fatalf("branch diverges from trunk at shared block %d", k)
+			}
+		}
 	}
 }
