@@ -1,13 +1,24 @@
-// Command loongserve-trace runs one LoongServe simulation with the
-// execution tracer attached and prints the elastic timeline — the textual
-// analogue of the paper's Figure 6 request lifecycle: prefill at high DoP,
-// proactive scale-down, decoding, elastic scale-ups as memory and compute
-// demand grow, dissolution.
+// Command loongserve-trace runs one simulation with the observability
+// stream attached and renders it — the textual analogue of the paper's
+// Figure 6 request lifecycle (prefill at high DoP, proactive scale-down,
+// decoding, elastic scale-ups as memory and compute demand grow,
+// dissolution), now backed by the unified obs exporter.
 //
-// Example:
+// By default it traces a single LoongServe engine; -replicas N > 1 replays
+// the same trace against a fleet of N replicas behind a routing gateway,
+// so the timeline additionally shows routing, cache lookups and request
+// completion with replica attribution. -out writes a Perfetto-loadable
+// Chrome trace-event JSON; -validate checks such a file against the
+// exporter's schema (the CI gate for trace artifacts) without running
+// anything.
+//
+// Examples:
 //
 //	loongserve-trace -dataset leval -rate 0.15 -n 20
 //	loongserve-trace -trace saved.jsonl -summary
+//	loongserve-trace -replicas 4 -policy affinity -summary
+//	loongserve-trace -n 20 -out trace.json
+//	loongserve-trace -validate trace.json
 package main
 
 import (
@@ -17,11 +28,14 @@ import (
 	"sort"
 	"strings"
 
+	"loongserve/internal/bench"
 	"loongserve/internal/cluster"
 	"loongserve/internal/core"
 	"loongserve/internal/costmodel"
+	"loongserve/internal/fleet"
 	"loongserve/internal/metrics"
 	"loongserve/internal/model"
+	"loongserve/internal/obs"
 	"loongserve/internal/serving"
 	"loongserve/internal/workload"
 )
@@ -30,11 +44,30 @@ func main() {
 	ds := flag.String("dataset", "mixed", "sharegpt | sharegpt-long | leval | lveval | mixed")
 	rate := flag.Float64("rate", 0.3, "Poisson arrival rate (req/s)")
 	n := flag.Int("n", 30, "number of requests")
-	nodes := flag.Int("nodes", 1, "8-GPU nodes")
+	nodes := flag.Int("nodes", 1, "8-GPU nodes (single-engine mode)")
 	seed := flag.Int64("seed", 42, "trace seed")
 	tracePath := flag.String("trace", "", "replay a saved trace file instead of sampling")
 	summary := flag.Bool("summary", false, "print only per-kind event counts")
+	replicas := flag.Int("replicas", 1, "replay against a fleet of this many replicas (> 1 enables fleet mode)")
+	engine := flag.String("engine", "loongserve", "fleet-mode replica engine: loongserve or vllm")
+	policy := flag.String("policy", "affinity", "fleet-mode routing policy (roundrobin, leastloaded, p2c, affinity, migrate, capability)")
+	out := flag.String("out", "", "write a Perfetto-loadable Chrome trace-event JSON to this file")
+	validate := flag.String("validate", "", "validate an existing Chrome trace file against the exporter schema and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", *validate)
+		return
+	}
 
 	var dataset workload.Dataset
 	switch strings.ToLower(*ds) {
@@ -65,35 +98,89 @@ func main() {
 		trace = workload.PoissonTrace(dataset, *rate, *n, *seed)
 	}
 
-	m := model.LWM1MText()
-	hw := cluster.A800()
-	c, err := cluster.New(m, hw, *nodes, 8, 2)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	eng := core.New(2, core.Options{})
-	tr := eng.AttachTracer()
-	recs, err := serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
-		os.Exit(1)
+	collector := &obs.Collector{}
+	var recs []metrics.Record
+	var kinds []string
+
+	if *replicas > 1 {
+		// Fleet replay: the same trace through a routed multi-replica
+		// gateway, every replica's engine events bridged into one stream.
+		spec, err := bench.FleetSpec(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p, err := fleet.ByName(*policy, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := fleet.Run(spec, trace, fleet.Config{Replicas: *replicas, Policy: p, Obs: collector})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			os.Exit(1)
+		}
+		recs = res.Records
+		kinds = make([]string, len(res.Replicas))
+		for i, rs := range res.Replicas {
+			kinds[i] = rs.Kind
+		}
+	} else {
+		m := model.LWM1MText()
+		hw := cluster.A800()
+		c, err := cluster.New(m, hw, *nodes, 8, 2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng := core.New(2, core.Options{})
+		eng.AttachObsSink(collector, 0)
+		recs, err = serving.Run(eng, c, costmodel.New(m, hw), trace, serving.DefaultRunConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			os.Exit(1)
+		}
+		kinds = []string{eng.Name()}
 	}
 
 	if *summary {
-		counts := tr.Counts()
-		kinds := make([]string, 0, len(counts))
-		for k := range counts {
-			kinds = append(kinds, string(k))
-		}
-		sort.Strings(kinds)
-		for _, k := range kinds {
-			fmt.Printf("%-14s %d\n", k, counts[core.TraceKind(k)])
-		}
+		printCounts(collector.Events)
 	} else {
-		tr.Timeline(os.Stdout)
+		obs.Timeline(os.Stdout, collector.Events)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = obs.WriteChromeTrace(f, collector.Events, nil, obs.ChromeOptions{ReplicaKinds: kinds, Policy: *policy})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d events (load in ui.perfetto.dev)\n", *out, len(collector.Events))
 	}
 
 	s := metrics.Summarize(recs)
 	fmt.Printf("\ncompleted %d requests; %s\n", len(recs), s.String())
+}
+
+// printCounts renders per-kind event counts, kinds sorted by name.
+func printCounts(events []obs.Event) {
+	counts := obs.Counts(events)
+	names := make([]string, 0, len(counts))
+	byName := make(map[string]int, len(counts))
+	for k, c := range counts {
+		names = append(names, k.String())
+		byName[k.String()] = c
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-14s %d\n", name, byName[name])
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"loongserve/internal/fleet"
+	"loongserve/internal/obs"
 	"loongserve/internal/serving"
 	"loongserve/internal/simevent"
 	"loongserve/internal/workload"
@@ -309,6 +310,19 @@ func (c *controller) scaleUp() bool {
 	return true
 }
 
+// emitDecision mirrors one scaling decision into the gateway's
+// observability stream. label must be a literal ("scale-up"/"scale-down").
+func (c *controller) emitDecision(label string, replica, total, active, warming int) {
+	sink := c.g.Obs()
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.Event{
+		At: c.sim.Now(), Kind: obs.KindAutoscale, Replica: replica, Group: -1,
+		Tokens: total, A: int64(active), B: int64(warming), Label: label,
+	})
+}
+
 // tick is one control period: observe, maybe scale, reschedule while work
 // remains.
 func (c *controller) tick() {
@@ -326,6 +340,7 @@ func (c *controller) tick() {
 				c.res.ScaleUps++
 				c.acted = true
 				c.lastAction = c.sim.Now()
+				c.emitDecision("scale-up", -1, total, active, warming)
 			}
 		}
 	case active > c.cfg.Min && float64(total)/float64(active-1) < c.cfg.DownAt:
@@ -335,6 +350,7 @@ func (c *controller) tick() {
 				c.res.ScaleDowns++
 				c.acted = true
 				c.lastAction = c.sim.Now()
+				c.emitDecision("scale-down", v, total, active, warming)
 			}
 		}
 	}

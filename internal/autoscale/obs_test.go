@@ -1,0 +1,63 @@
+package autoscale_test
+
+import (
+	"testing"
+
+	"loongserve/internal/autoscale"
+	"loongserve/internal/fleet"
+	"loongserve/internal/obs"
+	"loongserve/internal/workload"
+)
+
+// TestObsAutoscaleDecisions: every controller scaling decision mirrors
+// into the observability stream — one KindAutoscale event per scale-up and
+// per scale-down, labeled accordingly, alongside the replica lifecycle and
+// engine events of the run.
+func TestObsAutoscaleDecisions(t *testing.T) {
+	scripts := burstyScripts(t, 200, 21)
+	col := &obs.Collector{}
+	res, err := autoscale.Run(slowSpec(), scripts,
+		fleet.Config{Policy: fleet.NewMigratingAffinity(), Obs: col}, testConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != workload.NumRequests(scripts) {
+		t.Fatalf("%d of %d requests completed", len(res.Records), workload.NumRequests(scripts))
+	}
+	if res.ScaleUps == 0 || res.ScaleDowns == 0 {
+		t.Fatalf("run did not scale both ways (ups %d, downs %d) — workload no longer exercises the controller", res.ScaleUps, res.ScaleDowns)
+	}
+
+	ups, downs := 0, 0
+	for _, e := range col.Events {
+		if e.Kind != obs.KindAutoscale {
+			continue
+		}
+		switch e.Label {
+		case "scale-up":
+			ups++
+			if e.A < 1 {
+				t.Fatalf("scale-up decision with no active replicas: %+v", e)
+			}
+		case "scale-down":
+			downs++
+			if e.Replica < 0 {
+				t.Fatalf("scale-down decision without a victim replica: %+v", e)
+			}
+		default:
+			t.Fatalf("autoscale event with unexpected label %q", e.Label)
+		}
+	}
+	if ups != res.ScaleUps || downs != res.ScaleDowns {
+		t.Fatalf("obs saw %d/%d scale decisions, run accounted %d/%d", ups, downs, res.ScaleUps, res.ScaleDowns)
+	}
+
+	// The decision stream rides the same clock as the rest: lifecycle events
+	// from the drains the controller ordered must be present too.
+	counts := obs.Counts(col.Events)
+	for _, k := range []obs.Kind{obs.KindProvision, obs.KindActivate, obs.KindDrain, obs.KindRetire, obs.KindMigrate} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events in an elastic run (counts %v)", k, counts)
+		}
+	}
+}

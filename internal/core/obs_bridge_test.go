@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/obs"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// bridgeTrace is a small workload that exercises the elastic actions whose
+// events the bridge must carry.
+func bridgeTrace() []workload.TimedRequest {
+	return []workload.TimedRequest{
+		{Entry: workload.Entry{InputLen: 60_000, OutputLen: 100}, Arrival: 0},
+		{Entry: workload.Entry{InputLen: 500, OutputLen: 200}, Arrival: 50 * time.Millisecond},
+		{Entry: workload.Entry{InputLen: 400, OutputLen: 150}, Arrival: 80 * time.Millisecond},
+	}
+}
+
+func runBridge(t *testing.T, eng *Engine) {
+	t.Helper()
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, 1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := serving.Run(eng, c, costmodel.New(m, hw), bridgeTrace(), serving.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("completed %d requests", len(recs))
+	}
+}
+
+// TestAttachObsSinkForwardOnly: with only a sink attached, every elastic
+// event mirrors into the collector with replica attribution and engine
+// scalars, and the engine retains nothing.
+func TestAttachObsSinkForwardOnly(t *testing.T) {
+	eng := New(2, Options{})
+	col := &obs.Collector{}
+	eng.AttachObsSink(col, 3)
+	runBridge(t, eng)
+
+	if len(col.Events) == 0 {
+		t.Fatal("no events forwarded")
+	}
+	counts := obs.Counts(col.Events)
+	if counts[obs.KindPrefillStart]+counts[obs.KindPiggyback] < 2 {
+		t.Fatalf("too few prefill events: %v", counts)
+	}
+	if counts[obs.KindDissolve] == 0 {
+		t.Fatalf("no dissolve events: %v", counts)
+	}
+	for _, e := range col.Events {
+		if !e.Kind.EngineKind() {
+			t.Fatalf("bridge emitted non-engine kind %v", e.Kind)
+		}
+		if e.Replica != 3 {
+			t.Fatalf("event not attributed to replica 3: %+v", e)
+		}
+		if e.Group >= 0 && e.A <= 0 {
+			t.Fatalf("group-scoped event without degree of parallelism: %+v", e)
+		}
+	}
+	if eng.tracer == nil || !eng.tracer.forwardOnly {
+		t.Fatal("sink-only attach should build a forward-only tracer")
+	}
+	if len(eng.tracer.Events) != 0 {
+		t.Fatalf("forward-only tracer retained %d events", len(eng.tracer.Events))
+	}
+}
+
+// TestAttachObsSinkAndTracer: with both attached, the engine retains its
+// own TraceEvents and the sink sees the same stream — counts must agree
+// kind by kind through the obsKind mapping.
+func TestAttachObsSinkAndTracer(t *testing.T) {
+	eng := New(2, Options{})
+	tr := eng.AttachTracer()
+	col := &obs.Collector{}
+	eng.AttachObsSink(col, 0)
+	runBridge(t, eng)
+
+	if len(tr.Events) == 0 {
+		t.Fatal("tracer retained nothing with a sink attached")
+	}
+	if len(tr.Events) != len(col.Events) {
+		t.Fatalf("tracer retained %d events, sink saw %d", len(tr.Events), len(col.Events))
+	}
+	bridged := obs.Counts(col.Events)
+	for kind, n := range tr.Counts() {
+		if bridged[obsKind(kind)] != n {
+			t.Fatalf("kind %s: tracer %d vs sink %d", kind, n, bridged[obsKind(kind)])
+		}
+	}
+
+	// Attach order must not matter: sink first, tracer second.
+	eng2 := New(2, Options{})
+	col2 := &obs.Collector{}
+	eng2.AttachObsSink(col2, 0)
+	tr2 := eng2.AttachTracer()
+	runBridge(t, eng2)
+	if len(tr2.Events) == 0 || len(tr2.Events) != len(col2.Events) {
+		t.Fatalf("sink-then-tracer: retained %d, forwarded %d", len(tr2.Events), len(col2.Events))
+	}
+}
+
+// TestAttachObsSinkNil: a nil sink with no prior tracer must not build one
+// — the decode hot path keeps its single nil-tracer check.
+func TestAttachObsSinkNil(t *testing.T) {
+	eng := New(2, Options{})
+	eng.AttachObsSink(nil, 0)
+	if eng.tracer != nil {
+		t.Fatal("nil sink built a tracer")
+	}
+}
+
+// TestTracerRecordNilAllocFree: the disabled-trace hot path — a nil tracer
+// record call, as every decode step issues — costs zero allocations.
+func TestTracerRecordNilAllocFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.record(0, TraceScaleUp, nil, 128)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestTracerForwardAllocFree: forwarding a group-less event into a warmed
+// collector allocates nothing — the obs.Event is a value and no Instances
+// slice is copied on the forward-only path.
+func TestTracerForwardAllocFree(t *testing.T) {
+	col := &obs.Collector{}
+	tr := &Tracer{forwardOnly: true, sink: col, replica: 0}
+	for i := 0; i < 128; i++ {
+		tr.record(simevent.Time(i), TraceScaleUp, nil, i)
+	}
+	col.Reset()
+	var i int
+	allocs := testing.AllocsPerRun(100, func() {
+		if i == 128 {
+			col.Reset()
+			i = 0
+		}
+		tr.record(simevent.Time(i), TraceScaleUp, nil, i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("forward-only record allocates %.1f per call, want 0", allocs)
+	}
+}

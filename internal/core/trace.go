@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"loongserve/internal/kvcache"
+	"loongserve/internal/obs"
 	"loongserve/internal/simevent"
 )
 
@@ -39,15 +40,44 @@ type TraceEvent struct {
 	Tokens    int                  // tokens involved (batch input sum, moved KV, ...)
 }
 
-// Tracer collects engine trace events when attached via Engine.AttachTracer.
+// Tracer collects engine trace events when attached via Engine.AttachTracer,
+// and/or forwards them to an obs.Sink with replica attribution when the
+// engine runs as a fleet replica (Engine.AttachObsSink).
 type Tracer struct {
 	Events []TraceEvent
+
+	// sink, when non-nil, receives every event as an obs.Event tagged with
+	// replica. forwardOnly tracers (built by AttachObsSink alone) do not
+	// retain Events — the fleet run owns the stream, and retaining a second
+	// copy per replica would double the memory for nothing.
+	sink        obs.Sink
+	replica     int
+	forwardOnly bool
 }
 
 // record appends an event; nil tracers are a no-op so the hot path stays
 // branch-cheap.
 func (tr *Tracer) record(at simevent.Time, kind TraceKind, g *group, tokens int) {
 	if tr == nil {
+		return
+	}
+	if tr.sink != nil {
+		ev := obs.Event{At: at, Kind: obsKind(kind), Replica: tr.replica, Group: -1, Tokens: tokens}
+		if g != nil {
+			// Forwarded events carry the group's degree of parallelism and
+			// batch size as scalars — no Instances slice is materialized, so
+			// the forward-only path stays allocation-free.
+			ev.Group = g.id
+			ev.A = int64(len(g.instances))
+			if g.phase == phasePrefill {
+				ev.B = int64(len(g.batch))
+			} else {
+				ev.B = int64(len(g.reqs))
+			}
+		}
+		tr.sink.Emit(ev)
+	}
+	if tr.forwardOnly {
 		return
 	}
 	ev := TraceEvent{At: at, Kind: kind, Tokens: tokens}
@@ -63,10 +93,56 @@ func (tr *Tracer) record(at simevent.Time, kind TraceKind, g *group, tokens int)
 	tr.Events = append(tr.Events, ev)
 }
 
+// obsKind maps an engine TraceKind to its bridged obs.Kind.
+func obsKind(kind TraceKind) obs.Kind {
+	switch kind {
+	case TracePrefillStart:
+		return obs.KindPrefillStart
+	case TraceScaleDown:
+		return obs.KindScaleDown
+	case TraceScaleUp:
+		return obs.KindScaleUp
+	case TraceJoin:
+		return obs.KindJoin
+	case TraceShrink:
+		return obs.KindShrink
+	case TraceEvacuate:
+		return obs.KindEvacuate
+	case TracePreempt:
+		return obs.KindPreempt
+	case TraceDissolve:
+		return obs.KindDissolve
+	case TracePiggyback:
+		return obs.KindPiggyback
+	}
+	return obs.KindEngineEvent
+}
+
 // AttachTracer starts recording elastic events; call before serving.Run.
+// A sink attached earlier (AttachObsSink) keeps forwarding — the fresh
+// tracer additionally retains events.
 func (e *Engine) AttachTracer() *Tracer {
+	if e.tracer != nil {
+		e.tracer.forwardOnly = false
+		return e.tracer
+	}
 	e.tracer = &Tracer{}
 	return e.tracer
+}
+
+// AttachObsSink implements serving.Traceable: elastic events mirror into
+// sink as obs events attributed to the given replica index. Without a
+// prior AttachTracer the bridge is forward-only — events stream to the
+// sink and are not retained engine-side.
+func (e *Engine) AttachObsSink(sink obs.Sink, replica int) {
+	if e.tracer == nil {
+		if sink == nil {
+			return
+		}
+		e.tracer = &Tracer{forwardOnly: true}
+	}
+	e.tracer.sink = sink
+	e.tracer.replica = replica
 }
 
 // Timeline renders the trace as a per-event log grouped by time — a

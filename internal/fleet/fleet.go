@@ -40,6 +40,7 @@ import (
 	"loongserve/internal/cluster"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/metrics"
+	"loongserve/internal/obs"
 	"loongserve/internal/serving"
 	"loongserve/internal/simevent"
 	"loongserve/internal/workload"
@@ -116,6 +117,20 @@ type Config struct {
 	SLOScale float64
 	// MaxEvents bounds the simulation as a divergence backstop.
 	MaxEvents uint64
+
+	// Obs, when non-nil, receives the run's observability event stream:
+	// request-lifecycle events (enqueue, route, cache lookup, migrate,
+	// finish), replica lifecycle, and — for engines implementing
+	// serving.Traceable — engine elastic events with replica attribution.
+	// Nil means observability is off; the hot paths then pay exactly one
+	// nil check per would-be event (see the AllocsPerRun guards in
+	// obs_test.go).
+	Obs obs.Sink
+	// Sampler, when non-nil with a positive Interval, is driven by the
+	// gateway every Interval of simulated time, recording per-replica and
+	// fleet-level telemetry time series. Sampling stops by itself when the
+	// simulation has no further events.
+	Sampler *obs.Sampler
 }
 
 // ReplicaStats is the per-replica accounting of one run.

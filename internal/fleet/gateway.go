@@ -9,6 +9,7 @@ import (
 	"loongserve/internal/costmodel"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/metrics"
+	"loongserve/internal/obs"
 	"loongserve/internal/serving"
 	"loongserve/internal/simevent"
 	"loongserve/internal/workload"
@@ -256,6 +257,17 @@ type Gateway struct {
 	// for every finished request — the hook closed-loop session drivers use
 	// to schedule the next turn.
 	OnComplete func(e workload.Entry, rec metrics.Record)
+
+	// Observability (obs.go). obsSink/sampler mirror Config.Obs/Sampler;
+	// policyLabel caches the policy name so route events never format;
+	// samplerEv is the owned recurring sampling event; obsSessions maps
+	// session cache keys back to workload session ids for migrate events
+	// (maintained only while a sink is attached).
+	obsSink     obs.Sink
+	policyLabel string
+	sampler     *obs.Sampler
+	samplerEv   *simevent.Event
+	obsSessions map[PrefixKey]int64
 }
 
 // NewGateway builds a gateway with cfg.Replicas active replicas cloned
@@ -332,6 +344,7 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 	if cfg.StreamMetrics {
 		g.res.Acc = &metrics.Accumulator{}
 	}
+	g.attachObs()
 	for _, gr := range cfg.Groups {
 		for i := 0; i < gr.Count; i++ {
 			rep, err := g.newReplica(gr.Kind)
@@ -422,6 +435,14 @@ func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 		rep.cache = NewPrefixCache(cacheCap, !g.cfg.NoAdmission)
 	}
 	rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
+	if g.obsSink != nil {
+		// Engines that can mirror their elastic events pick up the fleet's
+		// sink with this replica's attribution, before Init so nothing is
+		// missed.
+		if tr, ok := rep.engine.(serving.Traceable); ok {
+			tr.AttachObsSink(g.obsSink, rep.index)
+		}
+	}
 	if err := rep.engine.Init(rep.env); err != nil {
 		return nil, fmt.Errorf("fleet: replica %d init: %w", i, err)
 	}
@@ -543,6 +564,7 @@ func (g *Gateway) event(kind, cause string, rep int, format string, args ...any)
 		Cause:       cause,
 		Detail:      fmt.Sprintf(format, args...),
 	})
+	g.emitLifecycle(kind, rep)
 }
 
 // AddReplica provisions a new replica of the fleet's default kind (the
@@ -633,6 +655,7 @@ func (g *Gateway) transferSession(key PrefixKey, chain []uint64, tokens int, src
 	g.res.Migrations.Tokens += int64(tokens)
 	g.res.Migrations.Time += g.migrationDelay(tokens)
 	g.event("migrate", kind, src.index, "%s: %d KV tokens -> replica %d (link %v)", kind, tokens, dst.index, g.migrationDelay(tokens).Round(time.Microsecond))
+	g.emitMigrate(key, src.index, dst.index, tokens, g.migrationDelay(tokens), kind)
 	g.sim.After(delay, func() {
 		// Install only when the destination still wants it: the session may
 		// have re-homed meanwhile, a fresher completion may already have
@@ -765,6 +788,8 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 		SharedLen:  e.SharedLen,
 		Blocks:     e.InputBlocks(),
 	}
+	g.emitEnqueue(e.SessionID, r)
+	g.noteSession(info.SessionKey, e.SessionID)
 	views := g.viewScratch[:0]
 	for _, rep := range active {
 		views = append(views, rep)
@@ -782,6 +807,13 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 		panic(fmt.Sprintf("fleet: policy %s picked replica %d of %d", g.policy.Name(), idx, len(active)))
 	}
 	rep := active[idx]
+	if g.obsSink != nil {
+		src := -1
+		if from >= 0 && from < len(active) && from != idx {
+			src = active[from].index
+		}
+		g.emitRoute(e.SessionID, r.ID, rep.index, src)
+	}
 
 	if from >= 0 && from < len(active) && from != idx && info.SessionKey != 0 {
 		// The policy chose migrate-over-recompute: move the session's KV to
@@ -826,6 +858,7 @@ func (g *Gateway) deliver(rep *replica, r *serving.Request, e workload.Entry, in
 		hit = full - 1 // at least one token must be prefilled
 	}
 	r.InputLen = full - hit
+	g.emitCache(e.SessionID, r.ID, rep.index, hit, full)
 
 	var fl *inflight
 	if k := len(g.flFree); k > 0 {
@@ -904,6 +937,7 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 		rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
 	}
 
+	g.emitFinish(rep.index, fl.entry.SessionID, r)
 	rec := r.Record()
 	rec.InputLen = fl.fullInput
 	if g.res.Acc != nil {

@@ -128,6 +128,21 @@ func (a *Accumulator) quantile(p float64) float64 {
 	for i, c := range a.buckets {
 		cum += float64(c)
 		if cum > rank {
+			// The edge buckets absorb everything outside the sketch range
+			// (zeros and sub-1e-7 values below, >1e3 above), so their
+			// geometric midpoint can be arbitrarily far from the values
+			// actually folded into them — e.g. a majority of zero-latency
+			// records would report P50 ≈ 1.02e-7 instead of 0. Report the
+			// observed extreme instead: the min/max necessarily lives in the
+			// lowest/highest occupied bucket, so for in-range values the
+			// error stays within one bucket width, and for clamped values it
+			// is exact at the edge.
+			if i == 0 {
+				return a.minPerTok
+			}
+			if i == sketchBuckets-1 {
+				return a.maxPerTok
+			}
 			v := sketchValue(i)
 			if v < a.minPerTok {
 				v = a.minPerTok

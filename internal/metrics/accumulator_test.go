@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -122,6 +123,140 @@ func TestAccumulatorOrderInvariance(t *testing.T) {
 	}
 	if !near(got.MeanPerToken, fwd.MeanPerToken) || !near(got.MeanInput, fwd.MeanInput) || !near(got.MeanOutput, fwd.MeanOutput) {
 		t.Fatalf("means drift beyond reassociation error:\nfwd %+v\nrev %+v", fwd, got)
+	}
+}
+
+// perTokRecord builds a record whose PerTokenNorm is exactly pt seconds
+// per token (one input token, zero output, arrival zero).
+func perTokRecord(id int, pt float64) Record {
+	return Record{
+		ID: int64(id), InputLen: 1, OutputLen: 0,
+		Finish: time.Duration(pt * float64(time.Second)),
+	}
+}
+
+// TestAccumulatorCrossover pins the exact→sketch transition: at exactly
+// smallRunLimit records quantiles are bit-equal to Summarize; one record
+// later the exact values are dropped and the sketch takes over, and must
+// stay within its advertised relative error rather than jumping.
+func TestAccumulatorCrossover(t *testing.T) {
+	recs := randomRecords(smallRunLimit+1, 31)
+
+	at := foldAll(recs[:smallRunLimit])
+	if at.exact == nil {
+		t.Fatalf("exact values dropped at n=%d, want retained through smallRunLimit", smallRunLimit)
+	}
+	want := Summarize(recs[:smallRunLimit])
+	got := at.Summary()
+	if got.P50PerToken != want.P50PerToken || got.P90PerToken != want.P90PerToken || got.P99PerToken != want.P99PerToken {
+		t.Fatalf("quantiles not exact at the crossover point:\nacc  %v/%v/%v\nfull %v/%v/%v",
+			got.P50PerToken, got.P90PerToken, got.P99PerToken,
+			want.P50PerToken, want.P90PerToken, want.P99PerToken)
+	}
+
+	past := foldAll(recs)
+	if past.exact != nil {
+		t.Fatalf("exact values retained at n=%d, want dropped past smallRunLimit", smallRunLimit+1)
+	}
+	// One past the crossover the sketch takes over. Its guarantee is per
+	// order statistic (one bucket width, ~3.7%), not per interpolated
+	// quantile — with only ~1k samples the tail's neighboring order
+	// statistics can straddle several buckets, so bound the sketch value by
+	// the bracketing order statistics, each widened by one bucket ratio.
+	sorted := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		sorted = append(sorted, r.PerTokenNorm())
+	}
+	sort.Float64s(sorted)
+	ratio := math.Pow(10, 1.0/sketchPerDecade)
+	gotPast := past.Summary()
+	for _, q := range []struct {
+		name string
+		p    float64
+		got  float64
+	}{
+		{"P50", 0.50, gotPast.P50PerToken},
+		{"P90", 0.90, gotPast.P90PerToken},
+		{"P99", 0.99, gotPast.P99PerToken},
+	} {
+		rank := q.p * float64(len(sorted)-1)
+		lo := sorted[int(math.Floor(rank))] / ratio
+		hi := sorted[int(math.Ceil(rank))] * ratio
+		if q.got < lo || q.got > hi {
+			t.Fatalf("%s one past crossover: sketch %v outside [%v, %v]", q.name, q.got, lo, hi)
+		}
+	}
+}
+
+// TestAccumulatorUnderflowBucketQuantile: values at or below the sketch's
+// low edge (zeros, sub-1e-7 per-token norms) all land in bucket 0, whose
+// geometric midpoint (~1.02e-7) can be arbitrarily far above them. A
+// majority-zeros stream must report P50 = 0, not the bucket midpoint.
+// (Failing before the edge-bucket fix: quantile returned ~1.02e-7.)
+func TestAccumulatorUnderflowBucketQuantile(t *testing.T) {
+	var acc Accumulator
+	n := 2 * smallRunLimit // force the sketch path
+	for i := 0; i < n; i++ {
+		if i < n*3/4 {
+			acc.Add(Record{ID: int64(i + 1)}) // zero tokens → PerTokenNorm 0
+		} else {
+			acc.Add(perTokRecord(i+1, 1.0))
+		}
+	}
+	if p50 := acc.Summary().P50PerToken; p50 != 0 {
+		t.Fatalf("P50 of a majority-zero stream = %v, want 0 (underflow bucket must report the observed min)", p50)
+	}
+
+	// Same shape with tiny-but-positive values below the sketch floor.
+	var acc2 Accumulator
+	for i := 0; i < n; i++ {
+		if i < n*3/4 {
+			acc2.Add(perTokRecord(i+1, 1e-9))
+		} else {
+			acc2.Add(perTokRecord(i+1, 1.0))
+		}
+	}
+	if p50 := acc2.Summary().P50PerToken; p50 != 1e-9 {
+		t.Fatalf("P50 of a majority-1e-9 stream = %v, want 1e-9", p50)
+	}
+}
+
+// TestAccumulatorOverflowBucketQuantile: the top bucket absorbs everything
+// above 1e3 s/token; quantiles landing there must report the observed max
+// instead of the bucket midpoint (~9.9e2, below the values themselves).
+func TestAccumulatorOverflowBucketQuantile(t *testing.T) {
+	var acc Accumulator
+	n := 2 * smallRunLimit
+	for i := 0; i < n; i++ {
+		if i < n/4 {
+			acc.Add(perTokRecord(i+1, 1e-3))
+		} else {
+			acc.Add(perTokRecord(i+1, 1e5))
+		}
+	}
+	if p90 := acc.Summary().P90PerToken; p90 != 1e5 {
+		t.Fatalf("P90 of an overflow-heavy stream = %v, want 1e5 (top bucket must report the observed max)", p90)
+	}
+}
+
+// TestSketchDecadeBoundaries pins the bucket mapping at exact decade edges
+// and just inside them: log10 rounding at the boundary must not shift a
+// value into the neighboring decade's bucket.
+func TestSketchDecadeBoundaries(t *testing.T) {
+	for d := sketchLoExp + 1; d < sketchHiExp; d++ {
+		v := math.Pow(10, float64(d))
+		want := (d - sketchLoExp) * sketchPerDecade
+		if got := sketchIndex(v); got != want {
+			t.Fatalf("sketchIndex(1e%d) = %d, want %d", d, got, want)
+		}
+		// Just below the decade edge stays in the previous decade's last
+		// bucket; just above stays in the first bucket of the new decade.
+		if got := sketchIndex(v * (1 - 1e-12)); got != want-1 {
+			t.Fatalf("sketchIndex(1e%d⁻) = %d, want %d", d, got, want-1)
+		}
+		if got := sketchIndex(v * (1 + 1e-12)); got != want {
+			t.Fatalf("sketchIndex(1e%d⁺) = %d, want %d", d, got, want)
+		}
 	}
 }
 

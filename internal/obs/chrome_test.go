@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"loongserve/internal/simevent"
+)
+
+// traceFixture builds a synthetic run touching every exporter code path:
+// session-attributed and stateless request chains, a migration, replica
+// lifecycle, autoscale decisions and bridged engine events.
+func traceFixture() []Event {
+	return []Event{
+		{At: 0, Kind: KindProvision, Replica: 0, Label: "gpu"},
+		{At: 1e6, Kind: KindActivate, Replica: 0, Label: "gpu"},
+		{At: 1e9, Kind: KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 120, A: 30},
+		{At: 1e9, Kind: KindRoute, Replica: 0, Session: 7, Request: 1, A: -1, Label: "affinity"},
+		{At: 1e9, Kind: KindCacheLookup, Replica: 0, Session: 7, Request: 1, Tokens: 0, A: 120},
+		{At: 1e9, Kind: KindPrefillStart, Replica: 0, Group: 1, Tokens: 120, A: 4, B: 1},
+		{At: 2e9, Kind: KindEnqueue, Replica: -1, Request: 2, Tokens: 64, A: 16},
+		{At: 2e9, Kind: KindRoute, Replica: 1, Request: 2, A: -1, Label: "affinity"},
+		{At: 2e9, Kind: KindCacheLookup, Replica: 1, Request: 2, Tokens: 32, A: 64},
+		{At: 3e9, Kind: KindAutoscale, Replica: -1, Tokens: 5, A: 2, B: 1, Label: "scale-up"},
+		{At: 4e9, Kind: KindMigrate, Replica: 0, A: 1, Session: 7, Tokens: 800, B: 2e6, Label: "drain"},
+		{At: 5e9, Kind: KindFinish, Replica: 1, Session: 7, Request: 1, Tokens: 30, A: 2e9, B: 1e9},
+		{At: 6e9, Kind: KindFinish, Replica: 1, Request: 2, Tokens: 16, A: 25e8, B: 2e9},
+		{At: 7e9, Kind: KindDrain, Replica: 0, Label: "gpu"},
+		{At: 8e9, Kind: KindRetire, Replica: 0, Label: "gpu"},
+	}
+}
+
+func sampledFixture() *Sampler {
+	s := &Sampler{Cap: 16}
+	for i := 0; i < 4; i++ {
+		s.Record(Sample{
+			At: simevent.Time(i) * 1e9, Replica: i % 2, QueueDepth: i,
+			OutTokens: int64(10 * i), KVTokens: int64(100 * i),
+			CacheUsed: int64(50 * i), HitTokens: int64(i), InputTokens: int64(2 * i),
+			CostUnits: float64(i) * 1.5,
+		})
+		s.RecordFleet(FleetSample{
+			At: simevent.Time(i) * 1e9, Active: 2, Warming: 1,
+			OutstandingReqs: i, CostUnits: float64(i) * 3.25,
+		})
+	}
+	return s
+}
+
+// TestWriteChromeTraceValid: the export validates against its own schema
+// checker and parses with encoding/json; tracks exist for the gateway, the
+// sessions, and each replica that appears (including a migrate destination
+// only named through A).
+func TestWriteChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, traceFixture(), sampledFixture(), ChromeOptions{
+		ReplicaKinds: []string{"loongserve"}, Policy: "affinity",
+	})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data := buf.Bytes()
+	if err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, data)
+	}
+
+	var top struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			PID  int64           `json:"pid"`
+			TID  int64           `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if top.OtherData["policy"] != "affinity" {
+		t.Fatalf("otherData = %v", top.OtherData)
+	}
+
+	procs := map[string]bool{}
+	var spans, counters []string
+	for _, ev := range top.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			var args struct {
+				Name string `json:"name"`
+			}
+			json.Unmarshal(ev.Args, &args)
+			procs[args.Name] = true
+		case ev.Ph == "X":
+			spans = append(spans, ev.Name)
+		case ev.Ph == "C":
+			counters = append(counters, ev.Name)
+		}
+	}
+	for _, want := range []string{"gateway", "sessions", "replica 0 (loongserve)", "replica 1"} {
+		if !procs[want] {
+			t.Fatalf("missing process track %q, have %v", want, procs)
+		}
+	}
+	wantSpans := map[string]int{"prefill": 2, "decode": 2, "migrate:drain": 1}
+	for name, n := range wantSpans {
+		got := 0
+		for _, s := range spans {
+			if s == name {
+				got++
+			}
+		}
+		if got != n {
+			t.Fatalf("span %q appears %d times, want %d (spans: %v)", name, got, n, spans)
+		}
+	}
+	for _, want := range []string{"load", "tokens", "cache_hit_rate", "replicas", "fleet"} {
+		found := false
+		for _, c := range counters {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing counter track %q (counters: %v)", want, counters)
+		}
+	}
+}
+
+// TestWriteChromeTraceDeterministic: identical inputs render byte-identical
+// output — the property the serial-vs-parallel guard builds on.
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	opts := ChromeOptions{ReplicaKinds: []string{"a", "b"}, Policy: "p2c"}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, traceFixture(), sampledFixture(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, traceFixture(), sampledFixture(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same stream differ byte-wise")
+	}
+}
+
+// TestWriteChromeTraceEmpty: an empty stream still produces a valid trace
+// envelope or a diagnosable validation error — never malformed JSON.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil, ChromeOptions{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export is not valid JSON:\n%s", buf.Bytes())
+	}
+	// No events → no spans/instants; the validator must flag it, not accept.
+	if err := ValidateChromeTrace(buf.Bytes()); err == nil {
+		t.Fatal("validator accepted a trace with no span or instant events")
+	}
+}
+
+// TestValidateChromeTraceRejects: corrupt inputs fail with targeted errors.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"not json", "{", "not valid JSON"},
+		{"no events", `{"traceEvents":[]}`, "no traceEvents"},
+		{"missing name", `{"traceEvents":[{"ph":"i","ts":0,"pid":1,"tid":1}]}`, "missing name"},
+		{"missing ph", `{"traceEvents":[{"name":"x","ts":0,"pid":1,"tid":1}]}`, "missing ph"},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`, "negative ts"},
+		{"span without dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`, "non-negative dur"},
+		{"counter without args", `{"traceEvents":[{"name":"x","ph":"C","ts":0,"pid":1,"tid":0}]}`, "without args"},
+		{"unknown phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`, "unexpected phase"},
+		{"no tracks", `{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":1,"tid":1}]}`, "no process_name"},
+	}
+	for _, tc := range cases {
+		err := ValidateChromeTrace([]byte(tc.data))
+		if err == nil {
+			t.Fatalf("%s: validator accepted corrupt input", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestWriteEventsJSONL: one parseable object per event, round-tripping the
+// scalar fields and kind names.
+func TestWriteEventsJSONL(t *testing.T) {
+	events := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("%d JSONL lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got struct {
+			AtNS    int64  `json:"at_ns"`
+			Kind    string `json:"kind"`
+			Replica int    `json:"replica"`
+		}
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, line)
+		}
+		if got.AtNS != int64(events[i].At) || got.Kind != events[i].Kind.String() || got.Replica != events[i].Replica {
+			t.Fatalf("line %d round-trip mismatch: %+v vs %+v", i, got, events[i])
+		}
+	}
+}
+
+// TestWriteSamplesJSONL: per-replica rows first, then fleet rows marked
+// with the "fleet":true discriminator.
+func TestWriteSamplesJSONL(t *testing.T) {
+	s := sampledFixture()
+	var buf bytes.Buffer
+	if err := WriteSamplesJSONL(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != s.Len()+s.FleetLen() {
+		t.Fatalf("%d lines for %d+%d samples", len(lines), s.Len(), s.FleetLen())
+	}
+	for i, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		_, isFleet := got["fleet"]
+		if wantFleet := i >= s.Len(); isFleet != wantFleet {
+			t.Fatalf("line %d: fleet marker %v, want %v", i, isFleet, wantFleet)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// eventJSON is the JSONL wire form of an Event. Field order is the struct
+// order, so the encoding is deterministic.
+type eventJSON struct {
+	AtNS    int64  `json:"at_ns"`
+	Kind    string `json:"kind"`
+	Replica int    `json:"replica"`
+	Group   int    `json:"group,omitempty"`
+	Session int64  `json:"session,omitempty"`
+	Request int64  `json:"request,omitempty"`
+	Tokens  int    `json:"tokens,omitempty"`
+	A       int64  `json:"a,omitempty"`
+	B       int64  `json:"b,omitempty"`
+	Label   string `json:"label,omitempty"`
+}
+
+// WriteEventsJSONL streams the event list as one JSON object per line.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(eventJSON{
+			AtNS:    int64(e.At),
+			Kind:    e.Kind.String(),
+			Replica: e.Replica,
+			Group:   e.Group,
+			Session: e.Session,
+			Request: e.Request,
+			Tokens:  e.Tokens,
+			A:       e.A,
+			B:       e.B,
+			Label:   e.Label,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sampleJSON is the JSONL wire form of a per-replica Sample.
+type sampleJSON struct {
+	AtNS        int64   `json:"at_ns"`
+	Replica     int     `json:"replica"`
+	State       int     `json:"state"`
+	QueueDepth  int     `json:"queue_depth"`
+	Queued      int     `json:"queued"`
+	OutTokens   int64   `json:"out_tokens"`
+	KVTokens    int64   `json:"kv_tokens"`
+	CacheUsed   int64   `json:"cache_used"`
+	HitTokens   int64   `json:"hit_tokens"`
+	InputTokens int64   `json:"input_tokens"`
+	CostUnits   float64 `json:"cost_units"`
+}
+
+// fleetSampleJSON is the JSONL wire form of a FleetSample; the "fleet"
+// marker field distinguishes the two record types in one stream.
+type fleetSampleJSON struct {
+	AtNS            int64   `json:"at_ns"`
+	Fleet           bool    `json:"fleet"`
+	Active          int     `json:"active"`
+	Warming         int     `json:"warming"`
+	Draining        int     `json:"draining"`
+	Retired         int     `json:"retired"`
+	OutstandingReqs int     `json:"outstanding_reqs"`
+	CostUnits       float64 `json:"cost_units"`
+}
+
+// WriteSamplesJSONL streams the sampler's retained time series as JSONL:
+// per-replica samples first, then fleet samples (marked "fleet":true).
+func WriteSamplesJSONL(w io.Writer, s *Sampler) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sm := range s.Samples() {
+		if err := enc.Encode(sampleJSON{
+			AtNS:        int64(sm.At),
+			Replica:     sm.Replica,
+			State:       sm.State,
+			QueueDepth:  sm.QueueDepth,
+			Queued:      sm.Queued,
+			OutTokens:   sm.OutTokens,
+			KVTokens:    sm.KVTokens,
+			CacheUsed:   sm.CacheUsed,
+			HitTokens:   sm.HitTokens,
+			InputTokens: sm.InputTokens,
+			CostUnits:   sm.CostUnits,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, sm := range s.FleetSamples() {
+		if err := enc.Encode(fleetSampleJSON{
+			AtNS:            int64(sm.At),
+			Fleet:           true,
+			Active:          sm.Active,
+			Warming:         sm.Warming,
+			Draining:        sm.Draining,
+			Retired:         sm.Retired,
+			OutstandingReqs: sm.OutstandingReqs,
+			CostUnits:       sm.CostUnits,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,173 @@
+// Package obs is the fleet-wide observability layer: a single event stream
+// spanning gateway → fleet → engine, plus a periodic telemetry sampler,
+// with exporters to Chrome trace-event JSON (Perfetto-loadable), JSONL and
+// a textual timeline.
+//
+// The design constraint is the hot path: emitting one event must cost one
+// interface call with a by-value, fixed-size Event — no allocation, no
+// formatting, no map lookups — and a disabled stream (nil Sink) must cost
+// exactly one nil check. Event therefore carries only scalars plus static
+// string labels; all rendering (names, per-kind argument interpretation)
+// happens in the exporters, after the run. Emitters that need dynamic
+// detail encode it in the kind-specific A/B fields documented below.
+//
+// Everything here is simulation-clock time (simevent.Time); the sampler
+// ticks on simulated seconds, not wall time.
+package obs
+
+import (
+	"fmt"
+
+	"loongserve/internal/simevent"
+)
+
+// Kind discriminates observability events. Gateway kinds cover the
+// request lifecycle and replica lifecycle; engine kinds mirror the elastic
+// scheduling events of core.Tracer with replica attribution.
+type Kind uint8
+
+// Event kinds. The request-lifecycle chain for a routed request is
+// Enqueue → Route → CacheLookup → (Migrate)* → Finish; replica lifecycle
+// is Provision → Activate → (Drain → Retire); Autoscale marks controller
+// decisions; the engine kinds are bridged from core.TraceKind.
+const (
+	// KindEnqueue: a request entered the gateway. Tokens = input length,
+	// A = output length. Replica is -1 (not yet routed). A request that is
+	// re-routed after its migration destination drained mid-transfer
+	// enqueues again — the second event marks the re-entry into routing.
+	KindEnqueue Kind = iota
+	// KindRoute: the policy picked a destination. Replica = chosen global
+	// replica index, A = migration source replica (-1 = plain route),
+	// Label = policy name.
+	KindRoute
+	// KindCacheLookup: the prefix-cache lookup on the serving replica.
+	// Tokens = hit tokens (0 = miss), A = full input length.
+	KindCacheLookup
+	// KindMigrate: a session KV transfer. Replica = source, A = destination,
+	// Tokens = KV tokens moved, B = link delay in nanoseconds,
+	// Label = cause ("drain", "handoff", "route").
+	KindMigrate
+	// KindFinish: a request completed. Replica = serving replica,
+	// Tokens = output length, A = first-token time (ns), B = arrival time
+	// (ns) — so exporters rebuild the prefill span [B, A] and the decode
+	// span [A, At] without a join.
+	KindFinish
+	// Replica lifecycle (Replica = index, Label = replica kind name).
+	KindProvision
+	KindActivate
+	KindDrain
+	KindRetire
+	// KindAutoscale: a controller decision. Label = "scale-up" or
+	// "scale-down", Replica = affected replica (-1 when unknown),
+	// Tokens = outstanding requests at decision time, A = active replicas,
+	// B = warming replicas.
+	KindAutoscale
+	// Engine elastic-scheduling kinds, bridged from core.Tracer with
+	// replica attribution: Group = parallel group id, Tokens as the engine
+	// recorded it, A = degree of parallelism (instances in the group),
+	// B = group batch size.
+	KindPrefillStart
+	KindScaleDown
+	KindScaleUp
+	KindJoin
+	KindShrink
+	KindEvacuate
+	KindPreempt
+	KindDissolve
+	KindPiggyback
+	// KindEngineEvent is the fallback for engine trace kinds without a
+	// dedicated mapping (future TraceKind values bridge here rather than
+	// being dropped).
+	KindEngineEvent
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindEnqueue:      "enqueue",
+	KindRoute:        "route",
+	KindCacheLookup:  "cache-lookup",
+	KindMigrate:      "migrate",
+	KindFinish:       "finish",
+	KindProvision:    "provision",
+	KindActivate:     "activate",
+	KindDrain:        "drain",
+	KindRetire:       "retire",
+	KindAutoscale:    "autoscale",
+	KindPrefillStart: "prefill-start",
+	KindScaleDown:    "scale-down",
+	KindScaleUp:      "scale-up",
+	KindJoin:         "join",
+	KindShrink:       "shrink",
+	KindEvacuate:     "evacuate",
+	KindPreempt:      "preempt",
+	KindDissolve:     "dissolve",
+	KindPiggyback:    "piggyback",
+	KindEngineEvent:  "engine-event",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// EngineKind reports whether k is an engine-bridged elastic event.
+func (k Kind) EngineKind() bool { return k >= KindPrefillStart && k <= KindEngineEvent }
+
+// Event is one observability event. It is a fixed-size value type: emitting
+// one costs no allocation, and Label must be a static (or run-long-lived)
+// string — emitters never format. The meaning of Tokens, A and B is
+// kind-specific; see the Kind constants.
+type Event struct {
+	At      simevent.Time
+	Kind    Kind
+	Replica int   // global replica index; -1 = fleet-level
+	Group   int   // engine parallel-group id; -1 = not engine-scoped
+	Session int64 // workload session id; 0 = stateless
+	Request int64 // request id; 0 = not request-scoped
+	Tokens  int   // kind-specific primary token quantity
+	A, B    int64 // kind-specific auxiliaries
+	Label   string
+}
+
+// Sink receives the event stream. Emit is called synchronously on the
+// simulation goroutine; implementations must not block. A nil Sink means
+// observability is off — every emitter nil-checks before building an Event,
+// which is the zero-overhead gate.
+type Sink interface {
+	Emit(Event)
+}
+
+// Collector is the standard Sink: it retains every event in arrival order
+// for post-run export. The zero value is ready to use.
+type Collector struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) { c.Events = append(c.Events, e) }
+
+// Reset drops collected events but keeps the backing array, so a reused
+// collector appends allocation-free up to its previous high-water mark.
+func (c *Collector) Reset() { c.Events = c.Events[:0] }
+
+// Counts tallies events per kind — the replay summary surface.
+func Counts(events []Event) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Tee fans one stream out to several sinks, in order.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}

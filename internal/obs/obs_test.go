@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"loongserve/internal/simevent"
+)
+
+// TestKindStrings: every kind has a distinct non-empty name, and the
+// engine-kind predicate splits the enum where documented.
+func TestKindStrings(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if Kind(numKinds).String() != "kind(20)" && !strings.HasPrefix(Kind(numKinds).String(), "kind(") {
+		t.Fatalf("out-of-range kind should render as kind(N), got %q", Kind(numKinds).String())
+	}
+	if KindFinish.EngineKind() {
+		t.Fatal("finish is a gateway kind")
+	}
+	if !KindPrefillStart.EngineKind() || !KindEngineEvent.EngineKind() {
+		t.Fatal("engine kinds misclassified")
+	}
+}
+
+// TestCollectorAndCounts: arrival order is retained, Reset keeps capacity,
+// and Counts tallies per kind.
+func TestCollectorAndCounts(t *testing.T) {
+	var c Collector
+	c.Emit(Event{At: 1, Kind: KindEnqueue, Request: 1})
+	c.Emit(Event{At: 2, Kind: KindRoute, Request: 1, Replica: 0})
+	c.Emit(Event{At: 3, Kind: KindRoute, Request: 2, Replica: 1})
+	if len(c.Events) != 3 || c.Events[0].Kind != KindEnqueue || c.Events[2].Replica != 1 {
+		t.Fatalf("collector lost order: %+v", c.Events)
+	}
+	counts := Counts(c.Events)
+	if counts[KindEnqueue] != 1 || counts[KindRoute] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+
+	c.Reset()
+	if len(c.Events) != 0 || cap(c.Events) < 3 {
+		t.Fatalf("reset should keep capacity: len=%d cap=%d", len(c.Events), cap(c.Events))
+	}
+}
+
+// TestCollectorEmitAllocFree: once the backing array is warm, Emit does not
+// allocate — the Event is a value type and append reuses capacity.
+func TestCollectorEmitAllocFree(t *testing.T) {
+	var c Collector
+	for i := 0; i < 64; i++ {
+		c.Emit(Event{At: simevent.Time(i), Kind: KindRoute, Label: "static"})
+	}
+	c.Reset()
+	i := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		if i == 64 {
+			c.Reset()
+			i = 0
+		}
+		c.Emit(Event{At: simevent.Time(i), Kind: KindRoute, Label: "static"})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Collector.Emit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestTee fans out in order.
+func TestTee(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	tee := Tee{a, b}
+	tee.Emit(Event{Kind: KindFinish, Request: 9})
+	if len(a.Events) != 1 || len(b.Events) != 1 || a.Events[0].Request != 9 {
+		t.Fatalf("tee did not fan out: a=%v b=%v", a.Events, b.Events)
+	}
+}
+
+// TestTimeline renders every event kind without panicking, one line per
+// event, with replica attribution and kind names present.
+func TestTimeline(t *testing.T) {
+	events := []Event{
+		{At: 1e9, Kind: KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 100, A: 20},
+		{At: 2e9, Kind: KindRoute, Replica: 2, Session: 7, Request: 1, A: -1, Label: "affinity"},
+		{At: 3e9, Kind: KindCacheLookup, Replica: 2, Session: 7, Request: 1, Tokens: 50, A: 100},
+		{At: 4e9, Kind: KindMigrate, Replica: 2, A: 0, Tokens: 500, B: 1e6, Label: "drain"},
+		{At: 5e9, Kind: KindFinish, Replica: 2, Session: 7, Request: 1, Tokens: 20, A: 35e8, B: 1e9},
+		{At: 6e9, Kind: KindAutoscale, Replica: -1, Tokens: 4, A: 2, B: 1, Label: "scale-up"},
+		{At: 7e9, Kind: KindProvision, Replica: 3, Label: "gpu-large"},
+		{At: 8e9, Kind: KindPrefillStart, Replica: 2, Group: 1, Tokens: 100, A: 4, B: 2},
+	}
+	var sb strings.Builder
+	Timeline(&sb, events)
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got != len(events) {
+		t.Fatalf("timeline has %d lines, want %d:\n%s", got, len(events), out)
+	}
+	for _, want := range []string{"enqueue", "route", "cache-lookup", "migrate", "finish", "autoscale", "provision", "prefill-start", "r2", "fleet", "affinity", "gpu-large"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"time"
+
+	"loongserve/internal/simevent"
+)
+
+// Sample is one per-replica telemetry reading.
+type Sample struct {
+	At      simevent.Time
+	Replica int
+	State   int // fleet.ReplicaState numeric value
+	// Load.
+	QueueDepth int // engine-reported total in-flight (queued + running)
+	Queued     int // engine admission queue (0 when the engine has no LoadReporter)
+	OutTokens  int64
+	KVTokens   int64
+	// Prefix cache.
+	CacheUsed   int64 // resident prefix-KV tokens
+	HitTokens   int64 // cumulative cache-served prompt tokens
+	InputTokens int64 // cumulative routed prompt tokens (hit rate = Hit/Input)
+	// Pricing.
+	CostUnits float64
+}
+
+// HitRate returns the cumulative cache hit rate at sample time, in [0, 1].
+func (s Sample) HitRate() float64 {
+	if s.InputTokens == 0 {
+		return 0
+	}
+	return float64(s.HitTokens) / float64(s.InputTokens)
+}
+
+// FleetSample is one fleet-level telemetry reading: the autoscaler-visible
+// state of the whole deployment.
+type FleetSample struct {
+	At       simevent.Time
+	Active   int
+	Warming  int
+	Draining int
+	Retired  int
+	// OutstandingReqs counts routed, unfinished requests gateway-wide.
+	OutstandingReqs int
+	// CostUnits is the provisioned (non-retired) cost-unit total.
+	CostUnits float64
+}
+
+// DefaultSamplerCap bounds each ring when Cap is unset: at a 1s period
+// that is ~18 simulated hours per replica before the oldest samples drop.
+const DefaultSamplerCap = 1 << 16
+
+// Sampler records telemetry time series through two fixed-capacity rings —
+// one for per-replica samples, one for fleet samples. Once warm (first
+// Record allocates the ring), recording is allocation-free; when a ring is
+// full the oldest samples are overwritten and Dropped counts them. The
+// gateway drives it on an owned simulator event every Interval of simulated
+// time; a zero-Interval sampler is never scheduled.
+type Sampler struct {
+	// Interval is the simulated-time sampling period.
+	Interval time.Duration
+	// Cap is the per-ring capacity in samples (DefaultSamplerCap when 0).
+	Cap int
+
+	ring      []Sample
+	head, n   int
+	dropped   int64
+	fring     []FleetSample
+	fhead, fn int
+	fdropped  int64
+}
+
+// Record folds one per-replica sample into the ring.
+func (s *Sampler) Record(sm Sample) {
+	if s.ring == nil {
+		c := s.Cap
+		if c <= 0 {
+			c = DefaultSamplerCap
+		}
+		s.ring = make([]Sample, c)
+	}
+	s.ring[s.head] = sm
+	s.head++
+	if s.head == len(s.ring) {
+		s.head = 0
+	}
+	if s.n < len(s.ring) {
+		s.n++
+	} else {
+		s.dropped++
+	}
+}
+
+// RecordFleet folds one fleet-level sample into its ring.
+func (s *Sampler) RecordFleet(sm FleetSample) {
+	if s.fring == nil {
+		c := s.Cap
+		if c <= 0 {
+			c = DefaultSamplerCap
+		}
+		s.fring = make([]FleetSample, c)
+	}
+	s.fring[s.fhead] = sm
+	s.fhead++
+	if s.fhead == len(s.fring) {
+		s.fhead = 0
+	}
+	if s.fn < len(s.fring) {
+		s.fn++
+	} else {
+		s.fdropped++
+	}
+}
+
+// Len returns the retained per-replica sample count.
+func (s *Sampler) Len() int { return s.n }
+
+// FleetLen returns the retained fleet sample count.
+func (s *Sampler) FleetLen() int { return s.fn }
+
+// Dropped returns how many per-replica samples were overwritten.
+func (s *Sampler) Dropped() int64 { return s.dropped }
+
+// FleetDropped returns how many fleet samples were overwritten.
+func (s *Sampler) FleetDropped() int64 { return s.fdropped }
+
+// Samples returns the retained per-replica samples, oldest first.
+func (s *Sampler) Samples() []Sample {
+	out := make([]Sample, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// FleetSamples returns the retained fleet samples, oldest first.
+func (s *Sampler) FleetSamples() []FleetSample {
+	out := make([]FleetSample, 0, s.fn)
+	start := s.fhead - s.fn
+	if start < 0 {
+		start += len(s.fring)
+	}
+	for i := 0; i < s.fn; i++ {
+		out = append(out, s.fring[(start+i)%len(s.fring)])
+	}
+	return out
+}
+
+// Reset drops all retained samples but keeps the rings.
+func (s *Sampler) Reset() {
+	s.head, s.n, s.dropped = 0, 0, 0
+	s.fhead, s.fn, s.fdropped = 0, 0, 0
+}

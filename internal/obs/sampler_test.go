@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+
+	"loongserve/internal/simevent"
+)
+
+// TestSamplerRingWrap: a cap-4 ring recording 10 samples keeps the last 4
+// oldest-first and counts the 6 overwritten.
+func TestSamplerRingWrap(t *testing.T) {
+	s := &Sampler{Cap: 4}
+	for i := 0; i < 10; i++ {
+		s.Record(Sample{At: simevent.Time(i), Replica: i % 2, QueueDepth: i})
+		s.RecordFleet(FleetSample{At: simevent.Time(i), Active: i})
+	}
+	if s.Len() != 4 || s.FleetLen() != 4 {
+		t.Fatalf("len = %d/%d, want 4/4", s.Len(), s.FleetLen())
+	}
+	if s.Dropped() != 6 || s.FleetDropped() != 6 {
+		t.Fatalf("dropped = %d/%d, want 6/6", s.Dropped(), s.FleetDropped())
+	}
+	got := s.Samples()
+	for i, sm := range got {
+		if want := simevent.Time(6 + i); sm.At != want || sm.QueueDepth != 6+i {
+			t.Fatalf("sample %d = %+v, want At=%d (oldest-first tail)", i, sm, want)
+		}
+	}
+	fgot := s.FleetSamples()
+	for i, sm := range fgot {
+		if sm.Active != 6+i {
+			t.Fatalf("fleet sample %d = %+v, want Active=%d", i, sm, 6+i)
+		}
+	}
+
+	s.Reset()
+	if s.Len() != 0 || s.FleetLen() != 0 || s.Dropped() != 0 {
+		t.Fatalf("reset left state: len=%d flen=%d dropped=%d", s.Len(), s.FleetLen(), s.Dropped())
+	}
+	s.Record(Sample{At: 99})
+	if got := s.Samples(); len(got) != 1 || got[0].At != 99 {
+		t.Fatalf("post-reset record lost: %+v", got)
+	}
+}
+
+// TestSamplerPartialFill: below capacity, Samples returns exactly what was
+// recorded in order.
+func TestSamplerPartialFill(t *testing.T) {
+	s := &Sampler{Cap: 8}
+	for i := 0; i < 3; i++ {
+		s.Record(Sample{At: simevent.Time(i * 10)})
+	}
+	got := s.Samples()
+	if len(got) != 3 || got[0].At != 0 || got[2].At != 20 {
+		t.Fatalf("partial fill: %+v", got)
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d before wrap", s.Dropped())
+	}
+}
+
+// TestSamplerDefaultCap: an unset Cap falls back to DefaultSamplerCap on
+// first record.
+func TestSamplerDefaultCap(t *testing.T) {
+	s := &Sampler{}
+	s.Record(Sample{})
+	if len(s.ring) != DefaultSamplerCap {
+		t.Fatalf("default ring cap = %d, want %d", len(s.ring), DefaultSamplerCap)
+	}
+}
+
+// TestSamplerRecordAllocFree: after the lazy ring allocation, Record and
+// RecordFleet never allocate — the sampler can run every simulated second
+// of a long fleet run without touching the heap.
+func TestSamplerRecordAllocFree(t *testing.T) {
+	s := &Sampler{Cap: 128}
+	s.Record(Sample{})
+	s.RecordFleet(FleetSample{})
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Record(Sample{At: simevent.Time(i), Replica: i % 4, OutTokens: int64(i)})
+		s.RecordFleet(FleetSample{At: simevent.Time(i), Active: i % 4})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Record allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace checks that data is structurally valid Chrome
+// trace-event JSON of the shape WriteChromeTrace produces — the schema
+// gate CI runs against the bench-smoke trace artifact. It verifies the
+// envelope, every event's required fields per phase type, and that the
+// trace carries the track metadata Perfetto needs to build swim lanes.
+func ValidateChromeTrace(data []byte) error {
+	var top struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(top.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no traceEvents")
+	}
+	var processNames, threadNames, spans, instants int
+	for i, raw := range top.TraceEvents {
+		var ev struct {
+			Name *string         `json:"name"`
+			Ph   *string         `json:"ph"`
+			TS   *float64        `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			PID  *float64        `json:"pid"`
+			TID  *float64        `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("obs: traceEvents[%d]: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("obs: traceEvents[%d]: missing name", i)
+		}
+		if ev.Ph == nil {
+			return fmt.Errorf("obs: traceEvents[%d] (%s): missing ph", i, *ev.Name)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("obs: traceEvents[%d] (%s): missing pid/tid", i, *ev.Name)
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return fmt.Errorf("obs: traceEvents[%d] (%s): missing or negative ts", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "M":
+			var args struct {
+				Name *string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == nil {
+				return fmt.Errorf("obs: traceEvents[%d] (%s): metadata event without args.name", i, *ev.Name)
+			}
+			switch *ev.Name {
+			case "process_name":
+				processNames++
+			case "thread_name":
+				threadNames++
+			}
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("obs: traceEvents[%d] (%s): complete event without non-negative dur", i, *ev.Name)
+			}
+			spans++
+		case "i":
+			instants++
+		case "C":
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("obs: traceEvents[%d] (%s): counter event without args", i, *ev.Name)
+			}
+		default:
+			return fmt.Errorf("obs: traceEvents[%d] (%s): unexpected phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	if processNames == 0 {
+		return fmt.Errorf("obs: trace has no process_name metadata (no tracks)")
+	}
+	if threadNames == 0 {
+		return fmt.Errorf("obs: trace has no thread_name metadata (no swim lanes)")
+	}
+	if spans+instants == 0 {
+		return fmt.Errorf("obs: trace has no span or instant events")
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"loongserve/internal/costmodel"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/metrics"
+	"loongserve/internal/obs"
 	"loongserve/internal/simevent"
 	"loongserve/internal/workload"
 )
@@ -140,6 +141,17 @@ type Capability struct {
 // sequence sharding.
 type CapabilityReporter interface {
 	Capability() Capability
+}
+
+// Traceable is implemented by engines that can mirror their internal
+// elastic-scheduling events into an observability sink with replica
+// attribution. The fleet gateway attaches its configured sink to every
+// replica engine that implements it, so engine-level events (prefill
+// scale-down, decode scale-up, preemption, ...) land in the same stream as
+// the gateway's routing and migration events. Attach before Init; a nil
+// sink detaches.
+type Traceable interface {
+	AttachObsSink(sink obs.Sink, replica int)
 }
 
 // ErrOOM is returned by Run when the engine declares the workload
