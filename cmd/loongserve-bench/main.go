@@ -89,6 +89,7 @@ func main() {
 		bench.FleetExperiment(scale).Fprint(out)
 		bench.FleetCacheExperiment(scale).Fprint(out)
 		bench.FleetHeteroExperiment(scale).Fprint(out)
+		bench.FleetAttributionExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("autoscale") {

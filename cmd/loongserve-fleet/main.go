@@ -39,10 +39,20 @@
 // tracks from the telemetry sampler. -telemetry-out writes the sampled
 // per-replica/fleet time series (queue depth, KV and cache occupancy, hit
 // rate, cost units; period set by -sample) as JSONL, and -obs prints a
-// textual timeline of the event stream. When several policies run
-// (-policy all), the exports capture the last arm; pick one with -policy.
-// With observability off, the simulation hot paths pay a single nil check
-// per would-be event (regression-tested to zero allocations).
+// textual timeline of the event stream. -events-out writes the raw event
+// stream itself as JSONL (validatable with loongserve-trace
+// -validate-jsonl). -analyze prints the run's trace analytics: a
+// per-request critical-path attribution table (queue wait, re-enqueue
+// penalty, migration stall, prefill-wait, prefill, decode — the phases
+// partition each request's latency exactly), a top-straggler report, and
+// windowed fleet/per-kind rollups joining the event stream with the
+// telemetry samples. -audit replays the stream through the invariant
+// auditor (lifecycle ordering, request conservation, cache and migration
+// bounds) and exits non-zero on any violation — the CI gate for run
+// artifacts. When several policies run (-policy all), the exports capture
+// the last arm; pick one with -policy. With observability off, the
+// simulation hot paths pay a single nil check per would-be event
+// (regression-tested to zero allocations).
 //
 // Usage:
 //
@@ -77,6 +87,7 @@ import (
 	"loongserve/internal/fleet"
 	"loongserve/internal/metrics"
 	"loongserve/internal/obs"
+	"loongserve/internal/obs/analyze"
 	"loongserve/internal/serving"
 	"loongserve/internal/workload"
 )
@@ -116,8 +127,11 @@ func main() {
 
 		traceOut     = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace-event JSON of the run to this file (with -policy all: the last policy arm)")
 		telemetryOut = flag.String("telemetry-out", "", "write the sampled per-replica/fleet telemetry time series as JSONL to this file")
+		eventsOut    = flag.String("events-out", "", "write the raw event stream as JSONL to this file (one event per line, obs schema)")
 		obsTimeline  = flag.Bool("obs", false, "print the textual observability timeline (routing, cache, migrations, lifecycle, engine events) after the run")
-		sampleEvery  = flag.Duration("sample", time.Second, "telemetry sampling period in simulated time (used by -trace-out/-telemetry-out)")
+		analyzeRun   = flag.Bool("analyze", false, "print trace analytics after the run: per-request critical-path attribution, straggler report and fleet time-series rollups")
+		auditRun     = flag.Bool("audit", false, "run the stream invariant auditor over the run's events; exit non-zero on violations")
+		sampleEvery  = flag.Duration("sample", time.Second, "telemetry sampling period in simulated time (used by -trace-out/-telemetry-out/-analyze)")
 
 		cacheKind   = flag.String("cache", "radix", "prefix-cache implementation: radix (token-block tree, cost-priced eviction) or wholekey (legacy per-session LRU)")
 		cacheTokens = flag.Int("cache-tokens", 0, "per-replica prefix-cache capacity in KV tokens (0 = full KV pool)")
@@ -219,7 +233,7 @@ func main() {
 	// exported trace describes exactly one run.
 	var collector *obs.Collector
 	var sampler *obs.Sampler
-	needObs := *traceOut != "" || *telemetryOut != "" || *obsTimeline
+	needObs := *traceOut != "" || *telemetryOut != "" || *eventsOut != "" || *obsTimeline || *analyzeRun || *auditRun
 	if needObs {
 		collector = &obs.Collector{}
 		sampler = &obs.Sampler{Interval: *sampleEvery}
@@ -323,7 +337,9 @@ func main() {
 			et.Fprint(os.Stdout)
 		}
 		printReplicaStats(*verbose, policies[0].Name(), res.Replicas)
-		writeObsOutputs(*traceOut, *telemetryOut, *obsTimeline, collector, sampler, res.Replicas, policies[0].Name())
+		outs := obsOutputs{traceOut: *traceOut, telemetryOut: *telemetryOut, eventsOut: *eventsOut,
+			timeline: *obsTimeline, analyze: *analyzeRun, audit: *auditRun}
+		writeObsOutputs(outs, collector, sampler, res.Replicas, policies[0].Name())
 		return
 	}
 
@@ -411,7 +427,9 @@ func main() {
 			printReplicaStats(*verbose, p.Name(), stats)
 		}
 	}
-	writeObsOutputs(*traceOut, *telemetryOut, *obsTimeline, collector, sampler, obsReplicas, obsPolicy)
+	outs := obsOutputs{traceOut: *traceOut, telemetryOut: *telemetryOut, eventsOut: *eventsOut,
+		timeline: *obsTimeline, analyze: *analyzeRun, audit: *auditRun}
+	writeObsOutputs(outs, collector, sampler, obsReplicas, obsPolicy)
 }
 
 // sinkOrNil converts a possibly-nil *Collector to the obs.Sink interface
@@ -423,23 +441,31 @@ func sinkOrNil(c *obs.Collector) obs.Sink {
 	return c
 }
 
+// obsOutputs gathers the post-run rendering requests so the two call
+// sites (autoscale and static fleet) stay in sync.
+type obsOutputs struct {
+	traceOut, telemetryOut, eventsOut string
+	timeline, analyze, audit          bool
+}
+
 // writeObsOutputs renders the collected observability stream: the Perfetto
-// trace, the telemetry JSONL and/or the textual timeline, whichever were
-// requested. No-op when observability was off.
-func writeObsOutputs(traceOut, telemetryOut string, timeline bool, collector *obs.Collector, sampler *obs.Sampler, replicas []fleet.ReplicaStats, policy string) {
+// trace, the telemetry/event JSONL, the textual timeline, the trace
+// analytics and/or the invariant audit, whichever were requested. Exits
+// non-zero when -audit finds violations. No-op when observability was off.
+func writeObsOutputs(o obsOutputs, collector *obs.Collector, sampler *obs.Sampler, replicas []fleet.ReplicaStats, policy string) {
 	if collector == nil {
 		return
 	}
-	if timeline {
+	kinds := make([]string, len(replicas))
+	for i, rs := range replicas {
+		kinds[i] = rs.Kind
+	}
+	if o.timeline {
 		fmt.Printf("\nobservability timeline (%d events):\n", len(collector.Events))
 		obs.Timeline(os.Stdout, collector.Events)
 	}
-	if traceOut != "" {
-		kinds := make([]string, len(replicas))
-		for i, rs := range replicas {
-			kinds[i] = rs.Kind
-		}
-		f, err := os.Create(traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -452,10 +478,10 @@ func writeObsOutputs(traceOut, telemetryOut string, timeline bool, collector *ob
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s: %d events (load in ui.perfetto.dev)\n", traceOut, len(collector.Events))
+		fmt.Printf("wrote %s: %d events (load in ui.perfetto.dev)\n", o.traceOut, len(collector.Events))
 	}
-	if telemetryOut != "" {
-		f, err := os.Create(telemetryOut)
+	if o.telemetryOut != "" {
+		f, err := os.Create(o.telemetryOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -468,7 +494,50 @@ func writeObsOutputs(traceOut, telemetryOut string, timeline bool, collector *ob
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s: %d replica samples, %d fleet samples\n", telemetryOut, sampler.Len(), sampler.FleetLen())
+		fmt.Printf("wrote %s: %d replica samples, %d fleet samples\n", o.telemetryOut, sampler.Len(), sampler.FleetLen())
+	}
+	if o.eventsOut != "" {
+		f, err := os.Create(o.eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = obs.WriteEventsJSONL(f, collector.Events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d events (JSONL, one per line)\n", o.eventsOut, len(collector.Events))
+	}
+	if dropped, fdropped := sampler.Dropped(), sampler.FleetDropped(); dropped > 0 || fdropped > 0 {
+		fmt.Fprintf(os.Stderr, "loongserve-fleet: telemetry sampler dropped %d replica and %d fleet samples (ring full; lower -sample resolution or raise the ring)\n",
+			dropped, fdropped)
+	}
+	if o.analyze {
+		rep := analyze.Attribute(collector.Events)
+		fmt.Printf("\ntrace analytics (policy %s):\n", policy)
+		if err := analyze.WriteReport(os.Stdout, rep, 5); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		roll := analyze.Roll(collector.Events, sampler.Samples(), sampler.FleetSamples(), analyze.RollupConfig{Kinds: kinds})
+		if err := analyze.WriteRollup(os.Stdout, roll); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if o.audit {
+		vs := analyze.Audit(collector.Events)
+		if err := analyze.WriteViolations(os.Stdout, vs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(vs) > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -7,18 +7,26 @@
 // By default it traces a single LoongServe engine; -replicas N > 1 replays
 // the same trace against a fleet of N replicas behind a routing gateway,
 // so the timeline additionally shows routing, cache lookups and request
-// completion with replica attribution. -out writes a Perfetto-loadable
-// Chrome trace-event JSON; -validate checks such a file against the
-// exporter's schema (the CI gate for trace artifacts) without running
-// anything.
+// completion with replica attribution. -analyze (implies fleet mode, even
+// at -replicas 1) appends the trace analytics: the per-request
+// critical-path attribution table (queue, re-enqueue, migration,
+// prefill-wait, prefill, decode — an exact partition of each request's
+// latency), the top-straggler report, the invariant auditor's verdict and
+// the windowed fleet rollups. -out writes a Perfetto-loadable Chrome
+// trace-event JSON; -validate checks such a file against the exporter's
+// schema, and -validate-jsonl checks an event-stream JSONL file (as
+// written by loongserve-fleet -events-out) — both are CI gates for trace
+// artifacts and run nothing.
 //
 // Examples:
 //
 //	loongserve-trace -dataset leval -rate 0.15 -n 20
 //	loongserve-trace -trace saved.jsonl -summary
 //	loongserve-trace -replicas 4 -policy affinity -summary
+//	loongserve-trace -replicas 4 -policy migrate -analyze
 //	loongserve-trace -n 20 -out trace.json
 //	loongserve-trace -validate trace.json
+//	loongserve-trace -validate-jsonl events.jsonl
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"loongserve/internal/bench"
 	"loongserve/internal/cluster"
@@ -36,6 +45,7 @@ import (
 	"loongserve/internal/metrics"
 	"loongserve/internal/model"
 	"loongserve/internal/obs"
+	"loongserve/internal/obs/analyze"
 	"loongserve/internal/serving"
 	"loongserve/internal/workload"
 )
@@ -53,6 +63,9 @@ func main() {
 	policy := flag.String("policy", "affinity", "fleet-mode routing policy (roundrobin, leastloaded, p2c, affinity, migrate, capability)")
 	out := flag.String("out", "", "write a Perfetto-loadable Chrome trace-event JSON to this file")
 	validate := flag.String("validate", "", "validate an existing Chrome trace file against the exporter schema and exit")
+	validateJSONL := flag.String("validate-jsonl", "", "validate an existing event-stream JSONL file against the exporter schema and exit")
+	analyzeRun := flag.Bool("analyze", false, "print trace analytics (critical-path attribution, stragglers, audit verdict, rollups); implies fleet mode")
+	sampleEvery := flag.Duration("sample", time.Second, "fleet-mode telemetry sampling period in simulated time (feeds the -analyze rollups)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -66,6 +79,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid Chrome trace-event JSON\n", *validate)
+		return
+	}
+	if *validateJSONL != "" {
+		data, err := os.ReadFile(*validateJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateJSONL(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid event-stream JSONL\n", *validateJSONL)
 		return
 	}
 
@@ -99,12 +125,15 @@ func main() {
 	}
 
 	collector := &obs.Collector{}
+	var sampler *obs.Sampler
 	var recs []metrics.Record
 	var kinds []string
 
-	if *replicas > 1 {
+	if *replicas > 1 || *analyzeRun {
 		// Fleet replay: the same trace through a routed multi-replica
 		// gateway, every replica's engine events bridged into one stream.
+		// -analyze rides on this path even single-replica, because the
+		// attribution phases hang off the gateway lifecycle events.
 		spec, err := bench.FleetSpec(*engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -115,7 +144,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		res, err := fleet.Run(spec, trace, fleet.Config{Replicas: *replicas, Policy: p, Obs: collector})
+		sampler = &obs.Sampler{Interval: *sampleEvery}
+		res, err := fleet.Run(spec, trace, fleet.Config{Replicas: *replicas, Policy: p, Obs: collector, Sampler: sampler})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 			os.Exit(1)
@@ -147,6 +177,29 @@ func main() {
 		printCounts(collector.Events)
 	} else {
 		obs.Timeline(os.Stdout, collector.Events)
+	}
+
+	if sampler != nil {
+		if d, fd := sampler.Dropped(), sampler.FleetDropped(); d > 0 || fd > 0 {
+			fmt.Fprintf(os.Stderr, "loongserve-trace: telemetry sampler dropped %d replica and %d fleet samples (ring full; lower -sample resolution)\n", d, fd)
+		}
+	}
+	if *analyzeRun {
+		rep := analyze.Attribute(collector.Events)
+		fmt.Printf("\ntrace analytics (policy %s):\n", *policy)
+		if err := analyze.WriteReport(os.Stdout, rep, 5); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := analyze.WriteViolations(os.Stdout, analyze.Audit(collector.Events)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		roll := analyze.Roll(collector.Events, sampler.Samples(), sampler.FleetSamples(), analyze.RollupConfig{Kinds: kinds})
+		if err := analyze.WriteRollup(os.Stdout, roll); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *out != "" {

@@ -2,10 +2,12 @@ package autoscale_test
 
 import (
 	"testing"
+	"time"
 
 	"loongserve/internal/autoscale"
 	"loongserve/internal/fleet"
 	"loongserve/internal/obs"
+	"loongserve/internal/obs/analyze"
 	"loongserve/internal/workload"
 )
 
@@ -59,5 +61,39 @@ func TestObsAutoscaleDecisions(t *testing.T) {
 		if counts[k] == 0 {
 			t.Errorf("no %v events in an elastic run (counts %v)", k, counts)
 		}
+	}
+}
+
+// TestAnalyzeAutoscaleRunClean: an elastic run — provisions, drains,
+// retires and migrations ordered by the controller — passes the full
+// stream audit, and every request's reconstructed critical path partitions
+// its end-to-end latency exactly.
+func TestAnalyzeAutoscaleRunClean(t *testing.T) {
+	scripts := burstyScripts(t, 200, 21)
+	col := &obs.Collector{}
+	res, err := autoscale.Run(slowSpec(), scripts,
+		fleet.Config{Policy: fleet.NewMigratingAffinity(), Obs: col}, testConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleUps == 0 || res.ScaleDowns == 0 {
+		t.Fatalf("run did not scale both ways (ups %d, downs %d)", res.ScaleUps, res.ScaleDowns)
+	}
+	rep := analyze.Attribute(col.Events)
+	if len(rep.Requests) != len(res.Records) || rep.Incomplete != 0 {
+		t.Fatalf("attributed %d finished + %d incomplete, want %d + 0",
+			len(rep.Requests), rep.Incomplete, len(res.Records))
+	}
+	for _, a := range rep.Requests {
+		var sum time.Duration
+		for p := analyze.Phase(0); p < analyze.NumPhases; p++ {
+			sum += a.Phases[p]
+		}
+		if sum != a.E2E() {
+			t.Fatalf("request %d: phase sum %v != E2E %v", a.Request, sum, a.E2E())
+		}
+	}
+	if vs := analyze.Audit(col.Events); len(vs) != 0 {
+		t.Fatalf("audit found %d violations on an elastic run, first: %s", len(vs), vs[0])
 	}
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"loongserve/internal/fleet"
+)
+
+// TestFleetAttributionExperimentShape: one row per policy, every arm
+// healthy, and every arm's stream passing the invariant audit — the
+// acceptance gate that existing experiments produce auditor-clean streams.
+func TestFleetAttributionExperimentShape(t *testing.T) {
+	sc := QuickScale()
+	sc.Workers = 1
+	tab := FleetAttributionExperiment(sc)
+	want := len(fleet.AllPolicies(sc.Seed))
+	if len(tab.Rows) != want {
+		t.Fatalf("%d rows, want %d (one per policy)", len(tab.Rows), want)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(tab.Header))
+		}
+		if row[1] == "ERR" {
+			t.Fatalf("arm %s failed", row[0])
+		}
+		if audit := row[len(row)-1]; audit != "pass" {
+			t.Fatalf("policy %s stream failed the audit: %s", row[0], audit)
+		}
+	}
+}
+
+// TestFleetAttributionExperimentParallelDeterminism mirrors the other
+// experiments' serial-vs-parallel byte-identity property.
+func TestFleetAttributionExperimentParallelDeterminism(t *testing.T) {
+	serial := QuickScale()
+	serial.Workers = 1
+	par := QuickScale()
+	par.Workers = 4
+
+	var a, b bytes.Buffer
+	FleetAttributionExperiment(serial).Fprint(&a)
+	FleetAttributionExperiment(par).Fprint(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("attribution table differs between serial and parallel arms\n--- serial ---\n%s\n--- parallel ---\n%s", a.String(), b.String())
+	}
+}

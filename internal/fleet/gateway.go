@@ -896,6 +896,13 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 	// fl stays live through the rest of this function, then recycles.
 	defer func() { g.flFree = append(g.flFree, fl) }()
 
+	// Finish is emitted before the session-KV bookkeeping below so the
+	// stream reads causally: a drain-time "handoff" migration moves KV the
+	// finished request just produced, and auditors bound migrated tokens by
+	// the session context the Finish established. Same timestamp either
+	// way — only intra-instant order changes.
+	g.emitFinish(rep.index, fl.entry.SessionID, r)
+
 	if fl.entry.SessionID != 0 {
 		key := SessionKey(fl.entry.SessionID)
 		if rep.radix != nil {
@@ -937,7 +944,6 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 		rep.cache.Put(GroupKey(fl.entry.PromptGroup), fl.entry.SharedLen)
 	}
 
-	g.emitFinish(rep.index, fl.entry.SessionID, r)
 	rec := r.Record()
 	rec.InputLen = fl.fullInput
 	if g.res.Acc != nil {

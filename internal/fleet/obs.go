@@ -40,7 +40,7 @@ func (g *Gateway) emitEnqueue(session int64, r *serving.Request) {
 	g.obsSink.Emit(obs.Event{
 		At: g.sim.Now(), Kind: obs.KindEnqueue, Replica: -1, Group: -1,
 		Session: session, Request: int64(r.ID),
-		Tokens: r.InputLen, A: int64(r.OutputLen),
+		Tokens: r.InputLen, A: int64(r.OutputLen), B: int64(r.SLOBudget),
 	})
 }
 

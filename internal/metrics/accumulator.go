@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"math"
-	"sort"
 	"time"
 )
 
@@ -16,18 +15,15 @@ import (
 // Goodput() is exact at any size: it needs only the SLO-met count and the
 // arrival window, both folded precisely.
 type Accumulator struct {
-	n                    int
-	sumPerTok            float64
-	sumInput             float64
-	sumOutput            float64
-	met                  int
-	totalTokens          int64
-	firstArrival         time.Duration
-	lastArrival          time.Duration
-	lastFinish           time.Duration
-	minPerTok, maxPerTok float64
-	buckets              []uint32  // log-spaced histogram of per-token norms
-	exact                []float64 // kept while n <= smallRunLimit, then dropped
+	n            int
+	perTok       Dist // streaming per-token-norm distribution (mean + sketch quantiles)
+	sumInput     float64
+	sumOutput    float64
+	met          int
+	totalTokens  int64
+	firstArrival time.Duration
+	lastArrival  time.Duration
+	lastFinish   time.Duration
 }
 
 // smallRunLimit is the record count up to which quantiles stay exact: the
@@ -69,13 +65,11 @@ func sketchValue(i int) float64 {
 
 // Add folds one completion record.
 func (a *Accumulator) Add(r Record) {
-	pt := r.PerTokenNorm()
 	if a.n == 0 {
 		a.firstArrival, a.lastArrival, a.lastFinish = r.Arrival, r.Arrival, r.Finish
-		a.minPerTok, a.maxPerTok = pt, pt
 	}
 	a.n++
-	a.sumPerTok += pt
+	a.perTok.Add(r.PerTokenNorm())
 	a.sumInput += r.InputNorm()
 	a.sumOutput += r.OutputNorm()
 	if r.MeetsSLO() {
@@ -91,70 +85,10 @@ func (a *Accumulator) Add(r Record) {
 	if r.Finish > a.lastFinish {
 		a.lastFinish = r.Finish
 	}
-	if pt < a.minPerTok {
-		a.minPerTok = pt
-	}
-	if pt > a.maxPerTok {
-		a.maxPerTok = pt
-	}
-	if a.buckets == nil {
-		a.buckets = make([]uint32, sketchBuckets)
-	}
-	a.buckets[sketchIndex(pt)]++
-	if a.n <= smallRunLimit {
-		a.exact = append(a.exact, pt)
-	} else {
-		a.exact = nil
-	}
 }
 
 // N returns the folded record count.
 func (a *Accumulator) N() int { return a.n }
-
-// quantile estimates the p-quantile of the folded per-token values: exact
-// order-statistic interpolation while the raw values are still held, the
-// sketch bucket's midpoint (clamped to the observed range) beyond.
-func (a *Accumulator) quantile(p float64) float64 {
-	if a.n == 0 {
-		return 0
-	}
-	if a.exact != nil {
-		vals := append([]float64(nil), a.exact...)
-		sort.Float64s(vals)
-		return percentile(vals, p)
-	}
-	rank := p * float64(a.n-1)
-	cum := 0.0
-	for i, c := range a.buckets {
-		cum += float64(c)
-		if cum > rank {
-			// The edge buckets absorb everything outside the sketch range
-			// (zeros and sub-1e-7 values below, >1e3 above), so their
-			// geometric midpoint can be arbitrarily far from the values
-			// actually folded into them — e.g. a majority of zero-latency
-			// records would report P50 ≈ 1.02e-7 instead of 0. Report the
-			// observed extreme instead: the min/max necessarily lives in the
-			// lowest/highest occupied bucket, so for in-range values the
-			// error stays within one bucket width, and for clamped values it
-			// is exact at the edge.
-			if i == 0 {
-				return a.minPerTok
-			}
-			if i == sketchBuckets-1 {
-				return a.maxPerTok
-			}
-			v := sketchValue(i)
-			if v < a.minPerTok {
-				v = a.minPerTok
-			}
-			if v > a.maxPerTok {
-				v = a.maxPerTok
-			}
-			return v
-		}
-	}
-	return a.maxPerTok
-}
 
 // Summary assembles the aggregate view, field-compatible with Summarize
 // over the same records: everything except the three quantiles is exact,
@@ -165,12 +99,12 @@ func (a *Accumulator) Summary() Summary {
 		return s
 	}
 	n := float64(a.n)
-	s.MeanPerToken = a.sumPerTok / n
+	s.MeanPerToken = a.perTok.Mean()
 	s.MeanInput = a.sumInput / n
 	s.MeanOutput = a.sumOutput / n
-	s.P50PerToken = a.quantile(0.50)
-	s.P90PerToken = a.quantile(0.90)
-	s.P99PerToken = a.quantile(0.99)
+	s.P50PerToken = a.perTok.Quantile(0.50)
+	s.P90PerToken = a.perTok.Quantile(0.90)
+	s.P99PerToken = a.perTok.Quantile(0.99)
 	s.SLOAttainment = float64(a.met) / n
 	s.Duration = a.lastFinish - a.firstArrival
 	if s.Duration > 0 {

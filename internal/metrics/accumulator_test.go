@@ -143,7 +143,7 @@ func TestAccumulatorCrossover(t *testing.T) {
 	recs := randomRecords(smallRunLimit+1, 31)
 
 	at := foldAll(recs[:smallRunLimit])
-	if at.exact == nil {
+	if at.perTok.exact == nil {
 		t.Fatalf("exact values dropped at n=%d, want retained through smallRunLimit", smallRunLimit)
 	}
 	want := Summarize(recs[:smallRunLimit])
@@ -155,7 +155,7 @@ func TestAccumulatorCrossover(t *testing.T) {
 	}
 
 	past := foldAll(recs)
-	if past.exact != nil {
+	if past.perTok.exact != nil {
 		t.Fatalf("exact values retained at n=%d, want dropped past smallRunLimit", smallRunLimit+1)
 	}
 	// One past the crossover the sketch takes over. Its guarantee is per

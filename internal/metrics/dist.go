@@ -1,0 +1,114 @@
+package metrics
+
+import "sort"
+
+// Dist is a streaming scalar distribution: exact count, sum and extrema
+// at any size, with quantiles served from the same log-bucket sketch the
+// Accumulator uses for per-token latencies — exact while the fold stays at
+// or below smallRunLimit values (the raw values are simply kept), bounded
+// relative error (one sketch bucket, ≈3.7%) beyond, constant memory either
+// way. The zero value is ready to use.
+//
+// Dist is the scalar core extracted from Accumulator so other folds — the
+// per-phase latency aggregates in obs/analyze, notably — share one
+// quantile implementation instead of re-deriving the sketch.
+type Dist struct {
+	n        int
+	sum      float64
+	min, max float64
+	buckets  []uint32  // log-spaced histogram (sketch geometry below)
+	exact    []float64 // kept while n <= smallRunLimit, then dropped
+}
+
+// Add folds one value.
+func (d *Dist) Add(v float64) {
+	if d.n == 0 {
+		d.min, d.max = v, v
+	}
+	d.n++
+	d.sum += v
+	if v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	if d.buckets == nil {
+		d.buckets = make([]uint32, sketchBuckets)
+	}
+	d.buckets[sketchIndex(v)]++
+	if d.n <= smallRunLimit {
+		d.exact = append(d.exact, v)
+	} else {
+		d.exact = nil
+	}
+}
+
+// N returns the folded value count.
+func (d *Dist) N() int { return d.n }
+
+// Sum returns the exact sum of folded values.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the exact mean (0 when empty).
+func (d *Dist) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the exact minimum (0 when empty).
+func (d *Dist) Min() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Max returns the exact maximum (0 when empty).
+func (d *Dist) Max() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.max
+}
+
+// Quantile estimates the p-quantile: exact order-statistic interpolation
+// while the raw values are still held, the sketch bucket's midpoint
+// (clamped to the observed range) beyond. The edge buckets absorb
+// everything outside the sketch range (zeros and sub-1e-7 values below,
+// >1e3 above), so they report the observed extreme rather than a midpoint
+// that could be arbitrarily far from what was folded into them.
+func (d *Dist) Quantile(p float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if d.exact != nil {
+		vals := append([]float64(nil), d.exact...)
+		sort.Float64s(vals)
+		return percentile(vals, p)
+	}
+	rank := p * float64(d.n-1)
+	cum := 0.0
+	for i, c := range d.buckets {
+		cum += float64(c)
+		if cum > rank {
+			if i == 0 {
+				return d.min
+			}
+			if i == sketchBuckets-1 {
+				return d.max
+			}
+			v := sketchValue(i)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+	}
+	return d.max
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDistExactSmallRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d Dist
+	vals := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		v := math.Exp(rng.NormFloat64()) * 0.05
+		vals = append(vals, v)
+		d.Add(v)
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if d.N() != 200 {
+		t.Fatalf("N = %d, want 200", d.N())
+	}
+	if d.Min() != vals[0] || d.Max() != vals[len(vals)-1] {
+		t.Fatalf("min/max = %v/%v, want %v/%v", d.Min(), d.Max(), vals[0], vals[len(vals)-1])
+	}
+	if math.Abs(d.Sum()-sum) > 1e-12*sum {
+		t.Fatalf("sum = %v, want %v", d.Sum(), sum)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := d.Quantile(p), percentile(vals, p); got != want {
+			t.Fatalf("Quantile(%v) = %v, want exact %v below smallRunLimit", p, got, want)
+		}
+	}
+}
+
+func TestDistSketchBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var d Dist
+	vals := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.5) * 0.02
+		vals = append(vals, v)
+		d.Add(v)
+	}
+	sort.Float64s(vals)
+	ratio := math.Pow(10, 1.0/sketchPerDecade)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		rank := p * float64(len(vals)-1)
+		lo := vals[int(math.Floor(rank))] / ratio
+		hi := vals[int(math.Ceil(rank))] * ratio
+		if got := d.Quantile(p); got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %v outside sketch bound [%v, %v]", p, got, lo, hi)
+		}
+	}
+}
+
+// TestDistEdgeBucketsReportExtremes mirrors the Accumulator edge-bucket
+// rule: values clamped into the first/last sketch bucket must surface as
+// the observed min/max, not the bucket midpoint.
+func TestDistEdgeBucketsReportExtremes(t *testing.T) {
+	var d Dist
+	for i := 0; i < smallRunLimit+100; i++ {
+		d.Add(0) // all mass in the underflow bucket
+	}
+	if got := d.Quantile(0.5); got != 0 {
+		t.Fatalf("P50 of all-zero fold = %v, want 0 (observed min)", got)
+	}
+	var hi Dist
+	for i := 0; i < smallRunLimit+100; i++ {
+		hi.Add(5e4) // beyond the 1e3 sketch ceiling
+	}
+	if got := hi.Quantile(0.99); got != 5e4 {
+		t.Fatalf("P99 of overflow fold = %v, want 5e4 (observed max)", got)
+	}
+}
+
+func TestDistZeroValue(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Sum() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("zero-value Dist must report zeros everywhere")
+	}
+}

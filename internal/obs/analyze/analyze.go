@@ -1,0 +1,116 @@
+// Package analyze is the post-run analysis layer over the obs event
+// stream: it turns the raw Enqueue → Route → CacheLookup → (Migrate)* →
+// Finish chains (plus the engine-bridged elastic events and the Sampler's
+// telemetry rings) into the three derived views long-context serving
+// systems are compared by —
+//
+//   - per-request critical-path attribution: each finished request
+//     decomposed into queue wait, re-enqueue penalty, migration stall,
+//     prefill wait, prefill and decode, with per-phase fleet aggregates
+//     and a top-K straggler report naming each outlier's dominant phase
+//     (Attribute, Report, Stragglers);
+//
+//   - fleet time-series rollups: per-replica, per-kind and fleet-wide
+//     utilization, queue depth and SLO burn rate over fixed
+//     simulated-time windows, joined from events and sampler rows
+//     (Roll, Rollup);
+//
+//   - an invariant Auditor — an obs.Sink usable online (Tee it next to
+//     the Collector) or post-hoc (Audit) — that checks lifecycle
+//     ordering, conservation and bounds on the stream and returns
+//     structured Violations.
+//
+// Everything here consumes the stream after (or beside) the run; nothing
+// in this package is on the simulation hot path, so it trades the
+// emitters' zero-allocation discipline for clarity.
+package analyze
+
+import "time"
+
+// Phase indexes one segment of a finished request's critical path. The
+// six phases partition the closed interval [first enqueue, finish]
+// exactly — Attribution.E2E() equals the sum of the phases by
+// construction, with no rounding slack (tested).
+type Phase int
+
+const (
+	// PhaseQueue: first Enqueue → first Route. Gateway admission delay
+	// before the policy saw the request.
+	PhaseQueue Phase = iota
+	// PhaseReenqueue: first Route → last Route. Non-zero only for
+	// requests whose migration destination drained mid-transfer and that
+	// therefore re-entered routing; the abandoned transfer time lands
+	// here.
+	PhaseReenqueue
+	// PhaseMigration: last Route → delivery (CacheLookup). The routed
+	// migration stall — link time spent moving the session's KV ahead of
+	// the request; zero for plain routes, which deliver instantly.
+	PhaseMigration
+	// PhasePrefillWait: delivery → the engine's prefill-start. The
+	// route-to-prefill-start gap: time the request sat in the engine
+	// before a parallel group began prefilling it. Engines that do not
+	// bridge trace events (vLLM-style ContBatch replicas) report zero
+	// here and the wait folds into PhasePrefill.
+	PhasePrefillWait
+	// PhasePrefill: prefill-start (or delivery) → first token.
+	PhasePrefill
+	// PhaseDecode: first token → finish.
+	PhaseDecode
+
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseQueue:       "queue",
+	PhaseReenqueue:   "re-enqueue",
+	PhaseMigration:   "migration",
+	PhasePrefillWait: "prefill-wait",
+	PhasePrefill:     "prefill",
+	PhaseDecode:      "decode",
+}
+
+func (p Phase) String() string {
+	if p >= 0 && p < NumPhases {
+		return phaseNames[p]
+	}
+	return "phase(?)"
+}
+
+// Attribution is one finished request's critical-path decomposition.
+type Attribution struct {
+	Request int64
+	Session int64
+	Replica int // serving replica (the last routed destination)
+
+	InputLen  int // full input length (pre-discount)
+	OutputLen int
+	HitTokens int // prefix-cache hit on the serving replica
+	Enqueues  int // 1 for a plain route; +1 per mid-transfer re-route
+
+	SLOBudget time.Duration // 0 = no SLO
+	Arrival   time.Duration // first enqueue (== driver arrival)
+	Finish    time.Duration
+
+	Phases [NumPhases]time.Duration
+}
+
+// E2E returns the end-to-end latency — identical to the sum of Phases.
+func (a *Attribution) E2E() time.Duration { return a.Finish - a.Arrival }
+
+// Dominant returns the phase holding the largest share of the request's
+// latency (lowest index wins ties, so the answer is deterministic).
+func (a *Attribution) Dominant() Phase {
+	best := Phase(0)
+	for p := Phase(1); p < NumPhases; p++ {
+		if a.Phases[p] > a.Phases[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// SLOMiss reports whether the request blew its budget, mirroring
+// metrics.Record.MeetsSLO (a zero budget never misses).
+func (a *Attribution) SLOMiss() bool {
+	return a.SLOBudget > 0 && a.E2E() > a.SLOBudget
+}

@@ -1,0 +1,199 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"loongserve/internal/metrics"
+	"loongserve/internal/obs"
+	"loongserve/internal/simevent"
+)
+
+// Report aggregates a run's attributions: every finished request in
+// stream order, a streaming metrics.Dist per phase (seconds), and the
+// counts the conservation story needs.
+type Report struct {
+	Requests []Attribution
+
+	// PhaseDist folds each finished request's phase durations in seconds;
+	// E2EDist folds the end-to-end latencies.
+	PhaseDist [NumPhases]metrics.Dist
+	E2EDist   metrics.Dist
+
+	// Incomplete counts requests that enqueued but never finished —
+	// expected only when a run was truncated, and exactly what the
+	// Auditor's MissingFinish flags.
+	Incomplete int
+	// SLOMisses counts finished requests that blew a non-zero budget.
+	SLOMisses int
+	// Reenqueued counts finished requests with more than one Enqueue.
+	Reenqueued int
+}
+
+// reqTrack is the per-request reconstruction state Attribute walks the
+// stream with.
+type reqTrack struct {
+	session    int64
+	input      int // full input length (Enqueue.Tokens)
+	slo        int64
+	firstEnq   simevent.Time
+	firstRoute simevent.Time
+	lastRoute  simevent.Time
+	deliver    simevent.Time
+	replica    int
+	hit        int
+	enqueues   int
+	routes     int
+	delivered  bool
+}
+
+// Attribute reconstructs per-request critical paths from an event stream
+// in collector (arrival) order. Events outside the request lifecycle —
+// replica lifecycle, autoscale, migrations, engine events — shape the
+// phase boundaries but produce no attributions of their own. Requests
+// still in flight at the end of the stream are counted, not attributed.
+func Attribute(events []obs.Event) *Report {
+	rep := &Report{}
+	reqs := make(map[int64]*reqTrack)
+	// Engine prefill-starts per replica, in stream (= time) order; the
+	// prefill-wait heuristic binary-searches these.
+	starts := make(map[int][]simevent.Time)
+
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindEnqueue:
+			t := reqs[e.Request]
+			if t == nil {
+				t = &reqTrack{firstEnq: e.At, session: e.Session}
+				reqs[e.Request] = t
+			}
+			t.enqueues++
+			t.input = e.Tokens
+			t.slo = e.B
+		case obs.KindRoute:
+			t := reqs[e.Request]
+			if t == nil {
+				continue // corrupt stream; the Auditor owns flagging this
+			}
+			if t.routes == 0 {
+				t.firstRoute = e.At
+			}
+			t.routes++
+			t.lastRoute = e.At
+			t.replica = e.Replica
+		case obs.KindCacheLookup:
+			t := reqs[e.Request]
+			if t == nil {
+				continue
+			}
+			t.deliver = e.At
+			t.delivered = true
+			t.hit = e.Tokens
+			t.input = int(e.A) // authoritative full input at delivery
+		case obs.KindPrefillStart:
+			if e.Replica >= 0 {
+				starts[e.Replica] = append(starts[e.Replica], e.At)
+			}
+		case obs.KindFinish:
+			t := reqs[e.Request]
+			if t == nil || !t.delivered || t.routes == 0 {
+				continue
+			}
+			a := attributeOne(t, e, starts[t.replica])
+			rep.Requests = append(rep.Requests, a)
+			rep.E2EDist.Add(a.E2E().Seconds())
+			for p := Phase(0); p < NumPhases; p++ {
+				rep.PhaseDist[p].Add(a.Phases[p].Seconds())
+			}
+			if a.SLOMiss() {
+				rep.SLOMisses++
+			}
+			if a.Enqueues > 1 {
+				rep.Reenqueued++
+			}
+			delete(reqs, e.Request)
+		}
+	}
+	rep.Incomplete = len(reqs)
+	return rep
+}
+
+// attributeOne slices one finished request's [firstEnq, finish] interval
+// into the six phases. Each boundary is clamped to be monotone, so the
+// phases are non-negative and sum to E2E exactly even on streams where a
+// boundary event is missing or degenerate.
+func attributeOne(t *reqTrack, fin obs.Event, repStarts []simevent.Time) Attribution {
+	a := Attribution{
+		Request:   fin.Request,
+		Session:   fin.Session,
+		Replica:   fin.Replica,
+		InputLen:  t.input,
+		OutputLen: fin.Tokens,
+		HitTokens: t.hit,
+		Enqueues:  t.enqueues,
+		SLOBudget: time.Duration(t.slo),
+		Arrival:   time.Duration(t.firstEnq),
+		Finish:    time.Duration(fin.At),
+	}
+	firstToken := time.Duration(fin.A) // Finish.A = first-token timestamp
+	tEnq := time.Duration(t.firstEnq)
+	tR1 := clamp(time.Duration(t.firstRoute), tEnq, a.Finish)
+	tRn := clamp(time.Duration(t.lastRoute), tR1, a.Finish)
+	tDel := clamp(time.Duration(t.deliver), tRn, a.Finish)
+	tFT := clamp(firstToken, tDel, a.Finish)
+
+	// Prefill wait: the first engine prefill-start on the serving replica
+	// inside [delivery, first token]. Engines that don't bridge trace
+	// events contribute no starts and the wait is zero.
+	tPS := tDel
+	if i := sort.Search(len(repStarts), func(i int) bool {
+		return time.Duration(repStarts[i]) >= tDel
+	}); i < len(repStarts) && time.Duration(repStarts[i]) <= tFT {
+		tPS = time.Duration(repStarts[i])
+	}
+
+	a.Phases[PhaseQueue] = tR1 - tEnq
+	a.Phases[PhaseReenqueue] = tRn - tR1
+	a.Phases[PhaseMigration] = tDel - tRn
+	a.Phases[PhasePrefillWait] = tPS - tDel
+	a.Phases[PhasePrefill] = tFT - tPS
+	a.Phases[PhaseDecode] = a.Finish - tFT
+	return a
+}
+
+func clamp(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stragglers returns the k slowest finished requests by end-to-end
+// latency, slowest first; ties break on request id so the report is
+// deterministic across runs.
+func (r *Report) Stragglers(k int) []Attribution {
+	out := append([]Attribution(nil), r.Requests...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E2E() != out[j].E2E() {
+			return out[i].E2E() > out[j].E2E()
+		}
+		return out[i].Request < out[j].Request
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// PhaseShare returns phase p's share of total attributed latency across
+// all finished requests (0 when nothing finished).
+func (r *Report) PhaseShare(p Phase) float64 {
+	total := r.E2EDist.Sum()
+	if total <= 0 {
+		return 0
+	}
+	return r.PhaseDist[p].Sum() / total
+}

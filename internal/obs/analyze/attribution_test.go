@@ -1,0 +1,162 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"loongserve/internal/obs"
+	"loongserve/internal/simevent"
+)
+
+func at(s float64) simevent.Time { return simevent.Time(float64(time.Second) * s) }
+
+// chain builds the minimal well-formed lifecycle for one request:
+// enqueue(t0) → route(t1) → lookup(t2) → finish(t4, first token t3).
+func chain(req, session int64, rep int, t0, t1, t2, t3, t4 float64) []obs.Event {
+	return []obs.Event{
+		{At: at(t0), Kind: obs.KindEnqueue, Replica: -1, Session: session, Request: req, Tokens: 1000, A: 100, B: int64(10 * time.Second)},
+		{At: at(t1), Kind: obs.KindRoute, Replica: rep, Session: session, Request: req, Label: "test"},
+		{At: at(t2), Kind: obs.KindCacheLookup, Replica: rep, Session: session, Request: req, Tokens: 200, A: 1000},
+		{At: at(t4), Kind: obs.KindFinish, Replica: rep, Session: session, Request: req, Tokens: 100, A: int64(at(t3)), B: int64(at(t0))},
+	}
+}
+
+func TestAttributePhasesPartitionE2E(t *testing.T) {
+	// Plain route: enqueue 0, route 0.5, deliver 0.5 (no migration),
+	// first token 2.0, finish 5.0.
+	ev := chain(1, 7, 2, 0, 0.5, 0.5, 2.0, 5.0)
+	rep := Attribute(ev)
+	if len(rep.Requests) != 1 || rep.Incomplete != 0 {
+		t.Fatalf("got %d attributions, %d incomplete", len(rep.Requests), rep.Incomplete)
+	}
+	a := rep.Requests[0]
+	want := map[Phase]time.Duration{
+		PhaseQueue:       500 * time.Millisecond,
+		PhaseReenqueue:   0,
+		PhaseMigration:   0,
+		PhasePrefillWait: 0,
+		PhasePrefill:     1500 * time.Millisecond,
+		PhaseDecode:      3 * time.Second,
+	}
+	var sum time.Duration
+	for p, d := range want {
+		if a.Phases[p] != d {
+			t.Errorf("%s = %v, want %v", p, a.Phases[p], d)
+		}
+		sum += d
+	}
+	if a.E2E() != 5*time.Second || sum != a.E2E() {
+		t.Fatalf("E2E %v, phase sum %v — must both be 5s", a.E2E(), sum)
+	}
+	if a.Dominant() != PhaseDecode {
+		t.Fatalf("dominant = %s, want decode", a.Dominant())
+	}
+	if a.InputLen != 1000 || a.OutputLen != 100 || a.HitTokens != 200 || a.Enqueues != 1 {
+		t.Fatalf("unexpected attribution fields: %+v", a)
+	}
+}
+
+func TestAttributeMigrationStallAndPrefillWait(t *testing.T) {
+	// Routed migration: route at 1.0, delivery at 3.0 (2s link stall),
+	// engine prefill-start at 3.5, first token 4.0, finish 6.0.
+	ev := []obs.Event{
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Session: 9, Request: 4, Tokens: 512, A: 64},
+		{At: at(1.0), Kind: obs.KindRoute, Replica: 1, Session: 9, Request: 4, A: 0},
+		{At: at(1.0), Kind: obs.KindMigrate, Replica: 0, Session: 9, Tokens: 0, A: 1, Label: "route"},
+		{At: at(3.0), Kind: obs.KindCacheLookup, Replica: 1, Session: 9, Request: 4, Tokens: 0, A: 512},
+		{At: at(3.5), Kind: obs.KindPrefillStart, Replica: 1, Group: 0, Tokens: 512},
+		{At: at(6.0), Kind: obs.KindFinish, Replica: 1, Session: 9, Request: 4, Tokens: 64, A: int64(at(4.0)), B: 0},
+	}
+	rep := Attribute(ev)
+	if len(rep.Requests) != 1 {
+		t.Fatalf("got %d attributions", len(rep.Requests))
+	}
+	a := rep.Requests[0]
+	if a.Phases[PhaseQueue] != time.Second {
+		t.Errorf("queue = %v, want 1s", a.Phases[PhaseQueue])
+	}
+	if a.Phases[PhaseMigration] != 2*time.Second {
+		t.Errorf("migration = %v, want 2s", a.Phases[PhaseMigration])
+	}
+	if a.Phases[PhasePrefillWait] != 500*time.Millisecond {
+		t.Errorf("prefill-wait = %v, want 0.5s", a.Phases[PhasePrefillWait])
+	}
+	if a.Phases[PhasePrefill] != 500*time.Millisecond {
+		t.Errorf("prefill = %v, want 0.5s", a.Phases[PhasePrefill])
+	}
+	var sum time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		sum += a.Phases[p]
+	}
+	if sum != a.E2E() {
+		t.Fatalf("phase sum %v != E2E %v", sum, a.E2E())
+	}
+}
+
+func TestAttributeReenqueue(t *testing.T) {
+	// Destination drained mid-transfer: enqueue 0, route 0.2, re-enqueue
+	// 1.2, second route 1.2, deliver 1.4, first token 2.0, finish 3.0.
+	ev := []obs.Event{
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Session: 3, Request: 8, Tokens: 256, A: 32},
+		{At: at(0.2), Kind: obs.KindRoute, Replica: 1, Session: 3, Request: 8, A: 0},
+		{At: at(1.2), Kind: obs.KindEnqueue, Replica: -1, Session: 3, Request: 8, Tokens: 256, A: 32},
+		{At: at(1.2), Kind: obs.KindRoute, Replica: 2, Session: 3, Request: 8},
+		{At: at(1.4), Kind: obs.KindCacheLookup, Replica: 2, Session: 3, Request: 8, Tokens: 0, A: 256},
+		{At: at(3.0), Kind: obs.KindFinish, Replica: 2, Session: 3, Request: 8, Tokens: 32, A: int64(at(2.0)), B: 0},
+	}
+	rep := Attribute(ev)
+	if len(rep.Requests) != 1 {
+		t.Fatalf("got %d attributions", len(rep.Requests))
+	}
+	a := rep.Requests[0]
+	if a.Enqueues != 2 || rep.Reenqueued != 1 {
+		t.Fatalf("enqueues = %d (report %d), want 2 (1)", a.Enqueues, rep.Reenqueued)
+	}
+	if a.Phases[PhaseReenqueue] != time.Second {
+		t.Errorf("re-enqueue = %v, want 1s (first route 0.2 → last route 1.2)", a.Phases[PhaseReenqueue])
+	}
+	if a.Replica != 2 {
+		t.Errorf("replica = %d, want the re-routed destination 2", a.Replica)
+	}
+	var sum time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		sum += a.Phases[p]
+	}
+	if sum != a.E2E() || a.E2E() != 3*time.Second {
+		t.Fatalf("phase sum %v / E2E %v, want 3s both", sum, a.E2E())
+	}
+}
+
+func TestAttributeIncompleteAndStragglers(t *testing.T) {
+	ev := chain(1, 0, 0, 0, 0.1, 0.1, 0.5, 1.0)
+	ev = append(ev, chain(2, 0, 0, 0, 0.1, 0.1, 0.5, 4.0)...)
+	ev = append(ev, chain(3, 0, 0, 0, 0.1, 0.1, 0.5, 4.0)...)
+	// Request 99 never finishes.
+	ev = append(ev, obs.Event{At: at(0.2), Kind: obs.KindEnqueue, Replica: -1, Request: 99, Tokens: 10, A: 5})
+	rep := Attribute(ev)
+	if len(rep.Requests) != 3 || rep.Incomplete != 1 {
+		t.Fatalf("got %d finished, %d incomplete; want 3, 1", len(rep.Requests), rep.Incomplete)
+	}
+	s := rep.Stragglers(2)
+	if len(s) != 2 || s[0].Request != 2 || s[1].Request != 3 {
+		t.Fatalf("stragglers = %v, want requests 2 then 3 (tie broken by id)", []int64{s[0].Request, s[1].Request})
+	}
+	if rep.SLOMisses != 0 {
+		t.Fatalf("SLO misses = %d, want 0 (10s budgets)", rep.SLOMisses)
+	}
+}
+
+func TestWriteReportRendersPhases(t *testing.T) {
+	rep := Attribute(chain(1, 7, 2, 0, 0.5, 0.5, 2.0, 5.0))
+	var b strings.Builder
+	if err := WriteReport(&b, rep, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"critical-path attribution: 1 finished", "queue", "prefill", "decode", "stragglers", "end-to-end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

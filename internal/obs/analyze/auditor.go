@@ -1,0 +1,285 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"loongserve/internal/obs"
+	"loongserve/internal/simevent"
+)
+
+// ViolationKind classifies what an Auditor check caught.
+type ViolationKind int
+
+const (
+	// NonMonotonicTime: an event's timestamp precedes its predecessor's.
+	// The Collector retains arrival order and the simulator never runs
+	// backwards, so any regression means a reordered or spliced stream.
+	NonMonotonicTime ViolationKind = iota
+	// RouteBeforeEnqueue: a Route for a request the stream never enqueued
+	// (or whose Enqueue appears later) — lifecycle ordering broken.
+	RouteBeforeEnqueue
+	// LookupBeforeRoute: a CacheLookup for a request with no Route yet.
+	LookupBeforeRoute
+	// FinishBeforeDeliver: a Finish for a request never delivered to a
+	// replica (no CacheLookup), or never seen at all.
+	FinishBeforeDeliver
+	// DuplicateEnqueue: a second Enqueue for a request that was not in the
+	// routed state — re-enqueue is legal only after a Route whose
+	// migration destination drained mid-transfer.
+	DuplicateEnqueue
+	// DuplicateFinish: a second Finish for the same request.
+	DuplicateFinish
+	// MissingFinish: at Finalize, a request that enqueued but never
+	// reached Finish — conservation broken (or the run was truncated).
+	MissingFinish
+	// EventOnRetiredReplica: any event attributed to (or migrating KV
+	// toward) a replica the stream already retired.
+	EventOnRetiredReplica
+	// ReplicaMismatch: a CacheLookup or Finish on a different replica
+	// than the request's last Route chose.
+	ReplicaMismatch
+	// CacheHitExceedsInput: a CacheLookup reporting more hit tokens than
+	// the request's full input length.
+	CacheHitExceedsInput
+	// MigrateExceedsSessionKV: a session-attributed migration moving more
+	// KV tokens than the session has ever materialized (its largest
+	// finished context). Checked only once the session has a Finish.
+	MigrateExceedsSessionKV
+	// ArrivalMismatch: Finish's recorded arrival (B) differs from the
+	// request's first Enqueue timestamp — the two books of record for
+	// "when did this request arrive" disagree.
+	ArrivalMismatch
+
+	numViolationKinds
+)
+
+var violationNames = [numViolationKinds]string{
+	NonMonotonicTime:        "non-monotonic-time",
+	RouteBeforeEnqueue:      "route-before-enqueue",
+	LookupBeforeRoute:       "lookup-before-route",
+	FinishBeforeDeliver:     "finish-before-deliver",
+	DuplicateEnqueue:        "duplicate-enqueue",
+	DuplicateFinish:         "duplicate-finish",
+	MissingFinish:           "missing-finish",
+	EventOnRetiredReplica:   "event-on-retired-replica",
+	ReplicaMismatch:         "replica-mismatch",
+	CacheHitExceedsInput:    "cache-hit-exceeds-input",
+	MigrateExceedsSessionKV: "migrate-exceeds-session-kv",
+	ArrivalMismatch:         "arrival-mismatch",
+}
+
+func (k ViolationKind) String() string {
+	if k >= 0 && k < numViolationKinds {
+		return violationNames[k]
+	}
+	return "violation(?)"
+}
+
+// Violation is one structured invariant breach.
+type Violation struct {
+	Kind    ViolationKind
+	At      simevent.Time
+	Request int64
+	Session int64
+	Replica int
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] t=%dns req=%d session=%d replica=%d: %s",
+		v.Kind, int64(v.At), v.Request, v.Session, v.Replica, v.Detail)
+}
+
+// Request lifecycle states the auditor's per-request machine walks:
+// enqueued → routed → delivered → finished, with routed → enqueued the
+// one legal back-edge (mid-transfer re-enqueue).
+type auditState int
+
+const (
+	stEnqueued auditState = iota
+	stRouted
+	stDelivered
+	stFinished
+)
+
+var auditStateNames = [...]string{"enqueued", "routed", "delivered", "finished"}
+
+type auditReq struct {
+	state    auditState
+	session  int64
+	input    int // full input length
+	replica  int // last routed destination
+	firstEnq simevent.Time
+}
+
+// Auditor is the stream invariant checker. It implements obs.Sink, so it
+// runs online (Tee it beside the Collector) at the cost of one state-map
+// update per event, or post-hoc over a retained stream via Audit. The
+// zero value is not ready — use NewAuditor. Call Finalize once after the
+// run to collect end-of-stream (conservation) violations along with
+// everything caught inline.
+type Auditor struct {
+	reqs       map[int64]*auditReq
+	sessionCtx map[int64]int64 // session → largest finished context (KV upper bound)
+	retired    map[int]bool
+	last       simevent.Time
+	seen       int
+	violations []Violation
+}
+
+// NewAuditor returns an empty auditor ready to receive a stream.
+func NewAuditor() *Auditor {
+	return &Auditor{
+		reqs:       make(map[int64]*auditReq),
+		sessionCtx: make(map[int64]int64),
+		retired:    make(map[int]bool),
+	}
+}
+
+func (a *Auditor) flag(k ViolationKind, e obs.Event, format string, args ...any) {
+	a.violations = append(a.violations, Violation{
+		Kind: k, At: e.At, Request: e.Request, Session: e.Session,
+		Replica: e.Replica, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Emit implements obs.Sink.
+func (a *Auditor) Emit(e obs.Event) {
+	if a.seen > 0 && e.At < a.last {
+		a.flag(NonMonotonicTime, e, "%s at %dns after event at %dns", e.Kind, int64(e.At), int64(a.last))
+	} else {
+		a.last = e.At
+	}
+	a.seen++
+
+	// The retired check covers events that occur ON a replica. Autoscale
+	// decisions are gateway-level — their Replica field merely names the
+	// drain victim, and an idle victim retires synchronously within the
+	// decision's own instant — so they are exempt.
+	if e.Kind != obs.KindAutoscale && e.Replica >= 0 && a.retired[e.Replica] {
+		a.flag(EventOnRetiredReplica, e, "%s on retired replica %d", e.Kind, e.Replica)
+	}
+
+	switch e.Kind {
+	case obs.KindEnqueue:
+		r := a.reqs[e.Request]
+		switch {
+		case r == nil:
+			a.reqs[e.Request] = &auditReq{
+				state: stEnqueued, session: e.Session, input: e.Tokens,
+				replica: -1, firstEnq: e.At,
+			}
+		case r.state == stRouted:
+			// Legal re-enqueue: the routed migration's destination drained
+			// mid-transfer and the request re-entered routing.
+			r.state = stEnqueued
+		default:
+			a.flag(DuplicateEnqueue, e, "second enqueue in state %s", auditStateNames[r.state])
+		}
+	case obs.KindRoute:
+		r := a.reqs[e.Request]
+		if r == nil {
+			a.flag(RouteBeforeEnqueue, e, "route for request never enqueued")
+			return
+		}
+		if r.state != stEnqueued && r.state != stRouted {
+			a.flag(RouteBeforeEnqueue, e, "route in state %s", auditStateNames[r.state])
+			return
+		}
+		r.state = stRouted
+		r.replica = e.Replica
+	case obs.KindCacheLookup:
+		r := a.reqs[e.Request]
+		if r == nil || r.state == stEnqueued {
+			a.flag(LookupBeforeRoute, e, "cache lookup before any route")
+			return
+		}
+		if r.state != stRouted {
+			a.flag(LookupBeforeRoute, e, "cache lookup in state %s", auditStateNames[r.state])
+			return
+		}
+		if e.Replica != r.replica {
+			a.flag(ReplicaMismatch, e, "lookup on replica %d, routed to %d", e.Replica, r.replica)
+		}
+		if int64(e.Tokens) > e.A {
+			a.flag(CacheHitExceedsInput, e, "hit %d tokens of a %d-token input", e.Tokens, e.A)
+		}
+		r.input = int(e.A)
+		r.state = stDelivered
+	case obs.KindFinish:
+		r := a.reqs[e.Request]
+		switch {
+		case r == nil:
+			a.flag(FinishBeforeDeliver, e, "finish for request never seen")
+			return
+		case r.state == stFinished:
+			a.flag(DuplicateFinish, e, "second finish")
+			return
+		case r.state != stDelivered:
+			a.flag(FinishBeforeDeliver, e, "finish in state %s", auditStateNames[r.state])
+			return
+		}
+		if e.Replica != r.replica {
+			a.flag(ReplicaMismatch, e, "finish on replica %d, routed to %d", e.Replica, r.replica)
+		}
+		if e.B != int64(r.firstEnq) {
+			a.flag(ArrivalMismatch, e, "finish records arrival %dns, first enqueue at %dns", e.B, int64(r.firstEnq))
+		}
+		r.state = stFinished
+		if e.Session != 0 {
+			if ctx := int64(r.input) + int64(e.Tokens); ctx > a.sessionCtx[e.Session] {
+				a.sessionCtx[e.Session] = ctx
+			}
+		}
+	case obs.KindMigrate:
+		// Replica here is the source; the destination rides in A.
+		if dst := int(e.A); dst >= 0 && a.retired[dst] {
+			a.flag(EventOnRetiredReplica, e, "migration into retired replica %d", dst)
+		}
+		if e.Session != 0 {
+			if ctx, ok := a.sessionCtx[e.Session]; ok && int64(e.Tokens) > ctx {
+				a.flag(MigrateExceedsSessionKV, e, "moved %d KV tokens, session has materialized at most %d", e.Tokens, ctx)
+			}
+		}
+	case obs.KindRetire:
+		a.retired[e.Replica] = true
+	}
+}
+
+// Violations returns everything flagged so far, without the end-of-stream
+// conservation pass; Finalize runs that pass and returns the full list.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Finalize runs the conservation pass — every enqueued request must have
+// finished — and returns all violations in detection order (unfinished
+// requests sorted by id for determinism). Safe to call once, after the
+// stream is complete.
+func (a *Auditor) Finalize() []Violation {
+	ids := make([]int64, 0)
+	for id, r := range a.reqs {
+		if r.state != stFinished {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := a.reqs[id]
+		a.violations = append(a.violations, Violation{
+			Kind: MissingFinish, At: a.last, Request: id, Session: r.session,
+			Replica: r.replica,
+			Detail:  fmt.Sprintf("request enqueued at %dns never finished (last state %s)", int64(r.firstEnq), auditStateNames[r.state]),
+		})
+	}
+	return a.violations
+}
+
+// Audit replays a retained stream through a fresh Auditor and returns the
+// finalized violations — the post-hoc entry point.
+func Audit(events []obs.Event) []Violation {
+	a := NewAuditor()
+	for _, e := range events {
+		a.Emit(e)
+	}
+	return a.Finalize()
+}

@@ -1,0 +1,197 @@
+package analyze
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"loongserve/internal/obs"
+)
+
+// byTime re-sorts a concatenation of chains into collector order (stable,
+// so same-instant events keep their lifecycle order).
+func byTime(ev []obs.Event) []obs.Event {
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	return ev
+}
+
+func TestAuditCleanStream(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev, chain(2, 7, 1, 0.5, 0.6, 0.7, 1.5, 3.0)...)
+	if vs := Audit(byTime(ev)); len(vs) != 0 {
+		t.Fatalf("clean stream flagged: %v", vs)
+	}
+}
+
+func TestAuditReenqueueIsLegal(t *testing.T) {
+	ev := []obs.Event{
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Session: 3, Request: 8, Tokens: 256, A: 32},
+		{At: at(0.2), Kind: obs.KindRoute, Replica: 1, Session: 3, Request: 8},
+		{At: at(1.2), Kind: obs.KindEnqueue, Replica: -1, Session: 3, Request: 8, Tokens: 256, A: 32},
+		{At: at(1.2), Kind: obs.KindRoute, Replica: 2, Session: 3, Request: 8},
+		{At: at(1.4), Kind: obs.KindCacheLookup, Replica: 2, Session: 3, Request: 8, Tokens: 0, A: 256},
+		{At: at(3.0), Kind: obs.KindFinish, Replica: 2, Session: 3, Request: 8, Tokens: 32, A: int64(at(2.0)), B: 0},
+	}
+	if vs := Audit(ev); len(vs) != 0 {
+		t.Fatalf("legal re-enqueue flagged: %v", vs)
+	}
+}
+
+// want exactly one violation of the given kind.
+func wantViolation(t *testing.T, vs []Violation, kind ViolationKind) Violation {
+	t.Helper()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations %v, want exactly one %s", len(vs), vs, kind)
+	}
+	if vs[0].Kind != kind {
+		t.Fatalf("got %s (%s), want %s", vs[0].Kind, vs[0].Detail, kind)
+	}
+	return vs[0]
+}
+
+func TestAuditDroppedFinish(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = ev[:len(ev)-1] // drop the Finish
+	v := wantViolation(t, Audit(ev), MissingFinish)
+	if v.Request != 1 {
+		t.Fatalf("violation names request %d, want 1", v.Request)
+	}
+}
+
+func TestAuditOutOfOrderRoute(t *testing.T) {
+	good := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	// Splice the Route ahead of the Enqueue (same timestamps, so the
+	// monotone check stays quiet and the lifecycle check must catch it).
+	ev := []obs.Event{good[1], good[0], good[2], good[3]}
+	ev[0].At, ev[1].At = at(0), at(0)
+	vs := Audit(ev)
+	if len(vs) == 0 {
+		t.Fatal("out-of-order route not flagged")
+	}
+	if vs[0].Kind != RouteBeforeEnqueue {
+		t.Fatalf("first violation = %s, want %s", vs[0].Kind, RouteBeforeEnqueue)
+	}
+}
+
+func TestAuditCorruptions(t *testing.T) {
+	base := func() []obs.Event { return chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0) }
+	cases := []struct {
+		name    string
+		mutate  func([]obs.Event) []obs.Event
+		want    ViolationKind
+	}{
+		{"duplicate finish", func(ev []obs.Event) []obs.Event {
+			return append(ev, ev[len(ev)-1])
+		}, DuplicateFinish},
+		{"duplicate enqueue while delivered", func(ev []obs.Event) []obs.Event {
+			dup := ev[0]
+			dup.At = at(1.5)
+			return append(ev[:3:3], dup, ev[3])
+		}, DuplicateEnqueue},
+		{"lookup before route", func(ev []obs.Event) []obs.Event {
+			return []obs.Event{ev[0], ev[2], ev[1], ev[3]}
+		}, LookupBeforeRoute},
+		{"finish without delivery", func(ev []obs.Event) []obs.Event {
+			return []obs.Event{ev[0], ev[1], ev[3]}
+		}, FinishBeforeDeliver},
+		{"non-monotonic time", func(ev []obs.Event) []obs.Event {
+			ev[2].At = at(0.05) // lookup timestamped before its route
+			return ev
+		}, NonMonotonicTime},
+		{"cache hit exceeds input", func(ev []obs.Event) []obs.Event {
+			ev[2].Tokens = int(ev[2].A) + 1
+			return ev
+		}, CacheHitExceedsInput},
+		{"replica mismatch", func(ev []obs.Event) []obs.Event {
+			ev[3].Replica = 5
+			return ev
+		}, ReplicaMismatch},
+		{"arrival mismatch", func(ev []obs.Event) []obs.Event {
+			ev[3].B = int64(at(0.01))
+			return ev
+		}, ArrivalMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := Audit(tc.mutate(base()))
+			found := false
+			for _, v := range vs {
+				if v.Kind == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("corruption not flagged as %s; got %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+func TestAuditRetiredReplica(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev,
+		obs.Event{At: at(2.5), Kind: obs.KindRetire, Replica: 0, Label: "test"},
+	)
+	ev = append(ev, chain(2, 7, 0, 3.0, 3.1, 3.2, 3.5, 4.0)...) // routed to retired 0
+	vs := Audit(ev)
+	found := 0
+	for _, v := range vs {
+		if v.Kind == EventOnRetiredReplica {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("events on retired replica not flagged; got %v", vs)
+	}
+}
+
+func TestAuditMigrateExceedsSessionKV(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0) // input 1000, output 100 → ctx 1100
+	ev = append(ev, obs.Event{
+		At: at(2.5), Kind: obs.KindMigrate, Replica: 0, Session: 7,
+		Tokens: 1101, A: 1, Label: "drain",
+	})
+	wantViolation(t, Audit(ev), MigrateExceedsSessionKV)
+
+	// At exactly the materialized context the move is legal.
+	ev[len(ev)-1].Tokens = 1100
+	if vs := Audit(ev); len(vs) != 0 {
+		t.Fatalf("bound migration flagged: %v", vs)
+	}
+}
+
+func TestAuditorOnlineMatchesPostHoc(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev, chain(2, 7, 1, 0.5, 0.6, 0.7, 1.5, 3.0)...)
+	ev = byTime(ev)
+	ev = ev[:len(ev)-1] // drop last Finish
+	a := NewAuditor()
+	for _, e := range ev {
+		a.Emit(e) // online, as a Tee'd Sink would drive it
+	}
+	online := a.Finalize()
+	posthoc := Audit(ev)
+	if len(online) != len(posthoc) || len(online) != 1 || online[0].Kind != posthoc[0].Kind {
+		t.Fatalf("online %v != post-hoc %v", online, posthoc)
+	}
+}
+
+func TestWriteViolations(t *testing.T) {
+	var b strings.Builder
+	if err := WriteViolations(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "PASS") {
+		t.Fatalf("clean verdict missing PASS: %q", b.String())
+	}
+	b.Reset()
+	vs := []Violation{{Kind: MissingFinish, Request: 3, Replica: -1, Detail: "x"}}
+	if err := WriteViolations(&b, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "FAIL (1 violations)") || !strings.Contains(b.String(), "missing-finish") {
+		t.Fatalf("verdict missing detail: %q", b.String())
+	}
+	_ = time.Second
+}

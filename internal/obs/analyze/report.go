@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file is the plain-text surface both CLIs (and the bench harness's
+// notes) share: deterministic fixed-width tables, no locale, no wall
+// clock — identical runs render identical bytes.
+
+// WriteReport renders the per-phase aggregate table and the top-K
+// straggler report.
+func WriteReport(w io.Writer, r *Report, topK int) error {
+	if _, err := fmt.Fprintf(w, "critical-path attribution: %d finished, %d incomplete, %d re-enqueued, %d SLO misses\n",
+		len(r.Requests), r.Incomplete, r.Reenqueued, r.SLOMisses); err != nil {
+		return err
+	}
+	if len(r.Requests) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%-13s %10s %10s %10s %10s %10s %7s\n",
+		"phase", "mean(s)", "p50(s)", "p90(s)", "p99(s)", "max(s)", "share")
+	for p := Phase(0); p < NumPhases; p++ {
+		d := &r.PhaseDist[p]
+		fmt.Fprintf(w, "%-13s %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%\n",
+			p, d.Mean(), d.Quantile(0.50), d.Quantile(0.90), d.Quantile(0.99), d.Max(),
+			100*r.PhaseShare(p))
+	}
+	fmt.Fprintf(w, "%-13s %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%\n",
+		"end-to-end", r.E2EDist.Mean(), r.E2EDist.Quantile(0.50), r.E2EDist.Quantile(0.90),
+		r.E2EDist.Quantile(0.99), r.E2EDist.Max(), 100.0)
+
+	if topK <= 0 {
+		return nil
+	}
+	stragglers := r.Stragglers(topK)
+	fmt.Fprintf(w, "\nstragglers (top %d by end-to-end latency)\n", len(stragglers))
+	fmt.Fprintf(w, "%10s %9s %8s %9s %-13s %7s %7s %5s %4s\n",
+		"request", "session", "e2e(s)", "replica", "dominant", "in", "out", "hit", "enq")
+	for _, a := range stragglers {
+		slo := ""
+		if a.SLOMiss() {
+			slo = " MISS"
+		}
+		fmt.Fprintf(w, "%10d %9d %8.3f %9d %-13s %7d %7d %5d %4d%s\n",
+			a.Request, a.Session, a.E2E().Seconds(), a.Replica, a.Dominant(),
+			a.InputLen, a.OutputLen, a.HitTokens, a.Enqueues, slo)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteRollup renders the fleet window table and the per-kind series.
+func WriteRollup(w io.Writer, roll *Rollup) error {
+	if len(roll.Fleet) == 0 {
+		_, err := fmt.Fprintln(w, "rollup: empty stream")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "fleet rollup: window %s, span [%.2fs, %.2fs]\n",
+		roll.Window, roll.Start.Seconds(), roll.End.Seconds()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%9s %6s %6s %6s %6s %6s %9s %8s %7s\n",
+		"start(s)", "enq", "fin", "miss", "burn", "migr", "migr-tok", "outst", "active")
+	for _, fw := range roll.Fleet {
+		fmt.Fprintf(w, "%9.2f %6d %6d %6d %5.0f%% %6d %9d %8.1f %7.1f\n",
+			fw.Start.Seconds(), fw.Enqueued, fw.Finished, fw.SLOMisses, 100*fw.BurnRate,
+			fw.Migrations, fw.MigratedTokens, fw.MeanOutstanding, fw.MeanActive)
+	}
+	for _, ks := range roll.Kinds {
+		fmt.Fprintf(w, "\nkind %s (%d replicas)\n", ks.Kind, ks.Replicas)
+		fmt.Fprintf(w, "%9s %7s %6s %6s %8s %7s %6s\n",
+			"start(s)", "routed", "fin", "miss", "meanq", "maxq", "busy")
+		for _, kw := range ks.Windows {
+			fmt.Fprintf(w, "%9.2f %7d %6d %6d %8.2f %7d %5.0f%%\n",
+				kw.Start.Seconds(), kw.Routed, kw.Finished, kw.SLOMisses,
+				kw.MeanQueue, kw.MaxQueue, 100*kw.Busy)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// maxRenderedViolations bounds the audit listing; the verdict line always
+// carries the true total.
+const maxRenderedViolations = 20
+
+// WriteViolations renders the audit verdict: a single PASS line for a
+// clean stream, else the violation count and the first few breaches.
+func WriteViolations(w io.Writer, vs []Violation) error {
+	if len(vs) == 0 {
+		_, err := fmt.Fprintln(w, "audit: PASS (0 violations)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "audit: FAIL (%d violations)\n", len(vs)); err != nil {
+		return err
+	}
+	show := vs
+	if len(show) > maxRenderedViolations {
+		show = show[:maxRenderedViolations]
+	}
+	for _, v := range show {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	if extra := len(vs) - len(show); extra > 0 {
+		fmt.Fprintf(w, "  ... and %d more\n", extra)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package analyze
+
+import (
+	"time"
+
+	"loongserve/internal/obs"
+	"loongserve/internal/simevent"
+)
+
+// RollupConfig parameterizes Roll.
+type RollupConfig struct {
+	// Window is the fixed simulated-time bucket width. Zero picks one
+	// automatically: the run's span divided into autoWindows buckets,
+	// floored at one simulated second.
+	Window time.Duration
+	// Kinds maps global replica index → replica kind name, enabling the
+	// per-kind series. Nil (or a missing index) buckets the replica under
+	// kind "" which Roll reports as "replica".
+	Kinds []string
+}
+
+// autoWindows is the bucket count auto-windowing aims for.
+const autoWindows = 12
+
+// FleetWindow is one fleet-wide time bucket.
+type FleetWindow struct {
+	Start time.Duration
+
+	Enqueued  int // enqueue events (re-enqueues included)
+	Finished  int
+	SLOMisses int // finished here with E2E over a non-zero budget
+	// BurnRate is SLOMisses/Finished for this window (0 when idle): the
+	// rate at which the window burned through its error budget.
+	BurnRate float64
+
+	Migrations     int
+	MigratedTokens int64
+
+	// Sampler joins: means over the fleet samples falling in the window.
+	MeanOutstanding float64
+	MeanActive      float64
+	Samples         int
+}
+
+// ReplicaWindow is one replica's (or kind's) time bucket.
+type ReplicaWindow struct {
+	Start time.Duration
+
+	Routed    int // requests the policy sent here
+	Finished  int
+	SLOMisses int
+
+	// Sampler joins: queue-depth statistics over this replica's samples
+	// in the window. Busy is the fraction of samples with work queued —
+	// the utilization proxy a discrete-event replica exposes.
+	MeanQueue float64
+	MaxQueue  int
+	Busy      float64
+	Samples   int
+}
+
+// ReplicaSeries is one replica's full windowed series.
+type ReplicaSeries struct {
+	Replica int
+	Kind    string
+	Windows []ReplicaWindow
+}
+
+// KindSeries aggregates every replica of one kind.
+type KindSeries struct {
+	Kind     string
+	Replicas int
+	Windows  []ReplicaWindow
+}
+
+// Rollup is the fleet time-series view Roll produces.
+type Rollup struct {
+	Window time.Duration
+	Start  time.Duration // first event timestamp (window 0 origin)
+	End    time.Duration // last event timestamp
+
+	Fleet    []FleetWindow
+	Replicas []ReplicaSeries
+	Kinds    []KindSeries
+}
+
+// Roll joins the event stream with the sampler's telemetry rings into
+// fixed-window time series. samples and fleetSamples may be nil (no
+// sampler attached); the event-derived columns still fill in.
+func Roll(events []obs.Event, samples []obs.Sample, fleetSamples []obs.FleetSample, cfg RollupConfig) *Rollup {
+	r := &Rollup{}
+	if len(events) == 0 {
+		return r
+	}
+	r.Start = time.Duration(events[0].At)
+	r.End = time.Duration(events[len(events)-1].At)
+	for _, s := range samples {
+		if t := time.Duration(s.At); t > r.End {
+			r.End = t
+		}
+	}
+	r.Window = cfg.Window
+	if r.Window <= 0 {
+		r.Window = (r.End - r.Start) / autoWindows
+		if r.Window < time.Second {
+			r.Window = time.Second
+		}
+	}
+	n := int((r.End-r.Start)/r.Window) + 1
+	r.Fleet = make([]FleetWindow, n)
+	for i := range r.Fleet {
+		r.Fleet[i].Start = r.Start + time.Duration(i)*r.Window
+	}
+	win := func(at simevent.Time) int {
+		i := int((time.Duration(at) - r.Start) / r.Window)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+
+	// Replica series are sized lazily as indices appear (replicas can be
+	// provisioned mid-run by the autoscaler).
+	var reps []*ReplicaSeries
+	repAt := func(idx int) *ReplicaSeries {
+		for len(reps) <= idx {
+			rs := &ReplicaSeries{Replica: len(reps), Windows: make([]ReplicaWindow, n)}
+			for i := range rs.Windows {
+				rs.Windows[i].Start = r.Fleet[i].Start
+			}
+			if k := len(reps); k < len(cfg.Kinds) {
+				rs.Kind = cfg.Kinds[k]
+			}
+			reps = append(reps, rs)
+		}
+		return reps[idx]
+	}
+
+	// Pass 1: events. Budgets ride on Enqueue.B; misses land in the
+	// window (and on the replica) where the request finished.
+	budgets := make(map[int64]int64)
+	arrivals := make(map[int64]simevent.Time)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindEnqueue:
+			w := win(e.At)
+			r.Fleet[w].Enqueued++
+			if _, seen := arrivals[e.Request]; !seen {
+				arrivals[e.Request] = e.At
+				budgets[e.Request] = e.B
+			}
+		case obs.KindRoute:
+			if e.Replica >= 0 {
+				repAt(e.Replica).Windows[win(e.At)].Routed++
+			}
+		case obs.KindMigrate:
+			w := win(e.At)
+			r.Fleet[w].Migrations++
+			r.Fleet[w].MigratedTokens += int64(e.Tokens)
+		case obs.KindFinish:
+			w := win(e.At)
+			r.Fleet[w].Finished++
+			miss := false
+			if b := budgets[e.Request]; b > 0 {
+				if arr, ok := arrivals[e.Request]; ok && int64(e.At-arr) > b {
+					miss = true
+				}
+			}
+			if miss {
+				r.Fleet[w].SLOMisses++
+			}
+			if e.Replica >= 0 {
+				rw := &repAt(e.Replica).Windows[w]
+				rw.Finished++
+				if miss {
+					rw.SLOMisses++
+				}
+			}
+			delete(arrivals, e.Request)
+			delete(budgets, e.Request)
+		}
+	}
+
+	// Pass 2: sampler joins.
+	for _, s := range fleetSamples {
+		w := &r.Fleet[win(s.At)]
+		w.MeanOutstanding += float64(s.OutstandingReqs)
+		w.MeanActive += float64(s.Active)
+		w.Samples++
+	}
+	for i := range r.Fleet {
+		w := &r.Fleet[i]
+		if w.Samples > 0 {
+			w.MeanOutstanding /= float64(w.Samples)
+			w.MeanActive /= float64(w.Samples)
+		}
+		if w.Finished > 0 {
+			w.BurnRate = float64(w.SLOMisses) / float64(w.Finished)
+		}
+	}
+	busy := make([][]int, 0)
+	for _, s := range samples {
+		if s.Replica < 0 {
+			continue
+		}
+		rw := &repAt(s.Replica).Windows[win(s.At)]
+		rw.MeanQueue += float64(s.QueueDepth)
+		if s.QueueDepth > rw.MaxQueue {
+			rw.MaxQueue = s.QueueDepth
+		}
+		for len(busy) <= s.Replica {
+			busy = append(busy, make([]int, n))
+		}
+		if s.QueueDepth > 0 {
+			busy[s.Replica][win(s.At)]++
+		}
+		rw.Samples++
+	}
+	for ri, rs := range reps {
+		for i := range rs.Windows {
+			w := &rs.Windows[i]
+			if w.Samples > 0 {
+				w.MeanQueue /= float64(w.Samples)
+				if ri < len(busy) {
+					w.Busy = float64(busy[ri][i]) / float64(w.Samples)
+				}
+			}
+		}
+	}
+
+	for _, rs := range reps {
+		r.Replicas = append(r.Replicas, *rs)
+	}
+	r.Kinds = rollKinds(r.Replicas, n, r.Fleet)
+	return r
+}
+
+// rollKinds merges replica series sharing a kind name, preserving first-
+// appearance order so homogeneous fleets collapse to one deterministic
+// row group.
+func rollKinds(reps []ReplicaSeries, n int, fleet []FleetWindow) []KindSeries {
+	order := make([]string, 0, 4)
+	byKind := make(map[string]*KindSeries)
+	for _, rs := range reps {
+		kind := rs.Kind
+		if kind == "" {
+			kind = "replica"
+		}
+		ks := byKind[kind]
+		if ks == nil {
+			ks = &KindSeries{Kind: kind, Windows: make([]ReplicaWindow, n)}
+			for i := range ks.Windows {
+				ks.Windows[i].Start = fleet[i].Start
+			}
+			byKind[kind] = ks
+			order = append(order, kind)
+		}
+		ks.Replicas++
+		for i := range rs.Windows {
+			src, dst := &rs.Windows[i], &ks.Windows[i]
+			dst.Routed += src.Routed
+			dst.Finished += src.Finished
+			dst.SLOMisses += src.SLOMisses
+			// Sample-weighted merge keeps MeanQueue and Busy true means
+			// over the kind's pooled samples.
+			if src.Samples > 0 {
+				tot := dst.Samples + src.Samples
+				dst.MeanQueue = (dst.MeanQueue*float64(dst.Samples) + src.MeanQueue*float64(src.Samples)) / float64(tot)
+				dst.Busy = (dst.Busy*float64(dst.Samples) + src.Busy*float64(src.Samples)) / float64(tot)
+				dst.Samples = tot
+			}
+			if src.MaxQueue > dst.MaxQueue {
+				dst.MaxQueue = src.MaxQueue
+			}
+		}
+	}
+	out := make([]KindSeries, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKind[k])
+	}
+	return out
+}

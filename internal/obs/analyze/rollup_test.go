@@ -1,0 +1,112 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"loongserve/internal/obs"
+)
+
+func TestRollWindowsAndBurnRate(t *testing.T) {
+	// Two requests: one meets its 1s budget (finish 0.5s after enqueue),
+	// one blows it (finish 3s after enqueue, landing in a later window).
+	budget := int64(time.Second)
+	ev := []obs.Event{
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Request: 1, Tokens: 100, A: 10, B: budget},
+		{At: at(0.1), Kind: obs.KindRoute, Replica: 0, Request: 1},
+		{At: at(0.1), Kind: obs.KindCacheLookup, Replica: 0, Request: 1, A: 100},
+		{At: at(0.2), Kind: obs.KindEnqueue, Replica: -1, Request: 2, Tokens: 100, A: 10, B: budget},
+		{At: at(0.3), Kind: obs.KindRoute, Replica: 1, Request: 2},
+		{At: at(0.3), Kind: obs.KindCacheLookup, Replica: 1, Request: 2, A: 100},
+		{At: at(0.5), Kind: obs.KindFinish, Replica: 0, Request: 1, Tokens: 10, A: int64(at(0.3)), B: 0},
+		{At: at(2.0), Kind: obs.KindMigrate, Replica: 0, Tokens: 64, A: 1, Label: "drain"},
+		{At: at(3.2), Kind: obs.KindFinish, Replica: 1, Request: 2, Tokens: 10, A: int64(at(1.0)), B: int64(at(0.2))},
+	}
+	roll := Roll(ev, nil, nil, RollupConfig{Window: time.Second, Kinds: []string{"loong", "contbatch"}})
+	if roll.Window != time.Second {
+		t.Fatalf("window = %v", roll.Window)
+	}
+	if len(roll.Fleet) != 4 {
+		t.Fatalf("fleet windows = %d, want 4 (span 0..3.2s)", len(roll.Fleet))
+	}
+	w0, w3 := roll.Fleet[0], roll.Fleet[3]
+	if w0.Enqueued != 2 || w0.Finished != 1 || w0.SLOMisses != 0 || w0.BurnRate != 0 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if w3.Finished != 1 || w3.SLOMisses != 1 || w3.BurnRate != 1 {
+		t.Fatalf("window 3 = %+v, want the blown budget accounted there", w3)
+	}
+	if roll.Fleet[2].Migrations != 1 || roll.Fleet[2].MigratedTokens != 64 {
+		t.Fatalf("window 2 migrations = %+v", roll.Fleet[2])
+	}
+	if len(roll.Replicas) != 2 {
+		t.Fatalf("replica series = %d, want 2", len(roll.Replicas))
+	}
+	if roll.Replicas[1].Windows[3].SLOMisses != 1 || roll.Replicas[1].Windows[0].Routed != 1 {
+		t.Fatalf("replica 1 series = %+v", roll.Replicas[1].Windows)
+	}
+	if len(roll.Kinds) != 2 || roll.Kinds[0].Kind != "loong" || roll.Kinds[1].Kind != "contbatch" {
+		t.Fatalf("kinds = %+v", roll.Kinds)
+	}
+}
+
+func TestRollSamplerJoin(t *testing.T) {
+	ev := chain(1, 0, 0, 0, 0.1, 0.1, 0.5, 1.9)
+	samples := []obs.Sample{
+		{At: at(0.5), Replica: 0, QueueDepth: 2},
+		{At: at(0.9), Replica: 0, QueueDepth: 4},
+		{At: at(1.5), Replica: 0, QueueDepth: 0},
+	}
+	fleetSamples := []obs.FleetSample{
+		{At: at(0.5), Active: 2, OutstandingReqs: 3},
+		{At: at(1.5), Active: 2, OutstandingReqs: 1},
+	}
+	roll := Roll(ev, samples, fleetSamples, RollupConfig{Window: time.Second})
+	if len(roll.Fleet) != 2 {
+		t.Fatalf("fleet windows = %d, want 2", len(roll.Fleet))
+	}
+	if roll.Fleet[0].MeanOutstanding != 3 || roll.Fleet[0].MeanActive != 2 {
+		t.Fatalf("fleet window 0 join = %+v", roll.Fleet[0])
+	}
+	rw0 := roll.Replicas[0].Windows[0]
+	if rw0.MeanQueue != 3 || rw0.MaxQueue != 4 || rw0.Busy != 1 || rw0.Samples != 2 {
+		t.Fatalf("replica window 0 = %+v", rw0)
+	}
+	rw1 := roll.Replicas[0].Windows[1]
+	if rw1.Busy != 0 || rw1.MeanQueue != 0 {
+		t.Fatalf("replica window 1 = %+v, want idle", rw1)
+	}
+	// Homogeneous fallback kind name.
+	if len(roll.Kinds) != 1 || roll.Kinds[0].Kind != "replica" {
+		t.Fatalf("kinds = %+v, want single 'replica' bucket", roll.Kinds)
+	}
+}
+
+func TestRollAutoWindowAndEmpty(t *testing.T) {
+	if roll := Roll(nil, nil, nil, RollupConfig{}); len(roll.Fleet) != 0 {
+		t.Fatalf("empty stream produced %d windows", len(roll.Fleet))
+	}
+	// A 0.4s run floors the auto window at 1s: everything in one bucket.
+	ev := chain(1, 0, 0, 0, 0.1, 0.1, 0.2, 0.4)
+	roll := Roll(ev, nil, nil, RollupConfig{})
+	if roll.Window != time.Second || len(roll.Fleet) != 1 {
+		t.Fatalf("auto window = %v over %d buckets, want 1s over 1", roll.Window, len(roll.Fleet))
+	}
+}
+
+func TestWriteRollupRenders(t *testing.T) {
+	ev := chain(1, 0, 0, 0, 0.1, 0.1, 0.5, 1.9)
+	roll := Roll(ev, []obs.Sample{{At: at(0.5), Replica: 0, QueueDepth: 1}}, nil,
+		RollupConfig{Window: time.Second, Kinds: []string{"loong"}})
+	var b strings.Builder
+	if err := WriteRollup(&b, roll); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fleet rollup", "burn", "kind loong", "busy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rollup output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,7 +32,9 @@ type Kind uint8
 // decisions; the engine kinds are bridged from core.TraceKind.
 const (
 	// KindEnqueue: a request entered the gateway. Tokens = input length,
-	// A = output length. Replica is -1 (not yet routed). A request that is
+	// A = output length, B = SLO budget in nanoseconds (0 = no SLO) — so
+	// post-run analysis can compute SLO burn without a join against the
+	// driver's records. Replica is -1 (not yet routed). A request that is
 	// re-routed after its migration destination drained mid-transfer
 	// enqueues again — the second event marks the re-entry into routing.
 	KindEnqueue Kind = iota
@@ -111,6 +113,18 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindByName maps an exported kind name back to its Kind — the inverse of
+// String, used when re-ingesting JSONL streams. The second result is false
+// for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 // EngineKind reports whether k is an engine-bridged elastic event.

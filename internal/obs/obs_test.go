@@ -110,3 +110,74 @@ func TestTimeline(t *testing.T) {
 		}
 	}
 }
+
+// teeProbe records the interleaving Tee produces: which sink saw which
+// event, in global order.
+type teeProbe struct {
+	id  int
+	log *[]int // appended with id on every Emit
+}
+
+func (p *teeProbe) Emit(Event) { *p.log = append(*p.log, p.id) }
+
+// TestTeeEmitOrdering pins the documented guarantee: Tee delivers each
+// event to every sink in slice order, completing one event's fan-out
+// before the next event begins — sinks never observe reordered streams.
+func TestTeeEmitOrdering(t *testing.T) {
+	var log []int
+	tee := Tee{&teeProbe{0, &log}, &teeProbe{1, &log}, &teeProbe{2, &log}}
+	const events = 5
+	for i := 0; i < events; i++ {
+		tee.Emit(Event{At: simevent.Time(i), Kind: KindEnqueue})
+	}
+	if len(log) != 3*events {
+		t.Fatalf("fan-out delivered %d emits, want %d", len(log), 3*events)
+	}
+	for i, id := range log {
+		if id != i%3 {
+			t.Fatalf("delivery %d went to sink %d, want sink %d (in-order fan-out)", i, id, i%3)
+		}
+	}
+}
+
+// TestCollectorResetReusesBacking pins Reset's documented guarantee: the
+// backing array survives, so a reused collector re-fills to its previous
+// high-water mark without allocating and without changing identity.
+func TestCollectorResetReusesBacking(t *testing.T) {
+	var c Collector
+	const n = 128
+	for i := 0; i < n; i++ {
+		c.Emit(Event{At: simevent.Time(i), Kind: KindRoute, Label: "static"})
+	}
+	before := &c.Events[0]
+	c.Reset()
+	if len(c.Events) != 0 || cap(c.Events) < n {
+		t.Fatalf("reset: len=%d cap=%d, want 0 and >= %d", len(c.Events), cap(c.Events), n)
+	}
+	allocs := testing.AllocsPerRun(8, func() {
+		c.Reset()
+		for i := 0; i < n; i++ {
+			c.Emit(Event{At: simevent.Time(i), Kind: KindRoute, Label: "static"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reset-and-refill cycle allocates %.1f, want 0", allocs)
+	}
+	if &c.Events[0] != before {
+		t.Fatal("reset-and-refill moved the backing array — reuse guarantee broken")
+	}
+}
+
+// TestKindByName: the name → kind lookup inverts String for every kind
+// and rejects unknowns.
+func TestKindByName(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Fatal("unknown name accepted")
+	}
+}

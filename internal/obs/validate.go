@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 )
@@ -84,6 +86,66 @@ func ValidateChromeTrace(data []byte) error {
 	}
 	if spans+instants == 0 {
 		return fmt.Errorf("obs: trace has no span or instant events")
+	}
+	return nil
+}
+
+// ValidateJSONL checks that data is a structurally valid event stream of
+// the shape WriteEventsJSONL produces — the JSONL counterpart of
+// ValidateChromeTrace, and the second schema gate CI runs against the
+// bench-smoke artifacts. It verifies that every line is a JSON object with
+// the required fields (at_ns, kind, replica), that every kind name is
+// known, and that timestamps are non-negative and non-decreasing in stream
+// order (the Collector retains arrival order, and the simulator never runs
+// backwards).
+func ValidateJSONL(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		line   int
+		events int
+		lastTS int64 = -1
+	)
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev struct {
+			AtNS    *int64  `json:"at_ns"`
+			Kind    *string `json:"kind"`
+			Replica *int    `json:"replica"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("obs: jsonl line %d: not a valid JSON object: %w", line, err)
+		}
+		if ev.AtNS == nil {
+			return fmt.Errorf("obs: jsonl line %d: missing at_ns", line)
+		}
+		if *ev.AtNS < 0 {
+			return fmt.Errorf("obs: jsonl line %d: negative at_ns %d", line, *ev.AtNS)
+		}
+		if ev.Kind == nil || *ev.Kind == "" {
+			return fmt.Errorf("obs: jsonl line %d: missing kind", line)
+		}
+		if _, ok := KindByName(*ev.Kind); !ok {
+			return fmt.Errorf("obs: jsonl line %d: unknown kind %q", line, *ev.Kind)
+		}
+		if ev.Replica == nil {
+			return fmt.Errorf("obs: jsonl line %d: missing replica", line)
+		}
+		if *ev.AtNS < lastTS {
+			return fmt.Errorf("obs: jsonl line %d: at_ns %d before previous %d (stream must be time-ordered)", line, *ev.AtNS, lastTS)
+		}
+		lastTS = *ev.AtNS
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: jsonl: %w", err)
+	}
+	if events == 0 {
+		return fmt.Errorf("obs: jsonl stream has no events")
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// jsonlFixture renders a small valid event stream through the real
+// exporter, so the validator is tested against what we actually write.
+func jsonlFixture(t *testing.T) []byte {
+	t.Helper()
+	events := []Event{
+		{At: 1e9, Kind: KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 100, A: 20, B: 5e9},
+		{At: 2e9, Kind: KindRoute, Replica: 2, Session: 7, Request: 1, A: -1, Label: "affinity"},
+		{At: 2e9, Kind: KindCacheLookup, Replica: 2, Session: 7, Request: 1, Tokens: 50, A: 100},
+		{At: 5e9, Kind: KindFinish, Replica: 2, Session: 7, Request: 1, Tokens: 20, A: 35e8, B: 1e9},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateJSONLAcceptsExporterOutput(t *testing.T) {
+	if err := ValidateJSONL(jsonlFixture(t)); err != nil {
+		t.Fatalf("exporter output rejected: %v", err)
+	}
+}
+
+func TestValidateJSONLRejections(t *testing.T) {
+	good := string(jsonlFixture(t))
+	lines := strings.Split(strings.TrimSpace(good), "\n")
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty stream", "\n\n", "no events"},
+		{"not json", "{broken\n", "not a valid JSON object"},
+		{"missing at_ns", `{"kind":"route","replica":0}` + "\n", "missing at_ns"},
+		{"negative at_ns", `{"at_ns":-5,"kind":"route","replica":0}` + "\n", "negative at_ns"},
+		{"missing kind", `{"at_ns":1,"replica":0}` + "\n", "missing kind"},
+		{"unknown kind", `{"at_ns":1,"kind":"warp-drive","replica":0}` + "\n", "unknown kind"},
+		{"missing replica", `{"at_ns":1,"kind":"route"}` + "\n", "missing replica"},
+		{"time regression", lines[1] + "\n" + lines[0] + "\n", "before previous"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateJSONL([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("corrupt stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
