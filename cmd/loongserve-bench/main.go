@@ -9,9 +9,14 @@
 // implementations (whole-key LRU and token-block radix) plus the
 // whole-key-vs-radix head-to-head on a branching-session workload.
 //
+// -exp faults prints the fault-tolerance scorecard: the same closed-loop
+// session workload across a ladder of crash/stall/cache-drop rates, with
+// request hedging off and on; every row reports zero lost requests and a
+// clean invariant audit of its full event stream.
+//
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|autoscale|ablations|perf|all [-quick] [-serial]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|faults|autoscale|ablations|perf|all [-quick] [-serial]
 //
 // -exp perf measures the simulator's hot paths against the recorded
 // pre-optimization baseline and writes the perf trajectory to -benchjson
@@ -29,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, autoscale, ablations, perf, all")
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, faults, autoscale, ablations, perf, all")
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
 	serial := flag.Bool("serial", false, "run experiment arms single-threaded (results are byte-identical to parallel)")
 	benchJSON := flag.String("benchjson", "BENCH_SIM.json", "output path for -exp perf (empty = stdout table only)")
@@ -90,6 +95,10 @@ func main() {
 		bench.FleetCacheExperiment(scale).Fprint(out)
 		bench.FleetHeteroExperiment(scale).Fprint(out)
 		bench.FleetAttributionExperiment(scale).Fprint(out)
+		any = true
+	}
+	if run("faults") {
+		bench.FleetChaosExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("autoscale") {

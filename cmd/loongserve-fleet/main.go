@@ -22,6 +22,20 @@
 // replicas, migrating live sessions' KV to survivors over the inter-node
 // link; the run prints cost-normalized goodput and the scaling timeline.
 //
+// Failures are injectable: -faults draws a seeded schedule of replica
+// crashes (the replica and its resident KV destroyed mid-flight; every
+// in-flight request is recovered onto survivors, re-prefilling only what
+// no surviving cache still holds), intake stalls and control-plane
+// metadata cache drops at the given mean rates per simulated minute,
+// scattered over the arrival window. -hedge q arms request hedging: a
+// request still waiting for its first token past the q-th quantile of the
+// observed per-prefilled-token TTFT distribution is duplicated onto a
+// second replica; the first finisher wins and the loser's tokens are
+// charged to the run. Both compose with any routing policy and with -mix
+// (but not -autoscale — the chaos schedule targets a static fleet), print
+// a fault/hedge accounting table, and -audit checks the crash and hedge
+// invariants of the resulting event stream.
+//
 // The fleet can be heterogeneous: -mix composes it from named replica
 // kinds (loong: 8-GPU elastic ESP node; contbatch: single-GPU continuous
 // batching), each with a capability sheet — context envelope, prefill
@@ -73,12 +87,14 @@
 //	    -autoscale -autoscale-kinds contbatch,loong -max-replicas 16 -up-at 8 -down-at 5
 //	loongserve-fleet -policy affinity -trace-out trace.json -telemetry-out telemetry.jsonl
 //	loongserve-fleet -mix loong:1,contbatch:2 -policy capability -trace-out trace.json
+//	loongserve-fleet -policy affinity -closed-loop -faults crash=1,stall=3 -hedge 0.95 -audit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -125,6 +141,9 @@ func main() {
 		cooldown   = flag.Duration("cooldown", 4*time.Second, "minimum time between scaling actions")
 		showEvents = flag.Bool("events", true, "with -autoscale, print the scaling timeline")
 
+		faultsSpec = flag.String("faults", "", "inject a seeded fault schedule: comma list of kind=rate (mean events per simulated minute; kinds: crash, stall, cachedrop), e.g. crash=1,stall=3,cachedrop=1")
+		hedgeQ     = flag.Float64("hedge", 0, "request hedging: per-prefilled-token TTFT quantile arming the hedge timer (typical 0.95-0.99; 0 = off)")
+
 		traceOut     = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace-event JSON of the run to this file (with -policy all: the last policy arm)")
 		telemetryOut = flag.String("telemetry-out", "", "write the sampled per-replica/fleet telemetry time series as JSONL to this file")
 		eventsOut    = flag.String("events-out", "", "write the raw event stream as JSONL to this file (one event per line, obs schema)")
@@ -148,7 +167,8 @@ func main() {
 				"Routes a multi-turn session workload across N simulated engine replicas and\n"+
 				"compares routing policies on goodput, TTFT and prefix-cache hit ratio; with\n"+
 				"-autoscale the fleet grows and shrinks from queue pressure, draining replicas\n"+
-				"by migrating live session KV.\n\nFlags:\n")
+				"by migrating live session KV. -faults injects seeded replica crashes, stalls\n"+
+				"and control-cache drops; -hedge duplicates straggling requests.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -225,8 +245,40 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var faultRates workload.FaultRates
+	if *faultsSpec != "" {
+		faultRates, err = parseFaultRates(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *hedgeQ < 0 || *hedgeQ >= 1 {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -hedge must be a quantile in [0,1) (0 = off)")
+		os.Exit(2)
+	}
+	if *autoScale && (*faultsSpec != "" || *hedgeQ > 0) {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -faults/-hedge run against a static fleet; drop -autoscale")
+		os.Exit(2)
+	}
+
 	scripts := workload.SessionScripts(cfg, *seed)
-	st := workload.SummarizeSessions(workload.OpenLoopTrace(scripts))
+	trace := workload.OpenLoopTrace(scripts)
+	st := workload.SummarizeSessions(trace)
+
+	// The fault schedule is drawn over the arrival window: deterministic per
+	// seed, shared by every policy arm, resolved against live replicas at
+	// fire time.
+	var faultSchedule []workload.Fault
+	if *faultsSpec != "" {
+		var horizon time.Duration
+		if len(trace) > 0 {
+			horizon = trace[len(trace)-1].Arrival
+		}
+		faultSchedule = workload.GenFaults(*seed, faultRates, horizon)
+		fmt.Printf("faults: %d scheduled over %v (%s per simulated minute)\n",
+			len(faultSchedule), horizon.Round(time.Second), *faultsSpec)
+	}
 
 	// Observability: one collector (and sampler) for the run; with a
 	// multi-policy comparison it attaches to the last arm only, so the
@@ -354,6 +406,7 @@ func main() {
 		Header: header,
 	}
 	perReplica := make(map[string][]fleet.ReplicaStats)
+	var faultRows [][]string
 	var simEvents uint64
 	var simWall time.Duration
 	var obsReplicas []fleet.ReplicaStats
@@ -374,13 +427,26 @@ func main() {
 			runCfg.Sampler = sampler
 			obsPolicy = p.Name()
 		}
+		if *hedgeQ > 0 {
+			runCfg.Hedge = fleet.HedgeConfig{Quantile: *hedgeQ}
+		}
 		t0 := time.Now()
 		var res *fleet.Result
 		var err error
-		if mixGroups != nil {
+		switch {
+		case len(faultSchedule) > 0:
+			// Fault injection goes through the composition entry point; a
+			// homogeneous fleet is spelled as one group.
+			if mixGroups != nil {
+				runCfg.Groups = mixGroups
+			} else {
+				runCfg.Groups = []fleet.ReplicaGroup{{Kind: fleet.NewKind(*engine, spec), Count: *replicas}}
+			}
+			res, err = fleet.RunSessionsFaults(scripts, runCfg, cfg.ClosedLoop, faultSchedule)
+		case mixGroups != nil:
 			runCfg.Groups = mixGroups
 			res, err = fleet.RunSessionsGroups(scripts, runCfg, cfg.ClosedLoop)
-		} else {
+		default:
 			runCfg.Replicas = *replicas
 			res, err = fleet.RunSessions(spec, scripts, runCfg, cfg.ClosedLoop)
 		}
@@ -415,8 +481,24 @@ func main() {
 		if runCfg.Obs != nil {
 			obsReplicas = res.Replicas
 		}
+		if len(faultSchedule) > 0 || *hedgeQ > 0 {
+			faultRows = append(faultRows, []string{p.Name(),
+				fmt.Sprint(res.Faults.Crashes), fmt.Sprint(res.Faults.Stalls), fmt.Sprint(res.Faults.CacheDrops),
+				fmt.Sprint(res.Faults.RecoveredRequests), fmt.Sprint(res.Faults.Skipped),
+				fmt.Sprint(res.Hedge.Launched), fmt.Sprint(res.Hedge.Wins), fmt.Sprint(res.Hedge.Losses),
+				fmt.Sprint(res.Hedge.WastedTokens)})
+		}
 	}
 	t.Fprint(os.Stdout)
+	if len(faultRows) > 0 {
+		ft := &bench.Table{
+			Title: "fault & hedge accounting",
+			Header: []string{"policy", "crashes", "stalls", "cachedrops", "recovered", "skipped",
+				"hedged", "wins", "losses", "wasted(tok)"},
+			Rows: faultRows,
+		}
+		ft.Fprint(os.Stdout)
+	}
 	if simEvents > 0 && simWall > 0 {
 		fmt.Printf("simulator: %d events in %v (%.2fM events/s)\n",
 			simEvents, simWall.Round(time.Millisecond), float64(simEvents)/simWall.Seconds()/1e6)
@@ -430,6 +512,38 @@ func main() {
 	outs := obsOutputs{traceOut: *traceOut, telemetryOut: *telemetryOut, eventsOut: *eventsOut,
 		timeline: *obsTimeline, analyze: *analyzeRun, audit: *auditRun}
 	writeObsOutputs(outs, collector, sampler, obsReplicas, obsPolicy)
+}
+
+// parseFaultRates parses the -faults spec, a comma list of kind=rate
+// entries in mean events per simulated minute.
+func parseFaultRates(s string) (workload.FaultRates, error) {
+	var r workload.FaultRates
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return r, fmt.Errorf("loongserve-fleet: -faults entry %q is not kind=rate", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || v < 0 {
+			return r, fmt.Errorf("loongserve-fleet: -faults rate %q is not a nonnegative number", kv[1])
+		}
+		switch workload.FaultKind(strings.TrimSpace(kv[0])) {
+		case workload.FaultCrash:
+			r.CrashPerMin = v
+		case workload.FaultStall:
+			r.StallPerMin = v
+		case workload.FaultCacheDrop:
+			r.CacheDropPerMin = v
+		default:
+			return r, fmt.Errorf("loongserve-fleet: unknown fault kind %q (kinds: %s, %s, %s)",
+				kv[0], workload.FaultCrash, workload.FaultStall, workload.FaultCacheDrop)
+		}
+	}
+	return r, nil
 }
 
 // sinkOrNil converts a possibly-nil *Collector to the obs.Sink interface

@@ -43,7 +43,13 @@ type Scale struct {
 	HeteroDuration float64
 	HeteroRate     float64
 	HeteroLoong    int
-	Seed           int64
+	// Chaos experiment: session arrival horizon (seconds), session rate
+	// (sessions/s) and the crash-rate ladder (crashes per simulated
+	// minute; stall and cache-drop rates derive from each point).
+	ChaosDuration   float64
+	ChaosRate       float64
+	ChaosCrashRates []float64
+	Seed            int64
 	// Workers bounds how many independent experiment arms run concurrently
 	// (each arm owns a full simulator); 0 means one per available CPU, 1
 	// forces serial execution. Results are ordered by arm index either way,
@@ -76,6 +82,9 @@ func FullScale() Scale {
 		HeteroDuration:    240,
 		HeteroRate:        2.8,
 		HeteroLoong:       3,
+		ChaosDuration:     120,
+		ChaosRate:         2.5,
+		ChaosCrashRates:   []float64{0, 0.5, 2},
 		Seed:              42,
 	}
 }
@@ -106,6 +115,9 @@ func QuickScale() Scale {
 		HeteroDuration:    90,
 		HeteroRate:        2.8,
 		HeteroLoong:       2,
+		ChaosDuration:     40,
+		ChaosRate:         3,
+		ChaosCrashRates:   []float64{0, 3},
 		Seed:              42,
 	}
 }

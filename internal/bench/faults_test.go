@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// chaosCell indices into FleetChaosExperiment rows.
+const (
+	chaosColRate    = 0
+	chaosColHedge   = 1
+	chaosColP99     = 4
+	chaosColCrashes = 6
+	chaosColLost    = 11
+	chaosColAudit   = 12
+)
+
+// TestFleetChaosExperimentZeroLostCleanAudit is the chaos scorecard's
+// acceptance: at every failure rate — including nonzero crash rates — no
+// request is lost, the full event stream audits clean, crashes actually
+// fired, and within the faulty pair hedging improves the p99 TTFT tail.
+func TestFleetChaosExperimentZeroLostCleanAudit(t *testing.T) {
+	sc := QuickScale()
+	tb := FleetChaosExperiment(sc)
+	if len(tb.Rows) != len(sc.ChaosCrashRates)*2 {
+		t.Fatalf("%d rows, want %d (rate ladder x hedge on/off)", len(tb.Rows), len(sc.ChaosCrashRates)*2)
+	}
+	p99 := make(map[string]float64) // "rate/hedge" -> p99 TTFT
+	for _, row := range tb.Rows {
+		if row[chaosColLost] != "0" {
+			t.Fatalf("row %v lost requests", row)
+		}
+		if row[chaosColAudit] != "clean" {
+			t.Fatalf("row %v failed the stream audit", row)
+		}
+		if row[chaosColRate] != "0" && row[chaosColCrashes] == "0" {
+			t.Fatalf("row %v scheduled crashes but none fired", row)
+		}
+		v, err := strconv.ParseFloat(row[chaosColP99], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad p99 cell: %v", row, err)
+		}
+		p99[row[chaosColRate]+"/"+row[chaosColHedge]] = v
+	}
+	// The faultiest ladder point: hedging must beat the unhedged tail.
+	top := tb.Rows[len(tb.Rows)-1][chaosColRate]
+	if top == "0" {
+		t.Fatal("ladder has no nonzero failure rate")
+	}
+	if hedged, plain := p99[top+"/on"], p99[top+"/off"]; hedged >= plain {
+		t.Fatalf("hedging did not improve p99 TTFT at %s crashes/min: %.3fs hedged vs %.3fs unhedged", top, hedged, plain)
+	}
+}
+
+// TestFleetChaosParallelDeterminism: the chaos arms — crashes, recovery
+// re-routing, hedge launches and all — replay byte-identically whether run
+// single-threaded or across goroutines.
+func TestFleetChaosParallelDeterminism(t *testing.T) {
+	sc := QuickScale()
+
+	serial := sc
+	serial.Workers = 1
+	parallel := sc
+	parallel.Workers = 4
+
+	a := renderTable(FleetChaosExperiment(serial))
+	b := renderTable(FleetChaosExperiment(parallel))
+	if a != b {
+		t.Fatalf("serial and parallel chaos tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

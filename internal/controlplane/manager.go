@@ -50,6 +50,23 @@ func (m *Manager) AddInstance(id kvcache.InstanceID, c Conn) {
 	m.known[id] = make(map[GroupID]Epoch)
 }
 
+// RemoveInstance deregisters a failed (or decommissioned) instance,
+// closing its connection. The instance cannot be commanded any more —
+// dead instances never ack — so subsequent group pushes skip it; group
+// memberships that still list it must be repaired with Scale. Removing an
+// unknown instance is a no-op.
+func (m *Manager) RemoveInstance(id kvcache.InstanceID) {
+	m.mu.Lock()
+	c := m.conns[id]
+	delete(m.conns, id)
+	delete(m.locks, id)
+	delete(m.known, id)
+	m.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // instLock returns the per-connection lock; operations on disjoint groups
 // proceed concurrently, while two commands to the same instance serialize
 // so request/reply pairs never interleave on one conn.
@@ -120,11 +137,17 @@ func (m *Manager) CreateGroup(id GroupID, members []kvcache.InstanceID, tp int) 
 }
 
 // pushConfigs sends cfg to every listed instance that does not already
-// cache its epoch, and waits for acks.
+// cache its epoch, and waits for acks. Instances with no registered
+// connection (crashed, RemoveInstance'd) are skipped — a dead instance
+// cannot cache anything, and failing the whole push would wedge the
+// survivors.
 func (m *Manager) pushConfigs(cfg *GroupConfig, members []kvcache.InstanceID) error {
 	var stale []kvcache.InstanceID
 	m.mu.Lock()
 	for _, inst := range members {
+		if m.conns[inst] == nil {
+			continue
+		}
 		if m.known[inst][cfg.Group.ID] != cfg.Group.Epoch {
 			stale = append(stale, inst)
 		}
@@ -137,6 +160,9 @@ func (m *Manager) pushConfigs(cfg *GroupConfig, members []kvcache.InstanceID) er
 		go func(i int, inst kvcache.InstanceID) {
 			defer wg.Done()
 			lk := m.instLock(inst)
+			if lk == nil { // removed since the stale scan: dead, skip
+				return
+			}
 			lk.Lock()
 			defer lk.Unlock()
 			errs[i] = m.sendConfig(inst, cfg)
@@ -199,12 +225,11 @@ func (m *Manager) sendConfig(inst kvcache.InstanceID, cfg *GroupConfig) error {
 // resending the group config and retrying once.
 func (m *Manager) command(inst kvcache.InstanceID, cfg *GroupConfig, msg Message, seq uint64) error {
 	m.mu.Lock()
-	conn := m.conns[inst]
+	conn, lk := m.conns[inst], m.locks[inst]
 	m.mu.Unlock()
-	if conn == nil {
+	if conn == nil || lk == nil {
 		return fmt.Errorf("controlplane: no connection to instance %d", inst)
 	}
-	lk := m.instLock(inst)
 	lk.Lock()
 	defer lk.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -246,12 +271,20 @@ func (m *Manager) command(inst kvcache.InstanceID, cfg *GroupConfig, msg Message
 	}
 }
 
-// broadcast sends build(seq) to every member concurrently and collects the
-// first error.
+// broadcast sends msg to every member concurrently and collects the first
+// error. Members with no registered connection (crashed instances removed
+// via RemoveInstance) are skipped: the fleet survives a member's death,
+// and the caller repairs the membership with Scale.
 func (m *Manager) broadcast(cfg *GroupConfig, members []kvcache.InstanceID, msg Message, seq uint64) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(members))
 	for i, inst := range members {
+		m.mu.Lock()
+		alive := m.conns[inst] != nil
+		m.mu.Unlock()
+		if !alive {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, inst kvcache.InstanceID) {
 			defer wg.Done()

@@ -61,6 +61,17 @@ func (c *pipeConn) Send(msg Message) error {
 	if closed {
 		return fmt.Errorf("controlplane: send on closed pipe")
 	}
+	// Check the done channels before the blocking select: with buffer room
+	// available, the three-way select below would otherwise pick the send
+	// arm at random even when a close already happened, letting a message
+	// slip into a pipe whose reader has given up.
+	select {
+	case <-c.done:
+		return fmt.Errorf("controlplane: send on closed pipe")
+	case <-c.peer.done:
+		return fmt.Errorf("controlplane: peer closed")
+	default:
+	}
 	select {
 	case c.out <- buf:
 		return nil

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"loongserve/internal/controlplane"
+	"loongserve/internal/kvcache"
+)
+
+// fleetGroup is the control-plane group ID for the gateway's single elastic
+// group: all active replicas are its members, and every lifecycle change
+// (activation, drain, crash repair) advances its epoch with a ScalePlan.
+const fleetGroup controlplane.GroupID = 1
+
+// fleetControl is the gateway's control plane: one controlplane.Manager on
+// the fleet side, one controlplane.InstanceServer per replica, connected by
+// in-process pipes carrying the real wire encoding. Replica lifecycle
+// transitions are not direct field writes — they are the instance servers'
+// reaction to ScalePlans, so epochs, acks/naks and metadata-cache resends
+// are exercised by every fleet run, and fault injection (DropCaches,
+// RemoveInstance) perturbs exactly the state a real deployment would lose.
+//
+// Concurrency: each instance server runs on its own goroutine, but the sim
+// goroutine blocks inside Manager.Scale until every member has acked, and
+// the ack rides the same pipe the handler's state write preceded — so
+// replica state read after scale() returns is happens-after the handler's
+// write, with no extra locking.
+type fleetControl struct {
+	mgr     *controlplane.Manager
+	servers []*controlplane.InstanceServer
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+func newFleetControl() *fleetControl {
+	return &fleetControl{mgr: controlplane.NewManager()}
+}
+
+// register wires a new replica into the control plane: a pipe pair, the
+// manager-side registration, and the replica's instance server with a
+// lifecycle handler that flips the replica's state on ScalePlans.
+func (fc *fleetControl) register(rep *replica) {
+	mc, ic := controlplane.Pipe()
+	fc.mgr.AddInstance(kvcache.InstanceID(rep.index), mc)
+	srv := controlplane.NewInstanceServer(kvcache.InstanceID(rep.index), ic, &lifecycleHandler{rep: rep})
+	fc.servers = append(fc.servers, srv)
+	fc.wg.Add(1)
+	go func() {
+		defer fc.wg.Done()
+		if err := srv.Serve(); err != nil {
+			panic(fmt.Sprintf("fleet: instance server %d: %v", rep.index, err))
+		}
+	}()
+}
+
+// createGroup installs the initial membership at epoch 1.
+func (fc *fleetControl) createGroup(members []kvcache.InstanceID) error {
+	return fc.mgr.CreateGroup(fleetGroup, members, 1)
+}
+
+// scale advances the group to a new membership; blocks until every
+// reachable member acked the plan.
+func (fc *fleetControl) scale(kind controlplane.ScaleKind, members []kvcache.InstanceID) error {
+	return fc.mgr.Scale(fleetGroup, kind, members)
+}
+
+// remove tears down a crashed replica's connection: the manager stops
+// commanding it, and its serve loop exits on EOF.
+func (fc *fleetControl) remove(idx int) {
+	fc.mgr.RemoveInstance(kvcache.InstanceID(idx))
+}
+
+// dropCaches wipes one instance's ESP metadata cache (the partial-failure
+// fault): the next command it receives draws a NakUnknownGroup and the
+// manager's config-resend path.
+func (fc *fleetControl) dropCaches(idx int) {
+	fc.servers[idx].DropCaches()
+}
+
+func (fc *fleetControl) stats() controlplane.Stats { return fc.mgr.Stats() }
+
+// close shuts every connection down and waits for the serve loops to exit.
+// Idempotent: Finalize and constructor error paths both call it.
+func (fc *fleetControl) close() {
+	if fc.closed {
+		return
+	}
+	fc.closed = true
+	fc.mgr.Close()
+	fc.wg.Wait()
+}
+
+// lifecycleHandler reacts to control-plane messages on behalf of one
+// replica. Only ScalePlans matter to the lifecycle: a plan listing the
+// replica activates a warming one, a plan omitting it drains an active one.
+// Data-plane commands (prefill/decode/release) are accepted unexercised —
+// the fleet's per-request path stays on the engine fast path.
+type lifecycleHandler struct {
+	controlplane.NopHandler
+	rep *replica
+}
+
+// Scale implements controlplane.Handler.
+func (h *lifecycleHandler) Scale(cfg *controlplane.GroupConfig, plan *controlplane.ScalePlan) error {
+	member := false
+	for _, id := range plan.Members {
+		if int(id) == h.rep.index {
+			member = true
+			break
+		}
+	}
+	switch {
+	case member && h.rep.state == ReplicaWarming:
+		h.rep.state = ReplicaActive
+	case !member && h.rep.state == ReplicaActive:
+		h.rep.state = ReplicaDraining
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"loongserve/internal/kvcache"
+	"loongserve/internal/obs"
+	"loongserve/internal/obs/analyze"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+	"loongserve/internal/workload"
+)
+
+// submitAt schedules a direct stateless submission, the fault tests'
+// workhorse: toyEngine arithmetic (1us/input token prefill, 20us/output
+// token decode, FIFO) keeps every timeline exact.
+func submitAt(sim *simevent.Sim, g *Gateway, id int, e workload.Entry, at time.Duration) {
+	r := &serving.Request{
+		ID: kvcache.RequestID(id), InputLen: e.InputLen, OutputLen: e.OutputLen,
+		Arrival: simevent.Time(at),
+	}
+	sim.At(simevent.Time(at), func() { g.Submit(r, e) })
+}
+
+// TestCrashRecoversInFlightRequests is the headline crash property: a
+// replica dying mid-flight loses no request — everything it held re-enters
+// routing and completes on the survivors.
+func TestCrashRecoversInFlightRequests(t *testing.T) {
+	sim := simevent.New()
+	g, err := NewGateway(toySpec(), Config{Replicas: 3, Policy: NewRoundRobin()}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 requests at t=0, round-robin 10 per replica, 300us each FIFO:
+	// replica 0 finishes its queue at 3ms. Crash it at 1ms — exactly 3 of
+	// its requests have finished, 7 are doomed.
+	for i := 1; i <= 30; i++ {
+		submitAt(sim, g, i, workload.Entry{InputLen: 100, OutputLen: 10}, 0)
+	}
+	sim.At(simevent.Time(time.Millisecond), func() {
+		if err := g.CrashReplica(0); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	sim.Run()
+
+	if g.Completed() != 30 {
+		t.Fatalf("%d of 30 requests completed after crash", g.Completed())
+	}
+	if g.replicas[0].state != ReplicaFailed {
+		t.Fatalf("crashed replica state %v, want failed", g.replicas[0].state)
+	}
+	if g.ActiveReplicas() != 2 || g.ProvisionedReplicas() != 2 {
+		t.Fatalf("active %d provisioned %d after crash, want 2/2", g.ActiveReplicas(), g.ProvisionedReplicas())
+	}
+	res := g.Finalize()
+	if res.Faults.Crashes != 1 || res.Faults.RecoveredRequests != 7 {
+		t.Fatalf("fault stats %+v, want 1 crash, 7 recovered", res.Faults)
+	}
+	seen := make(map[int64]bool)
+	for _, rec := range res.Records {
+		if seen[rec.ID] {
+			t.Fatalf("request %d finished twice", rec.ID)
+		}
+		seen[rec.ID] = true
+		if rec.FirstToken < rec.Arrival || rec.Finish < rec.FirstToken {
+			t.Fatalf("request %d has an inverted timeline: %+v", rec.ID, rec)
+		}
+	}
+	if len(seen) != 30 {
+		t.Fatalf("%d distinct records, want 30", len(seen))
+	}
+	var sawCrash bool
+	for _, ev := range res.Events {
+		if ev.Kind == "crash" && ev.Replica == 0 {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no crash scale-event recorded")
+	}
+}
+
+// TestCrashRefusals: the crash API rejects targets that would corrupt the
+// run — unknown indices, non-active replicas, and the last active replica
+// (routing must always have a destination).
+func TestCrashRefusals(t *testing.T) {
+	sim := simevent.New()
+	g, err := NewGateway(toySpec(), Config{Replicas: 2, Policy: NewRoundRobin()}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CrashReplica(-1); err == nil {
+		t.Fatal("crash of replica -1 accepted")
+	}
+	if err := g.CrashReplica(5); err == nil {
+		t.Fatal("crash of unknown replica accepted")
+	}
+	if err := g.CrashReplica(0); err != nil {
+		t.Fatalf("first crash refused: %v", err)
+	}
+	if err := g.CrashReplica(0); err == nil {
+		t.Fatal("second crash of the same replica accepted")
+	}
+	if err := g.CrashReplica(1); err == nil {
+		t.Fatal("crash of the last active replica accepted")
+	}
+	if err := g.StallReplica(0, time.Second); err == nil {
+		t.Fatal("stall of a crashed replica accepted")
+	}
+	if err := g.DropControlCaches(0); err == nil {
+		t.Fatal("cache drop on a crashed replica accepted")
+	}
+}
+
+// TestCrashRecoverySalvagesSurvivingKV: recovery re-prefills only the
+// suffix no surviving cache covers. A shared prompt group warmed on both
+// replicas means the rescued request salvages the full shared prefix —
+// visible as the Recover event's token count.
+func TestCrashRecoverySalvagesSurvivingKV(t *testing.T) {
+	col := &obs.Collector{}
+	sim := simevent.New()
+	g, err := NewGateway(toySpec(), Config{Replicas: 2, Policy: NewRoundRobin(), Obs: col}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := workload.Entry{InputLen: 1000, OutputLen: 10, PromptGroup: 5, SharedLen: 800}
+	// Warm the group on both replicas (round-robin), finishing at 1.2ms.
+	submitAt(sim, g, 1, shared, 0)
+	submitAt(sim, g, 2, shared, 0)
+	// The victim request lands on replica 0 at 2ms (hit 800, 200us
+	// prefill remaining) and dies with it at 2.1ms.
+	submitAt(sim, g, 3, shared, 2*time.Millisecond)
+	sim.At(simevent.Time(2*time.Millisecond+100*time.Microsecond), func() {
+		if err := g.CrashReplica(0); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	sim.Run()
+
+	if g.Completed() != 3 {
+		t.Fatalf("%d of 3 completed", g.Completed())
+	}
+	g.Finalize()
+	var recovers []obs.Event
+	for _, e := range col.Events {
+		if e.Kind == obs.KindRecover {
+			recovers = append(recovers, e)
+		}
+	}
+	if len(recovers) != 1 {
+		t.Fatalf("%d recover events, want 1", len(recovers))
+	}
+	if recovers[0].Tokens != 800 {
+		t.Fatalf("recovery salvaged %d tokens, want the 800 shared on the survivor", recovers[0].Tokens)
+	}
+	if recovers[0].A != 0 {
+		t.Fatalf("recover names crashed replica %d, want 0", recovers[0].A)
+	}
+	if vs := analyze.Audit(col.Events); len(vs) != 0 {
+		t.Fatalf("crash/recover stream failed audit: %v", vs)
+	}
+}
+
+// TestHedgeDuplicatesStragglerExactly is the hedging contract on exact toy
+// arithmetic: five clean completions calibrate the per-token TTFT baseline
+// at 1us/token, a stall then pins the primary, the hedge fires after
+// quantile x input = 2ms, and the copy wins on the healthy replica — the
+// record carries the primary's ID and the copy's fast timeline, and the
+// never-delivered primary burns nothing.
+func TestHedgeDuplicatesStragglerExactly(t *testing.T) {
+	col := &obs.Collector{}
+	sim := simevent.New()
+	cfg := Config{
+		Replicas: 2, Policy: NewLeastLoaded(), Obs: col,
+		Hedge: HedgeConfig{Quantile: 0.5, MinSamples: 5, MinInput: 1},
+	}
+	g, err := NewGateway(toySpec(), cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration: 5 spaced-out requests, each done before the next
+	// arrives, all tie-broken onto replica 0. TTFT = 1000us for 1000
+	// input tokens -> every baseline sample is exactly 1us/token.
+	for i := 1; i <= 5; i++ {
+		submitAt(sim, g, i, workload.Entry{InputLen: 1000, OutputLen: 10}, time.Duration(i-1)*2*time.Millisecond)
+	}
+	// Freeze replica 0 before the straggler arrives.
+	sim.At(simevent.Time(19*time.Millisecond), func() {
+		if err := g.StallReplica(0, 100*time.Millisecond); err != nil {
+			t.Errorf("stall: %v", err)
+		}
+	})
+	// The straggler: 2000 input tokens at t=20ms, routed to the (idle but
+	// stalled) replica 0. Hedge delay = q50(1us/token) x 2000 = 2ms, so
+	// the copy launches at 22ms on replica 1 and first-tokens at 24ms.
+	submitAt(sim, g, 6, workload.Entry{InputLen: 2000, OutputLen: 10}, 20*time.Millisecond)
+	sim.Run()
+
+	if g.Completed() != 6 {
+		t.Fatalf("%d of 6 completed", g.Completed())
+	}
+	res := g.Finalize()
+	if res.Hedge.Launched != 1 || res.Hedge.Wins != 1 || res.Hedge.Losses != 0 {
+		t.Fatalf("hedge stats %+v, want exactly one launched-and-won", res.Hedge)
+	}
+	if res.Hedge.WastedTokens != 0 {
+		t.Fatalf("wasted %d tokens, want 0 (the stalled primary never reached its engine)", res.Hedge.WastedTokens)
+	}
+	if res.Faults.Stalls != 1 {
+		t.Fatalf("stall stats %+v, want 1 stall", res.Faults)
+	}
+	var straggler *struct {
+		first, finish time.Duration
+	}
+	for _, rec := range res.Records {
+		if rec.ID == 6 {
+			straggler = &struct{ first, finish time.Duration }{rec.FirstToken, rec.Finish}
+		}
+		if rec.ID > 6 {
+			t.Fatalf("synthetic hedge ID %d leaked into the records", rec.ID)
+		}
+	}
+	if straggler == nil {
+		t.Fatal("straggler's record missing")
+	}
+	if straggler.first != 24*time.Millisecond {
+		t.Fatalf("straggler first token at %v, want 24ms (launch 22ms + 2000us prefill)", straggler.first)
+	}
+	if straggler.finish != 24*time.Millisecond+200*time.Microsecond {
+		t.Fatalf("straggler finish at %v, want 24.2ms", straggler.finish)
+	}
+	counts := obs.Counts(col.Events)
+	if counts[obs.KindHedgeLaunch] != 1 || counts[obs.KindHedgeWin] != 1 || counts[obs.KindHedgeLose] != 0 {
+		t.Fatalf("hedge events launch/win/lose = %d/%d/%d, want 1/1/0",
+			counts[obs.KindHedgeLaunch], counts[obs.KindHedgeWin], counts[obs.KindHedgeLose])
+	}
+	if vs := analyze.Audit(col.Events); len(vs) != 0 {
+		t.Fatalf("hedged stream failed audit: %v", vs)
+	}
+}
+
+// TestControlPlaneLifecycleStats is the tentpole's re-homing acceptance
+// test: every lifecycle transition rides the typed control plane, so the
+// manager's wire stats move in lockstep with gateway operations — configs
+// on construction and scale-up, commands on every membership change, and
+// the Nak/resend repair when an instance's metadata cache is wiped.
+func TestControlPlaneLifecycleStats(t *testing.T) {
+	sim := simevent.New()
+	g, err := NewGateway(toySpec(), Config{Replicas: 2, Policy: NewRoundRobin()}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ControlStats()
+	if st.ConfigsSent != 2 {
+		t.Fatalf("configs sent at construction = %d, want 2 (one per member)", st.ConfigsSent)
+	}
+	if st.Naks != 0 || st.Resends != 0 {
+		t.Fatalf("fresh control plane already repaired something: %+v", st)
+	}
+
+	sim.At(0, func() {
+		if _, err := g.AddReplica(10 * time.Millisecond); err != nil {
+			t.Errorf("add: %v", err)
+		}
+	})
+	sim.At(simevent.Time(20*time.Millisecond), func() {
+		if err := g.DropControlCaches(1); err != nil {
+			t.Errorf("cache drop: %v", err)
+		}
+	})
+	sim.At(simevent.Time(21*time.Millisecond), func() {
+		if err := g.DrainReplica(2); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	sim.Run()
+
+	if g.replicas[2].state != ReplicaRetired {
+		t.Fatalf("drained replica state %v, want retired", g.replicas[2].state)
+	}
+	st = g.ControlStats()
+	if st.ConfigsSent <= 2 {
+		t.Fatalf("scale-up pushed no configs: %+v", st)
+	}
+	if st.Commands < 3 {
+		t.Fatalf("membership changes sent %d commands, want >= 3 scale plans", st.Commands)
+	}
+	if st.Naks < 1 || st.Resends < 1 {
+		t.Fatalf("cache drop drew no Nak/resend repair: %+v", st)
+	}
+	g.Finalize()
+}
+
+// chaosConfig builds a fresh 4-replica hedged config (policies carry
+// internal state, so each run needs its own instance).
+func chaosConfig(col *obs.Collector) Config {
+	cfg := Config{
+		Groups: []ReplicaGroup{{Kind: NewKind("toy", toySpec()), Count: 4}},
+		Policy: NewPrefixAffinity(),
+		Hedge:  HedgeConfig{Quantile: 0.9, MinSamples: 10, MinInput: 1},
+	}
+	if col != nil {
+		cfg.Obs = col
+	}
+	return cfg
+}
+
+func chaosFaults() []workload.Fault {
+	return []workload.Fault{
+		{At: 500 * time.Millisecond, Kind: workload.FaultStall, Slot: 1, Stall: 300 * time.Millisecond},
+		{At: 800 * time.Millisecond, Kind: workload.FaultCacheDrop, Slot: 2},
+		{At: time.Second, Kind: workload.FaultCrash, Slot: 0},
+		{At: 1800 * time.Millisecond, Kind: workload.FaultStall, Slot: 0, Stall: 200 * time.Millisecond},
+		{At: 2500 * time.Millisecond, Kind: workload.FaultCrash, Slot: 1},
+	}
+}
+
+// TestFaultScheduleDeterminism: the same scripts, config and fault
+// schedule replay to byte-identical records and fault/hedge accounting —
+// the property the chaos experiment's serial-vs-parallel check rests on.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	scripts := chatScripts(40, 6, 0.3, 11)
+	run := func() *Result {
+		res, err := RunSessionsFaults(scripts, chaosConfig(nil), true, chaosFaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("identical chaos runs produced different records")
+	}
+	if a.Faults != b.Faults || a.Hedge != b.Hedge {
+		t.Fatalf("identical chaos runs diverged: %+v/%+v vs %+v/%+v", a.Faults, a.Hedge, b.Faults, b.Hedge)
+	}
+	if a.Faults.Crashes != 2 {
+		t.Fatalf("fault stats %+v, want both scheduled crashes fired", a.Faults)
+	}
+
+	// The generator itself is deterministic by seed.
+	rates := workload.FaultRates{CrashPerMin: 2, StallPerMin: 4, CacheDropPerMin: 3}
+	f1 := workload.GenFaults(9, rates, time.Minute)
+	f2 := workload.GenFaults(9, rates, time.Minute)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("GenFaults not deterministic by seed")
+	}
+	if len(f1) == 0 {
+		t.Fatal("GenFaults produced an empty schedule at nonzero rates")
+	}
+}
+
+// TestChaosRunAuditsClean is the end-to-end fault story: a session
+// workload under crashes, stalls and control-cache drops — with hedging
+// armed — completes every request and emits a stream the full invariant
+// auditor passes, new fault/hedge kinds included.
+func TestChaosRunAuditsClean(t *testing.T) {
+	scripts := chatScripts(50, 8, 0.2, 7)
+	col := &obs.Collector{}
+	res, err := RunSessionsFaults(scripts, chaosConfig(col), true, chaosFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Crashes == 0 {
+		t.Fatalf("chaos run absorbed no crashes: %+v", res.Faults)
+	}
+	if vs := analyze.Audit(col.Events); len(vs) != 0 {
+		t.Fatalf("chaos stream failed audit (%d violations), first: %s", len(vs), vs[0])
+	}
+}

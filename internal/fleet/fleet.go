@@ -31,6 +31,21 @@
 // transfer is cheaper than recomputing the prefix cold (policy.go). The
 // autoscale package closes the loop, growing and shrinking the fleet from
 // queue pressure.
+//
+// Failure is a first-class scenario (faults.go): CrashReplica destroys a
+// replica and its resident KV mid-flight — every in-flight request it
+// held is recovered onto survivors, re-prefilling only the suffix no
+// surviving cache still covers, while the control plane repairs the
+// group membership around the dead instance; StallReplica freezes one
+// replica's intake (the straggler pathology); DropControlCaches wipes an
+// instance's control-plane metadata, exercising the manager's Nak/resend
+// repair. Config.Hedge arms request hedging (hedge.go): a request still
+// waiting for its first token past a learned TTFT quantile is duplicated
+// onto a second replica, the first finisher wins, and the loser's tokens
+// are charged honestly to Result.Hedge. InjectFaults stages a seeded
+// workload.Fault schedule onto the simulator; RunSessionsFaults is the
+// chaos-experiment entry point, whose closed-loop completion check is
+// itself the proof that no request was lost.
 package fleet
 
 import (
@@ -118,6 +133,12 @@ type Config struct {
 	// MaxEvents bounds the simulation as a divergence backstop.
 	MaxEvents uint64
 
+	// Hedge enables request hedging: a long prefill still unfinished after a
+	// quantile-derived delay is duplicated to a second replica, first
+	// finisher wins, and the loser's work is charged to the run honestly
+	// (see HedgeConfig and Result.Hedge). The zero value disables hedging.
+	Hedge HedgeConfig
+
 	// Obs, when non-nil, receives the run's observability event stream:
 	// request-lifecycle events (enqueue, route, cache lookup, migrate,
 	// finish), replica lifecycle, and — for engines implementing
@@ -157,7 +178,7 @@ type MigrationStats struct {
 // ScaleEvent is one fleet-elasticity event, timestamped in simulated time.
 type ScaleEvent struct {
 	At      time.Duration
-	Kind    string // "provision", "active", "drain", "migrate", "retire"
+	Kind    string // "provision", "active", "drain", "migrate", "retire", "crash", "stall", "cachedrop"
 	Replica int
 	// ReplicaKind names the kind of the replica the event concerns.
 	ReplicaKind string
@@ -191,6 +212,10 @@ type Result struct {
 	// Elasticity accounting (zero-valued for static runs that never scale).
 	Events     []ScaleEvent
 	Migrations MigrationStats
+	// Fault-tolerance accounting (zero-valued for runs without injected
+	// faults or hedging).
+	Faults FaultStats
+	Hedge  HedgeStats
 	// SimEvents is the number of discrete events the run's simulator fired
 	// — the wall-clock-free work measure behind events/sec in BENCH_SIM.
 	SimEvents uint64

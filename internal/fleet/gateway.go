@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"loongserve/internal/cluster"
+	"loongserve/internal/controlplane"
 	"loongserve/internal/costmodel"
 	"loongserve/internal/kvcache"
 	"loongserve/internal/metrics"
@@ -20,7 +21,9 @@ import (
 // warm-up), serve traffic while active, stop accepting arrivals while
 // draining (in-flight requests finish, resident session KV migrates to
 // survivors), and are retired once empty. Retired replicas stop accruing
-// replica-seconds.
+// replica-seconds. Failed is the abnormal exit: a crash destroys the
+// replica's resident KV and kills its in-flight work with no drain — the
+// gateway recovers affected requests on survivors (see CrashReplica).
 type ReplicaState int
 
 // Replica lifecycle states, in order.
@@ -29,6 +32,7 @@ const (
 	ReplicaActive
 	ReplicaDraining
 	ReplicaRetired
+	ReplicaFailed
 )
 
 func (s ReplicaState) String() string {
@@ -41,6 +45,8 @@ func (s ReplicaState) String() string {
 		return "draining"
 	case ReplicaRetired:
 		return "retired"
+	case ReplicaFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -82,9 +88,17 @@ type replica struct {
 
 	state         ReplicaState
 	provisionedAt simevent.Time
-	retiredAt     simevent.Time
-	migrationsOut int // KV transfers still in flight off this replica
-	migInTokens   int // KV tokens in flight toward this replica (drain targeting)
+	retiredAt     simevent.Time // also the crash instant for Failed replicas
+	migrationsOut int           // KV transfers still in flight off this replica
+	migInTokens   int           // KV tokens in flight toward this replica (drain targeting)
+
+	// stalledUntil defers engine arrivals while a stall fault is active —
+	// the straggler model request hedging is measured against.
+	stalledUntil simevent.Time
+	// sink is the engine's gated obs sink: crashing the replica flips it
+	// dead so the still-simulating engine's ghost events never reach the
+	// stream. Nil when observability is off or the engine is not Traceable.
+	sink *gatedSink
 
 	outTokens int // routed prompt+output tokens not yet completed
 	outReqs   int
@@ -199,6 +213,49 @@ type inflight struct {
 	fullInput int
 	effInput  int
 	hit       int
+
+	// Original request parameters, retained so crash recovery and hedging
+	// can clone the request without the driver's help.
+	arrival simevent.Time
+	output  int
+	slo     time.Duration
+
+	// gen increments on every reuse of this record; deferred closures
+	// (hedge timers, stall deferrals) capture it so a recycled record never
+	// satisfies a stale guard.
+	gen uint64
+
+	// Hedge linkage. A primary with a launched copy carries the copy's ID
+	// in hedgeID; the copy carries its primary's ID in hedgeOf (0 = this is
+	// a primary) and the primary's replica index in peerRep.
+	hedgeID kvcache.RequestID
+	hedgeOf kvcache.RequestID
+	peerRep int
+
+	// recovered marks a crash-recovery re-submission: its completion is
+	// kept out of the hedge TTFT baseline (best effort — the flag rides the
+	// direct-delivery path only).
+	recovered bool
+
+	// delivered flips when the engine actually receives the request
+	// (arriveOrStall may defer it through a stall). A cancelled copy that
+	// never reached its engine settles its load inline instead of
+	// ghosting — there will never be an engine completion to settle it.
+	delivered bool
+}
+
+// gatedSink forwards engine events until the replica dies. All access is
+// on the simulation goroutine.
+type gatedSink struct {
+	sink obs.Sink
+	dead bool
+}
+
+// Emit implements obs.Sink.
+func (s *gatedSink) Emit(e obs.Event) {
+	if !s.dead {
+		s.sink.Emit(e)
+	}
 }
 
 // Gateway is an elastic multi-replica front end on one discrete-event
@@ -220,6 +277,24 @@ type Gateway struct {
 
 	replicas []*replica
 	pending  map[kvcache.RequestID]*inflight
+
+	// ctl is the control plane: replica lifecycle changes (activation,
+	// drains, crash repair) travel as typed controlplane messages between
+	// the fleet manager and each replica's instance server, so epochs,
+	// acks/naks and metadata-cache resends are exercised by every run.
+	ctl *fleetControl
+
+	// ghosts holds cancelled inflights — hedge losers whose engines run to
+	// completion regardless (engines cannot cancel). Their completions
+	// settle load accounting and are otherwise dropped.
+	ghosts map[kvcache.RequestID]*inflight
+
+	// Hedging state: the distribution of observed TTFT seconds per
+	// prefilled token, and a memoized quantile of it (recomputed only when
+	// the sample count changed).
+	hedgeDist   metrics.Dist
+	hedgeQ      float64
+	hedgeQAtN   int
 
 	// sessionHome tracks, per session cache key, the replica that currently
 	// owns (or is about to receive) the session's KV — the gateway's routing
@@ -327,6 +402,10 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 	default:
 		return nil, fmt.Errorf("fleet: unknown cache %q (want %q or %q)", cfg.Cache, CacheWholeKey, CacheRadix)
 	}
+	if err := cfg.Hedge.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Hedge = cfg.Hedge.withDefaults()
 	sim.MaxEvents = cfg.MaxEvents
 
 	g := &Gateway{
@@ -336,10 +415,12 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		defaultKind:  cfg.Groups[0].Kind,
 		kinds:        make(map[*ReplicaKind]bool),
 		pending:      make(map[kvcache.RequestID]*inflight),
+		ghosts:       make(map[kvcache.RequestID]*inflight),
 		sessionHome:  make(map[PrefixKey]int),
 		sessionChain: make(map[PrefixKey][]uint64),
 		res:          &Result{Policy: cfg.Policy.Name()},
 		sloCache:     make(map[[2]int]time.Duration),
+		ctl:          newFleetControl(),
 	}
 	if cfg.StreamMetrics {
 		g.res.Acc = &metrics.Accumulator{}
@@ -349,20 +430,30 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		for i := 0; i < gr.Count; i++ {
 			rep, err := g.newReplica(gr.Kind)
 			if err != nil {
+				g.ctl.close()
 				return nil, err
 			}
 			rep.state = ReplicaActive
 		}
 	}
+	// The initial composition is the control-plane group's epoch-1
+	// membership (construction is not a lifecycle *change*; every scale-up,
+	// drain and crash repair after this travels as a ScalePlan).
+	if err := g.ctl.createGroup(g.activeIDs()); err != nil {
+		g.ctl.close()
+		return nil, fmt.Errorf("fleet: control-plane group creation: %w", err)
+	}
 	// The reference kind may have provisioned no replica yet (a zero-count
 	// first group under autoscaling); resolve it — and the SLO override —
 	// by probe so pricing is available before the first scale-up.
 	if err := g.defaultKind.Resolve(); err != nil {
+		g.ctl.close()
 		return nil, err
 	}
 	g.sloKind = g.defaultKind
 	if cfg.SLOKind != nil {
 		if err := cfg.SLOKind.Resolve(); err != nil {
+			g.ctl.close()
 			return nil, err
 		}
 		g.sloKind = cfg.SLOKind
@@ -438,9 +529,11 @@ func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 	if g.obsSink != nil {
 		// Engines that can mirror their elastic events pick up the fleet's
 		// sink with this replica's attribution, before Init so nothing is
-		// missed.
+		// missed. The gate lets a crash silence the engine's remaining
+		// simulated events without an engine-side cancel API.
 		if tr, ok := rep.engine.(serving.Traceable); ok {
-			tr.AttachObsSink(g.obsSink, rep.index)
+			rep.sink = &gatedSink{sink: g.obsSink}
+			tr.AttachObsSink(rep.sink, rep.index)
 		}
 	}
 	if err := rep.engine.Init(rep.env); err != nil {
@@ -449,6 +542,7 @@ func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 	kind.resolveFrom(c, rep.env.CM, rep.engine)
 	g.kinds[kind] = true
 	g.replicas = append(g.replicas, rep)
+	g.ctl.register(rep)
 	return rep, nil
 }
 
@@ -544,16 +638,34 @@ func (g *Gateway) ActiveReplicas() int {
 }
 
 // ProvisionedReplicas returns the count of replicas currently accruing
-// cost: warming, active or draining.
+// cost: warming, active or draining. Failed replicas, like retired ones,
+// have stopped costing anything.
 func (g *Gateway) ProvisionedReplicas() int {
 	n := 0
 	for _, rep := range g.replicas {
-		if rep.state != ReplicaRetired {
+		if rep.state != ReplicaRetired && rep.state != ReplicaFailed {
 			n++
 		}
 	}
 	return n
 }
+
+// activeIDs returns the control-plane instance IDs (replica indices) of
+// the currently active replicas, index-ordered.
+func (g *Gateway) activeIDs() []kvcache.InstanceID {
+	ids := make([]kvcache.InstanceID, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		if rep.state == ReplicaActive {
+			ids = append(ids, kvcache.InstanceID(rep.index))
+		}
+	}
+	return ids
+}
+
+// ControlStats returns the control-plane manager's protocol counters —
+// configs pushed, commands, naks, cache-miss resends — the assertion
+// surface proving lifecycle changes really travel the wire.
+func (g *Gateway) ControlStats() controlplane.Stats { return g.ctl.stats() }
 
 func (g *Gateway) event(kind, cause string, rep int, format string, args ...any) {
 	g.res.Events = append(g.res.Events, ScaleEvent{
@@ -599,12 +711,22 @@ func (g *Gateway) AddReplicaKind(kind *ReplicaKind, warmup time.Duration) (int, 
 	return rep.index, nil
 }
 
-// activate flips a warming replica into the routable set.
+// activate flips a warming replica into the routable set, by scaling the
+// control-plane group up to include it. The replica's own instance server
+// applies the ScalePlan (its handler flips the state); a new instance
+// first receives the group config through the metadata-cache push, so
+// every activation exercises the config/ack path.
 func (g *Gateway) activate(rep *replica) {
 	if rep.state != ReplicaWarming {
 		return
 	}
-	rep.state = ReplicaActive
+	members := append(g.activeIDs(), kvcache.InstanceID(rep.index))
+	if err := g.ctl.scale(controlplane.ScaleUp, members); err != nil {
+		panic(fmt.Sprintf("fleet: control-plane scale-up of replica %d: %v", rep.index, err))
+	}
+	if rep.state != ReplicaActive {
+		panic(fmt.Sprintf("fleet: replica %d is %v after control-plane scale-up", rep.index, rep.state))
+	}
 	g.event("active", "", rep.index, "serving")
 }
 
@@ -698,7 +820,21 @@ func (g *Gateway) DrainReplica(idx int) error {
 	if g.ActiveReplicas() <= 1 {
 		return fmt.Errorf("fleet: cannot drain the last active replica")
 	}
-	rep.state = ReplicaDraining
+	// The drain is a control-plane scale-down: the departing replica sees
+	// itself absent from the new membership and flips to draining; the
+	// group epoch advances for the survivors.
+	members := make([]kvcache.InstanceID, 0, len(g.replicas))
+	for _, id := range g.activeIDs() {
+		if int(id) != idx {
+			members = append(members, id)
+		}
+	}
+	if err := g.ctl.scale(controlplane.ScaleDown, members); err != nil {
+		return fmt.Errorf("fleet: control-plane scale-down of replica %d: %w", idx, err)
+	}
+	if rep.state != ReplicaDraining {
+		return fmt.Errorf("fleet: replica %d is %v after control-plane scale-down", idx, rep.state)
+	}
 	g.event("drain", "", idx, "%d in-flight requests, %d cached tokens", rep.outReqs, rep.cacheUsed())
 
 	var delay time.Duration
@@ -860,15 +996,11 @@ func (g *Gateway) deliver(rep *replica, r *serving.Request, e workload.Entry, in
 	r.InputLen = full - hit
 	g.emitCache(e.SessionID, r.ID, rep.index, hit, full)
 
-	var fl *inflight
-	if k := len(g.flFree); k > 0 {
-		fl = g.flFree[k-1]
-		g.flFree[k-1] = nil
-		g.flFree = g.flFree[:k-1]
-	} else {
-		fl = &inflight{}
+	fl := g.newInflight()
+	*fl = inflight{
+		rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit,
+		arrival: r.Arrival, output: r.OutputLen, slo: r.SLOBudget, gen: fl.gen,
 	}
-	*fl = inflight{rep: rep, entry: e, fullInput: full, effInput: r.InputLen, hit: hit}
 	g.pending[r.ID] = fl
 	rep.outTokens += fl.effInput + r.OutputLen
 	rep.outReqs++
@@ -879,13 +1011,23 @@ func (g *Gateway) deliver(rep *replica, r *serving.Request, e workload.Entry, in
 		rep.stats.HitRequests++
 		rep.stats.HitTokens += int64(hit)
 	}
-	rep.engine.Arrive(r)
+	g.armHedge(r.ID, fl)
+	g.arriveOrStall(rep, r, fl)
 }
 
 // complete is every replica's completion sink: it settles gateway
 // accounting, refreshes the prefix cache (or hands the session KV to a
 // survivor when the serving replica is draining), and emits the record.
 func (g *Gateway) complete(rep *replica, r *serving.Request) {
+	if rep.state == ReplicaFailed {
+		// The replica crashed; its engine keeps simulating (there is no
+		// cancel API) but its completions are fictions — the gateway already
+		// recovered or promoted every request it held.
+		return
+	}
+	if g.settleGhost(rep, r) {
+		return
+	}
 	fl := g.pending[r.ID]
 	if fl == nil || fl.rep != rep {
 		panic(fmt.Sprintf("fleet: replica %d completed unknown request %d", rep.index, r.ID))
@@ -894,14 +1036,21 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 	rep.outTokens -= fl.effInput + r.OutputLen
 	rep.outReqs--
 	// fl stays live through the rest of this function, then recycles.
-	defer func() { g.flFree = append(g.flFree, fl) }()
+	defer func() { g.freeInflight(fl) }()
+
+	// The TTFT baseline must fold only never-hedged completions, so sample
+	// before the hedge pair resolves (which clears the linkage).
+	g.noteTTFT(fl, r)
+	// If this request was half of a hedge pair, settle it: the other copy
+	// becomes a ghost, and the finish reports under the primary's identity.
+	finishID := g.resolveHedge(rep, r, fl)
 
 	// Finish is emitted before the session-KV bookkeeping below so the
 	// stream reads causally: a drain-time "handoff" migration moves KV the
 	// finished request just produced, and auditors bound migrated tokens by
 	// the session context the Finish established. Same timestamp either
 	// way — only intra-instant order changes.
-	g.emitFinish(rep.index, fl.entry.SessionID, r)
+	g.emitFinishID(rep.index, fl.entry.SessionID, finishID, r)
 
 	if fl.entry.SessionID != 0 {
 		key := SessionKey(fl.entry.SessionID)
@@ -945,6 +1094,7 @@ func (g *Gateway) complete(rep *replica, r *serving.Request) {
 	}
 
 	rec := r.Record()
+	rec.ID = int64(finishID)
 	rec.InputLen = fl.fullInput
 	if g.res.Acc != nil {
 		g.res.Acc.Add(rec)
@@ -992,6 +1142,7 @@ func (g *Gateway) SessionLocations(sessionID int64) map[int]int {
 // Finalize assembles the run's Result: per-replica stats, replica-seconds
 // and the makespan. Call after the simulator has run to completion.
 func (g *Gateway) Finalize() *Result {
+	g.ctl.close()
 	end := g.sim.Now()
 	g.res.End = time.Duration(end)
 	g.res.SimEvents = g.sim.Fired()
@@ -1003,8 +1154,8 @@ func (g *Gateway) Finalize() *Result {
 		rep.stats.CacheRejected = rep.cacheRejected()
 		g.res.Replicas[i] = rep.stats
 		stop := end
-		if rep.state == ReplicaRetired {
-			stop = rep.retiredAt
+		if rep.state == ReplicaRetired || rep.state == ReplicaFailed {
+			stop = rep.retiredAt // retirement or crash instant
 		}
 		secs := (time.Duration(stop) - time.Duration(rep.provisionedAt)).Seconds()
 		g.res.ReplicaSeconds += secs

@@ -66,13 +66,15 @@ func (g *Gateway) emitCache(session int64, req kvcache.RequestID, rep, hit, full
 	})
 }
 
-func (g *Gateway) emitFinish(rep int, session int64, r *serving.Request) {
+// emitFinishID records a completion under an explicit request identity —
+// a hedge winner finishes under its primary's ID, not the synthetic copy's.
+func (g *Gateway) emitFinishID(rep int, session int64, id kvcache.RequestID, r *serving.Request) {
 	if g.obsSink == nil {
 		return
 	}
 	g.obsSink.Emit(obs.Event{
 		At: g.sim.Now(), Kind: obs.KindFinish, Replica: rep, Group: -1,
-		Session: session, Request: int64(r.ID),
+		Session: session, Request: int64(id),
 		Tokens: r.OutputLen, A: int64(r.FirstToken), B: int64(r.Arrival),
 	})
 }
@@ -118,6 +120,69 @@ func (g *Gateway) emitLifecycle(kind string, rep int) {
 	})
 }
 
+// emitCrash records a replica failure: the in-flight requests killed and
+// resident prefix-KV destroyed with it. Every event attributed to the
+// replica after this one is a stream defect (the auditor's
+// event-after-crash invariant).
+func (g *Gateway) emitCrash(rep, inFlight, kvLost int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindCrash, Replica: rep, Group: -1,
+		Tokens: inFlight, A: int64(kvLost), Label: g.replicas[rep].kind.Name,
+	})
+}
+
+// emitRecover records one crashed request's rescue, immediately before its
+// recovery re-enqueue: salvaged = session KV tokens still warm on a
+// survivor (the re-prefill is only the unshared suffix).
+func (g *Gateway) emitRecover(session int64, req kvcache.RequestID, salvaged, crashedRep int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindRecover, Replica: -1, Group: -1,
+		Session: session, Request: int64(req),
+		Tokens: salvaged, A: int64(crashedRep),
+	})
+}
+
+// emitHedgeLaunch records a straggler's duplicate submission. The event is
+// attributed to the hedge destination; the request identity is the
+// primary's (the hedge copy's synthetic ID never appears in the stream).
+func (g *Gateway) emitHedgeLaunch(session int64, req kvcache.RequestID, dst, primary, input int, elapsed time.Duration) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindHedgeLaunch, Replica: dst, Group: -1,
+		Session: session, Request: int64(req),
+		Tokens: input, A: int64(primary), B: int64(elapsed),
+	})
+}
+
+func (g *Gateway) emitHedgeWin(session int64, req kvcache.RequestID, winner, loser int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindHedgeWin, Replica: winner, Group: -1,
+		Session: session, Request: int64(req), A: int64(loser),
+	})
+}
+
+func (g *Gateway) emitHedgeLose(session int64, req kvcache.RequestID, loser, burned, winner int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindHedgeLose, Replica: loser, Group: -1,
+		Session: session, Request: int64(req),
+		Tokens: burned, A: int64(winner),
+	})
+}
+
 // noteSession records the session-key → session-id mapping emitMigrate
 // resolves drain-time transfers through.
 func (g *Gateway) noteSession(key PrefixKey, session int64) {
@@ -149,6 +214,9 @@ func (g *Gateway) sampleTick() {
 		case ReplicaRetired:
 			fs.Retired++
 			continue // retired replicas stop producing per-replica rows
+		case ReplicaFailed:
+			fs.Failed++
+			continue // crashed replicas cost nothing and report nothing
 		}
 		fs.CostUnits += rep.kind.CostUnits
 		sm := obs.Sample{

@@ -166,7 +166,7 @@ func TestObsNilSinkEmitsAllocFree(t *testing.T) {
 		g.emitEnqueue(7, r)
 		g.emitRoute(7, r.ID, 1, -1)
 		g.emitCache(7, r.ID, 1, 50, 100)
-		g.emitFinish(1, 7, r)
+		g.emitFinishID(1, 7, r.ID, r)
 		g.emitMigrate(PrefixKey(99), 0, 1, 500, time.Millisecond, "drain")
 		g.emitLifecycle("drain", 1)
 		g.noteSession(PrefixKey(99), 7)
@@ -191,7 +191,7 @@ func BenchmarkObsNilSinkEmit(b *testing.B) {
 		g.emitEnqueue(7, r)
 		g.emitRoute(7, r.ID, 1, -1)
 		g.emitCache(7, r.ID, 1, 50, 100)
-		g.emitFinish(1, 7, r)
+		g.emitFinishID(1, 7, r.ID, r)
 	}
 }
 

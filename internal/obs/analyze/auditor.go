@@ -50,6 +50,18 @@ const (
 	// request's first Enqueue timestamp — the two books of record for
 	// "when did this request arrive" disagree.
 	ArrivalMismatch
+	// EventAfterCrash: any event attributed to (or migrating KV toward) a
+	// replica the stream already crashed. A crash is instant death — unlike
+	// a drain there is no tail of legitimate completions, so a single event
+	// from the corpse means a silencing (gated-sink) defect.
+	EventAfterCrash
+	// RecoverWithoutCrash: a Recover event naming a crashed replica (A)
+	// that the stream never saw a Crash for — recovery without a cause.
+	RecoverWithoutCrash
+	// DuplicateHedgeWin: a second HedgeWin for the same request. A hedge
+	// pair resolves exactly once; two winners means the same request's
+	// output was produced (and counted) twice.
+	DuplicateHedgeWin
 
 	numViolationKinds
 )
@@ -67,6 +79,9 @@ var violationNames = [numViolationKinds]string{
 	CacheHitExceedsInput:    "cache-hit-exceeds-input",
 	MigrateExceedsSessionKV: "migrate-exceeds-session-kv",
 	ArrivalMismatch:         "arrival-mismatch",
+	EventAfterCrash:         "event-after-crash",
+	RecoverWithoutCrash:     "recover-without-crash",
+	DuplicateHedgeWin:       "duplicate-hedge-win",
 }
 
 func (k ViolationKind) String() string {
@@ -110,6 +125,8 @@ type auditReq struct {
 	session  int64
 	input    int // full input length
 	replica  int // last routed destination
+	hedgeTo  int // live hedge copy's replica, -1 when unhedged
+	hedgeWon bool
 	firstEnq simevent.Time
 }
 
@@ -123,6 +140,7 @@ type Auditor struct {
 	reqs       map[int64]*auditReq
 	sessionCtx map[int64]int64 // session → largest finished context (KV upper bound)
 	retired    map[int]bool
+	crashed    map[int]bool
 	last       simevent.Time
 	seen       int
 	violations []Violation
@@ -134,6 +152,7 @@ func NewAuditor() *Auditor {
 		reqs:       make(map[int64]*auditReq),
 		sessionCtx: make(map[int64]int64),
 		retired:    make(map[int]bool),
+		crashed:    make(map[int]bool),
 	}
 }
 
@@ -161,6 +180,14 @@ func (a *Auditor) Emit(e obs.Event) {
 		a.flag(EventOnRetiredReplica, e, "%s on retired replica %d", e.Kind, e.Replica)
 	}
 
+	// The crash check is stricter than the retired one: a crash is an
+	// instant, so even same-instant stragglers are defects. Only the Crash
+	// event itself (handled in the switch, where a duplicate is flagged)
+	// and gateway-level Autoscale decisions are exempt.
+	if e.Kind != obs.KindCrash && e.Kind != obs.KindAutoscale && e.Replica >= 0 && a.crashed[e.Replica] {
+		a.flag(EventAfterCrash, e, "%s on crashed replica %d", e.Kind, e.Replica)
+	}
+
 	switch e.Kind {
 	case obs.KindEnqueue:
 		r := a.reqs[e.Request]
@@ -168,7 +195,7 @@ func (a *Auditor) Emit(e obs.Event) {
 		case r == nil:
 			a.reqs[e.Request] = &auditReq{
 				state: stEnqueued, session: e.Session, input: e.Tokens,
-				replica: -1, firstEnq: e.At,
+				replica: -1, hedgeTo: -1, firstEnq: e.At,
 			}
 		case r.state == stRouted:
 			// Legal re-enqueue: the routed migration's destination drained
@@ -193,6 +220,14 @@ func (a *Auditor) Emit(e obs.Event) {
 		r := a.reqs[e.Request]
 		if r == nil || r.state == stEnqueued {
 			a.flag(LookupBeforeRoute, e, "cache lookup before any route")
+			return
+		}
+		if r.state == stDelivered && r.hedgeTo >= 0 && e.Replica == r.hedgeTo {
+			// A hedge copy's lookup on its own destination: the primary is
+			// already delivered and stays so.
+			if int64(e.Tokens) > e.A {
+				a.flag(CacheHitExceedsInput, e, "hit %d tokens of a %d-token input", e.Tokens, e.A)
+			}
 			return
 		}
 		if r.state != stRouted {
@@ -220,7 +255,7 @@ func (a *Auditor) Emit(e obs.Event) {
 			a.flag(FinishBeforeDeliver, e, "finish in state %s", auditStateNames[r.state])
 			return
 		}
-		if e.Replica != r.replica {
+		if e.Replica != r.replica && e.Replica != r.hedgeTo {
 			a.flag(ReplicaMismatch, e, "finish on replica %d, routed to %d", e.Replica, r.replica)
 		}
 		if e.B != int64(r.firstEnq) {
@@ -237,6 +272,9 @@ func (a *Auditor) Emit(e obs.Event) {
 		if dst := int(e.A); dst >= 0 && a.retired[dst] {
 			a.flag(EventOnRetiredReplica, e, "migration into retired replica %d", dst)
 		}
+		if dst := int(e.A); dst >= 0 && a.crashed[dst] {
+			a.flag(EventAfterCrash, e, "migration into crashed replica %d", dst)
+		}
 		if e.Session != 0 {
 			if ctx, ok := a.sessionCtx[e.Session]; ok && int64(e.Tokens) > ctx {
 				a.flag(MigrateExceedsSessionKV, e, "moved %d KV tokens, session has materialized at most %d", e.Tokens, ctx)
@@ -244,6 +282,37 @@ func (a *Auditor) Emit(e obs.Event) {
 		}
 	case obs.KindRetire:
 		a.retired[e.Replica] = true
+	case obs.KindCrash:
+		if a.crashed[e.Replica] {
+			a.flag(EventAfterCrash, e, "second crash of replica %d", e.Replica)
+		}
+		a.crashed[e.Replica] = true
+	case obs.KindRecover:
+		// A is the crashed replica the request is being rescued from.
+		if !(e.A >= 0 && a.crashed[int(e.A)]) {
+			a.flag(RecoverWithoutCrash, e, "recovery from replica %d, which never crashed", e.A)
+		}
+		if r := a.reqs[e.Request]; r != nil {
+			// The rescue re-enters routing: put the machine in the routed
+			// state so the recovery Enqueue takes the legal back-edge.
+			r.state = stRouted
+			r.hedgeTo = -1
+		}
+	case obs.KindHedgeLaunch:
+		if r := a.reqs[e.Request]; r != nil {
+			r.hedgeTo = e.Replica
+		}
+	case obs.KindHedgeWin:
+		if r := a.reqs[e.Request]; r != nil {
+			if r.hedgeWon {
+				a.flag(DuplicateHedgeWin, e, "second hedge win")
+			}
+			r.hedgeWon = true
+		}
+	case obs.KindHedgeLose:
+		if r := a.reqs[e.Request]; r != nil {
+			r.hedgeTo = -1
+		}
 	}
 }
 

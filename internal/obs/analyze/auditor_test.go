@@ -161,6 +161,82 @@ func TestAuditMigrateExceedsSessionKV(t *testing.T) {
 	}
 }
 
+// TestAuditCrashHedgeRecoverClean is the well-formed fault story: request 1
+// straggles on replica 0, hedges to replica 1, the hedge wins and finishes
+// under the primary identity; replica 0 then crashes with request 2 in
+// flight, which is recovered and re-runs on replica 1. Zero violations.
+func TestAuditCrashHedgeRecoverClean(t *testing.T) {
+	ev := []obs.Event{
+		// Request 1: delivered to replica 0, hedged to replica 1, hedge wins.
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 1000, A: 100},
+		{At: at(0.1), Kind: obs.KindRoute, Replica: 0, Session: 7, Request: 1},
+		{At: at(0.2), Kind: obs.KindCacheLookup, Replica: 0, Session: 7, Request: 1, Tokens: 0, A: 1000},
+		{At: at(0.8), Kind: obs.KindHedgeLaunch, Replica: 1, Session: 7, Request: 1, Tokens: 1000, A: 0},
+		{At: at(0.8), Kind: obs.KindCacheLookup, Replica: 1, Session: 7, Request: 1, Tokens: 0, A: 1000},
+		{At: at(1.5), Kind: obs.KindHedgeWin, Replica: 1, Session: 7, Request: 1, A: 0},
+		{At: at(1.5), Kind: obs.KindFinish, Replica: 1, Session: 7, Request: 1, Tokens: 100, A: int64(at(1.4)), B: int64(at(0))},
+		// Request 2: in flight on replica 0 when it crashes; recovered onto 1.
+		{At: at(1.0), Kind: obs.KindEnqueue, Replica: -1, Session: 8, Request: 2, Tokens: 500, A: 50},
+		{At: at(1.1), Kind: obs.KindRoute, Replica: 0, Session: 8, Request: 2},
+		{At: at(1.2), Kind: obs.KindCacheLookup, Replica: 0, Session: 8, Request: 2, Tokens: 0, A: 500},
+		{At: at(2.0), Kind: obs.KindCrash, Replica: 0, Tokens: 1, A: 800},
+		{At: at(2.0), Kind: obs.KindRecover, Replica: -1, Session: 8, Request: 2, Tokens: 0, A: 0},
+		{At: at(2.0), Kind: obs.KindEnqueue, Replica: -1, Session: 8, Request: 2, Tokens: 500, A: 50},
+		{At: at(2.0), Kind: obs.KindRoute, Replica: 1, Session: 8, Request: 2},
+		{At: at(2.1), Kind: obs.KindCacheLookup, Replica: 1, Session: 8, Request: 2, Tokens: 0, A: 500},
+		{At: at(3.0), Kind: obs.KindFinish, Replica: 1, Session: 8, Request: 2, Tokens: 50, A: int64(at(2.8)), B: int64(at(1.0))},
+	}
+	if vs := Audit(byTime(ev)); len(vs) != 0 {
+		t.Fatalf("clean crash/hedge/recover stream flagged: %v", vs)
+	}
+}
+
+func TestAuditEventAfterCrash(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev,
+		obs.Event{At: at(2.5), Kind: obs.KindCrash, Replica: 0, Tokens: 0, A: 0},
+		// A lifecycle event from the corpse: the gated sink failed.
+		obs.Event{At: at(3.0), Kind: obs.KindDrain, Replica: 0},
+	)
+	v := wantViolation(t, Audit(ev), EventAfterCrash)
+	if v.Replica != 0 {
+		t.Fatalf("violation names replica %d, want 0", v.Replica)
+	}
+
+	// Migration INTO a crashed replica is the same defect.
+	ev[len(ev)-1] = obs.Event{At: at(3.0), Kind: obs.KindMigrate, Replica: 1, Session: 7, Tokens: 10, A: 0, Label: "drain"}
+	wantViolation(t, Audit(ev), EventAfterCrash)
+
+	// And so is a second crash of the same replica.
+	ev[len(ev)-1] = obs.Event{At: at(3.0), Kind: obs.KindCrash, Replica: 0}
+	wantViolation(t, Audit(ev), EventAfterCrash)
+}
+
+func TestAuditRecoverWithoutCrash(t *testing.T) {
+	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev, obs.Event{
+		At: at(2.5), Kind: obs.KindRecover, Replica: -1, Session: 9, Request: 3, A: 1,
+	})
+	v := wantViolation(t, Audit(ev), RecoverWithoutCrash)
+	if v.Request != 3 {
+		t.Fatalf("violation names request %d, want 3", v.Request)
+	}
+}
+
+func TestAuditDuplicateHedgeWin(t *testing.T) {
+	ev := []obs.Event{
+		{At: at(0), Kind: obs.KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 1000, A: 100},
+		{At: at(0.1), Kind: obs.KindRoute, Replica: 0, Session: 7, Request: 1},
+		{At: at(0.2), Kind: obs.KindCacheLookup, Replica: 0, Session: 7, Request: 1, Tokens: 0, A: 1000},
+		{At: at(0.8), Kind: obs.KindHedgeLaunch, Replica: 1, Session: 7, Request: 1, Tokens: 1000, A: 0},
+		{At: at(0.9), Kind: obs.KindCacheLookup, Replica: 1, Session: 7, Request: 1, Tokens: 0, A: 1000},
+		{At: at(1.5), Kind: obs.KindHedgeWin, Replica: 1, Session: 7, Request: 1, A: 0},
+		{At: at(1.5), Kind: obs.KindHedgeWin, Replica: 1, Session: 7, Request: 1, A: 0},
+		{At: at(1.5), Kind: obs.KindFinish, Replica: 1, Session: 7, Request: 1, Tokens: 100, A: int64(at(1.4)), B: int64(at(0))},
+	}
+	wantViolation(t, Audit(ev), DuplicateHedgeWin)
+}
+
 func TestAuditorOnlineMatchesPostHoc(t *testing.T) {
 	ev := chain(1, 7, 0, 0, 0.1, 0.2, 1.0, 2.0)
 	ev = append(ev, chain(2, 7, 1, 0.5, 0.6, 0.7, 1.5, 3.0)...)

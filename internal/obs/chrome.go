@@ -291,6 +291,35 @@ func (cw *chromeWriter) event(e Event) {
 			{"replica", float64(e.Replica)}, {"outstanding", float64(e.Tokens)},
 			{"active", float64(e.A)}, {"warming", float64(e.B)},
 		})
+	case KindCrash:
+		pid := chromePIDReplicaBase + int64(e.Replica)
+		name := "crash"
+		if e.Label != "" {
+			name = "crash:" + e.Label
+		}
+		cw.instant(pid, chromeTIDLifecycle, at, name, argList{
+			{"inflight", float64(e.Tokens)}, {"kv_lost", float64(e.A)},
+		})
+	case KindRecover:
+		args := argList{
+			{"req", float64(e.Request)}, {"salvaged", float64(e.Tokens)}, {"from", float64(e.A)},
+		}
+		if e.Session != 0 {
+			cw.instant(chromePIDSessions, e.Session, at, "recover", args)
+		} else {
+			cw.instant(chromePIDGateway, chromeTIDRouter, at, "recover", args)
+		}
+	case KindHedgeLaunch:
+		pid := chromePIDReplicaBase + int64(e.Replica)
+		cw.instant(pid, chromeTIDRequests, at, "hedge-launch", argList{
+			{"req", float64(e.Request)}, {"in", float64(e.Tokens)},
+			{"primary", float64(e.A)}, {"elapsed_ns", float64(e.B)},
+		})
+	case KindHedgeWin, KindHedgeLose:
+		pid := chromePIDReplicaBase + int64(e.Replica)
+		cw.instant(pid, chromeTIDRequests, at, e.Kind.String(), argList{
+			{"req", float64(e.Request)}, {"tokens", float64(e.Tokens)}, {"other", float64(e.A)},
+		})
 	default: // engine-bridged kinds
 		pid := chromePIDReplicaBase + int64(e.Replica)
 		cw.instant(pid, chromeTIDEngine, at, e.Kind.String(), argList{

@@ -28,8 +28,12 @@ type Kind uint8
 
 // Event kinds. The request-lifecycle chain for a routed request is
 // Enqueue → Route → CacheLookup → (Migrate)* → Finish; replica lifecycle
-// is Provision → Activate → (Drain → Retire); Autoscale marks controller
-// decisions; the engine kinds are bridged from core.TraceKind.
+// is Provision → Activate → (Drain → Retire), with Crash the abnormal
+// exit; Autoscale marks controller decisions; the engine kinds are
+// bridged from core.TraceKind. The fault-tolerance kinds (Crash, Recover,
+// HedgeLaunch, HedgeWin, HedgeLose) annotate the chain: a crashed
+// request's Recover precedes its recovery re-enqueue, and a hedged
+// request resolves with exactly one of HedgeWin/HedgeLose per launch.
 const (
 	// KindEnqueue: a request entered the gateway. Tokens = input length,
 	// A = output length, B = SLO budget in nanoseconds (0 = no SLO) — so
@@ -81,6 +85,30 @@ const (
 	// dedicated mapping (future TraceKind values bridge here rather than
 	// being dropped).
 	KindEngineEvent
+	// Fault-tolerance kinds (appended after the engine range so
+	// EngineKind's contiguous check stays valid).
+	//
+	// KindCrash: a replica failed, destroying its resident KV and killing
+	// its in-flight work. Replica = crashed replica, Tokens = in-flight
+	// requests lost, A = resident prefix-KV tokens destroyed, Label =
+	// replica kind name. No event attributed to the replica may follow.
+	KindCrash
+	// KindRecover: one crashed request re-entering routing. Replica = -1
+	// (the re-route happens next), Tokens = salvaged KV tokens still warm
+	// on surviving replicas, A = the crashed replica it was rescued from.
+	// Emitted immediately before the request's recovery re-enqueue.
+	KindRecover
+	// KindHedgeLaunch: a straggling request was duplicated to a second
+	// replica. Replica = hedge destination, Tokens = input length,
+	// A = primary replica, B = elapsed ns since arrival at launch.
+	KindHedgeLaunch
+	// KindHedgeWin: the hedge copy finished first. Replica = winning hedge
+	// replica, A = losing primary replica.
+	KindHedgeWin
+	// KindHedgeLose: the primary finished first (or the hedge replica
+	// crashed). Replica = losing hedge replica, Tokens = tokens of work
+	// the loser burns anyway (engines cannot cancel), A = winning replica.
+	KindHedgeLose
 
 	numKinds
 )
@@ -106,6 +134,11 @@ var kindNames = [numKinds]string{
 	KindDissolve:     "dissolve",
 	KindPiggyback:    "piggyback",
 	KindEngineEvent:  "engine-event",
+	KindCrash:        "crash",
+	KindRecover:      "recover",
+	KindHedgeLaunch:  "hedge-launch",
+	KindHedgeWin:     "hedge-win",
+	KindHedgeLose:    "hedge-lose",
 }
 
 func (k Kind) String() string {

@@ -40,6 +40,9 @@ type FleetSample struct {
 	Warming  int
 	Draining int
 	Retired  int
+	// Failed counts crashed replicas (cumulative: a crashed replica never
+	// leaves the Failed state).
+	Failed int
 	// OutstandingReqs counts routed, unfinished requests gateway-wide.
 	OutstandingReqs int
 	// CostUnits is the provisioned (non-retired) cost-unit total.

@@ -29,6 +29,74 @@ func TestValidateJSONLAcceptsExporterOutput(t *testing.T) {
 	}
 }
 
+// faultFixtureEvents is a synthetic stream exercising every
+// fault-tolerance kind (crash, recover, hedge launch/win/lose) alongside
+// the ordinary request chain — the schema gates must pass traces from
+// chaos runs unchanged.
+func faultFixtureEvents() []Event {
+	return []Event{
+		{At: 1e9, Kind: KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 100, A: 20},
+		{At: 1e9, Kind: KindRoute, Replica: 0, Session: 7, Request: 1, A: -1, Label: "affinity"},
+		{At: 1e9, Kind: KindCacheLookup, Replica: 0, Session: 7, Request: 1, Tokens: 0, A: 100},
+		{At: 2e9, Kind: KindHedgeLaunch, Replica: 1, Session: 7, Request: 1, Tokens: 100, A: 0, B: 1e9},
+		{At: 3e9, Kind: KindCrash, Replica: 0, Tokens: 1, A: 4096, Label: "default"},
+		{At: 3e9, Kind: KindRecover, Replica: -1, Session: 7, Request: 1, Tokens: 64, A: 0},
+		{At: 3e9, Kind: KindEnqueue, Replica: -1, Session: 7, Request: 1, Tokens: 100, A: 20},
+		{At: 3e9, Kind: KindRoute, Replica: 2, Session: 7, Request: 1, A: -1, Label: "affinity"},
+		{At: 3e9, Kind: KindCacheLookup, Replica: 2, Session: 7, Request: 1, Tokens: 64, A: 100},
+		{At: 4e9, Kind: KindHedgeWin, Replica: 1, Session: 7, Request: 1, A: 2},
+		{At: 4e9, Kind: KindHedgeLose, Replica: 2, Session: 7, Request: 1, Tokens: 120, A: 1},
+		{At: 4e9, Kind: KindFinish, Replica: 1, Session: 7, Request: 1, Tokens: 20, A: 35e8, B: 1e9},
+	}
+}
+
+// TestValidateJSONLAcceptsFaultKinds: chaos-run streams (crash, recover,
+// hedge events) pass the JSONL schema gate end to end.
+func TestValidateJSONLAcceptsFaultKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, faultFixtureEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSONL(buf.Bytes()); err != nil {
+		t.Fatalf("fault-kind stream rejected: %v", err)
+	}
+}
+
+// TestValidateChromeTraceAcceptsFaultKinds: the Chrome exporter renders
+// crash/recover/hedge events into instants the structural validator
+// accepts.
+func TestValidateChromeTraceAcceptsFaultKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, faultFixtureEvents(), nil, ChromeOptions{Policy: "affinity"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("fault-kind trace rejected: %v", err)
+	}
+	for _, want := range []string{"crash:default", "recover", "hedge-launch", "hedge-win", "hedge-lose"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("rendered trace missing %q event", want)
+		}
+	}
+}
+
+// TestFaultKindNames: the new kinds resolve through KindByName (the JSONL
+// re-ingestion path) and unknown fault-ish names stay rejected.
+func TestFaultKindNames(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"crash": KindCrash, "recover": KindRecover,
+		"hedge-launch": KindHedgeLaunch, "hedge-win": KindHedgeWin, "hedge-lose": KindHedgeLose,
+	} {
+		got, ok := KindByName(name)
+		if !ok || got != want {
+			t.Fatalf("KindByName(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	if _, ok := KindByName("hedge-tie"); ok {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
 func TestValidateJSONLRejections(t *testing.T) {
 	good := string(jsonlFixture(t))
 	lines := strings.Split(strings.TrimSpace(good), "\n")

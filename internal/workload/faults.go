@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind names an injectable fleet fault.
+type FaultKind string
+
+// Fault kinds. Crash destroys a replica's resident KV and kills its
+// in-flight work; Stall freezes a replica's arrivals for a while (the
+// straggler model request hedging defends against); CacheDrop wipes one
+// instance's control-plane metadata cache (the partial failure the
+// manager's Nak/resend path repairs).
+const (
+	FaultCrash     FaultKind = "crash"
+	FaultStall     FaultKind = "stall"
+	FaultCacheDrop FaultKind = "cachedrop"
+)
+
+// Fault is one scheduled fault. Slot is an abstract target selector: the
+// injector resolves it against the replicas alive at fire time (slot mod
+// live count), so a schedule stays meaningful whatever the fleet has scaled
+// to — and stays deterministic, because resolution depends only on
+// simulated state.
+type Fault struct {
+	At    time.Duration
+	Kind  FaultKind
+	Slot  int
+	Stall time.Duration // stall duration; zero for other kinds
+}
+
+// FaultRates parameterizes a generated fault schedule as mean events per
+// simulated minute, the operator-facing unit (CLI -faults flag).
+type FaultRates struct {
+	CrashPerMin     float64
+	StallPerMin     float64
+	CacheDropPerMin float64
+	// StallMean is the mean of the exponentially distributed stall length
+	// (default 3s).
+	StallMean time.Duration
+}
+
+// GenFaults draws a deterministic fault schedule over [0, horizon): for
+// each kind, a count matching the configured rate in expectation (the
+// fractional part resolved by one Bernoulli draw), fire times uniform over
+// the horizon, targets uniform over slots. Sorted by time so injection can
+// stage the schedule directly.
+func GenFaults(seed int64, r FaultRates, horizon time.Duration) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	stallMean := r.StallMean
+	if stallMean <= 0 {
+		stallMean = 3 * time.Second
+	}
+	minutes := horizon.Minutes()
+	var out []Fault
+	gen := func(kind FaultKind, perMin float64) {
+		expected := perMin * minutes
+		n := int(expected)
+		if rng.Float64() < expected-float64(n) {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			f := Fault{
+				At:   time.Duration(rng.Float64() * float64(horizon)),
+				Kind: kind,
+				Slot: rng.Intn(1 << 16),
+			}
+			if kind == FaultStall {
+				f.Stall = time.Duration(rng.ExpFloat64() * float64(stallMean))
+			}
+			out = append(out, f)
+		}
+	}
+	gen(FaultCrash, r.CrashPerMin)
+	gen(FaultStall, r.StallPerMin)
+	gen(FaultCacheDrop, r.CacheDropPerMin)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Slot < b.Slot
+	})
+	return out
+}
