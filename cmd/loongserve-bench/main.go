@@ -14,9 +14,16 @@
 // request hedging off and on; every row reports zero lost requests and a
 // clean invariant audit of its full event stream.
 //
+// -exp cachedir prints the cache-content-aware-routing scorecard: routing
+// over the gateway's global cache directory (ContentAffinity, with and
+// without the fleet-shared cold KV tier) against prefix-affinity,
+// modulo-hash and choose-2 placement, at equal per-replica cache capacity
+// on a branching + long-document workload under drain/crash/link
+// degradation churn; every arm audits its full event stream.
+//
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|faults|autoscale|ablations|perf|all [-quick] [-serial]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|faults|cachedir|autoscale|ablations|perf|all [-quick] [-serial]
 //
 // -exp perf measures the simulator's hot paths against the recorded
 // pre-optimization baseline and writes the perf trajectory to -benchjson
@@ -34,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, faults, autoscale, ablations, perf, all")
+	exp := flag.String("exp", "all", "experiment to run: fig2, fig3, fig10, fig11, fig12, fig13, fig14, fig15, fleet, faults, cachedir, autoscale, ablations, perf, all")
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
 	serial := flag.Bool("serial", false, "run experiment arms single-threaded (results are byte-identical to parallel)")
 	benchJSON := flag.String("benchjson", "BENCH_SIM.json", "output path for -exp perf (empty = stdout table only)")
@@ -99,6 +106,10 @@ func main() {
 	}
 	if run("faults") {
 		bench.FleetChaosExperiment(scale).Fprint(out)
+		any = true
+	}
+	if run("cachedir") {
+		bench.FleetCacheDirExperiment(scale).Fprint(out)
 		any = true
 	}
 	if run("autoscale") {

@@ -36,6 +36,22 @@
 // a fault/hedge accounting table, and -audit checks the crash and hedge
 // invariants of the resulting event stream.
 //
+// The gateway can maintain a global cache directory (-directory): a
+// routing-tier map from content block hash to the replicas whose caches
+// hold it, kept coherent by residency events through admission, eviction,
+// migration, drain and crash (a crash wipes the dead replica's entries).
+// -policy content routes on it — each replica scored by the prefill the
+// directory says it would really compute, from real resident-block
+// overlap, load and context headroom — and implies -directory. -cold-tier
+// N adds a fleet-shared host-memory pool of N tokens (radix cache only):
+// capacity-evicted leaf blocks spill to it instead of vanishing, and a
+// request whose prefix lives cold fetches it back over the inter-node
+// link when the link beats recompute. -faults drain=R,degrade=R extends
+// the chaos schedule with planned drains and link-degradation windows
+// (shaped by -link-faults factor[:window]), the churn regime the
+// directory is for; the directory, cold tier and degraded links all show
+// up in the event stream, -audit's invariants and the -analyze rollups.
+//
 // The fleet can be heterogeneous: -mix composes it from named replica
 // kinds (loong: 8-GPU elastic ESP node; contbatch: single-GPU continuous
 // batching), each with a capability sheet — context envelope, prefill
@@ -88,6 +104,8 @@
 //	loongserve-fleet -policy affinity -trace-out trace.json -telemetry-out telemetry.jsonl
 //	loongserve-fleet -mix loong:1,contbatch:2 -policy capability -trace-out trace.json
 //	loongserve-fleet -policy affinity -closed-loop -faults crash=1,stall=3 -hedge 0.95 -audit
+//	loongserve-fleet -policy content -cold-tier 200000 -closed-loop \
+//	    -faults crash=0.5,drain=2,degrade=1 -link-faults 6:5s -audit
 package main
 
 import (
@@ -112,7 +130,7 @@ func main() {
 	var (
 		replicas       = flag.Int("replicas", 4, "engine replicas behind the gateway (each one 8-GPU node)")
 		engine         = flag.String("engine", "vllm", "replica engine: vllm (TP=8 continuous batching) or loongserve (elastic TP=2 ESP core)")
-		policy         = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, migrate, capability, or all (one comparison row each)")
+		policy         = flag.String("policy", "all", "routing policy: roundrobin, leastloaded, p2c, affinity, migrate, capability, content (directory-driven), modulo, or all (one comparison row each; all excludes content/modulo)")
 		mix            = flag.String("mix", "", "heterogeneous composition, e.g. loong:2,contbatch:8 (overrides -replicas/-engine; kinds: "+strings.Join(bench.FleetKindNames(), ", ")+")")
 		autoscaleKinds = flag.String("autoscale-kinds", "", "with -autoscale: comma-separated candidate kinds for kind-picking scale-ups, first is the base kind (e.g. contbatch,loong)")
 
@@ -141,7 +159,8 @@ func main() {
 		cooldown   = flag.Duration("cooldown", 4*time.Second, "minimum time between scaling actions")
 		showEvents = flag.Bool("events", true, "with -autoscale, print the scaling timeline")
 
-		faultsSpec = flag.String("faults", "", "inject a seeded fault schedule: comma list of kind=rate (mean events per simulated minute; kinds: crash, stall, cachedrop), e.g. crash=1,stall=3,cachedrop=1")
+		faultsSpec = flag.String("faults", "", "inject a seeded fault schedule: comma list of kind=rate (mean events per simulated minute; kinds: crash, stall, cachedrop, drain, degrade), e.g. crash=1,stall=3,drain=1,degrade=2")
+		linkFaults = flag.String("link-faults", "", "shape of degrade faults as factor[:window], e.g. 8:5s (slowdown multiple and mean window; defaults 4:10s; requires -faults degrade=...)")
 		hedgeQ     = flag.Float64("hedge", 0, "request hedging: per-prefilled-token TTFT quantile arming the hedge timer (typical 0.95-0.99; 0 = off)")
 
 		traceOut     = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace-event JSON of the run to this file (with -policy all: the last policy arm)")
@@ -155,6 +174,8 @@ func main() {
 		cacheKind   = flag.String("cache", "radix", "prefix-cache implementation: radix (token-block tree, cost-priced eviction) or wholekey (legacy per-session LRU)")
 		cacheTokens = flag.Int("cache-tokens", 0, "per-replica prefix-cache capacity in KV tokens (0 = full KV pool)")
 		noAdmission = flag.Bool("no-admission", false, "disable TinyLFU admission (plain LRU prefix cache)")
+		directory   = flag.Bool("directory", false, "maintain the gateway-side global cache directory (implied by -policy content and -cold-tier)")
+		coldTier    = flag.Int("cold-tier", 0, "fleet-shared host-memory cold KV tier capacity in tokens: capacity-evicted radix blocks spill there and are fetched back when the link beats recompute (0 = off; requires -cache radix)")
 		branch      = flag.Int("branch", 0, "branching sessions: family size sharing a conversation trunk (0 = independent sessions)")
 		branchTurns = flag.Int("branch-turns", 2, "trunk turns shared within a branching family")
 		seed        = flag.Int64("seed", 42, "workload and policy seed (runs are deterministic per seed)")
@@ -252,6 +273,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	if *linkFaults != "" {
+		if faultRates.DegradePerMin == 0 {
+			fmt.Fprintln(os.Stderr, "loongserve-fleet: -link-faults shapes degrade faults; add -faults degrade=<rate>")
+			os.Exit(2)
+		}
+		faultRates.DegradeFactor, faultRates.DegradeMean, err = parseLinkFaults(*linkFaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *coldTier < 0 {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -cold-tier must be >= 0")
+		os.Exit(2)
+	}
+	if *coldTier > 0 && *cacheKind != fleet.CacheRadix {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -cold-tier spills radix blocks; it requires -cache radix")
+		os.Exit(2)
+	}
+	if *autoScale && (*coldTier > 0 || *directory) {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -directory/-cold-tier run against a static fleet; drop -autoscale")
+		os.Exit(2)
 	}
 	if *hedgeQ < 0 || *hedgeQ >= 1 {
 		fmt.Fprintln(os.Stderr, "loongserve-fleet: -hedge must be a quantile in [0,1) (0 = off)")
@@ -421,6 +465,10 @@ func main() {
 			Cache:       *cacheKind,
 			CacheTokens: *cacheTokens,
 			NoAdmission: *noAdmission,
+			// A directory-aware policy routes off the directory, so asking
+			// for one implies maintaining it.
+			Directory:      *directory || *coldTier > 0 || isDirectoryAware(p),
+			ColdTierTokens: *coldTier,
 		}
 		if needObs && pi == len(policies)-1 {
 			runCfg.Obs = collector
@@ -484,16 +532,21 @@ func main() {
 		if len(faultSchedule) > 0 || *hedgeQ > 0 {
 			faultRows = append(faultRows, []string{p.Name(),
 				fmt.Sprint(res.Faults.Crashes), fmt.Sprint(res.Faults.Stalls), fmt.Sprint(res.Faults.CacheDrops),
+				fmt.Sprint(res.Faults.Drains), fmt.Sprint(res.Faults.LinkDegrades),
 				fmt.Sprint(res.Faults.RecoveredRequests), fmt.Sprint(res.Faults.Skipped),
 				fmt.Sprint(res.Hedge.Launched), fmt.Sprint(res.Hedge.Wins), fmt.Sprint(res.Hedge.Losses),
 				fmt.Sprint(res.Hedge.WastedTokens)})
+		}
+		if *coldTier > 0 && res.Cold != (fleet.ColdStats{}) {
+			fmt.Printf("%s: cold tier spilled %d / rejected %d / evicted %d blocks, %d fetches (%d tokens)\n",
+				p.Name(), res.Cold.Spilled, res.Cold.Rejected, res.Cold.Evicted, res.Cold.Fetches, res.Cold.FetchedTokens)
 		}
 	}
 	t.Fprint(os.Stdout)
 	if len(faultRows) > 0 {
 		ft := &bench.Table{
 			Title: "fault & hedge accounting",
-			Header: []string{"policy", "crashes", "stalls", "cachedrops", "recovered", "skipped",
+			Header: []string{"policy", "crashes", "stalls", "cachedrops", "drains", "degrades", "recovered", "skipped",
 				"hedged", "wins", "losses", "wasted(tok)"},
 			Rows: faultRows,
 		}
@@ -538,12 +591,41 @@ func parseFaultRates(s string) (workload.FaultRates, error) {
 			r.StallPerMin = v
 		case workload.FaultCacheDrop:
 			r.CacheDropPerMin = v
+		case workload.FaultDrain:
+			r.DrainPerMin = v
+		case workload.FaultDegrade:
+			r.DegradePerMin = v
 		default:
-			return r, fmt.Errorf("loongserve-fleet: unknown fault kind %q (kinds: %s, %s, %s)",
-				kv[0], workload.FaultCrash, workload.FaultStall, workload.FaultCacheDrop)
+			return r, fmt.Errorf("loongserve-fleet: unknown fault kind %q (kinds: %s, %s, %s, %s, %s)",
+				kv[0], workload.FaultCrash, workload.FaultStall, workload.FaultCacheDrop,
+				workload.FaultDrain, workload.FaultDegrade)
 		}
 	}
 	return r, nil
+}
+
+// parseLinkFaults parses the -link-faults spec, factor[:window], into the
+// degrade-fault shape (slowdown multiple, mean window).
+func parseLinkFaults(s string) (factor float64, window time.Duration, err error) {
+	fs, ws, _ := strings.Cut(s, ":")
+	factor, err = strconv.ParseFloat(strings.TrimSpace(fs), 64)
+	if err != nil || factor <= 1 {
+		return 0, 0, fmt.Errorf("loongserve-fleet: -link-faults factor %q must be a number > 1", fs)
+	}
+	if ws != "" {
+		window, err = time.ParseDuration(strings.TrimSpace(ws))
+		if err != nil || window <= 0 {
+			return 0, 0, fmt.Errorf("loongserve-fleet: -link-faults window %q must be a positive duration", ws)
+		}
+	}
+	return factor, window, nil
+}
+
+// isDirectoryAware reports whether the policy routes off the global cache
+// directory (and so needs the gateway to maintain one).
+func isDirectoryAware(p fleet.Policy) bool {
+	_, ok := p.(fleet.DirectoryAware)
+	return ok
 }
 
 // sinkOrNil converts a possibly-nil *Collector to the obs.Sink interface

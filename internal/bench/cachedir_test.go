@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFleetCacheDirAcceptance is the cache-directory scorecard's
+// acceptance, asserted structurally over the arm results rather than
+// parsed table cells: under the shared drain/crash/degrade schedule, both
+// directory arms recover strictly more prefix reuse than every baseline
+// with a no-worse p99 TTFT tail, churn actually fired, the cold tier
+// actually spilled and fetched, and every arm's event stream audits clean.
+func TestFleetCacheDirAcceptance(t *testing.T) {
+	arms := RunCacheDirArms(QuickScale())
+	if len(arms) != 5 {
+		t.Fatalf("%d arms, want 5", len(arms))
+	}
+	byName := map[string]CacheDirArmResult{}
+	for _, a := range arms {
+		if a.Err != nil {
+			t.Fatalf("arm %s: %v", a.Name, a.Err)
+		}
+		if len(a.Violations) != 0 {
+			t.Fatalf("arm %s: %d audit violations, first: %s", a.Name, len(a.Violations), a.Violations[0])
+		}
+		if a.Faults.Drains == 0 || a.Faults.Crashes == 0 || a.Faults.LinkDegrades == 0 {
+			t.Fatalf("arm %s: churn did not fire (drains=%d crashes=%d degrades=%d)",
+				a.Name, a.Faults.Drains, a.Faults.Crashes, a.Faults.LinkDegrades)
+		}
+		if a.SLO != 1 {
+			t.Errorf("arm %s: SLO attainment %.3f, want 1", a.Name, a.SLO)
+		}
+		byName[a.Name] = a
+	}
+	baselines := []string{"prefix-affinity", "modulo-hash", "choose-2"}
+	for _, name := range []string{"content", "content+cold"} {
+		c := byName[name]
+		for _, b := range baselines {
+			base := byName[b]
+			if c.HitTokens <= base.HitTokens {
+				t.Errorf("%s hit-tokens %d not strictly above %s's %d",
+					name, c.HitTokens, b, base.HitTokens)
+			}
+			if c.P99TTFT > base.P99TTFT {
+				t.Errorf("%s p99 TTFT %.3fs worse than %s's %.3fs",
+					name, c.P99TTFT, b, base.P99TTFT)
+			}
+		}
+	}
+	cold := byName["content+cold"]
+	if cold.Cold.Spilled == 0 || cold.Cold.Fetches == 0 {
+		t.Errorf("cold tier idle: spilled=%d fetches=%d", cold.Cold.Spilled, cold.Cold.Fetches)
+	}
+	if cold.HitTokens <= byName["content"].HitTokens {
+		t.Errorf("cold tier did not add reuse: %d vs content's %d",
+			cold.HitTokens, byName["content"].HitTokens)
+	}
+	for _, name := range baselines {
+		if s := byName[name].Cold; s.Spilled != 0 || s.Fetches != 0 {
+			t.Errorf("baseline %s has cold-tier activity: %+v", name, s)
+		}
+	}
+}
+
+// TestFleetCacheDirParallelDeterminism: the five arms — directory updates,
+// cold spills and fetches, degraded-link transfers and all — replay
+// byte-identically whether run single-threaded or across goroutines.
+func TestFleetCacheDirParallelDeterminism(t *testing.T) {
+	sc := QuickScale()
+
+	serial := sc
+	serial.Workers = 1
+	parallel := sc
+	parallel.Workers = 4
+
+	a := renderTable(FleetCacheDirExperiment(serial))
+	b := renderTable(FleetCacheDirExperiment(parallel))
+	if a != b {
+		t.Fatalf("serial and parallel cachedir tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

@@ -49,7 +49,12 @@ type Scale struct {
 	ChaosDuration   float64
 	ChaosRate       float64
 	ChaosCrashRates []float64
-	Seed            int64
+	// Cache-directory experiment: session arrival horizon (seconds) and
+	// session rate (sessions/s) for the placement-policy comparison under
+	// drain/crash/link-degradation churn.
+	CacheDirDuration float64
+	CacheDirRate     float64
+	Seed             int64
 	// Workers bounds how many independent experiment arms run concurrently
 	// (each arm owns a full simulator); 0 means one per available CPU, 1
 	// forces serial execution. Results are ordered by arm index either way,
@@ -85,6 +90,8 @@ func FullScale() Scale {
 		ChaosDuration:     120,
 		ChaosRate:         2.5,
 		ChaosCrashRates:   []float64{0, 0.5, 2},
+		CacheDirDuration:  180,
+		CacheDirRate:      2.5,
 		Seed:              42,
 	}
 }
@@ -118,6 +125,8 @@ func QuickScale() Scale {
 		ChaosDuration:     40,
 		ChaosRate:         3,
 		ChaosCrashRates:   []float64{0, 3},
+		CacheDirDuration:  90,
+		CacheDirRate:      2.5,
 		Seed:              42,
 	}
 }

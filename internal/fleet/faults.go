@@ -24,6 +24,11 @@ type FaultStats struct {
 	Crashes    int
 	Stalls     int
 	CacheDrops int
+	// Drains counts fault-injected (unplanned-churn) drains; operator
+	// drains via DrainReplica directly are not faults and not counted.
+	Drains int
+	// LinkDegrades counts link-slowdown windows applied.
+	LinkDegrades int
 	// RecoveredRequests counts in-flight requests re-routed to survivors
 	// after their replica crashed (hedge promotions excluded — those never
 	// re-prefill).
@@ -215,6 +220,32 @@ func (g *Gateway) StallReplica(idx int, d time.Duration) error {
 	return nil
 }
 
+// DegradeLinks slows every inter-replica transfer — drains, migrations,
+// cold-tier fetches — by factor for the next window of simulated time:
+// migrationDelay multiplies by factor while the window is open, and since
+// policies price migrations through the same function, routing honestly
+// avoids the congested link. Overlapping windows keep the larger factor
+// and the later deadline.
+func (g *Gateway) DegradeLinks(factor float64, window time.Duration) error {
+	if factor < 1 {
+		return fmt.Errorf("fleet: link-degrade factor %v < 1", factor)
+	}
+	if window <= 0 || factor == 1 {
+		return nil
+	}
+	if g.sim.Now() >= g.degradeUntil {
+		g.degradeFactor = factor // previous window expired: fresh factor
+	} else if factor > g.degradeFactor {
+		g.degradeFactor = factor
+	}
+	if until := g.sim.Now() + simevent.Time(window); until > g.degradeUntil {
+		g.degradeUntil = until
+	}
+	g.res.Faults.LinkDegrades++
+	g.event("degrade", "", 0, "links %.1fx slower for %v", factor, window.Round(time.Millisecond))
+	return nil
+}
+
 // DropControlCaches wipes one replica instance's control-plane metadata
 // cache, as if its process restarted: the next command it receives draws a
 // NakUnknownGroup and the manager's config-resend repair — visible in
@@ -268,6 +299,17 @@ func (g *Gateway) applyFault(f workload.Fault) {
 		err = g.StallReplica(idx, f.Stall)
 	case workload.FaultCacheDrop:
 		err = g.DropControlCaches(idx)
+	case workload.FaultDrain:
+		if len(actives) <= 2 {
+			// A drain leaves the replica unroutable for the rest of the
+			// run; keep at least two active so a later crash stays fireable.
+			g.res.Faults.Skipped++
+			return
+		}
+		g.res.Faults.Drains++
+		err = g.DrainReplica(idx)
+	case workload.FaultDegrade:
+		err = g.DegradeLinks(f.Factor, f.Window)
 	default:
 		g.res.Faults.Skipped++
 		return

@@ -120,6 +120,18 @@ type Config struct {
 	CacheTokens int
 	// NoAdmission disables the TinyLFU admission filter (plain LRU).
 	NoAdmission bool
+	// Directory maintains the gateway-side global cache directory: every
+	// replica cache reports residency transitions through an observer
+	// shim, DirectoryAware policies (ContentAffinity) route off the
+	// resulting map, and in radix mode all replicas share one naming
+	// index. Off (the default), caches behave bit-identically to the
+	// pre-directory implementation.
+	Directory bool
+	// ColdTierTokens, when positive, provisions the fleet-shared
+	// host-memory cold KV tier: capacity-evicted radix blocks spill there
+	// and are fetched back over the interconnect when the link time beats
+	// the recompute it displaces. Requires CacheRadix; implies Directory.
+	ColdTierTokens int
 	// StreamMetrics folds completion records into a metrics.Accumulator
 	// (constant memory) instead of retaining every Record: Result.Records
 	// stays nil, Result.Acc carries the streamed summary, and session
@@ -178,7 +190,7 @@ type MigrationStats struct {
 // ScaleEvent is one fleet-elasticity event, timestamped in simulated time.
 type ScaleEvent struct {
 	At      time.Duration
-	Kind    string // "provision", "active", "drain", "migrate", "retire", "crash", "stall", "cachedrop"
+	Kind    string // "provision", "active", "drain", "migrate", "retire", "crash", "stall", "cachedrop", "degrade"
 	Replica int
 	// ReplicaKind names the kind of the replica the event concerns.
 	ReplicaKind string
@@ -216,6 +228,9 @@ type Result struct {
 	// faults or hedging).
 	Faults FaultStats
 	Hedge  HedgeStats
+	// Cold is the cold-KV-tier accounting (zero-valued unless
+	// Config.ColdTierTokens provisioned one).
+	Cold ColdStats
 	// SimEvents is the number of discrete events the run's simulator fired
 	// — the wall-clock-free work measure behind events/sec in BENCH_SIM.
 	SimEvents uint64

@@ -108,6 +108,12 @@ type replica struct {
 // OutstandingTokens implements ReplicaView.
 func (rep *replica) OutstandingTokens() int { return rep.outTokens }
 
+// Index implements DirectoryLocator: the replica's stable fleet index,
+// which is also its global-cache-directory location. The active-views
+// slice a policy sees is compacted — after a crash or drain, slice
+// position i is NOT replica i — so directory reads must go through this.
+func (rep *replica) Index() int { return rep.index }
+
 // Capability implements ReplicaView: the replica kind's derived sheet.
 func (rep *replica) Capability() ReplicaCapability { return rep.kind.Capability() }
 
@@ -306,6 +312,23 @@ type Gateway struct {
 	// radix-mode migration or drain moves. Unused in whole-key mode.
 	sessionChain map[PrefixKey][]uint64
 
+	// Global cache directory and cold KV tier (directory.go, coldtier.go).
+	// dir is non-nil when Config.Directory (or ColdTierTokens) is set —
+	// every replica cache then carries a dirShim observer keeping it
+	// coherent. sharedIndex is the fleet-wide naming trie in radix mode
+	// (replica caches and the cold tier refcount into one index); cold is
+	// the host-memory spill pool, nil when off.
+	dir         *CacheDirectory
+	sharedIndex *RadixIndex
+	cold        *coldTier
+
+	// Link-degradation fault window (DegradeLinks): while sim time is
+	// before degradeUntil, every link transfer — drains, migrations, cold
+	// fetches — costs degradeFactor times its nominal delay, and policies
+	// pricing migrations see the same inflated cost.
+	degradeUntil  simevent.Time
+	degradeFactor float64
+
 	res *Result
 	// Reference configuration: the first group's kind prices migrations
 	// and (unless Config.SLOKind overrides) SLO budgets, exactly as
@@ -406,6 +429,15 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		return nil, err
 	}
 	cfg.Hedge = cfg.Hedge.withDefaults()
+	if cfg.ColdTierTokens < 0 {
+		return nil, fmt.Errorf("fleet: negative cold-tier capacity %d", cfg.ColdTierTokens)
+	}
+	if cfg.ColdTierTokens > 0 {
+		if cfg.Cache != CacheRadix {
+			return nil, fmt.Errorf("fleet: the cold KV tier requires the radix cache (Cache=%q)", CacheRadix)
+		}
+		cfg.Directory = true // spills register at DirCold; fetches route off it
+	}
 	sim.MaxEvents = cfg.MaxEvents
 
 	g := &Gateway{
@@ -426,6 +458,18 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		g.res.Acc = &metrics.Accumulator{}
 	}
 	g.attachObs()
+	if cfg.Directory {
+		// The directory (and in radix mode the shared naming index) must
+		// exist before any replica builds: newReplica wires each cache's
+		// observer shim at construction.
+		g.dir = NewCacheDirectory(workload.BlockTokens)
+		if cfg.Cache == CacheRadix {
+			g.sharedIndex = NewRadixIndex()
+		}
+		if da, ok := g.policy.(DirectoryAware); ok {
+			da.AttachDirectory(g.dir)
+		}
+	}
 	for _, gr := range cfg.Groups {
 		for i := 0; i < gr.Count; i++ {
 			rep, err := g.newReplica(gr.Kind)
@@ -464,6 +508,19 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 	g.refKVCap = ref.KVCapacity
 	g.interLink = ref.ibLink
 	g.prefillRate = ref.PrefillRate
+	if cfg.ColdTierTokens > 0 {
+		// Cold-tier eviction is priced at the reference kind: host memory
+		// is fleet-shared, so there is no single "local" replica to price
+		// against, and homogeneous fleets make the choice exact.
+		coldCost := func(start, tokens int) float64 {
+			full := ref.cm.PrefillIterTime([]int{start + tokens}, 1, ref.GPUs, ref.nvlink)
+			if start == 0 {
+				return full.Seconds()
+			}
+			return (full - ref.cm.PrefillIterTime([]int{start}, 1, ref.GPUs, ref.nvlink)).Seconds()
+		}
+		g.cold = newColdTier(g, g.sharedIndex, cfg.ColdTierTokens, workload.BlockTokens, coldCost)
+	}
 	return g, nil
 }
 
@@ -521,9 +578,19 @@ func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 			}
 			return (full - cm.PrefillIterTime([]int{start}, 1, gpus, nvlink)).Seconds()
 		}
-		rep.radix = NewRadixCache(cacheCap, workload.BlockTokens, !g.cfg.NoAdmission, cost)
+		if g.sharedIndex != nil {
+			rep.radix = NewRadixCacheIndexed(g.sharedIndex, cacheCap, workload.BlockTokens, !g.cfg.NoAdmission, cost)
+		} else {
+			rep.radix = NewRadixCache(cacheCap, workload.BlockTokens, !g.cfg.NoAdmission, cost)
+		}
+		if g.dir != nil {
+			rep.radix.setObserver(&dirShim{g: g, rep: rep})
+		}
 	} else {
 		rep.cache = NewPrefixCache(cacheCap, !g.cfg.NoAdmission)
+		if g.dir != nil {
+			rep.cache.setObserver(&dirShim{g: g, rep: rep})
+		}
 	}
 	rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
 	if g.obsSink != nil {
@@ -597,9 +664,16 @@ func (g *Gateway) MigrationSeconds(n int) float64 {
 }
 
 // migrationDelay returns the link time to move n KV tokens between two
-// replicas (distinct nodes, so the InfiniBand channel).
+// replicas (distinct nodes, so the InfiniBand channel), inflated by any
+// active link-degradation fault window. Pricing through the same function
+// policies consult means a degraded link honestly discourages migrations
+// and cold fetches for as long as it lasts.
 func (g *Gateway) migrationDelay(n int) time.Duration {
-	return g.cm0.ReactiveMigrationTime(n, g.interLink)
+	d := g.cm0.ReactiveMigrationTime(n, g.interLink)
+	if g.degradeFactor > 1 && g.sim.Now() < g.degradeUntil {
+		d = time.Duration(float64(d) * g.degradeFactor)
+	}
+	return d
 }
 
 // ReplicaInfos returns the control-plane snapshot of every replica ever
@@ -949,6 +1023,10 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 			src = active[from].index
 		}
 		g.emitRoute(e.SessionID, r.ID, rep.index, src)
+		if ca, ok := g.policy.(*ContentAffinity); ok && g.dir != nil {
+			claim, queue, eligible := ca.LastPick()
+			g.emitContentRoute(e.SessionID, r.ID, rep.index, claim, queue, eligible)
+		}
 	}
 
 	if from >= 0 && from < len(active) && from != idx && info.SessionKey != 0 {
@@ -977,12 +1055,54 @@ func (g *Gateway) Submit(r *serving.Request, e workload.Entry) {
 					g.Submit(r, e)
 					return
 				}
-				g.deliver(rep, r, e, info)
+				g.deliverMaybeFetch(rep, r, e, info)
 			})
 			return
 		}
 	}
-	g.deliver(rep, r, e, info)
+	g.deliverMaybeFetch(rep, r, e, info)
+}
+
+// deliverMaybeFetch consults the cold tier before delivery: when the
+// destination's resident prefix extends by a contiguous cold run and the
+// link transfer undercuts the recompute it displaces, the blocks are
+// copied over the interconnect first and the request delivers when they
+// land. The comparison uses the destination's own cost model for the
+// recompute side and the (possibly degraded) migration link for the
+// transfer side, so a DegradeLinks window genuinely tilts the decision
+// toward recompute. Hedge copies bypass this path — a straggler rescue
+// must not queue behind a link transfer.
+func (g *Gateway) deliverMaybeFetch(rep *replica, r *serving.Request, e workload.Entry, info RequestInfo) {
+	if g.cold == nil || rep.radix == nil || len(info.Blocks) == 0 {
+		g.deliver(rep, r, e, info)
+		return
+	}
+	chain := info.Blocks
+	n := rep.radix.MatchTokens(chain) / workload.BlockTokens
+	k := g.cold.run(chain, n)
+	if k == 0 {
+		g.deliver(rep, r, e, info)
+		return
+	}
+	link := g.migrationDelay(k * workload.BlockTokens)
+	recompute := rep.radix.RecomputeSeconds(n, k)
+	if link.Seconds() >= recompute {
+		g.deliver(rep, r, e, info)
+		return
+	}
+	g.cold.touchRun(chain, n, k)
+	g.emitColdFetch(e.SessionID, r.ID, rep.index, k*workload.BlockTokens, int64(link), int64(recompute*1e9))
+	g.sim.After(link, func() {
+		if rep.state != ReplicaActive {
+			// The destination drained or crashed while the blocks were in
+			// flight: re-route from scratch (the request never became
+			// pending, so this is a legal re-submission).
+			g.Submit(r, e)
+			return
+		}
+		rep.radix.Install(chain[:n+k], (n+k)*workload.BlockTokens)
+		g.deliver(rep, r, e, info)
+	})
 }
 
 // deliver hands a routed request to its replica's engine, applying the
@@ -1160,6 +1280,9 @@ func (g *Gateway) Finalize() *Result {
 		secs := (time.Duration(stop) - time.Duration(rep.provisionedAt)).Seconds()
 		g.res.ReplicaSeconds += secs
 		g.res.CostUnitSeconds += secs * rep.kind.CostUnits
+	}
+	if g.cold != nil {
+		g.res.Cold = g.cold.stats
 	}
 	return g.res
 }

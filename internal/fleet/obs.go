@@ -183,6 +183,61 @@ func (g *Gateway) emitHedgeLose(session int64, req kvcache.RequestID, loser, bur
 	})
 }
 
+// emitDirUpdate records one global-cache-directory change: loc gained or
+// lost delta resident tokens, leaving total. label must be a static
+// string ("add", "remove", "wipe", "cold-evict"). loc -1 is the cold
+// tier; a wipe is the one event legally attributed to a crashed replica
+// after its crash (the auditor exempts negative directory deltas).
+func (g *Gateway) emitDirUpdate(loc, delta, total int, label string) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindDirectoryUpdate, Replica: loc, Group: -1,
+		Tokens: delta, A: int64(total), Label: label,
+	})
+}
+
+// emitContentRoute records a directory-driven routing decision: the
+// overlap tokens the policy claimed were resident at dest, and the load
+// state it weighed them against.
+func (g *Gateway) emitContentRoute(session int64, req kvcache.RequestID, dest, claim, queue, eligible int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindContentRoute, Replica: dest, Group: -1,
+		Session: session, Request: int64(req),
+		Tokens: claim, A: int64(queue), B: int64(eligible),
+	})
+}
+
+// emitColdSpill records one block copied from a replica's capacity
+// eviction into the cold tier.
+func (g *Gateway) emitColdSpill(rep, tokens, coldUsed, coldBlocks int) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindColdSpill, Replica: rep, Group: -1,
+		Tokens: tokens, A: int64(coldUsed), B: int64(coldBlocks),
+	})
+}
+
+// emitColdFetch records cold KV copied to a replica ahead of a prefill:
+// the link time paid and the recompute time it displaced (the fetch only
+// happens when the former undercuts the latter).
+func (g *Gateway) emitColdFetch(session int64, req kvcache.RequestID, dest, tokens int, linkNS, recomputeNS int64) {
+	if g.obsSink == nil {
+		return
+	}
+	g.obsSink.Emit(obs.Event{
+		At: g.sim.Now(), Kind: obs.KindColdFetch, Replica: dest, Group: -1,
+		Session: session, Request: int64(req),
+		Tokens: tokens, A: linkNS, B: recomputeNS,
+	})
+}
+
 // noteSession records the session-key → session-id mapping emitMigrate
 // resolves drain-time transfers through.
 func (g *Gateway) noteSession(key PrefixKey, session int64) {

@@ -487,6 +487,220 @@ func (p *CapabilityAffinity) PickMigrate(req RequestInfo, replicas []ReplicaView
 	return Decision{Dest: best, From: -1}
 }
 
+// ModuloHash routes every request by hashing its stickiest key modulo the
+// replica count — the classic consistent-bucket baseline: perfect session
+// stickiness, zero load awareness, and a reshuffle of every home whenever
+// the active set changes size. It is the degenerate endpoint of
+// cache-aware routing (affinity with no load term) and the natural
+// baseline for the cache-directory experiment.
+type ModuloHash struct{}
+
+// NewModuloHash returns the policy.
+func NewModuloHash() *ModuloHash { return &ModuloHash{} }
+
+// Name implements Policy.
+func (p *ModuloHash) Name() string { return "ModuloHash" }
+
+// Pick implements Policy.
+func (p *ModuloHash) Pick(req RequestInfo, replicas []ReplicaView) int {
+	key := uint64(req.SessionKey)
+	if key == 0 {
+		key = uint64(req.SharedKey)
+	}
+	if key == 0 {
+		key = uint64(req.ID) // stateless: spread by request identity
+	}
+	return int(mix64(key) % uint64(len(replicas)))
+}
+
+// DirectoryAware policies route off the gateway's global cache directory
+// instead of probing every replica's cache. The gateway attaches its
+// directory when Config.Directory is on; unattached (directory off), the
+// policy falls back to the per-replica CachedTokens probe so it still
+// functions standalone.
+type DirectoryAware interface {
+	Policy
+	AttachDirectory(*CacheDirectory)
+}
+
+// DirectoryLocator is implemented by replica views that know their stable
+// fleet index — the global cache directory's location key. Directory-aware
+// policies must read the directory through it: the active-views slice they
+// are handed compacts over crashed and drained replicas, so a view's slice
+// position is not its directory location once the fleet has churned.
+type DirectoryLocator interface {
+	Index() int
+}
+
+// ContentAffinity is cache-content-aware routing over the global cache
+// directory: each replica is scored by the prefill miss the directory
+// says it would really compute — the request's block chain matched
+// against the replica's directory-resident blocks — plus its outstanding
+// load, the whole estimate inflated by queue depth (a deep queue delays
+// the prefill no matter how warm the cache is). Replicas whose context
+// envelope the prompt would not comfortably fit are ineligible, as in
+// CapabilityAffinity. Ties break to the larger overlap, then to the
+// hashed session home.
+//
+// The contrast with PrefixAffinity is the information source:
+// PrefixAffinity probes every replica's cache omnisciently per request,
+// while ContentAffinity reads one gateway-side structure maintained by
+// residency events — the deployable version — and therefore also prices
+// partial overlaps (branch trunks, shared system prompts) that whole-key
+// probes undervalue, and composes with the cold tier (a directory hit at
+// DirCold becomes a fetch instead of a recompute).
+type ContentAffinity struct {
+	// LoadWeight converts outstanding tokens into score units relative to
+	// prefill tokens, as in PrefixAffinity.
+	LoadWeight float64
+	// QueueBias inflates a replica's score per queued request
+	// (multiplicative: score *= 1 + QueueBias*depth).
+	QueueBias float64
+	// Headroom is the comfortable fraction of MaxContext
+	// (DefaultCapabilityHeadroom when 0).
+	Headroom float64
+
+	dir *CacheDirectory
+
+	// Last-pick explanation, read by the gateway's content-route emitter:
+	// the overlap tokens claimed at the chosen replica, its queue depth at
+	// pick time, and how many replicas were eligible.
+	lastClaim    int
+	lastQueue    int
+	lastEligible int
+}
+
+// NewContentAffinity returns the policy with LoadWeight 0.4, QueueBias 0
+// and the default headroom. The low load weight is deliberate: directory
+// overlap is the signal this policy exists to exploit, so load only breaks
+// near-ties rather than dragging requests off their warm replicas; at
+// LoadWeight 1 the policy converges on PrefixAffinity's placements and the
+// directory buys nothing.
+func NewContentAffinity() *ContentAffinity {
+	return &ContentAffinity{LoadWeight: 0.4, Headroom: DefaultCapabilityHeadroom}
+}
+
+// Name implements Policy.
+func (p *ContentAffinity) Name() string { return "ContentAffinity" }
+
+// AttachDirectory implements DirectoryAware.
+func (p *ContentAffinity) AttachDirectory(d *CacheDirectory) { p.dir = d }
+
+// LastPick returns the explanation of the most recent Pick.
+func (p *ContentAffinity) LastPick() (claim, queue, eligible int) {
+	return p.lastClaim, p.lastQueue, p.lastEligible
+}
+
+func (p *ContentAffinity) headroom() float64 {
+	if p.Headroom > 0 {
+		return p.Headroom
+	}
+	return DefaultCapabilityHeadroom
+}
+
+// overlap is the directory's resident-prefix claim for req at view slot i,
+// falling back to the live cache probe when no directory is attached. The
+// directory location is the view's stable fleet index (DirectoryLocator),
+// not i: the active-views slice compacts over crashed and drained
+// replicas, so slot i can be a different replica than location i.
+func (p *ContentAffinity) overlap(req RequestInfo, i int, r ReplicaView) int {
+	if p.dir == nil {
+		return r.CachedTokens(req)
+	}
+	loc := i
+	if dl, ok := r.(DirectoryLocator); ok {
+		loc = dl.Index()
+	}
+	if len(req.Blocks) > 0 {
+		o := p.dir.ChainOverlap(req.Blocks, loc)
+		if o > req.InputLen {
+			o = req.InputLen
+		}
+		return o
+	}
+	// Whole-key mode: the directory stores entry keys; the usable overlap
+	// is capped by the reusable prefix length, mirroring replica.lookup.
+	best := 0
+	if req.SessionKey != 0 {
+		if t := p.dir.Tokens(uint64(req.SessionKey), loc); t > 0 {
+			if t > req.PrefixLen {
+				t = req.PrefixLen
+			}
+			best = t
+		}
+	}
+	if req.SharedKey != 0 {
+		if t := p.dir.Tokens(uint64(req.SharedKey), loc); t > 0 {
+			if t > req.SharedLen {
+				t = req.SharedLen
+			}
+			if t > best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// score prices serving req on r given its directory overlap.
+func (p *ContentAffinity) score(req RequestInfo, r ReplicaView, overlap int) float64 {
+	miss := req.InputLen - overlap
+	if miss < 0 {
+		miss = 0
+	}
+	s := float64(miss) + p.LoadWeight*float64(r.OutstandingTokens())
+	return s * (1 + p.QueueBias*float64(r.QueueDepth()))
+}
+
+// homeIndex hashes the request's stickiest key, as PrefixAffinity does.
+func (p *ContentAffinity) homeIndex(req RequestInfo, n int) int {
+	key := req.SessionKey
+	if key == 0 {
+		key = req.SharedKey
+	}
+	if key == 0 {
+		return -1
+	}
+	return int(mix64(uint64(key)) % uint64(n))
+}
+
+// Pick implements Policy.
+func (p *ContentAffinity) Pick(req RequestInfo, replicas []ReplicaView) int {
+	n := len(replicas)
+	head := p.headroom()
+	eligible := 0
+	for _, r := range replicas {
+		if float64(req.InputLen) <= head*float64(r.Capability().MaxContext) {
+			eligible++
+		}
+	}
+	home := p.homeIndex(req, n)
+	best, bestScore, bestOverlap := -1, 0.0, 0
+	for i, r := range replicas {
+		// When nothing fits comfortably every replica stays a candidate —
+		// the request must land somewhere.
+		if eligible > 0 && float64(req.InputLen) > head*float64(r.Capability().MaxContext) {
+			continue
+		}
+		o := p.overlap(req, i, r)
+		score := p.score(req, r, o)
+		better := best == -1 || score < bestScore
+		if !better && score == bestScore {
+			better = o > bestOverlap || (o == bestOverlap && i == home)
+		}
+		if better {
+			best, bestScore, bestOverlap = i, score, o
+		}
+	}
+	p.lastClaim = bestOverlap
+	p.lastQueue = replicas[best].QueueDepth()
+	if eligible == 0 {
+		eligible = n
+	}
+	p.lastEligible = eligible
+	return best
+}
+
 // ByName returns a fresh policy instance for a CLI-facing name.
 func ByName(name string, seed int64) (Policy, error) {
 	switch name {
@@ -502,8 +716,12 @@ func ByName(name string, seed int64) (Policy, error) {
 		return NewMigratingAffinity(), nil
 	case "capability", "cap":
 		return NewCapabilityAffinity(), nil
+	case "content", "directory":
+		return NewContentAffinity(), nil
+	case "modulo", "hash":
+		return NewModuloHash(), nil
 	}
-	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c, affinity, migrate or capability)", name)
+	return nil, fmt.Errorf("fleet: unknown policy %q (want roundrobin, leastloaded, p2c, affinity, migrate, capability, content or modulo)", name)
 }
 
 // AllPolicies returns one fresh instance of every load/affinity policy, in
@@ -511,6 +729,9 @@ func ByName(name string, seed int64) (Policy, error) {
 // the homogeneous fleets this set is compared on it reduces to
 // PrefixAffinity's ordering, so the historical comparison tables keep
 // their exact rows; heterogeneous comparisons add it explicitly.
+// ContentAffinity and ModuloHash are likewise excluded for the same
+// table-stability reason — the cache-directory experiment compares them
+// explicitly.
 func AllPolicies(seed int64) []Policy {
 	return []Policy{
 		NewRoundRobin(),

@@ -118,6 +118,13 @@ type cacheEntry struct {
 	tokens int
 }
 
+// prefixObserver hears one whole-key cache's resident-set transitions:
+// after any mutation, key holds tokens resident tokens (0 = gone).
+// evicted marks capacity evictions, mirroring residencyObserver's flag.
+type prefixObserver interface {
+	entryChanged(key PrefixKey, tokens int, evicted bool)
+}
+
 // PrefixCache models one replica's prefix-KV store: a token-capacity LRU
 // whose eviction cost is the entry's KV size, with optional TinyLFU-style
 // admission — a new prefix only displaces resident ones when the frequency
@@ -134,6 +141,11 @@ type PrefixCache struct {
 	entries   map[PrefixKey]*list.Element
 	lru       *list.List // front = most recent
 	sketch    *freqSketch
+
+	// observer hears resident-set transitions (the gateway's cache-
+	// directory shim); nil for standalone caches, costing one nil check
+	// per mutation and leaving behavior untouched.
+	observer prefixObserver
 
 	// Instrumentation.
 	Hits      int // lookups that found a resident prefix
@@ -167,6 +179,9 @@ func (c *PrefixCache) Used() int { return c.used }
 
 // Len returns the resident entry count.
 func (c *PrefixCache) Len() int { return len(c.entries) }
+
+// setObserver attaches the resident-set observer (nil detaches).
+func (c *PrefixCache) setObserver(o prefixObserver) { c.observer = o }
 
 // Peek returns the resident token count for key without touching recency,
 // frequency or hit statistics — the side-effect-free probe routing
@@ -230,6 +245,9 @@ func (c *PrefixCache) Remove(key PrefixKey) int {
 	c.lru.Remove(el)
 	delete(c.entries, key)
 	c.used -= e.tokens
+	if c.observer != nil {
+		c.observer.entryChanged(key, 0, false)
+	}
 	return e.tokens
 }
 
@@ -250,12 +268,18 @@ func (c *PrefixCache) Install(key PrefixKey, tokens int) {
 		}
 		c.used += tokens - e.tokens
 		e.tokens = tokens
+		if c.observer != nil {
+			c.observer.entryChanged(key, tokens, false)
+		}
 		c.evictOver(el)
 		return
 	}
 	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
 	c.entries[key] = el
 	c.used += tokens
+	if c.observer != nil {
+		c.observer.entryChanged(key, tokens, false)
+	}
 	c.evictOver(el)
 }
 
@@ -282,6 +306,9 @@ func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 		if tokens > e.tokens {
 			c.used += tokens - e.tokens
 			e.tokens = tokens
+			if c.observer != nil {
+				c.observer.entryChanged(key, tokens, false)
+			}
 			c.evictOver(el)
 		}
 		return
@@ -296,6 +323,9 @@ func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
 	c.entries[key] = el
 	c.used += tokens
+	if c.observer != nil {
+		c.observer.entryChanged(key, tokens, false)
+	}
 	c.evictOver(el)
 }
 
@@ -335,5 +365,8 @@ func (c *PrefixCache) evictOver(keep *list.Element) {
 		delete(c.entries, e.key)
 		c.used -= e.tokens
 		c.Evicted++
+		if c.observer != nil {
+			c.observer.entryChanged(e.key, 0, true)
+		}
 	}
 }

@@ -1,13 +1,16 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // RadixCache models one replica's prefix-KV store at token-block
-// granularity: a radix (prefix) tree whose nodes are BlockTokens-sized KV
-// blocks addressed by chained content hashes (workload.Entry.Blocks). Each
-// hash folds in its predecessor, so a single hash identifies its entire
-// prefix — the tree needs no per-node key comparison, just a hash -> node
-// map plus parent links and child counts.
+// granularity. It is the *residency* layer over a RadixIndex: the index
+// names block chains (hash-consed trie, see radixindex.go), while this
+// cache records which of those blocks have a copy in this replica's HBM
+// and carries the per-copy GDSF/TinyLFU state — priority, frequency,
+// local child counts — that drives eviction and admission.
 //
 // Where the whole-key PrefixCache shares KV only between requests carrying
 // the same session or prompt-group key, the radix cache shares any common
@@ -40,10 +43,17 @@ type RadixCache struct {
 	blockTokens int
 	admission   bool
 
-	nodes  map[uint64]*radixNode
+	index  *RadixIndex           // naming layer; private unless shared by a directory
+	blocks map[uint64]*radixNode // residency: hash -> this replica's copy
 	leaves leafHeap
 	sketch *freqSketch
 	clock  float64
+
+	// observer hears residency transitions (the gateway's cache-directory
+	// shim). nil for standalone caches — every hook site is a single nil
+	// check, so with the directory off the cache behaves exactly as the
+	// pre-split implementation.
+	observer residencyObserver
 
 	// blockCost returns the seconds needed to recompute `tokens` prefill
 	// tokens starting at context offset `start` — the cost model's marginal
@@ -59,31 +69,57 @@ type RadixCache struct {
 	HitTokens int64
 }
 
-// radixNode is one resident KV block.
+// radixNode is this cache's copy of one KV block: residency state only.
+// Identity and trie position live on the shared blockRef; parent is the
+// local copy of the parent block (always resident — the prefix
+// invariant), and kids counts resident children in this cache.
 type radixNode struct {
-	hash    uint64
+	ref     *blockRef
 	parent  *radixNode // nil for depth-0 blocks
 	kids    int        // resident children; 0 = leaf, eligible for eviction
-	depth   int        // block index: the block covers tokens [depth*B, (depth+1)*B)
 	prio    float64    // GDSF priority, refreshed on access
 	heapIdx int        // position in the leaf heap; -1 when interior
 }
 
+// residencyObserver hears block-level residency transitions of one
+// cache. Implemented by the gateway's cache-directory shim; the hooks
+// fire in the cache's own deterministic operation order. blockDropped's
+// evicted flag separates capacity evictions (cold-spill candidates: the
+// KV still existed and could be copied out) from removals and wipes
+// (the KV left with a migration or died with the replica).
+type residencyObserver interface {
+	blockAdded(ref *blockRef)
+	blockDropped(ref *blockRef, evicted bool)
+	cacheCleared(usedTokens, blocks int)
+}
+
 // NewRadixCache builds a radix cache holding up to capTokens KV tokens in
-// blockTokens-sized blocks. admission enables TinyLFU admission; blockCost
-// (optional) prices eviction in recompute-seconds via the cost model.
+// blockTokens-sized blocks, naming its blocks in a private index.
+// admission enables TinyLFU admission; blockCost (optional) prices
+// eviction in recompute-seconds via the cost model.
 func NewRadixCache(capTokens, blockTokens int, admission bool, blockCost func(start, tokens int) float64) *RadixCache {
+	return NewRadixCacheIndexed(NewRadixIndex(), capTokens, blockTokens, admission, blockCost)
+}
+
+// NewRadixCacheIndexed is NewRadixCache with an explicit (possibly
+// shared) naming index — the constructor the gateway uses when a global
+// cache directory needs one trie describing every replica's copies.
+func NewRadixCacheIndexed(ix *RadixIndex, capTokens, blockTokens int, admission bool, blockCost func(start, tokens int) float64) *RadixCache {
 	if capTokens <= 0 {
 		panic(fmt.Sprintf("fleet: non-positive cache capacity %d", capTokens))
 	}
 	if blockTokens <= 0 {
 		panic(fmt.Sprintf("fleet: non-positive block size %d", blockTokens))
 	}
+	if ix == nil {
+		panic("fleet: nil radix index")
+	}
 	return &RadixCache{
 		capacity:    capTokens,
 		blockTokens: blockTokens,
 		admission:   admission,
-		nodes:       make(map[uint64]*radixNode),
+		index:       ix,
+		blocks:      make(map[uint64]*radixNode),
 		sketch:      newFreqSketch(4096),
 		blockCost:   blockCost,
 		costMemo:    make(map[int]float64),
@@ -97,10 +133,28 @@ func (c *RadixCache) Capacity() int { return c.capacity }
 func (c *RadixCache) Used() int { return c.used }
 
 // Len returns the resident block count.
-func (c *RadixCache) Len() int { return len(c.nodes) }
+func (c *RadixCache) Len() int { return len(c.blocks) }
 
 // BlockTokens returns the block granularity.
 func (c *RadixCache) BlockTokens() int { return c.blockTokens }
+
+// Index returns the naming index this cache records residency against.
+func (c *RadixCache) Index() *RadixIndex { return c.index }
+
+// setObserver attaches the residency observer (nil detaches).
+func (c *RadixCache) setObserver(o residencyObserver) { c.observer = o }
+
+// ResidentBlocks returns the hashes of every resident block in ascending
+// hash order — the ground-truth enumeration directory coherence tests
+// compare against.
+func (c *RadixCache) ResidentBlocks() []uint64 {
+	out := make([]uint64, 0, len(c.blocks))
+	for h := range c.blocks {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // matchLen returns how many leading blocks of chain are resident. A map
 // hit implies the whole prefix is resident: hashes are chained, and blocks
@@ -108,7 +162,7 @@ func (c *RadixCache) BlockTokens() int { return c.blockTokens }
 func (c *RadixCache) matchLen(chain []uint64) int {
 	n := 0
 	for n < len(chain) {
-		if _, ok := c.nodes[chain[n]]; !ok {
+		if _, ok := c.blocks[chain[n]]; !ok {
 			break
 		}
 		n++
@@ -136,7 +190,7 @@ func (c *RadixCache) Lookup(chain []uint64) int {
 	}
 	n := c.matchLen(chain)
 	for _, h := range chain[:n] {
-		c.refresh(c.nodes[h])
+		c.refresh(c.blocks[h])
 	}
 	if n == 0 {
 		c.Misses++
@@ -162,10 +216,21 @@ func (c *RadixCache) depthCost(depth int) float64 {
 	return v
 }
 
+// RecomputeSeconds prices recomputing `blocks` blocks starting at block
+// offset `fromBlock` on this replica — the recompute side of the cold
+// tier's fetch-over-link vs recompute decision.
+func (c *RadixCache) RecomputeSeconds(fromBlock, blocks int) float64 {
+	s := 0.0
+	for i := 0; i < blocks; i++ {
+		s += c.depthCost(fromBlock + i)
+	}
+	return s
+}
+
 // refresh recomputes a node's GDSF priority from the current clock and
 // sketch frequency, restoring heap order if the node is a leaf.
 func (c *RadixCache) refresh(n *radixNode) {
-	n.prio = c.clock + float64(c.sketch.estimate(PrefixKey(n.hash)))*c.depthCost(n.depth)/float64(c.blockTokens)
+	n.prio = c.clock + float64(c.sketch.estimate(PrefixKey(n.ref.hash)))*c.depthCost(n.ref.depth)/float64(c.blockTokens)
 	if n.heapIdx >= 0 {
 		c.leaves.fix(n)
 	}
@@ -201,7 +266,7 @@ func (c *RadixCache) evict(v *radixNode) {
 		c.clock = v.prio
 	}
 	c.leaves.remove(v)
-	delete(c.nodes, v.hash)
+	delete(c.blocks, v.ref.hash)
 	c.used -= c.blockTokens
 	c.Evicted++
 	if p := v.parent; p != nil {
@@ -210,13 +275,21 @@ func (c *RadixCache) evict(v *radixNode) {
 			c.leaves.push(p)
 		}
 	}
+	if c.observer != nil {
+		c.observer.blockDropped(v.ref, true)
+	}
+	c.index.release(v.ref)
 }
 
 // insert adds one block under parent (nil for depth 0), assuming capacity
 // has been made available.
 func (c *RadixCache) insert(hash uint64, parent *radixNode, depth int) *radixNode {
-	n := &radixNode{hash: hash, parent: parent, depth: depth, heapIdx: -1}
-	c.nodes[hash] = n
+	var pref *blockRef
+	if parent != nil {
+		pref = parent.ref
+	}
+	n := &radixNode{ref: c.index.acquire(hash, pref, depth), parent: parent, heapIdx: -1}
+	c.blocks[hash] = n
 	c.used += c.blockTokens
 	if parent != nil {
 		if parent.kids == 0 {
@@ -226,6 +299,9 @@ func (c *RadixCache) insert(hash uint64, parent *radixNode, depth int) *radixNod
 	}
 	c.refresh(n) // sets prio
 	c.leaves.push(n)
+	if c.observer != nil {
+		c.observer.blockAdded(n.ref)
+	}
 	return n
 }
 
@@ -243,9 +319,9 @@ func (c *RadixCache) extend(chain []uint64, admit bool, maxBlocks int) {
 	n := c.matchLen(chain)
 	var tip *radixNode
 	if n > 0 {
-		tip = c.nodes[chain[n-1]]
+		tip = c.blocks[chain[n-1]]
 		for _, h := range chain[:n] {
-			c.refresh(c.nodes[h])
+			c.refresh(c.blocks[h])
 		}
 	}
 	for i := n; i < maxBlocks; i++ {
@@ -254,7 +330,7 @@ func (c *RadixCache) extend(chain []uint64, admit bool, maxBlocks int) {
 			if v == nil {
 				return // the path itself fills the cache
 			}
-			if admit && c.admission && c.sketch.estimate(PrefixKey(chain[i])) < c.sketch.estimate(PrefixKey(v.hash)) {
+			if admit && c.admission && c.sketch.estimate(PrefixKey(chain[i])) < c.sketch.estimate(PrefixKey(v.ref.hash)) {
 				c.Rejected++
 				return
 			}
@@ -271,8 +347,8 @@ func (c *RadixCache) Put(chain []uint64) {
 }
 
 // Install inserts up to limitTokens of the chain, bypassing admission: the
-// KV arrived over the interconnect (a migration landing). Capacity is
-// still enforced against resident victims.
+// KV arrived over the interconnect (a migration landing or a cold-tier
+// fetch). Capacity is still enforced against resident victims.
 func (c *RadixCache) Install(chain []uint64, limitTokens int) {
 	c.extend(chain, false, limitTokens/c.blockTokens)
 }
@@ -287,12 +363,12 @@ func (c *RadixCache) RemoveExclusive(chain []uint64) int {
 	n := c.matchLen(chain)
 	freed := 0
 	for i := n - 1; i >= 0; i-- {
-		v := c.nodes[chain[i]]
+		v := c.blocks[chain[i]]
 		if v.kids > 0 {
 			break
 		}
 		c.leaves.remove(v)
-		delete(c.nodes, v.hash)
+		delete(c.blocks, v.ref.hash)
 		c.used -= c.blockTokens
 		freed += c.blockTokens
 		if p := v.parent; p != nil {
@@ -301,27 +377,41 @@ func (c *RadixCache) RemoveExclusive(chain []uint64) int {
 				c.leaves.push(p)
 			}
 		}
+		if c.observer != nil {
+			c.observer.blockDropped(v.ref, false)
+		}
+		c.index.release(v.ref)
 	}
 	return freed
 }
 
 // Clear drops every resident block (a draining replica's KV dies with it).
+// The observer hears one bulk cacheCleared instead of per-block drops:
+// map iteration order is not deterministic, and a wipe is one fact, not
+// len(blocks) facts.
 func (c *RadixCache) Clear() {
-	c.nodes = make(map[uint64]*radixNode)
+	if c.observer != nil && len(c.blocks) > 0 {
+		c.observer.cacheCleared(c.used, len(c.blocks))
+	}
+	for _, n := range c.blocks {
+		c.index.release(n.ref)
+	}
+	c.blocks = make(map[uint64]*radixNode)
 	c.leaves = c.leaves[:0]
 	c.used = 0
 }
 
 // leafHeap is a hand-rolled indexed binary min-heap over leaf blocks,
 // ordered by (priority, hash) — the hash tie-break keeps eviction order
-// deterministic.
+// deterministic. The cold tier reuses it as a flat GDSF heap over its
+// own copies.
 type leafHeap []*radixNode
 
 func leafLess(a, b *radixNode) bool {
 	if a.prio != b.prio {
 		return a.prio < b.prio
 	}
-	return a.hash < b.hash
+	return a.ref.hash < b.ref.hash
 }
 
 func (h *leafHeap) push(n *radixNode) {

@@ -73,9 +73,9 @@ func TestRadixCacheLeafOnlyEviction(t *testing.T) {
 		t.Fatalf("evicted %d used %d", c.Evicted, c.Used())
 	}
 	// Invariant sweep: every resident block's parent chain is resident.
-	for h, n := range c.nodes {
+	for h, n := range c.blocks {
 		for p := n.parent; p != nil; p = p.parent {
-			if c.nodes[p.hash] != p {
+			if c.blocks[p.ref.hash] != p {
 				t.Fatalf("block %x has a non-resident ancestor", h)
 			}
 		}

@@ -1,0 +1,69 @@
+package fleet
+
+// The index layer of the block-granular prefix cache. A RadixIndex names
+// block chains — the hash-consed trie structure of "which block follows
+// which" — without owning any KV. Residency layers (RadixCache for a
+// replica's HBM, coldTier for the fleet's host-memory pool) hold
+// refcounted references into one index, so the same trie can describe
+// every copy of a block in the fleet: local HBM at some replica, a peer
+// replica's copy, or a cold-tier copy. A block's name disappears only
+// when its last copy anywhere is gone.
+//
+// Standalone caches (no global directory) each own a private index; a
+// gateway running the cache directory hands every replica cache and the
+// cold tier one shared index. Sharing is pure naming — it never changes
+// any holder's eviction or admission behavior, which is what keeps the
+// split behaviorally invisible (the golden fleet tables are byte-
+// identical with the directory off).
+
+// blockRef is one named block in the index: identity (the chained
+// content hash), structure (parent link) and position (block depth).
+// Chained hashes make the name self-certifying — a hash identifies its
+// entire prefix — so two holders acquiring the same hash are guaranteed
+// to mean the same token block under the same parent.
+type blockRef struct {
+	hash   uint64
+	parent *blockRef // nil for depth-0 blocks
+	depth  int       // block index: covers tokens [depth*B, (depth+1)*B)
+	refs   int       // copies held across residency layers
+}
+
+// RadixIndex is the shared naming trie: hash -> blockRef, refcounted by
+// the residency layers holding copies.
+type RadixIndex struct {
+	nodes map[uint64]*blockRef
+}
+
+// NewRadixIndex returns an empty index.
+func NewRadixIndex() *RadixIndex {
+	return &RadixIndex{nodes: make(map[uint64]*blockRef)}
+}
+
+// Len returns the number of distinct named blocks (blocks with at least
+// one copy somewhere).
+func (ix *RadixIndex) Len() int { return len(ix.nodes) }
+
+// lookup returns the ref for hash, nil when no copy exists anywhere.
+func (ix *RadixIndex) lookup(hash uint64) *blockRef { return ix.nodes[hash] }
+
+// acquire returns the ref for hash, creating it under parent at the
+// given depth when this is the first copy, and counts the caller as one
+// holder. parent may be nil for depth-0 blocks.
+func (ix *RadixIndex) acquire(hash uint64, parent *blockRef, depth int) *blockRef {
+	r := ix.nodes[hash]
+	if r == nil {
+		r = &blockRef{hash: hash, parent: parent, depth: depth}
+		ix.nodes[hash] = r
+	}
+	r.refs++
+	return r
+}
+
+// release drops one holder of r, unnaming the block when its last copy
+// is gone.
+func (ix *RadixIndex) release(r *blockRef) {
+	r.refs--
+	if r.refs <= 0 {
+		delete(ix.nodes, r.hash)
+	}
+}

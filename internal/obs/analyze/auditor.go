@@ -62,6 +62,20 @@ const (
 	// pair resolves exactly once; two winners means the same request's
 	// output was produced (and counted) twice.
 	DuplicateHedgeWin
+	// RouteToNonresident: a ContentRoute claiming more directory-resident
+	// overlap tokens at its destination than the directory-update deltas
+	// have accumulated there — the router promised KV the directory never
+	// said was resident.
+	RouteToNonresident
+	// FetchWithoutSpill: a ColdFetch moving more tokens than the cold
+	// tier's spill/evict deltas say it holds — KV fetched from a tier
+	// that never received it.
+	FetchWithoutSpill
+	// DirectoryEntryAfterCrash: a positive directory-update delta on a
+	// crashed replica. A crash must wipe the replica's directory entries
+	// (the negative bulk delta is the one legal post-crash event); a
+	// positive delta resurrects KV on a corpse.
+	DirectoryEntryAfterCrash
 
 	numViolationKinds
 )
@@ -82,6 +96,10 @@ var violationNames = [numViolationKinds]string{
 	EventAfterCrash:         "event-after-crash",
 	RecoverWithoutCrash:     "recover-without-crash",
 	DuplicateHedgeWin:       "duplicate-hedge-win",
+
+	RouteToNonresident:       "route-to-nonresident",
+	FetchWithoutSpill:        "fetch-without-spill",
+	DirectoryEntryAfterCrash: "directory-entry-after-crash",
 }
 
 func (k ViolationKind) String() string {
@@ -141,6 +159,12 @@ type Auditor struct {
 	sessionCtx map[int64]int64 // session → largest finished context (KV upper bound)
 	retired    map[int]bool
 	crashed    map[int]bool
+	// dirTokens accumulates directory-update deltas per location (replica
+	// index; -1 = cold tier) — the auditor's replay of the gateway's
+	// global cache directory. Content routes may not claim more than the
+	// destination's running total; cold fetches may not move more than
+	// the cold tier's.
+	dirTokens  map[int]int64
 	last       simevent.Time
 	seen       int
 	violations []Violation
@@ -153,6 +177,7 @@ func NewAuditor() *Auditor {
 		sessionCtx: make(map[int64]int64),
 		retired:    make(map[int]bool),
 		crashed:    make(map[int]bool),
+		dirTokens:  make(map[int]int64),
 	}
 }
 
@@ -182,9 +207,12 @@ func (a *Auditor) Emit(e obs.Event) {
 
 	// The crash check is stricter than the retired one: a crash is an
 	// instant, so even same-instant stragglers are defects. Only the Crash
-	// event itself (handled in the switch, where a duplicate is flagged)
-	// and gateway-level Autoscale decisions are exempt.
-	if e.Kind != obs.KindCrash && e.Kind != obs.KindAutoscale && e.Replica >= 0 && a.crashed[e.Replica] {
+	// event itself (handled in the switch, where a duplicate is flagged),
+	// gateway-level Autoscale decisions, and DirectoryUpdate (whose
+	// crash-time wipe is mandated coherence — its own case flags the
+	// genuinely illegal positive deltas) are exempt.
+	if e.Kind != obs.KindCrash && e.Kind != obs.KindAutoscale && e.Kind != obs.KindDirectoryUpdate &&
+		e.Replica >= 0 && a.crashed[e.Replica] {
 		a.flag(EventAfterCrash, e, "%s on crashed replica %d", e.Kind, e.Replica)
 	}
 
@@ -312,6 +340,32 @@ func (a *Auditor) Emit(e obs.Event) {
 	case obs.KindHedgeLose:
 		if r := a.reqs[e.Request]; r != nil {
 			r.hedgeTo = -1
+		}
+	case obs.KindDirectoryUpdate:
+		// Tokens is a signed delta against one location's directory total.
+		// After a crash the directory may only shed entries for that replica
+		// (the wipe); any positive delta would mean the gateway is recording
+		// new resident content on a dead process.
+		if e.Replica >= 0 && a.crashed[e.Replica] && e.Tokens > 0 {
+			a.flag(DirectoryEntryAfterCrash, e, "directory gained %d tokens on crashed replica %d", e.Tokens, e.Replica)
+		}
+		a.dirTokens[e.Replica] += int64(e.Tokens)
+	case obs.KindColdSpill:
+		// A spill names blocks into the cold tier without a directory-update
+		// event (the -1 location's adds are implied; only cold evictions emit
+		// negative deltas there). Replay it into the cold total directly.
+		a.dirTokens[-1] += int64(e.Tokens)
+	case obs.KindContentRoute:
+		// Tokens is the overlap the router claimed at the destination; it can
+		// never exceed what the directory said was resident there.
+		if int64(e.Tokens) > a.dirTokens[e.Replica] {
+			a.flag(RouteToNonresident, e, "claimed %d overlap tokens on replica %d, directory holds %d", e.Tokens, e.Replica, a.dirTokens[e.Replica])
+		}
+	case obs.KindColdFetch:
+		// Tokens is the run fetched from the cold tier; the tier can only
+		// serve what spills put there (minus what cold evictions removed).
+		if int64(e.Tokens) > a.dirTokens[-1] {
+			a.flag(FetchWithoutSpill, e, "fetched %d cold tokens, tier holds %d", e.Tokens, a.dirTokens[-1])
 		}
 	}
 }

@@ -253,6 +253,86 @@ func TestAuditorOnlineMatchesPostHoc(t *testing.T) {
 	}
 }
 
+// TestAuditDirectoryColdClean is the well-formed cache-directory story:
+// blocks become resident, one spills to the cold tier on eviction, a
+// content route claims exactly what the directory holds, the cold run is
+// fetched back, and a crash wipes the dead replica's entries with a
+// negative delta. Zero violations.
+func TestAuditDirectoryColdClean(t *testing.T) {
+	ev := chain(1, 7, 1, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev, chain(2, 7, 0, 2.1, 2.2, 2.3, 2.5, 2.6)...)
+	ev = append(ev,
+		obs.Event{At: at(0.3), Kind: obs.KindDirectoryUpdate, Replica: 1, Tokens: 64, A: 64, Label: "add"},
+		obs.Event{At: at(0.4), Kind: obs.KindDirectoryUpdate, Replica: 1, Tokens: 64, A: 128, Label: "add"},
+		// One block evicted from replica 1: directory retracts, cold gains.
+		obs.Event{At: at(0.5), Kind: obs.KindDirectoryUpdate, Replica: 1, Tokens: -64, A: 64, Label: "remove"},
+		obs.Event{At: at(0.5), Kind: obs.KindColdSpill, Replica: 1, Tokens: 64, A: 64, B: 1},
+		// Routing claims no more than the 64 tokens still resident on 1.
+		obs.Event{At: at(0.6), Kind: obs.KindContentRoute, Replica: 1, Session: 7, Request: 5, Tokens: 64, A: 1, B: 2},
+		// The cold run is fetched back (a copy; the tier keeps the block).
+		obs.Event{At: at(0.7), Kind: obs.KindColdFetch, Replica: 1, Session: 7, Request: 5, Tokens: 64, A: 1000, B: 5000},
+		// Replica 0 holds 32 tokens, crashes, and the wipe retracts them.
+		obs.Event{At: at(2.7), Kind: obs.KindDirectoryUpdate, Replica: 0, Tokens: 32, A: 32, Label: "add"},
+		obs.Event{At: at(2.8), Kind: obs.KindCrash, Replica: 0, Tokens: 0, A: 32},
+		obs.Event{At: at(2.8), Kind: obs.KindDirectoryUpdate, Replica: 0, Tokens: -32, A: 0, Label: "wipe"},
+	)
+	if vs := Audit(byTime(ev)); len(vs) != 0 {
+		t.Fatalf("clean directory/cold stream flagged: %v", vs)
+	}
+}
+
+func TestAuditRouteToNonresident(t *testing.T) {
+	ev := chain(1, 7, 1, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev,
+		obs.Event{At: at(2.1), Kind: obs.KindDirectoryUpdate, Replica: 1, Tokens: 64, A: 64, Label: "add"},
+		// The router claims 65 overlap tokens where only 64 are resident.
+		obs.Event{At: at(2.2), Kind: obs.KindContentRoute, Replica: 1, Session: 7, Request: 1, Tokens: 65, A: 0, B: 2},
+	)
+	v := wantViolation(t, Audit(ev), RouteToNonresident)
+	if v.Replica != 1 {
+		t.Fatalf("violation names replica %d, want 1", v.Replica)
+	}
+
+	// At exactly the resident total the claim is legal.
+	ev[len(ev)-1].Tokens = 64
+	if vs := Audit(ev); len(vs) != 0 {
+		t.Fatalf("bound claim flagged: %v", vs)
+	}
+}
+
+func TestAuditFetchWithoutSpill(t *testing.T) {
+	ev := chain(1, 7, 1, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev,
+		obs.Event{At: at(2.1), Kind: obs.KindColdSpill, Replica: 0, Tokens: 64, A: 64, B: 1},
+		// A fetch of more than the tier ever received.
+		obs.Event{At: at(2.2), Kind: obs.KindColdFetch, Replica: 1, Session: 7, Request: 1, Tokens: 128, A: 1000, B: 5000},
+	)
+	wantViolation(t, Audit(ev), FetchWithoutSpill)
+
+	// After a cold eviction retracts the block, even the original 64 is gone.
+	ev[len(ev)-1].Tokens = 64
+	ev = append(ev[:len(ev)-1],
+		obs.Event{At: at(2.15), Kind: obs.KindDirectoryUpdate, Replica: -1, Tokens: -64, A: 0, Label: "cold-evict"},
+		ev[len(ev)-1])
+	wantViolation(t, Audit(ev), FetchWithoutSpill)
+}
+
+func TestAuditDirectoryEntryAfterCrash(t *testing.T) {
+	ev := chain(1, 7, 1, 0, 0.1, 0.2, 1.0, 2.0)
+	ev = append(ev,
+		obs.Event{At: at(2.1), Kind: obs.KindDirectoryUpdate, Replica: 0, Tokens: 64, A: 64, Label: "add"},
+		obs.Event{At: at(2.2), Kind: obs.KindCrash, Replica: 0, Tokens: 0, A: 64},
+		// The mandated wipe is legal even though the replica just crashed...
+		obs.Event{At: at(2.2), Kind: obs.KindDirectoryUpdate, Replica: 0, Tokens: -64, A: 0, Label: "wipe"},
+		// ...but a positive delta on the corpse is a defect.
+		obs.Event{At: at(2.3), Kind: obs.KindDirectoryUpdate, Replica: 0, Tokens: 32, A: 32, Label: "add"},
+	)
+	v := wantViolation(t, Audit(ev), DirectoryEntryAfterCrash)
+	if v.Replica != 0 {
+		t.Fatalf("violation names replica %d, want 0", v.Replica)
+	}
+}
+
 func TestWriteViolations(t *testing.T) {
 	var b strings.Builder
 	if err := WriteViolations(&b, nil); err != nil {

@@ -320,6 +320,29 @@ func (cw *chromeWriter) event(e Event) {
 		cw.instant(pid, chromeTIDRequests, at, e.Kind.String(), argList{
 			{"req", float64(e.Request)}, {"tokens", float64(e.Tokens)}, {"other", float64(e.A)},
 		})
+	case KindDirectoryUpdate:
+		// The directory is gateway state — render on the router track even
+		// when the location is a replica (or -1, the cold tier), which a
+		// replica-keyed pid could not express.
+		cw.instant(chromePIDGateway, chromeTIDRouter, at, "directory:"+e.Label, argList{
+			{"loc", float64(e.Replica)}, {"delta", float64(e.Tokens)}, {"total", float64(e.A)},
+		})
+	case KindContentRoute:
+		cw.instant(chromePIDGateway, chromeTIDRouter, at, "content-route", argList{
+			{"req", float64(e.Request)}, {"dest", float64(e.Replica)},
+			{"claim", float64(e.Tokens)}, {"queue", float64(e.A)}, {"eligible", float64(e.B)},
+		})
+	case KindColdSpill:
+		pid := chromePIDReplicaBase + int64(e.Replica)
+		cw.instant(pid, chromeTIDMigrations, at, "cold-spill", argList{
+			{"tokens", float64(e.Tokens)}, {"cold_used", float64(e.A)}, {"cold_blocks", float64(e.B)},
+		})
+	case KindColdFetch:
+		pid := chromePIDReplicaBase + int64(e.Replica)
+		cw.instant(pid, chromeTIDMigrations, at, "cold-fetch", argList{
+			{"req", float64(e.Request)}, {"tokens", float64(e.Tokens)},
+			{"link_ns", float64(e.A)}, {"recompute_ns", float64(e.B)},
+		})
 	default: // engine-bridged kinds
 		pid := chromePIDReplicaBase + int64(e.Replica)
 		cw.instant(pid, chromeTIDEngine, at, e.Kind.String(), argList{

@@ -109,6 +109,30 @@ const (
 	// crashed). Replica = losing hedge replica, Tokens = tokens of work
 	// the loser burns anyway (engines cannot cancel), A = winning replica.
 	KindHedgeLose
+	// Cache-directory kinds (appended for the global cache directory and
+	// cold KV tier; see internal/fleet/directory.go).
+	//
+	// KindDirectoryUpdate: the gateway's global cache directory changed at
+	// one location. Replica = location (replica index; -1 = cold tier),
+	// Tokens = signed resident-token delta, A = resulting resident tokens
+	// at the location, Label = cause ("add", "remove", "wipe",
+	// "cold-evict"). A crash or drain wipe appears as one negative bulk
+	// delta — the only event legally attributed to a crashed replica
+	// after its crash.
+	KindDirectoryUpdate
+	// KindContentRoute: the content-affinity policy picked a destination
+	// off the directory. Replica = destination, Tokens = directory-
+	// resident overlap tokens claimed at pick time, A = destination queue
+	// depth, B = eligible replica count.
+	KindContentRoute
+	// KindColdSpill: a capacity-evicted block was copied into the cold
+	// tier. Replica = source replica, Tokens = block tokens spilled,
+	// A = cold-tier used tokens after, B = cold-tier blocks after.
+	KindColdSpill
+	// KindColdFetch: cold KV was copied over the interconnect to a
+	// replica ahead of a prefill. Replica = destination, Tokens = tokens
+	// fetched, A = link transfer ns paid, B = recompute ns displaced.
+	KindColdFetch
 
 	numKinds
 )
@@ -139,6 +163,11 @@ var kindNames = [numKinds]string{
 	KindHedgeLaunch:  "hedge-launch",
 	KindHedgeWin:     "hedge-win",
 	KindHedgeLose:    "hedge-lose",
+
+	KindDirectoryUpdate: "directory-update",
+	KindContentRoute:    "content-route",
+	KindColdSpill:       "cold-spill",
+	KindColdFetch:       "cold-fetch",
 }
 
 func (k Kind) String() string {

@@ -53,6 +53,15 @@ func detail(e Event) string {
 	case KindAutoscale:
 		return fmt.Sprintf("%s replica=%d outstanding=%d active=%d warming=%d",
 			e.Label, e.Replica, e.Tokens, e.A, e.B)
+	case KindDirectoryUpdate:
+		return fmt.Sprintf("%s loc=%d delta=%+d total=%d", e.Label, e.Replica, e.Tokens, e.A)
+	case KindContentRoute:
+		return fmt.Sprintf("req=%d claim=%d queue=%d eligible=%d", e.Request, e.Tokens, e.A, e.B)
+	case KindColdSpill:
+		return fmt.Sprintf("tokens=%d cold_used=%d cold_blocks=%d", e.Tokens, e.A, e.B)
+	case KindColdFetch:
+		return fmt.Sprintf("req=%d tokens=%d link=%v recompute=%v", e.Request, e.Tokens,
+			time.Duration(e.A).Round(time.Microsecond), time.Duration(e.B).Round(time.Microsecond))
 	default: // engine-bridged kinds
 		return fmt.Sprintf("group=%d dop=%d batch=%d tokens=%d", e.Group, e.A, e.B, e.Tokens)
 	}

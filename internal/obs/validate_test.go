@@ -86,6 +86,8 @@ func TestFaultKindNames(t *testing.T) {
 	for name, want := range map[string]Kind{
 		"crash": KindCrash, "recover": KindRecover,
 		"hedge-launch": KindHedgeLaunch, "hedge-win": KindHedgeWin, "hedge-lose": KindHedgeLose,
+		"directory-update": KindDirectoryUpdate, "content-route": KindContentRoute,
+		"cold-spill": KindColdSpill, "cold-fetch": KindColdFetch,
 	} {
 		got, ok := KindByName(name)
 		if !ok || got != want {

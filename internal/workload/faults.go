@@ -13,11 +13,17 @@ type FaultKind string
 // in-flight work; Stall freezes a replica's arrivals for a while (the
 // straggler model request hedging defends against); CacheDrop wipes one
 // instance's control-plane metadata cache (the partial failure the
-// manager's Nak/resend path repairs).
+// manager's Nak/resend path repairs); Drain scales a replica in mid-run
+// (planned churn: its sessions evacuate over the link); Degrade slows
+// every inter-replica link transfer by Factor for Window (congested or
+// flapping interconnect — drains, migrations and cold-tier fetches all
+// pay it).
 const (
 	FaultCrash     FaultKind = "crash"
 	FaultStall     FaultKind = "stall"
 	FaultCacheDrop FaultKind = "cachedrop"
+	FaultDrain     FaultKind = "drain"
+	FaultDegrade   FaultKind = "degrade"
 )
 
 // Fault is one scheduled fault. Slot is an abstract target selector: the
@@ -30,6 +36,10 @@ type Fault struct {
 	Kind  FaultKind
 	Slot  int
 	Stall time.Duration // stall duration; zero for other kinds
+	// Link-degradation window (FaultDegrade only): transfers cost Factor
+	// times their nominal link time until Window elapses.
+	Window time.Duration
+	Factor float64
 }
 
 // FaultRates parameterizes a generated fault schedule as mean events per
@@ -38,9 +48,16 @@ type FaultRates struct {
 	CrashPerMin     float64
 	StallPerMin     float64
 	CacheDropPerMin float64
+	DrainPerMin     float64
+	DegradePerMin   float64
 	// StallMean is the mean of the exponentially distributed stall length
 	// (default 3s).
 	StallMean time.Duration
+	// DegradeMean is the mean of the exponentially distributed
+	// link-degradation window (default 10s); DegradeFactor is the slowdown
+	// applied inside it (default 4x).
+	DegradeMean   time.Duration
+	DegradeFactor float64
 }
 
 // GenFaults draws a deterministic fault schedule over [0, horizon): for
@@ -53,6 +70,14 @@ func GenFaults(seed int64, r FaultRates, horizon time.Duration) []Fault {
 	stallMean := r.StallMean
 	if stallMean <= 0 {
 		stallMean = 3 * time.Second
+	}
+	degradeMean := r.DegradeMean
+	if degradeMean <= 0 {
+		degradeMean = 10 * time.Second
+	}
+	degradeFactor := r.DegradeFactor
+	if degradeFactor <= 1 {
+		degradeFactor = 4
 	}
 	minutes := horizon.Minutes()
 	var out []Fault
@@ -71,12 +96,18 @@ func GenFaults(seed int64, r FaultRates, horizon time.Duration) []Fault {
 			if kind == FaultStall {
 				f.Stall = time.Duration(rng.ExpFloat64() * float64(stallMean))
 			}
+			if kind == FaultDegrade {
+				f.Window = time.Duration(rng.ExpFloat64() * float64(degradeMean))
+				f.Factor = degradeFactor
+			}
 			out = append(out, f)
 		}
 	}
 	gen(FaultCrash, r.CrashPerMin)
 	gen(FaultStall, r.StallPerMin)
 	gen(FaultCacheDrop, r.CacheDropPerMin)
+	gen(FaultDrain, r.DrainPerMin)
+	gen(FaultDegrade, r.DegradePerMin)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.At != b.At {
