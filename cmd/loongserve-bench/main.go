@@ -23,11 +23,20 @@
 //
 // Usage:
 //
-//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|faults|cachedir|autoscale|ablations|perf|all [-quick] [-serial]
+//	loongserve-bench -exp fig2|fig3|fig10|fig11|fig12|fig13|fig14|fig15|fleet|faults|cachedir|autoscale|ablations|bigfleet|perf|all [-quick] [-serial] [-shards N] [-fuse-decode=false]
 //
 // -exp perf measures the simulator's hot paths against the recorded
 // pre-optimization baseline and writes the perf trajectory to -benchjson
 // (BENCH_SIM.json by default). It is not part of -exp all.
+//
+// -exp bigfleet runs one day-long session trace through a 64-replica
+// heterogeneous fleet at every point of a shard ladder (-shards N replaces
+// the ladder with {1, N}), verifying every sharded arm byte-identical to
+// the serial reference — obs stream digest, metrics, makespan, audit
+// verdict — so the ladder can only change wall-clock time. -fuse-decode
+// (default true) controls decode-iteration fusion on the ladder arms; the
+// quick scale additionally runs a fusion-off arm to prove fusion changes
+// event counts and nothing else. Like perf, it is not part of -exp all.
 package main
 
 import (
@@ -45,6 +54,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced request counts and rate ladders")
 	serial := flag.Bool("serial", false, "run experiment arms single-threaded (results are byte-identical to parallel)")
 	benchJSON := flag.String("benchjson", "BENCH_SIM.json", "output path for -exp perf (empty = stdout table only)")
+	shards := flag.Int("shards", 0, "for -exp bigfleet: replace the shard ladder with {1, N} (0 keeps the scale's ladder)")
+	fuseDecode := flag.Bool("fuse-decode", true, "for -exp bigfleet: run the shard-ladder arms with decode-iteration fusion")
 	flag.Parse()
 
 	scale := bench.FullScale()
@@ -54,6 +65,10 @@ func main() {
 	if *serial {
 		scale.Workers = 1
 	}
+	if *shards > 1 {
+		scale.BigFleetShards = []int{1, *shards}
+	}
+	scale.BigFleetFuse = *fuseDecode
 
 	run := func(name string) bool {
 		return *exp == "all" || strings.EqualFold(*exp, name)
@@ -123,6 +138,10 @@ func main() {
 		bench.AblationDPBatching(scale).Fprint(out)
 		bench.AblationPartitioning().Fprint(out)
 		bench.AblationControlPlane().Fprint(out)
+		any = true
+	}
+	if strings.EqualFold(*exp, "bigfleet") {
+		bench.BigFleetExperiment(scale).Fprint(out)
 		any = true
 	}
 	if strings.EqualFold(*exp, "perf") {

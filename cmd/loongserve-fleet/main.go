@@ -84,6 +84,18 @@
 // simulation hot paths pay a single nil check per would-be event
 // (regression-tested to zero allocations).
 //
+// Performance: -shards N advances the replica engines on N worker
+// goroutines between gateway-event barriers (conservative time-window
+// synchronization: every gateway interaction is a barrier, replicas run
+// free between them on private event heaps). Output is byte-identical to
+// the serial run at any N — sharding buys wall-clock time on multi-core
+// hosts, never different results. It requires an open-loop workload and a
+// static fleet. -fuse-decode collapses provably identical decode
+// iterations of a stable group into one simulator event on replicas whose
+// engine supports it (the LoongServe core); fusion is observationally
+// exact — records, traces, event streams and audits are unchanged, only
+// the simulator event count drops.
+//
 // Usage:
 //
 //	loongserve-fleet [flags]
@@ -106,6 +118,8 @@
 //	loongserve-fleet -policy affinity -closed-loop -faults crash=1,stall=3 -hedge 0.95 -audit
 //	loongserve-fleet -policy content -cold-tier 200000 -closed-loop \
 //	    -faults crash=0.5,drain=2,degrade=1 -link-faults 6:5s -audit
+//	loongserve-fleet -sessions 5000 -rate 8 -shards 4 -fuse-decode -policy capability \
+//	    -mix loong:8,contbatch:56                 # multi-core single-run sharding
 package main
 
 import (
@@ -178,6 +192,8 @@ func main() {
 		coldTier    = flag.Int("cold-tier", 0, "fleet-shared host-memory cold KV tier capacity in tokens: capacity-evicted radix blocks spill there and are fetched back when the link beats recompute (0 = off; requires -cache radix)")
 		branch      = flag.Int("branch", 0, "branching sessions: family size sharing a conversation trunk (0 = independent sessions)")
 		branchTurns = flag.Int("branch-turns", 2, "trunk turns shared within a branching family")
+		shardsN     = flag.Int("shards", 0, "advance replica engines on N worker goroutines between gateway-event barriers (0 = legacy single-heap runner; 1 = the barrier algorithm inline, the serial reference; output is byte-identical at any N; requires open-loop, static fleet)")
+		fuseDecode  = flag.Bool("fuse-decode", false, "collapse provably identical decode iterations of a stable group into one simulator event on replicas that support it (observationally exact; only event counts change)")
 		seed        = flag.Int64("seed", 42, "workload and policy seed (runs are deterministic per seed)")
 		verbose     = flag.Bool("v", false, "print per-replica request/hit/cache breakdowns")
 	)
@@ -303,6 +319,18 @@ func main() {
 	}
 	if *autoScale && (*faultsSpec != "" || *hedgeQ > 0) {
 		fmt.Fprintln(os.Stderr, "loongserve-fleet: -faults/-hedge run against a static fleet; drop -autoscale")
+		os.Exit(2)
+	}
+	if *shardsN < 0 {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -shards must be >= 0")
+		os.Exit(2)
+	}
+	if *shardsN > 0 && *closedLoop {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: sharded runs need zero-lookahead arrivals; drop -closed-loop or -shards")
+		os.Exit(2)
+	}
+	if *autoScale && *shardsN > 0 {
+		fmt.Fprintln(os.Stderr, "loongserve-fleet: -shards runs against a static fleet; drop -autoscale")
 		os.Exit(2)
 	}
 
@@ -469,6 +497,8 @@ func main() {
 			// for one implies maintaining it.
 			Directory:      *directory || *coldTier > 0 || isDirectoryAware(p),
 			ColdTierTokens: *coldTier,
+			Shards:         *shardsN,
+			FuseDecode:     *fuseDecode,
 		}
 		if needObs && pi == len(policies)-1 {
 			runCfg.Obs = collector

@@ -43,6 +43,10 @@ type PerfEntry struct {
 	// allocs / baseline allocs (lower is better for both columns' inputs).
 	Speedup     float64 `json:"speedup,omitempty"`
 	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+	// GoMaxProcs records the parallelism available when this entry was
+	// measured — without it, wall times of multi-core experiments (the
+	// bigfleet shard ladder especially) are uninterpretable across hosts.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // PerfReport is the BENCH_SIM.json schema.
@@ -102,7 +106,7 @@ func RunPerf(sc Scale) *PerfReport {
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
 	}
 	add := func(name string, side PerfSide) {
-		e := PerfEntry{Name: name, Current: side}
+		e := PerfEntry{Name: name, Current: side, GoMaxProcs: runtime.GOMAXPROCS(0)}
 		if b, ok := perfBaseline[name]; ok {
 			b := b
 			if side.Events > 0 && b.WallMS > 0 {
@@ -191,6 +195,30 @@ func RunPerf(sc Scale) *PerfReport {
 			}
 			return stats.Events
 		}))
+	}
+
+	// The bigfleet family: the day-long heterogeneous trace once per shard
+	// ladder point (no best-of reps — each run is minutes long and the
+	// ladder arms verify byte-identity against the serial point anyway).
+	groups := BigFleetComposition(sc)
+	var bigRef BigFleetArm
+	for i, shards := range sc.BigFleetShards {
+		arm := RunBigFleetArm(sc, groups, shards, sc.BigFleetFuse)
+		if i == 0 {
+			bigRef = arm
+		} else {
+			requireBigFleetIdentity(bigRef, arm, true)
+		}
+		if arm.Violations != 0 {
+			panic(fmt.Sprintf("bigfleet perf: shards=%d stream audit found %d violations", shards, arm.Violations))
+		}
+		wallMS := float64(arm.Wall.Nanoseconds()) / 1e6
+		add(fmt.Sprintf("bigfleet_shards%d", shards), PerfSide{
+			WallMS:       wallMS,
+			Allocs:       arm.Allocs,
+			Events:       arm.Res.SimEvents,
+			EventsPerSec: float64(arm.Res.SimEvents) / (wallMS / 1e3),
+		})
 	}
 	return rep
 }

@@ -54,7 +54,19 @@ type Scale struct {
 	// drain/crash/link-degradation churn.
 	CacheDirDuration float64
 	CacheDirRate     float64
-	Seed             int64
+	// Big-fleet sharding experiment: heterogeneous composition (loong +
+	// contbatch replica counts), session count and arrival rate of the
+	// day-long trace, the shard ladder (must start at 1, the serial
+	// reference), and whether to run the fusion-off identity arm (cheap at
+	// quick scale, prohibitive on the full trace).
+	BigFleetLoong      int
+	BigFleetSmall      int
+	BigFleetSessions   int
+	BigFleetRate       float64
+	BigFleetShards     []int
+	BigFleetFuse       bool // decode-iteration fusion on the ladder arms
+	BigFleetUnfusedArm bool
+	Seed               int64
 	// Workers bounds how many independent experiment arms run concurrently
 	// (each arm owns a full simulator); 0 means one per available CPU, 1
 	// forces serial execution. Results are ordered by arm index either way,
@@ -92,7 +104,15 @@ func FullScale() Scale {
 		ChaosCrashRates:   []float64{0, 0.5, 2},
 		CacheDirDuration:  180,
 		CacheDirRate:      2.5,
-		Seed:              42,
+		// The day-long trace: ~1M sessions over ~24 simulated hours through
+		// 64 replicas, sharded at the full acceptance ladder.
+		BigFleetLoong:    8,
+		BigFleetSmall:    56,
+		BigFleetSessions: 1_000_000,
+		BigFleetRate:     11.6,
+		BigFleetShards:   []int{1, 4, 8},
+		BigFleetFuse:     true,
+		Seed:             42,
 	}
 }
 
@@ -127,7 +147,16 @@ func QuickScale() Scale {
 		ChaosCrashRates:   []float64{0, 3},
 		CacheDirDuration:  90,
 		CacheDirRate:      2.5,
-		Seed:              42,
+		// Same 64-replica fleet, a few simulated minutes of trace: the CI
+		// smoke shape, with the fusion-off identity arm included.
+		BigFleetLoong:      8,
+		BigFleetSmall:      56,
+		BigFleetSessions:   2_000,
+		BigFleetRate:       8,
+		BigFleetShards:     []int{1, 4},
+		BigFleetFuse:       true,
+		BigFleetUnfusedArm: true,
+		Seed:               42,
 	}
 }
 

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"loongserve/internal/cluster"
+	"loongserve/internal/costmodel"
+	"loongserve/internal/model"
+	"loongserve/internal/serving"
+	"loongserve/internal/workload"
+)
+
+// runFusedDrain runs one solo long-decode request with fusion enabled and
+// returns the heap allocation count for the whole run plus the engine for
+// fusion-stat checks.
+func runFusedDrain(t *testing.T, outputLen int) (uint64, *Engine) {
+	t.Helper()
+	m := model.LWM1MText()
+	hw := cluster.A800()
+	c, err := cluster.New(m, hw, 1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2, Options{})
+	eng.SetDecodeFusion(true)
+	cm := costmodel.New(m, hw)
+	trace := []workload.TimedRequest{{Entry: workload.Entry{InputLen: 500, OutputLen: outputLen}}}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	recs, err := serving.Run(eng, c, cm, trace, serving.DefaultRunConfig())
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].OutputLen != outputLen {
+		t.Fatalf("drain run completed %d records", len(recs))
+	}
+	return after.Mallocs - before.Mallocs, eng
+}
+
+// TestFusedDecodeDrainZeroAllocsPerIteration pins the fused decode window's
+// steady-state cost: a solo drain fuses into O(1) windows regardless of
+// output length, and the window itself allocates nothing per interior
+// iteration — heap growth between a 4k-token and a 16k-token drain must be
+// a small constant, not O(extra iterations).
+func TestFusedDecodeDrainZeroAllocsPerIteration(t *testing.T) {
+	short, shortEng := runFusedDrain(t, 4_000)
+	long, longEng := runFusedDrain(t, 16_000)
+
+	for _, st := range []struct {
+		eng *Engine
+		out int
+	}{{shortEng, 4_000}, {longEng, 16_000}} {
+		fs := st.eng.FusionStats()
+		if fs.Windows < 1 || fs.Windows > 4 {
+			t.Fatalf("solo %d-token drain launched %d fused windows, want O(1)", st.out, fs.Windows)
+		}
+		if fs.Iters < st.out-4 {
+			t.Fatalf("solo %d-token drain fused only %d iterations", st.out, fs.Iters)
+		}
+	}
+
+	extraIters := float64(16_000 - 4_000)
+	var delta float64
+	if long > short {
+		delta = float64(long - short)
+	}
+	if perIter := delta / extraIters; perIter > 0.05 {
+		t.Fatalf("fused drain allocates %.3f objects per interior iteration (%d vs %d mallocs); interior iterations must not allocate", perIter, long, short)
+	}
+}

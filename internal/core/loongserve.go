@@ -99,6 +99,15 @@ type Engine struct {
 
 	tracer *Tracer // optional execution trace (Fig 6 lifecycle)
 
+	// Decode-iteration fusion (fuse.go): enabled via SetDecodeFusion, at
+	// most one group can satisfy the fusion conditions at a time.
+	fuseDecode bool
+	fusedGroup *group
+	fusion     DecodeFusionStats
+	fuseInUse  []kvcache.InstanceID       // shrinkNoop scratch
+	fuseAssign []instCount                // capIterations scratch
+	fuseVisit  func(kvcache.InstanceID, int) // bound EachPlacement visitor
+
 	// Running averages for the Eq 2 gain estimate.
 	decodeLatSum   float64 // seconds spent in decode by finished requests
 	decodeLatCount int
@@ -149,6 +158,19 @@ type group struct {
 	// Borrowed instances (Eq 1-2): returned to their decoding group after
 	// this prefill iteration.
 	borrowedFrom *group
+
+	// Fused-decode window state (fuse.go): fusedEnds holds the absolute end
+	// time of each iteration in the window; fusedDone counts iterations
+	// already materialized. The slice is reused across windows.
+	fused     bool
+	fusedDone int
+	fusedEnds []simevent.Time
+}
+
+// instCount is a (instance, count) pair used by the fusion capacity check.
+type instCount struct {
+	id kvcache.InstanceID
+	n  int
 }
 
 // New returns a LoongServe engine for instances of the given tensor
@@ -248,6 +270,9 @@ func (e *Engine) CheckDrained() error {
 	if used := e.env.Pool.TotalUsed(); used != 0 {
 		return fmt.Errorf("%s: %d KV slots leaked", e.Label, used)
 	}
+	if e.fusedGroup != nil {
+		return fmt.Errorf("%s: fused decode window still live", e.Label)
+	}
 	return e.env.Pool.CheckInvariants()
 }
 
@@ -261,8 +286,11 @@ func (e *Engine) Capability() serving.Capability {
 
 // Load implements serving.LoadReporter: pending requests are queued,
 // requests inside any parallel group (prefill batch or decode set) are
-// running, and KVTokens counts their resident KV.
+// running, and KVTokens counts their resident KV. A fused decode window
+// materializes its elapsed iterations first, so external readers always
+// see the exact unfused state.
 func (e *Engine) Load() serving.LoadStats {
+	e.syncFused()
 	st := serving.LoadStats{Queued: len(e.pending)}
 	for _, g := range e.groups {
 		for _, r := range g.batch {
@@ -282,6 +310,7 @@ func (e *Engine) Arrive(r *serving.Request) {
 	if r.Tokens()+1 > e.env.Pool.TotalCapacity() {
 		panic(&serving.ErrOOM{System: e.Label, Req: r.ID, Tokens: r.Tokens() + 1, Limit: e.env.Pool.TotalCapacity()})
 	}
+	e.fissionFused() // an arrival breaks the fused window's stability proof
 	e.pending = append(e.pending, r)
 	e.schedule()
 }

@@ -550,6 +550,12 @@ func (e *Engine) launchDecode(g *group) {
 	}
 	masters := e.masterCount(g)
 	link := e.env.Cluster.GroupLink(g.instances)
+	if e.fuseDecode {
+		if k := e.fuseEligible(g, bs, masters); k >= 2 {
+			e.launchFused(g, k, bs, sumKV, masters, link)
+			return
+		}
+	}
 	d := e.env.CM.DecodeIterTime(bs, sumKV, len(g.instances), e.TP, masters, link)
 	g.running = true
 	// Snapshot the batch (a join can grow g.reqs mid-flight; joined requests
@@ -565,10 +571,19 @@ func (e *Engine) launchDecode(g *group) {
 // batched request gains one token on its master, finished requests retire,
 // and the scheduler runs.
 func (e *Engine) decodeIterDone(g *group) {
-	for _, r := range g.iter {
-		r.Generated++
-		if err := e.env.Pool.AllocAt(r.ID, g.master[r.ID], 1); err != nil {
-			panic(fmt.Sprintf("%s: decode alloc on instance %d failed: %v", e.Label, g.master[r.ID], err))
+	if g.fused {
+		// End of a fused window: materialize every remaining iteration
+		// (including this final boundary) and fall through to the normal
+		// completion epilogue.
+		e.applyFused(g, len(g.fusedEnds))
+		g.fused = false
+		e.fusedGroup = nil
+	} else {
+		for _, r := range g.iter {
+			r.Generated++
+			if err := e.env.Pool.AllocAt(r.ID, g.master[r.ID], 1); err != nil {
+				panic(fmt.Sprintf("%s: decode alloc on instance %d failed: %v", e.Label, g.master[r.ID], err))
+			}
 		}
 	}
 	g.running = false

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// The node pools exist so steady-state churn — resident sets turning over
+// for hours of simulated time — allocates nothing. These are regression
+// tests for that property: AllocsPerRun must report zero for the
+// remove/reinsert cycles that dominate long runs.
+
+func TestPrefixCacheSteadyStateZeroAllocs(t *testing.T) {
+	c := NewPrefixCache(10_000, false)
+	for i := 1; i <= 8; i++ {
+		c.Put(PrefixKey(i), 1000)
+	}
+	key := PrefixKey(3)
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Remove(key)
+		c.Put(key, 1000)
+		c.Lookup(key)
+	}); avg != 0 {
+		t.Fatalf("whole-key remove/put/lookup cycle allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestRadixCacheSteadyStateZeroAllocs(t *testing.T) {
+	c := NewRadixCache(100_000, 100, false, nil)
+	trunk := []uint64{11, 12, 13}
+	tail := []uint64{11, 12, 13, 14, 15, 16}
+	c.Put(tail)
+	if avg := testing.AllocsPerRun(200, func() {
+		c.RemoveExclusive(tail)
+		c.Put(tail)
+		c.Lookup(trunk)
+	}); avg != 0 {
+		t.Fatalf("radix remove/put/lookup cycle allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestRadixIndexSteadyStateZeroAllocs(t *testing.T) {
+	ix := NewRadixIndex()
+	parent := ix.acquire(21, nil, 0)
+	// Warm the free list, then measure the name/unname cycle.
+	ix.release(ix.acquire(22, parent, 1))
+	if avg := testing.AllocsPerRun(200, func() {
+		r := ix.acquire(22, parent, 1)
+		ix.release(r)
+	}); avg != 0 {
+		t.Fatalf("index acquire/release cycle allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestLRUListZeroAllocs(t *testing.T) {
+	var l lruList
+	l.init()
+	l.remove(l.pushFront(1, 10)) // warm the pool
+	if avg := testing.AllocsPerRun(200, func() {
+		e := l.pushFront(2, 20)
+		l.moveToFront(e)
+		l.remove(e)
+	}); avg != 0 {
+		t.Fatalf("lru push/move/remove cycle allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestShardBufSteadyStateZeroAllocs covers the sharded runner's per-window
+// hot path: buffering a replica's output and draining it at the barrier
+// must reuse the entry storage.
+func TestShardBufSteadyStateZeroAllocs(t *testing.T) {
+	buf := &shardBuf{}
+	// Warm capacity for the steady per-window entry count.
+	for i := 0; i < 16; i++ {
+		buf.complete(0, nil)
+	}
+	buf.reset()
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			buf.complete(1, nil)
+		}
+		buf.reset()
+	}); avg != 0 {
+		t.Fatalf("shard buffer fill/reset cycle allocates %.1f per run, want 0", avg)
+	}
+}

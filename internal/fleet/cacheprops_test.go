@@ -13,15 +13,14 @@ import (
 func checkPrefixCacheInvariants(t *testing.T, c *PrefixCache, step int) {
 	t.Helper()
 	sum, n := 0, 0
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*cacheEntry)
-		if e.tokens <= 0 {
-			t.Fatalf("step %d: resident entry %x has %d tokens", step, e.key, e.tokens)
+	for el := c.lru.front(); el != nil; el = c.lru.next(el) {
+		if el.tokens <= 0 {
+			t.Fatalf("step %d: resident entry %x has %d tokens", step, el.key, el.tokens)
 		}
-		if got, ok := c.entries[e.key]; !ok || got != el {
-			t.Fatalf("step %d: list entry %x not (or wrongly) indexed in map", step, e.key)
+		if got, ok := c.entries[el.key]; !ok || got != el {
+			t.Fatalf("step %d: list entry %x not (or wrongly) indexed in map", step, el.key)
 		}
-		sum += e.tokens
+		sum += el.tokens
 		n++
 	}
 	if sum != c.used {
@@ -30,8 +29,8 @@ func checkPrefixCacheInvariants(t *testing.T, c *PrefixCache, step int) {
 	if c.used > c.capacity {
 		t.Fatalf("step %d: used %d exceeds capacity %d", step, c.used, c.capacity)
 	}
-	if n != len(c.entries) || n != c.lru.Len() {
-		t.Fatalf("step %d: %d list entries, %d map entries, list len %d", step, n, len(c.entries), c.lru.Len())
+	if n != len(c.entries) || n != c.lru.len() {
+		t.Fatalf("step %d: %d list entries, %d map entries, list len %d", step, n, len(c.entries), c.lru.len())
 	}
 }
 

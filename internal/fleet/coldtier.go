@@ -24,6 +24,7 @@ type coldTier struct {
 	blockTokens int
 	index       *RadixIndex
 	blocks      map[uint64]*radixNode
+	pool        nodePool
 	heap        leafHeap
 	sketch      *freqSketch
 	clock       float64
@@ -114,7 +115,9 @@ func (ct *coldTier) spill(srcRep int, ref *blockRef) {
 		}
 		ct.evict(v)
 	}
-	n := &radixNode{ref: ct.index.acquire(ref.hash, ref.parent, ref.depth), heapIdx: -1}
+	n := ct.pool.get()
+	n.ref = ct.index.acquire(ref.hash, ref.parent, ref.depth)
+	n.heapIdx = -1
 	ct.blocks[ref.hash] = n
 	ct.used += ct.blockTokens
 	ct.refresh(n)
@@ -134,8 +137,10 @@ func (ct *coldTier) evict(v *radixNode) {
 	delete(ct.blocks, v.ref.hash)
 	ct.used -= ct.blockTokens
 	ct.stats.Evicted++
+	hash := v.ref.hash
 	ct.index.release(v.ref)
-	ct.g.dir.Set(v.ref.hash, DirCold, 0)
+	ct.pool.put(v)
+	ct.g.dir.Set(hash, DirCold, 0)
 	ct.g.emitDirUpdate(DirCold, -ct.blockTokens, ct.g.dir.LocTokens(DirCold), "cold-evict")
 }
 

@@ -145,6 +145,21 @@ type Config struct {
 	// MaxEvents bounds the simulation as a divergence backstop.
 	MaxEvents uint64
 
+	// Shards switches the run onto the sharded multi-core runner (shard.go):
+	// every replica engine advances on its own private simevent heap between
+	// gateway-event barriers, with replicas partitioned round-robin over
+	// Shards worker goroutines. Shards == 1 runs the identical barrier
+	// algorithm inline — the serial reference the determinism tests compare
+	// against; any N produces byte-identical output to it by construction.
+	// 0 keeps the legacy single-heap runner. Sharded runs require an
+	// open-loop feed and a static fleet (no autoscaling driver).
+	Shards int
+	// FuseDecode enables decode-iteration fusion on every replica engine
+	// implementing serving.DecodeFuser. Fusion is observationally exact —
+	// records, traces, obs streams and audits are unchanged; only simulator
+	// event counts drop (see core/fuse.go for the proof).
+	FuseDecode bool
+
 	// Hedge enables request hedging: a long prefill still unfinished after a
 	// quantile-derived delay is duplicated to a second replica, first
 	// finisher wins, and the loser's work is charged to the run honestly
@@ -410,7 +425,7 @@ func runTrace(g *Gateway, sim *simevent.Sim, trace []workload.TimedRequest) (res
 			panic(p)
 		}
 	}()
-	sim.Run()
+	g.runLoop()
 
 	if g.Completed() != len(trace) {
 		return nil, fmt.Errorf("fleet: %d of %d requests completed (policy %s)", g.Completed(), len(trace), g.PolicyName())

@@ -99,6 +99,10 @@ type replica struct {
 	// dead so the still-simulating engine's ghost events never reach the
 	// stream. Nil when observability is off or the engine is not Traceable.
 	sink *gatedSink
+	// buf collects this replica's completions and obs events during a
+	// sharded run's parallel phase, for ordered replay at the next barrier
+	// (shard.go). Nil on the legacy single-heap runner.
+	buf *shardBuf
 
 	outTokens int // routed prompt+output tokens not yet completed
 	outReqs   int
@@ -366,6 +370,12 @@ type Gateway struct {
 	sampler     *obs.Sampler
 	samplerEv   *simevent.Event
 	obsSessions map[PrefixKey]int64
+
+	// shard is the sharded multi-core runner (shard.go), non-nil when
+	// Config.Shards > 0. Every replica then owns a private simevent heap
+	// (rep.env.Sim != g.sim) and the fleet is static: AddReplica and
+	// closed-loop feeds are rejected.
+	shard *shardRunner
 }
 
 // NewGateway builds a gateway with cfg.Replicas active replicas cloned
@@ -438,6 +448,9 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 		}
 		cfg.Directory = true // spills register at DirCold; fetches route off it
 	}
+	if err := validateSharded(cfg); err != nil {
+		return nil, err
+	}
 	sim.MaxEvents = cfg.MaxEvents
 
 	g := &Gateway{
@@ -479,6 +492,9 @@ func NewGatewayGroups(cfg Config, sim *simevent.Sim) (*Gateway, error) {
 			}
 			rep.state = ReplicaActive
 		}
+	}
+	if cfg.Shards > 0 {
+		g.shard = newShardRunner(g, cfg.Shards)
 	}
 	// The initial composition is the control-plane group's epoch-1
 	// membership (construction is not a lifecycle *change*; every scale-up,
@@ -592,14 +608,34 @@ func (g *Gateway) newReplica(kind *ReplicaKind) (*replica, error) {
 			rep.cache.setObserver(&dirShim{g: g, rep: rep})
 		}
 	}
-	rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
+	if g.cfg.Shards > 0 {
+		// Sharded runner: the engine lives on a private heap and reports
+		// completions (and, below, obs events) into the replica's barrier
+		// buffer instead of straight into the gateway.
+		rs := simevent.New()
+		rs.MaxEvents = g.cfg.MaxEvents
+		rep.env.Sim = rs
+		rep.buf = &shardBuf{}
+		rep.env.Complete = func(r *serving.Request) { rep.buf.complete(rs.Now(), r) }
+	} else {
+		rep.env.Complete = func(r *serving.Request) { g.complete(rep, r) }
+	}
+	if g.cfg.FuseDecode {
+		if df, ok := rep.engine.(serving.DecodeFuser); ok {
+			df.SetDecodeFusion(true)
+		}
+	}
 	if g.obsSink != nil {
 		// Engines that can mirror their elastic events pick up the fleet's
 		// sink with this replica's attribution, before Init so nothing is
 		// missed. The gate lets a crash silence the engine's remaining
 		// simulated events without an engine-side cancel API.
 		if tr, ok := rep.engine.(serving.Traceable); ok {
-			rep.sink = &gatedSink{sink: g.obsSink}
+			inner := g.obsSink
+			if rep.buf != nil {
+				inner = rep.buf
+			}
+			rep.sink = &gatedSink{sink: inner}
 			tr.AttachObsSink(rep.sink, rep.index)
 		}
 	}
@@ -767,6 +803,11 @@ func (g *Gateway) AddReplica(warmup time.Duration) (int, error) {
 func (g *Gateway) AddReplicaKind(kind *ReplicaKind, warmup time.Duration) (int, error) {
 	if kind == nil {
 		return 0, fmt.Errorf("fleet: AddReplicaKind with nil kind")
+	}
+	if g.shard != nil {
+		// Mid-run provisioning would change the replica partition under the
+		// worker pool; sharded runs are static fleets by contract.
+		return 0, fmt.Errorf("fleet: AddReplica is unsupported on a sharded run (Shards=%d)", g.cfg.Shards)
 	}
 	rep, err := g.newReplica(kind)
 	if err != nil {
@@ -1264,8 +1305,21 @@ func (g *Gateway) SessionLocations(sessionID int64) map[int]int {
 func (g *Gateway) Finalize() *Result {
 	g.ctl.close()
 	end := g.sim.Now()
+	fired := g.sim.Fired()
+	if g.shard != nil {
+		// Replica heaps are private in sharded mode: the makespan is the
+		// latest clock anywhere (ghost engines keep draining past the last
+		// gateway event, exactly as they do on the shared heap) and the event
+		// count sums every heap.
+		for _, rep := range g.replicas {
+			if t := rep.env.Sim.Now(); t > end {
+				end = t
+			}
+			fired += rep.env.Sim.Fired()
+		}
+	}
 	g.res.End = time.Duration(end)
-	g.res.SimEvents = g.sim.Fired()
+	g.res.SimEvents = fired
 	g.res.Replicas = make([]ReplicaStats, len(g.replicas))
 	g.res.ReplicaSeconds = 0
 	for i, rep := range g.replicas {

@@ -1,0 +1,99 @@
+package fleet
+
+// lruNode is one resident whole-key cache entry, intrusively linked into
+// its cache's recency list.
+type lruNode struct {
+	key        PrefixKey
+	tokens     int
+	prev, next *lruNode
+}
+
+// lruList is an intrusive doubly linked recency list with a per-list node
+// pool. Compared to container/list it drops the per-entry Element and
+// interface-value allocations and recycles nodes through a free list, so
+// steady-state insert/evict churn — the resident-set turnover of a
+// million-session run — allocates nothing.
+type lruList struct {
+	root lruNode // sentinel: root.next = front (most recent), root.prev = back
+	free *lruNode
+	n    int
+}
+
+func (l *lruList) init() {
+	l.root.next = &l.root
+	l.root.prev = &l.root
+}
+
+func (l *lruList) len() int { return l.n }
+
+func (l *lruList) front() *lruNode {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.next
+}
+
+func (l *lruList) back() *lruNode {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// next and prev step through the list, returning nil at either end.
+func (l *lruList) next(e *lruNode) *lruNode {
+	if e.next == &l.root {
+		return nil
+	}
+	return e.next
+}
+
+func (l *lruList) prev(e *lruNode) *lruNode {
+	if e.prev == &l.root {
+		return nil
+	}
+	return e.prev
+}
+
+// pushFront links a node for key at the front, reusing a pooled node when
+// one is free.
+func (l *lruList) pushFront(key PrefixKey, tokens int) *lruNode {
+	e := l.free
+	if e != nil {
+		l.free = e.next
+	} else {
+		e = &lruNode{}
+	}
+	e.key = key
+	e.tokens = tokens
+	e.prev = &l.root
+	e.next = l.root.next
+	e.prev.next = e
+	e.next.prev = e
+	l.n++
+	return e
+}
+
+func (l *lruList) moveToFront(e *lruNode) {
+	if l.root.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev = &l.root
+	e.next = l.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// remove unlinks a node and returns it to the pool.
+func (l *lruList) remove(e *lruNode) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	l.n--
+	e.key = 0
+	e.tokens = 0
+	e.prev = nil
+	e.next = l.free
+	l.free = e
+}

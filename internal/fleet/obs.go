@@ -292,7 +292,7 @@ func (g *Gateway) sampleTick() {
 		g.sampler.Record(sm)
 	}
 	g.sampler.RecordFleet(fs)
-	if g.sim.Pending() > 0 {
+	if g.pendingWork() > 0 {
 		g.sim.ScheduleAfter(g.samplerEv, g.sampler.Interval)
 	}
 }

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"container/list"
 	"fmt"
 )
 
@@ -112,12 +111,6 @@ func (s *freqSketch) age() {
 	s.incrs = 0
 }
 
-// cacheEntry is one resident prefix.
-type cacheEntry struct {
-	key    PrefixKey
-	tokens int
-}
-
 // prefixObserver hears one whole-key cache's resident-set transitions:
 // after any mutation, key holds tokens resident tokens (0 = gone).
 // evicted marks capacity evictions, mirroring residencyObserver's flag.
@@ -138,8 +131,8 @@ type PrefixCache struct {
 	capacity  int
 	used      int
 	admission bool
-	entries   map[PrefixKey]*list.Element
-	lru       *list.List // front = most recent
+	entries   map[PrefixKey]*lruNode
+	lru       lruList // front = most recent; nodes pooled on its free list
 	sketch    *freqSketch
 
 	// observer hears resident-set transitions (the gateway's cache-
@@ -162,13 +155,14 @@ func NewPrefixCache(capTokens int, admission bool) *PrefixCache {
 	if capTokens <= 0 {
 		panic(fmt.Sprintf("fleet: non-positive cache capacity %d", capTokens))
 	}
-	return &PrefixCache{
+	c := &PrefixCache{
 		capacity:  capTokens,
 		admission: admission,
-		entries:   make(map[PrefixKey]*list.Element),
-		lru:       list.New(),
+		entries:   make(map[PrefixKey]*lruNode),
 		sketch:    newFreqSketch(4096),
 	}
+	c.lru.init()
+	return c
 }
 
 // Capacity returns the token capacity.
@@ -191,7 +185,7 @@ func (c *PrefixCache) Peek(key PrefixKey) int {
 		return 0
 	}
 	if el, ok := c.entries[key]; ok {
-		return el.Value.(*cacheEntry).tokens
+		return el.tokens
 	}
 	return 0
 }
@@ -209,11 +203,10 @@ func (c *PrefixCache) Lookup(key PrefixKey) int {
 		c.Misses++
 		return 0
 	}
-	c.lru.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
+	c.lru.moveToFront(el)
 	c.Hits++
-	c.HitTokens += int64(e.tokens)
-	return e.tokens
+	c.HitTokens += int64(el.tokens)
+	return el.tokens
 }
 
 // PrefixEntry is one resident entry, as reported by Snapshot.
@@ -225,10 +218,9 @@ type PrefixEntry struct {
 // Snapshot returns the resident entries in recency order (most recent
 // first) — the enumeration a drain uses to evacuate a replica's KV.
 func (c *PrefixCache) Snapshot() []PrefixEntry {
-	out := make([]PrefixEntry, 0, c.lru.Len())
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*cacheEntry)
-		out = append(out, PrefixEntry{Key: e.key, Tokens: e.tokens})
+	out := make([]PrefixEntry, 0, c.lru.len())
+	for el := c.lru.front(); el != nil; el = c.lru.next(el) {
+		out = append(out, PrefixEntry{Key: el.key, Tokens: el.tokens})
 	}
 	return out
 }
@@ -241,14 +233,14 @@ func (c *PrefixCache) Remove(key PrefixKey) int {
 	if !ok {
 		return 0
 	}
-	e := el.Value.(*cacheEntry)
-	c.lru.Remove(el)
+	tokens := el.tokens
+	c.lru.remove(el)
 	delete(c.entries, key)
-	c.used -= e.tokens
+	c.used -= tokens
 	if c.observer != nil {
 		c.observer.entryChanged(key, 0, false)
 	}
-	return e.tokens
+	return tokens
 }
 
 // Install inserts or grows key, bypassing the admission filter: the KV
@@ -261,20 +253,19 @@ func (c *PrefixCache) Install(key PrefixKey, tokens int) {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*cacheEntry)
-		c.lru.MoveToFront(el)
-		if e.tokens >= tokens {
+		c.lru.moveToFront(el)
+		if el.tokens >= tokens {
 			return
 		}
-		c.used += tokens - e.tokens
-		e.tokens = tokens
+		c.used += tokens - el.tokens
+		el.tokens = tokens
 		if c.observer != nil {
 			c.observer.entryChanged(key, tokens, false)
 		}
 		c.evictOver(el)
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
+	el := c.lru.pushFront(key, tokens)
 	c.entries[key] = el
 	c.used += tokens
 	if c.observer != nil {
@@ -298,14 +289,13 @@ func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*cacheEntry)
-		c.lru.MoveToFront(el)
+		c.lru.moveToFront(el)
 		if tokens > c.capacity {
 			tokens = c.capacity
 		}
-		if tokens > e.tokens {
-			c.used += tokens - e.tokens
-			e.tokens = tokens
+		if tokens > el.tokens {
+			c.used += tokens - el.tokens
+			el.tokens = tokens
 			if c.observer != nil {
 				c.observer.entryChanged(key, tokens, false)
 			}
@@ -320,7 +310,7 @@ func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 		c.Rejected++
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{key: key, tokens: tokens})
+	el := c.lru.pushFront(key, tokens)
 	c.entries[key] = el
 	c.used += tokens
 	if c.observer != nil {
@@ -336,37 +326,36 @@ func (c *PrefixCache) Put(key PrefixKey, tokens int) {
 func (c *PrefixCache) admit(key PrefixKey, tokens int) bool {
 	candidate := c.sketch.estimate(key)
 	need := c.used + tokens - c.capacity
-	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
-		victim := el.Value.(*cacheEntry)
-		if candidate < c.sketch.estimate(victim.key) {
+	for el := c.lru.back(); el != nil && need > 0; el = c.lru.prev(el) {
+		if candidate < c.sketch.estimate(el.key) {
 			return false
 		}
-		need -= victim.tokens
+		need -= el.tokens
 	}
 	return true
 }
 
 // evictOver drops LRU-tail entries (never keep, the just-inserted element)
 // until the cache fits its capacity.
-func (c *PrefixCache) evictOver(keep *list.Element) {
+func (c *PrefixCache) evictOver(keep *lruNode) {
 	for c.used > c.capacity {
-		el := c.lru.Back()
+		el := c.lru.back()
 		if el == nil {
 			return
 		}
 		if el == keep {
-			el = el.Prev()
+			el = c.lru.prev(el)
 			if el == nil {
 				return
 			}
 		}
-		e := el.Value.(*cacheEntry)
-		c.lru.Remove(el)
-		delete(c.entries, e.key)
-		c.used -= e.tokens
+		key, tokens := el.key, el.tokens
+		c.lru.remove(el)
+		delete(c.entries, key)
+		c.used -= tokens
 		c.Evicted++
 		if c.observer != nil {
-			c.observer.entryChanged(e.key, 0, true)
+			c.observer.entryChanged(key, 0, true)
 		}
 	}
 }

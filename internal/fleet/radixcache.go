@@ -45,6 +45,7 @@ type RadixCache struct {
 
 	index  *RadixIndex           // naming layer; private unless shared by a directory
 	blocks map[uint64]*radixNode // residency: hash -> this replica's copy
+	pool   nodePool
 	leaves leafHeap
 	sketch *freqSketch
 	clock  float64
@@ -79,6 +80,31 @@ type radixNode struct {
 	kids    int        // resident children; 0 = leaf, eligible for eviction
 	prio    float64    // GDSF priority, refreshed on access
 	heapIdx int        // position in the leaf heap; -1 when interior
+}
+
+// nodePool recycles radixNodes through an intrusive free list (linked by
+// the parent field), so block churn — the eviction/recompute cycle of a
+// long run — stops allocating once the working set has been touched.
+type nodePool struct{ free *radixNode }
+
+func (p *nodePool) get() *radixNode {
+	n := p.free
+	if n != nil {
+		p.free = n.parent
+		n.parent = nil
+	} else {
+		n = &radixNode{}
+	}
+	return n
+}
+
+func (p *nodePool) put(n *radixNode) {
+	n.ref = nil
+	n.kids = 0
+	n.prio = 0
+	n.heapIdx = -1
+	n.parent = p.free
+	p.free = n
 }
 
 // residencyObserver hears block-level residency transitions of one
@@ -279,6 +305,7 @@ func (c *RadixCache) evict(v *radixNode) {
 		c.observer.blockDropped(v.ref, true)
 	}
 	c.index.release(v.ref)
+	c.pool.put(v)
 }
 
 // insert adds one block under parent (nil for depth 0), assuming capacity
@@ -288,7 +315,10 @@ func (c *RadixCache) insert(hash uint64, parent *radixNode, depth int) *radixNod
 	if parent != nil {
 		pref = parent.ref
 	}
-	n := &radixNode{ref: c.index.acquire(hash, pref, depth), parent: parent, heapIdx: -1}
+	n := c.pool.get()
+	n.ref = c.index.acquire(hash, pref, depth)
+	n.parent = parent
+	n.heapIdx = -1
 	c.blocks[hash] = n
 	c.used += c.blockTokens
 	if parent != nil {
@@ -381,6 +411,7 @@ func (c *RadixCache) RemoveExclusive(chain []uint64) int {
 			c.observer.blockDropped(v.ref, false)
 		}
 		c.index.release(v.ref)
+		c.pool.put(v)
 	}
 	return freed
 }
@@ -395,6 +426,7 @@ func (c *RadixCache) Clear() {
 	}
 	for _, n := range c.blocks {
 		c.index.release(n.ref)
+		c.pool.put(n)
 	}
 	c.blocks = make(map[uint64]*radixNode)
 	c.leaves = c.leaves[:0]

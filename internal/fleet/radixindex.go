@@ -32,6 +32,12 @@ type blockRef struct {
 // the residency layers holding copies.
 type RadixIndex struct {
 	nodes map[uint64]*blockRef
+	// free recycles unnamed refs (linked through parent), so naming churn —
+	// blocks evicted everywhere and later recomputed — allocates nothing in
+	// steady state. Safe because a pointer to a blockRef is only retained
+	// under a held ref, and the parent field is identity-inert (stored for
+	// re-naming, never traversed).
+	free *blockRef
 }
 
 // NewRadixIndex returns an empty index.
@@ -52,7 +58,14 @@ func (ix *RadixIndex) lookup(hash uint64) *blockRef { return ix.nodes[hash] }
 func (ix *RadixIndex) acquire(hash uint64, parent *blockRef, depth int) *blockRef {
 	r := ix.nodes[hash]
 	if r == nil {
-		r = &blockRef{hash: hash, parent: parent, depth: depth}
+		if r = ix.free; r != nil {
+			ix.free = r.parent
+		} else {
+			r = &blockRef{}
+		}
+		r.hash = hash
+		r.parent = parent
+		r.depth = depth
 		ix.nodes[hash] = r
 	}
 	r.refs++
@@ -65,5 +78,10 @@ func (ix *RadixIndex) release(r *blockRef) {
 	r.refs--
 	if r.refs <= 0 {
 		delete(ix.nodes, r.hash)
+		r.hash = 0
+		r.depth = 0
+		r.refs = 0
+		r.parent = ix.free
+		ix.free = r
 	}
 }

@@ -106,6 +106,122 @@ func (f *SessionFeed) onComplete(e workload.Entry, _ metrics.Record) {
 	}
 }
 
+// StreamFeed drives a lazily sampled session workload (workload.StreamSessions)
+// through a gateway, open-loop. It pulls one branching family from the
+// stream at a time and schedules the next session's start when the current
+// one starts — sound because the sampler's Start times are non-decreasing —
+// so memory holds only the live sessions plus one family, never the whole
+// workload. With Config.StreamMetrics set, a day-long million-session run
+// is O(live sessions) resident.
+type StreamFeed struct {
+	g      *Gateway
+	stream *workload.SessionStream
+	family []workload.SessionScript
+	idx    int
+
+	total     int // turns of every session pulled so far
+	emitted   int
+	completed int
+
+	// Trace mirrors SessionFeed.Trace (dropped under StreamMetrics).
+	Trace []workload.TimedRequest
+}
+
+// FeedSessionStream schedules a lazy session workload onto a gateway and
+// takes over its OnComplete hook. Call before running the simulator.
+func FeedSessionStream(g *Gateway, stream *workload.SessionStream) *StreamFeed {
+	f := &StreamFeed{g: g, stream: stream}
+	g.OnComplete = func(workload.Entry, metrics.Record) { f.completed++ }
+	f.scheduleNext()
+	return f
+}
+
+// Total returns the number of requests of every session pulled so far; once
+// the simulation drains it equals the whole workload's request count.
+func (f *StreamFeed) Total() int { return f.total }
+
+// Completed returns the number of finished requests.
+func (f *StreamFeed) Completed() int { return f.completed }
+
+// scheduleNext arms the start of the next unstarted session, pulling the
+// next family from the stream when the current one is exhausted.
+func (f *StreamFeed) scheduleNext() {
+	if f.idx == len(f.family) {
+		f.family = f.stream.Next()
+		f.idx = 0
+		if len(f.family) == 0 {
+			return // stream exhausted
+		}
+		for i := range f.family {
+			f.total += len(f.family[i].Turns)
+		}
+	}
+	s := &f.family[f.idx]
+	f.idx++
+	f.g.sim.At(simevent.Time(simevent.FromSeconds(s.Start)), func() {
+		if len(s.Turns) > 0 {
+			f.emit(s, 0)
+		}
+		f.scheduleNext()
+	})
+}
+
+// emit submits turn t of script s now and chains the next turn open-loop.
+func (f *StreamFeed) emit(s *workload.SessionScript, t int) {
+	e := s.Entry(t)
+	f.emitted++
+	id := kvcache.RequestID(f.emitted)
+	now := f.g.sim.Now()
+	if !f.g.cfg.StreamMetrics {
+		f.Trace = append(f.Trace, workload.TimedRequest{Entry: e, Arrival: time.Duration(now)})
+	}
+	r := &serving.Request{
+		ID:        id,
+		InputLen:  e.InputLen,
+		OutputLen: e.OutputLen,
+		Arrival:   now,
+		SLOBudget: f.g.SLOBudget(e.InputLen, e.OutputLen),
+	}
+	f.g.Submit(r, e)
+	if t+1 < len(s.Turns) {
+		f.g.sim.After(simevent.FromSeconds(s.Turns[t].Think), func() { f.emit(s, t+1) })
+	}
+}
+
+// RunSessionStream replays a lazily sampled open-loop session workload
+// against a fleet built from cfg.Groups — the streaming counterpart of
+// RunSessionsGroups(…, closed=false), and the entry point sized for
+// day-long million-session traces (pair with Config.StreamMetrics and, for
+// multi-core execution, Config.Shards).
+func RunSessionStream(stream *workload.SessionStream, cfg Config) (res *Result, err error) {
+	sim := simevent.New()
+	g, err := NewGatewayGroups(cfg, sim)
+	if err != nil {
+		return nil, err
+	}
+	feed := FeedSessionStream(g, stream)
+
+	defer func() {
+		if p := recover(); p != nil {
+			if oom, ok := p.(*serving.ErrOOM); ok {
+				err = oom
+				res = nil
+				return
+			}
+			panic(p)
+		}
+	}()
+	g.runLoop()
+
+	if feed.Completed() != feed.Total() {
+		return nil, fmt.Errorf("fleet: %d of %d streamed session requests completed (policy %s)",
+			feed.Completed(), feed.Total(), g.PolicyName())
+	}
+	res = g.Finalize()
+	res.Trace = feed.Trace
+	return res, nil
+}
+
 // RunSessions replays a session-script workload against a static fleet,
 // open- or closed-loop per cfg.ClosedLoop on the workload config that
 // produced the scripts (passed explicitly here as `closed`). The returned
@@ -135,6 +251,12 @@ func RunSessionsGroups(scripts []workload.SessionScript, cfg Config, closed bool
 // runSessions feeds the scripts, runs the simulator to completion and
 // finalizes, converting engine OOM panics to errors.
 func runSessions(g *Gateway, sim *simevent.Sim, scripts []workload.SessionScript, closed bool) (res *Result, err error) {
+	if g.shard != nil && closed {
+		// A closed-loop feed schedules the next turn at completion time with
+		// zero lookahead, so no gateway timestamp bounds future engine
+		// interactions — the window invariant the sharded runner rests on.
+		return nil, fmt.Errorf("fleet: closed-loop session feeds cannot run sharded (Shards=%d); use an open-loop feed or Shards=0", g.cfg.Shards)
+	}
 	feed := FeedSessions(g, scripts, closed)
 
 	defer func() {
@@ -147,7 +269,7 @@ func runSessions(g *Gateway, sim *simevent.Sim, scripts []workload.SessionScript
 			panic(p)
 		}
 	}()
-	sim.Run()
+	g.runLoop()
 
 	if feed.Completed() != feed.Total() {
 		return nil, fmt.Errorf("fleet: %d of %d session requests completed (policy %s)",

@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"loongserve/internal/obs"
+	"loongserve/internal/serving"
+	"loongserve/internal/simevent"
+)
+
+// Sharded single-run execution: conservative time-window synchronization.
+//
+// The legacy runner advances the gateway and every replica engine on one
+// simevent heap, which serializes a 64-replica fleet onto one core. The
+// sharded runner gives each replica engine a private heap and exploits the
+// fleet's causality structure:
+//
+//   - Replicas share nothing: an engine event can only read or write its
+//     own replica's cluster, pool, cost model and request state.
+//   - Every gateway→engine interaction (Arrive, Load) happens inside a
+//     gateway event — a route, a hedge launch, a stall release, a fault, a
+//     sampler tick — or inside completion replay at the barrier.
+//   - With an open-loop feed, every gateway event's timestamp is known
+//     before the window opens: arrivals are staged or chained off earlier
+//     arrivals, hedge timers arm at delivery, faults are pre-staged, and
+//     migration/stall/cold-fetch timers arm at route time. Completion
+//     processing schedules no engine-touching events (closed-loop feeds
+//     would — their next turn fires think-time after a completion with
+//     zero lookahead — which is why sharded runs reject closed loops).
+//
+// So the next gateway timestamp W is a conservative lower bound on any
+// future interaction with any engine: every replica may advance its private
+// heap through everything strictly before W, in parallel, with no shared
+// state. At the barrier, buffered engine output — completions and obs
+// events — replays into the gateway in the canonical merge order
+// (time, replica index, per-replica emission order), then the gateway fires
+// exactly one event at W with every replica clock synced to W, and the loop
+// repeats.
+//
+// Determinism: the parallel phase touches no shared state and the merge
+// order is independent of how replicas are partitioned over workers, so
+// every shard count produces byte-identical output to Shards=1 — the same
+// argument PR 3's parallel experiment arms made, one level deeper. (The
+// legacy runner may order same-instant events across replicas differently —
+// by heap sequence instead of replica index — so the identity contract is
+// between shard counts of this runner, with Shards=1 as the serial
+// reference.)
+
+// timeInf is the advance bound once the gateway has no pending events.
+const timeInf = simevent.Time(math.MaxInt64)
+
+// shardEntry is one unit of buffered engine output: an obs event, or a
+// request completion (req != nil) to replay through Gateway.complete.
+type shardEntry struct {
+	at  simevent.Time
+	ev  obs.Event
+	req *serving.Request
+}
+
+// shardBuf collects one replica's engine output during the parallel phase.
+// It implements obs.Sink (as the inner sink of the replica's gatedSink, so
+// crash gating keeps working unchanged) and receives completions via the
+// replica's Env.Complete. Only the replica's worker touches it between
+// barriers; only the coordinator touches it at the barrier.
+type shardBuf struct {
+	entries []shardEntry
+}
+
+// Emit implements obs.Sink.
+func (b *shardBuf) Emit(e obs.Event) {
+	b.entries = append(b.entries, shardEntry{at: e.At, ev: e})
+}
+
+func (b *shardBuf) complete(at simevent.Time, r *serving.Request) {
+	b.entries = append(b.entries, shardEntry{at: at, req: r})
+}
+
+func (b *shardBuf) reset() {
+	for i := range b.entries {
+		b.entries[i] = shardEntry{}
+	}
+	b.entries = b.entries[:0]
+}
+
+// mergeRef addresses one buffered entry during the barrier merge.
+type mergeRef struct {
+	at       simevent.Time
+	rep, idx int32
+}
+
+// shardRunner drives a sharded fleet run.
+type shardRunner struct {
+	g       *Gateway
+	workers int
+
+	advancedTo simevent.Time // replicas have drained strictly below this
+	merged     []mergeRef    // barrier merge scratch
+
+	// Worker pool (workers > 1): persistent goroutines, replica i handled
+	// by worker i%workers. bound is written by the coordinator before the
+	// start signals and read by workers after them (channel happens-before).
+	bound  simevent.Time
+	start  []chan struct{}
+	wg     sync.WaitGroup
+	panics []any
+}
+
+func newShardRunner(g *Gateway, workers int) *shardRunner {
+	if workers > len(g.replicas) {
+		workers = len(g.replicas)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &shardRunner{g: g, workers: workers}
+}
+
+// run executes the whole simulation: the sharded replacement for Sim.Run.
+func (s *shardRunner) run() {
+	if s.workers > 1 && s.start == nil {
+		s.start = make([]chan struct{}, s.workers)
+		s.panics = make([]any, s.workers)
+		for w := range s.start {
+			s.start[w] = make(chan struct{}, 1)
+			go s.worker(w)
+		}
+	}
+	defer s.stop()
+	for {
+		bound, ok := s.g.sim.Head()
+		if !ok {
+			// No gateway work left: drain every replica completely, replay
+			// what that produced (which may schedule new gateway events —
+			// drain handoff installs do), and finish when nothing surfaced.
+			s.advance(timeInf)
+			if s.replay() {
+				continue
+			}
+			return
+		}
+		if bound > s.advancedTo {
+			s.advance(bound)
+			s.advancedTo = bound
+		}
+		if s.replay() {
+			continue // completions < bound must land before the event at bound
+		}
+		// Barrier: sync every replica clock to the window bound, then fire
+		// exactly one gateway event there. Anything it injects into an
+		// engine lands at the engine's present.
+		for _, rep := range s.g.replicas {
+			rep.env.Sim.AdvanceTo(bound)
+		}
+		s.g.sim.Step()
+	}
+}
+
+// advance runs every replica's private heap through all events strictly
+// before bound — the parallel phase.
+func (s *shardRunner) advance(bound simevent.Time) {
+	work := false
+	for _, rep := range s.g.replicas {
+		if h, ok := rep.env.Sim.Head(); ok && h < bound {
+			work = true
+			break
+		}
+	}
+	if !work {
+		return
+	}
+	if s.workers <= 1 {
+		for _, rep := range s.g.replicas {
+			rep.env.Sim.RunBefore(bound)
+		}
+		return
+	}
+	s.bound = bound
+	s.wg.Add(s.workers)
+	for _, ch := range s.start {
+		ch <- struct{}{}
+	}
+	s.wg.Wait()
+	for w, p := range s.panics {
+		if p != nil {
+			s.panics[w] = nil
+			panic(p)
+		}
+	}
+}
+
+// worker advances its replica partition each time the coordinator signals.
+func (s *shardRunner) worker(w int) {
+	for range s.start[w] {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics[w] = p
+				}
+				s.wg.Done()
+			}()
+			reps := s.g.replicas
+			for i := w; i < len(reps); i += s.workers {
+				reps[i].env.Sim.RunBefore(s.bound)
+			}
+		}()
+	}
+}
+
+// stop shuts the worker pool down.
+func (s *shardRunner) stop() {
+	for _, ch := range s.start {
+		close(ch)
+	}
+	s.start = nil
+}
+
+// replay drains every replica's buffer into the gateway in the canonical
+// (time, replica index, emission order) merge order: obs events re-emit to
+// the run's sink, completions process through Gateway.complete with the
+// gateway clock advanced to the completion instant. Reports whether
+// anything replayed (completion processing can schedule new gateway events,
+// so the caller must recompute its window).
+func (s *shardRunner) replay() bool {
+	merged := s.merged[:0]
+	for ri, rep := range s.g.replicas {
+		if rep.buf == nil {
+			continue
+		}
+		for ei := range rep.buf.entries {
+			merged = append(merged, mergeRef{at: rep.buf.entries[ei].at, rep: int32(ri), idx: int32(ei)})
+		}
+	}
+	s.merged = merged
+	if len(merged) == 0 {
+		return false
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].at != merged[b].at {
+			return merged[a].at < merged[b].at
+		}
+		if merged[a].rep != merged[b].rep {
+			return merged[a].rep < merged[b].rep
+		}
+		return merged[a].idx < merged[b].idx
+	})
+	for _, m := range merged {
+		rep := s.g.replicas[m.rep]
+		en := &rep.buf.entries[m.idx]
+		if en.req != nil {
+			s.g.sim.AdvanceTo(en.at)
+			s.g.complete(rep, en.req)
+		} else {
+			s.g.obsSink.Emit(en.ev)
+		}
+	}
+	for _, rep := range s.g.replicas {
+		if rep.buf != nil {
+			rep.buf.reset()
+		}
+	}
+	return true
+}
+
+// runLoop runs the gateway's simulation to completion on whichever runner
+// the configuration selected.
+func (g *Gateway) runLoop() {
+	if g.shard != nil {
+		g.shard.run()
+		return
+	}
+	g.sim.Run()
+}
+
+// pendingWork counts pending events across the gateway heap and — in
+// sharded mode — every replica's private heap: the sampler's "is the run
+// still alive" signal, equal to Sim.Pending on the legacy single-heap
+// runner by construction.
+func (g *Gateway) pendingWork() int {
+	n := g.sim.Pending()
+	if g.shard != nil {
+		for _, rep := range g.replicas {
+			n += rep.env.Sim.Pending()
+		}
+	}
+	return n
+}
+
+func validateSharded(cfg Config) error {
+	if cfg.Shards < 0 {
+		return fmt.Errorf("fleet: negative shard count %d", cfg.Shards)
+	}
+	return nil
+}

@@ -154,6 +154,16 @@ type Traceable interface {
 	AttachObsSink(sink obs.Sink, replica int)
 }
 
+// DecodeFuser is implemented by engines that can collapse provably
+// identical consecutive decode iterations into one simulator event
+// (decode-iteration fusion). Fusion must be observationally exact: request
+// records, load reports and emitted trace events are identical with it on
+// or off — only the simulator event count drops. The fleet layer enables
+// it on every capable replica when Config.FuseDecode is set.
+type DecodeFuser interface {
+	SetDecodeFusion(on bool)
+}
+
 // ErrOOM is returned by Run when the engine declares the workload
 // unservable (a request can never fit), reproducing the paper's DistServe
 // OOM rows in Fig 10.

@@ -424,6 +424,57 @@ func (s *Sim) Run() {
 	}
 }
 
+// Head reports the timestamp of the earliest pending event across the heap
+// and the staged timeline; ok=false when nothing is pending. The sharded
+// fleet runner uses gateway Head as the conservative window bound its
+// replica shards may advance toward.
+func (s *Sim) Head() (Time, bool) {
+	st := s.stageHead()
+	if len(s.queue) == 0 {
+		if st == nil {
+			return 0, false
+		}
+		return st.at, true
+	}
+	if st != nil && st.at < s.queue[0].at {
+		return st.at, true
+	}
+	return s.queue[0].at, true
+}
+
+// RunBefore executes events with timestamps strictly less than bound,
+// leaving later events queued. Unlike RunUntil it does not move the clock
+// to the bound: a shard that drained its window calls AdvanceTo once the
+// coordinator knows no earlier work remains anywhere in the fleet.
+func (s *Sim) RunBefore(bound Time) {
+	for {
+		if s.MaxEvents > 0 && s.fired >= s.MaxEvents {
+			panic(fmt.Sprintf("simevent: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now))
+		}
+		t, ok := s.Head()
+		if !ok || t >= bound {
+			return
+		}
+		s.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without firing anything — the
+// barrier primitive of conservative time-window synchronization: after a
+// window closes, every shard adopts the bound as its local now so work
+// the coordinator injects at the bound lands in its present, not its past.
+// Skipping over a pending event panics (it would reorder causality);
+// t <= now is a no-op.
+func (s *Sim) AdvanceTo(t Time) {
+	if t <= s.now {
+		return
+	}
+	if h, ok := s.Head(); ok && h < t {
+		panic(fmt.Sprintf("simevent: AdvanceTo(%v) would skip an event at %v", t, h))
+	}
+	s.now = t
+}
+
 // RunUntil executes events with timestamps <= deadline, leaving later events
 // queued and advancing the clock to deadline.
 func (s *Sim) RunUntil(deadline Time) {

@@ -130,6 +130,87 @@ func (b *burstClock) advance(mass float64) float64 {
 	}
 }
 
+// sessionSampler holds the generator state one session draw advances: the
+// RNG, the shared length distributions, the per-group system-prompt
+// lengths, and the arrival clock. SessionScripts and SessionStream share it,
+// which is what makes the stream RNG-identical to the eager generator — the
+// draw code exists exactly once.
+type sessionSampler struct {
+	cfg              SessionConfig
+	rng              *rand.Rand
+	sysLens          []int
+	user, reply, doc lengthDist
+	burst            *burstClock
+	start            float64
+}
+
+func newSessionSampler(cfg SessionConfig, seed int64) *sessionSampler {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sp := &sessionSampler{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+
+	sp.sysLens = make([]int, cfg.PromptGroups)
+	for g := range sp.sysLens {
+		sp.sysLens[g] = logNormalClamped(sp.rng, float64(cfg.SystemTokens), 0.3, 64, 8*cfg.SystemTokens)
+	}
+
+	sp.user = lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
+	sp.reply = lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
+	docMax := cfg.LongDocMax
+	if docMax == 0 {
+		docMax = 4 * cfg.LongDocTokens
+	}
+	sp.doc = lengthDist{median: float64(cfg.LongDocTokens), sigma: 0.6, lo: BlockTokens, hi: docMax}
+
+	if cfg.BurstFactor > 1 {
+		duty := cfg.BurstDuty
+		if duty == 0 {
+			duty = 0.5
+		}
+		sp.burst = &burstClock{
+			period: cfg.BurstPeriod,
+			duty:   duty,
+			hi:     cfg.SessionRate * cfg.BurstFactor,
+			lo:     cfg.SessionRate / cfg.BurstFactor,
+		}
+	}
+	return sp
+}
+
+// draw samples session number s (0-based). Successive draws have
+// non-decreasing Start times — the property the lazy fleet feed rests on.
+func (sp *sessionSampler) draw(s int) SessionScript {
+	cfg := sp.cfg
+	mass := sp.rng.ExpFloat64()
+	if sp.burst != nil {
+		sp.start = sp.burst.advance(mass)
+	} else {
+		sp.start += mass / cfg.SessionRate
+	}
+	group := sp.rng.Intn(cfg.PromptGroups)
+	turns := cfg.MinTurns + sp.rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
+	sc := SessionScript{
+		ID:           int64(s + 1),
+		Group:        group + 1,
+		SystemTokens: sp.sysLens[group],
+		Start:        sp.start,
+		Turns:        make([]SessionTurn, turns),
+	}
+	// Long-document draws happen only when the feature is enabled, so a
+	// LongFrac == 0 configuration consumes the RNG exactly as before.
+	if cfg.LongFrac > 0 && sp.rng.Float64() < cfg.LongFrac {
+		sc.DocTokens = sp.doc.sample(sp.rng)
+	}
+	for t := 0; t < turns; t++ {
+		sc.Turns[t] = SessionTurn{UserTokens: sp.user.sample(sp.rng), ReplyTokens: sp.reply.sample(sp.rng)}
+		if cfg.ThinkMean > 0 {
+			sc.Turns[t].Think = sp.rng.ExpFloat64() * cfg.ThinkMean
+		}
+	}
+	return sc
+}
+
 // SessionScripts generates the conversation plans of a session workload,
 // deterministic in seed. It draws from the RNG in exactly the order
 // SessionTrace historically did, so for a burst-free configuration
@@ -141,68 +222,10 @@ func (b *burstClock) advance(mass float64) float64 {
 // SessionRate/BurstFactor every BurstPeriod/2 seconds — bursty arrivals for
 // elasticity experiments. Turn structure is unaffected.
 func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	rng := rand.New(rand.NewSource(seed))
-
-	sysLens := make([]int, cfg.PromptGroups)
-	for g := range sysLens {
-		sysLens[g] = logNormalClamped(rng, float64(cfg.SystemTokens), 0.3, 64, 8*cfg.SystemTokens)
-	}
-
-	user := lengthDist{median: float64(cfg.UserTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.UserTokens}
-	reply := lengthDist{median: float64(cfg.ReplyTokens), sigma: 0.8, lo: 8, hi: 16 * cfg.ReplyTokens}
-	docMax := cfg.LongDocMax
-	if docMax == 0 {
-		docMax = 4 * cfg.LongDocTokens
-	}
-	doc := lengthDist{median: float64(cfg.LongDocTokens), sigma: 0.6, lo: BlockTokens, hi: docMax}
-
-	var burst *burstClock
-	if cfg.BurstFactor > 1 {
-		duty := cfg.BurstDuty
-		if duty == 0 {
-			duty = 0.5
-		}
-		burst = &burstClock{
-			period: cfg.BurstPeriod,
-			duty:   duty,
-			hi:     cfg.SessionRate * cfg.BurstFactor,
-			lo:     cfg.SessionRate / cfg.BurstFactor,
-		}
-	}
-
+	sp := newSessionSampler(cfg, seed)
 	scripts := make([]SessionScript, 0, cfg.Sessions)
-	start := 0.0
 	for s := 0; s < cfg.Sessions; s++ {
-		mass := rng.ExpFloat64()
-		if burst != nil {
-			start = burst.advance(mass)
-		} else {
-			start += mass / cfg.SessionRate
-		}
-		group := rng.Intn(cfg.PromptGroups)
-		turns := cfg.MinTurns + rng.Intn(cfg.MaxTurns-cfg.MinTurns+1)
-		sc := SessionScript{
-			ID:           int64(s + 1),
-			Group:        group + 1,
-			SystemTokens: sysLens[group],
-			Start:        start,
-			Turns:        make([]SessionTurn, turns),
-		}
-		// Long-document draws happen only when the feature is enabled, so a
-		// LongFrac == 0 configuration consumes the RNG exactly as before.
-		if cfg.LongFrac > 0 && rng.Float64() < cfg.LongFrac {
-			sc.DocTokens = doc.sample(rng)
-		}
-		for t := 0; t < turns; t++ {
-			sc.Turns[t] = SessionTurn{UserTokens: user.sample(rng), ReplyTokens: reply.sample(rng)}
-			if cfg.ThinkMean > 0 {
-				sc.Turns[t].Think = rng.ExpFloat64() * cfg.ThinkMean
-			}
-		}
-		scripts = append(scripts, sc)
+		scripts = append(scripts, sp.draw(s))
 	}
 	if cfg.BranchFactor >= 2 {
 		branchScripts(scripts, cfg.BranchFactor, cfg.BranchTurns)
@@ -214,6 +237,59 @@ func SessionScripts(cfg SessionConfig, seed int64) []SessionScript {
 		s.chain = s.blockChain(len(s.Turns) - 1)
 	}
 	return scripts
+}
+
+// SessionStream is the lazy spelling of SessionScripts: the same RNG draw
+// sequence, surfaced one branching family at a time instead of as one
+// O(sessions) slice. Concatenating every Next() reproduces
+// SessionScripts(cfg, seed) element for element, so a streaming driver can
+// run day-long million-session workloads holding only the live sessions in
+// memory.
+type SessionStream struct {
+	sp     *sessionSampler
+	factor int // family size: BranchFactor, or 1 when branching is off
+	drawn  int
+}
+
+// StreamSessions opens a lazy session-script stream.
+func StreamSessions(cfg SessionConfig, seed int64) *SessionStream {
+	factor := 1
+	if cfg.BranchFactor >= 2 {
+		factor = cfg.BranchFactor
+	}
+	return &SessionStream{sp: newSessionSampler(cfg, seed), factor: factor}
+}
+
+// Sessions returns the total session count the stream will produce.
+func (st *SessionStream) Sessions() int { return st.sp.cfg.Sessions }
+
+// Next samples and returns the next branching family — BranchFactor
+// consecutive sessions sharing a trunk, or a single session when branching
+// is off (the trailing family may be shorter). Returns nil when the stream
+// is exhausted. Families are self-contained: branch lineage never crosses a
+// family boundary, so sampling family by family is exact.
+func (st *SessionStream) Next() []SessionScript {
+	cfg := st.sp.cfg
+	if st.drawn >= cfg.Sessions {
+		return nil
+	}
+	n := st.factor
+	if rem := cfg.Sessions - st.drawn; n > rem {
+		n = rem
+	}
+	family := make([]SessionScript, 0, n)
+	for i := 0; i < n; i++ {
+		family = append(family, st.sp.draw(st.drawn+i))
+	}
+	st.drawn += n
+	if st.factor >= 2 {
+		branchScripts(family, st.factor, cfg.BranchTurns)
+	}
+	for i := range family {
+		s := &family[i]
+		s.chain = s.blockChain(len(s.Turns) - 1)
+	}
+	return family
 }
 
 // branchScripts rewires independently drawn scripts into branching

@@ -276,3 +276,65 @@ func TestLongDocBranchInheritance(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamSessionsMatchesEager is the lazy-sampling contract: pulling the
+// whole stream reproduces SessionScripts element for element (IDs, draws,
+// lineage, block chains), across plain, long-document, bursty and branching
+// configurations — so a streaming driver samples the same workload it would
+// have loaded eagerly.
+func TestStreamSessionsMatchesEager(t *testing.T) {
+	cases := map[string]SessionConfig{}
+	plain := DefaultSessionConfig()
+	plain.Sessions = 97
+	cases["plain"] = plain
+	long := plain
+	long.LongFrac = 0.3
+	long.LongDocTokens = 20_000
+	cases["long-doc"] = long
+	burst := plain
+	burst.BurstFactor = 3
+	burst.BurstPeriod = 40
+	cases["bursty"] = burst
+	branch := long
+	branch.BranchFactor = 4
+	branch.BranchTurns = 2
+	cases["branching"] = branch
+
+	for name, cfg := range cases {
+		eager := SessionScripts(cfg, 23)
+		st := StreamSessions(cfg, 23)
+		if st.Sessions() != cfg.Sessions {
+			t.Fatalf("%s: stream advertises %d sessions, want %d", name, st.Sessions(), cfg.Sessions)
+		}
+		var got []SessionScript
+		families := 0
+		for fam := st.Next(); fam != nil; fam = st.Next() {
+			families++
+			got = append(got, fam...)
+		}
+		if st.Next() != nil {
+			t.Fatalf("%s: exhausted stream yielded another family", name)
+		}
+		if len(got) != len(eager) {
+			t.Fatalf("%s: stream produced %d scripts, eager %d", name, len(got), len(eager))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], eager[i]) {
+				t.Fatalf("%s: script %d differs:\nstream %+v\neager  %+v", name, i, got[i], eager[i])
+			}
+		}
+		want := cfg.Sessions
+		if cfg.BranchFactor >= 2 {
+			want = (cfg.Sessions + cfg.BranchFactor - 1) / cfg.BranchFactor
+		}
+		if families != want {
+			t.Fatalf("%s: %d families, want %d", name, families, want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Start < got[i-1].Start {
+				t.Fatalf("%s: session %d starts at %.3f before session %d at %.3f",
+					name, i+1, got[i].Start, i, got[i-1].Start)
+			}
+		}
+	}
+}
